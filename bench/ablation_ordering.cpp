@@ -1,0 +1,67 @@
+// Ablation: intra-level pick order of the LevelBased scheduler.
+//
+// The paper's algorithm "removes and processes any task from level ℓ" —
+// the pick order is a free design choice.  When a level is wider than P
+// and task lengths are skewed, classic list-scheduling intuition applies:
+// longest-first (LPT) trims the level's completion tail, while LIFO/FIFO
+// can strand a long task last.  This bench sweeps duration skew on wide
+// shallow workloads and reports the makespan of each order.
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "trace/generators.hpp"
+#include "util/flags.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace dsched;
+  util::FlagSet flags("ablation_ordering");
+  const auto nodes = flags.Int("nodes", 6000, "workload size");
+  const auto procs = flags.Int("procs", 8, "simulated processors");
+  if (!flags.Parse(argc, argv)) {
+    return 0;
+  }
+
+  util::TextTable table(
+      "Intra-level pick order (LevelBased), wide levels, P = " +
+      std::to_string(*procs));
+  table.SetHeader({"duration sigma", "LIFO", "FIFO", "LPT",
+                   "LPT vs LIFO"});
+
+  for (const double sigma : {0.3, 0.8, 1.3, 1.8}) {
+    util::Rng rng(static_cast<std::uint64_t>(sigma * 1000));
+    trace::LayeredDagSpec spec;
+    spec.name = "ordering";
+    spec.level_widths = trace::MakeLevelWidths(
+        static_cast<std::size_t>(*nodes), 12,
+        static_cast<std::size_t>(*nodes) / 4, rng);
+    spec.extra_edges = static_cast<std::size_t>(*nodes) / 2;
+    spec.initial_dirty = static_cast<std::size_t>(*nodes) / 8;
+    spec.target_active = static_cast<std::size_t>(*nodes) / 2;
+    spec.collector_fraction = 0.0;
+    spec.durations.median_seconds = 0.1;
+    spec.durations.sigma = sigma;
+    spec.seed = 42;
+    const trace::JobTrace jt = trace::GenerateLayered(spec);
+
+    const auto lifo = bench::RunSpec(jt, "levelbased:lifo",
+                                     static_cast<std::size_t>(*procs));
+    const auto fifo = bench::RunSpec(jt, "levelbased:fifo",
+                                     static_cast<std::size_t>(*procs));
+    const auto lpt = bench::RunSpec(jt, "levelbased:lpt",
+                                    static_cast<std::size_t>(*procs));
+    char gain[32];
+    std::snprintf(gain, sizeof(gain), "%.1f%%",
+                  100.0 * (lifo.makespan - lpt.makespan) / lifo.makespan);
+    table.AddRow({std::to_string(sigma), bench::Seconds(lifo.makespan),
+                  bench::Seconds(fifo.makespan), bench::Seconds(lpt.makespan),
+                  gain});
+  }
+  std::printf("%s", table.ToString().c_str());
+  std::printf(
+      "shape check: the LPT gain grows with duration skew; all orders obey "
+      "the same w/P + L bound (the ordering is a constant-factor lever, "
+      "not an asymptotic one).\n");
+  return 0;
+}

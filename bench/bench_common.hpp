@@ -1,0 +1,37 @@
+// Shared helpers for the table/figure reproduction harnesses.
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+#include "sched/factory.hpp"
+#include "sim/engine.hpp"
+#include "trace/job_trace.hpp"
+#include "util/strings.hpp"
+
+namespace dsched::bench {
+
+/// Runs a factory-spec scheduler over a trace; P defaults to the paper's 8.
+inline sim::SimResult RunSpec(const trace::JobTrace& trace,
+                              const std::string& spec, std::size_t processors = 8,
+                              sim::ExecutionModel model =
+                                  sim::ExecutionModel::kSequential) {
+  auto scheduler = sched::CreateScheduler(spec);
+  sim::SimConfig config;
+  config.processors = processors;
+  config.model = model;
+  return sim::Simulate(trace, *scheduler, config);
+}
+
+/// Formats a paper value next to our measured one: "26.5 s | 43.9 s".
+inline std::string Seconds(double value) {
+  return util::FormatSeconds(value);
+}
+
+/// A "(makespan, overhead)" cell as Table III prints them.
+inline std::string MakespanOverhead(const sim::SimResult& r) {
+  return "(" + util::FormatSeconds(r.TotalSeconds()) + ", " +
+         util::FormatSeconds(r.sched_wall_seconds) + ")";
+}
+
+}  // namespace dsched::bench

@@ -1,0 +1,107 @@
+// Micro-benchmarks of the interval-list transitive-closure index.
+#include <benchmark/benchmark.h>
+
+#include "graph/digraph_builder.hpp"
+#include "interval/interval_index.hpp"
+#include "interval/interval_set.hpp"
+#include "trace/generators.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using dsched::graph::Dag;
+using dsched::graph::DigraphBuilder;
+using dsched::interval::IntervalIndex;
+using dsched::interval::IntervalSet;
+using dsched::util::Rng;
+using dsched::util::TaskId;
+
+Dag RandomLayeredDag(std::size_t nodes, Rng& rng) {
+  // Layered random DAG: realistic for the index (long paths, bounded fan).
+  dsched::trace::LayeredDagSpec spec;
+  spec.level_widths =
+      dsched::trace::MakeLevelWidths(nodes, 20, nodes / 10, rng);
+  spec.extra_edges = nodes / 2;
+  spec.target_active = 0;
+  spec.seed = rng.NextU64();
+  DigraphBuilder builder(0);
+  const auto trace = dsched::trace::GenerateLayered(spec);
+  // Copy the DAG out (JobTrace owns it).
+  DigraphBuilder copy(trace.NumNodes());
+  for (std::size_t u = 0; u < trace.NumNodes(); ++u) {
+    for (const TaskId v : trace.Graph().OutNeighbors(static_cast<TaskId>(u))) {
+      copy.AddEdge(static_cast<TaskId>(u), v);
+    }
+  }
+  return std::move(copy).Build();
+}
+
+void BM_IntervalSetInsert(benchmark::State& state) {
+  Rng rng(1);
+  for (auto _ : state) {
+    IntervalSet set;
+    for (int i = 0; i < state.range(0); ++i) {
+      const auto lo = static_cast<std::uint32_t>(rng.NextBelow(100000));
+      set.Insert(lo, lo + static_cast<std::uint32_t>(rng.NextBelow(8)));
+    }
+    benchmark::DoNotOptimize(set.Size());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_IntervalSetInsert)->Arg(100)->Arg(1000)->Arg(10000);
+
+void BM_IntervalSetContains(benchmark::State& state) {
+  Rng rng(2);
+  IntervalSet set;
+  for (int i = 0; i < state.range(0); ++i) {
+    const auto lo = static_cast<std::uint32_t>(rng.NextBelow(1000000));
+    set.Insert(lo, lo + 3);
+  }
+  std::uint32_t probe = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(set.Contains(probe));
+    probe = (probe + 7919) % 1000000;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_IntervalSetContains)->Arg(100)->Arg(10000);
+
+void BM_IndexBuildLayered(benchmark::State& state) {
+  Rng rng(3);
+  const Dag dag = RandomLayeredDag(static_cast<std::size_t>(state.range(0)), rng);
+  for (auto _ : state) {
+    const IntervalIndex index(dag);
+    benchmark::DoNotOptimize(index.TotalIntervals());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(dag.NumNodes()));
+}
+BENCHMARK(BM_IndexBuildLayered)->Arg(2000)->Arg(20000);
+
+void BM_IndexBuildStaircase(benchmark::State& state) {
+  const auto trace = dsched::trace::MakeIntervalAdversarial(
+      static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    const IntervalIndex index(trace.Graph());
+    benchmark::DoNotOptimize(index.TotalIntervals());
+  }
+}
+BENCHMARK(BM_IndexBuildStaircase)->Arg(128)->Arg(512);
+
+void BM_IndexQuery(benchmark::State& state) {
+  Rng rng(4);
+  const Dag dag = RandomLayeredDag(20000, rng);
+  const IntervalIndex index(dag);
+  const auto n = static_cast<TaskId>(dag.NumNodes());
+  TaskId u = 0;
+  TaskId v = 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(index.Reaches(u, v));
+    u = (u + 313) % n;
+    v = (v + 71) % n;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_IndexQuery);
+
+}  // namespace

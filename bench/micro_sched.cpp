@@ -1,0 +1,116 @@
+// Micro-benchmarks: end-to-end simulation throughput per scheduler, and
+// the per-decision cost of the scheduling fast paths.
+#include <benchmark/benchmark.h>
+
+#include "sched/factory.hpp"
+#include "sim/engine.hpp"
+#include "trace/generators.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using dsched::sim::SimConfig;
+using dsched::sim::Simulate;
+using dsched::trace::JobTrace;
+
+JobTrace MidsizeTrace(std::size_t nodes, std::size_t levels,
+                      double active_fraction) {
+  dsched::util::Rng rng(99);
+  dsched::trace::LayeredDagSpec spec;
+  spec.name = "micro";
+  spec.level_widths =
+      dsched::trace::MakeLevelWidths(nodes, levels, nodes / 8, rng);
+  spec.extra_edges = nodes / 2;
+  spec.initial_dirty = std::max<std::size_t>(1, nodes / 100);
+  spec.target_active =
+      static_cast<std::size_t>(static_cast<double>(nodes) * active_fraction);
+  spec.collector_fraction = 0.5;
+  spec.durations.median_seconds = 1e-4;
+  spec.seed = 7;
+  return dsched::trace::GenerateLayered(spec);
+}
+
+void RunScheduler(benchmark::State& state, const char* spec,
+                  const JobTrace& trace) {
+  std::size_t executed = 0;
+  for (auto _ : state) {
+    auto scheduler = dsched::sched::CreateScheduler(spec);
+    SimConfig config;
+    config.processors = 8;
+    const auto result = Simulate(trace, *scheduler, config);
+    executed = result.tasks_executed;
+    benchmark::DoNotOptimize(result.makespan);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(executed));
+  state.counters["active_tasks"] = static_cast<double>(executed);
+}
+
+const JobTrace& DeepTrace() {
+  static const JobTrace trace = MidsizeTrace(20000, 120, 0.08);
+  return trace;
+}
+const JobTrace& ShallowTrace() {
+  static const JobTrace trace = MidsizeTrace(20000, 6, 0.5);
+  return trace;
+}
+
+void BM_SimulateDeep_LevelBased(benchmark::State& state) {
+  RunScheduler(state, "levelbased", DeepTrace());
+}
+void BM_SimulateDeep_LBL10(benchmark::State& state) {
+  RunScheduler(state, "lbl:10", DeepTrace());
+}
+void BM_SimulateDeep_LogicBlox(benchmark::State& state) {
+  RunScheduler(state, "logicblox", DeepTrace());
+}
+void BM_SimulateDeep_Hybrid(benchmark::State& state) {
+  RunScheduler(state, "hybrid", DeepTrace());
+}
+void BM_SimulateDeep_Signal(benchmark::State& state) {
+  RunScheduler(state, "signal", DeepTrace());
+}
+void BM_SimulateShallow_LevelBased(benchmark::State& state) {
+  RunScheduler(state, "levelbased", ShallowTrace());
+}
+void BM_SimulateShallow_LogicBlox(benchmark::State& state) {
+  RunScheduler(state, "logicblox", ShallowTrace());
+}
+void BM_SimulateShallow_Hybrid(benchmark::State& state) {
+  RunScheduler(state, "hybrid", ShallowTrace());
+}
+
+BENCHMARK(BM_SimulateDeep_LevelBased)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_SimulateDeep_LBL10)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_SimulateDeep_LogicBlox)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_SimulateDeep_Hybrid)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_SimulateDeep_Signal)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_SimulateShallow_LevelBased)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_SimulateShallow_LogicBlox)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_SimulateShallow_Hybrid)->Unit(benchmark::kMillisecond);
+
+void BM_LevelPrecompute(benchmark::State& state) {
+  const JobTrace& trace = DeepTrace();
+  for (auto _ : state) {
+    auto scheduler = dsched::sched::CreateScheduler("levelbased");
+    scheduler->Prepare({&trace, 8});
+    benchmark::DoNotOptimize(scheduler->MemoryBytes());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(trace.NumNodes()));
+}
+BENCHMARK(BM_LevelPrecompute)->Unit(benchmark::kMillisecond);
+
+void BM_IntervalPrecompute(benchmark::State& state) {
+  const JobTrace& trace = DeepTrace();
+  for (auto _ : state) {
+    auto scheduler = dsched::sched::CreateScheduler("logicblox");
+    scheduler->Prepare({&trace, 8});
+    benchmark::DoNotOptimize(scheduler->MemoryBytes());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(trace.NumNodes()));
+}
+BENCHMARK(BM_IntervalPrecompute)->Unit(benchmark::kMillisecond);
+
+}  // namespace

@@ -1,0 +1,55 @@
+// Reproduces the Section VI anecdote: a synthetic instance on which the
+// hybrid scheduler beat the production LogicBlox scheduler by ~100x,
+// exposing a real inefficiency ("their scheduler was performing unnecessary
+// work to find ready-to-run tasks").
+//
+// Our instance (trace/generators.hpp MakePathologicalScan): one dirty
+// source fans out to F leaves and to a C-long sequential chain whose tail
+// also feeds every leaf.  All leaves activate immediately but stay unready
+// until the chain drains, so each chain completion triggers a full rescan
+// of the F-sized active queue with ancestor queries — Θ(F²·C) probes.  The
+// LevelBased side of the hybrid identifies the same ready tasks in O(1).
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "trace/generators.hpp"
+#include "util/flags.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace dsched;
+  util::FlagSet flags("pathology_hunt");
+  const auto max_size = flags.Int("max_size", 1600, "largest fanout in sweep");
+  if (!flags.Parse(argc, argv)) {
+    return 0;
+  }
+
+  util::TextTable table(
+      "Scheduler pathology hunt — scan-adversarial instance, P = 8");
+  table.SetHeader({"chain x fanout", "LX overhead", "LX queries",
+                   "LB overhead", "Hybrid overhead", "LX/Hybrid overhead"});
+
+  for (std::size_t f = 200; f <= static_cast<std::size_t>(*max_size); f *= 2) {
+    const std::size_t chain = f / 4;
+    const trace::JobTrace jt = trace::MakePathologicalScan(chain, f);
+    const auto lx = bench::RunSpec(jt, "logicblox");
+    const auto lb = bench::RunSpec(jt, "levelbased");
+    const auto hybrid = bench::RunSpec(jt, "hybrid");
+    const double speedup =
+        lx.sched_wall_seconds / std::max(hybrid.sched_wall_seconds, 1e-9);
+    table.AddRow({std::to_string(chain) + " x " + std::to_string(f),
+                  bench::Seconds(lx.sched_wall_seconds),
+                  std::to_string(lx.ops.ancestor_queries),
+                  bench::Seconds(lb.sched_wall_seconds),
+                  bench::Seconds(hybrid.sched_wall_seconds),
+                  std::to_string(speedup) + "x"});
+  }
+  std::printf("%s", table.ToString().c_str());
+  std::printf(
+      "shape check: LogicBlox pays one full quadratic scan per chain step "
+      "(Θ(F²·C) queries) while the hybrid's gate collapses that to "
+      "O(log C) scans, so the overhead gap grows ~C/log C without bound — "
+      "run with --max_size=3200 or larger to push it past the 100x of the "
+      "paper's anecdote.\n");
+  return 0;
+}

@@ -1,0 +1,114 @@
+// Command-line scheduler bake-off on any workload the library can produce.
+//
+//   scheduler_comparison --trace=2                # paper trace #2
+//   scheduler_comparison --trace=6 --scale=0.05   # scaled-down shallow one
+//   scheduler_comparison --nodes=5000 --levels=40 # synthetic layered DAG
+//   scheduler_comparison --trace_file=data/diamond.trace   # from disk
+//   scheduler_comparison --save=my.trace ...      # persist the workload
+//   scheduler_comparison --schedulers=levelbased,lbl:15,hybrid --procs=16
+#include <cstdio>
+#include <string>
+
+#include "sched/factory.hpp"
+#include "sim/audit.hpp"
+#include "sim/engine.hpp"
+#include "trace/cascade.hpp"
+#include "trace/generators.hpp"
+#include "trace/table_traces.hpp"
+#include "trace/trace_io.hpp"
+#include "util/flags.hpp"
+#include "util/rng.hpp"
+#include "util/memory_meter.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace dsched;
+  util::FlagSet flags("scheduler_comparison");
+  const auto trace_index =
+      flags.Int("trace", 0, "paper trace 1-11 (0: generate synthetically)");
+  const auto trace_file =
+      flags.String("trace_file", "", "load the workload from a trace file");
+  const auto save_path =
+      flags.String("save", "", "write the workload to a trace file and exit");
+  const auto scale = flags.Double("scale", 1.0, "paper-trace scale");
+  const auto nodes = flags.Int("nodes", 4000, "synthetic: node count");
+  const auto levels = flags.Int("levels", 30, "synthetic: level count");
+  const auto dirty = flags.Int("dirty", 8, "synthetic: initially dirty tasks");
+  const auto active = flags.Int("active", 400, "synthetic: activation target");
+  const auto seed = flags.Int("seed", 1, "generator seed");
+  const auto procs = flags.Int("procs", 8, "simulated processors");
+  const auto specs_flag = flags.String(
+      "schedulers", "levelbased,lbl:10,logicblox,hybrid,signal",
+      "comma-separated scheduler specs");
+  const auto audit = flags.Bool("audit", false, "audit every schedule");
+  if (!flags.Parse(argc, argv)) {
+    return 0;
+  }
+
+  trace::JobTrace jt;
+  if (!trace_file->empty()) {
+    jt = trace::ReadTraceFile(*trace_file);
+  } else if (*trace_index >= 1) {
+    jt = trace::MakeTableTrace(static_cast<int>(*trace_index), *scale,
+                               static_cast<std::uint64_t>(*seed));
+  } else {
+    util::Rng rng(static_cast<std::uint64_t>(*seed));
+    trace::LayeredDagSpec spec;
+    spec.name = "synthetic";
+    spec.level_widths = trace::MakeLevelWidths(
+        static_cast<std::size_t>(*nodes), static_cast<std::size_t>(*levels),
+        std::max<std::size_t>(static_cast<std::size_t>(*dirty),
+                              static_cast<std::size_t>(*nodes) / 10),
+        rng);
+    spec.extra_edges = static_cast<std::size_t>(*nodes) / 2;
+    spec.initial_dirty = static_cast<std::size_t>(*dirty);
+    spec.target_active = static_cast<std::size_t>(*active);
+    spec.durations.median_seconds = 0.05;
+    spec.seed = static_cast<std::uint64_t>(*seed);
+    jt = trace::GenerateLayered(spec);
+  }
+
+  if (!save_path->empty()) {
+    trace::WriteTraceFile(*save_path, jt);
+    std::printf("wrote '%s' (%zu nodes, %zu edges)\n", save_path->c_str(),
+                jt.NumNodes(), jt.NumEdges());
+    return 0;
+  }
+
+  const trace::Cascade cascade = trace::ComputeCascade(jt);
+  std::printf(
+      "workload '%s': %zu nodes, %zu edges, %zu dirty, %zu active, "
+      "total active work %.2fs\n\n",
+      jt.Name().c_str(), jt.NumNodes(), jt.NumEdges(),
+      jt.InitialDirty().size(), cascade.NumActive(),
+      cascade.total_active_work);
+
+  util::TextTable table("scheduler comparison, P = " + std::to_string(*procs));
+  table.SetHeader({"scheduler", "makespan", "sched overhead", "prepare",
+                   "modelled ops", "memory", "audit"});
+  for (const auto spec_view : util::Split(*specs_flag, ',')) {
+    const std::string spec(util::Trim(spec_view));
+    if (spec.empty()) {
+      continue;
+    }
+    auto scheduler = sched::CreateScheduler(spec);
+    sim::SimConfig config;
+    config.processors = static_cast<std::size_t>(*procs);
+    config.record_schedule = *audit;
+    const sim::SimResult result = sim::Simulate(jt, *scheduler, config);
+    std::string audit_cell = "-";
+    if (*audit) {
+      audit_cell = sim::AuditSchedule(jt, result).valid ? "ok" : "FAILED";
+    }
+    table.AddRow({result.scheduler_name,
+                  util::FormatSeconds(result.makespan),
+                  util::FormatSeconds(result.sched_wall_seconds),
+                  util::FormatSeconds(result.prepare_wall_seconds),
+                  std::to_string(result.ops.Total()),
+                  util::FormatBytes(result.scheduler_memory_bytes),
+                  audit_cell});
+  }
+  std::printf("%s", table.ToString().c_str());
+  return 0;
+}

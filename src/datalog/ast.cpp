@@ -1,0 +1,145 @@
+#include "datalog/ast.hpp"
+
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace dsched::datalog {
+
+std::uint32_t Program::PredicateId(std::string_view name) const {
+  for (std::uint32_t id = 0; id < predicate_names.size(); ++id) {
+    if (predicate_names[id] == name) {
+      return id;
+    }
+  }
+  throw util::InvalidArgument("unknown predicate '" + std::string(name) + "'");
+}
+
+const char* CmpOpName(CmpOp op) {
+  switch (op) {
+    case CmpOp::kEq:
+      return "=";
+    case CmpOp::kNe:
+      return "!=";
+    case CmpOp::kLt:
+      return "<";
+    case CmpOp::kLe:
+      return "<=";
+    case CmpOp::kGt:
+      return ">";
+    case CmpOp::kGe:
+      return ">=";
+  }
+  return "?";
+}
+
+const char* AggOpName(AggOp op) {
+  switch (op) {
+    case AggOp::kCount:
+      return "count";
+    case AggOp::kSum:
+      return "sum";
+    case AggOp::kMin:
+      return "min";
+    case AggOp::kMax:
+      return "max";
+  }
+  return "?";
+}
+
+bool EvalCmp(CmpOp op, Value lhs, Value rhs) {
+  if (op == CmpOp::kEq) {
+    return lhs == rhs;
+  }
+  if (op == CmpOp::kNe) {
+    return !(lhs == rhs);
+  }
+  // Ordered comparisons require both sides to be integers.
+  if (!lhs.IsInt() || !rhs.IsInt()) {
+    throw util::InvalidArgument(
+        "ordered comparison requires integer operands");
+  }
+  const std::int64_t a = lhs.AsInt();
+  const std::int64_t b = rhs.AsInt();
+  switch (op) {
+    case CmpOp::kLt:
+      return a < b;
+    case CmpOp::kLe:
+      return a <= b;
+    case CmpOp::kGt:
+      return a > b;
+    case CmpOp::kGe:
+      return a >= b;
+    default:
+      return false;  // unreachable; kEq/kNe handled above
+  }
+}
+
+namespace {
+std::string TermToString(const Term& term, const Rule& rule,
+                         const Program& program) {
+  if (term.IsVar()) {
+    if (term.var < rule.variable_names.size()) {
+      return rule.variable_names[term.var];
+    }
+    return "V" + std::to_string(term.var);
+  }
+  return term.constant.ToString(program.symbols);
+}
+
+std::string AtomToString(const Atom& atom, const Rule& rule,
+                         const Program& program) {
+  std::ostringstream oss;
+  oss << program.predicate_names[atom.predicate] << "(";
+  for (std::size_t i = 0; i < atom.args.size(); ++i) {
+    if (i > 0) {
+      oss << ", ";
+    }
+    oss << TermToString(atom.args[i], rule, program);
+  }
+  oss << ")";
+  return oss.str();
+}
+}  // namespace
+
+std::string RuleToString(const Rule& rule, const Program& program) {
+  std::ostringstream oss;
+  if (rule.IsAggregate()) {
+    oss << program.predicate_names[rule.head.predicate] << "(";
+    for (std::size_t i = 0; i < rule.head.args.size(); ++i) {
+      if (i > 0) {
+        oss << ", ";
+      }
+      oss << TermToString(rule.head.args[i], rule, program);
+    }
+    oss << "; " << AggOpName(rule.aggregate->op) << "(";
+    if (rule.aggregate->op != AggOp::kCount) {
+      oss << TermToString(Term::Var(rule.aggregate->var), rule, program);
+    }
+    oss << "))";
+  } else {
+    oss << AtomToString(rule.head, rule, program);
+  }
+  if (!rule.body.empty()) {
+    oss << " :- ";
+    for (std::size_t i = 0; i < rule.body.size(); ++i) {
+      if (i > 0) {
+        oss << ", ";
+      }
+      if (const auto* literal = std::get_if<Literal>(&rule.body[i])) {
+        if (literal->negated) {
+          oss << "!";
+        }
+        oss << AtomToString(literal->atom, rule, program);
+      } else {
+        const auto& cmp = std::get<Comparison>(rule.body[i]);
+        oss << TermToString(cmp.lhs, rule, program) << " " << CmpOpName(cmp.op)
+            << " " << TermToString(cmp.rhs, rule, program);
+      }
+    }
+  }
+  oss << ".";
+  return oss.str();
+}
+
+}  // namespace dsched::datalog

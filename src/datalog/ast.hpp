@@ -1,0 +1,134 @@
+// Abstract syntax of Datalog programs.
+//
+// Supported language (a pragmatic core-plus subset, comparable to what the
+// paper's dataflow DAGs are compiled from):
+//   * facts:               edge(a, b).
+//   * rules:               path(X, Z) :- path(X, Y), edge(Y, Z).
+//   * stratified negation: alone(X) :- node(X), !linked(X).
+//   * comparison builtins: big(X) :- amount(X, V), V >= 100.
+// Variables start with an uppercase letter or '_'; symbols start lowercase;
+// integers are decimal literals.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "datalog/value.hpp"
+
+namespace dsched::datalog {
+
+/// A term: a variable (by dense id within its rule) or a ground constant.
+struct Term {
+  enum class Kind : std::uint8_t { kVariable, kConstant };
+  Kind kind = Kind::kConstant;
+  /// Variable: index into the rule's variable table.
+  std::uint32_t var = 0;
+  /// Constant: the ground value.
+  Value constant;
+
+  static Term Var(std::uint32_t id) {
+    Term t;
+    t.kind = Kind::kVariable;
+    t.var = id;
+    return t;
+  }
+  static Term Const(Value v) {
+    Term t;
+    t.kind = Kind::kConstant;
+    t.constant = v;
+    return t;
+  }
+  [[nodiscard]] bool IsVar() const { return kind == Kind::kVariable; }
+};
+
+/// predicate(args...); predicates are interned to dense ids program-wide.
+struct Atom {
+  std::uint32_t predicate = 0;
+  std::vector<Term> args;
+};
+
+/// A (possibly negated) relational literal in a rule body.
+struct Literal {
+  Atom atom;
+  bool negated = false;
+};
+
+/// Comparison builtin between two terms.
+enum class CmpOp : std::uint8_t { kEq, kNe, kLt, kLe, kGt, kGe };
+
+struct Comparison {
+  CmpOp op = CmpOp::kEq;
+  Term lhs;
+  Term rhs;
+};
+
+/// One body element: relational literal or builtin comparison.
+using BodyElement = std::variant<Literal, Comparison>;
+
+/// Aggregate operator of an aggregation rule head.
+enum class AggOp : std::uint8_t { kCount, kSum, kMin, kMax };
+
+/// Aggregation spec: `head(G1, ..., Gk; sum(V)) :- body.`  The head
+/// relation has arity k+1 — the group-by terms plus the aggregate result.
+/// Semantics: over the set of distinct complete body bindings, group by
+/// (G1..Gk) and fold the aggregate over V (ignored for count).
+struct Aggregate {
+  AggOp op = AggOp::kCount;
+  /// The aggregated variable (unused for count).
+  std::uint32_t var = 0;
+};
+
+/// head :- body.  Facts are rules with an empty body and a ground head.
+struct Rule {
+  Atom head;
+  std::vector<BodyElement> body;
+  /// Set iff this is an aggregation rule; the head's last argument position
+  /// receives the aggregate result and head.args holds only the group-by
+  /// terms.
+  std::optional<Aggregate> aggregate;
+  /// Variable names by id (diagnostics only).
+  std::vector<std::string> variable_names;
+  /// Source line (diagnostics).
+  std::size_t line = 0;
+
+  [[nodiscard]] bool IsFact() const {
+    return body.empty() && !aggregate.has_value();
+  }
+  [[nodiscard]] bool IsAggregate() const { return aggregate.has_value(); }
+};
+
+/// A whole program: rules + interning tables.
+struct Program {
+  std::vector<Rule> rules;
+  /// Predicate names by dense id.
+  std::vector<std::string> predicate_names;
+  /// Arity per predicate (fixed at first use; mismatches are parse errors).
+  std::vector<std::size_t> predicate_arities;
+  /// Symbol constants.
+  SymbolTable symbols;
+
+  [[nodiscard]] std::size_t NumPredicates() const {
+    return predicate_names.size();
+  }
+  /// Id of a predicate name; throws util::InvalidArgument if unknown.
+  [[nodiscard]] std::uint32_t PredicateId(std::string_view name) const;
+};
+
+/// Renders a rule back to (approximately) source syntax.
+[[nodiscard]] std::string RuleToString(const Rule& rule,
+                                       const Program& program);
+
+/// Renders the comparison operator ("<=", "!=", ...).
+[[nodiscard]] const char* CmpOpName(CmpOp op);
+
+/// Renders the aggregate operator ("count", "sum", ...).
+[[nodiscard]] const char* AggOpName(AggOp op);
+
+/// Evaluates a ground comparison.  Int/symbol comparisons other than
+/// equality/inequality on mixed kinds throw util::InvalidArgument.
+[[nodiscard]] bool EvalCmp(CmpOp op, Value lhs, Value rhs);
+
+}  // namespace dsched::datalog

@@ -1,0 +1,159 @@
+#include "datalog/database.hpp"
+
+#include "datalog/eval.hpp"
+#include "datalog/parallel_update.hpp"
+#include "datalog/validate.hpp"
+#include "util/error.hpp"
+
+namespace dsched::datalog {
+
+Database::Database(std::string_view program_text)
+    : program_(ParseProgram(program_text)) {
+  ValidateProgram(program_);
+  strat_ = Stratify(program_);
+  store_ = RelationStore(program_);
+  engine_ = std::make_unique<IncrementalEngine>(program_, strat_, store_);
+}
+
+void Database::Insert(std::string_view predicate, Tuple tuple) {
+  DSCHED_CHECK_MSG(!materialized_,
+                   "use MakeUpdate()/Apply() after materialization");
+  const std::uint32_t pred = program_.PredicateId(predicate);
+  if (tuple.size() != program_.predicate_arities[pred]) {
+    throw util::InvalidArgument("arity mismatch inserting into '" +
+                                std::string(predicate) + "'");
+  }
+  store_.Of(pred).Insert(tuple);
+}
+
+EvalStats Database::Materialize() {
+  const EvalStats stats = EvaluateProgram(program_, strat_, store_);
+  materialized_ = true;
+  return stats;
+}
+
+std::vector<Tuple> Database::Query(std::string_view predicate) const {
+  const Relation& relation = store_.Of(program_.PredicateId(predicate));
+  return {relation.Rows().begin(), relation.Rows().end()};
+}
+
+bool Database::Contains(std::string_view predicate, const Tuple& tuple) const {
+  return store_.Of(program_.PredicateId(predicate)).Contains(tuple);
+}
+
+Database::Update& Database::Update::Insert(std::string_view predicate,
+                                           Tuple tuple) {
+  request_.insertions.emplace_back(db_->program_.PredicateId(predicate),
+                                   std::move(tuple));
+  return *this;
+}
+
+Database::Update& Database::Update::Delete(std::string_view predicate,
+                                           Tuple tuple) {
+  request_.deletions.emplace_back(db_->program_.PredicateId(predicate),
+                                  std::move(tuple));
+  return *this;
+}
+
+UpdateResult Database::Apply(const Update& update) {
+  DSCHED_CHECK_MSG(materialized_, "Materialize() before applying updates");
+  return engine_->Apply(update.request_);
+}
+
+UpdateResult Database::AddRules(std::string_view rules_text) {
+  DSCHED_CHECK_MSG(materialized_, "Materialize() before changing rules");
+  // Stage on a copy so failures leave this database untouched.
+  Program candidate = program_;
+  const std::size_t old_rule_count = candidate.rules.size();
+  ExtendProgram(candidate, rules_text);
+  ValidateProgram(candidate);
+  Stratification new_strat = Stratify(candidate);
+
+  program_ = std::move(candidate);
+  strat_ = std::move(new_strat);
+  store_.EnsurePredicates(program_);
+
+  // Seed: every new rule's direct derivations against the current state,
+  // injected as if they were base insertions of the head predicate.  The
+  // propagation rounds complete recursive fixpoints and cascade downstream
+  // (including destructive effects through negation).  Aggregate heads are
+  // regenerated wholesale by their recompute-diff phase, so forcing their
+  // component is enough.
+  GroupedBaseChanges base;
+  base.insertions.resize(program_.NumPredicates());
+  base.deletions.resize(program_.NumPredicates());
+  std::vector<bool> force(strat_.NumComponents(), false);
+  EvalStats scratch;
+  std::vector<Tuple> buffer;
+  const std::function<void(const Tuple&)> collect =
+      [&buffer](const Tuple& t) { buffer.push_back(t); };
+  for (std::size_t r = old_rule_count; r < program_.rules.size(); ++r) {
+    const Rule& rule = program_.rules[r];
+    force[strat_.component_of[rule.head.predicate]] = true;
+    if (rule.IsAggregate()) {
+      continue;
+    }
+    ApplyRule(program_, store_, rule, DeltaRestriction{}, scratch, collect);
+    auto& sink = base.insertions[rule.head.predicate];
+    for (Tuple& t : buffer) {
+      sink.push_back(std::move(t));
+    }
+    buffer.clear();
+  }
+  return PropagateUpdate(program_, strat_, store_, base, &force);
+}
+
+UpdateResult Database::RemoveRule(std::string_view clause_text) {
+  DSCHED_CHECK_MSG(materialized_, "Materialize() before changing rules");
+  const Rule target = ParseSingleClause(program_, clause_text);
+  std::size_t index = program_.rules.size();
+  for (std::size_t r = 0; r < program_.rules.size(); ++r) {
+    if (RulesEquivalent(program_.rules[r], target)) {
+      index = r;
+      break;
+    }
+  }
+  if (index == program_.rules.size()) {
+    throw util::InvalidArgument("no such rule in the program: " +
+                                std::string(clause_text));
+  }
+
+  // The removed rule's current derivations are exactly the support it
+  // contributed to the fixpoint; inject them as base deletions so DRed
+  // overdeletes and then rederives whatever the remaining rules sustain.
+  GroupedBaseChanges base;
+  base.insertions.resize(program_.NumPredicates());
+  base.deletions.resize(program_.NumPredicates());
+  const Rule removed = program_.rules[index];
+  EvalStats scratch;
+  if (removed.IsAggregate()) {
+    // Recompute-diff regenerates the whole head relation; no seed needed.
+  } else {
+    std::vector<Tuple> buffer;
+    const std::function<void(const Tuple&)> collect =
+        [&buffer](const Tuple& t) { buffer.push_back(t); };
+    ApplyRule(program_, store_, removed, DeltaRestriction{}, scratch, collect);
+    base.deletions[removed.head.predicate] = std::move(buffer);
+  }
+
+  program_.rules.erase(program_.rules.begin() +
+                       static_cast<std::ptrdiff_t>(index));
+  ValidateProgram(program_);
+  strat_ = Stratify(program_);
+  std::vector<bool> force(strat_.NumComponents(), false);
+  force[strat_.component_of[removed.head.predicate]] = true;
+  return PropagateUpdate(program_, strat_, store_, base, &force);
+}
+
+UpdateResult Database::ApplyParallel(const Update& update,
+                                     const ParallelOptions& options) {
+  DSCHED_CHECK_MSG(materialized_, "Materialize() before applying updates");
+  ParallelUpdateOptions parallel_options;
+  parallel_options.scheduler_spec = options.scheduler_spec;
+  parallel_options.workers = options.workers;
+  return ::dsched::datalog::ApplyParallel(program_, strat_, store_,
+                                          update.request_, parallel_options)
+      .update;
+}
+
+}  // namespace dsched::datalog

@@ -1,0 +1,114 @@
+// High-level facade: parse → validate → stratify → materialize → update.
+//
+//   Database db(R"(
+//     path(X, Y) :- edge(X, Y).
+//     path(X, Z) :- path(X, Y), edge(Y, Z).
+//   )");
+//   db.Insert("edge", {db.Sym("a"), db.Sym("b")});
+//   db.Materialize();
+//   auto rows = db.Query("path");
+//   Database::Update u;
+//   u.Insert("edge", {db.Sym("b"), db.Sym("c")});
+//   auto stats = db.Apply(u);         // incremental, not from scratch
+#pragma once
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "datalog/ast.hpp"
+#include "datalog/incremental.hpp"
+#include "datalog/parser.hpp"
+#include "datalog/relation.hpp"
+#include "datalog/stratify.hpp"
+
+namespace dsched::datalog {
+
+/// One materialized Datalog database.
+class Database {
+ public:
+  /// Parses, validates, and stratifies the program text.  Throws
+  /// util::ParseError / util::InvalidArgument on bad programs.
+  explicit Database(std::string_view program_text);
+
+  /// Interns a symbol constant.
+  [[nodiscard]] Value Sym(std::string_view name) {
+    return Value::Symbol(program_.symbols.Intern(name));
+  }
+
+  /// Adds a base fact before materialization (or as part of ordinary
+  /// evaluation bootstrap).  Tuple arity must match the predicate.
+  void Insert(std::string_view predicate, Tuple tuple);
+
+  /// Runs from-scratch evaluation to fixpoint.  Idempotent.
+  EvalStats Materialize();
+
+  /// All rows of a predicate (insertion order).
+  [[nodiscard]] std::vector<Tuple> Query(std::string_view predicate) const;
+
+  /// Membership test.
+  [[nodiscard]] bool Contains(std::string_view predicate,
+                              const Tuple& tuple) const;
+
+  /// A batch of base changes, built against this database's interning.
+  class Update {
+   public:
+    Update& Insert(std::string_view predicate, Tuple tuple);
+    Update& Delete(std::string_view predicate, Tuple tuple);
+
+   private:
+    friend class Database;
+    explicit Update(Database& db) : db_(&db) {}
+    Database* db_;
+    UpdateRequest request_;
+  };
+
+  /// Starts an update batch.
+  [[nodiscard]] Update MakeUpdate() { return Update(*this); }
+
+  /// Applies a batch incrementally.  Requires Materialize() first.
+  UpdateResult Apply(const Update& update);
+
+  /// Applies a batch incrementally with the per-component phases executed
+  /// in parallel on worker threads, ordered by a scheduler (see
+  /// datalog/parallel_update.hpp).  Final state identical to Apply().
+  struct ParallelOptions {
+    std::string scheduler_spec = "hybrid";
+    std::size_t workers = 4;
+  };
+  UpdateResult ApplyParallel(const Update& update,
+                             const ParallelOptions& options);
+  UpdateResult ApplyParallel(const Update& update) {
+    return ApplyParallel(update, ParallelOptions{});
+  }
+
+  /// Incremental RULE changes (the paper's other trigger: "the rule
+  /// definitions change").  Both maintain the materialization without a
+  /// from-scratch re-evaluation:
+  ///  * AddRules parses additional clauses (they may introduce new
+  ///    predicates), re-stratifies, and propagates the new rules'
+  ///    derivations as insertions;
+  ///  * RemoveRule identifies an existing rule by its textual clause,
+  ///    removes it, and DRed-propagates the loss of its derivations
+  ///    (rederiving anything the remaining rules still support).
+  /// Validation or stratification failures leave the database unchanged.
+  UpdateResult AddRules(std::string_view rules_text);
+  UpdateResult RemoveRule(std::string_view clause_text);
+
+  [[nodiscard]] const Program& GetProgram() const { return program_; }
+  [[nodiscard]] const Stratification& GetStratification() const {
+    return strat_;
+  }
+  [[nodiscard]] const RelationStore& Store() const { return store_; }
+  [[nodiscard]] bool Materialized() const { return materialized_; }
+
+ private:
+  Program program_;
+  Stratification strat_;
+  RelationStore store_;
+  std::unique_ptr<IncrementalEngine> engine_;
+  bool materialized_ = false;
+};
+
+}  // namespace dsched::datalog

@@ -1,0 +1,535 @@
+#include "datalog/eval.hpp"
+
+#include "datalog/incremental.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "util/error.hpp"
+
+namespace dsched::datalog {
+
+void EvalStats::Merge(const EvalStats& other) {
+  rule_applications += other.rule_applications;
+  bindings_explored += other.bindings_explored;
+  tuples_derived += other.tuples_derived;
+  tuples_inserted += other.tuples_inserted;
+  rounds += other.rounds;
+}
+
+std::string EvalStats::ToString() const {
+  std::ostringstream oss;
+  oss << "applications=" << rule_applications
+      << " bindings=" << bindings_explored << " derived=" << tuples_derived
+      << " inserted=" << tuples_inserted << " rounds=" << rounds;
+  return oss.str();
+}
+
+namespace {
+
+/// One rule application: nested-loop join with index lookups, run over an
+/// explicit binding environment.  TStore is any type with the read
+/// interface ContainsTuple / RowAt / Lookup — the live RelationStore or the
+/// incremental engine's OldStateView.
+template <typename TStore>
+class RuleJoin {
+ public:
+  RuleJoin(const Program& program, const TStore& store,
+           const Rule& rule, const DeltaRestriction& restriction,
+           EvalStats& stats)
+      : program_(program),
+        store_(store),
+        rule_(rule),
+        restriction_(restriction),
+        stats_(stats),
+        bindings_(rule.variable_names.size()),
+        bound_(rule.variable_names.size(), false) {
+    // Split the body: the restricted element (if any) joins first; then the
+    // remaining positive literals in body order; negations and comparisons
+    // become post-join filters.
+    for (std::size_t i = 0; i < rule_.body.size(); ++i) {
+      const bool restricted = (i == restriction_.body_index);
+      if (const auto* literal = std::get_if<Literal>(&rule_.body[i])) {
+        if (restricted) {
+          // Positive or negated: matched against the delta rows, first.
+          has_restricted_ = true;
+        } else if (!literal->negated) {
+          join_order_.push_back(i);
+        } else {
+          filters_.push_back(i);
+        }
+      } else {
+        DSCHED_CHECK_MSG(!restricted,
+                         "a comparison cannot carry a delta restriction");
+        filters_.push_back(i);
+      }
+    }
+    if (has_restricted_) {
+      join_order_.insert(join_order_.begin(), restriction_.body_index);
+    }
+  }
+
+  /// Runs the join; emit is called per derived head tuple.  If
+  /// `stop_after_first`, returns true as soon as one derivation succeeds.
+  bool Run(const std::function<void(const Tuple&)>& emit,
+           bool stop_after_first) {
+    ++stats_.rule_applications;
+    emit_ = &emit;
+    stop_after_first_ = stop_after_first;
+    return JoinFrom(0);
+  }
+
+  /// Pre-binds head variables against a ground head tuple (rederivation
+  /// queries).  Returns false if constants clash.
+  bool BindHead(const Tuple& head_tuple) {
+    DSCHED_CHECK_MSG(head_tuple.size() == rule_.head.args.size(),
+                     "head tuple arity mismatch");
+    for (std::size_t i = 0; i < head_tuple.size(); ++i) {
+      const Term& term = rule_.head.args[i];
+      if (term.IsVar()) {
+        if (bound_[term.var]) {
+          if (!(bindings_[term.var] == head_tuple[i])) {
+            return false;
+          }
+        } else {
+          bound_[term.var] = true;
+          bindings_[term.var] = head_tuple[i];
+        }
+      } else if (!(term.constant == head_tuple[i])) {
+        return false;
+      }
+    }
+    return true;
+  }
+
+ private:
+  const Atom& AtomAt(std::size_t body_index) const {
+    return std::get<Literal>(rule_.body[body_index]).atom;
+  }
+
+  /// Attempts to match `row` against `atom` under the current bindings.
+  /// On success pushes newly bound vars onto `undo` and returns true.
+  bool Match(const Atom& atom, const Tuple& row,
+             std::vector<std::uint32_t>& undo) {
+    const std::size_t undo_mark = undo.size();
+    for (std::size_t i = 0; i < atom.args.size(); ++i) {
+      const Term& term = atom.args[i];
+      if (!term.IsVar()) {
+        if (!(term.constant == row[i])) {
+          Unwind(undo, undo_mark);
+          return false;
+        }
+        continue;
+      }
+      if (bound_[term.var]) {
+        if (!(bindings_[term.var] == row[i])) {
+          Unwind(undo, undo_mark);
+          return false;
+        }
+        continue;
+      }
+      bound_[term.var] = true;
+      bindings_[term.var] = row[i];
+      undo.push_back(term.var);
+    }
+    return true;
+  }
+
+  void Unwind(std::vector<std::uint32_t>& undo, std::size_t mark) {
+    while (undo.size() > mark) {
+      bound_[undo.back()] = false;
+      undo.pop_back();
+    }
+  }
+
+  /// Ground-evaluates one filter element.
+  bool Filter(std::size_t body_index) const {
+    if (const auto* literal = std::get_if<Literal>(&rule_.body[body_index])) {
+      Tuple probe(literal->atom.args.size());
+      for (std::size_t i = 0; i < probe.size(); ++i) {
+        const Term& term = literal->atom.args[i];
+        probe[i] = term.IsVar() ? bindings_[term.var] : term.constant;
+      }
+      const bool present =
+          store_.ContainsTuple(literal->atom.predicate, probe);
+      return literal->negated ? !present : present;
+    }
+    const auto& cmp = std::get<Comparison>(rule_.body[body_index]);
+    const Value lhs = cmp.lhs.IsVar() ? bindings_[cmp.lhs.var] : cmp.lhs.constant;
+    const Value rhs = cmp.rhs.IsVar() ? bindings_[cmp.rhs.var] : cmp.rhs.constant;
+    return EvalCmp(cmp.op, lhs, rhs);
+  }
+
+  bool EmitHead() {
+    for (const std::size_t f : filters_) {
+      if (!Filter(f)) {
+        return false;
+      }
+    }
+    Tuple head(rule_.head.args.size());
+    for (std::size_t i = 0; i < head.size(); ++i) {
+      const Term& term = rule_.head.args[i];
+      head[i] = term.IsVar() ? bindings_[term.var] : term.constant;
+    }
+    ++stats_.tuples_derived;
+    (*emit_)(head);
+    return stop_after_first_;
+  }
+
+  /// Returns true when stop_after_first_ and a derivation was found.
+  bool JoinFrom(std::size_t k) {
+    if (k == join_order_.size()) {
+      return EmitHead();
+    }
+    const std::size_t body_index = join_order_[k];
+    const Atom& atom = AtomAt(body_index);
+    std::vector<std::uint32_t> undo;
+
+    const bool from_delta = has_restricted_ && k == 0;
+    if (from_delta) {
+      for (const Tuple& row : restriction_.rows) {
+        ++stats_.bindings_explored;
+        if (Match(atom, row, undo)) {
+          if (JoinFrom(k + 1)) {
+            Unwind(undo, 0);
+            return true;
+          }
+          Unwind(undo, 0);
+        }
+      }
+      return false;
+    }
+
+    // Bound columns under current bindings form the index key.  A variable
+    // repeated within the literal contributes only its first occurrence.
+    std::vector<std::size_t> columns;
+    Tuple key;
+    std::vector<bool> seen_var(bound_.size(), false);
+    for (std::size_t i = 0; i < atom.args.size(); ++i) {
+      const Term& term = atom.args[i];
+      if (!term.IsVar()) {
+        columns.push_back(i);
+        key.push_back(term.constant);
+      } else if (bound_[term.var] && !seen_var[term.var]) {
+        columns.push_back(i);
+        key.push_back(bindings_[term.var]);
+        seen_var[term.var] = true;
+      }
+    }
+    for (const std::uint32_t row_id :
+         store_.Lookup(atom.predicate, columns, key)) {
+      ++stats_.bindings_explored;
+      if (Match(atom, store_.RowAt(atom.predicate, row_id), undo)) {
+        if (JoinFrom(k + 1)) {
+          Unwind(undo, 0);
+          return true;
+        }
+        Unwind(undo, 0);
+      }
+    }
+    return false;
+  }
+
+  const Program& program_;
+  const TStore& store_;
+  const Rule& rule_;
+  const DeltaRestriction& restriction_;
+  EvalStats& stats_;
+
+  std::vector<Value> bindings_;
+  std::vector<bool> bound_;
+  std::vector<std::size_t> join_order_;
+  std::vector<std::size_t> filters_;
+  bool has_restricted_ = false;
+  const std::function<void(const Tuple&)>* emit_ = nullptr;
+  bool stop_after_first_ = false;
+};
+
+}  // namespace
+
+void ApplyRule(const Program& program, const RelationStore& store,
+               const Rule& rule, const DeltaRestriction& restriction,
+               EvalStats& stats,
+               const std::function<void(const Tuple&)>& emit) {
+  DSCHED_CHECK_MSG(!rule.IsAggregate(),
+                   "aggregation rules go through EvaluateAggregateRule");
+  RuleJoin<RelationStore> join(program, store, rule, restriction, stats);
+  join.Run(emit, /*stop_after_first=*/false);
+}
+
+void ApplyRuleOldState(const Program& program, const OldStateView& old_state,
+                       const Rule& rule, const DeltaRestriction& restriction,
+                       EvalStats& stats,
+                       const std::function<void(const Tuple&)>& emit) {
+  DSCHED_CHECK_MSG(!rule.IsAggregate(),
+                   "aggregation rules go through EvaluateAggregateRule");
+  RuleJoin<OldStateView> join(program, old_state, rule, restriction, stats);
+  join.Run(emit, /*stop_after_first=*/false);
+}
+
+std::vector<Tuple> EvaluateAggregateRule(const Program& program,
+                                         const RelationStore& store,
+                                         const Rule& rule, EvalStats& stats) {
+  DSCHED_CHECK_MSG(rule.IsAggregate(), "not an aggregation rule");
+  const Aggregate& aggregate = *rule.aggregate;
+
+  // Synthetic projection: group-by terms, then (for value aggregates) the
+  // aggregated variable, then every rule variable — so emitted tuples are
+  // distinct exactly when the complete body binding is distinct.
+  Rule probe = rule;
+  probe.aggregate.reset();
+  probe.head.args = rule.head.args;
+  const std::size_t groups = rule.head.args.size();
+  const bool has_value = aggregate.op != AggOp::kCount;
+  if (has_value) {
+    probe.head.args.push_back(Term::Var(aggregate.var));
+  }
+  for (std::uint32_t v = 0; v < rule.variable_names.size(); ++v) {
+    probe.head.args.push_back(Term::Var(v));
+  }
+
+  std::unordered_set<Tuple, TupleHash> bindings;
+  {
+    RuleJoin<RelationStore> join(program, store, probe, DeltaRestriction{},
+                                 stats);
+    const std::function<void(const Tuple&)> collect =
+        [&bindings](const Tuple& t) { bindings.insert(t); };
+    join.Run(collect, /*stop_after_first=*/false);
+  }
+
+  // Fold per group.
+  struct Accumulator {
+    std::int64_t value = 0;
+    std::uint64_t count = 0;
+  };
+  std::unordered_map<Tuple, Accumulator, TupleHash> folds;
+  for (const Tuple& binding : bindings) {
+    Tuple key(binding.begin(),
+              binding.begin() + static_cast<std::ptrdiff_t>(groups));
+    Accumulator& acc = folds[std::move(key)];
+    ++acc.count;
+    if (has_value) {
+      const Value v = binding[groups];
+      if (!v.IsInt()) {
+        throw util::InvalidArgument(
+            std::string(AggOpName(aggregate.op)) +
+            " aggregates integer values only");
+      }
+      const std::int64_t x = v.AsInt();
+      switch (aggregate.op) {
+        case AggOp::kSum:
+          acc.value += x;
+          break;
+        case AggOp::kMin:
+          acc.value = acc.count == 1 ? x : std::min(acc.value, x);
+          break;
+        case AggOp::kMax:
+          acc.value = acc.count == 1 ? x : std::max(acc.value, x);
+          break;
+        case AggOp::kCount:
+          break;
+      }
+    }
+  }
+  std::vector<Tuple> out;
+  out.reserve(folds.size());
+  for (const auto& [key, acc] : folds) {
+    Tuple head = key;
+    head.push_back(Value::Int(aggregate.op == AggOp::kCount
+                                  ? static_cast<std::int64_t>(acc.count)
+                                  : acc.value));
+    out.push_back(std::move(head));
+  }
+  ++stats.rule_applications;
+  stats.tuples_derived += out.size();
+  return out;
+}
+
+bool IsDerivable(const Program& program, const RelationStore& store,
+                 const Rule& rule, const Tuple& head_tuple, EvalStats& stats) {
+  DSCHED_CHECK_MSG(!rule.IsAggregate(),
+                   "aggregation rules go through EvaluateAggregateRule");
+  DeltaRestriction none;
+  RuleJoin<RelationStore> join(program, store, rule, none, stats);
+  if (!join.BindHead(head_tuple)) {
+    return false;
+  }
+  bool found = false;
+  const std::function<void(const Tuple&)> noop = [&found](const Tuple&) {
+    found = true;
+  };
+  join.Run(noop, /*stop_after_first=*/true);
+  return found;
+}
+
+EvalStats EvaluateComponent(const Program& program, const Stratification& strat,
+                            std::uint32_t component, RelationStore& store,
+                            const DeltaMap* seed_deltas, DeltaMap* out_deltas) {
+  EvalStats stats;
+  const auto& rule_ids = strat.component_rules[component];
+  std::vector<bool> is_member(program.NumPredicates(), false);
+  for (const std::uint32_t p : strat.component_members[component]) {
+    is_member[p] = true;
+  }
+
+  DeltaMap internal;
+  std::vector<Tuple> buffer;
+  const std::function<void(const Tuple&)> collect =
+      [&buffer](const Tuple& t) { buffer.push_back(t); };
+  const auto flush_into = [&](std::uint32_t head_pred, DeltaMap& sink) {
+    Relation& relation = store.Of(head_pred);
+    for (Tuple& t : buffer) {
+      if (relation.Insert(t)) {
+        ++stats.tuples_inserted;
+        sink[head_pred].push_back(t);
+        if (out_deltas != nullptr) {
+          (*out_deltas)[head_pred].push_back(std::move(t));
+        }
+      }
+    }
+    buffer.clear();
+  };
+
+  // --- Seed phase.
+  if (seed_deltas == nullptr) {
+    // From scratch: every rule fires once, unrestricted.
+    for (const std::size_t r : rule_ids) {
+      const Rule& rule = program.rules[r];
+      if (rule.IsAggregate()) {
+        // Aggregates see only lower (already final) components, so a single
+        // evaluation is exact.
+        for (Tuple& t : EvaluateAggregateRule(program, store, rule, stats)) {
+          buffer.push_back(std::move(t));
+        }
+        flush_into(rule.head.predicate, internal);
+        continue;
+      }
+      ApplyRule(program, store, rule, DeltaRestriction{}, stats, collect);
+      flush_into(rule.head.predicate, internal);
+    }
+  } else {
+    // Incremental continuation: fire each rule once per positive body
+    // literal whose predicate carries a seed delta.  (Insertions into
+    // negated predicates never create derivations; the DRed engine handles
+    // their destructive effect separately.)
+    for (const std::size_t r : rule_ids) {
+      const Rule& rule = program.rules[r];
+      DSCHED_CHECK_MSG(!rule.IsAggregate(),
+                       "aggregate components are maintained by recompute-diff "
+                       "(RunComponentPhase), not semi-naive continuation");
+      for (std::size_t i = 0; i < rule.body.size(); ++i) {
+        const auto* literal = std::get_if<Literal>(&rule.body[i]);
+        if (literal == nullptr || literal->negated) {
+          continue;
+        }
+        const auto it = seed_deltas->find(literal->atom.predicate);
+        if (it == seed_deltas->end() || it->second.empty()) {
+          continue;
+        }
+        DeltaRestriction restriction;
+        restriction.body_index = i;
+        restriction.rows = it->second;
+        ApplyRule(program, store, rule, restriction, stats, collect);
+        flush_into(rule.head.predicate, internal);
+      }
+    }
+    // Seed deltas landing directly on member predicates (base-fact inserts
+    // into this component) must drive the recursion too.  They are already
+    // in the store and already known to the caller, so they feed `internal`
+    // only.
+    for (const std::uint32_t p : strat.component_members[component]) {
+      const auto it = seed_deltas->find(p);
+      if (it != seed_deltas->end()) {
+        auto& dst = internal[p];
+        dst.insert(dst.end(), it->second.begin(), it->second.end());
+      }
+    }
+  }
+
+  // --- Recursive rounds on member-predicate deltas.
+  while (true) {
+    bool any = false;
+    for (const auto& [pred, rows] : internal) {
+      if (!rows.empty()) {
+        any = true;
+        break;
+      }
+    }
+    if (!any) {
+      break;
+    }
+    ++stats.rounds;
+    DeltaMap next;
+    for (const std::size_t r : rule_ids) {
+      const Rule& rule = program.rules[r];
+      for (std::size_t i = 0; i < rule.body.size(); ++i) {
+        const auto* literal = std::get_if<Literal>(&rule.body[i]);
+        if (literal == nullptr || literal->negated ||
+            !is_member[literal->atom.predicate]) {
+          continue;
+        }
+        const auto it = internal.find(literal->atom.predicate);
+        if (it == internal.end() || it->second.empty()) {
+          continue;
+        }
+        DeltaRestriction restriction;
+        restriction.body_index = i;
+        restriction.rows = it->second;
+        ApplyRule(program, store, rule, restriction, stats, collect);
+        flush_into(rule.head.predicate, next);
+      }
+    }
+    internal = std::move(next);
+  }
+  return stats;
+}
+
+EvalStats EvaluateProgram(const Program& program, const Stratification& strat,
+                          RelationStore& store) {
+  EvalStats stats;
+  for (const std::uint32_t component : strat.component_order) {
+    stats.Merge(EvaluateComponent(program, strat, component, store,
+                                  /*seed_deltas=*/nullptr,
+                                  /*out_deltas=*/nullptr));
+  }
+  return stats;
+}
+
+EvalStats EvaluateProgramNaive(const Program& program,
+                               const Stratification& strat,
+                               RelationStore& store) {
+  EvalStats stats;
+  std::vector<Tuple> buffer;
+  const std::function<void(const Tuple&)> collect =
+      [&buffer](const Tuple& t) { buffer.push_back(t); };
+  for (const std::uint32_t component : strat.component_order) {
+    bool changed = true;
+    while (changed) {
+      changed = false;
+      ++stats.rounds;
+      for (const std::size_t r : strat.component_rules[component]) {
+        const Rule& rule = program.rules[r];
+        if (rule.IsAggregate()) {
+          for (Tuple& t : EvaluateAggregateRule(program, store, rule, stats)) {
+            buffer.push_back(std::move(t));
+          }
+        } else {
+          ApplyRule(program, store, rule, DeltaRestriction{}, stats, collect);
+        }
+        Relation& relation = store.Of(rule.head.predicate);
+        for (const Tuple& t : buffer) {
+          if (relation.Insert(t)) {
+            ++stats.tuples_inserted;
+            changed = true;
+          }
+        }
+        buffer.clear();
+      }
+    }
+  }
+  return stats;
+}
+
+}  // namespace dsched::datalog

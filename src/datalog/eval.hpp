@@ -1,0 +1,100 @@
+// Bottom-up evaluation: rule application (joins), naive and semi-naive
+// fixpoints over stratified components.
+//
+// The join machinery is shared with the incremental engine, which replays
+// rules with one body element restricted to a delta set — the standard
+// semi-naive/DRed device.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <map>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "datalog/ast.hpp"
+#include "datalog/relation.hpp"
+#include "datalog/stratify.hpp"
+
+namespace dsched::datalog {
+
+/// Evaluation effort counters.
+struct EvalStats {
+  std::uint64_t rule_applications = 0;  ///< ApplyRule invocations
+  std::uint64_t bindings_explored = 0;  ///< partial join rows visited
+  std::uint64_t tuples_derived = 0;     ///< head emissions (pre-dedup)
+  std::uint64_t tuples_inserted = 0;    ///< genuinely new tuples
+  std::uint64_t rounds = 0;             ///< semi-naive iterations
+
+  void Merge(const EvalStats& other);
+  [[nodiscard]] std::string ToString() const;
+};
+
+/// Restriction applied to one rule application.
+struct DeltaRestriction {
+  /// Index into rule.body of the element bound against `rows` instead of
+  /// the store; kNone applies the rule unrestricted.
+  std::size_t body_index = kNone;
+  /// The delta tuples for that element's predicate.
+  std::span<const Tuple> rows;
+  /// When the restricted element is a *negated* literal, it is matched
+  /// positively against `rows` (DRed's negation-delta device) and its
+  /// normal absence check is skipped.
+  static constexpr std::size_t kNone = std::numeric_limits<std::size_t>::max();
+};
+
+/// Applies `rule` against `store`, calling `emit` for each derived head
+/// tuple (duplicates possible).  `emit` MUST NOT mutate the store: join
+/// iteration holds spans into it.  Restriction semantics per
+/// DeltaRestriction.
+void ApplyRule(const Program& program, const RelationStore& store,
+               const Rule& rule, const DeltaRestriction& restriction,
+               EvalStats& stats, const std::function<void(const Tuple&)>& emit);
+
+/// True iff `head_tuple` is derivable by `rule` in `store` (the DRed
+/// rederivation query).  Not defined for aggregation rules.
+[[nodiscard]] bool IsDerivable(const Program& program,
+                               const RelationStore& store, const Rule& rule,
+                               const Tuple& head_tuple, EvalStats& stats);
+
+/// Evaluates one aggregation rule against the current store: joins the
+/// body, deduplicates complete variable bindings, groups by the head's
+/// group-by terms, and folds the aggregate.  Returns the full head relation
+/// contents this rule implies (one tuple per non-empty group).  sum/min/max
+/// require integer values and throw util::InvalidArgument otherwise.
+[[nodiscard]] std::vector<Tuple> EvaluateAggregateRule(
+    const Program& program, const RelationStore& store, const Rule& rule,
+    EvalStats& stats);
+
+/// Per-predicate delta sets flowing between components.
+using DeltaMap = std::map<std::uint32_t, std::vector<Tuple>>;
+
+/// Evaluates one component to fixpoint (semi-naive).
+///
+/// If `seed_deltas` is null, this is a from-scratch evaluation: every rule
+/// fires once unrestricted, then recursive rounds run on the internal
+/// deltas.  If non-null, it is an incremental continuation: rules fire once
+/// per body element whose predicate has a seed delta (restricted to it),
+/// then recursive rounds run.  New tuples of member predicates are appended
+/// to `out_deltas` (if provided).
+EvalStats EvaluateComponent(const Program& program,
+                            const Stratification& strat,
+                            std::uint32_t component, RelationStore& store,
+                            const DeltaMap* seed_deltas,
+                            DeltaMap* out_deltas);
+
+/// From-scratch evaluation of the whole program (facts included — they are
+/// empty-body rules).  Returns merged stats.
+EvalStats EvaluateProgram(const Program& program, const Stratification& strat,
+                          RelationStore& store);
+
+/// Reference evaluator for tests: naive iterate-all-rules-until-fixpoint,
+/// stratum by stratum.  Asymptotically slower; must agree with
+/// EvaluateProgram exactly.
+EvalStats EvaluateProgramNaive(const Program& program,
+                               const Stratification& strat,
+                               RelationStore& store);
+
+}  // namespace dsched::datalog

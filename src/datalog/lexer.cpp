@@ -1,0 +1,188 @@
+#include "datalog/lexer.hpp"
+
+#include <cctype>
+
+#include "util/error.hpp"
+
+namespace dsched::datalog {
+
+const char* TokenKindName(TokenKind kind) {
+  switch (kind) {
+    case TokenKind::kIdentifier:
+      return "identifier";
+    case TokenKind::kVariable:
+      return "variable";
+    case TokenKind::kNumber:
+      return "number";
+    case TokenKind::kString:
+      return "string";
+    case TokenKind::kLParen:
+      return "'('";
+    case TokenKind::kRParen:
+      return "')'";
+    case TokenKind::kComma:
+      return "','";
+    case TokenKind::kPeriod:
+      return "'.'";
+    case TokenKind::kSemicolon:
+      return "';'";
+    case TokenKind::kImplies:
+      return "':-'";
+    case TokenKind::kBang:
+      return "'!'";
+    case TokenKind::kEq:
+      return "'='";
+    case TokenKind::kNe:
+      return "'!='";
+    case TokenKind::kLt:
+      return "'<'";
+    case TokenKind::kLe:
+      return "'<='";
+    case TokenKind::kGt:
+      return "'>'";
+    case TokenKind::kGe:
+      return "'>='";
+    case TokenKind::kEnd:
+      return "end of input";
+  }
+  return "?";
+}
+
+std::vector<Token> Tokenize(std::string_view source) {
+  std::vector<Token> tokens;
+  std::size_t i = 0;
+  std::size_t line = 1;
+  const auto fail = [&line](const std::string& what) -> util::ParseError {
+    return util::ParseError("line " + std::to_string(line) + ": " + what);
+  };
+  const auto peek = [&](std::size_t ahead = 0) -> char {
+    return (i + ahead < source.size()) ? source[i + ahead] : '\0';
+  };
+
+  while (i < source.size()) {
+    const char c = source[i];
+    if (c == '\n') {
+      ++line;
+      ++i;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c)) != 0) {
+      ++i;
+      continue;
+    }
+    if (c == '%') {  // comment to end of line
+      while (i < source.size() && source[i] != '\n') {
+        ++i;
+      }
+      continue;
+    }
+    if (std::isalpha(static_cast<unsigned char>(c)) != 0 || c == '_') {
+      const std::size_t start = i;
+      while (i < source.size() &&
+             (std::isalnum(static_cast<unsigned char>(source[i])) != 0 ||
+              source[i] == '_')) {
+        ++i;
+      }
+      const std::string text(source.substr(start, i - start));
+      const bool is_var =
+          (std::isupper(static_cast<unsigned char>(c)) != 0) || c == '_';
+      tokens.push_back(
+          {is_var ? TokenKind::kVariable : TokenKind::kIdentifier, text, line});
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c)) != 0 ||
+        (c == '-' && std::isdigit(static_cast<unsigned char>(peek(1))) != 0)) {
+      const std::size_t start = i;
+      ++i;  // first char (digit or '-')
+      while (i < source.size() &&
+             std::isdigit(static_cast<unsigned char>(source[i])) != 0) {
+        ++i;
+      }
+      tokens.push_back(
+          {TokenKind::kNumber, std::string(source.substr(start, i - start)),
+           line});
+      continue;
+    }
+    if (c == '"') {
+      ++i;
+      const std::size_t start = i;
+      while (i < source.size() && source[i] != '"' && source[i] != '\n') {
+        ++i;
+      }
+      if (peek() != '"') {
+        throw fail("unterminated string literal");
+      }
+      tokens.push_back(
+          {TokenKind::kString, std::string(source.substr(start, i - start)),
+           line});
+      ++i;  // closing quote
+      continue;
+    }
+    switch (c) {
+      case '(':
+        tokens.push_back({TokenKind::kLParen, "(", line});
+        ++i;
+        continue;
+      case ')':
+        tokens.push_back({TokenKind::kRParen, ")", line});
+        ++i;
+        continue;
+      case ',':
+        tokens.push_back({TokenKind::kComma, ",", line});
+        ++i;
+        continue;
+      case '.':
+        tokens.push_back({TokenKind::kPeriod, ".", line});
+        ++i;
+        continue;
+      case ';':
+        tokens.push_back({TokenKind::kSemicolon, ";", line});
+        ++i;
+        continue;
+      case ':':
+        if (peek(1) == '-') {
+          tokens.push_back({TokenKind::kImplies, ":-", line});
+          i += 2;
+          continue;
+        }
+        throw fail("stray ':' (expected ':-')");
+      case '!':
+        if (peek(1) == '=') {
+          tokens.push_back({TokenKind::kNe, "!=", line});
+          i += 2;
+        } else {
+          tokens.push_back({TokenKind::kBang, "!", line});
+          ++i;
+        }
+        continue;
+      case '=':
+        tokens.push_back({TokenKind::kEq, "=", line});
+        ++i;
+        continue;
+      case '<':
+        if (peek(1) == '=') {
+          tokens.push_back({TokenKind::kLe, "<=", line});
+          i += 2;
+        } else {
+          tokens.push_back({TokenKind::kLt, "<", line});
+          ++i;
+        }
+        continue;
+      case '>':
+        if (peek(1) == '=') {
+          tokens.push_back({TokenKind::kGe, ">=", line});
+          i += 2;
+        } else {
+          tokens.push_back({TokenKind::kGt, ">", line});
+          ++i;
+        }
+        continue;
+      default:
+        throw fail(std::string("illegal character '") + c + "'");
+    }
+  }
+  tokens.push_back({TokenKind::kEnd, "", line});
+  return tokens;
+}
+
+}  // namespace dsched::datalog

@@ -1,0 +1,45 @@
+// Tokenizer for the Datalog surface syntax.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace dsched::datalog {
+
+enum class TokenKind : std::uint8_t {
+  kIdentifier,   // lowercase-leading: predicate or symbol constant
+  kVariable,     // uppercase- or '_'-leading
+  kNumber,       // decimal integer, optional leading '-'
+  kString,       // "quoted symbol"
+  kLParen,       // (
+  kRParen,       // )
+  kComma,        // ,
+  kPeriod,       // .
+  kSemicolon,    // ; (separates group-by terms from the aggregate)
+  kImplies,      // :-
+  kBang,         // !
+  kEq,           // =
+  kNe,           // !=
+  kLt,           // <
+  kLe,           // <=
+  kGt,           // >
+  kGe,           // >=
+  kEnd,          // end of input
+};
+
+/// Name of a token kind, for diagnostics.
+[[nodiscard]] const char* TokenKindName(TokenKind kind);
+
+struct Token {
+  TokenKind kind = TokenKind::kEnd;
+  std::string text;       // identifier/variable/number/string payload
+  std::size_t line = 0;   // 1-based source line
+};
+
+/// Tokenizes the whole input ('%' starts a line comment).  Throws
+/// util::ParseError on illegal characters.
+[[nodiscard]] std::vector<Token> Tokenize(std::string_view source);
+
+}  // namespace dsched::datalog

@@ -1,0 +1,141 @@
+#include "datalog/parallel_update.hpp"
+
+#include <algorithm>
+
+#include "graph/digraph_builder.hpp"
+#include "sched/factory.hpp"
+#include "util/error.hpp"
+#include "util/timer.hpp"
+
+namespace dsched::datalog {
+
+ParallelUpdateResult ApplyParallel(const Program& program,
+                                   const Stratification& strat,
+                                   RelationStore& store,
+                                   const UpdateRequest& request,
+                                   const ParallelUpdateOptions& options) {
+  DSCHED_CHECK_MSG(options.scheduler_spec.find("oracle") == std::string::npos,
+                   "the clairvoyant oracle cannot drive a live update — it "
+                   "needs the outcome in advance");
+  util::WallTimer total_timer;
+  const std::size_t num_preds = program.NumPredicates();
+  const std::size_t num_comps = strat.NumComponents();
+
+  // --- Node layout: predicate collectors first, then one task node per
+  // component that owns rules.  Rule-less components are singleton base
+  // predicates; their collector doubles as the phase-running task.
+  std::vector<util::TaskId> component_node(num_comps, util::kInvalidTask);
+  std::size_t next_node = num_preds;
+  for (std::uint32_t c = 0; c < num_comps; ++c) {
+    if (!strat.component_rules[c].empty()) {
+      component_node[c] = static_cast<util::TaskId>(next_node++);
+    }
+  }
+  const std::size_t num_nodes = next_node;
+
+  graph::DigraphBuilder builder(num_nodes);
+  for (std::uint32_t c = 0; c < num_comps; ++c) {
+    const util::TaskId task = component_node[c];
+    if (task == util::kInvalidTask) {
+      continue;
+    }
+    for (const std::uint32_t p : strat.component_members[c]) {
+      builder.AddEdge(task, static_cast<util::TaskId>(p));
+    }
+    for (const std::size_t r : strat.component_rules[c]) {
+      for (const BodyElement& element : program.rules[r].body) {
+        if (const auto* literal = std::get_if<Literal>(&element)) {
+          const std::uint32_t p = literal->atom.predicate;
+          if (strat.component_of[p] != c) {
+            builder.AddEdge(static_cast<util::TaskId>(p), task);
+          }
+        }
+      }
+    }
+  }
+
+  // --- Static node info.  Change bits are irrelevant: the executor asks
+  // the task bodies at runtime — exactly the paper's dynamic model.
+  std::vector<trace::TaskInfo> infos(num_nodes);
+  for (std::size_t p = 0; p < num_preds; ++p) {
+    infos[p].kind = trace::NodeKind::kCollector;
+    infos[p].work = 0.0;
+    infos[p].span = 0.0;
+  }
+
+  // --- Initially dirty: base-touched predicates (their component task when
+  // rules are involved).
+  const GroupedBaseChanges base(program, request);
+  std::vector<util::TaskId> dirty;
+  for (std::size_t p = 0; p < num_preds; ++p) {
+    if (base.insertions[p].empty() && base.deletions[p].empty()) {
+      continue;
+    }
+    const std::uint32_t c = strat.component_of[p];
+    dirty.push_back(component_node[c] == util::kInvalidTask
+                        ? static_cast<util::TaskId>(p)
+                        : component_node[c]);
+  }
+
+  ParallelUpdateResult result;
+  result.trace = trace::JobTrace("parallel-update", std::move(builder).Build(),
+                                 std::move(infos), std::move(dirty));
+
+  // --- Shared (but phase-disjoint) update state.
+  std::vector<PredicateDelta> net(num_preds);
+  std::vector<ComponentUpdateStats> stats(num_comps);
+  for (std::uint32_t c = 0; c < num_comps; ++c) {
+    stats[c].component = c;
+  }
+  // Per-predicate net-changed flags (uint8_t: adjacent elements must not
+  // share a byte the way vector<bool> bits would).
+  std::vector<std::uint8_t> pred_changed(num_preds, 0);
+
+  const auto run_phase = [&](std::uint32_t c) -> bool {
+    stats[c] = RunComponentPhase(program, strat, c, store, base, net);
+    bool changed = false;
+    for (const std::uint32_t p : strat.component_members[c]) {
+      if (!net[p].Empty()) {
+        pred_changed[p] = 1;
+        changed = true;
+      }
+    }
+    return changed;
+  };
+
+  std::vector<std::uint32_t> node_component(num_nodes, 0);
+  for (std::uint32_t c = 0; c < num_comps; ++c) {
+    if (component_node[c] != util::kInvalidTask) {
+      node_component[component_node[c]] = c;
+    }
+  }
+
+  auto scheduler = sched::CreateScheduler(options.scheduler_spec);
+  result.run = runtime::Executor::Run(
+      result.trace, *scheduler,
+      [&](util::TaskId t) -> bool {
+        if (t >= num_preds) {
+          return run_phase(node_component[t]);
+        }
+        const auto p = static_cast<std::uint32_t>(t);
+        const std::uint32_t c = strat.component_of[p];
+        if (component_node[c] == util::kInvalidTask) {
+          // Rule-less base predicate: the collector runs the phase itself.
+          return run_phase(c);
+        }
+        // Derived predicate collector: forward the owner's verdict.
+        return pred_changed[p] != 0;
+      },
+      {.workers = options.workers});
+
+  // --- Assemble the sequential-compatible result.
+  for (const std::uint32_t c : strat.component_order) {
+    result.update.total_inserted += stats[c].tuples_inserted;
+    result.update.total_deleted += stats[c].tuples_deleted;
+    result.update.components.push_back(std::move(stats[c]));
+  }
+  result.update.seconds = total_timer.ElapsedSeconds();
+  return result;
+}
+
+}  // namespace dsched::datalog

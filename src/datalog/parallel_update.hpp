@@ -1,0 +1,57 @@
+// Parallel incremental maintenance — the paper's system, closed full
+// circle: the per-component DRed phases of one update batch are executed
+// as REAL task bodies on a worker pool, ordered by any of the library's
+// schedulers over the very activation DAG the paper models.
+//
+// How it maps onto the model:
+//  * DAG nodes: one zero-work collector per predicate, one task per rule
+//    component (same shape as schedule_bridge.hpp);
+//  * initially dirty: the base predicates the update touches (their
+//    component task, when they have rules);
+//  * a component task's body runs RunComponentPhase — the actual
+//    overdelete / rederive / insert work — and reports whether its
+//    relations net-changed, which is what activates downstream collectors;
+//  * a collector's body just forwards its predicate's change flag.
+// Phase isolation comes from the DAG itself: a phase writes only its
+// member relations and net-delta slots, and every reader is a descendant
+// the scheduler will not start until the phase completes — the
+// "activated ancestors first" rule doing real synchronization work.
+#pragma once
+
+#include <string>
+
+#include "datalog/incremental.hpp"
+#include "runtime/executor.hpp"
+#include "trace/job_trace.hpp"
+
+namespace dsched::datalog {
+
+/// Options for one parallel update.
+struct ParallelUpdateOptions {
+  /// Scheduler factory spec driving the execution ("hybrid", "levelbased",
+  /// "lbl:<k>", "logicblox", "signal", "oracle" is NOT allowed — it would
+  /// need the outcome in advance).
+  std::string scheduler_spec = "hybrid";
+  std::size_t workers = 4;
+};
+
+/// Result of a parallel update.
+struct ParallelUpdateResult {
+  /// Per-component stats, same semantics as IncrementalEngine::Apply
+  /// (components in evaluation order; untouched ones marked unchanged).
+  UpdateResult update;
+  /// Executor-level stats: tasks run, activations, wall time, scheduler
+  /// decision time.
+  runtime::Executor::RunStats run;
+  /// The activation DAG the update executed over.
+  trace::JobTrace trace;
+};
+
+/// Applies `request` to the materialized `store` using `workers` threads.
+/// Equivalent to IncrementalEngine::Apply in final state (the tests verify
+/// store equality); faster when independent components dominate.
+[[nodiscard]] ParallelUpdateResult ApplyParallel(
+    const Program& program, const Stratification& strat, RelationStore& store,
+    const UpdateRequest& request, const ParallelUpdateOptions& options = {});
+
+}  // namespace dsched::datalog

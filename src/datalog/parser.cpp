@@ -1,0 +1,356 @@
+#include "datalog/parser.hpp"
+
+#include <unordered_map>
+
+#include "datalog/lexer.hpp"
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace dsched::datalog {
+
+namespace {
+
+/// Parser state over one token stream.
+class Parser {
+ public:
+  explicit Parser(std::string_view source) : tokens_(Tokenize(source)) {}
+
+  /// Seeds the parser with an existing program's interning (rules included,
+  /// so new clauses append after them).
+  Parser(Program existing, std::string_view source)
+      : tokens_(Tokenize(source)), program_(std::move(existing)) {
+    for (std::uint32_t id = 0; id < program_.predicate_names.size(); ++id) {
+      predicate_ids_.emplace(program_.predicate_names[id], id);
+    }
+  }
+
+  Program Run() {
+    while (Peek().kind != TokenKind::kEnd) {
+      ParseClause();
+    }
+    return std::move(program_);
+  }
+
+ private:
+  const Token& Peek(std::size_t ahead = 0) const {
+    const std::size_t idx = std::min(pos_ + ahead, tokens_.size() - 1);
+    return tokens_[idx];
+  }
+  const Token& Advance() { return tokens_[pos_++]; }
+
+  [[noreturn]] void Fail(const std::string& what) const {
+    throw util::ParseError("line " + std::to_string(Peek().line) + ": " +
+                           what + " (got " + TokenKindName(Peek().kind) +
+                           (Peek().text.empty() ? "" : " '" + Peek().text + "'") +
+                           ")");
+  }
+
+  const Token& Expect(TokenKind kind, const char* what) {
+    if (Peek().kind != kind) {
+      Fail(std::string("expected ") + what);
+    }
+    return Advance();
+  }
+
+  std::uint32_t InternPredicate(const std::string& name, std::size_t arity,
+                                std::size_t line) {
+    const auto it = predicate_ids_.find(name);
+    if (it != predicate_ids_.end()) {
+      const std::uint32_t id = it->second;
+      if (program_.predicate_arities[id] != arity) {
+        throw util::ParseError(
+            "line " + std::to_string(line) + ": predicate '" + name +
+            "' used with arity " + std::to_string(arity) + " but declared " +
+            std::to_string(program_.predicate_arities[id]));
+      }
+      return id;
+    }
+    const auto id = static_cast<std::uint32_t>(program_.predicate_names.size());
+    program_.predicate_names.push_back(name);
+    program_.predicate_arities.push_back(arity);
+    predicate_ids_.emplace(name, id);
+    return id;
+  }
+
+  std::uint32_t VariableId(Rule& rule, const std::string& name) {
+    for (std::uint32_t id = 0; id < rule.variable_names.size(); ++id) {
+      if (rule.variable_names[id] == name) {
+        return id;
+      }
+    }
+    rule.variable_names.push_back(name);
+    return static_cast<std::uint32_t>(rule.variable_names.size() - 1);
+  }
+
+  Term ParseTerm(Rule& rule) {
+    const Token& tok = Peek();
+    switch (tok.kind) {
+      case TokenKind::kVariable: {
+        Advance();
+        // A bare "_" is an anonymous variable: always fresh.
+        if (tok.text == "_") {
+          rule.variable_names.push_back("_" + std::to_string(
+              rule.variable_names.size()));
+          return Term::Var(
+              static_cast<std::uint32_t>(rule.variable_names.size() - 1));
+        }
+        return Term::Var(VariableId(rule, tok.text));
+      }
+      case TokenKind::kIdentifier:
+        Advance();
+        return Term::Const(Value::Symbol(program_.symbols.Intern(tok.text)));
+      case TokenKind::kString:
+        Advance();
+        return Term::Const(Value::Symbol(program_.symbols.Intern(tok.text)));
+      case TokenKind::kNumber: {
+        Advance();
+        std::int64_t v = 0;
+        try {
+          v = std::stoll(tok.text);
+        } catch (const std::exception&) {
+          Fail("integer literal out of range");
+        }
+        return Term::Const(Value::Int(v));
+      }
+      default:
+        Fail("expected a term");
+    }
+  }
+
+  Atom ParseAtom(Rule& rule) {
+    const Token name = Expect(TokenKind::kIdentifier, "predicate name");
+    Atom atom;
+    Expect(TokenKind::kLParen, "'('");
+    if (Peek().kind != TokenKind::kRParen) {
+      atom.args.push_back(ParseTerm(rule));
+      while (Peek().kind == TokenKind::kComma) {
+        Advance();
+        atom.args.push_back(ParseTerm(rule));
+      }
+    }
+    Expect(TokenKind::kRParen, "')'");
+    atom.predicate = InternPredicate(name.text, atom.args.size(), name.line);
+    return atom;
+  }
+
+  static bool IsCmpToken(TokenKind kind) {
+    switch (kind) {
+      case TokenKind::kEq:
+      case TokenKind::kNe:
+      case TokenKind::kLt:
+      case TokenKind::kLe:
+      case TokenKind::kGt:
+      case TokenKind::kGe:
+        return true;
+      default:
+        return false;
+    }
+  }
+
+  static CmpOp ToCmpOp(TokenKind kind) {
+    switch (kind) {
+      case TokenKind::kEq:
+        return CmpOp::kEq;
+      case TokenKind::kNe:
+        return CmpOp::kNe;
+      case TokenKind::kLt:
+        return CmpOp::kLt;
+      case TokenKind::kLe:
+        return CmpOp::kLe;
+      case TokenKind::kGt:
+        return CmpOp::kGt;
+      default:
+        return CmpOp::kGe;
+    }
+  }
+
+  BodyElement ParseBodyElement(Rule& rule) {
+    if (Peek().kind == TokenKind::kBang) {
+      Advance();
+      Literal literal;
+      literal.negated = true;
+      literal.atom = ParseAtom(rule);
+      return literal;
+    }
+    // Comparison if the element starts with a term followed by an operator;
+    // an identifier followed by '(' is an atom.
+    const bool atom_like = Peek().kind == TokenKind::kIdentifier &&
+                           Peek(1).kind == TokenKind::kLParen;
+    if (!atom_like) {
+      Comparison cmp;
+      cmp.lhs = ParseTerm(rule);
+      if (!IsCmpToken(Peek().kind)) {
+        Fail("expected comparison operator");
+      }
+      cmp.op = ToCmpOp(Advance().kind);
+      cmp.rhs = ParseTerm(rule);
+      return cmp;
+    }
+    Literal literal;
+    literal.atom = ParseAtom(rule);
+    return literal;
+  }
+
+  /// Parses the head, which is either a plain atom or an aggregation head:
+  /// `pred(G1, ..., Gk; sum(V))`.
+  void ParseHead(Rule& rule) {
+    const Token name = Expect(TokenKind::kIdentifier, "predicate name");
+    Expect(TokenKind::kLParen, "'('");
+    Atom head;
+    if (Peek().kind != TokenKind::kRParen &&
+        Peek().kind != TokenKind::kSemicolon) {
+      head.args.push_back(ParseTerm(rule));
+      while (Peek().kind == TokenKind::kComma) {
+        Advance();
+        head.args.push_back(ParseTerm(rule));
+      }
+    }
+    if (Peek().kind == TokenKind::kSemicolon) {
+      Advance();
+      const Token agg_name =
+          Expect(TokenKind::kIdentifier, "aggregate (count/sum/min/max)");
+      Aggregate aggregate;
+      if (agg_name.text == "count") {
+        aggregate.op = AggOp::kCount;
+      } else if (agg_name.text == "sum") {
+        aggregate.op = AggOp::kSum;
+      } else if (agg_name.text == "min") {
+        aggregate.op = AggOp::kMin;
+      } else if (agg_name.text == "max") {
+        aggregate.op = AggOp::kMax;
+      } else {
+        Fail("unknown aggregate '" + agg_name.text + "'");
+      }
+      Expect(TokenKind::kLParen, "'('");
+      if (aggregate.op != AggOp::kCount) {
+        const Token var = Peek();
+        if (var.kind != TokenKind::kVariable || var.text == "_") {
+          Fail("aggregate expects a named variable");
+        }
+        Advance();
+        aggregate.var = VariableId(rule, var.text);
+      }
+      Expect(TokenKind::kRParen, "')'");
+      rule.aggregate = aggregate;
+    }
+    Expect(TokenKind::kRParen, "')'");
+    // Aggregation heads carry an extra (result) column.
+    const std::size_t arity =
+        head.args.size() + (rule.aggregate.has_value() ? 1 : 0);
+    head.predicate = InternPredicate(name.text, arity, name.line);
+    rule.head = std::move(head);
+  }
+
+  void ParseClause() {
+    Rule rule;
+    rule.line = Peek().line;
+    ParseHead(rule);
+    if (rule.IsAggregate() && Peek().kind != TokenKind::kImplies) {
+      Fail("an aggregation head requires a rule body");
+    }
+    if (Peek().kind == TokenKind::kImplies) {
+      Advance();
+      rule.body.push_back(ParseBodyElement(rule));
+      while (Peek().kind == TokenKind::kComma) {
+        Advance();
+        rule.body.push_back(ParseBodyElement(rule));
+      }
+    }
+    Expect(TokenKind::kPeriod, "'.'");
+    program_.rules.push_back(std::move(rule));
+  }
+
+  std::vector<Token> tokens_;
+  std::size_t pos_ = 0;
+  Program program_;
+  std::unordered_map<std::string, std::uint32_t> predicate_ids_;
+};
+
+}  // namespace
+
+Program ParseProgram(std::string_view source) {
+  return Parser(source).Run();
+}
+
+void ExtendProgram(Program& program, std::string_view source) {
+  Parser parser(std::move(program), source);
+  program = parser.Run();
+}
+
+Rule ParseSingleClause(const Program& program, std::string_view source) {
+  Program scratch;
+  scratch.predicate_names = program.predicate_names;
+  scratch.predicate_arities = program.predicate_arities;
+  scratch.symbols = program.symbols;
+  const std::size_t before = program.rules.size();
+  (void)before;
+  Parser parser(std::move(scratch), source);
+  Program parsed = parser.Run();
+  if (parsed.rules.size() != 1) {
+    throw util::ParseError("expected exactly one clause, got " +
+                           std::to_string(parsed.rules.size()));
+  }
+  if (parsed.predicate_names.size() != program.predicate_names.size()) {
+    throw util::ParseError(
+        "clause references a predicate unknown to the program");
+  }
+  return std::move(parsed.rules.front());
+}
+
+namespace {
+bool TermsEqual(const Term& a, const Term& b) {
+  if (a.kind != b.kind) {
+    return false;
+  }
+  return a.IsVar() ? a.var == b.var : a.constant == b.constant;
+}
+
+bool AtomsEqual(const Atom& a, const Atom& b) {
+  if (a.predicate != b.predicate || a.args.size() != b.args.size()) {
+    return false;
+  }
+  for (std::size_t i = 0; i < a.args.size(); ++i) {
+    if (!TermsEqual(a.args[i], b.args[i])) {
+      return false;
+    }
+  }
+  return true;
+}
+}  // namespace
+
+bool RulesEquivalent(const Rule& a, const Rule& b) {
+  if (!AtomsEqual(a.head, b.head) || a.body.size() != b.body.size()) {
+    return false;
+  }
+  if (a.aggregate.has_value() != b.aggregate.has_value()) {
+    return false;
+  }
+  if (a.aggregate.has_value() &&
+      (a.aggregate->op != b.aggregate->op ||
+       (a.aggregate->op != AggOp::kCount &&
+        a.aggregate->var != b.aggregate->var))) {
+    return false;
+  }
+  for (std::size_t i = 0; i < a.body.size(); ++i) {
+    const auto* la = std::get_if<Literal>(&a.body[i]);
+    const auto* lb = std::get_if<Literal>(&b.body[i]);
+    if ((la == nullptr) != (lb == nullptr)) {
+      return false;
+    }
+    if (la != nullptr) {
+      if (la->negated != lb->negated || !AtomsEqual(la->atom, lb->atom)) {
+        return false;
+      }
+    } else {
+      const auto& ca = std::get<Comparison>(a.body[i]);
+      const auto& cb = std::get<Comparison>(b.body[i]);
+      if (ca.op != cb.op || !TermsEqual(ca.lhs, cb.lhs) ||
+          !TermsEqual(ca.rhs, cb.rhs)) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace dsched::datalog

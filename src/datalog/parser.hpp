@@ -1,0 +1,30 @@
+// Recursive-descent parser: token stream → Program.
+#pragma once
+
+#include <string_view>
+
+#include "datalog/ast.hpp"
+
+namespace dsched::datalog {
+
+/// Parses a whole program.  Enforces consistent predicate arities; throws
+/// util::ParseError with line context on any syntax problem.
+[[nodiscard]] Program ParseProgram(std::string_view source);
+
+/// Parses additional clauses into an existing program, reusing its
+/// predicate and symbol interning (arities must stay consistent).  Appends
+/// to program.rules; used for incremental rule changes.
+void ExtendProgram(Program& program, std::string_view source);
+
+/// Parses exactly one clause against `program`'s interning WITHOUT adding
+/// it, returning the parsed rule — used to identify an existing rule for
+/// removal.  Throws util::ParseError if the text is not a single clause.
+[[nodiscard]] Rule ParseSingleClause(const Program& program,
+                                     std::string_view source);
+
+/// Structural equality of rules (same atoms, terms, variable numbering —
+/// which the parser assigns by order of first appearance, so two
+/// identically-written clauses compare equal).
+[[nodiscard]] bool RulesEquivalent(const Rule& a, const Rule& b);
+
+}  // namespace dsched::datalog

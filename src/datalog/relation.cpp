@@ -1,0 +1,143 @@
+#include "datalog/relation.hpp"
+
+#include "util/error.hpp"
+
+namespace dsched::datalog {
+
+bool Relation::Insert(const Tuple& tuple) {
+  DSCHED_CHECK_MSG(tuple.size() == arity_, "tuple arity mismatch");
+  const auto [it, inserted] =
+      index_.emplace(tuple, static_cast<std::uint32_t>(rows_.size()));
+  if (!inserted) {
+    return false;
+  }
+  rows_.push_back(tuple);
+  ++version_;
+  return true;
+}
+
+bool Relation::Erase(const Tuple& tuple) {
+  const auto it = index_.find(tuple);
+  if (it == index_.end()) {
+    return false;
+  }
+  const std::uint32_t row = it->second;
+  index_.erase(it);
+  const std::uint32_t last = static_cast<std::uint32_t>(rows_.size()) - 1;
+  if (row != last) {
+    rows_[row] = std::move(rows_[last]);
+    index_[rows_[row]] = row;
+  }
+  rows_.pop_back();
+  ++version_;
+  ++erase_epoch_;
+  return true;
+}
+
+std::size_t Relation::MemoryBytes() const {
+  std::size_t bytes = rows_.capacity() * sizeof(Tuple);
+  for (const Tuple& t : rows_) {
+    bytes += t.capacity() * sizeof(Value);
+  }
+  // Rough hash-map overhead: key copy + bucket bookkeeping.
+  bytes += index_.size() * (sizeof(Tuple) + arity_ * sizeof(Value) + 24);
+  return bytes;
+}
+
+RelationStore::RelationStore(const Program& program) {
+  relations_.reserve(program.NumPredicates());
+  for (std::size_t p = 0; p < program.NumPredicates(); ++p) {
+    DSCHED_CHECK_MSG(program.predicate_arities[p] <= 32,
+                     "predicate arity above 32 is unsupported");
+    relations_.emplace_back(program.predicate_arities[p]);
+  }
+}
+
+void RelationStore::EnsurePredicates(const Program& program) {
+  DSCHED_CHECK_MSG(program.NumPredicates() >= relations_.size(),
+                   "program lost predicates");
+  for (std::size_t p = relations_.size(); p < program.NumPredicates(); ++p) {
+    DSCHED_CHECK_MSG(program.predicate_arities[p] <= 32,
+                     "predicate arity above 32 is unsupported");
+    relations_.emplace_back(program.predicate_arities[p]);
+  }
+}
+
+Relation& RelationStore::Of(std::uint32_t predicate) {
+  DSCHED_CHECK_MSG(predicate < relations_.size(), "unknown predicate id");
+  return relations_[predicate];
+}
+
+const Relation& RelationStore::Of(std::uint32_t predicate) const {
+  DSCHED_CHECK_MSG(predicate < relations_.size(), "unknown predicate id");
+  return relations_[predicate];
+}
+
+std::size_t RelationStore::TotalTuples() const {
+  std::size_t total = 0;
+  for (const Relation& r : relations_) {
+    total += r.Size();
+  }
+  return total;
+}
+
+std::span<const std::uint32_t> RelationStore::Lookup(
+    std::uint32_t predicate, const std::vector<std::size_t>& columns,
+    const Tuple& key) const {
+  static const std::vector<std::uint32_t> kEmpty;
+  const Relation& relation = Of(predicate);
+  std::uint64_t mask = 0;
+  for (const std::size_t c : columns) {
+    DSCHED_CHECK_MSG(c < relation.Arity(), "index column out of range");
+    mask |= (std::uint64_t{1} << c);
+  }
+  const std::uint64_t cache_key = (std::uint64_t{predicate} << 32) | mask;
+  // The lock guards the cache *map*; see the class comment for why the
+  // returned span stays valid after release.
+  const std::lock_guard<std::mutex> lock(cache_mutex_);
+  CachedIndex& cached = index_cache_[cache_key];
+  if (cached.version != relation.Version()) {
+    const auto rows = relation.Rows();
+    if (cached.erase_epoch != relation.EraseEpoch() ||
+        cached.rows_indexed > rows.size()) {
+      // Erasures invalidate row ids: full rebuild.
+      cached.map.clear();
+      cached.rows_indexed = 0;
+      cached.erase_epoch = relation.EraseEpoch();
+    }
+    // Append-only fast path: index just the new rows.  This is the
+    // semi-naive hot path — fixpoint rounds insert small deltas between
+    // lookups, and an O(Δ) extension beats an O(|R|) rebuild per round.
+    Tuple probe(columns.size());
+    for (std::size_t row = cached.rows_indexed; row < rows.size(); ++row) {
+      for (std::size_t i = 0; i < columns.size(); ++i) {
+        probe[i] = rows[row][columns[i]];
+      }
+      cached.map[probe].push_back(static_cast<std::uint32_t>(row));
+    }
+    cached.rows_indexed = rows.size();
+    cached.version = relation.Version();
+  }
+  const auto it = cached.map.find(key);
+  return it == cached.map.end() ? std::span<const std::uint32_t>(kEmpty)
+                                : std::span<const std::uint32_t>(it->second);
+}
+
+std::size_t RelationStore::MemoryBytes() const {
+  std::size_t bytes = 0;
+  for (const Relation& r : relations_) {
+    bytes += r.MemoryBytes();
+  }
+  const std::lock_guard<std::mutex> lock(cache_mutex_);
+  for (const auto& [key, cached] : index_cache_) {
+    (void)key;
+    bytes += cached.map.size() * 48;
+    for (const auto& [k, rows] : cached.map) {
+      bytes += k.capacity() * sizeof(Value) +
+               rows.capacity() * sizeof(std::uint32_t);
+    }
+  }
+  return bytes;
+}
+
+}  // namespace dsched::datalog

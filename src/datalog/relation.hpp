@@ -1,0 +1,147 @@
+// Tuple storage: relations, the per-program relation store, and cached
+// column indexes for joins.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "datalog/ast.hpp"
+#include "datalog/value.hpp"
+
+namespace dsched::datalog {
+
+/// A set of tuples of fixed arity with O(1) membership and stable iteration
+/// order (insertion order, modulo swap-removal on erase).
+class Relation {
+ public:
+  explicit Relation(std::size_t arity = 0) : arity_(arity) {}
+
+  [[nodiscard]] std::size_t Arity() const { return arity_; }
+  [[nodiscard]] std::size_t Size() const { return rows_.size(); }
+  [[nodiscard]] bool Empty() const { return rows_.empty(); }
+  [[nodiscard]] std::span<const Tuple> Rows() const { return rows_; }
+
+  /// True iff the tuple is present.
+  [[nodiscard]] bool Contains(const Tuple& tuple) const {
+    return index_.contains(tuple);
+  }
+
+  /// Inserts; returns true iff the tuple was new.  Bumps the version.
+  bool Insert(const Tuple& tuple);
+
+  /// Removes; returns true iff the tuple was present.  Bumps the version.
+  bool Erase(const Tuple& tuple);
+
+  /// Monotone change counter; cached indexes check it for staleness.
+  [[nodiscard]] std::uint64_t Version() const { return version_; }
+
+  /// Counts erasures only.  While it is unchanged, previously assigned row
+  /// ids are stable and inserts strictly append — the condition under which
+  /// cached indexes may extend incrementally instead of rebuilding.
+  [[nodiscard]] std::uint64_t EraseEpoch() const { return erase_epoch_; }
+
+  /// Approximate resident bytes.
+  [[nodiscard]] std::size_t MemoryBytes() const;
+
+ private:
+  std::size_t arity_;
+  std::vector<Tuple> rows_;
+  std::unordered_map<Tuple, std::uint32_t, TupleHash> index_;  // tuple → row
+  std::uint64_t version_ = 0;
+  std::uint64_t erase_epoch_ = 0;
+};
+
+/// One Relation per predicate of a program, plus a cache of column indexes
+/// used by the join machinery.  Copyable: the incremental engine snapshots
+/// the store to evaluate overdeletions against the pre-update state (the
+/// copy starts with a fresh, empty cache).
+///
+/// Thread compatibility: the parallel update engine runs component phases
+/// concurrently.  Distinct phases never write the same Relation (the
+/// dependency DAG's precedence guarantees it), but they do share the index
+/// cache, whose *structure* is guarded by an internal mutex.  A span
+/// returned by Lookup stays valid because an entry is only rebuilt when its
+/// relation's version moved, and a relation is never written while another
+/// phase may be reading it.
+class RelationStore {
+ public:
+  RelationStore() = default;
+  /// Creates empty relations matching the program's predicate arities.
+  explicit RelationStore(const Program& program);
+
+  RelationStore(const RelationStore& other) : relations_(other.relations_) {}
+  RelationStore& operator=(const RelationStore& other) {
+    if (this != &other) {
+      relations_ = other.relations_;
+      const std::lock_guard<std::mutex> lock(cache_mutex_);
+      index_cache_.clear();
+    }
+    return *this;
+  }
+  RelationStore(RelationStore&& other) noexcept
+      : relations_(std::move(other.relations_)) {}
+  RelationStore& operator=(RelationStore&& other) noexcept {
+    if (this != &other) {
+      relations_ = std::move(other.relations_);
+      const std::lock_guard<std::mutex> lock(cache_mutex_);
+      index_cache_.clear();
+    }
+    return *this;
+  }
+
+  /// Appends empty relations for predicates the program gained since this
+  /// store was created (incremental rule changes may introduce new
+  /// predicates).  Existing relations are untouched.
+  void EnsurePredicates(const Program& program);
+
+  [[nodiscard]] Relation& Of(std::uint32_t predicate);
+  [[nodiscard]] const Relation& Of(std::uint32_t predicate) const;
+  [[nodiscard]] std::size_t NumRelations() const { return relations_.size(); }
+
+  /// Total tuples across all relations.
+  [[nodiscard]] std::size_t TotalTuples() const;
+
+  /// Row indices of `predicate` whose values at `columns` equal `key`
+  /// (parallel vectors).  Backed by a hash index cached per (predicate,
+  /// column set), extended incrementally on pure appends and rebuilt after
+  /// erasures.
+  [[nodiscard]] std::span<const std::uint32_t> Lookup(
+      std::uint32_t predicate, const std::vector<std::size_t>& columns,
+      const Tuple& key) const;
+
+  // --- Uniform join-source interface (shared with OldStateView so the
+  // join machinery can be instantiated over either).
+  [[nodiscard]] const Tuple& RowAt(std::uint32_t predicate,
+                                   std::uint32_t row) const {
+    return Of(predicate).Rows()[row];
+  }
+  [[nodiscard]] bool ContainsTuple(std::uint32_t predicate,
+                                   const Tuple& tuple) const {
+    return Of(predicate).Contains(tuple);
+  }
+
+  [[nodiscard]] std::size_t MemoryBytes() const;
+
+ private:
+  struct CachedIndex {
+    std::uint64_t version = ~std::uint64_t{0};
+    std::uint64_t erase_epoch = ~std::uint64_t{0};
+    /// How many rows of the relation are reflected in `map`; while the
+    /// erase epoch is unchanged, rows beyond this are appended
+    /// incrementally (the semi-naive hot path inserts in small deltas).
+    std::size_t rows_indexed = 0;
+    std::unordered_map<Tuple, std::vector<std::uint32_t>, TupleHash> map;
+  };
+
+  std::vector<Relation> relations_;
+  /// Key: (predicate << 32) | column-bitmask.  Arity is capped at 32.
+  /// unordered_map nodes are pointer-stable, so spans into one entry's
+  /// vectors survive insertions of other entries.
+  mutable std::unordered_map<std::uint64_t, CachedIndex> index_cache_;
+  mutable std::mutex cache_mutex_;
+};
+
+}  // namespace dsched::datalog

@@ -1,0 +1,43 @@
+// Stratification: predicate dependency analysis and stratum assignment.
+//
+// Build the predicate dependency graph (edge q → p when q appears in the
+// body of a rule with head p; marked "negative" if under negation), find
+// its strongly connected components (Tarjan), reject negative edges inside
+// a component (unstratifiable), and order the condensation topologically.
+// Each SCC is one evaluation unit — the fixpoint granule that later becomes
+// a task node in the scheduling DAG.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "datalog/ast.hpp"
+
+namespace dsched::datalog {
+
+/// Result of stratifying one program.
+struct Stratification {
+  /// Component id per predicate (dense, 0-based).
+  std::vector<std::uint32_t> component_of;
+  /// Predicates per component.
+  std::vector<std::vector<std::uint32_t>> component_members;
+  /// Components in evaluation order (every dependency precedes its users).
+  std::vector<std::uint32_t> component_order;
+  /// Rule indices whose head lies in each component.
+  std::vector<std::vector<std::size_t>> component_rules;
+  /// True when some rule in the component depends on a predicate of the
+  /// same component (a genuine fixpoint is needed).
+  std::vector<bool> component_recursive;
+  /// Stratum number per component (max over dependencies, +1 on negation).
+  std::vector<std::uint32_t> component_stratum;
+
+  [[nodiscard]] std::size_t NumComponents() const {
+    return component_members.size();
+  }
+};
+
+/// Computes the stratification; throws util::InvalidArgument when the
+/// program uses negation through recursion (unstratifiable).
+[[nodiscard]] Stratification Stratify(const Program& program);
+
+}  // namespace dsched::datalog

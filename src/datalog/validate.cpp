@@ -1,0 +1,90 @@
+#include "datalog/validate.hpp"
+
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace dsched::datalog {
+
+namespace {
+
+[[noreturn]] void FailRule(const Rule& rule, const Program& program,
+                           const std::string& what) {
+  throw util::InvalidArgument("unsafe rule (line " + std::to_string(rule.line) +
+                              "): " + what + " in: " +
+                              RuleToString(rule, program));
+}
+
+}  // namespace
+
+void ValidateProgram(const Program& program) {
+  // A predicate is defined either by ordinary rules/facts or by aggregation
+  // rules, never both — mixed definitions would make the aggregate's
+  // recompute-diff maintenance ill-defined.
+  std::vector<char> has_agg(program.NumPredicates(), 0);
+  std::vector<char> has_plain(program.NumPredicates(), 0);
+  for (const Rule& rule : program.rules) {
+    (rule.IsAggregate() ? has_agg : has_plain)[rule.head.predicate] = 1;
+  }
+  for (std::uint32_t p = 0; p < program.NumPredicates(); ++p) {
+    if (has_agg[p] != 0 && has_plain[p] != 0) {
+      throw util::InvalidArgument(
+          "predicate '" + program.predicate_names[p] +
+          "' mixes aggregation rules with ordinary rules/facts");
+    }
+  }
+
+  for (const Rule& rule : program.rules) {
+    std::vector<bool> positively_bound(rule.variable_names.size(), false);
+    for (const BodyElement& element : rule.body) {
+      if (const auto* literal = std::get_if<Literal>(&element)) {
+        if (!literal->negated) {
+          for (const Term& term : literal->atom.args) {
+            if (term.IsVar()) {
+              positively_bound[term.var] = true;
+            }
+          }
+        }
+      }
+    }
+
+    const auto check_bound = [&](const Term& term, const char* where) {
+      if (term.IsVar() && !positively_bound[term.var]) {
+        FailRule(rule, program,
+                 std::string("variable '") + rule.variable_names[term.var] +
+                     "' in " + where +
+                     " does not occur in any positive body literal");
+      }
+    };
+
+    if (rule.IsFact()) {
+      for (const Term& term : rule.head.args) {
+        if (term.IsVar()) {
+          FailRule(rule, program, "fact with a variable argument");
+        }
+      }
+      continue;
+    }
+    for (const Term& term : rule.head.args) {
+      check_bound(term, "the head");
+    }
+    if (rule.IsAggregate() && rule.aggregate->op != AggOp::kCount) {
+      check_bound(Term::Var(rule.aggregate->var), "the aggregate");
+    }
+    for (const BodyElement& element : rule.body) {
+      if (const auto* literal = std::get_if<Literal>(&element)) {
+        if (literal->negated) {
+          for (const Term& term : literal->atom.args) {
+            check_bound(term, "a negated literal");
+          }
+        }
+      } else {
+        const auto& cmp = std::get<Comparison>(element);
+        check_bound(cmp.lhs, "a comparison");
+        check_bound(cmp.rhs, "a comparison");
+      }
+    }
+  }
+}
+
+}  // namespace dsched::datalog

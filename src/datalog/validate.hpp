@@ -1,0 +1,20 @@
+// Static validation of parsed programs: safety / range restriction.
+//
+// Rules must satisfy:
+//  * every head variable occurs in a positive body literal;
+//  * every variable in a negated literal occurs in a positive literal;
+//  * every variable in a comparison occurs in a positive literal;
+//  * facts (empty-body rules) are ground.
+// These guarantee bottom-up evaluation binds every variable before it is
+// needed and derived relations stay finite.
+#pragma once
+
+#include "datalog/ast.hpp"
+
+namespace dsched::datalog {
+
+/// Throws util::InvalidArgument naming the offending rule/variable when a
+/// rule is unsafe; returns normally otherwise.
+void ValidateProgram(const Program& program);
+
+}  // namespace dsched::datalog

@@ -1,0 +1,43 @@
+#include "datalog/value.hpp"
+
+#include <sstream>
+
+namespace dsched::datalog {
+
+std::uint32_t SymbolTable::Intern(std::string_view name) {
+  const auto it = ids_.find(std::string(name));
+  if (it != ids_.end()) {
+    return it->second;
+  }
+  const auto id = static_cast<std::uint32_t>(names_.size());
+  names_.emplace_back(name);
+  ids_.emplace(names_.back(), id);
+  return id;
+}
+
+const std::string& SymbolTable::NameOf(std::uint32_t id) const {
+  DSCHED_CHECK_MSG(id < names_.size(), "unknown symbol id");
+  return names_[id];
+}
+
+std::string Value::ToString(const SymbolTable& symbols) const {
+  if (IsInt()) {
+    return std::to_string(AsInt());
+  }
+  return symbols.NameOf(AsSymbol());
+}
+
+std::string TupleToString(const Tuple& tuple, const SymbolTable& symbols) {
+  std::ostringstream oss;
+  oss << "(";
+  for (std::size_t i = 0; i < tuple.size(); ++i) {
+    if (i > 0) {
+      oss << ", ";
+    }
+    oss << tuple[i].ToString(symbols);
+  }
+  oss << ")";
+  return oss.str();
+}
+
+}  // namespace dsched::datalog

@@ -1,0 +1,101 @@
+// Ground values and tuples of the Datalog engine.
+//
+// A Value is either a 63-bit signed integer or an interned symbol.  Both
+// fit one machine word, so relations are flat and joins stay cache-friendly
+// — the retail workloads the paper's traces come from are exactly
+// large-join Datalog programs.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace dsched::datalog {
+
+/// Interns symbol strings; symbol ids are dense and stable.
+class SymbolTable {
+ public:
+  /// Returns the id of `name`, interning it on first sight.
+  std::uint32_t Intern(std::string_view name);
+
+  /// The text of a previously interned symbol.
+  [[nodiscard]] const std::string& NameOf(std::uint32_t id) const;
+
+  [[nodiscard]] std::size_t Size() const { return names_.size(); }
+
+ private:
+  std::unordered_map<std::string, std::uint32_t> ids_;
+  std::vector<std::string> names_;
+};
+
+/// One ground value: tagged 64-bit word.
+class Value {
+ public:
+  Value() : bits_(0) {}
+
+  /// Integer value; must fit 63 bits.
+  static Value Int(std::int64_t v) {
+    DSCHED_CHECK_MSG(v >= kMinInt && v <= kMaxInt,
+                     "integer value out of 63-bit range");
+    return Value((static_cast<std::uint64_t>(v) << 1) | 0U);
+  }
+
+  /// Symbol value by interned id.
+  static Value Symbol(std::uint32_t id) {
+    return Value((static_cast<std::uint64_t>(id) << 1) | 1U);
+  }
+
+  [[nodiscard]] bool IsInt() const { return (bits_ & 1U) == 0; }
+  [[nodiscard]] bool IsSymbol() const { return (bits_ & 1U) == 1; }
+
+  [[nodiscard]] std::int64_t AsInt() const {
+    DSCHED_CHECK_MSG(IsInt(), "value is not an integer");
+    return static_cast<std::int64_t>(bits_) >> 1;
+  }
+  [[nodiscard]] std::uint32_t AsSymbol() const {
+    DSCHED_CHECK_MSG(IsSymbol(), "value is not a symbol");
+    return static_cast<std::uint32_t>(bits_ >> 1);
+  }
+
+  /// Raw tagged bits (used by hashing).
+  [[nodiscard]] std::uint64_t Bits() const { return bits_; }
+
+  friend bool operator==(Value a, Value b) { return a.bits_ == b.bits_; }
+  friend auto operator<=>(Value a, Value b) { return a.bits_ <=> b.bits_; }
+
+  /// Rendering; symbols need the table.
+  [[nodiscard]] std::string ToString(const SymbolTable& symbols) const;
+
+  static constexpr std::int64_t kMaxInt = (std::int64_t{1} << 62) - 1;
+  static constexpr std::int64_t kMinInt = -(std::int64_t{1} << 62);
+
+ private:
+  explicit Value(std::uint64_t bits) : bits_(bits) {}
+  std::uint64_t bits_;
+};
+
+/// A ground tuple (one relation row).
+using Tuple = std::vector<Value>;
+
+/// FNV-style tuple hash.
+struct TupleHash {
+  std::size_t operator()(const Tuple& t) const {
+    std::uint64_t h = 0xcbf29ce484222325ULL;
+    for (const Value v : t) {
+      h ^= v.Bits();
+      h *= 0x100000001b3ULL;
+      h ^= h >> 29;
+    }
+    return static_cast<std::size_t>(h);
+  }
+};
+
+/// Renders "(a, 3, b)".
+[[nodiscard]] std::string TupleToString(const Tuple& tuple,
+                                        const SymbolTable& symbols);
+
+}  // namespace dsched::datalog

@@ -1,0 +1,59 @@
+#include "graph/critical_path.hpp"
+
+#include <algorithm>
+
+#include "graph/topo.hpp"
+#include "util/error.hpp"
+
+namespace dsched::graph {
+
+namespace {
+
+/// Computes, for every node, the max weight of a path ending at it, plus the
+/// predecessor on that path (kInvalidTask for path starts).
+std::pair<std::vector<double>, std::vector<TaskId>> LongestTo(
+    const Dag& dag, std::span<const double> weights) {
+  DSCHED_CHECK_MSG(weights.size() == dag.NumNodes(),
+                   "one weight per node required");
+  std::vector<double> best(dag.NumNodes());
+  std::vector<TaskId> pred(dag.NumNodes(), util::kInvalidTask);
+  for (const TaskId u : TopologicalOrder(dag)) {
+    best[u] += weights[u];
+    for (const TaskId v : dag.OutNeighbors(u)) {
+      if (best[u] > best[v]) {
+        best[v] = best[u];
+        pred[v] = u;
+      }
+    }
+  }
+  return {std::move(best), std::move(pred)};
+}
+
+}  // namespace
+
+double CriticalPathWeight(const Dag& dag, std::span<const double> weights) {
+  if (dag.NumNodes() == 0) {
+    return 0.0;
+  }
+  const auto [best, pred] = LongestTo(dag, weights);
+  return *std::max_element(best.begin(), best.end());
+}
+
+std::vector<TaskId> CriticalPathNodes(const Dag& dag,
+                                      std::span<const double> weights) {
+  if (dag.NumNodes() == 0) {
+    return {};
+  }
+  const auto [best, pred] = LongestTo(dag, weights);
+  const auto it = std::max_element(best.begin(), best.end());
+  auto u = static_cast<TaskId>(it - best.begin());
+  std::vector<TaskId> path;
+  while (u != util::kInvalidTask) {
+    path.push_back(u);
+    u = pred[u];
+  }
+  std::reverse(path.begin(), path.end());
+  return path;
+}
+
+}  // namespace dsched::graph

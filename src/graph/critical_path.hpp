@@ -1,0 +1,25 @@
+// Weighted critical path of a Dag.
+//
+// The paper's arbitrary-job bound is O(w/P + C) where C is the critical path
+// of G (Section II-B).  This helper computes C given per-node weights (task
+// spans), and the unweighted longest path as a special case.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "graph/dag.hpp"
+#include "util/types.hpp"
+
+namespace dsched::graph {
+
+/// Maximum, over all paths, of the sum of node weights on the path.
+/// `weights` must have one entry per node.
+[[nodiscard]] double CriticalPathWeight(const Dag& dag,
+                                        std::span<const double> weights);
+
+/// The node ids on one maximum-weight path, source to sink.
+[[nodiscard]] std::vector<TaskId> CriticalPathNodes(
+    const Dag& dag, std::span<const double> weights);
+
+}  // namespace dsched::graph

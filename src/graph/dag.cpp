@@ -1,0 +1,28 @@
+#include "graph/dag.hpp"
+
+#include "util/error.hpp"
+
+namespace dsched::graph {
+
+std::span<const TaskId> Dag::OutNeighbors(TaskId u) const {
+  DSCHED_CHECK_MSG(u < NumNodes(), "node id out of range");
+  return {out_targets_.data() + out_offsets_[u],
+          out_offsets_[u + 1] - out_offsets_[u]};
+}
+
+std::span<const TaskId> Dag::InNeighbors(TaskId u) const {
+  DSCHED_CHECK_MSG(u < NumNodes(), "node id out of range");
+  return {in_targets_.data() + in_offsets_[u],
+          in_offsets_[u + 1] - in_offsets_[u]};
+}
+
+std::size_t Dag::MemoryBytes() const {
+  return out_offsets_.capacity() * sizeof(std::size_t) +
+         out_targets_.capacity() * sizeof(TaskId) +
+         in_offsets_.capacity() * sizeof(std::size_t) +
+         in_targets_.capacity() * sizeof(TaskId) +
+         sources_.capacity() * sizeof(TaskId) +
+         sinks_.capacity() * sizeof(TaskId);
+}
+
+}  // namespace dsched::graph

@@ -1,0 +1,65 @@
+// Immutable directed-acyclic-graph in compressed-sparse-row form.
+//
+// The computation DAGs of the paper reach hundreds of thousands of nodes
+// (Table I: up to 465,127 nodes / 557,702 edges), so the representation is a
+// flat CSR with both forward (out-neighbour) and reverse (in-neighbour)
+// adjacency.  Construction goes through DigraphBuilder, which verifies
+// acyclicity; a Dag instance is therefore acyclic by construction.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "util/types.hpp"
+
+namespace dsched::graph {
+
+using util::TaskId;
+
+/// An immutable DAG over dense node ids [0, NumNodes()).
+class Dag {
+ public:
+  /// Empty graph.
+  Dag() = default;
+
+  /// Number of vertices.
+  [[nodiscard]] std::size_t NumNodes() const { return out_offsets_.empty() ? 0 : out_offsets_.size() - 1; }
+
+  /// Number of directed edges.
+  [[nodiscard]] std::size_t NumEdges() const { return out_targets_.size(); }
+
+  /// Children of `u` (targets of out-edges).
+  [[nodiscard]] std::span<const TaskId> OutNeighbors(TaskId u) const;
+
+  /// Parents of `u` (sources of in-edges).
+  [[nodiscard]] std::span<const TaskId> InNeighbors(TaskId u) const;
+
+  [[nodiscard]] std::size_t OutDegree(TaskId u) const {
+    return OutNeighbors(u).size();
+  }
+  [[nodiscard]] std::size_t InDegree(TaskId u) const {
+    return InNeighbors(u).size();
+  }
+
+  /// Nodes with in-degree 0 — the "source nodes" of the paper, representing
+  /// base data of the database.
+  [[nodiscard]] const std::vector<TaskId>& Sources() const { return sources_; }
+
+  /// Nodes with out-degree 0.
+  [[nodiscard]] const std::vector<TaskId>& Sinks() const { return sinks_; }
+
+  /// Approximate resident bytes of the adjacency structure.
+  [[nodiscard]] std::size_t MemoryBytes() const;
+
+ private:
+  friend class DigraphBuilder;
+
+  std::vector<std::size_t> out_offsets_;
+  std::vector<TaskId> out_targets_;
+  std::vector<std::size_t> in_offsets_;
+  std::vector<TaskId> in_targets_;
+  std::vector<TaskId> sources_;
+  std::vector<TaskId> sinks_;
+};
+
+}  // namespace dsched::graph

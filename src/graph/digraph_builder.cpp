@@ -1,0 +1,112 @@
+#include "graph/digraph_builder.hpp"
+
+#include <algorithm>
+#include <string>
+
+#include "util/error.hpp"
+
+namespace dsched::graph {
+
+DigraphBuilder::DigraphBuilder(std::size_t num_nodes)
+    : num_nodes_(num_nodes) {}
+
+TaskId DigraphBuilder::AddNode() {
+  return AddNodes(1);
+}
+
+TaskId DigraphBuilder::AddNodes(std::size_t count) {
+  const auto first = static_cast<TaskId>(num_nodes_);
+  num_nodes_ += count;
+  DSCHED_CHECK_MSG(num_nodes_ < util::kInvalidTask, "node id space exhausted");
+  return first;
+}
+
+void DigraphBuilder::AddEdge(TaskId u, TaskId v) {
+  DSCHED_CHECK_MSG(u < num_nodes_ && v < num_nodes_,
+                   "edge endpoint out of range");
+  if (u == v) {
+    throw util::InvalidArgument("self-loop on node " + std::to_string(u) +
+                                " — computation DAGs must be acyclic");
+  }
+  edges_.emplace_back(u, v);
+}
+
+Dag DigraphBuilder::Build() && {
+  // Deduplicate parallel edges: a predicate consuming the same output twice
+  // is still a single dependency.
+  std::sort(edges_.begin(), edges_.end());
+  edges_.erase(std::unique(edges_.begin(), edges_.end()), edges_.end());
+
+  const std::size_t n = num_nodes_;
+  Dag dag;
+  dag.out_offsets_.assign(n + 1, 0);
+  dag.in_offsets_.assign(n + 1, 0);
+  for (const auto& [u, v] : edges_) {
+    ++dag.out_offsets_[u + 1];
+    ++dag.in_offsets_[v + 1];
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    dag.out_offsets_[i + 1] += dag.out_offsets_[i];
+    dag.in_offsets_[i + 1] += dag.in_offsets_[i];
+  }
+  dag.out_targets_.resize(edges_.size());
+  dag.in_targets_.resize(edges_.size());
+  {
+    std::vector<std::size_t> out_cursor(dag.out_offsets_.begin(),
+                                        dag.out_offsets_.end() - 1);
+    std::vector<std::size_t> in_cursor(dag.in_offsets_.begin(),
+                                       dag.in_offsets_.end() - 1);
+    for (const auto& [u, v] : edges_) {
+      dag.out_targets_[out_cursor[u]++] = v;
+      dag.in_targets_[in_cursor[v]++] = u;
+    }
+  }
+
+  // Kahn's algorithm both verifies acyclicity and lets us report an offending
+  // node if a cycle exists.
+  std::vector<std::size_t> indeg(n, 0);
+  for (std::size_t v = 0; v < n; ++v) {
+    indeg[v] = dag.in_offsets_[v + 1] - dag.in_offsets_[v];
+  }
+  std::vector<TaskId> queue;
+  queue.reserve(n);
+  for (std::size_t v = 0; v < n; ++v) {
+    if (indeg[v] == 0) {
+      queue.push_back(static_cast<TaskId>(v));
+    }
+  }
+  std::size_t processed = 0;
+  while (processed < queue.size()) {
+    const TaskId u = queue[processed++];
+    for (const TaskId v : dag.OutNeighbors(u)) {
+      if (--indeg[v] == 0) {
+        queue.push_back(v);
+      }
+    }
+  }
+  if (processed != n) {
+    // Find some node still carrying in-degree: it lies on or behind a cycle.
+    TaskId witness = util::kInvalidTask;
+    for (std::size_t v = 0; v < n; ++v) {
+      if (indeg[v] > 0) {
+        witness = static_cast<TaskId>(v);
+        break;
+      }
+    }
+    throw util::InvalidArgument(
+        "graph contains a cycle (node " + std::to_string(witness) +
+        " is on or downstream of it); computation DAGs must be acyclic");
+  }
+
+  for (std::size_t v = 0; v < n; ++v) {
+    if (dag.in_offsets_[v + 1] == dag.in_offsets_[v]) {
+      dag.sources_.push_back(static_cast<TaskId>(v));
+    }
+    if (dag.out_offsets_[v + 1] == dag.out_offsets_[v]) {
+      dag.sinks_.push_back(static_cast<TaskId>(v));
+    }
+  }
+  return dag;
+}
+
+}  // namespace dsched::graph

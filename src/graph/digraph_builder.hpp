@@ -1,0 +1,47 @@
+// Mutable staging area for constructing a Dag.
+//
+// Usage:
+//   DigraphBuilder b(num_nodes);
+//   b.AddEdge(u, v);  ...
+//   Dag dag = std::move(b).Build();   // throws InvalidArgument on a cycle
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "graph/dag.hpp"
+#include "util/types.hpp"
+
+namespace dsched::graph {
+
+/// Accumulates nodes and edges, then freezes them into a CSR Dag.
+class DigraphBuilder {
+ public:
+  /// Starts with `num_nodes` isolated nodes (ids 0..num_nodes-1).
+  explicit DigraphBuilder(std::size_t num_nodes = 0);
+
+  /// Appends one node; returns its id.
+  TaskId AddNode();
+
+  /// Appends `count` nodes; returns the id of the first.
+  TaskId AddNodes(std::size_t count);
+
+  /// Records the directed edge u -> v.  Self-loops are rejected immediately;
+  /// duplicate edges are deduplicated during Build().
+  void AddEdge(TaskId u, TaskId v);
+
+  [[nodiscard]] std::size_t NumNodes() const { return num_nodes_; }
+  [[nodiscard]] std::size_t NumStagedEdges() const { return edges_.size(); }
+
+  /// Freezes into an immutable Dag.  Verifies acyclicity (throws
+  /// util::InvalidArgument naming a node on a cycle otherwise) and
+  /// deduplicates parallel edges.
+  [[nodiscard]] Dag Build() &&;
+
+ private:
+  std::size_t num_nodes_;
+  std::vector<std::pair<TaskId, TaskId>> edges_;
+};
+
+}  // namespace dsched::graph

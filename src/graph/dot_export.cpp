@@ -1,0 +1,52 @@
+#include "graph/dot_export.hpp"
+
+#include <sstream>
+#include <unordered_set>
+
+namespace dsched::graph {
+
+void WriteDot(std::ostream& out, const Dag& dag, const DotOptions& options) {
+  const std::size_t limit =
+      options.max_nodes == 0 ? dag.NumNodes()
+                             : std::min(options.max_nodes, dag.NumNodes());
+  const std::unordered_set<TaskId> highlighted(options.highlighted.begin(),
+                                               options.highlighted.end());
+  const std::unordered_set<TaskId> emphasized(options.emphasized.begin(),
+                                              options.emphasized.end());
+
+  out << "digraph " << options.graph_name << " {\n";
+  out << "  rankdir=TB;\n  node [shape=ellipse, fontsize=10];\n";
+  for (std::size_t v = 0; v < limit; ++v) {
+    const auto id = static_cast<TaskId>(v);
+    out << "  n" << v;
+    out << " [";
+    if (v < options.labels.size() && !options.labels[v].empty()) {
+      out << "label=\"" << options.labels[v] << "\"";
+    } else {
+      out << "label=\"" << v << "\"";
+    }
+    if (highlighted.contains(id)) {
+      out << ", style=filled, fillcolor=" << options.highlight_color;
+    }
+    if (emphasized.contains(id)) {
+      out << ", peripheries=2";
+    }
+    out << "];\n";
+  }
+  for (std::size_t u = 0; u < limit; ++u) {
+    for (const TaskId v : dag.OutNeighbors(static_cast<TaskId>(u))) {
+      if (v < limit) {
+        out << "  n" << u << " -> n" << v << ";\n";
+      }
+    }
+  }
+  out << "}\n";
+}
+
+std::string ToDot(const Dag& dag, const DotOptions& options) {
+  std::ostringstream oss;
+  WriteDot(oss, dag, options);
+  return oss.str();
+}
+
+}  // namespace dsched::graph

@@ -1,0 +1,35 @@
+// Graphviz DOT export, used by the Figure 1 anatomy bench and the examples
+// to visualize activation cascades (active nodes highlighted).
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "graph/dag.hpp"
+#include "util/types.hpp"
+
+namespace dsched::graph {
+
+/// Rendering options for WriteDot.
+struct DotOptions {
+  std::string graph_name = "dag";
+  /// Nodes to fill (e.g. the active set); everything else is plain.
+  std::vector<TaskId> highlighted;
+  std::string highlight_color = "orange";
+  /// Nodes to double-circle (e.g. initially dirty sources).
+  std::vector<TaskId> emphasized;
+  /// Optional per-node labels; empty → numeric ids.
+  std::vector<std::string> labels;
+  /// If non-zero, only nodes with id < max_nodes are emitted (excerpting a
+  /// huge DAG the way Figure 1 excerpts dataset #1).
+  std::size_t max_nodes = 0;
+};
+
+/// Writes `dag` in DOT syntax to `out`.
+void WriteDot(std::ostream& out, const Dag& dag, const DotOptions& options = {});
+
+/// Convenience: render to a string.
+[[nodiscard]] std::string ToDot(const Dag& dag, const DotOptions& options = {});
+
+}  // namespace dsched::graph

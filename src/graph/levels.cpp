@@ -1,0 +1,63 @@
+#include "graph/levels.hpp"
+
+#include <algorithm>
+
+#include "graph/topo.hpp"
+#include "util/error.hpp"
+
+namespace dsched::graph {
+
+std::vector<Level> ComputeLevels(const Dag& dag) {
+  const std::size_t n = dag.NumNodes();
+  std::vector<Level> levels(n, 0);
+  // Longest path from any source: one relaxation pass in topological order.
+  for (const TaskId u : TopologicalOrder(dag)) {
+    const Level next = levels[u] + 1;
+    for (const TaskId v : dag.OutNeighbors(u)) {
+      levels[v] = std::max(levels[v], next);
+    }
+  }
+  return levels;
+}
+
+LevelMap::LevelMap(const Dag& dag) : levels_(ComputeLevels(dag)) {
+  const std::size_t n = dag.NumNodes();
+  if (n == 0) {
+    level_offsets_.assign(1, 0);
+    return;
+  }
+  Level max_level = 0;
+  for (const Level l : levels_) {
+    max_level = std::max(max_level, l);
+  }
+  num_levels_ = static_cast<std::size_t>(max_level) + 1;
+
+  level_offsets_.assign(num_levels_ + 1, 0);
+  for (const Level l : levels_) {
+    ++level_offsets_[l + 1];
+  }
+  for (std::size_t l = 0; l < num_levels_; ++l) {
+    level_offsets_[l + 1] += level_offsets_[l];
+  }
+  level_nodes_.resize(n);
+  std::vector<std::size_t> cursor(level_offsets_.begin(),
+                                  level_offsets_.end() - 1);
+  for (std::size_t v = 0; v < n; ++v) {
+    level_nodes_[cursor[levels_[v]]++] = static_cast<TaskId>(v);
+  }
+}
+
+std::span<const TaskId> LevelMap::NodesAtLevel(Level level) const {
+  DSCHED_CHECK_MSG(static_cast<std::size_t>(level) < num_levels_,
+                   "level out of range");
+  return {level_nodes_.data() + level_offsets_[level],
+          level_offsets_[level + 1] - level_offsets_[level]};
+}
+
+std::size_t LevelMap::MemoryBytes() const {
+  return levels_.capacity() * sizeof(Level) +
+         level_offsets_.capacity() * sizeof(std::size_t) +
+         level_nodes_.capacity() * sizeof(TaskId);
+}
+
+}  // namespace dsched::graph

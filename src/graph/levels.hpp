@@ -1,0 +1,60 @@
+// Level computation — the precomputation step of the LevelBased scheduler.
+//
+// The paper (Section II-B): "each node has a level, which is the maximum
+// length (number of nodes minus one) of any path from any source node to
+// that node.  Source nodes are defined to have level 0."  Levels strictly
+// increase along edges, which is exactly the property Lemma 1 exploits: the
+// lowest-level active task can have no active ancestor.
+//
+// Cost: O(V + E) time and O(V) space (Theorem 2's precomputation bounds).
+#pragma once
+
+#include <vector>
+
+#include "graph/dag.hpp"
+#include "util/types.hpp"
+
+namespace dsched::graph {
+
+using util::Level;
+
+/// Per-node levels plus a grouped-by-level index of the nodes.
+class LevelMap {
+ public:
+  /// Computes levels for every node of `dag`.
+  explicit LevelMap(const Dag& dag);
+
+  /// Level of one node.
+  [[nodiscard]] Level LevelOf(TaskId u) const { return levels_[u]; }
+
+  /// All per-node levels (index = node id).
+  [[nodiscard]] const std::vector<Level>& Levels() const { return levels_; }
+
+  /// Number of distinct levels L (max level + 1); 0 for an empty graph.
+  [[nodiscard]] std::size_t NumLevels() const { return num_levels_; }
+
+  /// The nodes at a given level, ascending by id.
+  [[nodiscard]] std::span<const TaskId> NodesAtLevel(Level level) const;
+
+  /// Width of a level (number of nodes on it).
+  [[nodiscard]] std::size_t LevelWidth(Level level) const {
+    return NodesAtLevel(level).size();
+  }
+
+  /// Bytes held: the single number per node the paper highlights as the
+  /// scheduler's entire precomputed state, plus the grouped index.
+  [[nodiscard]] std::size_t MemoryBytes() const;
+
+ private:
+  std::vector<Level> levels_;
+  std::size_t num_levels_ = 0;
+  // CSR-style grouping: level_offsets_[l] .. level_offsets_[l+1] indexes
+  // level_nodes_.
+  std::vector<std::size_t> level_offsets_;
+  std::vector<TaskId> level_nodes_;
+};
+
+/// Standalone level computation when the grouped index is not needed.
+[[nodiscard]] std::vector<Level> ComputeLevels(const Dag& dag);
+
+}  // namespace dsched::graph

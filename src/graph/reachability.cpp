@@ -1,0 +1,121 @@
+#include "graph/reachability.hpp"
+
+#include <algorithm>
+#include <bit>
+
+#include "graph/topo.hpp"
+#include "util/error.hpp"
+
+namespace dsched::graph {
+
+namespace {
+
+/// Generic BFS from a seed set along a neighbour accessor.
+template <typename NeighborFn>
+std::vector<TaskId> Sweep(const Dag& dag, const std::vector<TaskId>& seeds,
+                          NeighborFn&& neighbors) {
+  std::vector<bool> seen(dag.NumNodes(), false);
+  std::vector<TaskId> frontier;
+  for (const TaskId s : seeds) {
+    DSCHED_CHECK_MSG(s < dag.NumNodes(), "seed out of range");
+    if (!seen[s]) {
+      seen[s] = true;
+      frontier.push_back(s);
+    }
+  }
+  std::vector<TaskId> out;
+  std::size_t head = 0;
+  while (head < frontier.size()) {
+    const TaskId u = frontier[head++];
+    for (const TaskId v : neighbors(u)) {
+      if (!seen[v]) {
+        seen[v] = true;
+        frontier.push_back(v);
+        out.push_back(v);
+      }
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace
+
+bool IsReachable(const Dag& dag, TaskId from, TaskId to) {
+  DSCHED_CHECK_MSG(from < dag.NumNodes() && to < dag.NumNodes(),
+                   "node id out of range");
+  if (from == to) {
+    return true;
+  }
+  std::vector<bool> seen(dag.NumNodes(), false);
+  std::vector<TaskId> stack{from};
+  seen[from] = true;
+  while (!stack.empty()) {
+    const TaskId u = stack.back();
+    stack.pop_back();
+    for (const TaskId v : dag.OutNeighbors(u)) {
+      if (v == to) {
+        return true;
+      }
+      if (!seen[v]) {
+        seen[v] = true;
+        stack.push_back(v);
+      }
+    }
+  }
+  return false;
+}
+
+std::vector<TaskId> Descendants(const Dag& dag, TaskId u) {
+  return Sweep(dag, {u}, [&](TaskId x) { return dag.OutNeighbors(x); });
+}
+
+std::vector<TaskId> Ancestors(const Dag& dag, TaskId u) {
+  return Sweep(dag, {u}, [&](TaskId x) { return dag.InNeighbors(x); });
+}
+
+std::vector<TaskId> DescendantsOfSet(const Dag& dag,
+                                     const std::vector<TaskId>& seeds) {
+  return Sweep(dag, seeds, [&](TaskId x) { return dag.OutNeighbors(x); });
+}
+
+ReachabilityMatrix::ReachabilityMatrix(const Dag& dag)
+    : n_(dag.NumNodes()), words_per_row_((n_ + 63) / 64) {
+  bits_.assign(n_ * words_per_row_, 0);
+  const auto set_bit = [&](std::size_t row, std::size_t col) {
+    bits_[row * words_per_row_ + col / 64] |= (1ULL << (col % 64));
+  };
+  // Reverse topological order: a node's row is the union of its children's
+  // rows plus the children themselves plus itself.
+  const auto order = TopologicalOrder(dag);
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    const TaskId u = *it;
+    set_bit(u, u);
+    for (const TaskId v : dag.OutNeighbors(u)) {
+      const std::size_t dst = static_cast<std::size_t>(u) * words_per_row_;
+      const std::size_t src = static_cast<std::size_t>(v) * words_per_row_;
+      for (std::size_t w = 0; w < words_per_row_; ++w) {
+        bits_[dst + w] |= bits_[src + w];
+      }
+    }
+  }
+}
+
+bool ReachabilityMatrix::Reaches(TaskId u, TaskId v) const {
+  DSCHED_CHECK_MSG(u < n_ && v < n_, "node id out of range");
+  return (bits_[static_cast<std::size_t>(u) * words_per_row_ + v / 64] >>
+          (v % 64)) &
+         1ULL;
+}
+
+std::size_t ReachabilityMatrix::DescendantCount(TaskId u) const {
+  DSCHED_CHECK_MSG(u < n_, "node id out of range");
+  std::size_t count = 0;
+  const std::size_t base = static_cast<std::size_t>(u) * words_per_row_;
+  for (std::size_t w = 0; w < words_per_row_; ++w) {
+    count += static_cast<std::size_t>(std::popcount(bits_[base + w]));
+  }
+  return count - 1;  // exclude u itself
+}
+
+}  // namespace dsched::graph

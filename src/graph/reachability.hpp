@@ -1,0 +1,54 @@
+// Reachability queries on a Dag.
+//
+// Two tools:
+//  * On-demand BFS (`IsReachable`, `Descendants`, `Ancestors`) — O(V + E)
+//    per query, no precomputation.  This is the "ground truth" oracle the
+//    interval-list index is tested against, and it powers the LBL(k)
+//    bounded ancestor search.
+//  * `ReachabilityMatrix` — a bitset transitive closure for small graphs
+//    (tests, Figure-1 style descendant accounting).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/dag.hpp"
+#include "util/types.hpp"
+
+namespace dsched::graph {
+
+/// True iff there is a directed path from `from` to `to` (from == to counts
+/// as reachable).
+[[nodiscard]] bool IsReachable(const Dag& dag, TaskId from, TaskId to);
+
+/// All nodes reachable from `u` by directed paths, excluding `u` itself.
+[[nodiscard]] std::vector<TaskId> Descendants(const Dag& dag, TaskId u);
+
+/// All nodes that reach `u` by directed paths, excluding `u` itself.
+[[nodiscard]] std::vector<TaskId> Ancestors(const Dag& dag, TaskId u);
+
+/// All nodes reachable from any node of `seeds`, excluding the seeds
+/// themselves unless also reachable from another seed.
+[[nodiscard]] std::vector<TaskId> DescendantsOfSet(
+    const Dag& dag, const std::vector<TaskId>& seeds);
+
+/// Dense transitive closure held as one bit per (u, v) pair.  Memory is
+/// V^2 / 8 bytes — suitable for test graphs, not for the production-sized
+/// traces.
+class ReachabilityMatrix {
+ public:
+  explicit ReachabilityMatrix(const Dag& dag);
+
+  /// True iff v is reachable from u (u == v included).
+  [[nodiscard]] bool Reaches(TaskId u, TaskId v) const;
+
+  /// Number of descendants of u (excluding u).
+  [[nodiscard]] std::size_t DescendantCount(TaskId u) const;
+
+ private:
+  std::size_t n_ = 0;
+  std::size_t words_per_row_ = 0;
+  std::vector<std::uint64_t> bits_;
+};
+
+}  // namespace dsched::graph

@@ -1,0 +1,43 @@
+#include "graph/stats.hpp"
+
+#include <sstream>
+
+#include "graph/levels.hpp"
+
+namespace dsched::graph {
+
+GraphStats ComputeGraphStats(const Dag& dag) {
+  GraphStats stats;
+  stats.nodes = dag.NumNodes();
+  stats.edges = dag.NumEdges();
+  stats.sources = dag.Sources().size();
+  stats.sinks = dag.Sinks().size();
+  for (std::size_t v = 0; v < dag.NumNodes(); ++v) {
+    stats.out_degree.Add(static_cast<double>(dag.OutDegree(static_cast<TaskId>(v))));
+    stats.in_degree.Add(static_cast<double>(dag.InDegree(static_cast<TaskId>(v))));
+  }
+  if (dag.NumNodes() > 0) {
+    const LevelMap levels(dag);
+    stats.levels = levels.NumLevels();
+    for (Level l = 0; l < levels.NumLevels(); ++l) {
+      stats.max_level_width =
+          std::max(stats.max_level_width, levels.LevelWidth(l));
+    }
+    stats.avg_level_width = static_cast<double>(stats.nodes) /
+                            static_cast<double>(stats.levels);
+  }
+  return stats;
+}
+
+std::string GraphStats::ToString() const {
+  std::ostringstream oss;
+  oss << "nodes=" << nodes << " edges=" << edges << " sources=" << sources
+      << " sinks=" << sinks << " levels=" << levels
+      << " max_level_width=" << max_level_width
+      << " avg_level_width=" << avg_level_width << "\n"
+      << "  out-degree: " << out_degree.ToString() << "\n"
+      << "  in-degree:  " << in_degree.ToString();
+  return oss.str();
+}
+
+}  // namespace dsched::graph

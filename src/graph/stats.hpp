@@ -1,0 +1,31 @@
+// Descriptive statistics of a Dag — the columns of the paper's Table I and
+// the anatomy narration of Figure 1.
+#pragma once
+
+#include <string>
+
+#include "graph/dag.hpp"
+#include "util/stats.hpp"
+
+namespace dsched::graph {
+
+/// Shape summary of one DAG.
+struct GraphStats {
+  std::size_t nodes = 0;
+  std::size_t edges = 0;
+  std::size_t sources = 0;
+  std::size_t sinks = 0;
+  std::size_t levels = 0;         ///< L: number of distinct levels.
+  std::size_t max_level_width = 0;  ///< widest level (nodes on it).
+  double avg_level_width = 0.0;
+  util::Summary out_degree;
+  util::Summary in_degree;
+
+  /// Multi-line human-readable rendering.
+  [[nodiscard]] std::string ToString() const;
+};
+
+/// Computes the summary in O(V + E).
+[[nodiscard]] GraphStats ComputeGraphStats(const Dag& dag);
+
+}  // namespace dsched::graph

@@ -1,0 +1,45 @@
+#include "graph/topo.hpp"
+
+#include <queue>
+
+#include "util/error.hpp"
+
+namespace dsched::graph {
+
+std::vector<TaskId> TopologicalOrder(const Dag& dag) {
+  const std::size_t n = dag.NumNodes();
+  std::vector<std::size_t> indeg(n);
+  // Min-heap on node id gives a canonical order for tests and golden files.
+  std::priority_queue<TaskId, std::vector<TaskId>, std::greater<>> ready;
+  for (std::size_t v = 0; v < n; ++v) {
+    indeg[v] = dag.InDegree(static_cast<TaskId>(v));
+    if (indeg[v] == 0) {
+      ready.push(static_cast<TaskId>(v));
+    }
+  }
+  std::vector<TaskId> order;
+  order.reserve(n);
+  while (!ready.empty()) {
+    const TaskId u = ready.top();
+    ready.pop();
+    order.push_back(u);
+    for (const TaskId v : dag.OutNeighbors(u)) {
+      if (--indeg[v] == 0) {
+        ready.push(v);
+      }
+    }
+  }
+  DSCHED_CHECK_MSG(order.size() == n, "Dag invariant violated: cycle found");
+  return order;
+}
+
+std::vector<std::size_t> TopologicalRank(const Dag& dag) {
+  const auto order = TopologicalOrder(dag);
+  std::vector<std::size_t> rank(dag.NumNodes());
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    rank[order[i]] = i;
+  }
+  return rank;
+}
+
+}  // namespace dsched::graph

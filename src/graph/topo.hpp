@@ -1,0 +1,19 @@
+// Topological ordering of a Dag.
+#pragma once
+
+#include <vector>
+
+#include "graph/dag.hpp"
+#include "util/types.hpp"
+
+namespace dsched::graph {
+
+/// Returns the nodes in a topological order (Kahn's algorithm; sources first,
+/// ties broken by ascending node id, which makes the order deterministic).
+[[nodiscard]] std::vector<TaskId> TopologicalOrder(const Dag& dag);
+
+/// Returns position-of-node in the order produced by TopologicalOrder:
+/// rank[u] < rank[v] whenever there is an edge u -> v.
+[[nodiscard]] std::vector<std::size_t> TopologicalRank(const Dag& dag);
+
+}  // namespace dsched::graph

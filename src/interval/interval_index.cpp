@@ -1,0 +1,90 @@
+#include "interval/interval_index.hpp"
+
+#include <algorithm>
+
+#include "graph/topo.hpp"
+#include "util/error.hpp"
+
+namespace dsched::interval {
+
+IntervalIndex::IntervalIndex(const graph::Dag& dag) {
+  const std::size_t n = dag.NumNodes();
+  post_.assign(n, 0);
+  sets_.resize(n);
+  if (n == 0) {
+    return;
+  }
+
+  // --- Pass 1: iterative DFS from the sources builds a spanning forest and
+  // assigns postorder numbers.  All numbers assigned between the push and
+  // the pop of a node belong to its DFS subtree, so recording the next
+  // postorder value at push time ("watermark") makes the node's tree
+  // interval exactly [watermark, post[node]].
+  std::vector<bool> visited(n, false);
+  std::vector<std::uint32_t> tree_low(n, 0);
+  std::uint32_t next_post = 0;
+
+  struct Frame {
+    TaskId node;
+    std::size_t child_index;
+  };
+  std::vector<Frame> stack;
+  for (const TaskId root : dag.Sources()) {
+    if (visited[root]) {
+      continue;
+    }
+    visited[root] = true;
+    tree_low[root] = next_post;
+    stack.push_back({root, 0});
+    while (!stack.empty()) {
+      Frame& frame = stack.back();
+      const auto children = dag.OutNeighbors(frame.node);
+      if (frame.child_index < children.size()) {
+        const TaskId child = children[frame.child_index++];
+        if (!visited[child]) {
+          visited[child] = true;
+          tree_low[child] = next_post;
+          stack.push_back({child, 0});
+        }
+      } else {
+        post_[frame.node] = next_post;
+        ++next_post;
+        stack.pop_back();
+      }
+    }
+  }
+  // Every node of a finite DAG is reachable from some source (follow parents
+  // upward until in-degree 0), so the forest covers all of V.
+  DSCHED_CHECK_MSG(next_post == n, "DFS failed to reach every node");
+
+  // --- Pass 2: reverse topological sweep.  Each node's interval set is its
+  // tree interval united with the interval sets of all DAG children (tree
+  // and non-tree edges alike), giving exactly the descendant closure.
+  const auto order = graph::TopologicalOrder(dag);
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    const TaskId u = *it;
+    IntervalSet& set = sets_[u];
+    set.Insert(tree_low[u], post_[u]);
+    for (const TaskId child : dag.OutNeighbors(u)) {
+      set.Merge(sets_[child]);
+    }
+    total_intervals_ += set.Size();
+  }
+}
+
+bool IntervalIndex::Reaches(TaskId u, TaskId v, std::uint64_t* probes) const {
+  DSCHED_CHECK_MSG(u < sets_.size() && v < post_.size(),
+                   "node id out of range");
+  return sets_[u].Contains(post_[v], probes);
+}
+
+std::size_t IntervalIndex::MemoryBytes() const {
+  std::size_t bytes = post_.capacity() * sizeof(std::uint32_t) +
+                      sets_.capacity() * sizeof(IntervalSet);
+  for (const auto& set : sets_) {
+    bytes += set.MemoryBytes();
+  }
+  return bytes;
+}
+
+}  // namespace dsched::interval

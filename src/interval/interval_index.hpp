@@ -1,0 +1,75 @@
+// Interval-list transitive-closure index — the ancestor store of the
+// production LogicBlox scheduler (paper Sections II-C and VI-B).
+//
+// Construction (Agrawal-Borgida-Jagadish'89):
+//  1. A DFS over the DAG from its sources chooses a spanning forest and
+//     assigns every node a postorder number.  Each node's *tree* descendants
+//     then form the contiguous interval [min-descendant-post, own-post].
+//  2. A reverse-topological sweep unions each node's tree interval with the
+//     interval sets of all of its (DAG, not just tree) children, so every
+//     node's interval set covers the postorder numbers of exactly its
+//     descendants.
+//
+// Queries: `ReachesQuery(u, v)` — "is v a descendant of u", equivalently
+// "is u an ancestor of v" — binary-searches post[v] in u's interval set.
+//
+// Complexity: "usually but not always compact" — worst case Θ(V) intervals
+// on Θ(V) nodes = O(V^2) space, which is the separation from the LevelBased
+// scheduler's O(V) that Theorem 2 establishes.  All probe work is counted so
+// the benches can report modelled scheduling overhead.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/dag.hpp"
+#include "interval/interval_set.hpp"
+#include "util/types.hpp"
+
+namespace dsched::interval {
+
+using util::TaskId;
+
+/// Immutable ancestor/descendant index over one Dag.
+class IntervalIndex {
+ public:
+  /// Precomputes the index: O(V + E + total-intervals) time.
+  explicit IntervalIndex(const graph::Dag& dag);
+
+  /// True iff v is reachable from u (u == v counts as reachable).
+  /// Thread-compatible: const and does not mutate; the probe counter is
+  /// returned through the out-parameter instead of internal state.
+  [[nodiscard]] bool Reaches(TaskId u, TaskId v,
+                             std::uint64_t* probes = nullptr) const;
+
+  /// True iff `ancestor` is a proper or improper ancestor of `node`.
+  [[nodiscard]] bool IsAncestor(TaskId ancestor, TaskId node,
+                                std::uint64_t* probes = nullptr) const {
+    return Reaches(ancestor, node, probes);
+  }
+
+  /// Postorder number assigned to a node by the DFS.
+  [[nodiscard]] std::uint32_t PostOrder(TaskId u) const { return post_[u]; }
+
+  /// Interval list of one node (its descendant set, itself included).
+  [[nodiscard]] const IntervalSet& IntervalsOf(TaskId u) const {
+    return sets_[u];
+  }
+
+  /// Total intervals stored across all nodes — the size figure that is
+  /// quadratic on adversarial DAGs.
+  [[nodiscard]] std::uint64_t TotalIntervals() const { return total_intervals_; }
+
+  /// Resident bytes of the whole index.
+  [[nodiscard]] std::size_t MemoryBytes() const;
+
+  /// Number of nodes indexed.
+  [[nodiscard]] std::size_t NumNodes() const { return sets_.size(); }
+
+ private:
+  std::vector<std::uint32_t> post_;
+  std::vector<IntervalSet> sets_;
+  std::uint64_t total_intervals_ = 0;
+};
+
+}  // namespace dsched::interval

@@ -1,0 +1,109 @@
+#include "interval/interval_set.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace dsched::interval {
+
+void IntervalSet::Insert(std::uint32_t lo, std::uint32_t hi) {
+  DSCHED_CHECK_MSG(lo <= hi, "interval lo must not exceed hi");
+  // Find the first interval whose hi is >= lo - 1 (merge candidate).
+  const auto touches_from = std::lower_bound(
+      intervals_.begin(), intervals_.end(), lo,
+      [](const Interval& iv, std::uint32_t key) {
+        // Treat hi == key - 1 as touching (adjacency coalesces); beware of
+        // unsigned wrap when key == 0.
+        return key > 0 ? iv.hi < key - 1 : false;
+      });
+  if (touches_from == intervals_.end() || touches_from->lo > (hi == UINT32_MAX ? hi : hi + 1)) {
+    // Disjoint and non-adjacent: plain insertion.
+    intervals_.insert(touches_from, Interval{lo, hi});
+    return;
+  }
+  // Merge the run of touching intervals into one.
+  auto touches_to = touches_from;
+  std::uint32_t new_lo = std::min(lo, touches_from->lo);
+  std::uint32_t new_hi = hi;
+  while (touches_to != intervals_.end() &&
+         touches_to->lo <= (hi == UINT32_MAX ? hi : hi + 1)) {
+    new_hi = std::max(new_hi, touches_to->hi);
+    ++touches_to;
+  }
+  *touches_from = Interval{new_lo, new_hi};
+  intervals_.erase(touches_from + 1, touches_to);
+}
+
+void IntervalSet::Merge(const IntervalSet& other) {
+  if (other.Empty()) {
+    return;
+  }
+  if (Empty()) {
+    intervals_ = other.intervals_;
+    return;
+  }
+  // Linear merge of two sorted lists, coalescing as we go.
+  std::vector<Interval> merged;
+  merged.reserve(intervals_.size() + other.intervals_.size());
+  std::size_t i = 0;
+  std::size_t j = 0;
+  const auto push = [&merged](Interval iv) {
+    if (!merged.empty() && iv.lo <= (merged.back().hi == UINT32_MAX
+                                         ? merged.back().hi
+                                         : merged.back().hi + 1)) {
+      merged.back().hi = std::max(merged.back().hi, iv.hi);
+    } else {
+      merged.push_back(iv);
+    }
+  };
+  while (i < intervals_.size() || j < other.intervals_.size()) {
+    if (j == other.intervals_.size() ||
+        (i < intervals_.size() && intervals_[i].lo <= other.intervals_[j].lo)) {
+      push(intervals_[i++]);
+    } else {
+      push(other.intervals_[j++]);
+    }
+  }
+  intervals_ = std::move(merged);
+}
+
+bool IntervalSet::Contains(std::uint32_t x, std::uint64_t* probes) const {
+  std::size_t lo = 0;
+  std::size_t hi = intervals_.size();
+  while (lo < hi) {
+    const std::size_t mid = lo + (hi - lo) / 2;
+    if (probes != nullptr) {
+      ++*probes;
+    }
+    if (intervals_[mid].hi < x) {
+      lo = mid + 1;
+    } else if (intervals_[mid].lo > x) {
+      hi = mid;
+    } else {
+      return true;
+    }
+  }
+  return false;
+}
+
+std::uint64_t IntervalSet::Cardinality() const {
+  std::uint64_t total = 0;
+  for (const auto& iv : intervals_) {
+    total += static_cast<std::uint64_t>(iv.hi) - iv.lo + 1;
+  }
+  return total;
+}
+
+std::string IntervalSet::ToString() const {
+  std::ostringstream oss;
+  for (std::size_t i = 0; i < intervals_.size(); ++i) {
+    if (i > 0) {
+      oss << " ";
+    }
+    oss << "[" << intervals_[i].lo << "," << intervals_[i].hi << "]";
+  }
+  return oss.str();
+}
+
+}  // namespace dsched::interval

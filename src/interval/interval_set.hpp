@@ -1,0 +1,65 @@
+// A sorted set of disjoint closed integer intervals.
+//
+// The LogicBlox scheduler's ancestor store (paper Section II-C) encodes each
+// node's descendant set as a list of postorder-number intervals, following
+// Agrawal, Borgida & Jagadish (SIGMOD'89) and Nuutila (1995).  "Usually but
+// not always" compact: adversarial DAGs force Θ(V) intervals on Θ(V) nodes,
+// which is the O(V^2) worst case the paper cites.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace dsched::interval {
+
+/// One closed interval [lo, hi] of postorder numbers.
+struct Interval {
+  std::uint32_t lo = 0;
+  std::uint32_t hi = 0;
+
+  friend bool operator==(const Interval&, const Interval&) = default;
+};
+
+/// Sorted, coalesced list of disjoint intervals.
+class IntervalSet {
+ public:
+  IntervalSet() = default;
+
+  /// Inserts [lo, hi], merging with any overlapping or adjacent intervals.
+  void Insert(std::uint32_t lo, std::uint32_t hi);
+
+  /// Unions another set into this one.
+  void Merge(const IntervalSet& other);
+
+  /// Membership test by binary search over the interval list.  `probes`
+  /// (optional) is incremented by the number of comparisons performed, which
+  /// the simulator uses as the modelled query cost.
+  [[nodiscard]] bool Contains(std::uint32_t x,
+                              std::uint64_t* probes = nullptr) const;
+
+  /// Number of stored intervals (the "length" of the interval list).
+  [[nodiscard]] std::size_t Size() const { return intervals_.size(); }
+
+  [[nodiscard]] bool Empty() const { return intervals_.empty(); }
+
+  /// Total integers covered.
+  [[nodiscard]] std::uint64_t Cardinality() const;
+
+  /// Resident bytes of the interval storage.
+  [[nodiscard]] std::size_t MemoryBytes() const {
+    return intervals_.capacity() * sizeof(Interval);
+  }
+
+  [[nodiscard]] const std::vector<Interval>& Intervals() const {
+    return intervals_;
+  }
+
+  /// "[2,5] [9,9] [12,20]".
+  [[nodiscard]] std::string ToString() const;
+
+ private:
+  std::vector<Interval> intervals_;
+};
+
+}  // namespace dsched::interval

@@ -1,0 +1,114 @@
+#include "runtime/executor.hpp"
+
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+
+#include "runtime/thread_pool.hpp"
+#include "util/error.hpp"
+#include "util/timer.hpp"
+
+namespace dsched::runtime {
+
+Executor::RunStats Executor::Run(const trace::JobTrace& trace,
+                                 sched::Scheduler& scheduler,
+                                 const TaskBody& body,
+                                 const Options& options) {
+  DSCHED_CHECK_MSG(options.workers >= 1, "need at least one worker");
+  const graph::Dag& dag = trace.Graph();
+  RunStats stats;
+  util::WallTimer wall;
+  util::Stopwatch sched_watch;
+
+  scheduler.Prepare({&trace, options.workers});
+
+  std::mutex mutex;
+  std::condition_variable completions_arrived;
+  std::deque<std::pair<TaskId, bool>> completions;
+  std::vector<bool> activated(dag.NumNodes(), false);
+  std::size_t activated_count = 0;
+  std::size_t completed_count = 0;
+  std::size_t inflight = 0;
+
+  // All scheduler interaction happens with `mutex` held.
+  const auto activate = [&](TaskId t) {
+    if (!activated[t]) {
+      activated[t] = true;
+      ++activated_count;
+      const util::StopwatchGuard guard(sched_watch);
+      scheduler.OnActivated(t);
+    }
+  };
+
+  {
+    const std::lock_guard<std::mutex> lock(mutex);
+    for (const TaskId t : trace.InitialDirty()) {
+      activate(t);
+    }
+  }
+
+  ThreadPool pool(options.workers);
+  std::unique_lock<std::mutex> lock(mutex);
+  for (;;) {
+    // Dispatch ready work up to the worker count.
+    while (inflight < options.workers) {
+      TaskId t = util::kInvalidTask;
+      {
+        const util::StopwatchGuard guard(sched_watch);
+        t = scheduler.PopReady();
+      }
+      if (t == util::kInvalidTask) {
+        break;
+      }
+      {
+        const util::StopwatchGuard guard(sched_watch);
+        scheduler.OnStarted(t);
+      }
+      ++inflight;
+      pool.Submit([&, t] {
+        const bool changed = body ? body(t) : trace.Info(t).output_changes;
+        {
+          const std::lock_guard<std::mutex> inner(mutex);
+          completions.emplace_back(t, changed);
+        }
+        completions_arrived.notify_one();
+      });
+    }
+
+    if (inflight == 0 && completions.empty()) {
+      if (completed_count < activated_count) {
+        throw util::LogicError(
+            "executor deadlock: scheduler " + std::string(scheduler.Name()) +
+            " offers no ready work with " +
+            std::to_string(activated_count - completed_count) +
+            " tasks incomplete");
+      }
+      break;
+    }
+
+    completions_arrived.wait(lock, [&] { return !completions.empty(); });
+    while (!completions.empty()) {
+      const auto [t, changed] = completions.front();
+      completions.pop_front();
+      --inflight;
+      ++completed_count;
+      ++stats.executed;
+      if (changed) {
+        for (const TaskId child : dag.OutNeighbors(t)) {
+          activate(child);
+        }
+      }
+      const util::StopwatchGuard guard(sched_watch);
+      scheduler.OnCompleted(t, changed);
+    }
+  }
+  lock.unlock();
+  pool.Wait();
+
+  stats.activations = activated_count;
+  stats.wall_seconds = wall.ElapsedSeconds();
+  stats.sched_wall_seconds = sched_watch.TotalSeconds();
+  return stats;
+}
+
+}  // namespace dsched::runtime

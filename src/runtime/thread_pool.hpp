@@ -1,0 +1,49 @@
+// A minimal fixed-size worker pool.
+//
+// Follows the C++ Core Guidelines concurrency rules: RAII join on
+// destruction (CP.23-style), all shared state behind one mutex, condition
+// variables with predicate waits.
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace dsched::runtime {
+
+/// Fixed pool of worker threads draining a FIFO of jobs.
+class ThreadPool {
+ public:
+  /// Spawns `workers` threads (at least 1).
+  explicit ThreadPool(std::size_t workers);
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Drains pending jobs, then joins all workers.
+  ~ThreadPool();
+
+  /// Enqueues one job.  Jobs must not throw; exceptions terminate.
+  void Submit(std::function<void()> job);
+
+  /// Blocks until every submitted job has finished executing.
+  void Wait();
+
+  [[nodiscard]] std::size_t NumWorkers() const { return workers_.size(); }
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mutex_;
+  std::condition_variable work_available_;
+  std::condition_variable all_idle_;
+  std::deque<std::function<void()>> queue_;
+  std::size_t in_flight_ = 0;
+  bool shutting_down_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace dsched::runtime

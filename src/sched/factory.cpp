@@ -1,0 +1,82 @@
+#include "sched/factory.hpp"
+
+#include <algorithm>
+#include <cctype>
+
+#include "sched/hybrid.hpp"
+#include "sched/level_based.hpp"
+#include "sched/logicblox.hpp"
+#include "sched/lookahead.hpp"
+#include "sched/oracle.hpp"
+#include "sched/signal_propagation.hpp"
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace dsched::sched {
+
+namespace {
+std::string Lower(std::string s) {
+  std::transform(s.begin(), s.end(), s.begin(), [](unsigned char c) {
+    return static_cast<char>(std::tolower(c));
+  });
+  return s;
+}
+}  // namespace
+
+std::unique_ptr<Scheduler> CreateScheduler(const std::string& spec) {
+  const std::string lower = Lower(spec);
+  std::string head = lower;
+  std::string arg;
+  if (const auto colon = lower.find(':'); colon != std::string::npos) {
+    head = lower.substr(0, colon);
+    arg = lower.substr(colon + 1);
+  }
+  if (head == "levelbased" || head == "lb") {
+    LevelOrder order = LevelOrder::kLifo;
+    if (arg == "fifo") {
+      order = LevelOrder::kFifo;
+    } else if (arg == "lpt") {
+      order = LevelOrder::kLongestFirst;
+    } else if (!arg.empty() && arg != "lifo") {
+      throw util::ParseError("unknown level order '" + arg +
+                             "' (want lifo, fifo, or lpt)");
+    }
+    return std::make_unique<LevelBasedScheduler>(order);
+  }
+  if (head == "lbl" || head == "lookahead") {
+    const std::size_t k =
+        arg.empty() ? 10 : static_cast<std::size_t>(util::ParseU64(arg, "lookahead k"));
+    return std::make_unique<LookaheadScheduler>(k);
+  }
+  if (head == "logicblox" || head == "lx") {
+    return std::make_unique<LogicBloxScheduler>();
+  }
+  if (head == "signal" || head == "signalpropagation") {
+    return std::make_unique<SignalPropagationScheduler>();
+  }
+  if (head == "oracle") {
+    return std::make_unique<OracleScheduler>();
+  }
+  if (head == "hybrid") {
+    std::unique_ptr<Scheduler> heuristic;
+    if (arg.empty()) {
+      heuristic = std::make_unique<LogicBloxScheduler>();
+    } else {
+      heuristic = CreateScheduler(arg);
+    }
+    return std::make_unique<HybridScheduler>(
+        std::make_unique<LevelBasedScheduler>(), std::move(heuristic));
+  }
+  throw util::ParseError("unknown scheduler spec '" + spec +
+                         "' (known: levelbased, lbl:<k>, logicblox, signal, "
+                         "hybrid[:<heuristic>], oracle)");
+}
+
+std::vector<std::string> KnownSchedulerSpecs() {
+  return {"levelbased",         "levelbased:<lifo|fifo|lpt>",
+          "lbl:<k>",            "logicblox",
+          "signal",             "hybrid",
+          "hybrid:<heuristic>", "oracle"};
+}
+
+}  // namespace dsched::sched

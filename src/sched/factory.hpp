@@ -1,0 +1,30 @@
+// String-spec scheduler factory, used by bench binaries and examples to
+// select policies from the command line.
+//
+// Recognized specs (case-insensitive):
+//   "levelbased"              — LevelBasedScheduler
+//   "lbl:<k>" / "lookahead:<k>" — LookaheadScheduler with lookahead k
+//   "logicblox"               — LogicBloxScheduler
+//   "signal"                  — SignalPropagationScheduler
+//   "hybrid"                  — HybridScheduler(LevelBased, LogicBlox)
+//   "hybrid:<heuristic>"      — HybridScheduler(LevelBased, <heuristic>)
+//   "oracle"                  — OracleScheduler (clairvoyant reference)
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sched/scheduler.hpp"
+
+namespace dsched::sched {
+
+/// Instantiates a scheduler from a spec string; throws util::ParseError for
+/// unknown specs.
+[[nodiscard]] std::unique_ptr<Scheduler> CreateScheduler(
+    const std::string& spec);
+
+/// The specs CreateScheduler understands, for --help texts.
+[[nodiscard]] std::vector<std::string> KnownSchedulerSpecs();
+
+}  // namespace dsched::sched

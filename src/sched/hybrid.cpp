@@ -1,0 +1,88 @@
+#include "sched/hybrid.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace dsched::sched {
+
+HybridScheduler::HybridScheduler(std::unique_ptr<Scheduler> fast,
+                                 std::unique_ptr<Scheduler> heuristic)
+    : fast_(std::move(fast)), heuristic_(std::move(heuristic)) {
+  DSCHED_CHECK_MSG(fast_ != nullptr && heuristic_ != nullptr,
+                   "hybrid needs both child schedulers");
+  name_ = "Hybrid(" + std::string(fast_->Name()) + "+" +
+          std::string(heuristic_->Name()) + ")";
+}
+
+void HybridScheduler::Prepare(const SchedulerContext& ctx) {
+  fast_->Prepare(ctx);
+  heuristic_->Prepare(ctx);
+}
+
+void HybridScheduler::OnActivated(TaskId t) {
+  fast_->OnActivated(t);
+  heuristic_->OnActivated(t);
+  ++activation_credits_;
+}
+
+void HybridScheduler::OnStarted(TaskId t) {
+  fast_->OnStarted(t);
+  heuristic_->OnStarted(t);
+}
+
+void HybridScheduler::OnCompleted(TaskId t, bool output_changed) {
+  fast_->OnCompleted(t, output_changed);
+  heuristic_->OnCompleted(t, output_changed);
+  ++completions_since_consult_;
+}
+
+TaskId HybridScheduler::PopReady() {
+  // Fast path first: in the cooperative scheme this models both finders
+  // feeding the shared ready queue, with the O(1) one winning the race
+  // whenever it has anything — the heuristic's scan is only paid when the
+  // fast path is blocked, and repeated fruitless scans back off.
+  const TaskId fast = fast_->PopReady();
+  if (fast != util::kInvalidTask) {
+    if (activation_credits_ > 0) {
+      --activation_credits_;  // this activation never needed the heuristic
+    }
+    return fast;
+  }
+  if (activation_credits_ == 0 &&
+      completions_since_consult_ < consult_threshold_) {
+    return util::kInvalidTask;  // let running work complete first
+  }
+  activation_credits_ = 0;
+  const TaskId slow = heuristic_->PopReady();
+  if (slow != util::kInvalidTask) {
+    consecutive_failures_ = 0;
+    consult_threshold_ = 1;
+    completions_since_consult_ = 1;  // keep draining the heuristic's queue
+  } else {
+    // An isolated failure costs only the wait for the next completion
+    // (nothing can become ready without one anyway); doubling kicks in from
+    // the second consecutive failure, so only genuine failure *runs* — the
+    // pathological pattern — get throttled.
+    ++consecutive_failures_;
+    consult_threshold_ =
+        consecutive_failures_ <= 1
+            ? 1
+            : (std::uint64_t{1}
+               << std::min<std::uint64_t>(consecutive_failures_ - 1, 62));
+    completions_since_consult_ = 0;
+  }
+  return slow;
+}
+
+SchedulerOpCounts HybridScheduler::OpCounts() const {
+  SchedulerOpCounts counts = fast_->OpCounts();
+  counts.Merge(heuristic_->OpCounts());
+  return counts;
+}
+
+std::size_t HybridScheduler::MemoryBytes() const {
+  return fast_->MemoryBytes() + heuristic_->MemoryBytes();
+}
+
+}  // namespace dsched::sched

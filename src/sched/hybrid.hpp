@@ -1,0 +1,63 @@
+// The hybrid scheduler — the paper's main practical result (Sections V and
+// VI-B).
+//
+// Two policies run over one shared pool of work: a lightweight "fast"
+// scheduler (LevelBased) and an arbitrary heuristic (the LogicBlox
+// scheduler).  Both receive every activation/start/completion event; ready
+// work is taken from whichever finds it first, with the O(1) fast path
+// consulted before the heuristic's expensive scan.  On the heuristic's good
+// instances behaviour is unchanged; on its pathological instances the fast
+// path keeps the processors saturated — "adding our new scheduler only
+// results in performance improvements."
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "sched/scheduler.hpp"
+
+namespace dsched::sched {
+
+/// Runs a fast scheduler and a heuristic cooperatively.
+class HybridScheduler : public Scheduler {
+ public:
+  /// Both children must be freshly constructed (not yet Prepared).
+  HybridScheduler(std::unique_ptr<Scheduler> fast,
+                  std::unique_ptr<Scheduler> heuristic);
+
+  [[nodiscard]] std::string_view Name() const override { return name_; }
+  void Prepare(const SchedulerContext& ctx) override;
+  void OnActivated(TaskId t) override;
+  void OnStarted(TaskId t) override;
+  void OnCompleted(TaskId t, bool output_changed) override;
+  [[nodiscard]] TaskId PopReady() override;
+  [[nodiscard]] SchedulerOpCounts OpCounts() const override;
+  [[nodiscard]] std::size_t MemoryBytes() const override;
+
+  [[nodiscard]] const Scheduler& Fast() const { return *fast_; }
+  [[nodiscard]] const Scheduler& Heuristic() const { return *heuristic_; }
+
+ private:
+  std::unique_ptr<Scheduler> fast_;
+  std::unique_ptr<Scheduler> heuristic_;
+  std::string name_;
+  // Amortization gate on the heuristic, tuned so typical behaviour is
+  // identical to always consulting while scan-pathological instances pay
+  // O(log n) scans instead of O(n):
+  //  * every activation grants a credit; a fast-path pop consumes one
+  //    (that activation found its way to a processor without the
+  //    heuristic).  Leftover credits mean work the fast path could not
+  //    place — consult the heuristic immediately.
+  //  * with no credits, consults are allowed after consult_threshold_
+  //    completions; the threshold doubles after a fruitless consult and
+  //    resets to 1 on any success, so only *runs* of useless scans (a
+  //    stagnant blocked queue, the pathological pattern) are throttled.
+  // This mirrors what the paper's concurrent shared-queue deployment gets
+  // by never letting the slow finder block anything.
+  std::uint64_t activation_credits_ = 0;
+  std::uint64_t completions_since_consult_ = 1;
+  std::uint64_t consult_threshold_ = 1;
+  std::uint64_t consecutive_failures_ = 0;
+};
+
+}  // namespace dsched::sched

@@ -1,0 +1,151 @@
+#include "sched/level_based.hpp"
+
+#include "util/error.hpp"
+
+namespace dsched::sched {
+
+const char* LevelOrderName(LevelOrder order) {
+  switch (order) {
+    case LevelOrder::kLifo:
+      return "lifo";
+    case LevelOrder::kFifo:
+      return "fifo";
+    case LevelOrder::kLongestFirst:
+      return "lpt";
+  }
+  return "?";
+}
+
+LevelBasedScheduler::LevelBasedScheduler(LevelOrder order)
+    : order_(order),
+      name_(order == LevelOrder::kLifo
+                ? "LevelBased"
+                : "LevelBased(" + std::string(LevelOrderName(order)) + ")") {}
+
+void LevelBasedScheduler::Prepare(const SchedulerContext& ctx) {
+  DSCHED_CHECK_MSG(ctx.trace != nullptr, "scheduler context needs a trace");
+  ctx_ = ctx;
+  const graph::Dag& dag = ctx.trace->Graph();
+  // The paper's entire precomputation: one level number per node.
+  levels_ = graph::ComputeLevels(dag);
+  num_levels_ = 0;
+  for (const util::Level l : levels_) {
+    num_levels_ = std::max<std::size_t>(num_levels_, l + 1);
+  }
+  pending_by_level_.assign(num_levels_, {});
+  incomplete_at_level_.assign(num_levels_, 0);
+  activated_.assign(dag.NumNodes(), false);
+  started_.assign(dag.NumNodes(), false);
+  completed_.assign(dag.NumNodes(), false);
+  frontier_ = 0;
+  pending_unstarted_ = 0;
+  running_ = 0;
+}
+
+void LevelBasedScheduler::OnActivated(TaskId t) {
+  DSCHED_CHECK_MSG(t < activated_.size(), "task id out of range");
+  DSCHED_CHECK_MSG(!activated_[t], "task activated twice");
+  activated_[t] = true;
+  const util::Level level = levels_[t];
+  // Lemma 1's safety hinges on activations never landing behind the
+  // frontier: levels strictly increase along edges, so a changed output
+  // from an incomplete task (level >= frontier) activates strictly deeper
+  // children.
+  DSCHED_CHECK_MSG(level >= frontier_,
+                   "activation behind the frontier — model violation");
+  pending_by_level_[level].push_back(t);
+  ++incomplete_at_level_[level];
+  ++pending_unstarted_;
+}
+
+void LevelBasedScheduler::OnStarted(TaskId t) {
+  DSCHED_CHECK_MSG(activated_[t] && !started_[t],
+                   "OnStarted on a task not pending");
+  started_[t] = true;
+  ++running_;
+  DSCHED_CHECK(pending_unstarted_ > 0);
+  --pending_unstarted_;
+}
+
+void LevelBasedScheduler::OnCompleted(TaskId t, bool /*output_changed*/) {
+  DSCHED_CHECK_MSG(started_[t] && !completed_[t],
+                   "OnCompleted on a task not running");
+  completed_[t] = true;
+  DSCHED_CHECK(running_ > 0);
+  --running_;
+  DSCHED_CHECK(incomplete_at_level_[levels_[t]] > 0);
+  --incomplete_at_level_[levels_[t]];
+}
+
+TaskId LevelBasedScheduler::PopReady() {
+  if (pending_unstarted_ == 0) {
+    return util::kInvalidTask;
+  }
+  // Advance the frontier past fully-completed levels.  Amortized O(L) over
+  // the whole run: the frontier is monotone.
+  while (frontier_ < num_levels_ && incomplete_at_level_[frontier_] == 0) {
+    ++frontier_;
+    ++counts_.level_advances;
+  }
+  if (frontier_ >= num_levels_) {
+    return util::kInvalidTask;
+  }
+  auto& bucket = pending_by_level_[frontier_];
+  // Lazily drop tasks a cooperating scheduler already started.
+  while (!bucket.empty() && started_[bucket.back()]) {
+    bucket.pop_back();
+  }
+  if (!bucket.empty()) {
+    ++counts_.pops;
+    switch (order_) {
+      case LevelOrder::kLifo:
+        return bucket.back();  // engine will call OnStarted; lazy-skip later
+      case LevelOrder::kFifo: {
+        // Compact leading started entries, then take the oldest.
+        std::size_t head = 0;
+        while (head < bucket.size() && started_[bucket[head]]) {
+          ++head;
+        }
+        if (head > 0) {
+          bucket.erase(bucket.begin(),
+                       bucket.begin() + static_cast<std::ptrdiff_t>(head));
+        }
+        return bucket.front();
+      }
+      case LevelOrder::kLongestFirst: {
+        TaskId best = util::kInvalidTask;
+        double best_span = -1.0;
+        for (const TaskId t : bucket) {
+          if (started_[t]) {
+            continue;
+          }
+          const double span = ctx_.trace->Info(t).span;
+          if (span > best_span) {
+            best_span = span;
+            best = t;
+          }
+        }
+        return best;  // non-invalid: the back() survivor guarantees one
+      }
+    }
+    return bucket.back();
+  }
+  // The frontier level still has running tasks but no pending ones; deeper
+  // pending tasks must wait (a running frontier task may activate their
+  // ancestors-to-be).
+  return util::kInvalidTask;
+}
+
+std::size_t LevelBasedScheduler::MemoryBytes() const {
+  std::size_t bytes = levels_.capacity() * sizeof(util::Level) +
+                      pending_by_level_.capacity() * sizeof(std::vector<TaskId>) +
+                      incomplete_at_level_.capacity() * sizeof(std::size_t) +
+                      (activated_.capacity() + started_.capacity() +
+                       completed_.capacity()) / 8;
+  for (const auto& bucket : pending_by_level_) {
+    bytes += bucket.capacity() * sizeof(TaskId);
+  }
+  return bytes;
+}
+
+}  // namespace dsched::sched

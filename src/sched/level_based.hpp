@@ -1,0 +1,83 @@
+// The LevelBased scheduler (paper Section III, analysed in Section IV).
+//
+// Precompute each node's level (O(V+E) time, O(V) space — Theorem 2).  At
+// runtime keep active tasks bucketed by level and a frontier ℓ = the lowest
+// level holding incomplete active work.  By Lemma 1 every active task at
+// level ℓ is safe to run; the frontier only advances when all processors
+// are idle and level ℓ has drained, which costs O(n + L) scheduler time
+// total for n active tasks and L levels.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "graph/levels.hpp"
+#include "sched/scheduler.hpp"
+
+namespace dsched::sched {
+
+/// How ready tasks are picked from within the frontier level.  The paper
+/// only says "removes and processes any task from level ℓ"; the choice
+/// matters when a level is wider than P and task lengths vary (classic
+/// list-scheduling territory — LPT trims the level's tail).
+enum class LevelOrder : std::uint8_t {
+  kLifo,             ///< newest first (default; cheapest)
+  kFifo,             ///< activation order
+  kLongestFirst,     ///< longest span first (LPT)
+};
+
+/// Renders the ordering policy name.
+[[nodiscard]] const char* LevelOrderName(LevelOrder order);
+
+/// LevelBased scheduling policy.
+class LevelBasedScheduler : public Scheduler {
+ public:
+  explicit LevelBasedScheduler(LevelOrder order = LevelOrder::kLifo);
+
+  [[nodiscard]] std::string_view Name() const override { return name_; }
+  void Prepare(const SchedulerContext& ctx) override;
+  void OnActivated(TaskId t) override;
+  void OnStarted(TaskId t) override;
+  void OnCompleted(TaskId t, bool output_changed) override;
+  [[nodiscard]] TaskId PopReady() override;
+  [[nodiscard]] SchedulerOpCounts OpCounts() const override { return counts_; }
+  [[nodiscard]] std::size_t MemoryBytes() const override;
+
+  /// Current frontier: the lowest level that still holds an incomplete
+  /// active task (Lemma 1's ℓ).  Every pending task at this level is safe.
+  [[nodiscard]] util::Level Frontier() const { return frontier_; }
+
+ protected:
+  // Shared with the LookAhead subclass.
+  [[nodiscard]] util::Level LevelOf(TaskId t) const { return levels_[t]; }
+  [[nodiscard]] bool IsActivated(TaskId t) const { return activated_[t]; }
+  [[nodiscard]] bool IsStarted(TaskId t) const { return started_[t]; }
+  [[nodiscard]] bool IsCompleted(TaskId t) const { return completed_[t]; }
+  [[nodiscard]] std::size_t Running() const { return running_; }
+  [[nodiscard]] std::size_t NumLevels() const { return num_levels_; }
+  [[nodiscard]] const SchedulerContext& Context() const { return ctx_; }
+
+  /// Per-level buckets of activated tasks (started ones lazily skipped).
+  std::vector<std::vector<TaskId>> pending_by_level_;
+  SchedulerOpCounts counts_;
+
+ private:
+  LevelOrder order_;
+  std::string name_;
+  SchedulerContext ctx_;
+  std::vector<util::Level> levels_;
+  std::size_t num_levels_ = 0;
+  /// Lowest level that still holds an incomplete active task.  Monotone:
+  /// activations always land at or above it (levels strictly increase along
+  /// edges), so the forward scan in PopReady is amortized O(L).
+  util::Level frontier_ = 0;
+  /// Incomplete (activated, not completed) active tasks per level.
+  std::vector<std::size_t> incomplete_at_level_;
+  std::size_t pending_unstarted_ = 0;
+  std::size_t running_ = 0;
+  std::vector<bool> activated_;
+  std::vector<bool> started_;
+  std::vector<bool> completed_;
+};
+
+}  // namespace dsched::sched

@@ -1,0 +1,109 @@
+#include "sched/logicblox.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace dsched::sched {
+
+void LogicBloxScheduler::Prepare(const SchedulerContext& ctx) {
+  DSCHED_CHECK_MSG(ctx.trace != nullptr, "scheduler context needs a trace");
+  ctx_ = ctx;
+  const graph::Dag& dag = ctx.trace->Graph();
+  // The heavyweight precomputation the paper critiques: all ancestor
+  // relationships, interval-encoded.
+  index_ = std::make_unique<interval::IntervalIndex>(dag);
+  activated_.assign(dag.NumNodes(), false);
+  started_.assign(dag.NumNodes(), false);
+  completed_.assign(dag.NumNodes(), false);
+  dirty_ = true;
+}
+
+void LogicBloxScheduler::OnActivated(TaskId t) {
+  DSCHED_CHECK_MSG(t < activated_.size(), "task id out of range");
+  DSCHED_CHECK_MSG(!activated_[t], "task activated twice");
+  activated_[t] = true;
+  pending_.push_back(t);
+  incomplete_active_.push_back(t);
+  dirty_ = true;
+}
+
+void LogicBloxScheduler::OnStarted(TaskId t) {
+  DSCHED_CHECK_MSG(activated_[t] && !started_[t],
+                   "OnStarted on a task not pending");
+  started_[t] = true;
+}
+
+void LogicBloxScheduler::OnCompleted(TaskId t, bool /*output_changed*/) {
+  DSCHED_CHECK_MSG(started_[t] && !completed_[t],
+                   "OnCompleted on a task not running");
+  completed_[t] = true;
+  needs_compaction_ = true;
+  dirty_ = true;
+}
+
+TaskId LogicBloxScheduler::PopReady() {
+  for (;;) {
+    while (!ready_.empty()) {
+      const TaskId t = ready_.front();
+      if (started_[t]) {
+        ready_.pop_front();
+        continue;
+      }
+      ++counts_.pops;
+      return t;
+    }
+    if (!dirty_ || pending_.empty()) {
+      return util::kInvalidTask;
+    }
+    Scan();
+  }
+}
+
+void LogicBloxScheduler::Scan() {
+  ++counts_.queue_scans;
+  dirty_ = false;
+  if (needs_compaction_) {
+    std::erase_if(incomplete_active_,
+                  [this](TaskId t) { return completed_[t]; });
+    needs_compaction_ = false;
+  }
+  std::vector<TaskId> still_pending;
+  still_pending.reserve(pending_.size());
+  for (const TaskId c : pending_) {
+    if (started_[c]) {
+      continue;  // claimed by a cooperating scheduler
+    }
+    ++counts_.scanned_candidates;
+    bool blocked = false;
+    // "check whether any of the O(n) active nodes are its ancestors"
+    for (const TaskId a : incomplete_active_) {
+      if (a == c || completed_[a]) {
+        continue;
+      }
+      ++counts_.ancestor_queries;
+      if (index_->Reaches(a, c, &counts_.interval_probes)) {
+        blocked = true;
+        break;
+      }
+    }
+    if (blocked) {
+      still_pending.push_back(c);
+    } else {
+      ready_.push_back(c);
+    }
+  }
+  pending_ = std::move(still_pending);
+}
+
+std::size_t LogicBloxScheduler::MemoryBytes() const {
+  std::size_t bytes = index_ ? index_->MemoryBytes() : 0;
+  bytes += pending_.capacity() * sizeof(TaskId) +
+           ready_.size() * sizeof(TaskId) +
+           incomplete_active_.capacity() * sizeof(TaskId) +
+           (activated_.capacity() + started_.capacity() +
+            completed_.capacity()) / 8;
+  return bytes;
+}
+
+}  // namespace dsched::sched

@@ -1,0 +1,67 @@
+// Reimplementation of the production LogicBlox scheduler (paper Sections
+// II-C and VI-B).
+//
+// Precomputation: every node's ancestor/descendant relation goes into an
+// interval-list transitive-closure index (O(V²) space in the worst case).
+// Runtime: whenever the ready queue runs dry, scan the queue of active
+// tasks; a task is moved to the ready queue if no other incomplete active
+// task is its ancestor (checked by interval queries).  Worst case O(n³)
+// total scheduling time: O(n) scans × O(n) candidates × O(n)-ish ancestor
+// checks — the blow-up our pathological traces trigger.
+//
+// Typical case is very good: on shallow cascades most candidates clear in
+// one or two queries, which is why the paper keeps this scheduler inside
+// the hybrid rather than replacing it.
+#pragma once
+
+#include <deque>
+#include <memory>
+#include <vector>
+
+#include "interval/interval_index.hpp"
+#include "sched/scheduler.hpp"
+
+namespace dsched::sched {
+
+/// Interval-list, active-queue-scanning scheduler.
+class LogicBloxScheduler : public Scheduler {
+ public:
+  LogicBloxScheduler() = default;
+
+  [[nodiscard]] std::string_view Name() const override { return "LogicBlox"; }
+  void Prepare(const SchedulerContext& ctx) override;
+  void OnActivated(TaskId t) override;
+  void OnStarted(TaskId t) override;
+  void OnCompleted(TaskId t, bool output_changed) override;
+  [[nodiscard]] TaskId PopReady() override;
+  [[nodiscard]] SchedulerOpCounts OpCounts() const override { return counts_; }
+  [[nodiscard]] std::size_t MemoryBytes() const override;
+
+  /// The ancestor index, exposed for the space ablation bench.
+  [[nodiscard]] const interval::IntervalIndex& Index() const { return *index_; }
+
+ private:
+  /// One pass over the pending queue, promoting unblocked tasks to ready.
+  void Scan();
+
+  SchedulerContext ctx_;
+  std::unique_ptr<interval::IntervalIndex> index_;
+  SchedulerOpCounts counts_;
+
+  /// Activated, not yet promoted to ready.
+  std::vector<TaskId> pending_;
+  /// Promoted, not yet started (lazily skips started tasks).
+  std::deque<TaskId> ready_;
+  /// Activated and not yet completed — the blocker set for readiness checks
+  /// (running and ready-but-unstarted tasks still block their descendants).
+  std::vector<TaskId> incomplete_active_;
+  bool needs_compaction_ = false;
+
+  std::vector<bool> activated_;
+  std::vector<bool> started_;
+  std::vector<bool> completed_;
+  /// New activations/completions since the last scan?
+  bool dirty_ = true;
+};
+
+}  // namespace dsched::sched

@@ -1,0 +1,99 @@
+#include "sched/lookahead.hpp"
+
+#include "util/error.hpp"
+
+namespace dsched::sched {
+
+LookaheadScheduler::LookaheadScheduler(std::size_t lookahead)
+    : k_(lookahead), name_("LBL(k=" + std::to_string(lookahead) + ")") {
+  DSCHED_CHECK_MSG(lookahead >= 1, "lookahead must be at least 1");
+}
+
+void LookaheadScheduler::Prepare(const SchedulerContext& ctx) {
+  LevelBasedScheduler::Prepare(ctx);
+  approved_.clear();
+  approved_set_.assign(ctx.trace->NumNodes(), false);
+  visit_stamp_.assign(ctx.trace->NumNodes(), 0);
+  epoch_ = 0;
+}
+
+TaskId LookaheadScheduler::PopReady() {
+  // Previously approved lookahead work first (cheapest).
+  while (!approved_.empty()) {
+    const TaskId t = approved_.front();
+    if (IsStarted(t)) {
+      approved_.pop_front();
+      continue;
+    }
+    ++counts_.pops;
+    return t;
+  }
+  // Then the plain LevelBased frontier.
+  const TaskId base = LevelBasedScheduler::PopReady();
+  if (base != util::kInvalidTask) {
+    return base;
+  }
+  // Frontier blocked.  If nothing is running there is genuinely nothing (an
+  // idle frontier with pending work always yields a pop); otherwise search
+  // ahead for work that is provably safe despite the blocked frontier.
+  if (Running() == 0 || k_ == 0) {
+    return util::kInvalidTask;
+  }
+  const util::Level frontier = Frontier();
+  const std::size_t last_level =
+      std::min<std::size_t>(NumLevels(), frontier + k_ + 1);
+  for (std::size_t level = frontier + 1; level < last_level; ++level) {
+    for (const TaskId c : pending_by_level_[level]) {
+      if (IsStarted(c) || approved_set_[c]) {
+        continue;
+      }
+      if (IsSafe(c)) {
+        approved_set_[c] = true;
+        ++counts_.pops;
+        approved_.push_back(c);  // lazy-removed once started
+        return c;
+      }
+    }
+  }
+  return util::kInvalidTask;
+}
+
+bool LookaheadScheduler::IsSafe(TaskId candidate) {
+  const graph::Dag& dag = Context().trace->Graph();
+  const util::Level frontier = Frontier();
+  ++epoch_;
+  bfs_queue_.clear();
+  bfs_queue_.push_back(candidate);
+  visit_stamp_[candidate] = epoch_;
+  std::size_t head = 0;
+  while (head < bfs_queue_.size()) {
+    const TaskId u = bfs_queue_[head++];
+    for (const TaskId p : dag.InNeighbors(u)) {
+      if (visit_stamp_[p] == epoch_) {
+        continue;
+      }
+      visit_stamp_[p] = epoch_;
+      ++counts_.lookahead_visits;
+      // Everything strictly below the frontier is settled: active tasks
+      // there have completed, and inactive ones can no longer activate.
+      if (LevelOf(p) < frontier) {
+        continue;
+      }
+      if (IsActivated(p)) {
+        if (!IsCompleted(p)) {
+          return false;  // incomplete active ancestor — candidate must wait
+        }
+        // Completed ancestors can never grow new incomplete active
+        // ancestors above them (they could not have started otherwise), so
+        // the search need not expand past them.
+        continue;
+      }
+      // Inactive so far — but an active task above it could still activate
+      // it, so keep climbing.
+      bfs_queue_.push_back(p);
+    }
+  }
+  return true;
+}
+
+}  // namespace dsched::sched

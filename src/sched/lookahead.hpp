@@ -1,0 +1,52 @@
+// LevelBased with LookAhead — LBL(k) (paper Sections III "Extending the
+// algorithm" and VI-B).
+//
+// Plain LevelBased refuses to start anything past the frontier level until
+// the frontier drains, which wastes processors when levels are narrow and
+// tasks are sequential.  LBL(k) adds: whenever the frontier is blocked but
+// work is still running, search the next k levels for an active task with
+// no incomplete active ancestor, verified by a bounded reverse BFS.  A task
+// proven safe stays safe (any later activation above it would require an
+// incomplete active ancestor now), so approvals are cached.
+//
+// Worst case O(n²) scheduler time; excellent when levels hold few tasks —
+// exactly the regime where plain LevelBased stalls (Table II shows LBL(15)
+// matching the LogicBlox scheduler).
+#pragma once
+
+#include <deque>
+#include <string>
+
+#include "sched/level_based.hpp"
+
+namespace dsched::sched {
+
+/// LBL(k): LevelBased plus a k-level lookahead search.
+class LookaheadScheduler : public LevelBasedScheduler {
+ public:
+  /// `lookahead` is the paper's parameter k — how many levels past the
+  /// frontier to search.
+  explicit LookaheadScheduler(std::size_t lookahead);
+
+  [[nodiscard]] std::string_view Name() const override { return name_; }
+  void Prepare(const SchedulerContext& ctx) override;
+  [[nodiscard]] TaskId PopReady() override;
+
+  [[nodiscard]] std::size_t Lookahead() const { return k_; }
+
+ private:
+  /// True iff no incomplete active task is an ancestor of `candidate`
+  /// (bounded reverse BFS, pruned at the frontier and at started tasks).
+  [[nodiscard]] bool IsSafe(TaskId candidate);
+
+  std::size_t k_;
+  std::string name_;
+  std::deque<TaskId> approved_;
+  std::vector<bool> approved_set_;
+  // Epoch-stamped visited marks so each BFS starts clean in O(1).
+  std::vector<std::uint32_t> visit_stamp_;
+  std::uint32_t epoch_ = 0;
+  std::vector<TaskId> bfs_queue_;
+};
+
+}  // namespace dsched::sched

@@ -1,0 +1,125 @@
+#include "sched/oracle.hpp"
+
+#include <bit>
+
+#include "graph/topo.hpp"
+#include "trace/cascade.hpp"
+#include "util/error.hpp"
+
+namespace dsched::sched {
+
+void OracleScheduler::Prepare(const SchedulerContext& ctx) {
+  DSCHED_CHECK_MSG(ctx.trace != nullptr, "scheduler context needs a trace");
+  ctx_ = ctx;
+  const graph::Dag& dag = ctx.trace->Graph();
+  const std::size_t n = dag.NumNodes();
+
+  const trace::Cascade cascade = trace::ComputeCascade(*ctx.trace);
+  const std::size_t active = cascade.NumActive();
+  DSCHED_CHECK_MSG(active * n <= (std::size_t{1} << 28),
+                   "OracleScheduler is a test/reference policy; graph too "
+                   "large for its O(W*V) precomputation");
+
+  is_active_.assign(n, false);
+  std::vector<std::uint32_t> dense(n, 0);
+  for (std::size_t i = 0; i < cascade.active_nodes.size(); ++i) {
+    is_active_[cascade.active_nodes[i]] = true;
+    dense[cascade.active_nodes[i]] = static_cast<std::uint32_t>(i);
+  }
+
+  // anc[v] — bitset over dense active ids — the active ancestors of v.
+  const std::size_t words = (active + 63) / 64;
+  std::vector<std::uint64_t> anc(n * words, 0);
+  const auto row = [&](TaskId v) { return anc.data() + v * words; };
+  for (const TaskId u : graph::TopologicalOrder(dag)) {
+    for (const TaskId v : dag.OutNeighbors(u)) {
+      std::uint64_t* dst = row(v);
+      const std::uint64_t* src = row(u);
+      for (std::size_t w = 0; w < words; ++w) {
+        dst[w] |= src[w];
+      }
+      if (is_active_[u]) {
+        dst[dense[u] / 64] |= (1ULL << (dense[u] % 64));
+      }
+    }
+  }
+
+  blockers_.assign(n, 0);
+  dependents_.assign(n, {});
+  spans_.assign(n, 0.0);
+  for (const TaskId v : cascade.active_nodes) {
+    spans_[v] = ctx.trace->Info(v).span;
+    const std::uint64_t* bits = row(v);
+    for (std::size_t w = 0; w < words; ++w) {
+      std::uint64_t word = bits[w];
+      while (word != 0) {
+        const auto bit = static_cast<std::size_t>(std::countr_zero(word));
+        word &= word - 1;
+        const TaskId ancestor = cascade.active_nodes[w * 64 + bit];
+        ++blockers_[v];
+        dependents_[ancestor].push_back(v);
+      }
+    }
+  }
+
+  activated_.assign(n, false);
+  started_.assign(n, false);
+  queued_.assign(n, false);
+  ready_ = std::priority_queue<TaskId, std::vector<TaskId>, BySpan>(
+      BySpan{&spans_});
+}
+
+void OracleScheduler::MaybeReady(TaskId t) {
+  if (activated_[t] && !started_[t] && !queued_[t] && blockers_[t] == 0) {
+    queued_[t] = true;
+    ready_.push(t);
+  }
+}
+
+void OracleScheduler::OnActivated(TaskId t) {
+  DSCHED_CHECK_MSG(t < activated_.size(), "task id out of range");
+  DSCHED_CHECK_MSG(is_active_[t],
+                   "engine activated a task the offline cascade missed");
+  DSCHED_CHECK_MSG(!activated_[t], "task activated twice");
+  activated_[t] = true;
+  MaybeReady(t);
+}
+
+void OracleScheduler::OnStarted(TaskId t) {
+  DSCHED_CHECK_MSG(activated_[t] && !started_[t],
+                   "OnStarted on a task not ready");
+  started_[t] = true;
+}
+
+void OracleScheduler::OnCompleted(TaskId t, bool /*output_changed*/) {
+  for (const TaskId v : dependents_[t]) {
+    DSCHED_CHECK(blockers_[v] > 0);
+    --blockers_[v];
+    MaybeReady(v);
+  }
+}
+
+TaskId OracleScheduler::PopReady() {
+  while (!ready_.empty()) {
+    const TaskId t = ready_.top();
+    if (started_[t]) {
+      ready_.pop();
+      continue;
+    }
+    ++counts_.pops;
+    return t;
+  }
+  return util::kInvalidTask;
+}
+
+std::size_t OracleScheduler::MemoryBytes() const {
+  std::size_t bytes = blockers_.capacity() * sizeof(std::uint32_t) +
+                      spans_.capacity() * sizeof(double) +
+                      dependents_.capacity() * sizeof(std::vector<TaskId>);
+  for (const auto& deps : dependents_) {
+    bytes += deps.capacity() * sizeof(TaskId);
+  }
+  return bytes;
+}
+
+}  // namespace dsched::sched

@@ -1,0 +1,61 @@
+// Clairvoyant reference scheduler.
+//
+// Unlike every real policy here, the oracle reads the trace's output-change
+// bits up front, resolves the activation cascade offline, and precomputes
+// for every active task the exact set of active ancestors it must wait for.
+// At runtime readiness is a counter decrement, and ready tasks are started
+// longest-span-first (LPT), which realizes the Θ(M + L) optimal order of
+// the Figure-2 tight example.
+//
+// This is NOT a contender — it exists as (a) the near-optimal yardstick in
+// the Theorem 9 bench and (b) an independent correctness reference for the
+// property tests.  Precomputation is O(W·(V + E)) time and O(W²) space in
+// the worst case (W = active set size), so it is gated to modest graphs.
+#pragma once
+
+#include <queue>
+#include <vector>
+
+#include "sched/scheduler.hpp"
+
+namespace dsched::sched {
+
+/// Offline-clairvoyant LPT list scheduler.
+class OracleScheduler : public Scheduler {
+ public:
+  OracleScheduler() = default;
+
+  [[nodiscard]] std::string_view Name() const override { return "Oracle"; }
+  void Prepare(const SchedulerContext& ctx) override;
+  void OnActivated(TaskId t) override;
+  void OnStarted(TaskId t) override;
+  void OnCompleted(TaskId t, bool output_changed) override;
+  [[nodiscard]] TaskId PopReady() override;
+  [[nodiscard]] SchedulerOpCounts OpCounts() const override { return counts_; }
+  [[nodiscard]] std::size_t MemoryBytes() const override;
+
+ private:
+  void MaybeReady(TaskId t);
+
+  SchedulerContext ctx_;
+  SchedulerOpCounts counts_;
+  /// Number of active ancestors not yet completed, per node (active only).
+  std::vector<std::uint32_t> blockers_;
+  /// dependents_[u] = active descendants of active task u.
+  std::vector<std::vector<TaskId>> dependents_;
+  std::vector<bool> is_active_;
+  std::vector<bool> activated_;
+  std::vector<bool> started_;
+  std::vector<bool> queued_;
+
+  struct BySpan {
+    const std::vector<double>* spans;
+    bool operator()(TaskId a, TaskId b) const {
+      return (*spans)[a] < (*spans)[b];  // max-heap on span
+    }
+  };
+  std::vector<double> spans_;
+  std::priority_queue<TaskId, std::vector<TaskId>, BySpan> ready_;
+};
+
+}  // namespace dsched::sched

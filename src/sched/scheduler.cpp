@@ -1,0 +1,22 @@
+#include "sched/scheduler.hpp"
+
+namespace dsched::sched {
+
+void SchedulerOpCounts::Merge(const SchedulerOpCounts& other) {
+  ancestor_queries += other.ancestor_queries;
+  interval_probes += other.interval_probes;
+  queue_scans += other.queue_scans;
+  scanned_candidates += other.scanned_candidates;
+  messages += other.messages;
+  level_advances += other.level_advances;
+  lookahead_visits += other.lookahead_visits;
+  pops += other.pops;
+}
+
+std::uint64_t SchedulerOpCounts::Total() const {
+  return ancestor_queries + interval_probes + queue_scans +
+         scanned_candidates + messages + level_advances + lookahead_visits +
+         pops;
+}
+
+}  // namespace dsched::sched

@@ -1,0 +1,106 @@
+// The scheduler interface: how the execution engine (simulator or real
+// thread-pool runtime) talks to a scheduling policy.
+//
+// Model recap (paper Section II): activated tasks must each run exactly
+// once, and may only start once every *activated ancestor* in the original
+// DAG G has completed.  Which ancestors are activated is revealed only at
+// runtime — discovering ready work cheaply is the whole game, and all
+// schedulers here differ only in how they do that.
+//
+// ## Engine contract
+//
+//  1. `Prepare(ctx)` is called once, before anything else.  All
+//     precomputation (levels, interval lists, ...) happens here and is
+//     timed separately from runtime overhead.
+//  2. `OnActivated(t)` is called exactly once per task that becomes active:
+//     first for the initially dirty tasks, later for each task that
+//     receives a changed input.
+//  3. When a task completes, the engine first calls `OnActivated` for every
+//     child newly activated by its changed output, then calls
+//     `OnCompleted(t, output_changed)`.  (This order lets message-passing
+//     schedulers classify a child the moment its last input signal
+//     arrives.)
+//  4. `PopReady()` returns a task that is provably safe to start now, or
+//     kInvalidTask if the scheduler cannot prove any (the engine then waits
+//     for a completion).  The engine immediately follows a successful pop
+//     with `OnStarted(t)`.
+//  5. `OnStarted(t)` is also how a scheduler learns that a *cooperating*
+//     scheduler (hybrid mode) claimed a task: implementations must tolerate
+//     tasks they consider pending being started externally and must never
+//     return an already-started task from PopReady.
+//
+// Every decision call is wall-clock-timed by the engine; the counters in
+// SchedulerOpCounts are the machine-independent "modelled" overhead.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string_view>
+
+#include "trace/job_trace.hpp"
+#include "util/types.hpp"
+
+namespace dsched::sched {
+
+using util::TaskId;
+
+/// Static context handed to Prepare().
+struct SchedulerContext {
+  /// The workload; outlives the scheduler run.  Schedulers may read the DAG
+  /// and static task info but must NOT read output_changes bits — those are
+  /// revealed only through OnActivated/OnCompleted.
+  const trace::JobTrace* trace = nullptr;
+  /// Number of processors the engine will run.
+  std::size_t num_processors = 1;
+};
+
+/// Machine-independent operation counters (modelled scheduling overhead).
+struct SchedulerOpCounts {
+  std::uint64_t ancestor_queries = 0;   ///< interval-list IsAncestor calls
+  std::uint64_t interval_probes = 0;    ///< binary-search comparisons inside them
+  std::uint64_t queue_scans = 0;        ///< full passes over the active queue
+  std::uint64_t scanned_candidates = 0; ///< candidates examined across scans
+  std::uint64_t messages = 0;           ///< signal-propagation messages
+  std::uint64_t level_advances = 0;     ///< LevelBased frontier increments
+  std::uint64_t lookahead_visits = 0;   ///< LBL ancestor-BFS node visits
+  std::uint64_t pops = 0;               ///< successful PopReady calls
+
+  /// Merges another counter block (hybrid aggregates its children).
+  void Merge(const SchedulerOpCounts& other);
+
+  /// Sum of all counters — a single scalar modelled-overhead figure.
+  [[nodiscard]] std::uint64_t Total() const;
+};
+
+/// Abstract scheduling policy.
+class Scheduler {
+ public:
+  virtual ~Scheduler() = default;
+
+  /// Human-readable policy name, e.g. "LevelBased" or "LBL(k=10)".
+  [[nodiscard]] virtual std::string_view Name() const = 0;
+
+  /// One-time precomputation.  Must be called exactly once, first.
+  virtual void Prepare(const SchedulerContext& ctx) = 0;
+
+  /// Task `t`'s input changed; it joined the active set.
+  virtual void OnActivated(TaskId t) = 0;
+
+  /// Task `t` was started (by this scheduler's pop or a cooperating one).
+  virtual void OnStarted(TaskId t) = 0;
+
+  /// Task `t` finished; `output_changed` says whether it propagated.
+  virtual void OnCompleted(TaskId t, bool output_changed) = 0;
+
+  /// A task safe to start now, or util::kInvalidTask.
+  [[nodiscard]] virtual TaskId PopReady() = 0;
+
+  /// Modelled-overhead counters accumulated so far.
+  [[nodiscard]] virtual SchedulerOpCounts OpCounts() const = 0;
+
+  /// Current bytes held by the scheduler's long-lived structures,
+  /// precomputation included.
+  [[nodiscard]] virtual std::size_t MemoryBytes() const = 0;
+};
+
+}  // namespace dsched::sched

@@ -1,0 +1,101 @@
+#include "sched/signal_propagation.hpp"
+
+#include "util/error.hpp"
+
+namespace dsched::sched {
+
+void SignalPropagationScheduler::Prepare(const SchedulerContext& ctx) {
+  DSCHED_CHECK_MSG(ctx.trace != nullptr, "scheduler context needs a trace");
+  ctx_ = ctx;
+  const graph::Dag& dag = ctx.trace->Graph();
+  pending_signals_.resize(dag.NumNodes());
+  for (std::size_t v = 0; v < dag.NumNodes(); ++v) {
+    pending_signals_[v] =
+        static_cast<std::uint32_t>(dag.InDegree(static_cast<TaskId>(v)));
+  }
+  activated_.assign(dag.NumNodes(), false);
+  started_.assign(dag.NumNodes(), false);
+  settled_.assign(dag.NumNodes(), false);
+  sources_fired_ = false;
+}
+
+void SignalPropagationScheduler::OnActivated(TaskId t) {
+  DSCHED_CHECK_MSG(t < activated_.size(), "task id out of range");
+  DSCHED_CHECK_MSG(!activated_[t], "task activated twice");
+  activated_[t] = true;
+}
+
+void SignalPropagationScheduler::OnStarted(TaskId t) {
+  DSCHED_CHECK_MSG(activated_[t] && !started_[t],
+                   "OnStarted on a task not ready");
+  started_[t] = true;
+}
+
+void SignalPropagationScheduler::OnCompleted(TaskId t, bool /*changed*/) {
+  // Whether the output changed is irrelevant to the *signal count*: either
+  // way a message goes to every child.  Which children became active is
+  // already known via OnActivated (called before us per the contract).
+  DeliverFrom(t);
+}
+
+TaskId SignalPropagationScheduler::PopReady() {
+  if (!sources_fired_) {
+    // Time zero: every source settles — dirty ones become ready, clean ones
+    // flood "no change" downstream.
+    sources_fired_ = true;
+    for (const TaskId s : ctx_.trace->Graph().Sources()) {
+      Settle(s);
+    }
+  }
+  while (!ready_.empty()) {
+    const TaskId t = ready_.front();
+    if (started_[t]) {
+      ready_.pop_front();
+      continue;
+    }
+    ++counts_.pops;
+    return t;
+  }
+  return util::kInvalidTask;
+}
+
+void SignalPropagationScheduler::Settle(TaskId t) {
+  DSCHED_CHECK_MSG(!settled_[t], "node settled twice");
+  settled_[t] = true;
+  if (activated_[t]) {
+    ready_.push_back(t);  // will execute; its completion delivers signals
+  } else {
+    DeliverFrom(t);  // inactive: forward "no change" right away, no work
+  }
+}
+
+void SignalPropagationScheduler::DeliverFrom(TaskId t) {
+  const graph::Dag& dag = ctx_.trace->Graph();
+  cascade_stack_.push_back(t);
+  while (!cascade_stack_.empty()) {
+    const TaskId u = cascade_stack_.back();
+    cascade_stack_.pop_back();
+    for (const TaskId v : dag.OutNeighbors(u)) {
+      ++counts_.messages;
+      DSCHED_CHECK(pending_signals_[v] > 0);
+      if (--pending_signals_[v] == 0) {
+        settled_[v] = true;
+        if (activated_[v]) {
+          ready_.push_back(v);
+        } else {
+          cascade_stack_.push_back(v);  // inactive: keep flooding
+        }
+      }
+    }
+  }
+}
+
+std::size_t SignalPropagationScheduler::MemoryBytes() const {
+  return pending_signals_.capacity() * sizeof(std::uint32_t) +
+         (activated_.capacity() + started_.capacity() + settled_.capacity()) /
+             8 +
+         ready_.size() * sizeof(TaskId) +
+         cascade_stack_.capacity() * sizeof(TaskId);
+}
+
+}  // namespace dsched::sched

@@ -1,0 +1,53 @@
+// Brute-force signal-propagation scheduler (paper Section II-C).
+//
+// No precomputation at all.  Every node waits for a signal ("changed" or
+// "no change") from each of its parents; once all have arrived the node is
+// either ready to run (some input changed) or is marked inactive and
+// immediately forwards "no change" to its own children.  Source nodes fire
+// at time zero.  Correct and simple, but the message count is Θ(V + E)
+// regardless of how small the active set is — the asymptotic weakness the
+// LevelBased scheduler removes.
+#pragma once
+
+#include <deque>
+#include <vector>
+
+#include "sched/scheduler.hpp"
+
+namespace dsched::sched {
+
+/// Message-counting brute-force baseline.
+class SignalPropagationScheduler : public Scheduler {
+ public:
+  SignalPropagationScheduler() = default;
+
+  [[nodiscard]] std::string_view Name() const override {
+    return "SignalPropagation";
+  }
+  void Prepare(const SchedulerContext& ctx) override;
+  void OnActivated(TaskId t) override;
+  void OnStarted(TaskId t) override;
+  void OnCompleted(TaskId t, bool output_changed) override;
+  [[nodiscard]] TaskId PopReady() override;
+  [[nodiscard]] SchedulerOpCounts OpCounts() const override { return counts_; }
+  [[nodiscard]] std::size_t MemoryBytes() const override;
+
+ private:
+  /// Sends `t`'s signal to its children, cascading through nodes whose last
+  /// pending signal this delivers; inactive ones forward immediately.
+  void DeliverFrom(TaskId t);
+  /// Classifies a node whose inputs are all settled.
+  void Settle(TaskId t);
+
+  SchedulerContext ctx_;
+  SchedulerOpCounts counts_;
+  std::vector<std::uint32_t> pending_signals_;
+  std::vector<bool> activated_;
+  std::vector<bool> started_;
+  std::vector<bool> settled_;
+  std::deque<TaskId> ready_;
+  std::vector<TaskId> cascade_stack_;
+  bool sources_fired_ = false;
+};
+
+}  // namespace dsched::sched

@@ -1,0 +1,81 @@
+#include "sim/audit.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <sstream>
+
+#include "graph/topo.hpp"
+#include "trace/cascade.hpp"
+
+namespace dsched::sim {
+
+AuditResult AuditSchedule(const trace::JobTrace& trace,
+                          const SimResult& result) {
+  constexpr double kEps = 1e-7;
+  AuditResult audit;
+  const graph::Dag& dag = trace.Graph();
+  const std::size_t n = dag.NumNodes();
+  const trace::Cascade cascade = trace::ComputeCascade(trace);
+
+  const auto note = [&audit](const std::string& msg) {
+    if (audit.violations.size() < 32) {  // don't flood on systemic failures
+      audit.violations.push_back(msg);
+    }
+  };
+
+  // --- Exactly-once execution of exactly the active set.
+  std::vector<std::size_t> times_run(n, 0);
+  std::vector<double> start(n, 0.0);
+  std::vector<double> end(n, 0.0);
+  for (const TaskRecord& rec : result.schedule) {
+    if (rec.id >= n) {
+      note("record for out-of-range task " + std::to_string(rec.id));
+      continue;
+    }
+    ++times_run[rec.id];
+    start[rec.id] = rec.start;
+    end[rec.id] = rec.end;
+    if (rec.end < rec.start - kEps) {
+      note("task " + std::to_string(rec.id) + " ends before it starts");
+    }
+  }
+  for (std::size_t v = 0; v < n; ++v) {
+    if (cascade.active[v] && times_run[v] != 1) {
+      note("active task " + std::to_string(v) + " ran " +
+           std::to_string(times_run[v]) + " times (want exactly 1)");
+    }
+    if (!cascade.active[v] && times_run[v] != 0) {
+      note("inactive task " + std::to_string(v) + " ran " +
+           std::to_string(times_run[v]) + " times (want 0)");
+    }
+  }
+
+  // --- Precedence: one topological sweep computes, per node, the latest
+  // completion among its activated ancestors.
+  constexpr double kNegInf = -std::numeric_limits<double>::infinity();
+  std::vector<double> latest_anc(n, kNegInf);
+  for (const TaskId u : graph::TopologicalOrder(dag)) {
+    for (const TaskId v : dag.OutNeighbors(u)) {
+      double through = latest_anc[u];
+      if (cascade.active[u] && times_run[u] == 1) {
+        through = std::max(through, end[u]);
+      }
+      latest_anc[v] = std::max(latest_anc[v], through);
+    }
+  }
+  for (std::size_t v = 0; v < n; ++v) {
+    if (cascade.active[v] && times_run[v] == 1 &&
+        start[v] + kEps < latest_anc[v]) {
+      std::ostringstream oss;
+      oss << "task " << v << " started at " << start[v]
+          << " before its last activated ancestor completed at "
+          << latest_anc[v];
+      note(oss.str());
+    }
+  }
+
+  audit.valid = audit.violations.empty();
+  return audit;
+}
+
+}  // namespace dsched::sim

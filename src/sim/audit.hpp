@@ -1,0 +1,31 @@
+// Independent validity auditor for simulated schedules.
+//
+// A schedule is valid (paper Section II-A) iff:
+//  * exactly the activation cascade's active set executed, each task once;
+//  * no task started before every *activated ancestor* in G had completed.
+// The auditor recomputes the cascade offline and verifies both properties
+// in O(V + E) using a "latest active-ancestor completion" sweep, entirely
+// independent of any scheduler's bookkeeping — schedulers are the system
+// under test here, so they get no say in their own verification.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sim/engine.hpp"
+#include "trace/job_trace.hpp"
+
+namespace dsched::sim {
+
+/// Outcome of auditing one schedule.
+struct AuditResult {
+  bool valid = false;
+  /// Human-readable findings; empty when valid.
+  std::vector<std::string> violations;
+};
+
+/// Audits `result.schedule` (Simulate must have run with record_schedule).
+[[nodiscard]] AuditResult AuditSchedule(const trace::JobTrace& trace,
+                                        const SimResult& result);
+
+}  // namespace dsched::sim

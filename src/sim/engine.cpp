@@ -1,0 +1,230 @@
+#include "sim/engine.hpp"
+
+#include <algorithm>
+#include <string>
+
+#include "util/error.hpp"
+#include "util/timer.hpp"
+
+namespace dsched::sim {
+
+namespace {
+
+constexpr double kEps = 1e-9;
+
+struct Running {
+  TaskId id = util::kInvalidTask;
+  double remaining = 0.0;
+  double cap = 1.0;
+  double rate = 0.0;
+  SimTime start = 0.0;
+};
+
+/// Capped fair-share (water-filling) allocation of P processors.
+/// Precondition: before the last admitted task, Σ caps < P, so every task
+/// ends up with a strictly positive rate.
+void WaterFill(std::vector<Running>& running, double processors) {
+  std::sort(running.begin(), running.end(), [](const Running& a, const Running& b) {
+    if (a.cap != b.cap) {
+      return a.cap < b.cap;
+    }
+    return a.id < b.id;
+  });
+  double remaining = processors;
+  std::size_t left = running.size();
+  for (Running& r : running) {
+    const double share = remaining / static_cast<double>(left);
+    r.rate = std::min(r.cap, share);
+    remaining -= r.rate;
+    --left;
+  }
+}
+
+}  // namespace
+
+const char* ExecutionModelName(ExecutionModel model) {
+  switch (model) {
+    case ExecutionModel::kUnitLength:
+      return "unit-length";
+    case ExecutionModel::kSequential:
+      return "sequential";
+    case ExecutionModel::kFullyParallel:
+      return "fully-parallel";
+    case ExecutionModel::kMoldable:
+      return "moldable";
+  }
+  return "?";
+}
+
+SimResult Simulate(const trace::JobTrace& trace, sched::Scheduler& scheduler,
+                   const SimConfig& config) {
+  DSCHED_CHECK_MSG(config.processors >= 1, "need at least one processor");
+  const graph::Dag& dag = trace.Graph();
+  const auto processors = static_cast<double>(config.processors);
+
+  SimResult result;
+  result.scheduler_name = std::string(scheduler.Name());
+
+  {
+    util::WallTimer prep_timer;
+    scheduler.Prepare({&trace, config.processors});
+    result.prepare_wall_seconds = prep_timer.ElapsedSeconds();
+  }
+  if (config.memory_budget_bytes != 0 &&
+      scheduler.MemoryBytes() > config.memory_budget_bytes) {
+    result.aborted_on_memory = true;
+    result.abort_time = 0.0;
+    result.scheduler_memory_bytes = scheduler.MemoryBytes();
+    return result;
+  }
+
+  util::Stopwatch sched_watch;
+  std::vector<bool> activated(dag.NumNodes(), false);
+  std::size_t activated_count = 0;
+  std::size_t completed_count = 0;
+  SimTime clock = 0.0;
+
+  const auto effective_work = [&](TaskId t) -> double {
+    if (config.model == ExecutionModel::kUnitLength) {
+      return 1.0;
+    }
+    return trace.Info(t).work;
+  };
+  const auto cap_of = [&](TaskId t) -> double {
+    switch (config.model) {
+      case ExecutionModel::kUnitLength:
+      case ExecutionModel::kSequential:
+        return 1.0;
+      case ExecutionModel::kFullyParallel:
+        return processors;
+      case ExecutionModel::kMoldable: {
+        const trace::TaskInfo& info = trace.Info(t);
+        if (info.span <= 0.0) {
+          return processors;
+        }
+        return std::clamp(info.work / info.span, 1.0, processors);
+      }
+    }
+    return 1.0;
+  };
+
+  const auto activate = [&](TaskId t) {
+    if (!activated[t]) {
+      activated[t] = true;
+      ++activated_count;
+      const util::StopwatchGuard guard(sched_watch);
+      scheduler.OnActivated(t);
+    }
+  };
+
+  std::size_t completion_events = 0;
+  const auto complete_task = [&](TaskId t, SimTime start, SimTime end) {
+    ++result.tasks_executed;
+    ++completed_count;
+    ++completion_events;
+    result.total_work += effective_work(t);
+    if (config.record_schedule) {
+      result.schedule.push_back({t, start, end});
+    }
+    const bool changed = trace.Info(t).output_changes;
+    if (changed) {
+      // Contract: children activate before the completion callback.
+      for (const TaskId child : dag.OutNeighbors(t)) {
+        activate(child);
+      }
+    }
+    const util::StopwatchGuard guard(sched_watch);
+    scheduler.OnCompleted(t, changed);
+  };
+
+  for (const TaskId t : trace.InitialDirty()) {
+    activate(t);
+  }
+
+  std::vector<Running> running;
+  for (;;) {
+    // --- Admission: pull ready work while processor capacity remains.
+    double used_cap = 0.0;
+    for (const Running& r : running) {
+      used_cap += r.cap;
+    }
+    while (used_cap < processors - kEps) {
+      TaskId t = util::kInvalidTask;
+      {
+        const util::StopwatchGuard guard(sched_watch);
+        t = scheduler.PopReady();
+      }
+      if (t == util::kInvalidTask) {
+        break;
+      }
+      {
+        const util::StopwatchGuard guard(sched_watch);
+        scheduler.OnStarted(t);
+      }
+      const double work = effective_work(t);
+      if (work <= kEps) {
+        // Collector predicates and other zero-work nodes run instantly; the
+        // admission loop keeps going, so same-instant cascades settle here.
+        complete_task(t, clock, clock);
+        continue;
+      }
+      const double cap = cap_of(t);
+      running.push_back({t, work, cap, 0.0, clock});
+      used_cap += cap;
+    }
+
+    if (running.empty()) {
+      if (completed_count < activated_count) {
+        throw util::LogicError(
+            "scheduler deadlock: " + std::string(scheduler.Name()) + " has " +
+            std::to_string(activated_count - completed_count) +
+            " incomplete active tasks but offers no ready work");
+      }
+      break;  // all active work drained
+    }
+
+    // --- Advance virtual time to the next completion.
+    WaterFill(running, processors);
+    double dt = util::kTimeInfinity;
+    for (const Running& r : running) {
+      dt = std::min(dt, r.remaining / r.rate);
+    }
+    dt = std::max(dt, 0.0);
+    clock += dt;
+    std::vector<Running> finished;
+    std::size_t keep = 0;
+    for (Running& r : running) {
+      r.remaining -= r.rate * dt;
+      result.busy_processor_seconds += r.rate * dt;
+      if (r.remaining <= kEps) {
+        finished.push_back(r);
+      } else {
+        running[keep++] = r;
+      }
+    }
+    running.resize(keep);
+    // Deterministic completion order at equal instants.
+    std::sort(finished.begin(), finished.end(),
+              [](const Running& a, const Running& b) { return a.id < b.id; });
+    for (const Running& r : finished) {
+      complete_task(r.id, r.start, clock);
+    }
+
+    if (config.memory_budget_bytes != 0 &&
+        completion_events % config.memory_poll_stride == 0 &&
+        scheduler.MemoryBytes() > config.memory_budget_bytes) {
+      result.aborted_on_memory = true;
+      result.abort_time = clock;
+      break;
+    }
+  }
+
+  result.makespan = clock;
+  result.sched_wall_seconds = sched_watch.TotalSeconds();
+  result.ops = scheduler.OpCounts();
+  result.scheduler_memory_bytes = scheduler.MemoryBytes();
+  result.activations = activated_count;
+  return result;
+}
+
+}  // namespace dsched::sim

@@ -1,0 +1,96 @@
+// Discrete-event scheduling simulator.
+//
+// Mirrors the paper's evaluation methodology (Section VI-A): reconstruct
+// the DAG from a job trace, attach per-task processing times, run a
+// scheduler over it, and report the makespan.  The simulator owns the
+// dynamic model: it reveals the active graph H edge by edge as tasks
+// complete, so schedulers only learn what the paper says they may learn.
+//
+// Task execution models (Section IV's analysis cases):
+//  * kUnitLength        — every task takes one time unit on one processor.
+//  * kSequential        — a task occupies one processor for `work` seconds.
+//  * kFullyParallel     — malleable: a task may absorb any number of
+//                         processors (Lemma 5's model).
+//  * kMoldable          — a task's parallelism is capped at work/span, so a
+//                         task alone finishes in max(span, work/P) (Brent);
+//                         this is the arbitrary-DAG model of Lemma 7 and
+//                         the tight example of Theorem 9.
+// Progress is rate-based: at every event the running tasks' capped fair
+// shares of the P processors are recomputed (water-filling), remaining work
+// drains linearly between events.
+//
+// Scheduling overhead is measured two ways, both reported: wall-clock
+// seconds spent inside scheduler calls (what Table III charges) and the
+// scheduler's machine-independent operation counts.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sched/scheduler.hpp"
+#include "trace/job_trace.hpp"
+#include "util/types.hpp"
+
+namespace dsched::sim {
+
+using util::SimTime;
+using util::TaskId;
+
+/// How tasks consume processors; see file comment.
+enum class ExecutionModel { kUnitLength, kSequential, kFullyParallel, kMoldable };
+
+/// Renders the model name.
+[[nodiscard]] const char* ExecutionModelName(ExecutionModel model);
+
+/// Simulation parameters.
+struct SimConfig {
+  std::size_t processors = 8;
+  ExecutionModel model = ExecutionModel::kSequential;
+  /// Keep per-task (start, end) records (needed by the auditor).
+  bool record_schedule = false;
+  /// Abort the run if the scheduler's MemoryBytes() exceeds this (0 = no
+  /// budget).  Used by the Theorem-10 meta scheduler.
+  std::size_t memory_budget_bytes = 0;
+  /// How often (in completion events) the memory budget is polled.
+  std::size_t memory_poll_stride = 64;
+};
+
+/// One executed task instance.
+struct TaskRecord {
+  TaskId id = util::kInvalidTask;
+  SimTime start = 0.0;
+  SimTime end = 0.0;
+};
+
+/// Everything a run produces.
+struct SimResult {
+  std::string scheduler_name;
+  SimTime makespan = 0.0;              ///< virtual seconds until last completion
+  double prepare_wall_seconds = 0.0;   ///< real time in Prepare()
+  double sched_wall_seconds = 0.0;     ///< real time in runtime decisions
+  sched::SchedulerOpCounts ops;        ///< modelled overhead counters
+  std::size_t scheduler_memory_bytes = 0;  ///< final MemoryBytes()
+  std::size_t tasks_executed = 0;
+  std::size_t activations = 0;
+  util::Work total_work = 0.0;         ///< work of executed tasks
+  double busy_processor_seconds = 0.0; ///< Σ rate·dt actually consumed
+  bool aborted_on_memory = false;      ///< memory budget exceeded
+  SimTime abort_time = 0.0;
+  std::vector<TaskRecord> schedule;    ///< iff record_schedule
+
+  /// makespan + runtime scheduling overhead — the paper's "total makespan
+  /// (which includes the scheduling overhead)".
+  [[nodiscard]] double TotalSeconds() const {
+    return makespan + sched_wall_seconds;
+  }
+};
+
+/// Runs `scheduler` over `trace`.  The scheduler must be freshly
+/// constructed; Simulate calls Prepare itself.  Throws util::LogicError on
+/// scheduler deadlock (active work pending but nothing runnable — a policy
+/// bug, not a workload property).
+[[nodiscard]] SimResult Simulate(const trace::JobTrace& trace,
+                                 sched::Scheduler& scheduler,
+                                 const SimConfig& config);
+
+}  // namespace dsched::sim

@@ -1,0 +1,54 @@
+#include "sim/meta.hpp"
+
+#include <algorithm>
+
+#include "sched/level_based.hpp"
+#include "util/error.hpp"
+
+namespace dsched::sim {
+
+MetaResult RunMeta(
+    const trace::JobTrace& trace,
+    const std::function<std::unique_ptr<sched::Scheduler>()>& make_heuristic,
+    const MetaConfig& config) {
+  DSCHED_CHECK_MSG(config.processors >= 2,
+                   "meta scheduler needs at least two processors to split");
+  MetaResult meta;
+  const std::size_t half = config.processors / 2;
+
+  // --- Half 1: the heuristic A on P/2 processors under a ζ/2 budget.
+  {
+    auto heuristic = make_heuristic();
+    SimConfig sim_config;
+    sim_config.processors = half;
+    sim_config.model = config.model;
+    sim_config.memory_budget_bytes = config.memory_budget_bytes / 2;
+    meta.heuristic_half = Simulate(trace, *heuristic, sim_config);
+    meta.heuristic_aborted = meta.heuristic_half.aborted_on_memory;
+  }
+
+  // --- Half 2: LevelBased.  If A was aborted it hands over its processors
+  // ("continues with LevelBased, using all of the processors"); since the
+  // abort can only help LevelBased, simulating the full run at the larger
+  // width is the faithful upper bound.
+  {
+    sched::LevelBasedScheduler level_based;
+    SimConfig sim_config;
+    sim_config.processors =
+        meta.heuristic_aborted ? config.processors : config.processors - half;
+    sim_config.model = config.model;
+    meta.level_based_half = Simulate(trace, level_based, sim_config);
+  }
+
+  if (!meta.heuristic_aborted &&
+      meta.heuristic_half.makespan <= meta.level_based_half.makespan) {
+    meta.makespan = meta.heuristic_half.makespan;
+    meta.winner = meta.heuristic_half.scheduler_name;
+  } else {
+    meta.makespan = meta.level_based_half.makespan;
+    meta.winner = meta.level_based_half.scheduler_name;
+  }
+  return meta;
+}
+
+}  // namespace dsched::sim

@@ -1,0 +1,49 @@
+// The meta scheduler A′ of Theorem 10 / Corollary 11.
+//
+// Given any heuristic scheduler A and a total memory budget ζ = Ω(V):
+//  * split the processors P/2 + P/2 between A and LevelBased, run both
+//    independently (tasks may execute twice);
+//  * if A's memory consumption reaches ζ/2, abort A and continue with
+//    LevelBased alone;
+//  * finish when either sub-schedule finishes.
+// Guarantees: memory O(ζ); makespan ≤ 2·min(T_A, T_LB) when A stays within
+// budget, ≤ 2·T_LB otherwise.
+//
+// The simulator realizes this exactly: the two halves are independent runs
+// over the same trace (duplicated execution is the theorem's own device),
+// A's half carries a ζ/2 memory budget, and the reported makespan is the
+// earlier finisher.
+#pragma once
+
+#include <functional>
+#include <memory>
+
+#include "sim/engine.hpp"
+
+namespace dsched::sim {
+
+/// Configuration of a meta run.
+struct MetaConfig {
+  std::size_t processors = 8;
+  ExecutionModel model = ExecutionModel::kSequential;
+  /// ζ: total memory budget in bytes.  Must comfortably exceed the O(V)
+  /// LevelBased footprint (the theorem needs ζ = Ω(V)).
+  std::size_t memory_budget_bytes = 0;
+};
+
+/// Outcome of a meta run.
+struct MetaResult {
+  SimTime makespan = 0.0;      ///< the earlier of the two halves
+  bool heuristic_aborted = false;  ///< A blew its ζ/2 budget
+  std::string winner;          ///< name of the finishing sub-scheduler
+  SimResult heuristic_half;    ///< A on P/2 processors (may be aborted)
+  SimResult level_based_half;  ///< LevelBased on its processors
+};
+
+/// Runs the Theorem-10 construction: `make_heuristic` builds a fresh A.
+[[nodiscard]] MetaResult RunMeta(
+    const trace::JobTrace& trace,
+    const std::function<std::unique_ptr<sched::Scheduler>()>& make_heuristic,
+    const MetaConfig& config);
+
+}  // namespace dsched::sim

@@ -1,0 +1,61 @@
+#include "trace/cascade.hpp"
+
+#include <algorithm>
+
+#include "graph/reachability.hpp"
+#include "graph/topo.hpp"
+
+namespace dsched::trace {
+
+Cascade ComputeCascade(const JobTrace& trace) {
+  const graph::Dag& dag = trace.Graph();
+  const std::size_t n = dag.NumNodes();
+
+  Cascade cascade;
+  cascade.active.assign(n, false);
+  for (const TaskId id : trace.InitialDirty()) {
+    cascade.active[id] = true;
+  }
+
+  // One topological pass: a node is active iff initially dirty or some
+  // active parent's output changes.  An edge is active iff its source is
+  // active and changes output.
+  for (const TaskId u : graph::TopologicalOrder(dag)) {
+    if (!cascade.active[u]) {
+      continue;
+    }
+    if (trace.Info(u).output_changes) {
+      for (const TaskId v : dag.OutNeighbors(u)) {
+        if (!cascade.active[v]) {
+          cascade.active[v] = true;
+        }
+        ++cascade.active_edges;
+      }
+    }
+  }
+
+  std::vector<bool> dirty(n, false);
+  for (const TaskId id : trace.InitialDirty()) {
+    dirty[id] = true;
+  }
+  for (std::size_t v = 0; v < n; ++v) {
+    if (!cascade.active[v]) {
+      continue;
+    }
+    const auto id = static_cast<TaskId>(v);
+    cascade.active_nodes.push_back(id);
+    cascade.total_active_work += trace.Info(id).work;
+    if (!dirty[v]) {
+      ++cascade.activated_descendants;
+      if (trace.Info(id).kind == NodeKind::kTask) {
+        ++cascade.activated_task_descendants;
+      }
+    }
+  }
+
+  cascade.total_descendants =
+      graph::DescendantsOfSet(dag, trace.InitialDirty()).size();
+  return cascade;
+}
+
+}  // namespace dsched::trace

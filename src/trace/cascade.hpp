@@ -1,0 +1,43 @@
+// Offline computation of the activation cascade — the active graph H.
+//
+// Given a trace's deterministic output-change bits, the full active set W
+// and active edge set F (paper Section II-A) are fixed before any scheduling
+// happens; only the *schedulers* must discover them dynamically.  Computing
+// the cascade offline gives (a) the ground truth the schedule auditor checks
+// against, (b) the Table I "active jobs" statistic, and (c) the work totals
+// w that the makespan bounds w/P + L refer to.
+#pragma once
+
+#include <vector>
+
+#include "trace/job_trace.hpp"
+#include "util/types.hpp"
+
+namespace dsched::trace {
+
+/// The resolved activation cascade of one trace.
+struct Cascade {
+  /// active[v] — v ∈ W: its input changes at some point, so it must re-run.
+  std::vector<bool> active;
+  /// The active nodes, ascending.
+  std::vector<TaskId> active_nodes;
+  /// |F|: edges (u, v) where u re-runs and sends a *changed* output to v.
+  std::size_t active_edges = 0;
+  /// Activated nodes that are not initially dirty (any kind) — the "active
+  /// jobs" column of Table I (Figure 1: "activation of 532 descendants").
+  std::size_t activated_descendants = 0;
+  /// The subset of activated_descendants with kind == kTask.
+  std::size_t activated_task_descendants = 0;
+  /// All distinct descendants of the initially dirty set (Figure 1's "1680
+  /// total descendants"), regardless of activation.
+  std::size_t total_descendants = 0;
+  /// Total work of all activated nodes (the paper's w).
+  util::Work total_active_work = 0.0;
+
+  [[nodiscard]] std::size_t NumActive() const { return active_nodes.size(); }
+};
+
+/// Resolves the cascade in O(V + E).
+[[nodiscard]] Cascade ComputeCascade(const JobTrace& trace);
+
+}  // namespace dsched::trace

@@ -1,0 +1,449 @@
+#include "trace/generators.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+#include "graph/digraph_builder.hpp"
+#include "graph/reachability.hpp"
+#include "graph/topo.hpp"
+#include "util/error.hpp"
+#include "util/logging.hpp"
+
+namespace dsched::trace {
+
+namespace {
+
+/// Cascade size (activated non-dirty nodes) on raw trace parts; mirrors
+/// ComputeCascade but avoids building a JobTrace per calibration iteration.
+std::size_t CascadeSize(const graph::Dag& dag,
+                        const std::vector<TaskInfo>& infos,
+                        const std::vector<TaskId>& dirty) {
+  std::vector<bool> active(dag.NumNodes(), false);
+  std::vector<bool> is_dirty(dag.NumNodes(), false);
+  for (const TaskId id : dirty) {
+    active[id] = true;
+    is_dirty[id] = true;
+  }
+  std::size_t activated = 0;
+  for (const TaskId u : graph::TopologicalOrder(dag)) {
+    if (!active[u]) {
+      continue;
+    }
+    if (!is_dirty[u]) {
+      ++activated;
+    }
+    if (infos[u].output_changes) {
+      for (const TaskId v : dag.OutNeighbors(u)) {
+        active[v] = true;
+      }
+    }
+  }
+  return activated;
+}
+
+/// Packs an edge for duplicate detection.
+std::uint64_t PackEdge(util::TaskId u, util::TaskId v) {
+  return (static_cast<std::uint64_t>(u) << 32) | v;
+}
+
+}  // namespace
+
+std::pair<double, double> DurationModel::Draw(util::Rng& rng) const {
+  const double mu = std::log(median_seconds);
+  double work = rng.NextLogNormal(mu, sigma);
+  work = std::clamp(work, min_seconds, max_seconds);
+  double span = work;
+  if (!rng.NextBool(sequential_fraction)) {
+    span = std::max(min_seconds, work * parallel_span_factor);
+    span = std::min(span, work);
+  }
+  return {work, span};
+}
+
+std::vector<std::size_t> MakeLevelWidths(std::size_t nodes, std::size_t levels,
+                                         std::size_t source_width,
+                                         util::Rng& rng) {
+  DSCHED_CHECK_MSG(levels >= 1, "need at least one level");
+  DSCHED_CHECK_MSG(source_width >= 1 && source_width <= nodes,
+                   "source width out of range");
+  DSCHED_CHECK_MSG(nodes - source_width >= levels - 1,
+                   "not enough nodes to populate every level");
+  std::vector<std::size_t> widths(levels, 0);
+  widths[0] = source_width;
+  if (levels == 1) {
+    DSCHED_CHECK_MSG(source_width == nodes, "single-level graph must be all sources");
+    return widths;
+  }
+  // Give each deeper level one node, then spread the remainder with random
+  // weights — smooth but not uniform, like the production shapes.
+  std::size_t remaining = nodes - source_width - (levels - 1);
+  std::vector<double> weights(levels - 1);
+  double weight_sum = 0.0;
+  for (auto& w : weights) {
+    w = 0.25 + rng.NextDouble();
+    weight_sum += w;
+  }
+  std::size_t distributed = 0;
+  for (std::size_t l = 1; l < levels; ++l) {
+    const auto share = static_cast<std::size_t>(
+        static_cast<double>(remaining) * weights[l - 1] / weight_sum);
+    widths[l] = 1 + share;
+    distributed += share;
+  }
+  // Rounding residue goes to the widest deeper level.
+  std::size_t residue = remaining - distributed;
+  if (residue > 0) {
+    auto widest = std::max_element(widths.begin() + 1, widths.end());
+    *widest += residue;
+  }
+  return widths;
+}
+
+JobTrace GenerateLayered(const LayeredDagSpec& spec) {
+  DSCHED_CHECK_MSG(!spec.level_widths.empty(), "level_widths must be set");
+  for (const std::size_t w : spec.level_widths) {
+    DSCHED_CHECK_MSG(w > 0, "every level width must be positive");
+  }
+  const std::size_t levels = spec.level_widths.size();
+  std::size_t num_nodes = 0;
+  std::vector<std::size_t> offsets(levels + 1, 0);
+  for (std::size_t l = 0; l < levels; ++l) {
+    num_nodes += spec.level_widths[l];
+    offsets[l + 1] = num_nodes;
+  }
+  DSCHED_CHECK_MSG(spec.initial_dirty <= spec.level_widths[0],
+                   "cannot dirty more sources than exist");
+
+  util::Rng master(spec.seed);
+  util::Rng kind_rng = master.Fork();
+  util::Rng duration_rng = master.Fork();
+  util::Rng calib_rng = master.Fork();
+
+  // --- Kinds and durations, independent of the edge wiring so that locality
+  // retries don't perturb them.
+  std::vector<TaskInfo> infos(num_nodes);
+  for (std::size_t v = 0; v < num_nodes; ++v) {
+    const bool is_source = v < offsets[1];
+    TaskInfo& info = infos[v];
+    if (!is_source && kind_rng.NextBool(spec.collector_fraction)) {
+      info.kind = NodeKind::kCollector;
+      info.work = 0.0;
+      info.span = 0.0;
+    } else {
+      info.kind = NodeKind::kTask;
+      const auto [work, span] = spec.durations.Draw(duration_rng);
+      info.work = work;
+      info.span = span;
+    }
+    info.output_changes = true;
+  }
+
+  // --- Dirty set: evenly spread over the sources, so the activation cones
+  // are (mostly) disjoint as in Figure 1.
+  std::vector<util::TaskId> dirty;
+  dirty.reserve(spec.initial_dirty);
+  for (std::size_t i = 0; i < spec.initial_dirty; ++i) {
+    const std::size_t idx =
+        (i * spec.level_widths[0]) / std::max<std::size_t>(spec.initial_dirty, 1);
+    dirty.push_back(static_cast<util::TaskId>(idx));
+  }
+  std::sort(dirty.begin(), dirty.end());
+  dirty.erase(std::unique(dirty.begin(), dirty.end()), dirty.end());
+
+  // --- Edge wiring, retried with adaptive locality: widen (double sigma)
+  // until the dirty set reaches enough descendants to support the
+  // activation target, then bisect back down so the cone is not grossly
+  // larger than needed — production cascades touch a sliver of the graph
+  // (Figure 1: 1,680 descendants out of 64,910 nodes).
+  double sigma = spec.locality_sigma;
+  double sigma_lo = 0.0;   // widest known-too-narrow sigma
+  double sigma_hi = -1.0;  // narrowest known-wide-enough sigma (<0: none yet)
+  graph::Dag dag;
+  graph::Dag best_dag;
+  bool have_best = false;
+  const double need = 1.15 * static_cast<double>(spec.target_active);
+  const double plenty = 5.0 * static_cast<double>(spec.target_active);
+  for (int attempt = 0; attempt < 16; ++attempt) {
+    util::Rng edge_rng = master.Fork();
+    graph::DigraphBuilder builder(num_nodes);
+    std::unordered_set<std::uint64_t> seen;
+    seen.reserve((num_nodes - spec.level_widths[0]) + spec.extra_edges);
+
+    // Picks a parent for a node at (level, index): a node in parent_level at
+    // roughly the same relative position, jittered by sigma spacing units.
+    const auto local_parent = [&](std::size_t level, std::size_t index,
+                                  std::size_t parent_level) -> util::TaskId {
+      const std::size_t child_width = spec.level_widths[level];
+      const std::size_t parent_width = spec.level_widths[parent_level];
+      const double rel = (static_cast<double>(index) + 0.5) /
+                         static_cast<double>(child_width);
+      const double jitter = edge_rng.NextGaussian() * sigma;
+      double target = rel * static_cast<double>(parent_width) - 0.5 + jitter;
+      target = std::clamp(target, 0.0,
+                          static_cast<double>(parent_width - 1));
+      return static_cast<util::TaskId>(
+          offsets[parent_level] +
+          static_cast<std::size_t>(std::llround(target)));
+    };
+
+    // Spine: exactly one parent in the previous level pins every node's
+    // level to its layer index.
+    for (std::size_t l = 1; l < levels; ++l) {
+      for (std::size_t i = 0; i < spec.level_widths[l]; ++i) {
+        const auto child = static_cast<util::TaskId>(offsets[l] + i);
+        const util::TaskId parent = local_parent(l, i, l - 1);
+        builder.AddEdge(parent, child);
+        seen.insert(PackEdge(parent, child));
+      }
+    }
+
+    // Extra cross edges: child in any level >= 1; parent in a lower level,
+    // usually the previous one, local unless a long-range draw.
+    std::size_t added = 0;
+    std::size_t attempts_left = spec.extra_edges * 20 + 100;
+    const std::size_t deep_nodes = num_nodes - offsets[1];
+    while (added < spec.extra_edges && attempts_left-- > 0 && deep_nodes > 0) {
+      const std::size_t pick = static_cast<std::size_t>(
+          edge_rng.NextBelow(deep_nodes));
+      const std::size_t child_global = offsets[1] + pick;
+      // Locate the child's level by binary search over offsets.
+      const std::size_t l = static_cast<std::size_t>(
+          std::upper_bound(offsets.begin(), offsets.end(), child_global) -
+          offsets.begin()) - 1;
+      const std::size_t i = child_global - offsets[l];
+      std::size_t parent_level;
+      if (l == 1 || edge_rng.NextBool(0.7)) {
+        parent_level = l - 1;
+      } else {
+        parent_level = 1 + static_cast<std::size_t>(
+                               edge_rng.NextBelow(l - 1));
+        parent_level -= 1;  // uniform in [0, l-2]
+      }
+      util::TaskId parent;
+      if (edge_rng.NextBool(spec.long_range_prob)) {
+        parent = static_cast<util::TaskId>(
+            offsets[parent_level] +
+            edge_rng.NextBelow(spec.level_widths[parent_level]));
+      } else {
+        parent = local_parent(l, i, parent_level);
+      }
+      const auto child = static_cast<util::TaskId>(child_global);
+      if (seen.insert(PackEdge(parent, child)).second) {
+        builder.AddEdge(parent, child);
+        ++added;
+      }
+    }
+    if (added < spec.extra_edges) {
+      DSCHED_LOG(Warning) << spec.name << ": only placed " << added << " of "
+                          << spec.extra_edges << " extra edges";
+    }
+    dag = std::move(builder).Build();
+
+    if (spec.target_active == 0) {
+      break;
+    }
+    // Reachability check: can the dirty set activate enough descendants —
+    // without the cone flooding far past the target?
+    const auto reachable =
+        static_cast<double>(graph::DescendantsOfSet(dag, dirty).size());
+    if (reachable >= need) {
+      if (!have_best || sigma_hi < 0.0 || sigma < sigma_hi) {
+        best_dag = dag;
+        have_best = true;
+      }
+      if (reachable <= plenty) {
+        break;  // in the sweet spot
+      }
+      sigma_hi = sigma;
+    } else {
+      sigma_lo = sigma;
+      DSCHED_LOG(Info) << spec.name << ": dirty cone too narrow ("
+                       << reachable << " < " << need << ") at sigma=" << sigma;
+    }
+    sigma = (sigma_hi < 0.0) ? sigma * 2.0 : 0.5 * (sigma_lo + sigma_hi);
+  }
+  if (have_best) {
+    dag = std::move(best_dag);
+  }
+
+  if (spec.target_active > 0) {
+    CalibrateActivation(dag, infos, dirty, spec.target_active, calib_rng);
+  }
+  return JobTrace(spec.name, std::move(dag), std::move(infos),
+                  std::move(dirty));
+}
+
+std::size_t CalibrateActivation(const graph::Dag& dag,
+                                std::vector<TaskInfo>& infos,
+                                const std::vector<TaskId>& dirty,
+                                std::size_t target_active, util::Rng& rng) {
+  // Deterministic cascade carving.  A probability search over change bits
+  // behaves like a percolation threshold on these narrow-cone DAGs — the
+  // cascade jumps from "dies instantly" to "floods everything" across a
+  // tiny probability window — so instead we *construct* the cascade: BFS
+  // from the dirty set, letting each processed node's output "change"
+  // (which activates all of its children) until the activated-descendant
+  // budget is spent; every later node keeps a quiet output.  Overshoot is
+  // bounded by the out-degree of the last expanded node.
+  for (TaskInfo& info : infos) {
+    info.output_changes = false;
+  }
+  std::vector<bool> active(dag.NumNodes(), false);
+  std::vector<bool> is_dirty(dag.NumNodes(), false);
+  std::vector<TaskId> queue;
+  std::vector<TaskId> seeds = dirty;
+  rng.Shuffle(seeds);  // vary which cones grow when the budget is tight
+  for (const TaskId t : seeds) {
+    if (!active[t]) {
+      active[t] = true;
+      is_dirty[t] = true;
+      queue.push_back(t);
+    }
+  }
+  std::size_t activated = 0;
+  std::size_t head = 0;
+  while (head < queue.size()) {
+    const TaskId u = queue[head++];
+    if (activated >= target_active) {
+      break;  // remaining queue entries keep output_changes == false
+    }
+    infos[u].output_changes = true;
+    for (const TaskId v : dag.OutNeighbors(u)) {
+      if (!active[v]) {
+        active[v] = true;
+        if (!is_dirty[v]) {
+          ++activated;
+        }
+        queue.push_back(v);
+      }
+    }
+  }
+  // Sanity: the constructed bits must reproduce the count via the real
+  // cascade computation used everywhere else.
+  DSCHED_CHECK(CascadeSize(dag, infos, dirty) == activated);
+  return activated;
+}
+
+JobTrace MakeTightExample(std::size_t levels) {
+  DSCHED_CHECK_MSG(levels >= 2, "tight example needs at least two levels");
+  const std::size_t l = levels;
+  // Ids: j_1..j_L are 0..L-1; k_2..k_L are L..2L-2.
+  graph::DigraphBuilder builder(2 * l - 1);
+  std::vector<TaskInfo> infos(2 * l - 1);
+  for (std::size_t i = 0; i < l; ++i) {
+    infos[i] = TaskInfo{NodeKind::kTask, 1.0, 1.0, true};
+    if (i + 1 < l) {
+      builder.AddEdge(static_cast<TaskId>(i), static_cast<TaskId>(i + 1));
+    }
+  }
+  for (std::size_t i = 2; i <= l; ++i) {
+    const auto k = static_cast<TaskId>(l + i - 2);
+    const auto weight = static_cast<double>(l - i + 1);
+    infos[k] = TaskInfo{NodeKind::kTask, weight, weight, true};
+    builder.AddEdge(static_cast<TaskId>(i - 2), k);  // parent j_{i-1}
+  }
+  return JobTrace("tight-example-L" + std::to_string(l),
+                  std::move(builder).Build(), std::move(infos), {0});
+}
+
+JobTrace MakePathologicalScan(std::size_t chain_length, std::size_t fanout,
+                              double task_seconds) {
+  DSCHED_CHECK_MSG(chain_length >= 1 && fanout >= 1,
+                   "pathological instance needs a chain and leaves");
+  const std::size_t n = 1 + chain_length + fanout;
+  graph::DigraphBuilder builder(n);
+  std::vector<TaskInfo> infos(
+      n, TaskInfo{NodeKind::kTask, task_seconds, task_seconds, true});
+  // 0 = source; 1..chain_length = chain; rest = leaves.
+  builder.AddEdge(0, 1);
+  for (std::size_t c = 1; c < chain_length; ++c) {
+    builder.AddEdge(static_cast<TaskId>(c), static_cast<TaskId>(c + 1));
+  }
+  const auto tail = static_cast<TaskId>(chain_length);
+  for (std::size_t f = 0; f < fanout; ++f) {
+    const auto leaf = static_cast<TaskId>(1 + chain_length + f);
+    builder.AddEdge(0, leaf);
+    builder.AddEdge(tail, leaf);
+  }
+  return JobTrace("pathological-scan-c" + std::to_string(chain_length) + "-f" +
+                      std::to_string(fanout),
+                  std::move(builder).Build(), std::move(infos), {0});
+}
+
+JobTrace MakeIntervalAdversarial(std::size_t m) {
+  // Staircase bipartite graph: sources x_0..x_{m-1} (ids 0..m-1) and sinks
+  // z_0..z_{m-1} (ids m..2m-1) with an edge x_i -> z_j iff j <= i.  The
+  // index's DFS (sources ascending, children ascending) interleaves sink and
+  // source postorder numbers — z_j gets post 2j, x_i gets post 2i+1 — so the
+  // descendant set of x_i fragments into i+1 singleton intervals and the
+  // whole index holds Θ(m²) intervals, realizing the O(V²) worst case of
+  // Section II-C.
+  DSCHED_CHECK_MSG(m >= 1, "need at least one stair");
+  graph::DigraphBuilder builder(2 * m);
+  std::vector<TaskInfo> infos(2 * m,
+                              TaskInfo{NodeKind::kTask, 1e-5, 1e-5, true});
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t j = 0; j <= i; ++j) {
+      builder.AddEdge(static_cast<TaskId>(i), static_cast<TaskId>(m + j));
+    }
+  }
+  std::vector<TaskId> dirty;
+  for (std::size_t i = 0; i < m; ++i) {
+    dirty.push_back(static_cast<TaskId>(i));
+  }
+  return JobTrace("interval-adversarial-m" + std::to_string(m),
+                  std::move(builder).Build(), std::move(infos),
+                  std::move(dirty));
+}
+
+JobTrace MakeRandomDag(std::size_t nodes, double edge_prob, double dirty_prob,
+                       double change_prob, util::Rng& rng,
+                       const DurationModel& durations) {
+  graph::DigraphBuilder builder(nodes);
+  for (std::size_t u = 0; u < nodes; ++u) {
+    for (std::size_t v = u + 1; v < nodes; ++v) {
+      if (rng.NextBool(edge_prob)) {
+        builder.AddEdge(static_cast<TaskId>(u), static_cast<TaskId>(v));
+      }
+    }
+  }
+  std::vector<TaskInfo> infos(nodes);
+  std::vector<TaskId> dirty;
+  for (std::size_t v = 0; v < nodes; ++v) {
+    const auto [work, span] = durations.Draw(rng);
+    infos[v] = TaskInfo{NodeKind::kTask, work, span,
+                        rng.NextBool(change_prob)};
+    if (rng.NextBool(dirty_prob)) {
+      dirty.push_back(static_cast<TaskId>(v));
+    }
+  }
+  return JobTrace("random-dag", std::move(builder).Build(), std::move(infos),
+                  std::move(dirty));
+}
+
+JobTrace MakeChain(std::size_t length) {
+  DSCHED_CHECK_MSG(length >= 1, "chain needs at least one node");
+  graph::DigraphBuilder builder(length);
+  std::vector<TaskInfo> infos(length,
+                              TaskInfo{NodeKind::kTask, 1.0, 1.0, true});
+  for (std::size_t i = 0; i + 1 < length; ++i) {
+    builder.AddEdge(static_cast<TaskId>(i), static_cast<TaskId>(i + 1));
+  }
+  return JobTrace("chain-" + std::to_string(length), std::move(builder).Build(),
+                  std::move(infos), {0});
+}
+
+JobTrace MakeFork(std::size_t leaves) {
+  DSCHED_CHECK_MSG(leaves >= 1, "fork needs at least one leaf");
+  graph::DigraphBuilder builder(leaves + 1);
+  std::vector<TaskInfo> infos(leaves + 1,
+                              TaskInfo{NodeKind::kTask, 1.0, 1.0, true});
+  for (std::size_t i = 0; i < leaves; ++i) {
+    builder.AddEdge(0, static_cast<TaskId>(i + 1));
+  }
+  return JobTrace("fork-" + std::to_string(leaves), std::move(builder).Build(),
+                  std::move(infos), {0});
+}
+
+}  // namespace dsched::trace

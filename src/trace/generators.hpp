@@ -1,0 +1,135 @@
+// Synthetic trace generators.
+//
+// The paper evaluates on proprietary LogicBlox retail traces (Table I).  We
+// cannot have those, so this module synthesizes traces matching every
+// *published* characteristic of each one — node count, edge count, number of
+// initially dirty tasks, size of the activation cascade, and level count —
+// plus the structural families the theory section needs: the Figure-2 tight
+// example, scan-pathological instances for the LogicBlox scheduler, and
+// interval-list space adversaries.  See DESIGN.md §2 for the substitution
+// argument.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "trace/job_trace.hpp"
+#include "util/rng.hpp"
+
+namespace dsched::trace {
+
+/// How task processing times are drawn.
+struct DurationModel {
+  /// Median processing time of a task node in seconds (log-normal median).
+  double median_seconds = 0.1;
+  /// Log-normal shape parameter; ~1.2 gives the heavy tail typical of rule
+  /// re-evaluation times.
+  double sigma = 1.2;
+  /// Clamp bounds applied after the draw.
+  double min_seconds = 1e-5;
+  double max_seconds = 3600.0;
+  /// Fraction of task nodes with no internal parallelism (span == work).
+  /// The remainder get span = parallel_span_factor * work.
+  double sequential_fraction = 1.0;
+  double parallel_span_factor = 0.1;
+
+  /// Draws (work, span) for one task node.
+  [[nodiscard]] std::pair<double, double> Draw(util::Rng& rng) const;
+};
+
+/// Parameters of the layered (level-structured) DAG family that models the
+/// production traces: level 0 holds the database predicates (sources), every
+/// deeper node gets one "spine" parent in the previous level (pinning its
+/// level exactly) plus extra cross-level edges.  Spine and extra edges are
+/// *local* in a per-level circular position space, which keeps activation
+/// cascades narrow the way Figure 1 shows (5 dirty tasks reach only 1,680 of
+/// 64,910 nodes).
+struct LayeredDagSpec {
+  std::string name = "layered";
+  /// Nodes per level; level_widths[0] is the source count.  Every width must
+  /// be positive.
+  std::vector<std::size_t> level_widths;
+  /// Edges beyond the one spine edge per non-source node.  Total edge count
+  /// of the result is exactly (nodes - level_widths[0]) + extra_edges.
+  std::size_t extra_edges = 0;
+  /// Standard deviation of parent-position jitter, measured in units of the
+  /// parent level's node spacing.  Small values give narrow descendant
+  /// cones.
+  double locality_sigma = 2.5;
+  /// Probability that an extra edge ignores locality entirely.
+  double long_range_prob = 0.02;
+  /// Fraction of non-source nodes that are zero-work collector predicates.
+  double collector_fraction = 0.65;
+  /// How many sources the update dirties.
+  std::size_t initial_dirty = 1;
+  /// Target size of the activation cascade (activated non-initial nodes).
+  /// The generator binary-searches the per-node output-change probability to
+  /// approach this, and widens locality_sigma if the dirty set cannot reach
+  /// enough descendants.  0 disables calibration (all outputs change).
+  std::size_t target_active = 0;
+  DurationModel durations;
+  std::uint64_t seed = 1;
+};
+
+/// Generates a layered trace per the spec.
+[[nodiscard]] JobTrace GenerateLayered(const LayeredDagSpec& spec);
+
+/// Convenience: splits `nodes` into `levels` positive widths, the first
+/// being exactly `source_width`; the rest vary smoothly (deterministic given
+/// rng state).
+[[nodiscard]] std::vector<std::size_t> MakeLevelWidths(std::size_t nodes,
+                                                       std::size_t levels,
+                                                       std::size_t source_width,
+                                                       util::Rng& rng);
+
+/// The tight example of Theorem 9 / Figure 2: a chain j_1 .. j_L of unit
+/// sequential tasks; for i = 2..L a task k_i (child of j_{i-1}) with
+/// work = span = L - i + 1.  Every output changes and j_1 is dirty, so
+/// everything activates.  LevelBased achieves Θ(L²) makespan while an
+/// optimal order finishes in Θ(L).
+[[nodiscard]] JobTrace MakeTightExample(std::size_t levels);
+
+/// A scan-pathological instance for the LogicBlox scheduler: a dirty source
+/// fans out to `fanout` leaves AND to a sequential chain of `chain_length`
+/// nodes whose tail also feeds every leaf.  All leaves activate immediately
+/// but stay unready until the whole chain finishes, so every completion
+/// triggers a full rescan of the ~`fanout`-sized active queue with ancestor
+/// queries — Θ(fanout² · chain_length) modelled probes, the O(n³)-flavoured
+/// blow-up of Section II-C.  LevelBased handles it in O(n + L).
+[[nodiscard]] JobTrace MakePathologicalScan(std::size_t chain_length,
+                                            std::size_t fanout,
+                                            double task_seconds = 1e-4);
+
+/// Interval-list space adversary: a staircase bipartite graph with `m`
+/// sources and `m` sinks (edge x_i -> z_j iff j <= i).  The DFS postorder
+/// interleaves sources and sinks, so each source's descendant set fragments
+/// into singleton intervals — Θ(m²) intervals total, the O(V²) worst case
+/// the paper cites for the LogicBlox ancestor store.
+[[nodiscard]] JobTrace MakeIntervalAdversarial(std::size_t m);
+
+/// Uniform random DAG for property tests: each pair (u < v) is an edge with
+/// probability `edge_prob`; every node is dirty with `dirty_prob` and
+/// changes output with `change_prob`.
+[[nodiscard]] JobTrace MakeRandomDag(std::size_t nodes, double edge_prob,
+                                     double dirty_prob, double change_prob,
+                                     util::Rng& rng,
+                                     const DurationModel& durations = {});
+
+/// A single chain of `length` unit tasks, head dirty, all changing.
+[[nodiscard]] JobTrace MakeChain(std::size_t length);
+
+/// A star: one dirty root feeding `leaves` unit tasks, all changing.
+[[nodiscard]] JobTrace MakeFork(std::size_t leaves);
+
+/// Calibration helper (exposed for tests): carves an activation cascade by
+/// BFS from the dirty set, setting output-change bits so that the number of
+/// activated non-dirty nodes hits `target_active` (overshoot bounded by one
+/// node's out-degree; undershoot only when the dirty set cannot reach that
+/// many descendants).  Returns the achieved count.
+std::size_t CalibrateActivation(const graph::Dag& dag,
+                                std::vector<TaskInfo>& infos,
+                                const std::vector<TaskId>& dirty,
+                                std::size_t target_active, util::Rng& rng);
+
+}  // namespace dsched::trace

@@ -1,0 +1,106 @@
+#include "trace/table_traces.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+
+#include "graph/levels.hpp"
+#include "trace/cascade.hpp"
+#include "trace/generators.hpp"
+#include "util/error.hpp"
+
+namespace dsched::trace {
+
+const std::vector<TableTraceSpec>& PaperTable1() {
+  // Verbatim rows of Table I; work hints from Tables II/III (see header).
+  static const std::vector<TableTraceSpec> kRows = {
+      {1, 64910, 101327, 5, 532, 171, 26.5},
+      {2, 64903, 101319, 16, 1936, 171, 9736.0},
+      {3, 29185, 41506, 76, 560, 149, 187.0},
+      {4, 64507, 100779, 26, 1342, 171, 303.0},
+      {5, 1719, 2430, 6, 296, 39, 23.0},
+      {6, 379500, 557702, 125544, 126979, 11, 0.49},
+      {7, 35283, 50511, 76, 645, 198, 155.77},
+      {8, 35283, 50511, 9, 177, 198, 28.29},
+      {9, 65541, 102219, 10, 111, 171, 0.037},
+      {10, 65541, 102219, 16, 1936, 171, 9893.29},
+      {11, 465127, 465158, 131104, 132162, 5, 630.01},
+  };
+  return kRows;
+}
+
+const TableTraceSpec& PaperTrace(int index) {
+  DSCHED_CHECK_MSG(index >= 1 && index <= 11,
+                   "job trace index must be in [1, 11]");
+  return PaperTable1()[static_cast<std::size_t>(index - 1)];
+}
+
+JobTrace MakeTableTrace(int index, double scale, std::uint64_t seed) {
+  DSCHED_CHECK_MSG(scale > 0.0 && scale <= 1.0, "scale must be in (0, 1]");
+  const TableTraceSpec& spec = PaperTrace(index);
+
+  const auto scaled = [scale](std::size_t value) -> std::size_t {
+    return std::max<std::size_t>(
+        1, static_cast<std::size_t>(
+               std::llround(static_cast<double>(value) * scale)));
+  };
+  const std::size_t levels = spec.levels;  // levels drive LevelBased; keep.
+  std::size_t nodes = scaled(spec.nodes);
+  const std::size_t edges = scaled(spec.edges);
+  const std::size_t initial = scaled(spec.initial_tasks);
+  const std::size_t active = scaled(spec.active_jobs);
+
+  // Source width: at least the dirty set, at least a twelfth of the graph,
+  // and small enough to leave one node for every deeper level.
+  std::size_t source_width = std::max(initial, nodes / 12);
+  if (nodes < source_width + levels - 1) {
+    nodes = source_width + levels - 1 + 1;
+  }
+
+  util::Rng rng(seed + static_cast<std::uint64_t>(index) * 7919);
+
+  LayeredDagSpec layered;
+  layered.name = "jobtrace-" + std::to_string(index);
+  layered.level_widths = MakeLevelWidths(nodes, levels, source_width, rng);
+  const std::size_t spine_edges = nodes - source_width;
+  layered.extra_edges = edges > spine_edges ? edges - spine_edges : 0;
+  layered.locality_sigma = 0.05;
+  layered.long_range_prob = 0.002;
+  layered.collector_fraction = 0.75;
+  layered.initial_dirty = initial;
+  layered.target_active = active;
+
+  // Work scale: published makespans ran on 8 processors and, where work
+  // dominated, sit near w/P.  Executed nodes with nonzero work are the dirty
+  // sources (all tasks) plus the task-kind share of the cascade.
+  const double executed_tasks =
+      static_cast<double>(initial) +
+      (1.0 - layered.collector_fraction) * static_cast<double>(active);
+  const double total_work =
+      spec.work_hint_seconds * static_cast<double>(TableTraceSpec::kProcessors);
+  const double mean_seconds = std::max(1e-6, total_work / executed_tasks);
+  layered.durations.sigma = 1.2;
+  // Log-normal: mean = median * exp(sigma^2 / 2).
+  layered.durations.median_seconds =
+      mean_seconds / std::exp(0.5 * layered.durations.sigma *
+                              layered.durations.sigma);
+  layered.durations.min_seconds = 1e-6;
+  layered.durations.max_seconds = std::max(1.0, 50.0 * mean_seconds);
+  layered.seed = rng.NextU64();
+
+  return GenerateLayered(layered);
+}
+
+AchievedRow MeasureRow(const JobTrace& trace) {
+  AchievedRow row;
+  row.nodes = trace.NumNodes();
+  row.edges = trace.NumEdges();
+  row.initial_tasks = trace.InitialDirty().size();
+  const Cascade cascade = ComputeCascade(trace);
+  row.active_jobs = cascade.activated_descendants;
+  const graph::LevelMap level_map(trace.Graph());
+  row.levels = level_map.NumLevels();
+  return row;
+}
+
+}  // namespace dsched::trace

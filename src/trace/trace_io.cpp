@@ -1,0 +1,176 @@
+#include "trace/trace_io.hpp"
+
+#include <fstream>
+#include <ostream>
+#include <sstream>
+
+#include "graph/digraph_builder.hpp"
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace dsched::trace {
+
+namespace {
+constexpr const char* kMagic = "dsched-trace";
+constexpr const char* kVersion = "v1";
+
+bool IsDefault(const TaskInfo& info) {
+  return info.kind == NodeKind::kTask && info.work == 1.0 &&
+         info.span == 1.0 && info.output_changes;
+}
+}  // namespace
+
+void WriteTrace(std::ostream& out, const JobTrace& trace) {
+  out << kMagic << " " << kVersion << "\n";
+  if (!trace.Name().empty()) {
+    out << "name " << trace.Name() << "\n";
+  }
+  out << "nodes " << trace.NumNodes() << "\n";
+  out.precision(17);
+  for (std::size_t v = 0; v < trace.NumNodes(); ++v) {
+    const TaskInfo& info = trace.Info(static_cast<TaskId>(v));
+    if (IsDefault(info)) {
+      continue;
+    }
+    out << "node " << v << " "
+        << (info.kind == NodeKind::kTask ? 'T' : 'C') << " " << info.work
+        << " " << info.span << " " << (info.output_changes ? 1 : 0) << "\n";
+  }
+  const graph::Dag& dag = trace.Graph();
+  for (std::size_t u = 0; u < dag.NumNodes(); ++u) {
+    for (const TaskId v : dag.OutNeighbors(static_cast<TaskId>(u))) {
+      out << "edge " << u << " " << v << "\n";
+    }
+  }
+  if (!trace.InitialDirty().empty()) {
+    out << "dirty";
+    for (const TaskId id : trace.InitialDirty()) {
+      out << " " << id;
+    }
+    out << "\n";
+  }
+}
+
+void WriteTraceFile(const std::string& path, const JobTrace& trace) {
+  std::ofstream out(path);
+  if (!out) {
+    throw util::Error("cannot open trace file for writing: " + path);
+  }
+  WriteTrace(out, trace);
+  if (!out) {
+    throw util::Error("error while writing trace file: " + path);
+  }
+}
+
+JobTrace ReadTrace(std::istream& in) {
+  std::string line;
+  std::size_t line_no = 0;
+  const auto fail = [&](const std::string& what) -> util::ParseError {
+    return util::ParseError("trace line " + std::to_string(line_no) + ": " +
+                            what);
+  };
+
+  // Header.
+  if (!std::getline(in, line)) {
+    throw util::ParseError("empty trace stream");
+  }
+  ++line_no;
+  {
+    const auto fields = util::SplitWhitespace(line);
+    if (fields.size() != 2 || fields[0] != kMagic || fields[1] != kVersion) {
+      throw fail("expected header '" + std::string(kMagic) + " " + kVersion +
+                 "'");
+    }
+  }
+
+  std::string name;
+  std::size_t num_nodes = 0;
+  bool saw_nodes = false;
+  std::vector<TaskInfo> infos;
+  std::vector<std::pair<TaskId, TaskId>> edges;
+  std::vector<TaskId> dirty;
+
+  const auto parse_id = [&](std::string_view token) -> TaskId {
+    const auto value = util::ParseU64(token, "node id");
+    if (!saw_nodes || value >= num_nodes) {
+      throw fail("node id " + std::string(token) +
+                 " out of range (nodes not declared or too small)");
+    }
+    return static_cast<TaskId>(value);
+  };
+
+  while (std::getline(in, line)) {
+    ++line_no;
+    const std::string_view trimmed = util::Trim(line);
+    if (trimmed.empty() || trimmed.front() == '#') {
+      continue;
+    }
+    const auto fields = util::SplitWhitespace(trimmed);
+    const std::string_view keyword = fields[0];
+    if (keyword == "name") {
+      if (fields.size() != 2) {
+        throw fail("'name' expects one token");
+      }
+      name = std::string(fields[1]);
+    } else if (keyword == "nodes") {
+      if (fields.size() != 2) {
+        throw fail("'nodes' expects one count");
+      }
+      num_nodes = util::ParseU64(fields[1], "node count");
+      saw_nodes = true;
+      infos.assign(num_nodes, TaskInfo{});
+    } else if (keyword == "node") {
+      if (fields.size() != 6) {
+        throw fail("'node' expects: id kind work span changes");
+      }
+      const TaskId id = parse_id(fields[1]);
+      TaskInfo info;
+      if (fields[2] == "T") {
+        info.kind = NodeKind::kTask;
+      } else if (fields[2] == "C") {
+        info.kind = NodeKind::kCollector;
+      } else {
+        throw fail("node kind must be T or C");
+      }
+      info.work = util::ParseDouble(fields[3], "node work");
+      info.span = util::ParseDouble(fields[4], "node span");
+      const auto changes = util::ParseU64(fields[5], "node changes");
+      if (changes > 1) {
+        throw fail("node changes must be 0 or 1");
+      }
+      info.output_changes = changes == 1;
+      infos[id] = info;
+    } else if (keyword == "edge") {
+      if (fields.size() != 3) {
+        throw fail("'edge' expects: u v");
+      }
+      edges.emplace_back(parse_id(fields[1]), parse_id(fields[2]));
+    } else if (keyword == "dirty") {
+      for (std::size_t i = 1; i < fields.size(); ++i) {
+        dirty.push_back(parse_id(fields[i]));
+      }
+    } else {
+      throw fail("unknown keyword '" + std::string(keyword) + "'");
+    }
+  }
+  if (!saw_nodes) {
+    throw util::ParseError("trace missing 'nodes' declaration");
+  }
+
+  graph::DigraphBuilder builder(num_nodes);
+  for (const auto& [u, v] : edges) {
+    builder.AddEdge(u, v);
+  }
+  return JobTrace(name, std::move(builder).Build(), std::move(infos),
+                  std::move(dirty));
+}
+
+JobTrace ReadTraceFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    throw util::Error("cannot open trace file for reading: " + path);
+  }
+  return ReadTrace(in);
+}
+
+}  // namespace dsched::trace

@@ -1,0 +1,35 @@
+// Text serialization of job traces.
+//
+// Format (line oriented, '#' comments, whitespace separated):
+//
+//   dsched-trace v1
+//   name <token>
+//   nodes <N>
+//   node <id> <T|C> <work> <span> <0|1>    # optional; defaults T 1 1 1
+//   edge <u> <v>
+//   dirty <id> [<id> ...]
+//
+// Node lines may be omitted for nodes with default info, which keeps the
+// large generated traces compact on disk.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "trace/job_trace.hpp"
+
+namespace dsched::trace {
+
+/// Writes `trace` in the v1 text format.
+void WriteTrace(std::ostream& out, const JobTrace& trace);
+
+/// Writes to a file; throws util::Error if the file cannot be opened.
+void WriteTraceFile(const std::string& path, const JobTrace& trace);
+
+/// Parses the v1 text format; throws util::ParseError on malformed input.
+[[nodiscard]] JobTrace ReadTrace(std::istream& in);
+
+/// Reads from a file; throws util::Error if the file cannot be opened.
+[[nodiscard]] JobTrace ReadTraceFile(const std::string& path);
+
+}  // namespace dsched::trace

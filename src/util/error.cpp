@@ -1,0 +1,17 @@
+#include "util/error.hpp"
+
+#include <sstream>
+
+namespace dsched::util {
+
+void ThrowCheckFailure(const char* condition, const char* file, int line,
+                       const std::string& detail) {
+  std::ostringstream oss;
+  oss << "DSCHED_CHECK failed: " << condition << " at " << file << ":" << line;
+  if (!detail.empty()) {
+    oss << " — " << detail;
+  }
+  throw LogicError(oss.str());
+}
+
+}  // namespace dsched::util

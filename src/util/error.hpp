@@ -1,0 +1,60 @@
+// Error handling: a small exception hierarchy plus CHECK-style macros.
+//
+// Following the C++ Core Guidelines (E.2, I.10) we report errors that a
+// caller can reasonably handle with exceptions, and program-logic violations
+// with DSCHED_CHECK, which throws LogicError carrying file/line context.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace dsched::util {
+
+/// Base class of all library errors.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Malformed external input: trace files, Datalog programs, CLI flags.
+class ParseError : public Error {
+ public:
+  explicit ParseError(const std::string& what) : Error(what) {}
+};
+
+/// Structural violations: cyclic "DAG"s, unstratifiable programs, ...
+class InvalidArgument : public Error {
+ public:
+  explicit InvalidArgument(const std::string& what) : Error(what) {}
+};
+
+/// Internal invariant violation (a bug in this library, not in user input).
+class LogicError : public Error {
+ public:
+  explicit LogicError(const std::string& what) : Error(what) {}
+};
+
+/// Builds the message for DSCHED_CHECK failures.  Out of line to keep the
+/// macro expansion small.
+[[noreturn]] void ThrowCheckFailure(const char* condition, const char* file,
+                                    int line, const std::string& detail);
+
+}  // namespace dsched::util
+
+/// Validates an internal invariant; throws LogicError with context when the
+/// condition is false.  Enabled in all build types: scheduler correctness is
+/// the subject of this library, so we never compile the checks out.
+#define DSCHED_CHECK(cond)                                                  \
+  do {                                                                      \
+    if (!(cond)) {                                                          \
+      ::dsched::util::ThrowCheckFailure(#cond, __FILE__, __LINE__, "");     \
+    }                                                                       \
+  } while (false)
+
+/// DSCHED_CHECK with an extra human-readable detail string.
+#define DSCHED_CHECK_MSG(cond, detail)                                      \
+  do {                                                                      \
+    if (!(cond)) {                                                          \
+      ::dsched::util::ThrowCheckFailure(#cond, __FILE__, __LINE__, (detail)); \
+    }                                                                       \
+  } while (false)

@@ -1,0 +1,140 @@
+#include "util/flags.hpp"
+
+#include <cstdio>
+#include <sstream>
+
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace dsched::util {
+
+FlagSet::FlagSet(std::string program_name)
+    : program_name_(std::move(program_name)) {}
+
+std::shared_ptr<std::int64_t> FlagSet::Int(const std::string& name,
+                                           std::int64_t default_value,
+                                           const std::string& help) {
+  DSCHED_CHECK_MSG(Find(name) == nullptr, "duplicate flag: " + name);
+  Flag flag{name, help, Kind::kInt, std::make_shared<std::int64_t>(default_value),
+            nullptr,   nullptr,    nullptr,
+            std::to_string(default_value)};
+  flags_.push_back(flag);
+  return flags_.back().int_value;
+}
+
+std::shared_ptr<double> FlagSet::Double(const std::string& name,
+                                        double default_value,
+                                        const std::string& help) {
+  DSCHED_CHECK_MSG(Find(name) == nullptr, "duplicate flag: " + name);
+  Flag flag{name,    help,    Kind::kDouble, nullptr,
+            std::make_shared<double>(default_value), nullptr, nullptr,
+            std::to_string(default_value)};
+  flags_.push_back(flag);
+  return flags_.back().double_value;
+}
+
+std::shared_ptr<std::string> FlagSet::String(const std::string& name,
+                                             const std::string& default_value,
+                                             const std::string& help) {
+  DSCHED_CHECK_MSG(Find(name) == nullptr, "duplicate flag: " + name);
+  Flag flag{name,    help,    Kind::kString, nullptr, nullptr,
+            std::make_shared<std::string>(default_value), nullptr,
+            "\"" + default_value + "\""};
+  flags_.push_back(flag);
+  return flags_.back().string_value;
+}
+
+std::shared_ptr<bool> FlagSet::Bool(const std::string& name, bool default_value,
+                                    const std::string& help) {
+  DSCHED_CHECK_MSG(Find(name) == nullptr, "duplicate flag: " + name);
+  Flag flag{name,    help,    Kind::kBool, nullptr, nullptr, nullptr,
+            std::make_shared<bool>(default_value),
+            default_value ? "true" : "false"};
+  flags_.push_back(flag);
+  return flags_.back().bool_value;
+}
+
+FlagSet::Flag* FlagSet::Find(const std::string& name) {
+  for (auto& flag : flags_) {
+    if (flag.name == name) {
+      return &flag;
+    }
+  }
+  return nullptr;
+}
+
+void FlagSet::Assign(Flag& flag, const std::string& value) {
+  switch (flag.kind) {
+    case Kind::kInt: {
+      const auto parsed = ParseDouble(value, "--" + flag.name);
+      *flag.int_value = static_cast<std::int64_t>(parsed);
+      break;
+    }
+    case Kind::kDouble:
+      *flag.double_value = ParseDouble(value, "--" + flag.name);
+      break;
+    case Kind::kString:
+      *flag.string_value = value;
+      break;
+    case Kind::kBool:
+      if (value == "true" || value == "1" || value.empty()) {
+        *flag.bool_value = true;
+      } else if (value == "false" || value == "0") {
+        *flag.bool_value = false;
+      } else {
+        throw ParseError("boolean flag --" + flag.name +
+                         " expects true/false, got '" + value + "'");
+      }
+      break;
+  }
+}
+
+bool FlagSet::Parse(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      std::printf("%s", Usage().c_str());
+      return false;
+    }
+    if (!StartsWith(arg, "--")) {
+      positional_.push_back(arg);
+      continue;
+    }
+    arg = arg.substr(2);
+    std::string value;
+    bool has_value = false;
+    if (const auto eq = arg.find('='); eq != std::string::npos) {
+      value = arg.substr(eq + 1);
+      arg = arg.substr(0, eq);
+      has_value = true;
+    }
+    Flag* flag = Find(arg);
+    if (flag == nullptr) {
+      throw ParseError("unknown flag --" + arg + " (try --help)");
+    }
+    if (!has_value) {
+      if (flag->kind == Kind::kBool) {
+        *flag->bool_value = true;
+        continue;
+      }
+      if (i + 1 >= argc) {
+        throw ParseError("flag --" + arg + " requires a value");
+      }
+      value = argv[++i];
+    }
+    Assign(*flag, value);
+  }
+  return true;
+}
+
+std::string FlagSet::Usage() const {
+  std::ostringstream oss;
+  oss << "usage: " << program_name_ << " [flags]\n";
+  for (const auto& flag : flags_) {
+    oss << "  --" << flag.name << " (default " << flag.default_repr << ")\n"
+        << "      " << flag.help << "\n";
+  }
+  return oss.str();
+}
+
+}  // namespace dsched::util

@@ -1,0 +1,77 @@
+// Tiny declarative command-line flag parser for examples and bench binaries.
+//
+//   util::FlagSet flags("table2_lookahead");
+//   auto procs = flags.Int("procs", 8, "number of simulated processors");
+//   auto seed  = flags.Int("seed", 42, "trace generator seed");
+//   flags.Parse(argc, argv);            // throws ParseError on junk
+//   Run(*procs, *seed);
+//
+// Supports --name=value, --name value, and bare boolean --name.  "--help"
+// prints usage and returns false from Parse.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace dsched::util {
+
+/// A registry of typed flags bound to caller-visible value slots.
+class FlagSet {
+ public:
+  explicit FlagSet(std::string program_name);
+
+  /// Registers an integer flag; the returned pointer stays valid for the
+  /// FlagSet's lifetime and holds the default until Parse overwrites it.
+  std::shared_ptr<std::int64_t> Int(const std::string& name,
+                                    std::int64_t default_value,
+                                    const std::string& help);
+
+  /// Registers a floating-point flag.
+  std::shared_ptr<double> Double(const std::string& name, double default_value,
+                                 const std::string& help);
+
+  /// Registers a string flag.
+  std::shared_ptr<std::string> String(const std::string& name,
+                                      const std::string& default_value,
+                                      const std::string& help);
+
+  /// Registers a boolean flag (bare --name sets true; --name=false works).
+  std::shared_ptr<bool> Bool(const std::string& name, bool default_value,
+                             const std::string& help);
+
+  /// Parses argv.  Returns false if --help was requested (usage printed to
+  /// stdout); throws ParseError for unknown flags or unparseable values.
+  bool Parse(int argc, const char* const* argv);
+
+  /// Positional (non-flag) arguments encountered during Parse.
+  [[nodiscard]] const std::vector<std::string>& Positional() const {
+    return positional_;
+  }
+
+  /// Renders the usage text.
+  [[nodiscard]] std::string Usage() const;
+
+ private:
+  enum class Kind { kInt, kDouble, kString, kBool };
+  struct Flag {
+    std::string name;
+    std::string help;
+    Kind kind;
+    std::shared_ptr<std::int64_t> int_value;
+    std::shared_ptr<double> double_value;
+    std::shared_ptr<std::string> string_value;
+    std::shared_ptr<bool> bool_value;
+    std::string default_repr;
+  };
+
+  Flag* Find(const std::string& name);
+  void Assign(Flag& flag, const std::string& value);
+
+  std::string program_name_;
+  std::vector<Flag> flags_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace dsched::util

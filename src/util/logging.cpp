@@ -1,0 +1,68 @@
+#include "util/logging.hpp"
+
+#include <cstdio>
+#include <mutex>
+
+namespace dsched::util {
+
+namespace {
+
+std::mutex g_mutex;
+LogLevel g_level = LogLevel::kWarning;
+LogSink g_sink;  // empty → stderr
+
+const char* LevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kWarning:
+      return "WARN";
+    case LogLevel::kError:
+      return "ERROR";
+    case LogLevel::kOff:
+      return "OFF";
+  }
+  return "?";
+}
+
+}  // namespace
+
+void SetLogLevel(LogLevel level) {
+  const std::lock_guard<std::mutex> lock(g_mutex);
+  g_level = level;
+}
+
+LogLevel GetLogLevel() {
+  const std::lock_guard<std::mutex> lock(g_mutex);
+  return g_level;
+}
+
+void SetLogSink(LogSink sink) {
+  const std::lock_guard<std::mutex> lock(g_mutex);
+  g_sink = std::move(sink);
+}
+
+void ResetLogSink() {
+  const std::lock_guard<std::mutex> lock(g_mutex);
+  g_sink = nullptr;
+}
+
+void LogMessage(LogLevel level, const std::string& message) {
+  LogSink sink;
+  {
+    const std::lock_guard<std::mutex> lock(g_mutex);
+    if (level < g_level || g_level == LogLevel::kOff) {
+      return;
+    }
+    sink = g_sink;
+  }
+  if (sink) {
+    sink(level, message);
+  } else {
+    std::fprintf(stderr, "[%s] %s\n", LevelName(level), message.c_str());
+  }
+}
+
+}  // namespace dsched::util

@@ -1,0 +1,54 @@
+// Minimal leveled logger.
+//
+// The library itself is silent by default (it is a library); examples and
+// bench harnesses raise the level to Info.  No global mutable state beyond
+// the level and sink, both settable for tests.
+#pragma once
+
+#include <functional>
+#include <sstream>
+#include <string>
+
+namespace dsched::util {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3, kOff = 4 };
+
+/// Sets the minimum level that gets emitted.  Default: kWarning.
+void SetLogLevel(LogLevel level);
+[[nodiscard]] LogLevel GetLogLevel();
+
+/// Replaces the sink (default: stderr).  Used by tests to capture output.
+using LogSink = std::function<void(LogLevel, const std::string&)>;
+void SetLogSink(LogSink sink);
+void ResetLogSink();
+
+/// Emits one message if `level` passes the threshold.
+void LogMessage(LogLevel level, const std::string& message);
+
+namespace internal {
+/// Stream-style builder behind the DSCHED_LOG macro.
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+  ~LogLine() { LogMessage(level_, stream_.str()); }
+
+  template <typename T>
+  LogLine& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+}  // namespace internal
+
+}  // namespace dsched::util
+
+/// Usage: DSCHED_LOG(Info) << "built trace with " << n << " nodes";
+#define DSCHED_LOG(severity)                   \
+  ::dsched::util::internal::LogLine(          \
+      ::dsched::util::LogLevel::k##severity)

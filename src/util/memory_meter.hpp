@@ -1,0 +1,58 @@
+// Byte-level accounting of scheduler data structures.
+//
+// Theorem 2 vs the LogicBlox baseline is a *space* separation: O(n) scheduler
+// state and O(V) precomputation versus O(V^2) worst-case interval lists.  The
+// MetaScheduler of Theorem 10 additionally needs a *runtime* memory budget it
+// can poll so it can abort the wrapped heuristic when the budget is crossed.
+// MemoryMeter makes both measurable: every scheduler reports the bytes held
+// by its long-lived structures through one of these.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace dsched::util {
+
+/// Tracks current and peak bytes attributed to one owner (e.g. a scheduler).
+class MemoryMeter {
+ public:
+  /// Registers `bytes` newly allocated by the owner.
+  void Allocate(std::size_t bytes) {
+    current_ += bytes;
+    if (current_ > peak_) {
+      peak_ = current_;
+    }
+  }
+
+  /// Registers `bytes` released by the owner.  Releasing more than is held
+  /// clamps to zero (callers sometimes account containers wholesale).
+  void Release(std::size_t bytes) {
+    current_ = (bytes > current_) ? 0 : current_ - bytes;
+  }
+
+  /// Replaces the current figure (for owners that re-measure wholesale).
+  void Set(std::size_t bytes) {
+    current_ = bytes;
+    if (current_ > peak_) {
+      peak_ = current_;
+    }
+  }
+
+  [[nodiscard]] std::size_t CurrentBytes() const { return current_; }
+  [[nodiscard]] std::size_t PeakBytes() const { return peak_; }
+
+  void Reset() {
+    current_ = 0;
+    peak_ = 0;
+  }
+
+ private:
+  std::size_t current_ = 0;
+  std::size_t peak_ = 0;
+};
+
+/// Renders a byte count with a binary-unit suffix, e.g. "1.50 MiB".
+std::string FormatBytes(std::size_t bytes);
+
+}  // namespace dsched::util

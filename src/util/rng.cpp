@@ -1,0 +1,102 @@
+#include "util/rng.hpp"
+
+#include <cmath>
+#include <numbers>
+
+namespace dsched::util {
+
+namespace {
+inline std::uint64_t Rotl(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) {
+  SplitMix64 sm(seed);
+  for (auto& s : s_) {
+    s = sm.Next();
+  }
+}
+
+std::uint64_t Rng::NextU64() {
+  const std::uint64_t result = Rotl(s_[1] * 5, 7) * 9;
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = Rotl(s_[3], 45);
+  return result;
+}
+
+std::uint64_t Rng::NextBelow(std::uint64_t bound) {
+  DSCHED_CHECK_MSG(bound > 0, "NextBelow requires a positive bound");
+  // Lemire's method: multiply-shift with rejection on the low word.
+  std::uint64_t x = NextU64();
+  __uint128_t m = static_cast<__uint128_t>(x) * static_cast<__uint128_t>(bound);
+  auto low = static_cast<std::uint64_t>(m);
+  if (low < bound) {
+    const std::uint64_t threshold = -bound % bound;
+    while (low < threshold) {
+      x = NextU64();
+      m = static_cast<__uint128_t>(x) * static_cast<__uint128_t>(bound);
+      low = static_cast<std::uint64_t>(m);
+    }
+  }
+  return static_cast<std::uint64_t>(m >> 64);
+}
+
+std::int64_t Rng::NextInt(std::int64_t lo, std::int64_t hi) {
+  DSCHED_CHECK_MSG(lo <= hi, "NextInt requires lo <= hi");
+  const auto span = static_cast<std::uint64_t>(hi - lo) + 1;
+  // span == 0 means the full 64-bit range [lo, hi] with hi - lo == 2^64 - 1.
+  const std::uint64_t draw = (span == 0) ? NextU64() : NextBelow(span);
+  return lo + static_cast<std::int64_t>(draw);
+}
+
+double Rng::NextDouble() {
+  // 53 high bits → uniform double in [0, 1).
+  return static_cast<double>(NextU64() >> 11) * 0x1.0p-53;
+}
+
+double Rng::NextDouble(double lo, double hi) {
+  DSCHED_CHECK_MSG(lo <= hi, "NextDouble requires lo <= hi");
+  return lo + (hi - lo) * NextDouble();
+}
+
+bool Rng::NextBool(double p) { return NextDouble() < p; }
+
+double Rng::NextExponential(double mean) {
+  DSCHED_CHECK_MSG(mean > 0, "exponential mean must be positive");
+  double u = NextDouble();
+  // Guard against log(0); NextDouble can return exactly 0.
+  if (u <= 0.0) {
+    u = 0x1.0p-53;
+  }
+  return -mean * std::log(u);
+}
+
+double Rng::NextGaussian() {
+  double u1 = NextDouble();
+  if (u1 <= 0.0) {
+    u1 = 0x1.0p-53;
+  }
+  const double u2 = NextDouble();
+  return std::sqrt(-2.0 * std::log(u1)) *
+         std::cos(2.0 * std::numbers::pi * u2);
+}
+
+double Rng::NextLogNormal(double mu, double sigma) {
+  return std::exp(mu + sigma * NextGaussian());
+}
+
+Rng Rng::Fork() {
+  // Derive the child from two fresh draws so parent and child streams are
+  // decorrelated.
+  const std::uint64_t a = NextU64();
+  const std::uint64_t b = NextU64();
+  return Rng(a ^ Rotl(b, 29) ^ 0x9e3779b97f4a7c15ULL);
+}
+
+}  // namespace dsched::util

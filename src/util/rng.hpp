@@ -1,0 +1,89 @@
+// Deterministic pseudo-random number generation.
+//
+// Every stochastic component of the library (trace generators, property-test
+// fuzzers, calibration search) draws from Xoshiro256**, seeded through
+// SplitMix64.  Determinism given a seed is a hard requirement: the synthetic
+// replacements for the proprietary LogicBlox traces must be reproducible
+// bit-for-bit across runs and machines.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace dsched::util {
+
+/// SplitMix64: used to expand a single 64-bit seed into a full Xoshiro state.
+/// (Steele, Lea & Flood, OOPSLA'14.)
+class SplitMix64 {
+ public:
+  explicit SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+  /// Returns the next 64-bit value in the stream.
+  std::uint64_t Next() {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// Xoshiro256** 1.0 (Blackman & Vigna).  Fast, high-quality, and — unlike
+/// std::mt19937_64 — identically specified regardless of standard library.
+class Rng {
+ public:
+  /// Seeds the generator deterministically from a single 64-bit value.
+  explicit Rng(std::uint64_t seed = 0x5eed'da7a'106cULL);
+
+  /// Uniform 64-bit value.
+  std::uint64_t NextU64();
+
+  /// Uniform value in [0, bound).  bound must be positive.  Uses Lemire's
+  /// nearly-divisionless method, unbiased.
+  std::uint64_t NextBelow(std::uint64_t bound);
+
+  /// Uniform integer in the closed range [lo, hi].
+  std::int64_t NextInt(std::int64_t lo, std::int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double NextDouble();
+
+  /// Uniform double in [lo, hi).
+  double NextDouble(double lo, double hi);
+
+  /// Bernoulli draw with probability p of returning true.
+  bool NextBool(double p = 0.5);
+
+  /// Exponentially distributed value with the given mean (> 0).
+  double NextExponential(double mean);
+
+  /// Log-normal draw: exp(N(mu, sigma^2)).  Heavy-tailed task durations in
+  /// the synthetic traces are drawn from this family.
+  double NextLogNormal(double mu, double sigma);
+
+  /// Standard normal via Box-Muller (no cached spare; keeps state minimal).
+  double NextGaussian();
+
+  /// Fisher-Yates shuffle of a vector.
+  template <typename T>
+  void Shuffle(std::vector<T>& items) {
+    for (std::size_t i = items.size(); i > 1; --i) {
+      const std::size_t j = static_cast<std::size_t>(NextBelow(i));
+      using std::swap;
+      swap(items[i - 1], items[j]);
+    }
+  }
+
+  /// Derives an independent child generator; used to give each trace
+  /// component its own stream so edits to one stage do not shift another.
+  Rng Fork();
+
+ private:
+  std::uint64_t s_[4];
+};
+
+}  // namespace dsched::util

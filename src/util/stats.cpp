@@ -1,0 +1,149 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace dsched::util {
+
+void Summary::Add(double x) {
+  if (count_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++count_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+}
+
+void Summary::Merge(const Summary& other) {
+  if (other.count_ == 0) {
+    return;
+  }
+  if (count_ == 0) {
+    *this = other;
+    return;
+  }
+  const auto n1 = static_cast<double>(count_);
+  const auto n2 = static_cast<double>(other.count_);
+  const double delta = other.mean_ - mean_;
+  const double n = n1 + n2;
+  mean_ += delta * n2 / n;
+  m2_ += other.m2_ + delta * delta * n1 * n2 / n;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+  count_ += other.count_;
+}
+
+double Summary::Min() const {
+  DSCHED_CHECK_MSG(count_ > 0, "Min() of empty Summary");
+  return min_;
+}
+
+double Summary::Max() const {
+  DSCHED_CHECK_MSG(count_ > 0, "Max() of empty Summary");
+  return max_;
+}
+
+double Summary::Mean() const {
+  DSCHED_CHECK_MSG(count_ > 0, "Mean() of empty Summary");
+  return mean_;
+}
+
+double Summary::Variance() const {
+  if (count_ < 2) {
+    return 0.0;
+  }
+  return m2_ / static_cast<double>(count_);
+}
+
+double Summary::StdDev() const { return std::sqrt(Variance()); }
+
+std::string Summary::ToString() const {
+  std::ostringstream oss;
+  if (count_ == 0) {
+    return "n=0";
+  }
+  oss << "n=" << count_ << " min=" << Min() << " mean=" << Mean()
+      << " max=" << Max() << " sd=" << StdDev();
+  return oss.str();
+}
+
+Histogram::Histogram(double lo, double hi, std::size_t buckets)
+    : lo_(lo),
+      width_((hi - lo) / static_cast<double>(buckets)),
+      counts_(buckets, 0) {
+  DSCHED_CHECK_MSG(hi > lo, "Histogram range must be non-empty");
+  DSCHED_CHECK_MSG(buckets > 0, "Histogram needs at least one bucket");
+}
+
+void Histogram::Add(double x) {
+  ++total_;
+  if (x < lo_) {
+    ++underflow_;
+    return;
+  }
+  const auto idx = static_cast<std::size_t>((x - lo_) / width_);
+  if (idx >= counts_.size()) {
+    ++overflow_;
+    return;
+  }
+  ++counts_[idx];
+}
+
+std::uint64_t Histogram::BucketCount(std::size_t i) const {
+  DSCHED_CHECK(i < counts_.size());
+  return counts_[i];
+}
+
+double Histogram::Quantile(double q) const {
+  DSCHED_CHECK_MSG(q >= 0.0 && q <= 1.0, "quantile must be in [0,1]");
+  if (total_ == 0) {
+    return lo_;
+  }
+  const double target = q * static_cast<double>(total_);
+  double running = static_cast<double>(underflow_);
+  if (running >= target) {
+    return lo_;
+  }
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    const auto c = static_cast<double>(counts_[i]);
+    if (running + c >= target && c > 0) {
+      const double frac = (target - running) / c;
+      return lo_ + (static_cast<double>(i) + frac) * width_;
+    }
+    running += c;
+  }
+  return lo_ + width_ * static_cast<double>(counts_.size());
+}
+
+std::string Histogram::ToString(std::size_t bar_width) const {
+  std::uint64_t peak = 1;
+  for (const auto c : counts_) {
+    peak = std::max(peak, c);
+  }
+  std::ostringstream oss;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    const double b_lo = lo_ + static_cast<double>(i) * width_;
+    const double b_hi = b_lo + width_;
+    const auto bars = static_cast<std::size_t>(
+        static_cast<double>(counts_[i]) / static_cast<double>(peak) *
+        static_cast<double>(bar_width));
+    oss << "[" << b_lo << ", " << b_hi << ") " << std::string(bars, '#') << " "
+        << counts_[i] << "\n";
+  }
+  if (underflow_ > 0) {
+    oss << "underflow: " << underflow_ << "\n";
+  }
+  if (overflow_ > 0) {
+    oss << "overflow: " << overflow_ << "\n";
+  }
+  return oss.str();
+}
+
+}  // namespace dsched::util

@@ -1,0 +1,73 @@
+// Streaming summary statistics and fixed-bucket histograms.
+//
+// Used by trace generators (degree / duration distributions), by the
+// simulator's metrics block, and by the calibration loop that matches the
+// synthetic traces to the published Table I characteristics.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace dsched::util {
+
+/// Welford-style streaming summary: count, min, max, mean, variance.
+class Summary {
+ public:
+  /// Folds one observation into the summary.
+  void Add(double x);
+
+  /// Merges another summary into this one (parallel reduction friendly).
+  void Merge(const Summary& other);
+
+  [[nodiscard]] std::uint64_t Count() const { return count_; }
+  [[nodiscard]] double Min() const;
+  [[nodiscard]] double Max() const;
+  [[nodiscard]] double Mean() const;
+  [[nodiscard]] double Sum() const { return mean_ * static_cast<double>(count_); }
+  /// Population variance; 0 for fewer than two observations.
+  [[nodiscard]] double Variance() const;
+  [[nodiscard]] double StdDev() const;
+
+  /// Single-line rendering, e.g. "n=42 min=0.1 mean=1.3 max=9 sd=0.8".
+  [[nodiscard]] std::string ToString() const;
+
+ private:
+  std::uint64_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Fixed-width linear histogram over [lo, hi); under/overflow bucketed.
+class Histogram {
+ public:
+  /// Creates a histogram with `buckets` equal-width bins spanning [lo, hi).
+  Histogram(double lo, double hi, std::size_t buckets);
+
+  /// Adds one observation.
+  void Add(double x);
+
+  [[nodiscard]] std::uint64_t TotalCount() const { return total_; }
+  [[nodiscard]] std::uint64_t BucketCount(std::size_t i) const;
+  [[nodiscard]] std::size_t Buckets() const { return counts_.size(); }
+  [[nodiscard]] std::uint64_t Underflow() const { return underflow_; }
+  [[nodiscard]] std::uint64_t Overflow() const { return overflow_; }
+
+  /// Quantile estimate by linear interpolation inside the bucket; q in [0,1].
+  [[nodiscard]] double Quantile(double q) const;
+
+  /// Multi-line ASCII rendering with proportional bars.
+  [[nodiscard]] std::string ToString(std::size_t bar_width = 40) const;
+
+ private:
+  double lo_;
+  double width_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t underflow_ = 0;
+  std::uint64_t overflow_ = 0;
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace dsched::util

@@ -1,0 +1,110 @@
+#include "util/strings.hpp"
+
+#include <cctype>
+#include <charconv>
+#include <cstdio>
+
+#include "util/error.hpp"
+
+namespace dsched::util {
+
+namespace {
+bool IsSpace(char c) {
+  return std::isspace(static_cast<unsigned char>(c)) != 0;
+}
+}  // namespace
+
+std::string_view Trim(std::string_view s) {
+  std::size_t begin = 0;
+  while (begin < s.size() && IsSpace(s[begin])) {
+    ++begin;
+  }
+  std::size_t end = s.size();
+  while (end > begin && IsSpace(s[end - 1])) {
+    --end;
+  }
+  return s.substr(begin, end - begin);
+}
+
+std::vector<std::string_view> Split(std::string_view s, char delim) {
+  std::vector<std::string_view> out;
+  std::size_t start = 0;
+  for (std::size_t i = 0; i <= s.size(); ++i) {
+    if (i == s.size() || s[i] == delim) {
+      out.push_back(s.substr(start, i - start));
+      start = i + 1;
+    }
+  }
+  return out;
+}
+
+std::vector<std::string_view> SplitWhitespace(std::string_view s) {
+  std::vector<std::string_view> out;
+  std::size_t i = 0;
+  while (i < s.size()) {
+    while (i < s.size() && IsSpace(s[i])) {
+      ++i;
+    }
+    const std::size_t start = i;
+    while (i < s.size() && !IsSpace(s[i])) {
+      ++i;
+    }
+    if (i > start) {
+      out.push_back(s.substr(start, i - start));
+    }
+  }
+  return out;
+}
+
+bool StartsWith(std::string_view s, std::string_view prefix) {
+  return s.size() >= prefix.size() && s.substr(0, prefix.size()) == prefix;
+}
+
+std::uint64_t ParseU64(std::string_view s, std::string_view context) {
+  s = Trim(s);
+  std::uint64_t value = 0;
+  const auto [ptr, ec] = std::from_chars(s.data(), s.data() + s.size(), value);
+  if (ec != std::errc{} || ptr != s.data() + s.size() || s.empty()) {
+    throw ParseError("expected unsigned integer for " + std::string(context) +
+                     ", got '" + std::string(s) + "'");
+  }
+  return value;
+}
+
+double ParseDouble(std::string_view s, std::string_view context) {
+  s = Trim(s);
+  double value = 0.0;
+  const auto [ptr, ec] = std::from_chars(s.data(), s.data() + s.size(), value);
+  if (ec != std::errc{} || ptr != s.data() + s.size() || s.empty()) {
+    throw ParseError("expected number for " + std::string(context) +
+                     ", got '" + std::string(s) + "'");
+  }
+  return value;
+}
+
+std::string Join(const std::vector<std::string>& items, std::string_view sep) {
+  std::string out;
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    if (i > 0) {
+      out += sep;
+    }
+    out += items[i];
+  }
+  return out;
+}
+
+std::string FormatSeconds(double seconds) {
+  char buf[64];
+  if (seconds != 0.0 && seconds < 1e-3) {
+    std::snprintf(buf, sizeof(buf), "%.3f us", seconds * 1e6);
+  } else if (seconds < 1.0) {
+    std::snprintf(buf, sizeof(buf), "%.3f ms", seconds * 1e3);
+  } else if (seconds < 100.0) {
+    std::snprintf(buf, sizeof(buf), "%.2f s", seconds);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.1f s", seconds);
+  }
+  return buf;
+}
+
+}  // namespace dsched::util

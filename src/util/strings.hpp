@@ -1,0 +1,39 @@
+// Small string utilities shared by the trace/Datalog parsers and printers.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace dsched::util {
+
+/// Removes leading and trailing ASCII whitespace.
+[[nodiscard]] std::string_view Trim(std::string_view s);
+
+/// Splits on a single-character delimiter; empty fields are preserved.
+[[nodiscard]] std::vector<std::string_view> Split(std::string_view s,
+                                                  char delim);
+
+/// Splits on runs of ASCII whitespace; empty fields are dropped.
+[[nodiscard]] std::vector<std::string_view> SplitWhitespace(
+    std::string_view s);
+
+/// True when `s` begins with `prefix`.
+[[nodiscard]] bool StartsWith(std::string_view s, std::string_view prefix);
+
+/// Parses a non-negative integer; throws ParseError with `context` on junk.
+[[nodiscard]] std::uint64_t ParseU64(std::string_view s,
+                                     std::string_view context);
+
+/// Parses a double; throws ParseError with `context` on junk.
+[[nodiscard]] double ParseDouble(std::string_view s, std::string_view context);
+
+/// Joins items with a separator, e.g. Join({"a","b"}, ", ") == "a, b".
+[[nodiscard]] std::string Join(const std::vector<std::string>& items,
+                               std::string_view sep);
+
+/// Renders seconds in the units the paper's tables use: "21.69 s" or
+/// "0.159 ms" for sub-millisecond figures.
+[[nodiscard]] std::string FormatSeconds(double seconds);
+
+}  // namespace dsched::util

@@ -1,0 +1,79 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace dsched::util {
+
+TextTable::TextTable(std::string title) : title_(std::move(title)) {}
+
+void TextTable::SetHeader(std::vector<std::string> header) {
+  header_ = std::move(header);
+}
+
+void TextTable::AddRow(std::vector<std::string> row) {
+  if (!header_.empty()) {
+    DSCHED_CHECK_MSG(row.size() <= header_.size(),
+                     "row has more cells than the header");
+    row.resize(header_.size());
+  }
+  rows_.push_back({std::move(row), pending_rule_});
+  pending_rule_ = false;
+}
+
+void TextTable::AddRule() { pending_rule_ = true; }
+
+std::string TextTable::ToString() const {
+  // Compute column widths over header and all rows.
+  std::size_t columns = header_.size();
+  for (const auto& row : rows_) {
+    columns = std::max(columns, row.cells.size());
+  }
+  std::vector<std::size_t> widths(columns, 0);
+  const auto measure = [&](const std::vector<std::string>& cells) {
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+      widths[i] = std::max(widths[i], cells[i].size());
+    }
+  };
+  measure(header_);
+  for (const auto& row : rows_) {
+    measure(row.cells);
+  }
+
+  const auto render_rule = [&](std::ostringstream& oss) {
+    for (std::size_t i = 0; i < columns; ++i) {
+      oss << "+" << std::string(widths[i] + 2, '-');
+    }
+    oss << "+\n";
+  };
+  const auto render_row = [&](std::ostringstream& oss,
+                              const std::vector<std::string>& cells) {
+    for (std::size_t i = 0; i < columns; ++i) {
+      const std::string& cell = (i < cells.size()) ? cells[i] : std::string();
+      oss << "| " << cell << std::string(widths[i] - cell.size() + 1, ' ');
+    }
+    oss << "|\n";
+  };
+
+  std::ostringstream oss;
+  if (!title_.empty()) {
+    oss << title_ << "\n";
+  }
+  render_rule(oss);
+  if (!header_.empty()) {
+    render_row(oss, header_);
+    render_rule(oss);
+  }
+  for (const auto& row : rows_) {
+    if (row.rule_before) {
+      render_rule(oss);
+    }
+    render_row(oss, row.cells);
+  }
+  render_rule(oss);
+  return oss.str();
+}
+
+}  // namespace dsched::util

@@ -1,0 +1,42 @@
+// ASCII table renderer.
+//
+// Every bench binary reproduces one of the paper's tables; this renderer
+// prints them with aligned columns so `bench_output.txt` reads like the
+// paper's Tables I–III.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace dsched::util {
+
+/// Column-aligned text table with an optional title and header row.
+class TextTable {
+ public:
+  explicit TextTable(std::string title = "");
+
+  /// Sets the header row (defines the column count).
+  void SetHeader(std::vector<std::string> header);
+
+  /// Appends a data row; it may be shorter than the header (padded) but not
+  /// longer.
+  void AddRow(std::vector<std::string> row);
+
+  /// Inserts a horizontal rule before the next added row.
+  void AddRule();
+
+  /// Renders the table; columns are padded to the widest cell.
+  [[nodiscard]] std::string ToString() const;
+
+ private:
+  struct Row {
+    std::vector<std::string> cells;
+    bool rule_before = false;
+  };
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<Row> rows_;
+  bool pending_rule_ = false;
+};
+
+}  // namespace dsched::util

@@ -1,0 +1,70 @@
+// Wall-clock measurement helpers.
+//
+// The paper's Table III separates *makespan* (simulated time to run all
+// tasks) from *scheduling overhead* (real time the scheduler burns finding
+// ready work).  The simulator accumulates the latter with StopwatchGuard
+// around every scheduler decision call.
+#pragma once
+
+#include <chrono>
+
+namespace dsched::util {
+
+/// Monotonic stopwatch measuring elapsed seconds as a double.
+class WallTimer {
+ public:
+  WallTimer() : start_(Clock::now()) {}
+
+  /// Restarts the measurement window.
+  void Reset() { start_ = Clock::now(); }
+
+  /// Seconds since construction or the last Reset().
+  [[nodiscard]] double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+/// Accumulates total seconds across many short measurement windows.
+class Stopwatch {
+ public:
+  /// Total accumulated seconds.
+  [[nodiscard]] double TotalSeconds() const { return total_; }
+
+  /// Number of measurement windows accumulated.
+  [[nodiscard]] std::uint64_t Laps() const { return laps_; }
+
+  /// Adds a window measured externally.
+  void Add(double seconds) {
+    total_ += seconds;
+    ++laps_;
+  }
+
+  /// Clears the accumulator.
+  void Reset() {
+    total_ = 0.0;
+    laps_ = 0;
+  }
+
+ private:
+  double total_ = 0.0;
+  std::uint64_t laps_ = 0;
+};
+
+/// RAII guard: measures its own lifetime and adds it to a Stopwatch.
+class StopwatchGuard {
+ public:
+  explicit StopwatchGuard(Stopwatch& sink) : sink_(sink) {}
+  StopwatchGuard(const StopwatchGuard&) = delete;
+  StopwatchGuard& operator=(const StopwatchGuard&) = delete;
+  ~StopwatchGuard() { sink_.Add(timer_.ElapsedSeconds()); }
+
+ private:
+  Stopwatch& sink_;
+  WallTimer timer_;
+};
+
+}  // namespace dsched::util

@@ -1,0 +1,36 @@
+// Core scalar types shared across the library.
+//
+// The scheduling model of the paper (IPDPS'20) speaks about tasks (predicate
+// nodes of the computation DAG), levels (longest distance from any source
+// node) and simulated time.  We fix their representations here once so every
+// module agrees on widths and sentinel values.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace dsched::util {
+
+/// Identifier of a task (a vertex of the computation DAG).  Dense, 0-based.
+using TaskId = std::uint32_t;
+
+/// Level of a node: the maximum number of edges on any path from a source
+/// node to it.  Source nodes have level 0 (paper, Section II-B).
+using Level = std::uint32_t;
+
+/// Simulated time.  The traces carry fractional seconds, so time is a double.
+using SimTime = double;
+
+/// Amount of (simulated) work; measured in processor-seconds.
+using Work = double;
+
+/// Sentinel for "no task".
+inline constexpr TaskId kInvalidTask = std::numeric_limits<TaskId>::max();
+
+/// Sentinel for "level unknown / not computed".
+inline constexpr Level kInvalidLevel = std::numeric_limits<Level>::max();
+
+/// Positive infinity for simulated time comparisons.
+inline constexpr SimTime kTimeInfinity = std::numeric_limits<SimTime>::infinity();
+
+}  // namespace dsched::util

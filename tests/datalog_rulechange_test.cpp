@@ -1,0 +1,221 @@
+// Tests for incremental rule changes (Database::AddRules / RemoveRule):
+// after any change the store must equal a from-scratch evaluation of the
+// new program over the same base facts.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "datalog/database.hpp"
+#include "datalog/eval.hpp"
+#include "datalog/parser.hpp"
+#include "datalog/stratify.hpp"
+#include "datalog/validate.hpp"
+#include "util/error.hpp"
+
+namespace dsched::datalog {
+namespace {
+
+std::vector<Tuple> Sorted(std::vector<Tuple> rows) {
+  std::sort(rows.begin(), rows.end());
+  return rows;
+}
+
+TEST(RuleChangeTest, AddRuleDerivesIncrementally) {
+  Database db(R"(
+    tc(X, Y) :- e(X, Y).
+    tc(X, Z) :- tc(X, Y), e(Y, Z).
+  )");
+  for (int i = 0; i + 1 < 5; ++i) {
+    db.Insert("e", {Value::Int(i), Value::Int(i + 1)});
+  }
+  db.Materialize();
+  EXPECT_EQ(db.Query("tc").size(), 10u);
+
+  // Add symmetric closure on top — a brand-new predicate.
+  const UpdateResult result = db.AddRules(R"(
+    sym(X, Y) :- tc(X, Y).
+    sym(Y, X) :- tc(X, Y).
+  )");
+  EXPECT_EQ(db.Query("sym").size(), 20u);
+  EXPECT_EQ(result.total_inserted, 20u);
+  EXPECT_TRUE(db.Contains("sym", {Value::Int(4), Value::Int(0)}));
+}
+
+TEST(RuleChangeTest, AddRecursiveRuleReachesFixpoint) {
+  Database db("hop(X, Y) :- e(X, Y).");
+  for (int i = 0; i + 1 < 6; ++i) {
+    db.Insert("e", {Value::Int(i), Value::Int(i + 1)});
+  }
+  db.Materialize();
+  EXPECT_EQ(db.Query("hop").size(), 5u);
+  // Make hop transitive — recursion through the NEW rule must run to
+  // fixpoint, not stop after one application.
+  db.AddRules("hop(X, Z) :- hop(X, Y), hop(Y, Z).");
+  EXPECT_EQ(db.Query("hop").size(), 15u);
+  EXPECT_TRUE(db.Contains("hop", {Value::Int(0), Value::Int(5)}));
+}
+
+TEST(RuleChangeTest, AddRuleCascadesThroughNegation) {
+  Database db(R"(
+    covered(X) :- blanket(X).
+    exposed(X) :- thing(X), !covered(X).
+    tarpish(X) :- tarp(X).
+  )");
+  db.Insert("thing", {Value::Int(1)});
+  db.Insert("thing", {Value::Int(2)});
+  db.Insert("blanket", {Value::Int(1)});
+  db.Insert("tarp", {Value::Int(2)});
+  db.Materialize();
+  EXPECT_TRUE(db.Contains("exposed", {Value::Int(2)}));
+
+  // New rule inserts into the negated predicate: exposed(2) must retract.
+  db.AddRules("covered(X) :- tarp(X).");
+  EXPECT_FALSE(db.Contains("exposed", {Value::Int(2)}));
+  EXPECT_TRUE(db.Query("exposed").empty());
+}
+
+TEST(RuleChangeTest, AddAggregateRule) {
+  Database db("pair(X, Y) :- e(X, Y).");
+  db.Insert("e", {Value::Int(1), Value::Int(2)});
+  db.Insert("e", {Value::Int(1), Value::Int(3)});
+  db.Materialize();
+  db.AddRules("fan(X; count()) :- pair(X, _).");
+  EXPECT_TRUE(db.Contains("fan", {Value::Int(1), Value::Int(2)}));
+}
+
+TEST(RuleChangeTest, AddRulesFailureLeavesDatabaseIntact) {
+  Database db("p(X) :- q(X).");
+  db.Insert("q", {Value::Int(1)});
+  db.Materialize();
+  // Unsafe rule: rejected, nothing changes.
+  EXPECT_THROW(db.AddRules("p(Y) :- q(X)."), util::InvalidArgument);
+  // Unstratifiable: rejected, nothing changes.
+  EXPECT_THROW(db.AddRules("q(X) :- p(X), !p(X)."), util::InvalidArgument);
+  EXPECT_EQ(db.GetProgram().rules.size(), 1u);
+  EXPECT_EQ(db.Query("p").size(), 1u);
+}
+
+TEST(RuleChangeTest, RemoveRuleRetractsDerivations) {
+  Database db(R"(
+    tc(X, Y) :- e(X, Y).
+    tc(X, Z) :- tc(X, Y), e(Y, Z).
+  )");
+  for (int i = 0; i + 1 < 5; ++i) {
+    db.Insert("e", {Value::Int(i), Value::Int(i + 1)});
+  }
+  db.Materialize();
+  EXPECT_EQ(db.Query("tc").size(), 10u);
+
+  // Drop the transitive rule: only direct edges remain.
+  const UpdateResult result =
+      db.RemoveRule("tc(X, Z) :- tc(X, Y), e(Y, Z).");
+  EXPECT_EQ(db.Query("tc").size(), 4u);
+  EXPECT_EQ(result.total_deleted, 6u);
+  EXPECT_EQ(db.GetProgram().rules.size(), 1u);
+}
+
+TEST(RuleChangeTest, RemoveRuleRederivesSharedSupport) {
+  Database db(R"(
+    p(X) :- a(X).
+    p(X) :- b(X).
+  )");
+  db.Insert("a", {Value::Int(1)});
+  db.Insert("b", {Value::Int(1)});
+  db.Insert("b", {Value::Int(2)});
+  db.Materialize();
+  db.RemoveRule("p(X) :- a(X).");
+  // p(1) survives via the b-rule; nothing else lost except a-only support.
+  EXPECT_TRUE(db.Contains("p", {Value::Int(1)}));
+  EXPECT_TRUE(db.Contains("p", {Value::Int(2)}));
+  EXPECT_EQ(db.Query("p").size(), 2u);
+}
+
+TEST(RuleChangeTest, RemoveRuleCreatesThroughNegation) {
+  Database db(R"(
+    covered(X) :- blanket(X).
+    exposed(X) :- thing(X), !covered(X).
+  )");
+  db.Insert("thing", {Value::Int(1)});
+  db.Insert("blanket", {Value::Int(1)});
+  db.Materialize();
+  EXPECT_TRUE(db.Query("exposed").empty());
+  db.RemoveRule("covered(X) :- blanket(X).");
+  EXPECT_TRUE(db.Contains("exposed", {Value::Int(1)}));
+}
+
+TEST(RuleChangeTest, RemoveFactClause) {
+  Database db(R"(
+    e(a, b).
+    tc(X, Y) :- e(X, Y).
+  )");
+  db.Materialize();
+  EXPECT_EQ(db.Query("tc").size(), 1u);
+  db.RemoveRule("e(a, b).");
+  EXPECT_TRUE(db.Query("e").empty());
+  EXPECT_TRUE(db.Query("tc").empty());
+}
+
+TEST(RuleChangeTest, RemoveUnknownRuleThrows) {
+  Database db("p(X) :- q(X).");
+  db.Insert("q", {Value::Int(1)});
+  db.Materialize();
+  EXPECT_THROW(db.RemoveRule("p(X) :- missingpred(X)."), util::ParseError);
+  EXPECT_THROW(db.RemoveRule("q(X) :- p(X)."), util::InvalidArgument);
+}
+
+TEST(RuleChangeTest, EquivalentToFromScratchAfterMixedChanges) {
+  const char* base_program = R"(
+    tc(X, Y) :- e(X, Y).
+    tc(X, Z) :- tc(X, Y), e(Y, Z).
+    hasout(X) :- e(X, _).
+    deadend(X) :- n(X), !hasout(X).
+  )";
+  Database db(base_program);
+  for (int i = 0; i < 6; ++i) {
+    db.Insert("n", {Value::Int(i)});
+  }
+  for (const auto& [i, j] :
+       std::vector<std::pair<int, int>>{{0, 1}, {1, 2}, {3, 4}, {4, 5}}) {
+    db.Insert("e", {Value::Int(i), Value::Int(j)});
+  }
+  db.Materialize();
+
+  db.AddRules("far(X, Z) :- tc(X, Y), tc(Y, Z).");
+  db.RemoveRule("tc(X, Z) :- tc(X, Y), e(Y, Z).");
+  db.AddRules("island(X; count()) :- deadend(X).");
+
+  // From-scratch reference over the final program text.
+  Database fresh(R"(
+    tc(X, Y) :- e(X, Y).
+    hasout(X) :- e(X, _).
+    deadend(X) :- n(X), !hasout(X).
+    far(X, Z) :- tc(X, Y), tc(Y, Z).
+    island(X; count()) :- deadend(X).
+  )");
+  for (int i = 0; i < 6; ++i) {
+    fresh.Insert("n", {Value::Int(i)});
+  }
+  for (const auto& [i, j] :
+       std::vector<std::pair<int, int>>{{0, 1}, {1, 2}, {3, 4}, {4, 5}}) {
+    fresh.Insert("e", {Value::Int(i), Value::Int(j)});
+  }
+  fresh.Materialize();
+
+  for (const char* pred : {"tc", "hasout", "deadend", "far", "island"}) {
+    EXPECT_EQ(Sorted(db.Query(pred)), Sorted(fresh.Query(pred))) << pred;
+  }
+}
+
+TEST(RuleChangeTest, BaseUpdatesKeepWorkingAfterRuleChanges) {
+  Database db("p(X) :- q(X).");
+  db.Insert("q", {Value::Int(1)});
+  db.Materialize();
+  db.AddRules("r(X) :- p(X).");
+  auto update = db.MakeUpdate();
+  update.Insert("q", {Value::Int(2)});
+  db.Apply(update);
+  EXPECT_TRUE(db.Contains("r", {Value::Int(2)}));
+}
+
+}  // namespace
+}  // namespace dsched::datalog

@@ -1,0 +1,261 @@
+// Unit tests for the Datalog front end: values, lexer, parser, validation,
+// stratification, and relation storage.
+#include <gtest/gtest.h>
+
+#include "datalog/ast.hpp"
+#include "datalog/lexer.hpp"
+#include "datalog/parser.hpp"
+#include "datalog/relation.hpp"
+#include "datalog/stratify.hpp"
+#include "datalog/validate.hpp"
+#include "datalog/value.hpp"
+#include "util/error.hpp"
+
+namespace dsched::datalog {
+namespace {
+
+TEST(ValueTest, IntRoundTrip) {
+  const Value v = Value::Int(-12345);
+  EXPECT_TRUE(v.IsInt());
+  EXPECT_FALSE(v.IsSymbol());
+  EXPECT_EQ(v.AsInt(), -12345);
+  EXPECT_EQ(Value::Int(0).AsInt(), 0);
+  EXPECT_EQ(Value::Int(Value::kMaxInt).AsInt(), Value::kMaxInt);
+  EXPECT_EQ(Value::Int(Value::kMinInt).AsInt(), Value::kMinInt);
+}
+
+TEST(ValueTest, SymbolRoundTrip) {
+  SymbolTable symbols;
+  const auto id = symbols.Intern("hello");
+  EXPECT_EQ(symbols.Intern("hello"), id);  // stable
+  const Value v = Value::Symbol(id);
+  EXPECT_TRUE(v.IsSymbol());
+  EXPECT_EQ(v.AsSymbol(), id);
+  EXPECT_EQ(v.ToString(symbols), "hello");
+  EXPECT_THROW((void)v.AsInt(), util::LogicError);
+}
+
+TEST(ValueTest, IntAndSymbolNeverEqual) {
+  EXPECT_FALSE(Value::Int(3) == Value::Symbol(3));
+}
+
+TEST(ValueTest, CmpSemantics) {
+  EXPECT_TRUE(EvalCmp(CmpOp::kLt, Value::Int(1), Value::Int(2)));
+  EXPECT_FALSE(EvalCmp(CmpOp::kGe, Value::Int(1), Value::Int(2)));
+  EXPECT_TRUE(EvalCmp(CmpOp::kNe, Value::Int(1), Value::Int(2)));
+  EXPECT_TRUE(EvalCmp(CmpOp::kEq, Value::Symbol(4), Value::Symbol(4)));
+  EXPECT_THROW((void)EvalCmp(CmpOp::kLt, Value::Symbol(0), Value::Int(1)),
+               util::InvalidArgument);
+}
+
+TEST(LexerTest, TokenKinds) {
+  const auto tokens = Tokenize("path(X, y1) :- e(X), N >= -3. % cmt\n!");
+  std::vector<TokenKind> kinds;
+  for (const auto& t : tokens) {
+    kinds.push_back(t.kind);
+  }
+  const std::vector<TokenKind> expected{
+      TokenKind::kIdentifier, TokenKind::kLParen, TokenKind::kVariable,
+      TokenKind::kComma,      TokenKind::kIdentifier, TokenKind::kRParen,
+      TokenKind::kImplies,    TokenKind::kIdentifier, TokenKind::kLParen,
+      TokenKind::kVariable,   TokenKind::kRParen, TokenKind::kComma,
+      TokenKind::kVariable,   TokenKind::kGe,     TokenKind::kNumber,
+      TokenKind::kPeriod,     TokenKind::kBang,   TokenKind::kEnd};
+  EXPECT_EQ(kinds, expected);
+}
+
+TEST(LexerTest, TracksLines) {
+  const auto tokens = Tokenize("a(x).\nb(y).");
+  EXPECT_EQ(tokens[0].line, 1u);
+  EXPECT_EQ(tokens[4].line, 1u);  // the '.' closing the first clause
+  EXPECT_EQ(tokens[5].line, 2u);  // 'b' on the second line
+}
+
+TEST(LexerTest, StringsAndErrors) {
+  const auto tokens = Tokenize("p(\"hello world\").");
+  EXPECT_EQ(tokens[2].kind, TokenKind::kString);
+  EXPECT_EQ(tokens[2].text, "hello world");
+  EXPECT_THROW(Tokenize("p(\"unterminated"), util::ParseError);
+  EXPECT_THROW(Tokenize("p(@)"), util::ParseError);
+  EXPECT_THROW(Tokenize("a : b"), util::ParseError);
+}
+
+TEST(ParserTest, FactsRulesNegationComparison) {
+  const Program p = ParseProgram(R"(
+    edge(a, b).
+    edge(b, c).
+    path(X, Y) :- edge(X, Y).
+    path(X, Z) :- path(X, Y), edge(Y, Z).
+    lonely(X) :- node(X), !path(X, X), X != b.
+  )");
+  ASSERT_EQ(p.rules.size(), 5u);
+  EXPECT_TRUE(p.rules[0].IsFact());
+  EXPECT_FALSE(p.rules[2].IsFact());
+  const Rule& lonely = p.rules[4];
+  ASSERT_EQ(lonely.body.size(), 3u);
+  EXPECT_TRUE(std::get<Literal>(lonely.body[1]).negated);
+  EXPECT_EQ(std::get<Comparison>(lonely.body[2]).op, CmpOp::kNe);
+  EXPECT_EQ(p.predicate_names[p.PredicateId("path")], "path");
+  EXPECT_EQ(p.predicate_arities[p.PredicateId("lonely")], 1u);
+}
+
+TEST(ParserTest, RoundTripsThroughRuleToString) {
+  const Program p = ParseProgram("big(X) :- amount(X, V), V >= 100.");
+  EXPECT_EQ(RuleToString(p.rules[0], p),
+            "big(X) :- amount(X, V), V >= 100.");
+}
+
+TEST(ParserTest, AnonymousVariablesAreFresh) {
+  const Program p = ParseProgram("lhs(X) :- pair(X, _), pair(_, X).");
+  const Rule& rule = p.rules[0];
+  const auto& a1 = std::get<Literal>(rule.body[0]).atom.args[1];
+  const auto& a2 = std::get<Literal>(rule.body[1]).atom.args[0];
+  EXPECT_NE(a1.var, a2.var);
+}
+
+TEST(ParserTest, ArityMismatchRejected) {
+  EXPECT_THROW(ParseProgram("p(a). p(a, b)."), util::ParseError);
+}
+
+TEST(ParserTest, SyntaxErrorsRejected) {
+  EXPECT_THROW(ParseProgram("p(a)"), util::ParseError);       // missing '.'
+  EXPECT_THROW(ParseProgram("p(a,)."), util::ParseError);     // dangling comma
+  EXPECT_THROW(ParseProgram(":- p(a)."), util::ParseError);   // no head
+  EXPECT_THROW(ParseProgram("p(a) :- ."), util::ParseError);  // empty body
+  EXPECT_THROW(ParseProgram("P(a)."), util::ParseError);      // var as pred
+}
+
+TEST(ValidateTest, SafeProgramPasses) {
+  const Program p = ParseProgram(R"(
+    tc(X, Y) :- e(X, Y).
+    tc(X, Z) :- tc(X, Y), e(Y, Z).
+  )");
+  EXPECT_NO_THROW(ValidateProgram(p));
+}
+
+TEST(ValidateTest, UnboundHeadVariableRejected) {
+  const Program p = ParseProgram("p(X, Y) :- q(X).");
+  EXPECT_THROW(ValidateProgram(p), util::InvalidArgument);
+}
+
+TEST(ValidateTest, UnboundNegationRejected) {
+  const Program p = ParseProgram("p(X) :- q(X), !r(Y).");
+  EXPECT_THROW(ValidateProgram(p), util::InvalidArgument);
+}
+
+TEST(ValidateTest, UnboundComparisonRejected) {
+  const Program p = ParseProgram("p(X) :- q(X), Y > 3.");
+  EXPECT_THROW(ValidateProgram(p), util::InvalidArgument);
+}
+
+TEST(ValidateTest, NonGroundFactRejected) {
+  const Program p = ParseProgram("p(X).");
+  EXPECT_THROW(ValidateProgram(p), util::InvalidArgument);
+}
+
+TEST(StratifyTest, TransitiveClosureOneRecursiveComponent) {
+  const Program p = ParseProgram(R"(
+    tc(X, Y) :- e(X, Y).
+    tc(X, Z) :- tc(X, Y), e(Y, Z).
+  )");
+  const Stratification s = Stratify(p);
+  const auto e = p.PredicateId("e");
+  const auto tc = p.PredicateId("tc");
+  EXPECT_NE(s.component_of[e], s.component_of[tc]);
+  EXPECT_TRUE(s.component_recursive[s.component_of[tc]]);
+  EXPECT_FALSE(s.component_recursive[s.component_of[e]]);
+  // e's component precedes tc's in the order.
+  std::size_t pos_e = 0;
+  std::size_t pos_tc = 0;
+  for (std::size_t i = 0; i < s.component_order.size(); ++i) {
+    if (s.component_order[i] == s.component_of[e]) {
+      pos_e = i;
+    }
+    if (s.component_order[i] == s.component_of[tc]) {
+      pos_tc = i;
+    }
+  }
+  EXPECT_LT(pos_e, pos_tc);
+}
+
+TEST(StratifyTest, MutualRecursionSharesComponent) {
+  const Program p = ParseProgram(R"(
+    even(X) :- zero(X).
+    even(Y) :- odd(X), succ(X, Y).
+    odd(Y) :- even(X), succ(X, Y).
+  )");
+  const Stratification s = Stratify(p);
+  EXPECT_EQ(s.component_of[p.PredicateId("even")],
+            s.component_of[p.PredicateId("odd")]);
+  EXPECT_TRUE(s.component_recursive[s.component_of[p.PredicateId("even")]]);
+}
+
+TEST(StratifyTest, NegationRaisesStratum) {
+  const Program p = ParseProgram(R"(
+    reach(X) :- start(X).
+    reach(Y) :- reach(X), e(X, Y).
+    unreached(X) :- node(X), !reach(X).
+  )");
+  const Stratification s = Stratify(p);
+  const auto reach = s.component_of[p.PredicateId("reach")];
+  const auto unreached = s.component_of[p.PredicateId("unreached")];
+  EXPECT_GT(s.component_stratum[unreached], s.component_stratum[reach]);
+}
+
+TEST(StratifyTest, NegationThroughRecursionRejected) {
+  const Program p = ParseProgram(R"(
+    win(X) :- move(X, Y), !win(Y).
+  )");
+  EXPECT_THROW(Stratify(p), util::InvalidArgument);
+}
+
+TEST(RelationTest, InsertEraseContains) {
+  Relation r(2);
+  const Tuple t1{Value::Int(1), Value::Int(2)};
+  const Tuple t2{Value::Int(3), Value::Int(4)};
+  EXPECT_TRUE(r.Insert(t1));
+  EXPECT_FALSE(r.Insert(t1));  // duplicate
+  EXPECT_TRUE(r.Insert(t2));
+  EXPECT_EQ(r.Size(), 2u);
+  EXPECT_TRUE(r.Contains(t1));
+  EXPECT_TRUE(r.Erase(t1));
+  EXPECT_FALSE(r.Erase(t1));
+  EXPECT_FALSE(r.Contains(t1));
+  EXPECT_TRUE(r.Contains(t2));  // swap-removal kept t2 intact
+  EXPECT_EQ(r.Size(), 1u);
+}
+
+TEST(RelationTest, VersionAdvancesOnChange) {
+  Relation r(1);
+  const auto v0 = r.Version();
+  r.Insert({Value::Int(1)});
+  EXPECT_GT(r.Version(), v0);
+  const auto v1 = r.Version();
+  r.Insert({Value::Int(1)});  // no-op
+  EXPECT_EQ(r.Version(), v1);
+}
+
+TEST(RelationTest, ArityEnforced) {
+  Relation r(2);
+  EXPECT_THROW(r.Insert({Value::Int(1)}), util::LogicError);
+}
+
+TEST(RelationStoreTest, LookupFindsMatchingRows) {
+  const Program p = ParseProgram("e(a, b). e(a, c). e(b, c).");
+  RelationStore store(p);
+  const auto e = p.PredicateId("e");
+  const Value a = Value::Symbol(0);  // "a" interned first
+  store.Of(e).Insert({a, Value::Symbol(1)});
+  store.Of(e).Insert({a, Value::Symbol(2)});
+  store.Of(e).Insert({Value::Symbol(1), Value::Symbol(2)});
+  const auto rows = store.Lookup(e, {0}, {a});
+  EXPECT_EQ(rows.size(), 2u);
+  // Full-scan lookup: empty column set matches everything.
+  EXPECT_EQ(store.Lookup(e, {}, {}).size(), 3u);
+  // Index refreshes after mutation.
+  store.Of(e).Insert({a, Value::Symbol(3)});
+  EXPECT_EQ(store.Lookup(e, {0}, {a}).size(), 3u);
+}
+
+}  // namespace
+}  // namespace dsched::datalog

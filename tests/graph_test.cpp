@@ -1,0 +1,251 @@
+// Unit tests for the graph module.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "graph/critical_path.hpp"
+#include "graph/dag.hpp"
+#include "graph/digraph_builder.hpp"
+#include "graph/dot_export.hpp"
+#include "graph/levels.hpp"
+#include "graph/reachability.hpp"
+#include "graph/stats.hpp"
+#include "graph/topo.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace dsched::graph {
+namespace {
+
+/// Diamond: 0 -> {1, 2} -> 3.
+Dag Diamond() {
+  DigraphBuilder b(4);
+  b.AddEdge(0, 1);
+  b.AddEdge(0, 2);
+  b.AddEdge(1, 3);
+  b.AddEdge(2, 3);
+  return std::move(b).Build();
+}
+
+/// Random DAG with edges only u -> v for u < v.
+Dag RandomDag(std::size_t n, double p, util::Rng& rng) {
+  DigraphBuilder b(n);
+  for (std::size_t u = 0; u < n; ++u) {
+    for (std::size_t v = u + 1; v < n; ++v) {
+      if (rng.NextBool(p)) {
+        b.AddEdge(static_cast<TaskId>(u), static_cast<TaskId>(v));
+      }
+    }
+  }
+  return std::move(b).Build();
+}
+
+TEST(BuilderTest, EmptyGraph) {
+  DigraphBuilder b(0);
+  const Dag dag = std::move(b).Build();
+  EXPECT_EQ(dag.NumNodes(), 0u);
+  EXPECT_EQ(dag.NumEdges(), 0u);
+}
+
+TEST(BuilderTest, AdjacencyBothDirections) {
+  const Dag dag = Diamond();
+  EXPECT_EQ(dag.NumNodes(), 4u);
+  EXPECT_EQ(dag.NumEdges(), 4u);
+  const auto out0 = dag.OutNeighbors(0);
+  EXPECT_EQ(std::vector<TaskId>(out0.begin(), out0.end()),
+            (std::vector<TaskId>{1, 2}));
+  const auto in3 = dag.InNeighbors(3);
+  EXPECT_EQ(std::vector<TaskId>(in3.begin(), in3.end()),
+            (std::vector<TaskId>{1, 2}));
+  EXPECT_EQ(dag.OutDegree(3), 0u);
+  EXPECT_EQ(dag.InDegree(0), 0u);
+}
+
+TEST(BuilderTest, SourcesAndSinks) {
+  const Dag dag = Diamond();
+  EXPECT_EQ(dag.Sources(), std::vector<TaskId>{0});
+  EXPECT_EQ(dag.Sinks(), std::vector<TaskId>{3});
+}
+
+TEST(BuilderTest, DeduplicatesParallelEdges) {
+  DigraphBuilder b(2);
+  b.AddEdge(0, 1);
+  b.AddEdge(0, 1);
+  const Dag dag = std::move(b).Build();
+  EXPECT_EQ(dag.NumEdges(), 1u);
+}
+
+TEST(BuilderTest, RejectsSelfLoop) {
+  DigraphBuilder b(2);
+  EXPECT_THROW(b.AddEdge(1, 1), util::InvalidArgument);
+}
+
+TEST(BuilderTest, RejectsCycle) {
+  DigraphBuilder b(3);
+  b.AddEdge(0, 1);
+  b.AddEdge(1, 2);
+  b.AddEdge(2, 0);
+  EXPECT_THROW(std::move(b).Build(), util::InvalidArgument);
+}
+
+TEST(BuilderTest, AddNodesExtends) {
+  DigraphBuilder b(1);
+  const TaskId first = b.AddNodes(3);
+  EXPECT_EQ(first, 1u);
+  EXPECT_EQ(b.NumNodes(), 4u);
+  EXPECT_EQ(b.AddNode(), 4u);
+}
+
+TEST(TopoTest, RespectsEdges) {
+  util::Rng rng(5);
+  const Dag dag = RandomDag(60, 0.1, rng);
+  const auto rank = TopologicalRank(dag);
+  for (std::size_t u = 0; u < dag.NumNodes(); ++u) {
+    for (const TaskId v : dag.OutNeighbors(static_cast<TaskId>(u))) {
+      EXPECT_LT(rank[u], rank[v]);
+    }
+  }
+}
+
+TEST(TopoTest, DeterministicOrder) {
+  const Dag dag = Diamond();
+  EXPECT_EQ(TopologicalOrder(dag), (std::vector<TaskId>{0, 1, 2, 3}));
+}
+
+TEST(LevelsTest, DiamondLevels) {
+  const LevelMap levels(Diamond());
+  EXPECT_EQ(levels.LevelOf(0), 0u);
+  EXPECT_EQ(levels.LevelOf(1), 1u);
+  EXPECT_EQ(levels.LevelOf(2), 1u);
+  EXPECT_EQ(levels.LevelOf(3), 2u);
+  EXPECT_EQ(levels.NumLevels(), 3u);
+  EXPECT_EQ(levels.LevelWidth(1), 2u);
+}
+
+TEST(LevelsTest, LongestPathNotShortest) {
+  // 0 -> 3 directly and 0 -> 1 -> 2 -> 3: level(3) is the longest, 3.
+  DigraphBuilder b(4);
+  b.AddEdge(0, 3);
+  b.AddEdge(0, 1);
+  b.AddEdge(1, 2);
+  b.AddEdge(2, 3);
+  const LevelMap levels(std::move(b).Build());
+  EXPECT_EQ(levels.LevelOf(3), 3u);
+}
+
+TEST(LevelsTest, LevelsStrictlyIncreaseAlongEdges) {
+  util::Rng rng(6);
+  const Dag dag = RandomDag(80, 0.07, rng);
+  const auto levels = ComputeLevels(dag);
+  for (std::size_t u = 0; u < dag.NumNodes(); ++u) {
+    for (const TaskId v : dag.OutNeighbors(static_cast<TaskId>(u))) {
+      EXPECT_LT(levels[u], levels[v]);
+    }
+  }
+}
+
+TEST(LevelsTest, GroupedIndexIsConsistent) {
+  util::Rng rng(7);
+  const Dag dag = RandomDag(50, 0.1, rng);
+  const LevelMap levels(dag);
+  std::size_t total = 0;
+  for (Level l = 0; l < levels.NumLevels(); ++l) {
+    for (const TaskId v : levels.NodesAtLevel(l)) {
+      EXPECT_EQ(levels.LevelOf(v), l);
+      ++total;
+    }
+  }
+  EXPECT_EQ(total, dag.NumNodes());
+}
+
+TEST(ReachabilityTest, BfsMatchesMatrix) {
+  util::Rng rng(8);
+  const Dag dag = RandomDag(40, 0.08, rng);
+  const ReachabilityMatrix matrix(dag);
+  for (std::size_t u = 0; u < dag.NumNodes(); ++u) {
+    for (std::size_t v = 0; v < dag.NumNodes(); ++v) {
+      EXPECT_EQ(IsReachable(dag, static_cast<TaskId>(u), static_cast<TaskId>(v)),
+                matrix.Reaches(static_cast<TaskId>(u), static_cast<TaskId>(v)))
+          << u << " -> " << v;
+    }
+  }
+}
+
+TEST(ReachabilityTest, AncestorsAndDescendantsAreDual) {
+  util::Rng rng(9);
+  const Dag dag = RandomDag(35, 0.1, rng);
+  for (std::size_t u = 0; u < dag.NumNodes(); ++u) {
+    for (const TaskId d : Descendants(dag, static_cast<TaskId>(u))) {
+      const auto anc = Ancestors(dag, d);
+      EXPECT_TRUE(std::binary_search(anc.begin(), anc.end(),
+                                     static_cast<TaskId>(u)));
+    }
+  }
+}
+
+TEST(ReachabilityTest, DescendantCountMatchesList) {
+  util::Rng rng(10);
+  const Dag dag = RandomDag(30, 0.12, rng);
+  const ReachabilityMatrix matrix(dag);
+  for (std::size_t u = 0; u < dag.NumNodes(); ++u) {
+    EXPECT_EQ(matrix.DescendantCount(static_cast<TaskId>(u)),
+              Descendants(dag, static_cast<TaskId>(u)).size());
+  }
+}
+
+TEST(ReachabilityTest, DescendantsOfSetUnions) {
+  const Dag dag = Diamond();
+  const auto desc = DescendantsOfSet(dag, {1, 2});
+  EXPECT_EQ(desc, std::vector<TaskId>{3});
+}
+
+TEST(CriticalPathTest, WeightedDiamond) {
+  const Dag dag = Diamond();
+  const std::vector<double> weights{1.0, 5.0, 2.0, 1.0};
+  EXPECT_DOUBLE_EQ(CriticalPathWeight(dag, weights), 7.0);  // 0-1-3
+  EXPECT_EQ(CriticalPathNodes(dag, weights), (std::vector<TaskId>{0, 1, 3}));
+}
+
+TEST(CriticalPathTest, EmptyGraphIsZero) {
+  const Dag dag;
+  EXPECT_DOUBLE_EQ(CriticalPathWeight(dag, {}), 0.0);
+  EXPECT_TRUE(CriticalPathNodes(dag, {}).empty());
+}
+
+TEST(StatsTest, DiamondStats) {
+  const GraphStats stats = ComputeGraphStats(Diamond());
+  EXPECT_EQ(stats.nodes, 4u);
+  EXPECT_EQ(stats.edges, 4u);
+  EXPECT_EQ(stats.sources, 1u);
+  EXPECT_EQ(stats.sinks, 1u);
+  EXPECT_EQ(stats.levels, 3u);
+  EXPECT_EQ(stats.max_level_width, 2u);
+  EXPECT_DOUBLE_EQ(stats.out_degree.Mean(), 1.0);
+}
+
+TEST(DotTest, ContainsNodesEdgesAndHighlights) {
+  DotOptions options;
+  options.highlighted = {1};
+  options.emphasized = {0};
+  options.labels = {"src", "left", "right", "sink"};
+  const std::string dot = ToDot(Diamond(), options);
+  EXPECT_NE(dot.find("n0 -> n1"), std::string::npos);
+  EXPECT_NE(dot.find("fillcolor=orange"), std::string::npos);
+  EXPECT_NE(dot.find("peripheries=2"), std::string::npos);
+  EXPECT_NE(dot.find("label=\"sink\""), std::string::npos);
+}
+
+TEST(DotTest, MaxNodesExcerpts) {
+  DotOptions options;
+  options.max_nodes = 2;
+  const std::string dot = ToDot(Diamond(), options);
+  EXPECT_EQ(dot.find("n3"), std::string::npos);
+}
+
+TEST(DagTest, OutOfRangeAccessThrows) {
+  const Dag dag = Diamond();
+  EXPECT_THROW((void)dag.OutNeighbors(99), util::LogicError);
+}
+
+}  // namespace
+}  // namespace dsched::graph

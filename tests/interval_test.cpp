@@ -1,0 +1,185 @@
+// Unit and property tests for the interval-list transitive-closure index.
+#include <gtest/gtest.h>
+
+#include "graph/digraph_builder.hpp"
+#include "graph/reachability.hpp"
+#include "interval/interval_index.hpp"
+#include "interval/interval_set.hpp"
+#include "trace/generators.hpp"
+#include "util/rng.hpp"
+
+namespace dsched::interval {
+namespace {
+
+TEST(IntervalSetTest, InsertAndContains) {
+  IntervalSet set;
+  set.Insert(5, 10);
+  EXPECT_TRUE(set.Contains(5));
+  EXPECT_TRUE(set.Contains(10));
+  EXPECT_FALSE(set.Contains(4));
+  EXPECT_FALSE(set.Contains(11));
+  EXPECT_EQ(set.Size(), 1u);
+  EXPECT_EQ(set.Cardinality(), 6u);
+}
+
+TEST(IntervalSetTest, CoalescesOverlapsAndAdjacency) {
+  IntervalSet set;
+  set.Insert(1, 3);
+  set.Insert(7, 9);
+  EXPECT_EQ(set.Size(), 2u);
+  set.Insert(4, 6);  // bridges both (adjacent on each side)
+  EXPECT_EQ(set.Size(), 1u);
+  EXPECT_EQ(set.Intervals()[0], (Interval{1, 9}));
+}
+
+TEST(IntervalSetTest, DisjointStaysDisjoint) {
+  IntervalSet set;
+  set.Insert(10, 12);
+  set.Insert(0, 2);
+  set.Insert(20, 22);
+  EXPECT_EQ(set.Size(), 3u);
+  EXPECT_EQ(set.ToString(), "[0,2] [10,12] [20,22]");
+}
+
+TEST(IntervalSetTest, MergeCoalesces) {
+  IntervalSet a;
+  a.Insert(0, 4);
+  a.Insert(10, 14);
+  IntervalSet b;
+  b.Insert(5, 9);
+  b.Insert(20, 21);
+  a.Merge(b);
+  EXPECT_EQ(a.Size(), 2u);
+  EXPECT_TRUE(a.Contains(7));
+  EXPECT_TRUE(a.Contains(20));
+  EXPECT_FALSE(a.Contains(15));
+}
+
+TEST(IntervalSetTest, MergeIntoEmpty) {
+  IntervalSet a;
+  IntervalSet b;
+  b.Insert(3, 5);
+  a.Merge(b);
+  EXPECT_EQ(a.Size(), 1u);
+  a.Merge(IntervalSet{});
+  EXPECT_EQ(a.Size(), 1u);
+}
+
+TEST(IntervalSetTest, ProbeCounterAdvances) {
+  IntervalSet set;
+  for (std::uint32_t i = 0; i < 20; ++i) {
+    set.Insert(i * 3, i * 3 + 1);
+  }
+  std::uint64_t probes = 0;
+  (void)set.Contains(30, &probes);
+  EXPECT_GT(probes, 0u);
+  EXPECT_LE(probes, 6u);  // log2(20) ≈ 4.3
+}
+
+TEST(IntervalSetTest, RandomizedAgainstReferenceSet) {
+  util::Rng rng(99);
+  for (int trial = 0; trial < 20; ++trial) {
+    IntervalSet set;
+    std::vector<bool> reference(200, false);
+    for (int op = 0; op < 40; ++op) {
+      const auto lo = static_cast<std::uint32_t>(rng.NextBelow(190));
+      const auto hi = lo + static_cast<std::uint32_t>(rng.NextBelow(10));
+      set.Insert(lo, hi);
+      for (std::uint32_t x = lo; x <= hi; ++x) {
+        reference[x] = true;
+      }
+    }
+    for (std::uint32_t x = 0; x < 200; ++x) {
+      EXPECT_EQ(set.Contains(x), reference[x]) << "x=" << x;
+    }
+    // Coalescing invariant: intervals are sorted, disjoint, non-adjacent.
+    for (std::size_t i = 1; i < set.Intervals().size(); ++i) {
+      EXPECT_GT(set.Intervals()[i].lo, set.Intervals()[i - 1].hi + 1);
+    }
+  }
+}
+
+TEST(IntervalIndexTest, DiamondReachability) {
+  graph::DigraphBuilder b(4);
+  b.AddEdge(0, 1);
+  b.AddEdge(0, 2);
+  b.AddEdge(1, 3);
+  b.AddEdge(2, 3);
+  const graph::Dag dag = std::move(b).Build();
+  const IntervalIndex index(dag);
+  EXPECT_TRUE(index.Reaches(0, 3));
+  EXPECT_TRUE(index.Reaches(0, 0));  // reflexive
+  EXPECT_TRUE(index.IsAncestor(1, 3));
+  EXPECT_FALSE(index.Reaches(1, 2));
+  EXPECT_FALSE(index.Reaches(3, 0));
+}
+
+TEST(IntervalIndexTest, MatchesBruteForceOnRandomDags) {
+  util::Rng rng(123);
+  for (int trial = 0; trial < 12; ++trial) {
+    const std::size_t n = 10 + rng.NextBelow(50);
+    graph::DigraphBuilder b(n);
+    for (std::size_t u = 0; u < n; ++u) {
+      for (std::size_t v = u + 1; v < n; ++v) {
+        if (rng.NextBool(0.08)) {
+          b.AddEdge(static_cast<util::TaskId>(u),
+                    static_cast<util::TaskId>(v));
+        }
+      }
+    }
+    const graph::Dag dag = std::move(b).Build();
+    const IntervalIndex index(dag);
+    const graph::ReachabilityMatrix matrix(dag);
+    for (std::size_t u = 0; u < n; ++u) {
+      for (std::size_t v = 0; v < n; ++v) {
+        EXPECT_EQ(index.Reaches(static_cast<util::TaskId>(u),
+                                static_cast<util::TaskId>(v)),
+                  matrix.Reaches(static_cast<util::TaskId>(u),
+                                 static_cast<util::TaskId>(v)))
+            << "trial " << trial << ": " << u << " -> " << v;
+      }
+    }
+  }
+}
+
+TEST(IntervalIndexTest, ChainIsCompact) {
+  // A chain's descendant sets are contiguous: one interval per node.
+  graph::DigraphBuilder b(100);
+  for (util::TaskId i = 0; i + 1 < 100; ++i) {
+    b.AddEdge(i, i + 1);
+  }
+  const IntervalIndex index(std::move(b).Build());
+  EXPECT_EQ(index.TotalIntervals(), 100u);
+}
+
+TEST(IntervalIndexTest, StaircaseFragmentsQuadratically) {
+  // The adversarial staircase forces Θ(m²) intervals (see generators.hpp).
+  const std::size_t m = 64;
+  const auto trace = trace::MakeIntervalAdversarial(m);
+  const IntervalIndex index(trace.Graph());
+  // Σ_{i=1..m} i singleton intervals for sources + m for sinks.
+  const std::uint64_t expected_min = m * (m + 1) / 2;
+  EXPECT_GE(index.TotalIntervals(), expected_min);
+  // And memory reflects it.
+  EXPECT_GE(index.MemoryBytes(), expected_min * sizeof(Interval));
+}
+
+TEST(IntervalIndexTest, EmptyGraph) {
+  const graph::Dag dag;
+  const IntervalIndex index(dag);
+  EXPECT_EQ(index.NumNodes(), 0u);
+  EXPECT_EQ(index.TotalIntervals(), 0u);
+}
+
+TEST(IntervalIndexTest, ProbeCountingWorks) {
+  graph::DigraphBuilder b(3);
+  b.AddEdge(0, 1);
+  b.AddEdge(1, 2);
+  const IntervalIndex index(std::move(b).Build());
+  std::uint64_t probes = 0;
+  (void)index.Reaches(0, 2, &probes);
+  EXPECT_GT(probes, 0u);
+}
+
+}  // namespace
+}  // namespace dsched::interval

@@ -1,0 +1,99 @@
+// Regression tests for the paper's headline qualitative claims, on
+// scaled-down re-synthesized traces — if a scheduler change breaks one of
+// the published shapes (who wins, in which regime), these fail long before
+// anyone stares at bench output.
+#include <gtest/gtest.h>
+
+#include "sched/factory.hpp"
+#include "sim/engine.hpp"
+#include "trace/generators.hpp"
+#include "trace/table_traces.hpp"
+
+namespace dsched {
+namespace {
+
+sim::SimResult RunPolicy(const trace::JobTrace& jt, const char* spec) {
+  auto scheduler = sched::CreateScheduler(spec);
+  sim::SimConfig config;
+  config.processors = 8;
+  return sim::Simulate(jt, *scheduler, config);
+}
+
+TEST(PaperShapeTest, TableII_LookaheadClosesTheGap) {
+  // Deep trace (#2 at 1/4 scale): LevelBased ≫ LBL(k), monotone-ish in k,
+  // approaching LogicBlox.
+  const trace::JobTrace jt = trace::MakeTableTrace(2, 0.25);
+  const double lx = RunPolicy(jt, "logicblox").TotalSeconds();
+  const double lb = RunPolicy(jt, "levelbased").TotalSeconds();
+  const double lbl5 = RunPolicy(jt, "lbl:5").TotalSeconds();
+  const double lbl20 = RunPolicy(jt, "lbl:20").TotalSeconds();
+  EXPECT_GT(lb, 1.5 * lx);       // LevelBased pays for level draining
+  EXPECT_LT(lbl5, 0.8 * lb);     // k = 5 already recovers a big chunk
+  EXPECT_LT(lbl20, lbl5 * 1.02); // more lookahead never hurts much
+  EXPECT_LT(lbl20, 1.6 * lx);    // k = 20 is in LogicBlox territory
+}
+
+TEST(PaperShapeTest, TableIII_LevelBasedWinsShallow) {
+  // Shallow wide trace (#6 at 6% scale — the quadratic scan cost needs some
+  // size to dominate): LevelBased beats LogicBlox outright, and the hybrid
+  // beats LogicBlox.
+  const trace::JobTrace jt = trace::MakeTableTrace(6, 0.06);
+  const auto lx = RunPolicy(jt, "logicblox");
+  const auto lb = RunPolicy(jt, "levelbased");
+  const auto hybrid = RunPolicy(jt, "hybrid");
+  EXPECT_LT(lb.TotalSeconds(), 0.65 * lx.TotalSeconds());
+  EXPECT_LT(hybrid.sched_wall_seconds, lx.sched_wall_seconds);
+  EXPECT_LT(hybrid.TotalSeconds(), lx.TotalSeconds());
+}
+
+TEST(PaperShapeTest, TableIII_HybridTracksLogicBloxOnDeepTraces) {
+  // Deep trace (#8 at 1/2 scale): LogicBlox is the strong parent; the
+  // hybrid must stay close to it (the paper: within a few percent).
+  const trace::JobTrace jt = trace::MakeTableTrace(8, 0.5);
+  const double lx = RunPolicy(jt, "logicblox").TotalSeconds();
+  const double hybrid = RunPolicy(jt, "hybrid").TotalSeconds();
+  EXPECT_LT(hybrid, 1.35 * lx);
+}
+
+TEST(PaperShapeTest, Theorem2_LevelBasedOpsAreLinear) {
+  // O(n + L): double the active set, ops at most ~double (plus slack).
+  const trace::JobTrace small = trace::MakeTableTrace(5, 0.5);
+  const trace::JobTrace big = trace::MakeTableTrace(5, 1.0);
+  const auto small_run = RunPolicy(small, "levelbased");
+  const auto big_run = RunPolicy(big, "levelbased");
+  const double ops_ratio = static_cast<double>(big_run.ops.Total()) /
+                           static_cast<double>(small_run.ops.Total());
+  const double active_ratio = static_cast<double>(big_run.activations) /
+                              static_cast<double>(small_run.activations);
+  EXPECT_LT(ops_ratio, 1.8 * active_ratio + 1.0);
+}
+
+TEST(PaperShapeTest, SectionIIC_LogicBloxOpsAreSuperlinear) {
+  // The scan-adversarial family: doubling the instance multiplies the
+  // LogicBlox query count by ~8 (Θ(F²·C) with F, C doubled).
+  const auto small = trace::MakePathologicalScan(25, 100);
+  const auto big = trace::MakePathologicalScan(50, 200);
+  const auto small_run = RunPolicy(small, "logicblox");
+  const auto big_run = RunPolicy(big, "logicblox");
+  EXPECT_GT(static_cast<double>(big_run.ops.ancestor_queries),
+            5.0 * static_cast<double>(small_run.ops.ancestor_queries));
+}
+
+TEST(PaperShapeTest, Theorem9_GapIsLinearInL) {
+  const auto ratio_at = [&](std::size_t levels) {
+    const trace::JobTrace jt = trace::MakeTightExample(levels);
+    auto lb = sched::CreateScheduler("levelbased");
+    auto opt = sched::CreateScheduler("oracle");
+    sim::SimConfig config;
+    config.processors = levels + 2;
+    config.model = sim::ExecutionModel::kMoldable;
+    return sim::Simulate(jt, *lb, config).makespan /
+           sim::Simulate(jt, *opt, config).makespan;
+  };
+  const double r16 = ratio_at(16);
+  const double r32 = ratio_at(32);
+  EXPECT_GT(r32, 1.7 * r16);  // doubling L roughly doubles the gap
+}
+
+}  // namespace
+}  // namespace dsched

@@ -1,0 +1,255 @@
+// Unit tests for the LogicBlox, SignalPropagation, Oracle, and Hybrid
+// schedulers plus the factory.
+#include <gtest/gtest.h>
+
+#include "graph/digraph_builder.hpp"
+#include "sched/factory.hpp"
+#include "sched/hybrid.hpp"
+#include "sched/level_based.hpp"
+#include "sched/logicblox.hpp"
+#include "sched/oracle.hpp"
+#include "sched/signal_propagation.hpp"
+#include "sim/audit.hpp"
+#include "sim/engine.hpp"
+#include "trace/cascade.hpp"
+#include "trace/generators.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace dsched::sched {
+namespace {
+
+using sim::ExecutionModel;
+using sim::SimConfig;
+using sim::Simulate;
+
+SimConfig Recorded(std::size_t processors,
+                   ExecutionModel model = ExecutionModel::kSequential) {
+  SimConfig config;
+  config.processors = processors;
+  config.model = model;
+  config.record_schedule = true;
+  return config;
+}
+
+void ExpectValidRun(const trace::JobTrace& trace, Scheduler& sched,
+                    const SimConfig& config) {
+  const sim::SimResult result = Simulate(trace, sched, config);
+  const trace::Cascade cascade = trace::ComputeCascade(trace);
+  EXPECT_EQ(result.tasks_executed, cascade.NumActive());
+  const sim::AuditResult audit = sim::AuditSchedule(trace, result);
+  EXPECT_TRUE(audit.valid)
+      << std::string(sched.Name()) << ": "
+      << (audit.violations.empty() ? "" : audit.violations.front());
+}
+
+TEST(LogicBloxTest, ChainByHand) {
+  const trace::JobTrace trace = trace::MakeChain(3);
+  LogicBloxScheduler sched;
+  sched.Prepare({&trace, 1});
+  sched.OnActivated(0);
+  EXPECT_EQ(sched.PopReady(), 0u);
+  sched.OnStarted(0);
+  sched.OnActivated(1);
+  // 0 is running and an ancestor of 1: a scan must reject 1.
+  EXPECT_EQ(sched.PopReady(), util::kInvalidTask);
+  EXPECT_GT(sched.OpCounts().ancestor_queries, 0u);
+  sched.OnCompleted(0, true);
+  EXPECT_EQ(sched.PopReady(), 1u);
+}
+
+TEST(LogicBloxTest, ReadyUnstartedTaskStillBlocksDescendants) {
+  // Fork 0 -> {1, 2} with an extra edge 1 -> 2... build explicitly:
+  // 0 -> 1, 0 -> 2, 1 -> 2.  After 0 completes, 1 is ready; 2 must wait
+  // even though 1 has not started (ready-but-unstarted tasks block).
+  graph::DigraphBuilder b(3);
+  b.AddEdge(0, 1);
+  b.AddEdge(0, 2);
+  b.AddEdge(1, 2);
+  std::vector<trace::TaskInfo> infos(3);
+  const trace::JobTrace trace("t", std::move(b).Build(), infos, {0});
+  LogicBloxScheduler sched;
+  sched.Prepare({&trace, 2});
+  sched.OnActivated(0);
+  EXPECT_EQ(sched.PopReady(), 0u);
+  sched.OnStarted(0);
+  sched.OnActivated(1);
+  sched.OnActivated(2);
+  sched.OnCompleted(0, true);
+  EXPECT_EQ(sched.PopReady(), 1u);  // 1 clears; 2 blocked behind pending 1
+  EXPECT_EQ(sched.PopReady(), 1u);  // not yet started: offered again
+  sched.OnStarted(1);
+  EXPECT_EQ(sched.PopReady(), util::kInvalidTask);
+  sched.OnCompleted(1, true);
+  EXPECT_EQ(sched.PopReady(), 2u);
+}
+
+TEST(LogicBloxTest, PathologicalScanIsExpensive) {
+  // Θ(fanout² · chain) ancestor queries on the adversarial instance, vs
+  // O(n + L) for LevelBased.
+  const trace::JobTrace trace = trace::MakePathologicalScan(30, 60);
+  LogicBloxScheduler lx;
+  LevelBasedScheduler lb;
+  const auto lx_result = Simulate(trace, lx, Recorded(2));
+  const auto lb_result = Simulate(trace, lb, Recorded(2));
+  EXPECT_GT(lx_result.ops.ancestor_queries, 30u * 60u);
+  EXPECT_LT(lb_result.ops.Total(), 4u * trace.NumNodes());
+  EXPECT_DOUBLE_EQ(lx_result.makespan, lb_result.makespan);  // same schedule length
+}
+
+TEST(LogicBloxTest, AuditCleanOnRandomTraces) {
+  util::Rng rng(41);
+  for (int trial = 0; trial < 8; ++trial) {
+    const trace::JobTrace trace =
+        trace::MakeRandomDag(50, 0.08, 0.2, 0.7, rng);
+    LogicBloxScheduler sched;
+    ExpectValidRun(trace, sched, Recorded(3));
+  }
+}
+
+TEST(SignalPropagationTest, MessageCountIsGraphSized) {
+  // Even with a single active task, messages ≈ V + E (the paper's critique).
+  util::Rng rng(43);
+  trace::LayeredDagSpec spec;
+  spec.level_widths = trace::MakeLevelWidths(800, 10, 100, rng);
+  spec.extra_edges = 400;
+  spec.initial_dirty = 1;
+  spec.target_active = 5;
+  spec.seed = 7;
+  const trace::JobTrace trace = trace::GenerateLayered(spec);
+  SignalPropagationScheduler sp;
+  const auto result = Simulate(trace, sp, Recorded(2));
+  EXPECT_GE(result.ops.messages, trace.NumEdges());
+  // LevelBased on the same trace: orders of magnitude fewer ops.
+  LevelBasedScheduler lb;
+  const auto lb_result = Simulate(trace, lb, Recorded(2));
+  EXPECT_LT(lb_result.ops.Total() * 10, result.ops.messages);
+}
+
+TEST(SignalPropagationTest, AuditCleanOnRandomTraces) {
+  util::Rng rng(47);
+  for (int trial = 0; trial < 8; ++trial) {
+    const trace::JobTrace trace =
+        trace::MakeRandomDag(50, 0.08, 0.2, 0.7, rng);
+    SignalPropagationScheduler sched;
+    ExpectValidRun(trace, sched, Recorded(3));
+  }
+}
+
+TEST(OracleTest, LptOrderOnTightExample) {
+  // The oracle realizes the Θ(M + L) optimal order of Figure 2.
+  const std::size_t levels = 20;
+  const trace::JobTrace trace = trace::MakeTightExample(levels);
+  OracleScheduler oracle;
+  LevelBasedScheduler lb;
+  const SimConfig config{.processors = 32,
+                         .model = ExecutionModel::kMoldable};
+  const auto oracle_result = Simulate(trace, oracle, config);
+  const auto lb_result = Simulate(trace, lb, config);
+  // Opt ≈ 2L; LevelBased ≈ L²/2.
+  EXPECT_LE(oracle_result.makespan, 2.5 * static_cast<double>(levels));
+  EXPECT_GE(lb_result.makespan, 0.2 * static_cast<double>(levels * levels));
+}
+
+TEST(OracleTest, AuditCleanOnRandomTraces) {
+  util::Rng rng(53);
+  for (int trial = 0; trial < 8; ++trial) {
+    const trace::JobTrace trace =
+        trace::MakeRandomDag(40, 0.1, 0.25, 0.6, rng);
+    OracleScheduler sched;
+    ExpectValidRun(trace, sched, Recorded(3));
+  }
+}
+
+TEST(HybridTest, NameComposesChildren) {
+  HybridScheduler hybrid(std::make_unique<LevelBasedScheduler>(),
+                         std::make_unique<LogicBloxScheduler>());
+  EXPECT_EQ(hybrid.Name(), "Hybrid(LevelBased+LogicBlox)");
+}
+
+TEST(HybridTest, FastPathAvoidsHeuristicScans) {
+  // On a wide shallow fork everything is frontier work: the LevelBased
+  // side feeds the queue and the LogicBlox side never needs to scan.
+  const trace::JobTrace trace = trace::MakeFork(200);
+  HybridScheduler hybrid(std::make_unique<LevelBasedScheduler>(),
+                         std::make_unique<LogicBloxScheduler>());
+  const auto result = Simulate(trace, hybrid, Recorded(4));
+  EXPECT_EQ(result.tasks_executed, 201u);
+  EXPECT_EQ(result.ops.ancestor_queries, 0u);
+}
+
+TEST(HybridTest, HeuristicRescuesBlockedFrontier) {
+  // Tight example: the LevelBased half is stuck at the frontier, but the
+  // LogicBlox half identifies deeper ready work — the shared-queue win.
+  const trace::JobTrace trace = trace::MakeTightExample(10);
+  HybridScheduler hybrid(std::make_unique<LevelBasedScheduler>(),
+                         std::make_unique<LogicBloxScheduler>());
+  LevelBasedScheduler plain;
+  const SimConfig config{.processors = 16,
+                         .model = ExecutionModel::kMoldable};
+  const auto hybrid_result = Simulate(trace, hybrid, config);
+  const auto plain_result = Simulate(trace, plain, config);
+  EXPECT_LT(hybrid_result.makespan, 0.6 * plain_result.makespan);
+}
+
+TEST(HybridTest, BackoffThrottlesFruitlessScans) {
+  // Scan-pathological instance: every completion re-dirties the LogicBlox
+  // side, but the scans stay fruitless until the chain drains.  The
+  // hybrid's gate must collapse those O(n) scans to O(log n) — far fewer
+  // ancestor queries than standalone LogicBlox — without changing the
+  // schedule length.
+  const trace::JobTrace trace = trace::MakePathologicalScan(80, 320);
+  LogicBloxScheduler lx;
+  HybridScheduler hybrid(std::make_unique<LevelBasedScheduler>(),
+                         std::make_unique<LogicBloxScheduler>());
+  const auto lx_result = Simulate(trace, lx, Recorded(8));
+  const auto hybrid_result = Simulate(trace, hybrid, Recorded(8));
+  EXPECT_DOUBLE_EQ(hybrid_result.makespan, lx_result.makespan);
+  EXPECT_LT(hybrid_result.ops.ancestor_queries * 5,
+            lx_result.ops.ancestor_queries);
+  const sim::AuditResult audit = sim::AuditSchedule(trace, hybrid_result);
+  EXPECT_TRUE(audit.valid);
+}
+
+TEST(HybridTest, CreditsKeepDeepDiscoveryImmediate) {
+  // Tight example: new activations land past the blocked frontier, so the
+  // fast path cannot place them.  The leftover activation credits must let
+  // the heuristic find them right away — the hybrid tracks the oracle, not
+  // plain LevelBased.
+  const trace::JobTrace trace = trace::MakeTightExample(16);
+  HybridScheduler hybrid(std::make_unique<LevelBasedScheduler>(),
+                         std::make_unique<LogicBloxScheduler>());
+  OracleScheduler oracle;
+  const SimConfig config{.processors = 18,
+                         .model = ExecutionModel::kMoldable};
+  const auto hybrid_result = Simulate(trace, hybrid, config);
+  const auto oracle_result = Simulate(trace, oracle, config);
+  EXPECT_LE(hybrid_result.makespan, 1.5 * oracle_result.makespan);
+}
+
+TEST(HybridTest, AuditCleanOnRandomTraces) {
+  util::Rng rng(59);
+  for (int trial = 0; trial < 8; ++trial) {
+    const trace::JobTrace trace =
+        trace::MakeRandomDag(50, 0.08, 0.2, 0.7, rng);
+    HybridScheduler sched(std::make_unique<LevelBasedScheduler>(),
+                          std::make_unique<LogicBloxScheduler>());
+    ExpectValidRun(trace, sched, Recorded(3));
+  }
+}
+
+TEST(FactoryTest, CreatesEverySpec) {
+  EXPECT_EQ(CreateScheduler("levelbased")->Name(), "LevelBased");
+  EXPECT_EQ(CreateScheduler("LBL:7")->Name(), "LBL(k=7)");
+  EXPECT_EQ(CreateScheduler("logicblox")->Name(), "LogicBlox");
+  EXPECT_EQ(CreateScheduler("signal")->Name(), "SignalPropagation");
+  EXPECT_EQ(CreateScheduler("oracle")->Name(), "Oracle");
+  EXPECT_EQ(CreateScheduler("hybrid")->Name(), "Hybrid(LevelBased+LogicBlox)");
+  EXPECT_EQ(CreateScheduler("hybrid:lbl:4")->Name(),
+            "Hybrid(LevelBased+LBL(k=4))");
+  EXPECT_THROW(CreateScheduler("nonsense"), util::ParseError);
+  EXPECT_FALSE(KnownSchedulerSpecs().empty());
+}
+
+}  // namespace
+}  // namespace dsched::sched

@@ -1,0 +1,275 @@
+// Unit tests for the LevelBased and LBL(k) schedulers.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "graph/digraph_builder.hpp"
+
+#include "sched/factory.hpp"
+#include "sched/level_based.hpp"
+#include "sched/lookahead.hpp"
+#include "sim/audit.hpp"
+#include "sim/engine.hpp"
+#include "trace/generators.hpp"
+#include "util/error.hpp"
+
+namespace dsched::sched {
+namespace {
+
+using sim::ExecutionModel;
+using sim::SimConfig;
+using sim::Simulate;
+
+/// Drives a scheduler by hand on a chain 0 -> 1 -> 2 (all active).
+TEST(LevelBasedTest, ChainRespectsFrontier) {
+  const trace::JobTrace trace = trace::MakeChain(3);
+  LevelBasedScheduler sched;
+  sched.Prepare({&trace, 1});
+
+  sched.OnActivated(0);
+  EXPECT_EQ(sched.PopReady(), 0u);
+  sched.OnStarted(0);
+  EXPECT_EQ(sched.PopReady(), util::kInvalidTask);  // nothing else active
+  sched.OnActivated(1);
+  // Task 1 is at level 1 > frontier 0 and task 0 still runs: must wait.
+  EXPECT_EQ(sched.PopReady(), util::kInvalidTask);
+  sched.OnCompleted(0, true);
+  EXPECT_EQ(sched.PopReady(), 1u);
+  sched.OnStarted(1);
+  sched.OnActivated(2);
+  sched.OnCompleted(1, true);
+  EXPECT_EQ(sched.PopReady(), 2u);
+  sched.OnStarted(2);
+  sched.OnCompleted(2, true);
+  EXPECT_EQ(sched.PopReady(), util::kInvalidTask);
+  EXPECT_EQ(sched.OpCounts().pops, 3u);
+}
+
+TEST(LevelBasedTest, SameLevelTasksAllReady) {
+  const trace::JobTrace trace = trace::MakeFork(4);  // root -> 4 leaves
+  LevelBasedScheduler sched;
+  sched.Prepare({&trace, 4});
+  sched.OnActivated(0);
+  const TaskId root = sched.PopReady();
+  ASSERT_EQ(root, 0u);
+  sched.OnStarted(0);
+  for (TaskId leaf = 1; leaf <= 4; ++leaf) {
+    sched.OnActivated(leaf);
+  }
+  sched.OnCompleted(0, true);
+  // All four leaves are at the frontier now; all pop without completions.
+  std::set<TaskId> popped;
+  for (int i = 0; i < 4; ++i) {
+    const TaskId t = sched.PopReady();
+    ASSERT_NE(t, util::kInvalidTask);
+    popped.insert(t);
+    sched.OnStarted(t);
+  }
+  EXPECT_EQ(popped.size(), 4u);
+}
+
+TEST(LevelBasedTest, DoubleActivationRejected) {
+  const trace::JobTrace trace = trace::MakeChain(2);
+  LevelBasedScheduler sched;
+  sched.Prepare({&trace, 1});
+  sched.OnActivated(0);
+  EXPECT_THROW(sched.OnActivated(0), util::LogicError);
+}
+
+TEST(LevelBasedTest, LifecycleViolationsRejected) {
+  const trace::JobTrace trace = trace::MakeChain(2);
+  LevelBasedScheduler sched;
+  sched.Prepare({&trace, 1});
+  EXPECT_THROW(sched.OnStarted(0), util::LogicError);     // not activated
+  sched.OnActivated(0);
+  EXPECT_THROW(sched.OnCompleted(0, true), util::LogicError);  // not started
+}
+
+TEST(LevelBasedTest, ExternalStartIsSkipped) {
+  // A cooperating scheduler (hybrid) claims the frontier task; LevelBased
+  // must not offer it again.
+  const trace::JobTrace trace = trace::MakeFork(2);
+  LevelBasedScheduler sched;
+  sched.Prepare({&trace, 2});
+  sched.OnActivated(0);
+  sched.OnStarted(0);  // claimed externally without a pop
+  EXPECT_EQ(sched.PopReady(), util::kInvalidTask);
+  sched.OnActivated(1);
+  sched.OnActivated(2);
+  sched.OnCompleted(0, true);
+  const TaskId a = sched.PopReady();
+  sched.OnStarted(a);
+  const TaskId b = sched.PopReady();
+  sched.OnStarted(b);
+  EXPECT_NE(a, b);
+  EXPECT_EQ(sched.PopReady(), util::kInvalidTask);
+}
+
+TEST(LevelBasedTest, MemoryIsLinearInNodes) {
+  // Theorem 2: O(V) precompute space.  Compare footprints at two sizes.
+  const trace::JobTrace small = trace::MakeChain(1000);
+  const trace::JobTrace big = trace::MakeChain(10000);
+  LevelBasedScheduler s1;
+  s1.Prepare({&small, 1});
+  LevelBasedScheduler s2;
+  s2.Prepare({&big, 1});
+  const double ratio = static_cast<double>(s2.MemoryBytes()) /
+                       static_cast<double>(s1.MemoryBytes());
+  EXPECT_LT(ratio, 15.0);  // ~10x nodes → ~10x bytes, no quadratic blowup
+}
+
+TEST(LevelBasedTest, SchedulerOpsLinearInActivePlusLevels) {
+  // O(n + L) runtime ops: on a chain, pops + level advances ≈ 2n.
+  const std::size_t n = 500;
+  const trace::JobTrace trace = trace::MakeChain(n);
+  LevelBasedScheduler sched;
+  const sim::SimResult result =
+      Simulate(trace, sched, {.processors = 4, .model = ExecutionModel::kUnitLength});
+  EXPECT_EQ(result.tasks_executed, n);
+  EXPECT_LE(result.ops.Total(), 4 * n + 10);
+}
+
+TEST(LevelOrderTest, PoliciesPickWithinFrontierOnly) {
+  // A fork with distinct spans: whatever the order, only frontier tasks may
+  // pop, and each policy picks its characteristic task first.
+  graph::DigraphBuilder b(4);
+  b.AddEdge(0, 1);
+  b.AddEdge(0, 2);
+  b.AddEdge(0, 3);
+  std::vector<trace::TaskInfo> infos(4);
+  infos[1] = {trace::NodeKind::kTask, 5.0, 5.0, true};
+  infos[2] = {trace::NodeKind::kTask, 9.0, 9.0, true};
+  infos[3] = {trace::NodeKind::kTask, 1.0, 1.0, true};
+  const trace::JobTrace trace("fork", std::move(b).Build(), infos, {0});
+
+  const auto first_leaf = [&trace](LevelOrder order) {
+    LevelBasedScheduler sched(order);
+    sched.Prepare({&trace, 1});
+    sched.OnActivated(0);
+    const TaskId root = sched.PopReady();
+    sched.OnStarted(root);
+    sched.OnActivated(1);
+    sched.OnActivated(2);
+    sched.OnActivated(3);
+    sched.OnCompleted(root, true);
+    return sched.PopReady();
+  };
+  EXPECT_EQ(first_leaf(LevelOrder::kLifo), 3u);         // newest
+  EXPECT_EQ(first_leaf(LevelOrder::kFifo), 1u);         // oldest
+  EXPECT_EQ(first_leaf(LevelOrder::kLongestFirst), 2u);  // span 9
+}
+
+TEST(LevelOrderTest, LptTrimsSkewedLevels) {
+  // One wide level with one long task among many short ones: LIFO pops the
+  // newest activation first, which here reaches the long task (id 0) last;
+  // LPT fronts it regardless of position.
+  std::vector<trace::TaskInfo> infos(10);
+  for (std::size_t i = 0; i < 10; ++i) {
+    infos[i] = {trace::NodeKind::kTask, 1.0, 1.0, true};
+  }
+  infos[0] = {trace::NodeKind::kTask, 8.0, 8.0, true};
+  std::vector<TaskId> dirty;  // all ten independent, dirty, level 0
+  for (TaskId i = 0; i < 10; ++i) {
+    dirty.push_back(i);
+  }
+  graph::DigraphBuilder b2(10);
+  const trace::JobTrace skew("skew", std::move(b2).Build(), infos, dirty);
+
+  const SimConfig config{.processors = 3, .model = ExecutionModel::kSequential};
+  LevelBasedScheduler lifo(LevelOrder::kLifo);
+  LevelBasedScheduler lpt(LevelOrder::kLongestFirst);
+  const auto lifo_result = Simulate(skew, lifo, config);
+  const auto lpt_result = Simulate(skew, lpt, config);
+  // LPT: long task starts at t=0 → makespan 8.  LIFO: long task (id 0) is
+  // popped last, starting at t=3 → makespan 11.
+  EXPECT_DOUBLE_EQ(lpt_result.makespan, 8.0);
+  EXPECT_GT(lifo_result.makespan, 10.0);
+}
+
+TEST(LevelOrderTest, FactoryParsesOrders) {
+  EXPECT_EQ(CreateScheduler("levelbased:lpt")->Name(), "LevelBased(lpt)");
+  EXPECT_EQ(CreateScheduler("levelbased:fifo")->Name(), "LevelBased(fifo)");
+  EXPECT_EQ(CreateScheduler("levelbased:lifo")->Name(), "LevelBased");
+  EXPECT_THROW(CreateScheduler("levelbased:zigzag"), util::ParseError);
+}
+
+TEST(LookaheadTest, JumpsPastBlockedFrontier) {
+  // Chain j1..j4 with a long k-task per level (the Figure 2 gadget):
+  // LBL(k>=1) overlaps the k tasks, LevelBased cannot.
+  const trace::JobTrace trace = trace::MakeTightExample(8);
+  LevelBasedScheduler plain;
+  LookaheadScheduler ahead(8);
+  const SimConfig config{.processors = 8, .model = ExecutionModel::kMoldable};
+  const auto plain_result = Simulate(trace, plain, config);
+  const auto ahead_result = Simulate(trace, ahead, config);
+  // LevelBased: ≈ Σ (L-i+1) = Θ(L²); LBL ≈ optimal Θ(L).
+  EXPECT_GT(plain_result.makespan, 1.8 * ahead_result.makespan);
+  EXPECT_GT(ahead_result.ops.lookahead_visits, 0u);
+}
+
+TEST(LookaheadTest, DepthZeroNotAllowed) {
+  EXPECT_THROW(LookaheadScheduler(0), util::LogicError);
+}
+
+TEST(LookaheadTest, NameCarriesK) {
+  LookaheadScheduler sched(15);
+  EXPECT_EQ(sched.Name(), "LBL(k=15)");
+  EXPECT_EQ(sched.Lookahead(), 15u);
+}
+
+TEST(LookaheadTest, RespectsActiveAncestorsAcrossInactiveNodes) {
+  // 0 -> 1 -> 3, 0 -> 2 -> 3 where node 2 is activated, node 1 is NOT
+  // (its edge from 0 is quiet because 0's output changes activate both...).
+  // Construct explicitly: diamond with all outputs changing; after 0 runs,
+  // 1, 2 active; 3 becomes active only after a parent completes.  While 1
+  // runs, LBL must not start 3 even though level-2 is within lookahead.
+  graph::DigraphBuilder b(4);
+  b.AddEdge(0, 1);
+  b.AddEdge(0, 2);
+  b.AddEdge(1, 3);
+  b.AddEdge(2, 3);
+  std::vector<trace::TaskInfo> infos(4);
+  const trace::JobTrace trace("diamond", std::move(b).Build(), infos, {0});
+
+  LookaheadScheduler sched(5);
+  sched.Prepare({&trace, 2});
+  sched.OnActivated(0);
+  EXPECT_EQ(sched.PopReady(), 0u);
+  sched.OnStarted(0);
+  sched.OnActivated(1);
+  sched.OnActivated(2);
+  sched.OnCompleted(0, true);
+  const TaskId first = sched.PopReady();
+  ASSERT_NE(first, util::kInvalidTask);
+  sched.OnStarted(first);
+  const TaskId second = sched.PopReady();
+  ASSERT_NE(second, util::kInvalidTask);
+  sched.OnStarted(second);
+  // 1 and 2 both run; 3 activates via whichever completes first.
+  sched.OnActivated(3);
+  sched.OnCompleted(first, true);
+  // Second parent still running: 3 must NOT be offered (active ancestor).
+  EXPECT_EQ(sched.PopReady(), util::kInvalidTask);
+  sched.OnCompleted(second, true);
+  EXPECT_EQ(sched.PopReady(), 3u);
+}
+
+TEST(LookaheadTest, AuditCleanOnRandomTraces) {
+  util::Rng rng(31);
+  for (int trial = 0; trial < 8; ++trial) {
+    const trace::JobTrace trace =
+        trace::MakeRandomDag(60, 0.06, 0.15, 0.8, rng);
+    LookaheadScheduler sched(3);
+    const sim::SimResult result = Simulate(
+        trace, sched,
+        {.processors = 3, .model = ExecutionModel::kSequential,
+         .record_schedule = true});
+    const sim::AuditResult audit = sim::AuditSchedule(trace, result);
+    EXPECT_TRUE(audit.valid) << (audit.violations.empty()
+                                     ? ""
+                                     : audit.violations.front());
+  }
+}
+
+}  // namespace
+}  // namespace dsched::sched

@@ -1,0 +1,220 @@
+// Parameterized property suite: every scheduler, on randomized workloads,
+// across execution models and processor counts.
+//
+// Properties checked per run:
+//  P1 (validity)      — the audited schedule respects activated-ancestor
+//                       precedence and runs exactly the active set once;
+//  P2 (completeness)  — every scheduler executes the same task set (the
+//                       offline cascade), so policies differ only in order;
+//  P3 (Lemma 3/5)     — LevelBased makespan ≤ w/P + L for unit-length and
+//                       fully-parallelizable tasks;
+//  P4 (work bound)    — no schedule beats w/P (conservation) and busy time
+//                       equals total executed work.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+#include "graph/levels.hpp"
+#include "sched/factory.hpp"
+#include "sched/level_based.hpp"
+#include "sim/audit.hpp"
+#include "sim/engine.hpp"
+#include "trace/cascade.hpp"
+#include "trace/generators.hpp"
+#include "util/rng.hpp"
+
+namespace dsched::sched {
+namespace {
+
+using sim::ExecutionModel;
+using sim::SimConfig;
+using sim::Simulate;
+
+struct Param {
+  const char* scheduler;
+  ExecutionModel model;
+  std::size_t processors;
+};
+
+std::string ParamName(const testing::TestParamInfo<Param>& info) {
+  std::string name = info.param.scheduler;
+  for (char& c : name) {
+    if (c == ':') {
+      c = '_';
+    }
+  }
+  name += "_";
+  name += sim::ExecutionModelName(info.param.model);
+  for (char& c : name) {
+    if (c == '-') {
+      c = '_';
+    }
+  }
+  name += "_p" + std::to_string(info.param.processors);
+  return name;
+}
+
+class SchedulerPropertyTest : public testing::TestWithParam<Param> {};
+
+TEST_P(SchedulerPropertyTest, ValidCompleteAndWorkConserving) {
+  const Param& param = GetParam();
+  util::Rng rng(0xabcde + param.processors);
+  for (int trial = 0; trial < 6; ++trial) {
+    const double edge_prob = 0.02 + 0.03 * trial;
+    const double dirty_prob = trial % 2 == 0 ? 0.1 : 0.3;
+    const double change_prob = 0.4 + 0.1 * trial;
+    trace::DurationModel durations;
+    durations.median_seconds = 0.5;
+    durations.sequential_fraction = 0.6;
+    const trace::JobTrace trace = trace::MakeRandomDag(
+        45, edge_prob, dirty_prob, change_prob, rng, durations);
+    const trace::Cascade cascade = trace::ComputeCascade(trace);
+
+    auto scheduler = CreateScheduler(param.scheduler);
+    SimConfig config;
+    config.processors = param.processors;
+    config.model = param.model;
+    config.record_schedule = true;
+    const sim::SimResult result = Simulate(trace, *scheduler, config);
+
+    // P2: exactly the cascade executed.
+    EXPECT_EQ(result.tasks_executed, cascade.NumActive())
+        << param.scheduler << " trial " << trial;
+    // P1: audited validity.
+    const sim::AuditResult audit = sim::AuditSchedule(trace, result);
+    EXPECT_TRUE(audit.valid)
+        << param.scheduler << " trial " << trial << ": "
+        << (audit.violations.empty() ? "" : audit.violations.front());
+    // P4: processor-time conservation.
+    EXPECT_NEAR(result.busy_processor_seconds, result.total_work,
+                1e-6 + result.total_work * 1e-9);
+    EXPECT_GE(result.makespan * static_cast<double>(param.processors),
+              result.total_work - 1e-6);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllSchedulers, SchedulerPropertyTest,
+    testing::Values(
+        Param{"levelbased", ExecutionModel::kUnitLength, 1},
+        Param{"levelbased", ExecutionModel::kUnitLength, 4},
+        Param{"levelbased", ExecutionModel::kSequential, 2},
+        Param{"levelbased", ExecutionModel::kFullyParallel, 4},
+        Param{"levelbased", ExecutionModel::kMoldable, 3},
+        Param{"lbl:2", ExecutionModel::kUnitLength, 2},
+        Param{"lbl:2", ExecutionModel::kSequential, 4},
+        Param{"lbl:8", ExecutionModel::kMoldable, 4},
+        Param{"logicblox", ExecutionModel::kUnitLength, 2},
+        Param{"logicblox", ExecutionModel::kSequential, 4},
+        Param{"logicblox", ExecutionModel::kMoldable, 3},
+        Param{"signal", ExecutionModel::kUnitLength, 4},
+        Param{"signal", ExecutionModel::kSequential, 2},
+        Param{"oracle", ExecutionModel::kSequential, 4},
+        Param{"oracle", ExecutionModel::kMoldable, 2},
+        Param{"hybrid", ExecutionModel::kUnitLength, 2},
+        Param{"hybrid", ExecutionModel::kSequential, 4},
+        Param{"hybrid", ExecutionModel::kMoldable, 3},
+        Param{"hybrid:lbl:3", ExecutionModel::kSequential, 4},
+        Param{"hybrid:signal", ExecutionModel::kUnitLength, 2}),
+    ParamName);
+
+/// Lemma 3 / Lemma 5: LevelBased makespan ≤ w/P + L (unit-length and
+/// fully-parallelizable tasks), across a processor sweep.
+class LevelBasedBoundTest
+    : public testing::TestWithParam<std::tuple<std::size_t, int>> {};
+
+TEST_P(LevelBasedBoundTest, MakespanWithinLemmaBound) {
+  const std::size_t processors = std::get<0>(GetParam());
+  const int seed = std::get<1>(GetParam());
+  util::Rng rng(static_cast<std::uint64_t>(seed) * 7717);
+
+  trace::DurationModel durations;
+  durations.median_seconds = 1.0;
+  durations.sigma = 1.0;
+  const trace::JobTrace trace =
+      trace::MakeRandomDag(80, 0.04, 0.25, 0.7, rng, durations);
+  const trace::Cascade cascade = trace::ComputeCascade(trace);
+  const graph::LevelMap levels(trace.Graph());
+  const double big_l = static_cast<double>(levels.NumLevels());
+
+  for (const ExecutionModel model :
+       {ExecutionModel::kUnitLength, ExecutionModel::kFullyParallel}) {
+    LevelBasedScheduler sched;
+    SimConfig config;
+    config.processors = processors;
+    config.model = model;
+    const sim::SimResult result = Simulate(trace, sched, config);
+    const double w = result.total_work;
+    EXPECT_LE(result.makespan,
+              w / static_cast<double>(processors) + big_l + 1e-6)
+        << "model=" << sim::ExecutionModelName(model)
+        << " P=" << processors << " active=" << cascade.NumActive();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, LevelBasedBoundTest,
+    testing::Combine(testing::Values<std::size_t>(1, 2, 4, 8, 16),
+                     testing::Values(1, 2, 3, 4)),
+    [](const testing::TestParamInfo<std::tuple<std::size_t, int>>& sweep_info) {
+      return "p" + std::to_string(std::get<0>(sweep_info.param)) + "_seed" +
+             std::to_string(std::get<1>(sweep_info.param));
+    });
+
+/// Lemma 7: for arbitrary (moldable) tasks the LevelBased makespan is at
+/// most w/P + Σ_i S_i where S_i is the max task span at level i.
+TEST(LevelBasedArbitraryBoundTest, SumOfLevelSpans) {
+  util::Rng rng(6061);
+  for (int trial = 0; trial < 6; ++trial) {
+    trace::DurationModel durations;
+    durations.median_seconds = 2.0;
+    durations.sequential_fraction = 0.5;
+    durations.parallel_span_factor = 0.3;
+    const trace::JobTrace trace =
+        trace::MakeRandomDag(60, 0.05, 0.3, 0.8, rng, durations);
+    const trace::Cascade cascade = trace::ComputeCascade(trace);
+    const graph::LevelMap levels(trace.Graph());
+
+    // Σ_i S_i over active tasks (inactive tasks never run).
+    std::vector<double> level_span(levels.NumLevels(), 0.0);
+    for (const auto id : cascade.active_nodes) {
+      level_span[levels.LevelOf(id)] =
+          std::max(level_span[levels.LevelOf(id)], trace.Info(id).span);
+    }
+    double span_sum = 0.0;
+    for (const double s : level_span) {
+      span_sum += s;
+    }
+
+    const std::size_t processors = 4;
+    LevelBasedScheduler sched;
+    const sim::SimResult result = Simulate(
+        trace, sched,
+        {.processors = processors, .model = ExecutionModel::kMoldable});
+    EXPECT_LE(result.makespan,
+              result.total_work / static_cast<double>(processors) + span_sum +
+                  1e-6);
+  }
+}
+
+/// Theorem 9: the tight example realizes Θ(ML) vs Θ(M + L).
+TEST(TightExampleTest, GapGrowsLinearlyWithL) {
+  double previous_ratio = 0.0;
+  for (const std::size_t levels : {8u, 16u, 32u}) {
+    const trace::JobTrace trace = trace::MakeTightExample(levels);
+    LevelBasedScheduler lb;
+    auto oracle = CreateScheduler("oracle");
+    const SimConfig config{.processors = levels + 2,
+                           .model = ExecutionModel::kMoldable};
+    const auto lb_result = Simulate(trace, lb, config);
+    const auto opt_result = Simulate(trace, *oracle, config);
+    const double ratio = lb_result.makespan / opt_result.makespan;
+    EXPECT_GT(ratio, previous_ratio);  // gap grows with L
+    previous_ratio = ratio;
+  }
+  EXPECT_GT(previous_ratio, 4.0);
+}
+
+}  // namespace
+}  // namespace dsched::sched

@@ -1,0 +1,301 @@
+// Unit tests for the trace module: model, cascade, I/O, generators.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "graph/digraph_builder.hpp"
+#include "graph/levels.hpp"
+#include "trace/cascade.hpp"
+#include "trace/generators.hpp"
+#include "trace/job_trace.hpp"
+#include "trace/table_traces.hpp"
+#include "trace/trace_io.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace dsched::trace {
+namespace {
+
+TEST(JobTraceTest, ValidatesInputs) {
+  graph::DigraphBuilder b(2);
+  b.AddEdge(0, 1);
+  std::vector<TaskInfo> infos(2);
+  EXPECT_NO_THROW(JobTrace("t", std::move(b).Build(), infos, {0}));
+
+  graph::DigraphBuilder b2(2);
+  b2.AddEdge(0, 1);
+  std::vector<TaskInfo> wrong_count(1);
+  EXPECT_THROW(JobTrace("t", std::move(b2).Build(), wrong_count, {}),
+               util::LogicError);
+}
+
+TEST(JobTraceTest, RejectsSpanAboveWork) {
+  graph::DigraphBuilder b(1);
+  std::vector<TaskInfo> infos(1);
+  infos[0].work = 1.0;
+  infos[0].span = 2.0;
+  EXPECT_THROW(JobTrace("t", std::move(b).Build(), infos, {}),
+               util::LogicError);
+}
+
+TEST(JobTraceTest, DirtyDeduplicatedAndSorted) {
+  graph::DigraphBuilder b(3);
+  std::vector<TaskInfo> infos(3);
+  const JobTrace trace("t", std::move(b).Build(), infos, {2, 0, 2});
+  EXPECT_EQ(trace.InitialDirty(), (std::vector<TaskId>{0, 2}));
+}
+
+TEST(CascadeTest, ChainFullyActivates) {
+  const JobTrace trace = MakeChain(5);
+  const Cascade cascade = ComputeCascade(trace);
+  EXPECT_EQ(cascade.NumActive(), 5u);
+  EXPECT_EQ(cascade.activated_descendants, 4u);
+  EXPECT_EQ(cascade.active_edges, 4u);
+  EXPECT_DOUBLE_EQ(cascade.total_active_work, 5.0);
+}
+
+TEST(CascadeTest, ChangeBitsStopPropagation) {
+  // 0 -> 1 -> 2; node 1 is activated but its output does not change, so 2
+  // stays inactive — H is not the induced subgraph (paper Section II-A).
+  graph::DigraphBuilder b(3);
+  b.AddEdge(0, 1);
+  b.AddEdge(1, 2);
+  std::vector<TaskInfo> infos(3);
+  infos[1].output_changes = false;
+  const JobTrace trace("t", std::move(b).Build(), infos, {0});
+  const Cascade cascade = ComputeCascade(trace);
+  EXPECT_TRUE(cascade.active[0]);
+  EXPECT_TRUE(cascade.active[1]);
+  EXPECT_FALSE(cascade.active[2]);
+  EXPECT_EQ(cascade.active_edges, 1u);
+  EXPECT_EQ(cascade.total_descendants, 2u);
+}
+
+TEST(CascadeTest, MultiParentActivation) {
+  // 0 -> 2, 1 -> 2; only source 0 dirty and not changing: 2 inactive.
+  graph::DigraphBuilder b(3);
+  b.AddEdge(0, 2);
+  b.AddEdge(1, 2);
+  std::vector<TaskInfo> infos(3);
+  infos[0].output_changes = false;
+  const JobTrace trace("t", std::move(b).Build(), infos, {0});
+  const Cascade cascade = ComputeCascade(trace);
+  EXPECT_FALSE(cascade.active[2]);
+  EXPECT_FALSE(cascade.active[1]);
+  EXPECT_EQ(cascade.NumActive(), 1u);
+}
+
+TEST(CascadeTest, EmptyDirtySetMeansNothingActive) {
+  const JobTrace trace("t", graph::Dag(), {}, {});
+  const Cascade cascade = ComputeCascade(trace);
+  EXPECT_EQ(cascade.NumActive(), 0u);
+}
+
+TEST(TraceIoTest, RoundTrip) {
+  util::Rng rng(5);
+  DurationModel durations;
+  const JobTrace original =
+      MakeRandomDag(40, 0.1, 0.2, 0.7, rng, durations);
+  std::stringstream stream;
+  WriteTrace(stream, original);
+  const JobTrace loaded = ReadTrace(stream);
+  EXPECT_EQ(loaded.NumNodes(), original.NumNodes());
+  EXPECT_EQ(loaded.NumEdges(), original.NumEdges());
+  EXPECT_EQ(loaded.InitialDirty(), original.InitialDirty());
+  for (std::size_t v = 0; v < original.NumNodes(); ++v) {
+    const TaskInfo& a = original.Info(static_cast<TaskId>(v));
+    const TaskInfo& b = loaded.Info(static_cast<TaskId>(v));
+    EXPECT_EQ(a.kind, b.kind);
+    EXPECT_DOUBLE_EQ(a.work, b.work);
+    EXPECT_DOUBLE_EQ(a.span, b.span);
+    EXPECT_EQ(a.output_changes, b.output_changes);
+  }
+}
+
+TEST(TraceIoTest, RejectsMalformedInput) {
+  const auto parse = [](const std::string& text) {
+    std::istringstream in(text);
+    return ReadTrace(in);
+  };
+  EXPECT_THROW(parse(""), util::ParseError);
+  EXPECT_THROW(parse("wrong-magic v1\n"), util::ParseError);
+  EXPECT_THROW(parse("dsched-trace v1\nedge 0 1\n"), util::ParseError);
+  EXPECT_THROW(parse("dsched-trace v1\nnodes 2\nedge 0 5\n"),
+               util::ParseError);
+  EXPECT_THROW(parse("dsched-trace v1\nnodes 2\nnode 0 X 1 1 1\n"),
+               util::ParseError);
+  EXPECT_THROW(parse("dsched-trace v1\nnodes 2\nbogus 1\n"),
+               util::ParseError);
+}
+
+TEST(TraceIoTest, CommentsAndDefaultsAccepted) {
+  std::istringstream in(
+      "dsched-trace v1\n"
+      "# a comment\n"
+      "name demo\n"
+      "nodes 3\n"
+      "node 1 C 0 0 0\n"
+      "edge 0 1\n"
+      "edge 1 2\n"
+      "dirty 0\n");
+  const JobTrace trace = ReadTrace(in);
+  EXPECT_EQ(trace.Name(), "demo");
+  EXPECT_EQ(trace.Info(0).kind, NodeKind::kTask);
+  EXPECT_EQ(trace.Info(1).kind, NodeKind::kCollector);
+  EXPECT_DOUBLE_EQ(trace.Info(0).work, 1.0);
+}
+
+TEST(GeneratorTest, TightExampleShape) {
+  const std::size_t levels = 10;
+  const JobTrace trace = MakeTightExample(levels);
+  EXPECT_EQ(trace.NumNodes(), 2 * levels - 1);
+  const graph::LevelMap level_map(trace.Graph());
+  EXPECT_EQ(level_map.NumLevels(), levels);
+  // k_i sits at the same level as j_i (both children of j_{i-1}).
+  for (std::size_t i = 2; i <= levels; ++i) {
+    const auto k = static_cast<TaskId>(levels + i - 2);
+    EXPECT_EQ(level_map.LevelOf(k), i - 1);
+    EXPECT_DOUBLE_EQ(trace.Info(k).work,
+                     static_cast<double>(levels - i + 1));
+    EXPECT_DOUBLE_EQ(trace.Info(k).span, trace.Info(k).work);
+  }
+  // Everything activates.
+  const Cascade cascade = ComputeCascade(trace);
+  EXPECT_EQ(cascade.NumActive(), trace.NumNodes());
+}
+
+TEST(GeneratorTest, PathologicalScanShape) {
+  const JobTrace trace = MakePathologicalScan(20, 50);
+  EXPECT_EQ(trace.NumNodes(), 1 + 20 + 50);
+  const Cascade cascade = ComputeCascade(trace);
+  EXPECT_EQ(cascade.NumActive(), trace.NumNodes());
+  const graph::LevelMap levels(trace.Graph());
+  // Leaves hang off the chain tail: level = chain length + 1.
+  EXPECT_EQ(levels.NumLevels(), 22u);
+}
+
+TEST(GeneratorTest, ChainAndFork) {
+  EXPECT_EQ(MakeChain(7).NumEdges(), 6u);
+  EXPECT_EQ(MakeFork(7).NumEdges(), 7u);
+  EXPECT_THROW(MakeChain(0), util::LogicError);
+}
+
+TEST(GeneratorTest, LevelWidthsPartition) {
+  util::Rng rng(11);
+  const auto widths = MakeLevelWidths(1000, 17, 100, rng);
+  EXPECT_EQ(widths.size(), 17u);
+  EXPECT_EQ(widths[0], 100u);
+  std::size_t total = 0;
+  for (const auto w : widths) {
+    EXPECT_GE(w, 1u);
+    total += w;
+  }
+  EXPECT_EQ(total, 1000u);
+}
+
+TEST(GeneratorTest, LayeredHitsExactStructure) {
+  util::Rng rng(13);
+  LayeredDagSpec spec;
+  spec.name = "layered-test";
+  spec.level_widths = MakeLevelWidths(2000, 25, 300, rng);
+  spec.extra_edges = 1500;
+  spec.initial_dirty = 10;
+  spec.target_active = 200;
+  spec.seed = 99;
+  const JobTrace trace = GenerateLayered(spec);
+  EXPECT_EQ(trace.NumNodes(), 2000u);
+  // Spine + extra, exactly.
+  EXPECT_EQ(trace.NumEdges(), (2000u - 300u) + 1500u);
+  EXPECT_EQ(trace.InitialDirty().size(), 10u);
+  const graph::LevelMap levels(trace.Graph());
+  EXPECT_EQ(levels.NumLevels(), 25u);
+  // Calibration: within 25% of the target.
+  const Cascade cascade = ComputeCascade(trace);
+  EXPECT_GT(cascade.activated_descendants, 150u);
+  EXPECT_LT(cascade.activated_descendants, 260u);
+}
+
+TEST(GeneratorTest, LayeredIsDeterministic) {
+  LayeredDagSpec spec;
+  util::Rng rng(17);
+  spec.level_widths = MakeLevelWidths(500, 10, 60, rng);
+  spec.extra_edges = 200;
+  spec.initial_dirty = 5;
+  spec.target_active = 50;
+  spec.seed = 4242;
+  const JobTrace a = GenerateLayered(spec);
+  const JobTrace b = GenerateLayered(spec);
+  ASSERT_EQ(a.NumEdges(), b.NumEdges());
+  const Cascade ca = ComputeCascade(a);
+  const Cascade cb = ComputeCascade(b);
+  EXPECT_EQ(ca.active_nodes, cb.active_nodes);
+}
+
+TEST(GeneratorTest, CalibrationMonotoneSearchHitsTargets) {
+  // Calibration on a simple layered graph should land near very different
+  // targets from the same topology.
+  util::Rng rng(19);
+  for (const std::size_t target : {30u, 150u, 400u}) {
+    LayeredDagSpec spec;
+    spec.level_widths = MakeLevelWidths(1200, 12, 200, rng);
+    spec.extra_edges = 900;
+    spec.initial_dirty = 40;
+    spec.target_active = target;
+    spec.seed = 1000 + target;
+    const JobTrace trace = GenerateLayered(spec);
+    const Cascade cascade = ComputeCascade(trace);
+    const double achieved = static_cast<double>(cascade.activated_descendants);
+    EXPECT_GT(achieved, 0.6 * static_cast<double>(target));
+    EXPECT_LT(achieved, 1.6 * static_cast<double>(target));
+  }
+}
+
+TEST(TableTracesTest, SpecsMatchPaperRows) {
+  const auto& rows = PaperTable1();
+  ASSERT_EQ(rows.size(), 11u);
+  EXPECT_EQ(rows[0].nodes, 64910u);
+  EXPECT_EQ(rows[0].edges, 101327u);
+  EXPECT_EQ(rows[0].initial_tasks, 5u);
+  EXPECT_EQ(rows[0].active_jobs, 532u);
+  EXPECT_EQ(rows[0].levels, 171u);
+  EXPECT_EQ(rows[5].nodes, 379500u);
+  EXPECT_EQ(rows[10].levels, 5u);
+  EXPECT_THROW((void)PaperTrace(0), util::LogicError);
+  EXPECT_THROW((void)PaperTrace(12), util::LogicError);
+}
+
+TEST(TableTracesTest, ScaledTraceMatchesRowShape) {
+  // Scale 1/20 of trace #5 (the smallest) keeps all columns proportional.
+  const JobTrace trace = MakeTableTrace(5, 1.0);
+  const AchievedRow row = MeasureRow(trace);
+  const TableTraceSpec& spec = PaperTrace(5);
+  EXPECT_EQ(row.nodes, spec.nodes);
+  EXPECT_EQ(row.levels, spec.levels);
+  EXPECT_EQ(row.initial_tasks, spec.initial_tasks);
+  EXPECT_NEAR(static_cast<double>(row.edges),
+              static_cast<double>(spec.edges),
+              0.02 * static_cast<double>(spec.edges));
+  EXPECT_NEAR(static_cast<double>(row.active_jobs),
+              static_cast<double>(spec.active_jobs),
+              0.35 * static_cast<double>(spec.active_jobs));
+}
+
+TEST(DurationModelTest, DrawRespectsBoundsAndSpan) {
+  util::Rng rng(23);
+  DurationModel model;
+  model.median_seconds = 0.1;
+  model.min_seconds = 0.01;
+  model.max_seconds = 1.0;
+  model.sequential_fraction = 0.5;
+  model.parallel_span_factor = 0.2;
+  for (int i = 0; i < 500; ++i) {
+    const auto [work, span] = model.Draw(rng);
+    EXPECT_GE(work, 0.01);
+    EXPECT_LE(work, 1.0);
+    EXPECT_LE(span, work + 1e-12);
+    EXPECT_GT(span, 0.0);
+  }
+}
+
+}  // namespace
+}  // namespace dsched::trace

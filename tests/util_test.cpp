@@ -1,0 +1,310 @@
+// Unit tests for the util module.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "util/error.hpp"
+#include "util/flags.hpp"
+#include "util/logging.hpp"
+#include "util/memory_meter.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+#include "util/timer.hpp"
+
+namespace dsched::util {
+namespace {
+
+TEST(ErrorTest, CheckMacroThrowsLogicErrorWithContext) {
+  try {
+    DSCHED_CHECK_MSG(1 == 2, "the universe broke");
+    FAIL() << "expected LogicError";
+  } catch (const LogicError& e) {
+    EXPECT_NE(std::string(e.what()).find("1 == 2"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("the universe broke"),
+              std::string::npos);
+  }
+}
+
+TEST(ErrorTest, CheckPassesSilently) {
+  EXPECT_NO_THROW(DSCHED_CHECK(2 + 2 == 4));
+}
+
+TEST(RngTest, DeterministicForSeed) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.NextU64(), b.NextU64());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    same += (a.NextU64() == b.NextU64()) ? 1 : 0;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(RngTest, NextBelowRespectsBound) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.NextBelow(10), 10u);
+  }
+  EXPECT_EQ(rng.NextBelow(1), 0u);
+}
+
+TEST(RngTest, NextBelowCoversAllResidues) {
+  Rng rng(7);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 500; ++i) {
+    seen.insert(rng.NextBelow(7));
+  }
+  EXPECT_EQ(seen.size(), 7u);
+}
+
+TEST(RngTest, NextIntInclusiveRange) {
+  Rng rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = rng.NextInt(-5, 5);
+    EXPECT_GE(v, -5);
+    EXPECT_LE(v, 5);
+  }
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(9);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.NextDouble();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(RngTest, ExponentialMeanRoughlyMatches) {
+  Rng rng(11);
+  double sum = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    sum += rng.NextExponential(3.0);
+  }
+  EXPECT_NEAR(sum / n, 3.0, 0.15);
+}
+
+TEST(RngTest, LogNormalMedianRoughlyMatches) {
+  Rng rng(13);
+  std::vector<double> vals;
+  const int n = 20001;
+  vals.reserve(n);
+  for (int i = 0; i < n; ++i) {
+    vals.push_back(rng.NextLogNormal(std::log(2.0), 1.0));
+  }
+  std::nth_element(vals.begin(), vals.begin() + n / 2, vals.end());
+  EXPECT_NEAR(vals[n / 2], 2.0, 0.15);
+}
+
+TEST(RngTest, ShuffleIsPermutation) {
+  Rng rng(17);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+  auto w = v;
+  rng.Shuffle(w);
+  std::sort(w.begin(), w.end());
+  EXPECT_EQ(v, w);
+}
+
+TEST(RngTest, ForkDecorrelates) {
+  Rng parent(21);
+  Rng child = parent.Fork();
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    same += (parent.NextU64() == child.NextU64()) ? 1 : 0;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(SummaryTest, BasicMoments) {
+  Summary s;
+  for (const double x : {1.0, 2.0, 3.0, 4.0}) {
+    s.Add(x);
+  }
+  EXPECT_EQ(s.Count(), 4u);
+  EXPECT_DOUBLE_EQ(s.Min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.Max(), 4.0);
+  EXPECT_DOUBLE_EQ(s.Mean(), 2.5);
+  EXPECT_NEAR(s.Variance(), 1.25, 1e-12);
+  EXPECT_DOUBLE_EQ(s.Sum(), 10.0);
+}
+
+TEST(SummaryTest, MergeEqualsBulk) {
+  Summary a;
+  Summary b;
+  Summary all;
+  for (int i = 0; i < 50; ++i) {
+    const double x = i * 0.37 - 3;
+    (i % 2 == 0 ? a : b).Add(x);
+    all.Add(x);
+  }
+  a.Merge(b);
+  EXPECT_EQ(a.Count(), all.Count());
+  EXPECT_NEAR(a.Mean(), all.Mean(), 1e-9);
+  EXPECT_NEAR(a.Variance(), all.Variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(a.Min(), all.Min());
+  EXPECT_DOUBLE_EQ(a.Max(), all.Max());
+}
+
+TEST(SummaryTest, EmptyThrowsOnMoments) {
+  const Summary s;
+  EXPECT_THROW((void)s.Mean(), LogicError);
+  EXPECT_THROW((void)s.Min(), LogicError);
+}
+
+TEST(HistogramTest, BucketsAndQuantiles) {
+  Histogram h(0.0, 10.0, 10);
+  for (int i = 0; i < 100; ++i) {
+    h.Add(i % 10 + 0.5);
+  }
+  EXPECT_EQ(h.TotalCount(), 100u);
+  for (std::size_t b = 0; b < 10; ++b) {
+    EXPECT_EQ(h.BucketCount(b), 10u);
+  }
+  EXPECT_NEAR(h.Quantile(0.5), 5.0, 1.0);
+  EXPECT_EQ(h.Underflow(), 0u);
+  EXPECT_EQ(h.Overflow(), 0u);
+}
+
+TEST(HistogramTest, OutOfRangeCounts) {
+  Histogram h(0.0, 1.0, 4);
+  h.Add(-1);
+  h.Add(2);
+  EXPECT_EQ(h.Underflow(), 1u);
+  EXPECT_EQ(h.Overflow(), 1u);
+}
+
+TEST(StringsTest, TrimAndSplit) {
+  EXPECT_EQ(Trim("  hi \t"), "hi");
+  EXPECT_EQ(Trim(""), "");
+  const auto parts = Split("a,b,,c", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[2], "");
+  const auto words = SplitWhitespace("  foo  bar\tbaz ");
+  ASSERT_EQ(words.size(), 3u);
+  EXPECT_EQ(words[2], "baz");
+}
+
+TEST(StringsTest, ParseNumbers) {
+  EXPECT_EQ(ParseU64("42", "test"), 42u);
+  EXPECT_THROW((void)ParseU64("4x", "test"), ParseError);
+  EXPECT_THROW((void)ParseU64("", "test"), ParseError);
+  EXPECT_DOUBLE_EQ(ParseDouble("2.5", "test"), 2.5);
+  EXPECT_THROW((void)ParseDouble("abc", "test"), ParseError);
+}
+
+TEST(StringsTest, FormatSeconds) {
+  EXPECT_EQ(FormatSeconds(21.69), "21.69 s");
+  EXPECT_EQ(FormatSeconds(0.000159), "159.000 us");
+  EXPECT_EQ(FormatSeconds(0.042), "42.000 ms");
+}
+
+TEST(FlagsTest, ParsesAllKinds) {
+  FlagSet flags("prog");
+  auto n = flags.Int("n", 5, "count");
+  auto rate = flags.Double("rate", 1.5, "rate");
+  auto name = flags.String("name", "x", "name");
+  auto fast = flags.Bool("fast", false, "speed");
+  const char* argv[] = {"prog", "--n=7", "--rate", "2.5", "--fast",
+                        "--name=yo", "positional"};
+  ASSERT_TRUE(flags.Parse(7, argv));
+  EXPECT_EQ(*n, 7);
+  EXPECT_DOUBLE_EQ(*rate, 2.5);
+  EXPECT_EQ(*name, "yo");
+  EXPECT_TRUE(*fast);
+  ASSERT_EQ(flags.Positional().size(), 1u);
+  EXPECT_EQ(flags.Positional()[0], "positional");
+}
+
+TEST(FlagsTest, UnknownFlagThrows) {
+  FlagSet flags("prog");
+  const char* argv[] = {"prog", "--bogus"};
+  EXPECT_THROW(flags.Parse(2, argv), ParseError);
+}
+
+TEST(FlagsTest, MissingValueThrows) {
+  FlagSet flags("prog");
+  flags.Int("n", 1, "n");
+  const char* argv[] = {"prog", "--n"};
+  EXPECT_THROW(flags.Parse(2, argv), ParseError);
+}
+
+TEST(TableTest, RendersAligned) {
+  TextTable t("Title");
+  t.SetHeader({"col", "value"});
+  t.AddRow({"a", "1"});
+  t.AddRow({"long-name", "2"});
+  const std::string out = t.ToString();
+  EXPECT_NE(out.find("Title"), std::string::npos);
+  EXPECT_NE(out.find("| a "), std::string::npos);
+  EXPECT_NE(out.find("| long-name "), std::string::npos);
+}
+
+TEST(TableTest, RowLongerThanHeaderThrows) {
+  TextTable t;
+  t.SetHeader({"one"});
+  EXPECT_THROW(t.AddRow({"a", "b"}), LogicError);
+}
+
+TEST(MemoryMeterTest, TracksPeak) {
+  MemoryMeter m;
+  m.Allocate(100);
+  m.Allocate(50);
+  m.Release(120);
+  EXPECT_EQ(m.CurrentBytes(), 30u);
+  EXPECT_EQ(m.PeakBytes(), 150u);
+  m.Release(1000);  // clamps
+  EXPECT_EQ(m.CurrentBytes(), 0u);
+}
+
+TEST(MemoryMeterTest, FormatBytes) {
+  EXPECT_EQ(FormatBytes(512), "512 B");
+  EXPECT_EQ(FormatBytes(1536), "1.50 KiB");
+  EXPECT_EQ(FormatBytes(3 * 1024 * 1024), "3.00 MiB");
+}
+
+TEST(TimerTest, StopwatchAccumulates) {
+  Stopwatch watch;
+  watch.Add(0.5);
+  watch.Add(0.25);
+  EXPECT_DOUBLE_EQ(watch.TotalSeconds(), 0.75);
+  EXPECT_EQ(watch.Laps(), 2u);
+  watch.Reset();
+  EXPECT_DOUBLE_EQ(watch.TotalSeconds(), 0.0);
+}
+
+TEST(TimerTest, WallTimerMovesForward) {
+  WallTimer timer;
+  volatile double sink = 0;
+  for (int i = 0; i < 100000; ++i) {
+    sink = sink + 1;
+  }
+  EXPECT_GE(timer.ElapsedSeconds(), 0.0);
+}
+
+TEST(LoggingTest, SinkCapturesAboveThreshold) {
+  std::vector<std::string> captured;
+  SetLogSink([&captured](LogLevel, const std::string& msg) {
+    captured.push_back(msg);
+  });
+  SetLogLevel(LogLevel::kInfo);
+  DSCHED_LOG(Info) << "hello " << 42;
+  DSCHED_LOG(Debug) << "hidden";
+  ResetLogSink();
+  SetLogLevel(LogLevel::kWarning);
+  ASSERT_EQ(captured.size(), 1u);
+  EXPECT_EQ(captured[0], "hello 42");
+}
+
+}  // namespace
+}  // namespace dsched::util
