@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig1_dag_anatomy.cpp" "bench/CMakeFiles/fig1_dag_anatomy.dir/fig1_dag_anatomy.cpp.o" "gcc" "bench/CMakeFiles/fig1_dag_anatomy.dir/fig1_dag_anatomy.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/ds_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/ds_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/datalog/CMakeFiles/ds_datalog.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/ds_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/interval/CMakeFiles/ds_interval.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/ds_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ds_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/ds_runtime.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1_dag_anatomy.dir/fig1_dag_anatomy.cpp.o"
+  "CMakeFiles/fig1_dag_anatomy.dir/fig1_dag_anatomy.cpp.o.d"
+  "fig1_dag_anatomy"
+  "fig1_dag_anatomy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_dag_anatomy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

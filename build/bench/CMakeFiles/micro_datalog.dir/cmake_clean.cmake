@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_datalog.dir/micro_datalog.cpp.o"
+  "CMakeFiles/micro_datalog.dir/micro_datalog.cpp.o.d"
+  "micro_datalog"
+  "micro_datalog.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_datalog.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

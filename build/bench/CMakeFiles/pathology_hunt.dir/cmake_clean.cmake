@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pathology_hunt.dir/pathology_hunt.cpp.o"
+  "CMakeFiles/pathology_hunt.dir/pathology_hunt.cpp.o.d"
+  "pathology_hunt"
+  "pathology_hunt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pathology_hunt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

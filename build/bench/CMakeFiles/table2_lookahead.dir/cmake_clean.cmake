@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_lookahead.dir/table2_lookahead.cpp.o"
+  "CMakeFiles/table2_lookahead.dir/table2_lookahead.cpp.o.d"
+  "table2_lookahead"
+  "table2_lookahead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_lookahead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_hybrid.dir/table3_hybrid.cpp.o"
+  "CMakeFiles/table3_hybrid.dir/table3_hybrid.cpp.o.d"
+  "table3_hybrid"
+  "table3_hybrid.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_hybrid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/datalog_incremental.dir/datalog_incremental.cpp.o"
+  "CMakeFiles/datalog_incremental.dir/datalog_incremental.cpp.o.d"
+  "datalog_incremental"
+  "datalog_incremental.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/datalog_incremental.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pathological_rescue.dir/pathological_rescue.cpp.o"
+  "CMakeFiles/pathological_rescue.dir/pathological_rescue.cpp.o.d"
+  "pathological_rescue"
+  "pathological_rescue.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pathological_rescue.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/datalog/ast.cpp" "src/datalog/CMakeFiles/ds_datalog.dir/ast.cpp.o" "gcc" "src/datalog/CMakeFiles/ds_datalog.dir/ast.cpp.o.d"
+  "/root/repo/src/datalog/database.cpp" "src/datalog/CMakeFiles/ds_datalog.dir/database.cpp.o" "gcc" "src/datalog/CMakeFiles/ds_datalog.dir/database.cpp.o.d"
+  "/root/repo/src/datalog/eval.cpp" "src/datalog/CMakeFiles/ds_datalog.dir/eval.cpp.o" "gcc" "src/datalog/CMakeFiles/ds_datalog.dir/eval.cpp.o.d"
+  "/root/repo/src/datalog/incremental.cpp" "src/datalog/CMakeFiles/ds_datalog.dir/incremental.cpp.o" "gcc" "src/datalog/CMakeFiles/ds_datalog.dir/incremental.cpp.o.d"
+  "/root/repo/src/datalog/lexer.cpp" "src/datalog/CMakeFiles/ds_datalog.dir/lexer.cpp.o" "gcc" "src/datalog/CMakeFiles/ds_datalog.dir/lexer.cpp.o.d"
+  "/root/repo/src/datalog/parallel_update.cpp" "src/datalog/CMakeFiles/ds_datalog.dir/parallel_update.cpp.o" "gcc" "src/datalog/CMakeFiles/ds_datalog.dir/parallel_update.cpp.o.d"
+  "/root/repo/src/datalog/parser.cpp" "src/datalog/CMakeFiles/ds_datalog.dir/parser.cpp.o" "gcc" "src/datalog/CMakeFiles/ds_datalog.dir/parser.cpp.o.d"
+  "/root/repo/src/datalog/relation.cpp" "src/datalog/CMakeFiles/ds_datalog.dir/relation.cpp.o" "gcc" "src/datalog/CMakeFiles/ds_datalog.dir/relation.cpp.o.d"
+  "/root/repo/src/datalog/schedule_bridge.cpp" "src/datalog/CMakeFiles/ds_datalog.dir/schedule_bridge.cpp.o" "gcc" "src/datalog/CMakeFiles/ds_datalog.dir/schedule_bridge.cpp.o.d"
+  "/root/repo/src/datalog/stratify.cpp" "src/datalog/CMakeFiles/ds_datalog.dir/stratify.cpp.o" "gcc" "src/datalog/CMakeFiles/ds_datalog.dir/stratify.cpp.o.d"
+  "/root/repo/src/datalog/validate.cpp" "src/datalog/CMakeFiles/ds_datalog.dir/validate.cpp.o" "gcc" "src/datalog/CMakeFiles/ds_datalog.dir/validate.cpp.o.d"
+  "/root/repo/src/datalog/value.cpp" "src/datalog/CMakeFiles/ds_datalog.dir/value.cpp.o" "gcc" "src/datalog/CMakeFiles/ds_datalog.dir/value.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/runtime/CMakeFiles/ds_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/ds_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/ds_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/ds_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ds_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/interval/CMakeFiles/ds_interval.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

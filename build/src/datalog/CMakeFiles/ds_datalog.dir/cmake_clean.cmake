@@ -1,0 +1,33 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ds_datalog.dir/ast.cpp.o"
+  "CMakeFiles/ds_datalog.dir/ast.cpp.o.d"
+  "CMakeFiles/ds_datalog.dir/database.cpp.o"
+  "CMakeFiles/ds_datalog.dir/database.cpp.o.d"
+  "CMakeFiles/ds_datalog.dir/eval.cpp.o"
+  "CMakeFiles/ds_datalog.dir/eval.cpp.o.d"
+  "CMakeFiles/ds_datalog.dir/incremental.cpp.o"
+  "CMakeFiles/ds_datalog.dir/incremental.cpp.o.d"
+  "CMakeFiles/ds_datalog.dir/lexer.cpp.o"
+  "CMakeFiles/ds_datalog.dir/lexer.cpp.o.d"
+  "CMakeFiles/ds_datalog.dir/parallel_update.cpp.o"
+  "CMakeFiles/ds_datalog.dir/parallel_update.cpp.o.d"
+  "CMakeFiles/ds_datalog.dir/parser.cpp.o"
+  "CMakeFiles/ds_datalog.dir/parser.cpp.o.d"
+  "CMakeFiles/ds_datalog.dir/relation.cpp.o"
+  "CMakeFiles/ds_datalog.dir/relation.cpp.o.d"
+  "CMakeFiles/ds_datalog.dir/schedule_bridge.cpp.o"
+  "CMakeFiles/ds_datalog.dir/schedule_bridge.cpp.o.d"
+  "CMakeFiles/ds_datalog.dir/stratify.cpp.o"
+  "CMakeFiles/ds_datalog.dir/stratify.cpp.o.d"
+  "CMakeFiles/ds_datalog.dir/validate.cpp.o"
+  "CMakeFiles/ds_datalog.dir/validate.cpp.o.d"
+  "CMakeFiles/ds_datalog.dir/value.cpp.o"
+  "CMakeFiles/ds_datalog.dir/value.cpp.o.d"
+  "libds_datalog.a"
+  "libds_datalog.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ds_datalog.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/graph/critical_path.cpp" "src/graph/CMakeFiles/ds_graph.dir/critical_path.cpp.o" "gcc" "src/graph/CMakeFiles/ds_graph.dir/critical_path.cpp.o.d"
+  "/root/repo/src/graph/dag.cpp" "src/graph/CMakeFiles/ds_graph.dir/dag.cpp.o" "gcc" "src/graph/CMakeFiles/ds_graph.dir/dag.cpp.o.d"
+  "/root/repo/src/graph/digraph_builder.cpp" "src/graph/CMakeFiles/ds_graph.dir/digraph_builder.cpp.o" "gcc" "src/graph/CMakeFiles/ds_graph.dir/digraph_builder.cpp.o.d"
+  "/root/repo/src/graph/dot_export.cpp" "src/graph/CMakeFiles/ds_graph.dir/dot_export.cpp.o" "gcc" "src/graph/CMakeFiles/ds_graph.dir/dot_export.cpp.o.d"
+  "/root/repo/src/graph/levels.cpp" "src/graph/CMakeFiles/ds_graph.dir/levels.cpp.o" "gcc" "src/graph/CMakeFiles/ds_graph.dir/levels.cpp.o.d"
+  "/root/repo/src/graph/reachability.cpp" "src/graph/CMakeFiles/ds_graph.dir/reachability.cpp.o" "gcc" "src/graph/CMakeFiles/ds_graph.dir/reachability.cpp.o.d"
+  "/root/repo/src/graph/stats.cpp" "src/graph/CMakeFiles/ds_graph.dir/stats.cpp.o" "gcc" "src/graph/CMakeFiles/ds_graph.dir/stats.cpp.o.d"
+  "/root/repo/src/graph/topo.cpp" "src/graph/CMakeFiles/ds_graph.dir/topo.cpp.o" "gcc" "src/graph/CMakeFiles/ds_graph.dir/topo.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/ds_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

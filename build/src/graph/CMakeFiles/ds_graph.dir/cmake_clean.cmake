@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ds_graph.dir/critical_path.cpp.o"
+  "CMakeFiles/ds_graph.dir/critical_path.cpp.o.d"
+  "CMakeFiles/ds_graph.dir/dag.cpp.o"
+  "CMakeFiles/ds_graph.dir/dag.cpp.o.d"
+  "CMakeFiles/ds_graph.dir/digraph_builder.cpp.o"
+  "CMakeFiles/ds_graph.dir/digraph_builder.cpp.o.d"
+  "CMakeFiles/ds_graph.dir/dot_export.cpp.o"
+  "CMakeFiles/ds_graph.dir/dot_export.cpp.o.d"
+  "CMakeFiles/ds_graph.dir/levels.cpp.o"
+  "CMakeFiles/ds_graph.dir/levels.cpp.o.d"
+  "CMakeFiles/ds_graph.dir/reachability.cpp.o"
+  "CMakeFiles/ds_graph.dir/reachability.cpp.o.d"
+  "CMakeFiles/ds_graph.dir/stats.cpp.o"
+  "CMakeFiles/ds_graph.dir/stats.cpp.o.d"
+  "CMakeFiles/ds_graph.dir/topo.cpp.o"
+  "CMakeFiles/ds_graph.dir/topo.cpp.o.d"
+  "libds_graph.a"
+  "libds_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ds_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/interval/interval_index.cpp" "src/interval/CMakeFiles/ds_interval.dir/interval_index.cpp.o" "gcc" "src/interval/CMakeFiles/ds_interval.dir/interval_index.cpp.o.d"
+  "/root/repo/src/interval/interval_set.cpp" "src/interval/CMakeFiles/ds_interval.dir/interval_set.cpp.o" "gcc" "src/interval/CMakeFiles/ds_interval.dir/interval_set.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/graph/CMakeFiles/ds_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ds_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

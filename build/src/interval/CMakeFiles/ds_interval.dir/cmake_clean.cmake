@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ds_interval.dir/interval_index.cpp.o"
+  "CMakeFiles/ds_interval.dir/interval_index.cpp.o.d"
+  "CMakeFiles/ds_interval.dir/interval_set.cpp.o"
+  "CMakeFiles/ds_interval.dir/interval_set.cpp.o.d"
+  "libds_interval.a"
+  "libds_interval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ds_interval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

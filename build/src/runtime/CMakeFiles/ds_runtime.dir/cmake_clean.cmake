@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ds_runtime.dir/executor.cpp.o"
+  "CMakeFiles/ds_runtime.dir/executor.cpp.o.d"
+  "CMakeFiles/ds_runtime.dir/thread_pool.cpp.o"
+  "CMakeFiles/ds_runtime.dir/thread_pool.cpp.o.d"
+  "libds_runtime.a"
+  "libds_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ds_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sched/factory.cpp" "src/sched/CMakeFiles/ds_sched.dir/factory.cpp.o" "gcc" "src/sched/CMakeFiles/ds_sched.dir/factory.cpp.o.d"
+  "/root/repo/src/sched/hybrid.cpp" "src/sched/CMakeFiles/ds_sched.dir/hybrid.cpp.o" "gcc" "src/sched/CMakeFiles/ds_sched.dir/hybrid.cpp.o.d"
+  "/root/repo/src/sched/level_based.cpp" "src/sched/CMakeFiles/ds_sched.dir/level_based.cpp.o" "gcc" "src/sched/CMakeFiles/ds_sched.dir/level_based.cpp.o.d"
+  "/root/repo/src/sched/logicblox.cpp" "src/sched/CMakeFiles/ds_sched.dir/logicblox.cpp.o" "gcc" "src/sched/CMakeFiles/ds_sched.dir/logicblox.cpp.o.d"
+  "/root/repo/src/sched/lookahead.cpp" "src/sched/CMakeFiles/ds_sched.dir/lookahead.cpp.o" "gcc" "src/sched/CMakeFiles/ds_sched.dir/lookahead.cpp.o.d"
+  "/root/repo/src/sched/oracle.cpp" "src/sched/CMakeFiles/ds_sched.dir/oracle.cpp.o" "gcc" "src/sched/CMakeFiles/ds_sched.dir/oracle.cpp.o.d"
+  "/root/repo/src/sched/scheduler.cpp" "src/sched/CMakeFiles/ds_sched.dir/scheduler.cpp.o" "gcc" "src/sched/CMakeFiles/ds_sched.dir/scheduler.cpp.o.d"
+  "/root/repo/src/sched/signal_propagation.cpp" "src/sched/CMakeFiles/ds_sched.dir/signal_propagation.cpp.o" "gcc" "src/sched/CMakeFiles/ds_sched.dir/signal_propagation.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/trace/CMakeFiles/ds_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/interval/CMakeFiles/ds_interval.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/ds_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ds_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

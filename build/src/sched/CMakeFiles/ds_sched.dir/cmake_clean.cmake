@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ds_sched.dir/factory.cpp.o"
+  "CMakeFiles/ds_sched.dir/factory.cpp.o.d"
+  "CMakeFiles/ds_sched.dir/hybrid.cpp.o"
+  "CMakeFiles/ds_sched.dir/hybrid.cpp.o.d"
+  "CMakeFiles/ds_sched.dir/level_based.cpp.o"
+  "CMakeFiles/ds_sched.dir/level_based.cpp.o.d"
+  "CMakeFiles/ds_sched.dir/logicblox.cpp.o"
+  "CMakeFiles/ds_sched.dir/logicblox.cpp.o.d"
+  "CMakeFiles/ds_sched.dir/lookahead.cpp.o"
+  "CMakeFiles/ds_sched.dir/lookahead.cpp.o.d"
+  "CMakeFiles/ds_sched.dir/oracle.cpp.o"
+  "CMakeFiles/ds_sched.dir/oracle.cpp.o.d"
+  "CMakeFiles/ds_sched.dir/scheduler.cpp.o"
+  "CMakeFiles/ds_sched.dir/scheduler.cpp.o.d"
+  "CMakeFiles/ds_sched.dir/signal_propagation.cpp.o"
+  "CMakeFiles/ds_sched.dir/signal_propagation.cpp.o.d"
+  "libds_sched.a"
+  "libds_sched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ds_sched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ds_sim.dir/audit.cpp.o"
+  "CMakeFiles/ds_sim.dir/audit.cpp.o.d"
+  "CMakeFiles/ds_sim.dir/engine.cpp.o"
+  "CMakeFiles/ds_sim.dir/engine.cpp.o.d"
+  "CMakeFiles/ds_sim.dir/meta.cpp.o"
+  "CMakeFiles/ds_sim.dir/meta.cpp.o.d"
+  "libds_sim.a"
+  "libds_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ds_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ds_trace.dir/cascade.cpp.o"
+  "CMakeFiles/ds_trace.dir/cascade.cpp.o.d"
+  "CMakeFiles/ds_trace.dir/generators.cpp.o"
+  "CMakeFiles/ds_trace.dir/generators.cpp.o.d"
+  "CMakeFiles/ds_trace.dir/job_trace.cpp.o"
+  "CMakeFiles/ds_trace.dir/job_trace.cpp.o.d"
+  "CMakeFiles/ds_trace.dir/table_traces.cpp.o"
+  "CMakeFiles/ds_trace.dir/table_traces.cpp.o.d"
+  "CMakeFiles/ds_trace.dir/trace_io.cpp.o"
+  "CMakeFiles/ds_trace.dir/trace_io.cpp.o.d"
+  "libds_trace.a"
+  "libds_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ds_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

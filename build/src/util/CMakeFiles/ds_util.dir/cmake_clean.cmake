@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ds_util.dir/error.cpp.o"
+  "CMakeFiles/ds_util.dir/error.cpp.o.d"
+  "CMakeFiles/ds_util.dir/flags.cpp.o"
+  "CMakeFiles/ds_util.dir/flags.cpp.o.d"
+  "CMakeFiles/ds_util.dir/logging.cpp.o"
+  "CMakeFiles/ds_util.dir/logging.cpp.o.d"
+  "CMakeFiles/ds_util.dir/memory_meter.cpp.o"
+  "CMakeFiles/ds_util.dir/memory_meter.cpp.o.d"
+  "CMakeFiles/ds_util.dir/rng.cpp.o"
+  "CMakeFiles/ds_util.dir/rng.cpp.o.d"
+  "CMakeFiles/ds_util.dir/stats.cpp.o"
+  "CMakeFiles/ds_util.dir/stats.cpp.o.d"
+  "CMakeFiles/ds_util.dir/strings.cpp.o"
+  "CMakeFiles/ds_util.dir/strings.cpp.o.d"
+  "CMakeFiles/ds_util.dir/table.cpp.o"
+  "CMakeFiles/ds_util.dir/table.cpp.o.d"
+  "libds_util.a"
+  "libds_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ds_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

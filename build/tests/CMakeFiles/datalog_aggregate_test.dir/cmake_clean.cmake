@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/datalog_aggregate_test.dir/datalog_aggregate_test.cpp.o"
+  "CMakeFiles/datalog_aggregate_test.dir/datalog_aggregate_test.cpp.o.d"
+  "datalog_aggregate_test"
+  "datalog_aggregate_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/datalog_aggregate_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

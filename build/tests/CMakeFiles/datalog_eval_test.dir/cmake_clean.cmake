@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/datalog_eval_test.dir/datalog_eval_test.cpp.o"
+  "CMakeFiles/datalog_eval_test.dir/datalog_eval_test.cpp.o.d"
+  "datalog_eval_test"
+  "datalog_eval_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/datalog_eval_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

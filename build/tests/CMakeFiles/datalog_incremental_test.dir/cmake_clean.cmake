@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/datalog_incremental_test.dir/datalog_incremental_test.cpp.o"
+  "CMakeFiles/datalog_incremental_test.dir/datalog_incremental_test.cpp.o.d"
+  "datalog_incremental_test"
+  "datalog_incremental_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/datalog_incremental_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/datalog_parallel_test.dir/datalog_parallel_test.cpp.o"
+  "CMakeFiles/datalog_parallel_test.dir/datalog_parallel_test.cpp.o.d"
+  "datalog_parallel_test"
+  "datalog_parallel_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/datalog_parallel_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/datalog_rulechange_test.dir/datalog_rulechange_test.cpp.o"
+  "CMakeFiles/datalog_rulechange_test.dir/datalog_rulechange_test.cpp.o.d"
+  "datalog_rulechange_test"
+  "datalog_rulechange_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/datalog_rulechange_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

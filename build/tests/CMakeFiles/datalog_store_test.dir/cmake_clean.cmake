@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/datalog_store_test.dir/datalog_store_test.cpp.o"
+  "CMakeFiles/datalog_store_test.dir/datalog_store_test.cpp.o.d"
+  "datalog_store_test"
+  "datalog_store_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/datalog_store_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

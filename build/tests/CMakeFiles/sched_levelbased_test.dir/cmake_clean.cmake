@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sched_levelbased_test.dir/sched_levelbased_test.cpp.o"
+  "CMakeFiles/sched_levelbased_test.dir/sched_levelbased_test.cpp.o.d"
+  "sched_levelbased_test"
+  "sched_levelbased_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sched_levelbased_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
