@@ -1,5 +1,7 @@
 #include "datalog/relation.hpp"
 
+#include <mutex>
+
 #include "util/error.hpp"
 
 namespace dsched::datalog {
@@ -51,6 +53,7 @@ RelationStore::RelationStore(const Program& program) {
                      "predicate arity above 32 is unsupported");
     relations_.emplace_back(program.predicate_arities[p]);
   }
+  ResetCacheShards();
 }
 
 void RelationStore::EnsurePredicates(const Program& program) {
@@ -60,6 +63,15 @@ void RelationStore::EnsurePredicates(const Program& program) {
     DSCHED_CHECK_MSG(program.predicate_arities[p] <= 32,
                      "predicate arity above 32 is unsupported");
     relations_.emplace_back(program.predicate_arities[p]);
+    cache_shards_.push_back(std::make_unique<CacheShard>());
+  }
+}
+
+void RelationStore::ResetCacheShards() {
+  cache_shards_.clear();
+  cache_shards_.reserve(relations_.size());
+  for (std::size_t p = 0; p < relations_.size(); ++p) {
+    cache_shards_.push_back(std::make_unique<CacheShard>());
   }
 }
 
@@ -81,6 +93,30 @@ std::size_t RelationStore::TotalTuples() const {
   return total;
 }
 
+void RelationStore::RefreshIndex(CachedIndex& cached, const Relation& relation,
+                                 const std::vector<std::size_t>& columns) {
+  const auto rows = relation.Rows();
+  if (cached.erase_epoch != relation.EraseEpoch() ||
+      cached.rows_indexed > rows.size()) {
+    // Erasures invalidate row ids: full rebuild.
+    cached.map.clear();
+    cached.rows_indexed = 0;
+    cached.erase_epoch = relation.EraseEpoch();
+  }
+  // Append-only fast path: index just the new rows.  This is the
+  // semi-naive hot path — fixpoint rounds insert small deltas between
+  // lookups, and an O(Δ) extension beats an O(|R|) rebuild per round.
+  Tuple probe(columns.size());
+  for (std::size_t row = cached.rows_indexed; row < rows.size(); ++row) {
+    for (std::size_t i = 0; i < columns.size(); ++i) {
+      probe[i] = rows[row][columns[i]];
+    }
+    cached.map[probe].push_back(static_cast<std::uint32_t>(row));
+  }
+  cached.rows_indexed = rows.size();
+  cached.version = relation.Version();
+}
+
 std::span<const std::uint32_t> RelationStore::Lookup(
     std::uint32_t predicate, const std::vector<std::size_t>& columns,
     const Tuple& key) const {
@@ -91,32 +127,27 @@ std::span<const std::uint32_t> RelationStore::Lookup(
     DSCHED_CHECK_MSG(c < relation.Arity(), "index column out of range");
     mask |= (std::uint64_t{1} << c);
   }
-  const std::uint64_t cache_key = (std::uint64_t{predicate} << 32) | mask;
-  // The lock guards the cache *map*; see the class comment for why the
-  // returned span stays valid after release.
-  const std::lock_guard<std::mutex> lock(cache_mutex_);
-  CachedIndex& cached = index_cache_[cache_key];
+  CacheShard& shard = *cache_shards_[predicate];
+  // Read-mostly fast path: a fresh entry only needs the shared lock, so
+  // concurrent phases probing the same predicate proceed in parallel.  The
+  // returned span stays valid after release — see the class comment.
+  {
+    std::shared_lock<std::shared_mutex> lock(shard.mutex);
+    const auto entry = shard.entries.find(mask);
+    if (entry != shard.entries.end() &&
+        entry->second.version == relation.Version()) {
+      const auto it = entry->second.map.find(key);
+      return it == entry->second.map.end()
+                 ? std::span<const std::uint32_t>(kEmpty)
+                 : std::span<const std::uint32_t>(it->second);
+    }
+  }
+  // Stale or missing: take the exclusive lock and recheck (another phase
+  // may have refreshed the entry while we waited).
+  const std::unique_lock<std::shared_mutex> lock(shard.mutex);
+  CachedIndex& cached = shard.entries[mask];
   if (cached.version != relation.Version()) {
-    const auto rows = relation.Rows();
-    if (cached.erase_epoch != relation.EraseEpoch() ||
-        cached.rows_indexed > rows.size()) {
-      // Erasures invalidate row ids: full rebuild.
-      cached.map.clear();
-      cached.rows_indexed = 0;
-      cached.erase_epoch = relation.EraseEpoch();
-    }
-    // Append-only fast path: index just the new rows.  This is the
-    // semi-naive hot path — fixpoint rounds insert small deltas between
-    // lookups, and an O(Δ) extension beats an O(|R|) rebuild per round.
-    Tuple probe(columns.size());
-    for (std::size_t row = cached.rows_indexed; row < rows.size(); ++row) {
-      for (std::size_t i = 0; i < columns.size(); ++i) {
-        probe[i] = rows[row][columns[i]];
-      }
-      cached.map[probe].push_back(static_cast<std::uint32_t>(row));
-    }
-    cached.rows_indexed = rows.size();
-    cached.version = relation.Version();
+    RefreshIndex(cached, relation, columns);
   }
   const auto it = cached.map.find(key);
   return it == cached.map.end() ? std::span<const std::uint32_t>(kEmpty)
@@ -128,13 +159,15 @@ std::size_t RelationStore::MemoryBytes() const {
   for (const Relation& r : relations_) {
     bytes += r.MemoryBytes();
   }
-  const std::lock_guard<std::mutex> lock(cache_mutex_);
-  for (const auto& [key, cached] : index_cache_) {
-    (void)key;
-    bytes += cached.map.size() * 48;
-    for (const auto& [k, rows] : cached.map) {
-      bytes += k.capacity() * sizeof(Value) +
-               rows.capacity() * sizeof(std::uint32_t);
+  for (const auto& shard : cache_shards_) {
+    const std::shared_lock<std::shared_mutex> lock(shard->mutex);
+    for (const auto& [key, cached] : shard->entries) {
+      (void)key;
+      bytes += cached.map.size() * 48;
+      for (const auto& [k, rows] : cached.map) {
+        bytes += k.capacity() * sizeof(Value) +
+                 rows.capacity() * sizeof(std::uint32_t);
+      }
     }
   }
   return bytes;

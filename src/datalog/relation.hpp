@@ -3,7 +3,8 @@
 #pragma once
 
 #include <cstdint>
-#include <mutex>
+#include <memory>
+#include <shared_mutex>
 #include <span>
 #include <unordered_map>
 #include <vector>
@@ -62,32 +63,40 @@ class Relation {
 /// Thread compatibility: the parallel update engine runs component phases
 /// concurrently.  Distinct phases never write the same Relation (the
 /// dependency DAG's precedence guarantees it), but they do share the index
-/// cache, whose *structure* is guarded by an internal mutex.  A span
-/// returned by Lookup stays valid because an entry is only rebuilt when its
-/// relation's version moved, and a relation is never written while another
-/// phase may be reading it.
+/// cache.  The cache is sharded per predicate — phases touching different
+/// predicates never contend — and each shard is guarded by a
+/// std::shared_mutex: the read-mostly fresh-entry path takes the shared
+/// lock, only a rebuild/extension takes the exclusive one.  A span returned
+/// by Lookup stays valid after the lock is released because an entry is
+/// only rebuilt when its relation's version moved, and a relation is never
+/// written while another phase may be reading it.
 class RelationStore {
  public:
   RelationStore() = default;
   /// Creates empty relations matching the program's predicate arities.
   explicit RelationStore(const Program& program);
 
-  RelationStore(const RelationStore& other) : relations_(other.relations_) {}
+  // Copies and moves transfer the relations and start with a fresh, empty
+  // cache (the cache is a pure optimisation; nobody may be concurrently
+  // reading either side of a copy/move).
+  RelationStore(const RelationStore& other) : relations_(other.relations_) {
+    ResetCacheShards();
+  }
   RelationStore& operator=(const RelationStore& other) {
     if (this != &other) {
       relations_ = other.relations_;
-      const std::lock_guard<std::mutex> lock(cache_mutex_);
-      index_cache_.clear();
+      ResetCacheShards();
     }
     return *this;
   }
   RelationStore(RelationStore&& other) noexcept
-      : relations_(std::move(other.relations_)) {}
+      : relations_(std::move(other.relations_)) {
+    ResetCacheShards();
+  }
   RelationStore& operator=(RelationStore&& other) noexcept {
     if (this != &other) {
       relations_ = std::move(other.relations_);
-      const std::lock_guard<std::mutex> lock(cache_mutex_);
-      index_cache_.clear();
+      ResetCacheShards();
     }
     return *this;
   }
@@ -136,12 +145,24 @@ class RelationStore {
     std::unordered_map<Tuple, std::vector<std::uint32_t>, TupleHash> map;
   };
 
-  std::vector<Relation> relations_;
-  /// Key: (predicate << 32) | column-bitmask.  Arity is capped at 32.
+  /// One cache shard per predicate.  Key: column-bitmask (arity <= 32).
   /// unordered_map nodes are pointer-stable, so spans into one entry's
   /// vectors survive insertions of other entries.
-  mutable std::unordered_map<std::uint64_t, CachedIndex> index_cache_;
-  mutable std::mutex cache_mutex_;
+  struct CacheShard {
+    mutable std::shared_mutex mutex;
+    std::unordered_map<std::uint64_t, CachedIndex> entries;
+  };
+
+  /// Brings an entry up to date with its relation; caller holds the
+  /// shard's exclusive lock.
+  static void RefreshIndex(CachedIndex& cached, const Relation& relation,
+                           const std::vector<std::size_t>& columns);
+
+  /// Recreates one empty shard per relation (shards are not copyable).
+  void ResetCacheShards();
+
+  std::vector<Relation> relations_;
+  mutable std::vector<std::unique_ptr<CacheShard>> cache_shards_;
 };
 
 }  // namespace dsched::datalog

@@ -1,14 +1,23 @@
 #include "runtime/executor.hpp"
 
+#include <bit>
 #include <condition_variable>
-#include <deque>
 #include <mutex>
+#include <vector>
 
-#include "runtime/thread_pool.hpp"
 #include "util/error.hpp"
 #include "util/timer.hpp"
 
 namespace dsched::runtime {
+
+namespace {
+
+struct Completion {
+  TaskId task;
+  bool changed;
+};
+
+}  // namespace
 
 Executor::RunStats Executor::Run(const trace::JobTrace& trace,
                                  sched::Scheduler& scheduler,
@@ -19,18 +28,23 @@ Executor::RunStats Executor::Run(const trace::JobTrace& trace,
   RunStats stats;
   util::WallTimer wall;
   util::Stopwatch sched_watch;
+  util::Stopwatch dispatch_watch;
+  const std::size_t window =
+      options.dispatch_window > 0
+          ? options.dispatch_window
+          : std::max<std::size_t>(16, 2 * options.workers);
 
   scheduler.Prepare({&trace, options.workers});
 
-  std::mutex mutex;
-  std::condition_variable completions_arrived;
-  std::deque<std::pair<TaskId, bool>> completions;
+  // The scheduler and the activation bookkeeping live exclusively on this
+  // (coordinator) thread — workers never touch them, so neither needs a
+  // lock.  The ONLY coordinator/worker shared state is the MPSC completion
+  // buffer below.
   std::vector<bool> activated(dag.NumNodes(), false);
   std::size_t activated_count = 0;
   std::size_t completed_count = 0;
   std::size_t inflight = 0;
 
-  // All scheduler interaction happens with `mutex` held.
   const auto activate = [&](TaskId t) {
     if (!activated[t]) {
       activated[t] = true;
@@ -39,43 +53,67 @@ Executor::RunStats Executor::Run(const trace::JobTrace& trace,
       scheduler.OnActivated(t);
     }
   };
-
-  {
-    const std::lock_guard<std::mutex> lock(mutex);
-    for (const TaskId t : trace.InitialDirty()) {
-      activate(t);
-    }
+  for (const TaskId t : trace.InitialDirty()) {
+    activate(t);
   }
 
-  ThreadPool pool(options.workers);
-  std::unique_lock<std::mutex> lock(mutex);
+  // MPSC completion buffer: workers push under a short lock; the
+  // coordinator drains everything accumulated with a single lock + swap.
+  // notify_one fires only on the empty→non-empty edge (the coordinator is
+  // the only waiter and drains fully), so completions arriving while it is
+  // busy cost no wakeup at all.
+  std::mutex completion_mutex;
+  std::condition_variable completions_arrived;
+  std::vector<Completion> completions;
+  completions.reserve(2 * window);
+
+  ThreadPool pool(options.workers, [&](TaskId t) {
+    const bool changed = body ? body(t) : trace.Info(t).output_changes;
+    bool was_empty = false;
+    {
+      const std::lock_guard<std::mutex> lock(completion_mutex);
+      was_empty = completions.empty();
+      completions.push_back({t, changed});
+    }
+    if (was_empty) {
+      completions_arrived.notify_one();
+    }
+  });
+
+  std::vector<TaskId> batch;
+  batch.reserve(window);
+  std::vector<Completion> drained;
+  drained.reserve(2 * window);
   for (;;) {
-    // Dispatch ready work up to the worker count.
-    while (inflight < options.workers) {
-      TaskId t = util::kInvalidTask;
-      {
-        const util::StopwatchGuard guard(sched_watch);
-        t = scheduler.PopReady();
-      }
-      if (t == util::kInvalidTask) {
-        break;
-      }
-      {
-        const util::StopwatchGuard guard(sched_watch);
-        scheduler.OnStarted(t);
-      }
-      ++inflight;
-      pool.Submit([&, t] {
-        const bool changed = body ? body(t) : trace.Info(t).output_changes;
+    // Dispatch: drain the scheduler's entire ready set, one batched pop +
+    // one batched submit per `window` tasks.  PopReadyBatch performs the
+    // OnStarted transitions itself (engine contract point 6).
+    {
+      const util::StopwatchGuard dispatch_guard(dispatch_watch);
+      for (;;) {
+        batch.clear();
+        std::size_t popped = 0;
         {
-          const std::lock_guard<std::mutex> inner(mutex);
-          completions.emplace_back(t, changed);
+          const util::StopwatchGuard guard(sched_watch);
+          popped = scheduler.PopReadyBatch(batch, window);
         }
-        completions_arrived.notify_one();
-      });
+        if (popped == 0) {
+          break;
+        }
+        ++stats.dispatch_batches;
+        stats.dispatched += popped;
+        stats.max_dispatch_batch =
+            std::max<std::uint64_t>(stats.max_dispatch_batch, popped);
+        const std::size_t bucket = std::min<std::size_t>(
+            kBatchHistBuckets - 1,
+            static_cast<std::size_t>(std::bit_width(popped) - 1));
+        ++stats.batch_size_hist[bucket];
+        inflight += popped;
+        pool.SubmitBatch(batch);
+      }
     }
 
-    if (inflight == 0 && completions.empty()) {
+    if (inflight == 0) {
       if (completed_count < activated_count) {
         throw util::LogicError(
             "executor deadlock: scheduler " + std::string(scheduler.Name()) +
@@ -86,28 +124,40 @@ Executor::RunStats Executor::Run(const trace::JobTrace& trace,
       break;
     }
 
-    completions_arrived.wait(lock, [&] { return !completions.empty(); });
-    while (!completions.empty()) {
-      const auto [t, changed] = completions.front();
-      completions.pop_front();
+    // Drain: one lock acquisition + buffer swap collects every completion
+    // that arrived since the last drain.
+    drained.clear();
+    {
+      std::unique_lock<std::mutex> lock(completion_mutex);
+      completions_arrived.wait(lock, [&] { return !completions.empty(); });
+      std::swap(drained, completions);
+      ++stats.completion_drains;
+    }
+    const util::StopwatchGuard drain_guard(dispatch_watch);
+    for (const Completion& c : drained) {
       --inflight;
       ++completed_count;
       ++stats.executed;
-      if (changed) {
-        for (const TaskId child : dag.OutNeighbors(t)) {
+      if (c.changed) {
+        for (const TaskId child : dag.OutNeighbors(c.task)) {
           activate(child);
         }
       }
       const util::StopwatchGuard guard(sched_watch);
-      scheduler.OnCompleted(t, changed);
+      scheduler.OnCompleted(c.task, c.changed);
     }
   }
-  lock.unlock();
   pool.Wait();
 
+  const ThreadPoolStats pool_stats = pool.Stats();
+  stats.completion_pushes = pool_stats.executed;
+  stats.pool_steals = pool_stats.steals;
+  stats.pool_sleeps = pool_stats.sleeps;
+  stats.pool_wakeups = pool_stats.wakeups;
   stats.activations = activated_count;
   stats.wall_seconds = wall.ElapsedSeconds();
   stats.sched_wall_seconds = sched_watch.TotalSeconds();
+  stats.dispatch_wall_seconds = dispatch_watch.TotalSeconds();
   return stats;
 }
 

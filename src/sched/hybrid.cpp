@@ -75,6 +75,45 @@ TaskId HybridScheduler::PopReady() {
   return slow;
 }
 
+std::size_t HybridScheduler::PopReadyBatch(std::vector<TaskId>& out,
+                                           std::size_t max) {
+  const std::size_t before = out.size();
+  // Fast path first, same rationale as PopReady.  The popping child has
+  // already transitioned its copies to started; only the other child still
+  // needs the OnStarted notifications.
+  std::size_t n = fast_->PopReadyBatch(out, max);
+  if (n > 0) {
+    for (std::size_t i = before; i < out.size(); ++i) {
+      heuristic_->OnStarted(out[i]);
+    }
+    activation_credits_ -= std::min<std::uint64_t>(activation_credits_, n);
+    return n;
+  }
+  if (activation_credits_ == 0 &&
+      completions_since_consult_ < consult_threshold_) {
+    return 0;  // let running work complete first
+  }
+  activation_credits_ = 0;
+  n = heuristic_->PopReadyBatch(out, max);
+  if (n > 0) {
+    for (std::size_t i = before; i < out.size(); ++i) {
+      fast_->OnStarted(out[i]);
+    }
+    consecutive_failures_ = 0;
+    consult_threshold_ = 1;
+    completions_since_consult_ = 1;
+  } else {
+    ++consecutive_failures_;
+    consult_threshold_ =
+        consecutive_failures_ <= 1
+            ? 1
+            : (std::uint64_t{1}
+               << std::min<std::uint64_t>(consecutive_failures_ - 1, 62));
+    completions_since_consult_ = 0;
+  }
+  return n;
+}
+
 SchedulerOpCounts HybridScheduler::OpCounts() const {
   SchedulerOpCounts counts = fast_->OpCounts();
   counts.Merge(heuristic_->OpCounts());

@@ -1,5 +1,7 @@
 #include "sched/level_based.hpp"
 
+#include <algorithm>
+
 #include "util/error.hpp"
 
 namespace dsched::sched {
@@ -34,6 +36,7 @@ void LevelBasedScheduler::Prepare(const SchedulerContext& ctx) {
   }
   pending_by_level_.assign(num_levels_, {});
   incomplete_at_level_.assign(num_levels_, 0);
+  bucket_head_.assign(num_levels_, 0);
   activated_.assign(dag.NumNodes(), false);
   started_.assign(dag.NumNodes(), false);
   completed_.assign(dag.NumNodes(), false);
@@ -91,31 +94,31 @@ TaskId LevelBasedScheduler::PopReady() {
     return util::kInvalidTask;
   }
   auto& bucket = pending_by_level_[frontier_];
-  // Lazily drop tasks a cooperating scheduler already started.
-  while (!bucket.empty() && started_[bucket.back()]) {
+  std::size_t& head = bucket_head_[frontier_];
+  // Lazily drop tasks a cooperating scheduler already started (entries
+  // before the head cursor are already consumed).
+  while (bucket.size() > head && started_[bucket.back()]) {
     bucket.pop_back();
   }
-  if (!bucket.empty()) {
+  if (bucket.size() > head) {
     ++counts_.pops;
     switch (order_) {
       case LevelOrder::kLifo:
         return bucket.back();  // engine will call OnStarted; lazy-skip later
       case LevelOrder::kFifo: {
-        // Compact leading started entries, then take the oldest.
-        std::size_t head = 0;
+        // Advance the head cursor past started entries; amortized O(1) per
+        // pop instead of an O(n) front-erase.
         while (head < bucket.size() && started_[bucket[head]]) {
           ++head;
         }
-        if (head > 0) {
-          bucket.erase(bucket.begin(),
-                       bucket.begin() + static_cast<std::ptrdiff_t>(head));
-        }
-        return bucket.front();
+        // The back() survivor guarantees an unstarted entry remains.
+        return bucket[head];
       }
       case LevelOrder::kLongestFirst: {
         TaskId best = util::kInvalidTask;
         double best_span = -1.0;
-        for (const TaskId t : bucket) {
+        for (std::size_t i = head; i < bucket.size(); ++i) {
+          const TaskId t = bucket[i];
           if (started_[t]) {
             continue;
           }
@@ -133,13 +136,101 @@ TaskId LevelBasedScheduler::PopReady() {
   // The frontier level still has running tasks but no pending ones; deeper
   // pending tasks must wait (a running frontier task may activate their
   // ancestors-to-be).
+  bucket.clear();
+  head = 0;
   return util::kInvalidTask;
+}
+
+void LevelBasedScheduler::StartNow(TaskId t) {
+  started_[t] = true;
+  ++running_;
+  --pending_unstarted_;
+  ++counts_.pops;
+}
+
+std::size_t LevelBasedScheduler::PopReadyBatch(std::vector<TaskId>& out,
+                                               std::size_t max) {
+  std::size_t popped = 0;
+  while (popped < max && pending_unstarted_ > 0) {
+    while (frontier_ < num_levels_ && incomplete_at_level_[frontier_] == 0) {
+      ++frontier_;
+      ++counts_.level_advances;
+    }
+    if (frontier_ >= num_levels_) {
+      break;
+    }
+    auto& bucket = pending_by_level_[frontier_];
+    std::size_t& head = bucket_head_[frontier_];
+    switch (order_) {
+      case LevelOrder::kLifo:
+        while (popped < max && bucket.size() > head) {
+          const TaskId t = bucket.back();
+          bucket.pop_back();
+          if (started_[t]) {
+            continue;  // claimed by a cooperating scheduler
+          }
+          StartNow(t);
+          out.push_back(t);
+          ++popped;
+        }
+        break;
+      case LevelOrder::kFifo:
+        while (popped < max && head < bucket.size()) {
+          const TaskId t = bucket[head];
+          ++head;
+          if (started_[t]) {
+            continue;
+          }
+          StartNow(t);
+          out.push_back(t);
+          ++popped;
+        }
+        if (head >= bucket.size()) {
+          bucket.clear();
+          head = 0;
+        }
+        break;
+      case LevelOrder::kLongestFirst: {
+        // Compact the bucket to unstarted entries, order longest-last, then
+        // drain from the back — one O(k log k) pass replaces k O(k) scans.
+        std::size_t w = 0;
+        for (std::size_t i = head; i < bucket.size(); ++i) {
+          if (!started_[bucket[i]]) {
+            bucket[w++] = bucket[i];
+          }
+        }
+        bucket.resize(w);
+        head = 0;
+        std::sort(bucket.begin(), bucket.end(), [this](TaskId a, TaskId b) {
+          return ctx_.trace->Info(a).span < ctx_.trace->Info(b).span;
+        });
+        while (popped < max && !bucket.empty()) {
+          const TaskId t = bucket.back();
+          bucket.pop_back();
+          StartNow(t);
+          out.push_back(t);
+          ++popped;
+        }
+        break;
+      }
+    }
+    if (popped >= max) {
+      break;
+    }
+    if (incomplete_at_level_[frontier_] != 0) {
+      // Running (or just-started) work pins the frontier; deeper pending
+      // tasks must wait for it (Lemma 1).
+      break;
+    }
+  }
+  return popped;
 }
 
 std::size_t LevelBasedScheduler::MemoryBytes() const {
   std::size_t bytes = levels_.capacity() * sizeof(util::Level) +
                       pending_by_level_.capacity() * sizeof(std::vector<TaskId>) +
                       incomplete_at_level_.capacity() * sizeof(std::size_t) +
+                      bucket_head_.capacity() * sizeof(std::size_t) +
                       (activated_.capacity() + started_.capacity() +
                        completed_.capacity()) / 8;
   for (const auto& bucket : pending_by_level_) {

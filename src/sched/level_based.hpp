@@ -40,6 +40,10 @@ class LevelBasedScheduler : public Scheduler {
   void OnStarted(TaskId t) override;
   void OnCompleted(TaskId t, bool output_changed) override;
   [[nodiscard]] TaskId PopReady() override;
+  /// Native batch pop: drains the frontier bucket (Lemma 1 makes every
+  /// pending task there safe at once) under a single virtual call,
+  /// performing the start transitions inline.
+  std::size_t PopReadyBatch(std::vector<TaskId>& out, std::size_t max) override;
   [[nodiscard]] SchedulerOpCounts OpCounts() const override { return counts_; }
   [[nodiscard]] std::size_t MemoryBytes() const override;
 
@@ -62,6 +66,10 @@ class LevelBasedScheduler : public Scheduler {
   SchedulerOpCounts counts_;
 
  private:
+  /// The started transition PopReadyBatch performs inline (same state moves
+  /// as OnStarted, minus the redundant re-checks).
+  void StartNow(TaskId t);
+
   LevelOrder order_;
   std::string name_;
   SchedulerContext ctx_;
@@ -73,6 +81,9 @@ class LevelBasedScheduler : public Scheduler {
   util::Level frontier_ = 0;
   /// Incomplete (activated, not completed) active tasks per level.
   std::vector<std::size_t> incomplete_at_level_;
+  /// FIFO mode: index of the oldest unconsumed entry per bucket — a head
+  /// cursor instead of O(n) vector::erase from the front per pop.
+  std::vector<std::size_t> bucket_head_;
   std::size_t pending_unstarted_ = 0;
   std::size_t running_ = 0;
   std::vector<bool> activated_;

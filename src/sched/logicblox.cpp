@@ -60,6 +60,31 @@ TaskId LogicBloxScheduler::PopReady() {
   }
 }
 
+std::size_t LogicBloxScheduler::PopReadyBatch(std::vector<TaskId>& out,
+                                              std::size_t max) {
+  std::size_t popped = 0;
+  for (;;) {
+    while (popped < max && !ready_.empty()) {
+      const TaskId t = ready_.front();
+      ready_.pop_front();
+      if (started_[t]) {
+        continue;  // claimed by a cooperating scheduler
+      }
+      started_[t] = true;  // the OnStarted transition, inline
+      ++counts_.pops;
+      out.push_back(t);
+      ++popped;
+    }
+    if (popped >= max || !dirty_ || pending_.empty()) {
+      return popped;
+    }
+    Scan();
+    if (ready_.empty()) {
+      return popped;
+    }
+  }
+}
+
 void LogicBloxScheduler::Scan() {
   ++counts_.queue_scans;
   dirty_ = false;

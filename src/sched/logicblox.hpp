@@ -34,6 +34,9 @@ class LogicBloxScheduler : public Scheduler {
   void OnStarted(TaskId t) override;
   void OnCompleted(TaskId t, bool output_changed) override;
   [[nodiscard]] TaskId PopReady() override;
+  /// Native batch pop: drains the materialised ready queue (rescanning the
+  /// pending queue when it runs dry) with the start transitions inline.
+  std::size_t PopReadyBatch(std::vector<TaskId>& out, std::size_t max) override;
   [[nodiscard]] SchedulerOpCounts OpCounts() const override { return counts_; }
   [[nodiscard]] std::size_t MemoryBytes() const override;
 

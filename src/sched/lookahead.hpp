@@ -31,6 +31,12 @@ class LookaheadScheduler : public LevelBasedScheduler {
   [[nodiscard]] std::string_view Name() const override { return name_; }
   void Prepare(const SchedulerContext& ctx) override;
   [[nodiscard]] TaskId PopReady() override;
+  /// The lookahead search lives in PopReady, so the batch form must go
+  /// through it — restore the generic loop instead of inheriting
+  /// LevelBased's frontier-only native drain (which would skip approvals).
+  std::size_t PopReadyBatch(std::vector<TaskId>& out, std::size_t max) override {
+    return Scheduler::PopReadyBatch(out, max);
+  }
 
   [[nodiscard]] std::size_t Lookahead() const { return k_; }
 

@@ -19,4 +19,19 @@ std::uint64_t SchedulerOpCounts::Total() const {
          pops;
 }
 
+std::size_t Scheduler::PopReadyBatch(std::vector<TaskId>& out,
+                                     std::size_t max) {
+  std::size_t popped = 0;
+  while (popped < max) {
+    const TaskId t = PopReady();
+    if (t == util::kInvalidTask) {
+      break;
+    }
+    OnStarted(t);
+    out.push_back(t);
+    ++popped;
+  }
+  return popped;
+}
+
 }  // namespace dsched::sched

@@ -28,6 +28,12 @@
 //     scheduler (hybrid mode) claimed a task: implementations must tolerate
 //     tasks they consider pending being started externally and must never
 //     return an already-started task from PopReady.
+//  6. `PopReadyBatch(out, max)` is the batched form of 4+5 combined: it
+//     appends up to `max` distinct ready tasks to `out` AND performs the
+//     OnStarted transition for each before returning (so the engine must
+//     NOT call OnStarted for batch-popped tasks).  The base-class default
+//     loops PopReady+OnStarted; policies with a materialised ready set
+//     override it to drain the set under one virtual call.
 //
 // Every decision call is wall-clock-timed by the engine; the counters in
 // SchedulerOpCounts are the machine-independent "modelled" overhead.
@@ -36,6 +42,7 @@
 #include <cstdint>
 #include <memory>
 #include <string_view>
+#include <vector>
 
 #include "trace/job_trace.hpp"
 #include "util/types.hpp"
@@ -94,6 +101,13 @@ class Scheduler {
 
   /// A task safe to start now, or util::kInvalidTask.
   [[nodiscard]] virtual TaskId PopReady() = 0;
+
+  /// Pops up to `max` ready tasks in one call, appending them to `out`, and
+  /// performs the OnStarted transition for each popped task itself (engine
+  /// contract point 6).  Returns the number of tasks appended.  The default
+  /// loops PopReady()+OnStarted(); overrides drain a materialised ready set
+  /// without per-task virtual dispatch.
+  virtual std::size_t PopReadyBatch(std::vector<TaskId>& out, std::size_t max);
 
   /// Modelled-overhead counters accumulated so far.
   [[nodiscard]] virtual SchedulerOpCounts OpCounts() const = 0;

@@ -17,23 +17,26 @@ namespace dsched::runtime {
 namespace {
 
 TEST(ThreadPoolTest, RunsAllJobs) {
-  ThreadPool pool(4);
   std::atomic<int> counter{0};
-  for (int i = 0; i < 100; ++i) {
-    pool.Submit([&counter] { counter.fetch_add(1); });
+  ThreadPool pool(4, [&counter](util::TaskId) { counter.fetch_add(1); });
+  for (util::TaskId i = 0; i < 100; ++i) {
+    pool.Submit(i);
   }
   pool.Wait();
   EXPECT_EQ(counter.load(), 100);
+  const ThreadPoolStats stats = pool.Stats();
+  EXPECT_EQ(stats.submitted, 100u);
+  EXPECT_EQ(stats.executed, 100u);
 }
 
 TEST(ThreadPoolTest, WaitBlocksUntilDrained) {
-  ThreadPool pool(2);
   std::atomic<int> done{0};
-  for (int i = 0; i < 8; ++i) {
-    pool.Submit([&done] {
-      std::this_thread::sleep_for(std::chrono::milliseconds(2));
-      done.fetch_add(1);
-    });
+  ThreadPool pool(2, [&done](util::TaskId) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    done.fetch_add(1);
+  });
+  for (util::TaskId i = 0; i < 8; ++i) {
+    pool.Submit(i);
   }
   pool.Wait();
   EXPECT_EQ(done.load(), 8);
@@ -42,13 +45,61 @@ TEST(ThreadPoolTest, WaitBlocksUntilDrained) {
 TEST(ThreadPoolTest, DestructorJoinsCleanly) {
   std::atomic<int> done{0};
   {
-    ThreadPool pool(3);
-    for (int i = 0; i < 20; ++i) {
-      pool.Submit([&done] { done.fetch_add(1); });
+    ThreadPool pool(3, [&done](util::TaskId) { done.fetch_add(1); });
+    for (util::TaskId i = 0; i < 20; ++i) {
+      pool.Submit(i);
     }
     pool.Wait();
   }
   EXPECT_EQ(done.load(), 20);
+}
+
+TEST(ThreadPoolTest, SubmitBatchRunsEveryItemExactlyOnce) {
+  std::vector<std::atomic<int>> seen(500);
+  ThreadPool pool(4, [&seen](util::TaskId t) { seen[t].fetch_add(1); });
+  std::vector<util::TaskId> batch(500);
+  for (util::TaskId i = 0; i < 500; ++i) {
+    batch[i] = i;
+  }
+  pool.SubmitBatch(batch);
+  pool.Wait();
+  for (const auto& count : seen) {
+    EXPECT_EQ(count.load(), 1);
+  }
+  EXPECT_EQ(pool.Stats().executed, 500u);
+}
+
+TEST(ThreadPoolTest, ReusableAcrossWaits) {
+  std::atomic<int> done{0};
+  ThreadPool pool(2, [&done](util::TaskId) { done.fetch_add(1); });
+  for (int round = 0; round < 5; ++round) {
+    std::vector<util::TaskId> batch = {0, 1, 2, 3};
+    pool.SubmitBatch(batch);
+    pool.Wait();
+    EXPECT_EQ(done.load(), (round + 1) * 4);
+  }
+}
+
+TEST(ThreadPoolTest, StealsRebalanceSkewedBatches) {
+  // One long item pins a worker; the stealing path must let the other
+  // workers drain the rest of its chunk.  With chunked batch submit on 2
+  // workers, one deque holds ~half the items; the blocked owner forces
+  // every one of them to be stolen.
+  std::atomic<int> done{0};
+  ThreadPool pool(2, [&done](util::TaskId t) {
+    if (t == 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(30));
+    }
+    done.fetch_add(1);
+  });
+  std::vector<util::TaskId> batch(64);
+  for (util::TaskId i = 0; i < 64; ++i) {
+    batch[i] = i;
+  }
+  pool.SubmitBatch(batch);
+  pool.Wait();
+  EXPECT_EQ(done.load(), 64);
+  EXPECT_EQ(pool.Stats().executed, 64u);
 }
 
 TEST(ExecutorTest, RunsExactlyTheCascade) {
