@@ -33,8 +33,7 @@ EvalStats Database::Materialize() {
 }
 
 std::vector<Tuple> Database::Query(std::string_view predicate) const {
-  const Relation& relation = store_.Of(program_.PredicateId(predicate));
-  return {relation.Rows().begin(), relation.Rows().end()};
+  return store_.Of(program_.PredicateId(predicate)).Tuples();
 }
 
 bool Database::Contains(std::string_view predicate, const Tuple& tuple) const {

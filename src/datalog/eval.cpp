@@ -3,6 +3,7 @@
 #include "datalog/incremental.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <sstream>
 #include <unordered_map>
 #include <unordered_set>
@@ -31,8 +32,21 @@ namespace {
 
 /// One rule application: nested-loop join with index lookups, run over an
 /// explicit binding environment.  TStore is any type with the read
-/// interface ContainsTuple / RowAt / Lookup — the live RelationStore or the
-/// incremental engine's OldStateView.
+/// interface ContainsTuple / RowAt / Lookup / RelationSize / IndexDistinct
+/// — the live RelationStore or the incremental engine's OldStateView.
+///
+/// Construction plans the join:
+///  * positive body literals are ordered greedily by estimated lookup
+///    cardinality (relation size ÷ bound-column index fan-out when a fresh
+///    index exists, an independence-assumption power law otherwise), with
+///    the delta-restricted literal pinned first;
+///  * each level's index key columns are fixed statically, so the per-row
+///    inner loop neither rebuilds column lists nor re-derives which
+///    variables to bind — it fills a reusable key buffer and walks a
+///    precomputed (position, variable) slot list;
+///  * negations and comparisons are hoisted to the earliest level at which
+///    all their variables are bound, pruning partial bindings instead of
+///    filtering complete ones.
 template <typename TStore>
 class RuleJoin {
  public:
@@ -45,29 +59,139 @@ class RuleJoin {
         restriction_(restriction),
         stats_(stats),
         bindings_(rule.variable_names.size()),
-        bound_(rule.variable_names.size(), false) {
-    // Split the body: the restricted element (if any) joins first; then the
-    // remaining positive literals in body order; negations and comparisons
-    // become post-join filters.
+        bound_(rule.variable_names.size(), 0),
+        head_(rule.head.args.size()) {
+    undo_.reserve(rule.variable_names.size());
+
+    // Split the body: the restricted element (if any) joins first; then
+    // the remaining positive literals, planner-ordered; negations and
+    // comparisons become filters hoisted onto the levels.
+    std::vector<std::size_t> positives;
+    std::vector<std::size_t> filters;
+    std::vector<char> sbound(rule.variable_names.size(), 0);
     for (std::size_t i = 0; i < rule_.body.size(); ++i) {
       const bool restricted = (i == restriction_.body_index);
       if (const auto* literal = std::get_if<Literal>(&rule_.body[i])) {
         if (restricted) {
           // Positive or negated: matched against the delta rows, first.
-          has_restricted_ = true;
+          // Its slots are planned statically like an indexed level with an
+          // empty key: constants become value checks, variable occurrences
+          // fresh binds or repeat checks.
+          LevelPlan delta;
+          delta.body_index = i;
+          delta.is_delta = true;
+          delta.atom = &literal->atom;
+          std::vector<char> seen(rule.variable_names.size(), 0);
+          for (std::size_t pos = 0; pos < literal->atom.args.size(); ++pos) {
+            const Term& term = literal->atom.args[pos];
+            if (!term.IsVar()) {
+              delta.const_slots.emplace_back(pos, term.constant);
+            } else {
+              const bool check =
+                  sbound[term.var] != 0 || seen[term.var] != 0;
+              delta.var_slots.push_back({pos, term.var, check});
+              seen[term.var] = 1;
+            }
+          }
+          levels_.push_back(std::move(delta));
+          MarkVars(literal->atom, sbound);
         } else if (!literal->negated) {
-          join_order_.push_back(i);
+          positives.push_back(i);
         } else {
-          filters_.push_back(i);
+          filters.push_back(i);
         }
       } else {
         DSCHED_CHECK_MSG(!restricted,
                          "a comparison cannot carry a delta restriction");
-        filters_.push_back(i);
+        filters.push_back(i);
       }
     }
-    if (has_restricted_) {
-      join_order_.insert(join_order_.begin(), restriction_.body_index);
+
+    // Greedy selectivity ordering over the static bound-variable set.
+    while (!positives.empty()) {
+      std::size_t best = 0;
+      double best_cost = EstimateCost(AtomAt(positives[0]), sbound);
+      for (std::size_t c = 1; c < positives.size(); ++c) {
+        const double cost = EstimateCost(AtomAt(positives[c]), sbound);
+        if (cost < best_cost) {
+          best_cost = cost;
+          best = c;
+        }
+      }
+      const std::size_t body_index = positives[best];
+      positives.erase(positives.begin() + static_cast<std::ptrdiff_t>(best));
+      levels_.push_back(PlanLevel(body_index, sbound));
+      MarkVars(AtomAt(body_index), sbound);
+    }
+
+    // Hoist each filter to the earliest point all its variables are bound.
+    // (Safety validation guarantees every filter variable occurs in some
+    // positive literal, so placement always succeeds.)
+    std::vector<char> hoist_bound(rule.variable_names.size(), 0);
+    std::size_t placed_through = 0;  // filters placeable before any level
+    for (const std::size_t f : filters) {
+      if (FilterVarsBound(f, hoist_bound)) {
+        pre_filters_.push_back(f);
+        ++placed_through;
+      }
+    }
+    for (LevelPlan& level : levels_) {
+      MarkVars(*level.atom, hoist_bound);
+      if (placed_through == filters.size()) {
+        continue;
+      }
+      for (const std::size_t f : filters) {
+        if (!FilterPlaced(f) && FilterVarsBound(f, hoist_bound)) {
+          level.filters.push_back(f);
+          ++placed_through;
+        }
+      }
+    }
+
+    // Resolve each indexed level's cache entry once — the per-binding hot
+    // path then probes lock-free.  Done after all levels are planned:
+    // Prepare retains a pointer to level.columns, which must not move.
+    for (LevelPlan& level : levels_) {
+      if (!level.is_delta) {
+        level.prepared = store_.Prepare(level.atom->predicate, level.columns);
+      }
+    }
+
+    // Head plan: constants are baked into the reusable buffer once;
+    // EmitHead fills only the variable positions.
+    for (std::size_t i = 0; i < rule_.head.args.size(); ++i) {
+      const Term& term = rule_.head.args[i];
+      if (term.IsVar()) {
+        head_vars_.emplace_back(i, term.var);
+      } else {
+        head_[i] = term.constant;
+      }
+    }
+
+    // Innermost-level fast path: eligible when the last level is indexed,
+    // filter-free, and all-fresh (every probed row emits).
+    if (!levels_.empty()) {
+      LevelPlan& leaf = levels_.back();
+      bool fresh = !leaf.is_delta && leaf.filters.empty();
+      for (const auto& slot : leaf.var_slots) {
+        fresh = fresh && !slot.check;
+      }
+      if (fresh) {
+        leaf.leaf_fast = true;
+        for (const auto& [dst, var] : head_vars_) {
+          bool from_row = false;
+          for (const auto& slot : leaf.var_slots) {
+            if (slot.var == var) {
+              leaf.leaf_head_row.emplace_back(dst, slot.pos);
+              from_row = true;
+              break;
+            }
+          }
+          if (!from_row) {
+            leaf.leaf_head_outer.emplace_back(dst, var);
+          }
+        }
+      }
     }
   }
 
@@ -78,6 +202,11 @@ class RuleJoin {
     ++stats_.rule_applications;
     emit_ = &emit;
     stop_after_first_ = stop_after_first;
+    for (const std::size_t f : pre_filters_) {
+      if (!Filter(f)) {
+        return false;
+      }
+    }
     return JoinFrom(0);
   }
 
@@ -86,15 +215,16 @@ class RuleJoin {
   bool BindHead(const Tuple& head_tuple) {
     DSCHED_CHECK_MSG(head_tuple.size() == rule_.head.args.size(),
                      "head tuple arity mismatch");
+    head_bound_ = true;
     for (std::size_t i = 0; i < head_tuple.size(); ++i) {
       const Term& term = rule_.head.args[i];
       if (term.IsVar()) {
-        if (bound_[term.var]) {
+        if (bound_[term.var] != 0) {
           if (!(bindings_[term.var] == head_tuple[i])) {
             return false;
           }
         } else {
-          bound_[term.var] = true;
+          bound_[term.var] = 1;
           bindings_[term.var] = head_tuple[i];
         }
       } else if (!(term.constant == head_tuple[i])) {
@@ -105,55 +235,211 @@ class RuleJoin {
   }
 
  private:
+  /// One join level, fully planned at construction.
+  struct LevelPlan {
+    std::size_t body_index = 0;
+    bool is_delta = false;
+    const Atom* atom = nullptr;
+    /// Index key columns (constants + statically bound first occurrences).
+    std::vector<std::size_t> columns;
+    /// Source term per key column (constant or bound variable).
+    std::vector<Term> key_terms;
+    /// Reusable key buffer, parallel to `columns`.
+    Tuple key;
+    /// One non-key position to bind or check per row.  `check` is decided
+    /// statically: a variable bound by an earlier level or an earlier
+    /// occurrence in this literal is compared; otherwise the slot is a
+    /// fresh first binding and the hot path just overwrites bindings_
+    /// (no bound_ bookkeeping, no undo entry).
+    struct VarSlot {
+      std::size_t pos;
+      std::uint32_t var;
+      bool check;
+    };
+    std::vector<VarSlot> var_slots;
+    /// Constant positions of a delta level (indexed levels fold constants
+    /// into the key instead).
+    std::vector<std::pair<std::size_t, Value>> const_slots;
+    /// Filters to evaluate once this level's variables are bound.
+    std::vector<std::size_t> filters;
+    /// Lock-free probe handle for (atom->predicate, columns).
+    typename TStore::PreparedIndex prepared;
+    /// Innermost-level fast path (see JoinFrom): true when this is the
+    /// last level, it has no filters, and every slot is a fresh bind — so
+    /// every indexed row emits, and the head can be written straight from
+    /// the row without touching bindings_.
+    bool leaf_fast = false;
+    /// Head positions sourced from this level's row (dst in head_, column
+    /// in the row) and from outer bindings (dst, variable).
+    std::vector<std::pair<std::size_t, std::size_t>> leaf_head_row;
+    std::vector<std::pair<std::size_t, std::uint32_t>> leaf_head_outer;
+  };
+
   const Atom& AtomAt(std::size_t body_index) const {
     return std::get<Literal>(rule_.body[body_index]).atom;
   }
 
-  /// Attempts to match `row` against `atom` under the current bindings.
-  /// On success pushes newly bound vars onto `undo` and returns true.
-  bool Match(const Atom& atom, const Tuple& row,
-             std::vector<std::uint32_t>& undo) {
-    const std::size_t undo_mark = undo.size();
+  static void MarkVars(const Atom& atom, std::vector<char>& bound) {
+    for (const Term& term : atom.args) {
+      if (term.IsVar()) {
+        bound[term.var] = 1;
+      }
+    }
+  }
+
+  /// Estimated rows one index probe into `atom` yields, given the
+  /// statically bound variables.  Prefers the real fan-out of an
+  /// up-to-date cached index; falls back to |R|^(1 - bound/arity), the
+  /// standard attribute-independence assumption.
+  double EstimateCost(const Atom& atom, const std::vector<char>& sbound) {
+    const auto n = static_cast<double>(store_.RelationSize(atom.predicate));
+    if (n == 0.0 || atom.args.empty()) {
+      return n;
+    }
+    std::vector<std::size_t> columns;
+    std::vector<char> seen(bound_.size(), 0);
     for (std::size_t i = 0; i < atom.args.size(); ++i) {
       const Term& term = atom.args[i];
       if (!term.IsVar()) {
-        if (!(term.constant == row[i])) {
-          Unwind(undo, undo_mark);
+        columns.push_back(i);
+      } else if (sbound[term.var] != 0 && seen[term.var] == 0) {
+        columns.push_back(i);
+        seen[term.var] = 1;
+      }
+    }
+    if (columns.empty()) {
+      return n;
+    }
+    if (columns.size() == atom.args.size()) {
+      return 1.0;  // fully bound: a point probe
+    }
+    const std::size_t distinct =
+        store_.IndexDistinct(atom.predicate, columns);
+    if (distinct > 0) {
+      return n / static_cast<double>(distinct);
+    }
+    const double frac = static_cast<double>(columns.size()) /
+                        static_cast<double>(atom.args.size());
+    return std::pow(n, 1.0 - frac);
+  }
+
+  /// Builds the static per-level plan for `body_index` given the variables
+  /// bound by earlier levels.  A variable repeated within the literal
+  /// contributes only its first occurrence to the key; the index
+  /// guarantees key columns match, so only var_slots are re-checked per
+  /// row.
+  LevelPlan PlanLevel(std::size_t body_index,
+                      const std::vector<char>& sbound) {
+    LevelPlan level;
+    level.body_index = body_index;
+    level.atom = &AtomAt(body_index);
+    std::vector<char> seen(bound_.size(), 0);
+    for (std::size_t i = 0; i < level.atom->args.size(); ++i) {
+      const Term& term = level.atom->args[i];
+      if (!term.IsVar()) {
+        level.columns.push_back(i);
+        level.key_terms.push_back(term);
+      } else if (sbound[term.var] != 0 && seen[term.var] == 0) {
+        level.columns.push_back(i);
+        level.key_terms.push_back(term);
+        seen[term.var] = 1;
+      } else {
+        const bool check = sbound[term.var] != 0 || seen[term.var] != 0;
+        level.var_slots.push_back({i, term.var, check});
+        seen[term.var] = 1;
+      }
+    }
+    level.key.resize(level.columns.size());
+    return level;
+  }
+
+  [[nodiscard]] bool FilterVarsBound(std::size_t body_index,
+                                     const std::vector<char>& bound) const {
+    if (const auto* literal = std::get_if<Literal>(&rule_.body[body_index])) {
+      for (const Term& term : literal->atom.args) {
+        if (term.IsVar() && bound[term.var] == 0) {
           return false;
         }
-        continue;
       }
-      if (bound_[term.var]) {
-        if (!(bindings_[term.var] == row[i])) {
-          Unwind(undo, undo_mark);
+      return true;
+    }
+    const auto& cmp = std::get<Comparison>(rule_.body[body_index]);
+    return (!cmp.lhs.IsVar() || bound[cmp.lhs.var] != 0) &&
+           (!cmp.rhs.IsVar() || bound[cmp.rhs.var] != 0);
+  }
+
+  [[nodiscard]] bool FilterPlaced(std::size_t body_index) const {
+    for (const std::size_t f : pre_filters_) {
+      if (f == body_index) {
+        return true;
+      }
+    }
+    for (const LevelPlan& level : levels_) {
+      for (const std::size_t f : level.filters) {
+        if (f == body_index) {
+          return true;
+        }
+      }
+    }
+    return false;
+  }
+
+  /// Full match of one delta row: constant positions first (no index
+  /// pre-matched them), then the planned variable slots.
+  bool MatchDelta(const LevelPlan& level, RowView row) {
+    for (const auto& [pos, value] : level.const_slots) {
+      if (!(value == row[pos])) {
+        return false;
+      }
+    }
+    return MatchSlots(level, row);
+  }
+
+  /// Binds/checks the non-key positions of one indexed row.  Key columns
+  /// are skipped — the index already matched them.  Check slots compare
+  /// against bindings_ directly: the planner guarantees their variable was
+  /// written by an earlier level or an earlier slot of this loop.  Fresh
+  /// slots are a bare store — unless BindHead pre-bound variables, which
+  /// invalidates the static classification and forces the dynamic path.
+  bool MatchSlots(const LevelPlan& level, RowView row) {
+    for (const auto& slot : level.var_slots) {
+      const Value v = row[slot.pos];
+      if (slot.check) {
+        if (!(bindings_[slot.var] == v)) {
           return false;
         }
-        continue;
+      } else if (!head_bound_) {
+        bindings_[slot.var] = v;
+      } else if (bound_[slot.var] != 0) {
+        if (!(bindings_[slot.var] == v)) {
+          return false;
+        }
+      } else {
+        bound_[slot.var] = 1;
+        bindings_[slot.var] = v;
+        undo_.push_back(slot.var);
       }
-      bound_[term.var] = true;
-      bindings_[term.var] = row[i];
-      undo.push_back(term.var);
     }
     return true;
   }
 
-  void Unwind(std::vector<std::uint32_t>& undo, std::size_t mark) {
-    while (undo.size() > mark) {
-      bound_[undo.back()] = false;
-      undo.pop_back();
+  void UnwindTo(std::size_t mark) {
+    while (undo_.size() > mark) {
+      bound_[undo_.back()] = 0;
+      undo_.pop_back();
     }
   }
 
   /// Ground-evaluates one filter element.
-  bool Filter(std::size_t body_index) const {
+  bool Filter(std::size_t body_index) {
     if (const auto* literal = std::get_if<Literal>(&rule_.body[body_index])) {
-      Tuple probe(literal->atom.args.size());
-      for (std::size_t i = 0; i < probe.size(); ++i) {
+      probe_.resize(literal->atom.args.size());
+      for (std::size_t i = 0; i < probe_.size(); ++i) {
         const Term& term = literal->atom.args[i];
-        probe[i] = term.IsVar() ? bindings_[term.var] : term.constant;
+        probe_[i] = term.IsVar() ? bindings_[term.var] : term.constant;
       }
       const bool present =
-          store_.ContainsTuple(literal->atom.predicate, probe);
+          store_.ContainsTuple(literal->atom.predicate, probe_);
       return literal->negated ? !present : present;
     }
     const auto& cmp = std::get<Comparison>(rule_.body[body_index]);
@@ -162,72 +448,78 @@ class RuleJoin {
     return EvalCmp(cmp.op, lhs, rhs);
   }
 
-  bool EmitHead() {
-    for (const std::size_t f : filters_) {
+  bool RunFilters(const LevelPlan& level) {
+    for (const std::size_t f : level.filters) {
       if (!Filter(f)) {
         return false;
       }
     }
-    Tuple head(rule_.head.args.size());
-    for (std::size_t i = 0; i < head.size(); ++i) {
-      const Term& term = rule_.head.args[i];
-      head[i] = term.IsVar() ? bindings_[term.var] : term.constant;
+    return true;
+  }
+
+  bool EmitHead() {
+    for (const auto& [dst, var] : head_vars_) {
+      head_[dst] = bindings_[var];
     }
     ++stats_.tuples_derived;
-    (*emit_)(head);
+    (*emit_)(head_);
     return stop_after_first_;
   }
 
   /// Returns true when stop_after_first_ and a derivation was found.
   bool JoinFrom(std::size_t k) {
-    if (k == join_order_.size()) {
+    if (k == levels_.size()) {
       return EmitHead();
     }
-    const std::size_t body_index = join_order_[k];
-    const Atom& atom = AtomAt(body_index);
-    std::vector<std::uint32_t> undo;
+    LevelPlan& level = levels_[k];
+    const std::size_t undo_mark = undo_.size();
 
-    const bool from_delta = has_restricted_ && k == 0;
-    if (from_delta) {
+    if (level.is_delta) {
       for (const Tuple& row : restriction_.rows) {
         ++stats_.bindings_explored;
-        if (Match(atom, row, undo)) {
-          if (JoinFrom(k + 1)) {
-            Unwind(undo, 0);
-            return true;
-          }
-          Unwind(undo, 0);
+        if (MatchDelta(level, row) && RunFilters(level) &&
+            JoinFrom(k + 1)) {
+          UnwindTo(undo_mark);
+          return true;
         }
+        UnwindTo(undo_mark);
       }
       return false;
     }
 
-    // Bound columns under current bindings form the index key.  A variable
-    // repeated within the literal contributes only its first occurrence.
-    std::vector<std::size_t> columns;
-    Tuple key;
-    std::vector<bool> seen_var(bound_.size(), false);
-    for (std::size_t i = 0; i < atom.args.size(); ++i) {
-      const Term& term = atom.args[i];
-      if (!term.IsVar()) {
-        columns.push_back(i);
-        key.push_back(term.constant);
-      } else if (bound_[term.var] && !seen_var[term.var]) {
-        columns.push_back(i);
-        key.push_back(bindings_[term.var]);
-        seen_var[term.var] = true;
+    for (std::size_t i = 0; i < level.key.size(); ++i) {
+      const Term& term = level.key_terms[i];
+      level.key[i] = term.IsVar() ? bindings_[term.var] : term.constant;
+    }
+    if (level.leaf_fast && !stop_after_first_ && !head_bound_) {
+      // Innermost all-fresh level: every row emits; the head reads the
+      // arena row directly and outer-bound positions are filled once.
+      const auto rows = store_.LookupPrepared(level.prepared, level.key);
+      stats_.bindings_explored += rows.size();
+      stats_.tuples_derived += rows.size();
+      if (!rows.empty()) {
+        for (const auto& [dst, var] : level.leaf_head_outer) {
+          head_[dst] = bindings_[var];
+        }
+        for (const std::uint32_t row_id : rows) {
+          const RowView row = store_.RowIn(level.prepared, row_id);
+          for (const auto& [dst, pos] : level.leaf_head_row) {
+            head_[dst] = row[pos];
+          }
+          (*emit_)(head_);
+        }
       }
+      return false;
     }
     for (const std::uint32_t row_id :
-         store_.Lookup(atom.predicate, columns, key)) {
+         store_.LookupPrepared(level.prepared, level.key)) {
       ++stats_.bindings_explored;
-      if (Match(atom, store_.RowAt(atom.predicate, row_id), undo)) {
-        if (JoinFrom(k + 1)) {
-          Unwind(undo, 0);
-          return true;
-        }
-        Unwind(undo, 0);
+      if (MatchSlots(level, store_.RowIn(level.prepared, row_id)) &&
+          RunFilters(level) && JoinFrom(k + 1)) {
+        UnwindTo(undo_mark);
+        return true;
       }
+      UnwindTo(undo_mark);
     }
     return false;
   }
@@ -239,12 +531,17 @@ class RuleJoin {
   EvalStats& stats_;
 
   std::vector<Value> bindings_;
-  std::vector<bool> bound_;
-  std::vector<std::size_t> join_order_;
-  std::vector<std::size_t> filters_;
-  bool has_restricted_ = false;
+  std::vector<char> bound_;  ///< dynamic bound set (delta / BindHead paths)
+  std::vector<LevelPlan> levels_;
+  std::vector<std::size_t> pre_filters_;  ///< ground before any join level
+  /// Variable head positions (dst, var); constant positions are prebaked.
+  std::vector<std::pair<std::size_t, std::uint32_t>> head_vars_;
+  std::vector<std::uint32_t> undo_;       ///< shared bind stack, mark-based
+  Tuple head_;                            ///< reusable head buffer
+  Tuple probe_;                           ///< reusable negation-probe buffer
   const std::function<void(const Tuple&)>* emit_ = nullptr;
   bool stop_after_first_ = false;
+  bool head_bound_ = false;
 };
 
 }  // namespace
@@ -380,6 +677,7 @@ EvalStats EvaluateComponent(const Program& program, const Stratification& strat,
       [&buffer](const Tuple& t) { buffer.push_back(t); };
   const auto flush_into = [&](std::uint32_t head_pred, DeltaMap& sink) {
     Relation& relation = store.Of(head_pred);
+    relation.Reserve(relation.Size() + buffer.size());
     for (Tuple& t : buffer) {
       if (relation.Insert(t)) {
         ++stats.tuples_inserted;

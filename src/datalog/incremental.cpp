@@ -9,7 +9,7 @@
 namespace dsched::datalog {
 
 namespace {
-using TupleSet = std::unordered_set<Tuple, TupleHash>;
+using TupleSet = std::unordered_set<Tuple, TupleHash, TupleEq>;
 }  // namespace
 
 OldStateView::OldStateView(const RelationStore& live,
@@ -39,7 +39,7 @@ void OldStateView::AddDeletedExtra(std::uint32_t predicate,
 }
 
 bool OldStateView::ContainsTuple(std::uint32_t predicate,
-                                 const Tuple& tuple) const {
+                                 RowView tuple) const {
   if (live_.Of(predicate).Contains(tuple)) {
     return inserted_[predicate].empty() ||
            !inserted_[predicate].contains(tuple);
@@ -47,21 +47,29 @@ bool OldStateView::ContainsTuple(std::uint32_t predicate,
   return extras_set_[predicate].contains(tuple);
 }
 
-const Tuple& OldStateView::RowAt(std::uint32_t predicate,
-                                 std::uint32_t row) const {
+RowView OldStateView::RowAt(std::uint32_t predicate,
+                            std::uint32_t row) const {
   const Relation& relation = live_.Of(predicate);
   if (row < relation.Size()) {
-    return relation.Rows()[row];
+    return relation.Row(row);
   }
   return extras_[predicate][row - relation.Size()];
 }
 
-std::vector<std::uint32_t> OldStateView::Lookup(
-    std::uint32_t predicate, const std::vector<std::size_t>& columns,
-    const Tuple& key) const {
+OldStateView::PreparedIndex OldStateView::Prepare(
+    std::uint32_t predicate, const std::vector<std::size_t>& columns) const {
+  return {predicate, &columns, live_.Prepare(predicate, columns)};
+}
+
+std::vector<std::uint32_t> OldStateView::LookupPrepared(
+    const PreparedIndex& prepared, const Tuple& key) const {
+  const std::uint32_t predicate = prepared.predicate;
+  const std::vector<std::size_t>& columns = *prepared.columns;
   std::vector<std::uint32_t> out;
   const TupleSet& inserted = inserted_[predicate];
-  for (const std::uint32_t id : live_.Lookup(predicate, columns, key)) {
+  const auto live_ids = RelationStore::LookupPrepared(prepared.live, key);
+  out.reserve(live_ids.size());
+  for (const std::uint32_t id : live_ids) {
     if (inserted.empty() || !inserted.contains(live_.RowAt(predicate, id))) {
       out.push_back(id);
     }
@@ -81,6 +89,21 @@ std::vector<std::uint32_t> OldStateView::Lookup(
     }
   }
   return out;
+}
+
+std::vector<std::uint32_t> OldStateView::Lookup(
+    std::uint32_t predicate, const std::vector<std::size_t>& columns,
+    const Tuple& key) const {
+  return LookupPrepared(Prepare(predicate, columns), key);
+}
+
+std::size_t OldStateView::RelationSize(std::uint32_t predicate) const {
+  return live_.Of(predicate).Size() + extras_[predicate].size();
+}
+
+std::size_t OldStateView::IndexDistinct(
+    std::uint32_t predicate, const std::vector<std::size_t>& columns) const {
+  return live_.IndexDistinct(predicate, columns);
 }
 
 std::string UpdateResult::ToString(const Program& program,
@@ -179,9 +202,10 @@ ComponentUpdateStats RunComponentPhase(const Program& program,
     }
     Relation& relation = store.Of(p);
     std::vector<Tuple> stale;
-    for (const Tuple& t : relation.Rows()) {
-      if (!fresh.contains(t)) {
-        stale.push_back(t);
+    for (std::uint32_t r = 0; r < relation.Size(); ++r) {
+      const RowView row = relation.Row(r);
+      if (!fresh.contains(row)) {
+        stale.emplace_back(row.begin(), row.end());
       }
     }
     for (const Tuple& t : stale) {

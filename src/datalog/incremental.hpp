@@ -106,15 +106,42 @@ class OldStateView {
   void AddDeletedExtra(std::uint32_t predicate, const Tuple& tuple);
 
   [[nodiscard]] bool ContainsTuple(std::uint32_t predicate,
-                                   const Tuple& tuple) const;
-  [[nodiscard]] const Tuple& RowAt(std::uint32_t predicate,
-                                   std::uint32_t row) const;
+                                   RowView tuple) const;
+  [[nodiscard]] RowView RowAt(std::uint32_t predicate,
+                              std::uint32_t row) const;
   [[nodiscard]] std::vector<std::uint32_t> Lookup(
       std::uint32_t predicate, const std::vector<std::size_t>& columns,
       const Tuple& key) const;
 
+  /// Prepared-probe interface mirroring RelationStore's: a handle resolved
+  /// once per rule application, probed per binding without re-resolving the
+  /// live store's cache entry.  Unlike the live store's span-returning
+  /// probe, results materialize a vector (live ids are filtered against the
+  /// update's insertions and extras are appended) — acceptable because
+  /// DRed's overdeletion runs over small deltas.
+  struct PreparedIndex {
+    std::uint32_t predicate = 0;
+    const std::vector<std::size_t>* columns = nullptr;
+    RelationStore::PreparedIndex live;
+  };
+  [[nodiscard]] PreparedIndex Prepare(
+      std::uint32_t predicate, const std::vector<std::size_t>& columns) const;
+  [[nodiscard]] std::vector<std::uint32_t> LookupPrepared(
+      const PreparedIndex& prepared, const Tuple& key) const;
+  [[nodiscard]] RowView RowIn(const PreparedIndex& prepared,
+                              std::uint32_t row) const {
+    return RowAt(prepared.predicate, row);
+  }
+
+  // Join-planner statistics (uniform join-source interface).  Sizes count
+  // the old state; fan-outs are approximated by the live store's indexes
+  // (the deltas are small, so live fan-out is the right estimate).
+  [[nodiscard]] std::size_t RelationSize(std::uint32_t predicate) const;
+  [[nodiscard]] std::size_t IndexDistinct(
+      std::uint32_t predicate, const std::vector<std::size_t>& columns) const;
+
  private:
-  using TupleSet = std::unordered_set<Tuple, TupleHash>;
+  using TupleSet = std::unordered_set<Tuple, TupleHash, TupleEq>;
   const RelationStore& live_;
   std::vector<TupleSet> inserted_;      ///< live-only tuples (not in old state)
   std::vector<std::vector<Tuple>> extras_;  ///< old-only tuples, id-addressable

@@ -1,49 +1,219 @@
 #include "datalog/relation.hpp"
 
+#include <algorithm>
+#include <array>
 #include <mutex>
 
 #include "util/error.hpp"
 
 namespace dsched::datalog {
 
-bool Relation::Insert(const Tuple& tuple) {
-  DSCHED_CHECK_MSG(tuple.size() == arity_, "tuple arity mismatch");
-  const auto [it, inserted] =
-      index_.emplace(tuple, static_cast<std::uint32_t>(rows_.size()));
-  if (!inserted) {
+namespace {
+
+/// Open-addressing tables grow past 7/8 full (power-of-two capacities keep
+/// the probe mask a single AND).
+constexpr std::size_t kMinSlots = 16;
+
+[[nodiscard]] bool NeedsGrow(std::size_t entries, std::size_t capacity) {
+  return (entries + 1) * 8 > capacity * 7;
+}
+
+[[nodiscard]] std::size_t SlotCapacityFor(std::size_t entries) {
+  std::size_t capacity = kMinSlots;
+  while (NeedsGrow(entries, capacity)) {
+    capacity *= 2;
+  }
+  return capacity;
+}
+
+/// Slot word layout shared by the membership table and cached indexes:
+/// high 32 bits carry a hash tag, low 32 bits the payload id + 1 (0 =
+/// empty slot).  The tag filters mismatches from the slot word alone —
+/// no per-entry memory is touched until the tag agrees.
+constexpr std::uint64_t kTagMask = 0xffffffff00000000ULL;
+constexpr std::uint64_t kIdMask = 0x00000000ffffffffULL;
+
+[[nodiscard]] std::uint64_t SlotWord(std::uint64_t hash, std::uint32_t id) {
+  return (hash & kTagMask) | (std::uint64_t{id} + 1);
+}
+
+/// Hash of `row` restricted to `columns`, equal by construction to
+/// HashValues over the gathered key tuple (lookups hash flat keys).
+[[nodiscard]] std::uint64_t HashRowColumns(
+    RowView row, const std::vector<std::size_t>& columns) {
+  std::array<Value, 32> scratch;
+  for (std::size_t i = 0; i < columns.size(); ++i) {
+    scratch[i] = row[columns[i]];
+  }
+  return HashValues({scratch.data(), columns.size()});
+}
+
+[[nodiscard]] bool RowColumnsEqual(RowView row,
+                                   const std::vector<std::size_t>& columns,
+                                   RowView key) {
+  for (std::size_t i = 0; i < columns.size(); ++i) {
+    if (!(row[columns[i]] == key[i])) {
+      return false;
+    }
+  }
+  return true;
+}
+
+/// Row-to-row variant: both sides are full rows; compare the indexed
+/// columns in place.
+[[nodiscard]] bool RowColumnsSame(RowView a, RowView b,
+                                  const std::vector<std::size_t>& columns) {
+  for (const std::size_t c : columns) {
+    if (!(a[c] == b[c])) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+std::vector<Tuple> Relation::Tuples() const {
+  std::vector<Tuple> out;
+  out.reserve(num_rows_);
+  for (std::uint32_t r = 0; r < num_rows_; ++r) {
+    const RowView row = Row(r);
+    out.emplace_back(row.begin(), row.end());
+  }
+  return out;
+}
+
+std::size_t Relation::FindSlot(RowView tuple, std::uint64_t hash) const {
+  const std::size_t mask = slots_.size() - 1;
+  const std::uint64_t tag = hash & kTagMask;
+  std::size_t slot = hash & mask;
+  while (slots_[slot] != 0) {
+    if ((slots_[slot] & kTagMask) == tag) {
+      const auto row = static_cast<std::uint32_t>((slots_[slot] & kIdMask) - 1);
+      if (std::equal(tuple.begin(), tuple.end(),
+                     arena_.data() + std::size_t{row} * arity_)) {
+        return slot;
+      }
+    }
+    slot = (slot + 1) & mask;
+  }
+  return kNoSlot;
+}
+
+void Relation::Rehash(std::size_t capacity) {
+  slots_.assign(capacity, 0);
+  const std::size_t mask = capacity - 1;
+  for (std::uint32_t row = 0; row < num_rows_; ++row) {
+    std::size_t slot = hashes_[row] & mask;
+    while (slots_[slot] != 0) {
+      slot = (slot + 1) & mask;
+    }
+    slots_[slot] = SlotWord(hashes_[row], row);
+  }
+}
+
+bool Relation::Contains(RowView tuple) const {
+  if (num_rows_ == 0 || tuple.size() != arity_) {
     return false;
   }
-  rows_.push_back(tuple);
+  return FindSlot(tuple, HashValues(tuple)) != kNoSlot;
+}
+
+bool Relation::Insert(RowView tuple) {
+  DSCHED_CHECK_MSG(tuple.size() == arity_, "tuple arity mismatch");
+  if (slots_.empty()) {
+    slots_.assign(kMinSlots, 0);
+  }
+  const std::uint64_t hash = HashValues(tuple);
+  if (FindSlot(tuple, hash) != kNoSlot) {
+    return false;
+  }
+  if (NeedsGrow(num_rows_, slots_.size())) {
+    Rehash(slots_.size() * 2);
+  }
+  const std::size_t mask = slots_.size() - 1;
+  std::size_t slot = hash & mask;
+  while (slots_[slot] != 0) {
+    slot = (slot + 1) & mask;
+  }
+  slots_[slot] = SlotWord(hash, static_cast<std::uint32_t>(num_rows_));
+  arena_.insert(arena_.end(), tuple.begin(), tuple.end());
+  hashes_.push_back(hash);
+  ++num_rows_;
   ++version_;
   return true;
 }
 
-bool Relation::Erase(const Tuple& tuple) {
-  const auto it = index_.find(tuple);
-  if (it == index_.end()) {
+bool Relation::Erase(RowView tuple) {
+  if (num_rows_ == 0 || tuple.size() != arity_) {
     return false;
   }
-  const std::uint32_t row = it->second;
-  index_.erase(it);
-  const std::uint32_t last = static_cast<std::uint32_t>(rows_.size()) - 1;
-  if (row != last) {
-    rows_[row] = std::move(rows_[last]);
-    index_[rows_[row]] = row;
+  const std::size_t slot = FindSlot(tuple, HashValues(tuple));
+  if (slot == kNoSlot) {
+    return false;
   }
-  rows_.pop_back();
+  const auto row = static_cast<std::uint32_t>((slots_[slot] & kIdMask) - 1);
+
+  // Backward-shift deletion: pull displaced entries toward their ideal
+  // slots so every remaining entry stays reachable without tombstones.
+  const std::size_t mask = slots_.size() - 1;
+  std::size_t hole = slot;
+  std::size_t scan = slot;
+  while (true) {
+    scan = (scan + 1) & mask;
+    if (slots_[scan] == 0) {
+      break;
+    }
+    const std::size_t ideal = hashes_[(slots_[scan] & kIdMask) - 1] & mask;
+    const bool movable = (scan > hole) ? (ideal <= hole || ideal > scan)
+                                       : (ideal <= hole && ideal > scan);
+    if (movable) {
+      slots_[hole] = slots_[scan];
+      hole = scan;
+    }
+  }
+  slots_[hole] = 0;
+
+  // Swap-removal in the arena; the moved row keeps its hash, its table
+  // entry is repointed at its new id.
+  const std::uint32_t last = static_cast<std::uint32_t>(num_rows_) - 1;
+  if (row != last) {
+    std::copy_n(arena_.data() + std::size_t{last} * arity_, arity_,
+                arena_.data() + std::size_t{row} * arity_);
+    hashes_[row] = hashes_[last];
+    std::size_t s = hashes_[last] & mask;
+    while ((slots_[s] & kIdMask) != std::uint64_t{last} + 1) {
+      s = (s + 1) & mask;
+    }
+    slots_[s] = SlotWord(hashes_[last], row);
+  }
+  arena_.resize(std::size_t{last} * arity_);
+  hashes_.pop_back();
+  num_rows_ = last;
   ++version_;
   ++erase_epoch_;
   return true;
 }
 
-std::size_t Relation::MemoryBytes() const {
-  std::size_t bytes = rows_.capacity() * sizeof(Tuple);
-  for (const Tuple& t : rows_) {
-    bytes += t.capacity() * sizeof(Value);
+void Relation::Reserve(std::size_t rows) {
+  // Keep amortized growth: a reserve that barely exceeds the current
+  // capacity must not pin the vector to exact-size reallocations.
+  if (rows * arity_ > arena_.capacity()) {
+    arena_.reserve(std::max(rows * arity_, arena_.capacity() * 2));
   }
-  // Rough hash-map overhead: key copy + bucket bookkeeping.
-  bytes += index_.size() * (sizeof(Tuple) + arity_ * sizeof(Value) + 24);
-  return bytes;
+  if (rows > hashes_.capacity()) {
+    hashes_.reserve(std::max(rows, hashes_.capacity() * 2));
+  }
+  const std::size_t capacity = SlotCapacityFor(rows);
+  if (capacity > slots_.size()) {
+    Rehash(capacity);
+  }
+}
+
+std::size_t Relation::MemoryBytes() const {
+  return arena_.capacity() * sizeof(Value) +
+         hashes_.capacity() * sizeof(std::uint64_t) +
+         slots_.capacity() * sizeof(std::uint64_t);
 }
 
 RelationStore::RelationStore(const Program& program) {
@@ -95,32 +265,92 @@ std::size_t RelationStore::TotalTuples() const {
 
 void RelationStore::RefreshIndex(CachedIndex& cached, const Relation& relation,
                                  const std::vector<std::size_t>& columns) {
-  const auto rows = relation.Rows();
   if (cached.erase_epoch != relation.EraseEpoch() ||
-      cached.rows_indexed > rows.size()) {
+      cached.rows_indexed > relation.Size()) {
     // Erasures invalidate row ids: full rebuild.
-    cached.map.clear();
+    cached.slots.clear();
+    cached.groups.clear();
     cached.rows_indexed = 0;
     cached.erase_epoch = relation.EraseEpoch();
   }
   // Append-only fast path: index just the new rows.  This is the
   // semi-naive hot path — fixpoint rounds insert small deltas between
   // lookups, and an O(Δ) extension beats an O(|R|) rebuild per round.
-  Tuple probe(columns.size());
-  for (std::size_t row = cached.rows_indexed; row < rows.size(); ++row) {
-    for (std::size_t i = 0; i < columns.size(); ++i) {
-      probe[i] = rows[row][columns[i]];
+  const std::size_t new_rows = relation.Size() - cached.rows_indexed;
+  const std::size_t capacity =
+      SlotCapacityFor(cached.groups.size() + new_rows);
+  if (capacity > cached.slots.size()) {
+    cached.slots.assign(capacity, 0);
+    const std::size_t mask = capacity - 1;
+    for (std::uint32_t g = 0; g < cached.groups.size(); ++g) {
+      std::size_t slot = cached.groups[g].hash & mask;
+      while (cached.slots[slot] != 0) {
+        slot = (slot + 1) & mask;
+      }
+      cached.slots[slot] = SlotWord(cached.groups[g].hash, g);
     }
-    cached.map[probe].push_back(static_cast<std::uint32_t>(row));
   }
-  cached.rows_indexed = rows.size();
+  cached.groups.reserve(cached.groups.size() + new_rows);
+  const std::size_t mask = cached.slots.size() - 1;
+  for (std::size_t row = cached.rows_indexed; row < relation.Size(); ++row) {
+    const RowView row_view = relation.Row(static_cast<std::uint32_t>(row));
+    const std::uint64_t hash = HashRowColumns(row_view, columns);
+    const std::uint64_t tag = hash & kTagMask;
+    std::size_t slot = hash & mask;
+    bool appended = false;
+    while (cached.slots[slot] != 0) {
+      if ((cached.slots[slot] & kTagMask) == tag) {
+        CachedIndex::Group& group =
+            cached.groups[(cached.slots[slot] & kIdMask) - 1];
+        if (group.hash == hash &&
+            RowColumnsSame(row_view, relation.Row(group.rep), columns)) {
+          // Same key as the group's representative row: append.
+          group.rows.push_back(static_cast<std::uint32_t>(row));
+          appended = true;
+          break;
+        }
+      }
+      slot = (slot + 1) & mask;
+    }
+    if (!appended) {
+      CachedIndex::Group group;
+      group.hash = hash;
+      group.rep = static_cast<std::uint32_t>(row);
+      group.rows.push_back(static_cast<std::uint32_t>(row));
+      cached.groups.push_back(std::move(group));
+      cached.slots[slot] = SlotWord(
+          hash, static_cast<std::uint32_t>(cached.groups.size() - 1));
+    }
+  }
+  cached.rows_indexed = relation.Size();
   cached.version = relation.Version();
 }
 
-std::span<const std::uint32_t> RelationStore::Lookup(
-    std::uint32_t predicate, const std::vector<std::size_t>& columns,
-    const Tuple& key) const {
-  static const std::vector<std::uint32_t> kEmpty;
+const RelationStore::CachedIndex::Group* RelationStore::FindGroup(
+    const CachedIndex& cached, const Relation& relation,
+    const std::vector<std::size_t>& columns, RowView key,
+    std::uint64_t hash) {
+  if (cached.slots.empty()) {
+    return nullptr;
+  }
+  const std::size_t mask = cached.slots.size() - 1;
+  const std::uint64_t tag = hash & kTagMask;
+  std::size_t slot = hash & mask;
+  while (cached.slots[slot] != 0) {
+    if ((cached.slots[slot] & kTagMask) == tag) {
+      const CachedIndex::Group& group =
+          cached.groups[(cached.slots[slot] & kIdMask) - 1];
+      if (RowColumnsEqual(relation.Row(group.rep), columns, key)) {
+        return &group;
+      }
+    }
+    slot = (slot + 1) & mask;
+  }
+  return nullptr;
+}
+
+RelationStore::PreparedIndex RelationStore::Prepare(
+    std::uint32_t predicate, const std::vector<std::size_t>& columns) const {
   const Relation& relation = Of(predicate);
   std::uint64_t mask = 0;
   for (const std::size_t c : columns) {
@@ -130,28 +360,49 @@ std::span<const std::uint32_t> RelationStore::Lookup(
   CacheShard& shard = *cache_shards_[predicate];
   // Read-mostly fast path: a fresh entry only needs the shared lock, so
   // concurrent phases probing the same predicate proceed in parallel.  The
-  // returned span stays valid after release — see the class comment.
+  // handle stays valid after release — see the class comment.
   {
     std::shared_lock<std::shared_mutex> lock(shard.mutex);
     const auto entry = shard.entries.find(mask);
     if (entry != shard.entries.end() &&
-        entry->second.version == relation.Version()) {
-      const auto it = entry->second.map.find(key);
-      return it == entry->second.map.end()
-                 ? std::span<const std::uint32_t>(kEmpty)
-                 : std::span<const std::uint32_t>(it->second);
+        entry->second->version == relation.Version()) {
+      return {entry->second.get(), &relation, &columns};
     }
   }
   // Stale or missing: take the exclusive lock and recheck (another phase
   // may have refreshed the entry while we waited).
   const std::unique_lock<std::shared_mutex> lock(shard.mutex);
-  CachedIndex& cached = shard.entries[mask];
-  if (cached.version != relation.Version()) {
-    RefreshIndex(cached, relation, columns);
+  std::unique_ptr<CachedIndex>& cached = shard.entries[mask];
+  if (cached == nullptr) {
+    cached = std::make_unique<CachedIndex>();
   }
-  const auto it = cached.map.find(key);
-  return it == cached.map.end() ? std::span<const std::uint32_t>(kEmpty)
-                                : std::span<const std::uint32_t>(it->second);
+  if (cached->version != relation.Version()) {
+    RefreshIndex(*cached, relation, columns);
+  }
+  return {cached.get(), &relation, &columns};
+}
+
+std::span<const std::uint32_t> RelationStore::Lookup(
+    std::uint32_t predicate, const std::vector<std::size_t>& columns,
+    const Tuple& key) const {
+  return LookupPrepared(Prepare(predicate, columns), key);
+}
+
+std::size_t RelationStore::IndexDistinct(
+    std::uint32_t predicate, const std::vector<std::size_t>& columns) const {
+  const Relation& relation = Of(predicate);
+  std::uint64_t mask = 0;
+  for (const std::size_t c : columns) {
+    mask |= (std::uint64_t{1} << c);
+  }
+  CacheShard& shard = *cache_shards_[predicate];
+  std::shared_lock<std::shared_mutex> lock(shard.mutex);
+  const auto entry = shard.entries.find(mask);
+  if (entry == shard.entries.end() ||
+      entry->second->version != relation.Version()) {
+    return 0;
+  }
+  return entry->second->groups.size();
 }
 
 std::size_t RelationStore::MemoryBytes() const {
@@ -163,10 +414,10 @@ std::size_t RelationStore::MemoryBytes() const {
     const std::shared_lock<std::shared_mutex> lock(shard->mutex);
     for (const auto& [key, cached] : shard->entries) {
       (void)key;
-      bytes += cached.map.size() * 48;
-      for (const auto& [k, rows] : cached.map) {
-        bytes += k.capacity() * sizeof(Value) +
-                 rows.capacity() * sizeof(std::uint32_t);
+      bytes += cached->slots.capacity() * sizeof(std::uint64_t) +
+               cached->groups.capacity() * sizeof(CachedIndex::Group);
+      for (const auto& group : cached->groups) {
+        bytes += group.rows.capacity() * sizeof(std::uint32_t);
       }
     }
   }

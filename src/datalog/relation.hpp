@@ -1,5 +1,12 @@
 // Tuple storage: relations, the per-program relation store, and cached
 // column indexes for joins.
+//
+// Layout: a Relation keeps its rows in one flat arena of tagged words
+// (`arity` Values per row, contiguous; row id = arena offset / arity), with
+// an open-addressing (linear-probe, backward-shift-delete) hash table over
+// row ids for O(1) membership.  No per-tuple heap allocation, no re-hashing
+// of std::vector keys — a membership probe touches the slot array and the
+// candidate's arena words only.
 #pragma once
 
 #include <cstdint>
@@ -21,20 +28,36 @@ class Relation {
   explicit Relation(std::size_t arity = 0) : arity_(arity) {}
 
   [[nodiscard]] std::size_t Arity() const { return arity_; }
-  [[nodiscard]] std::size_t Size() const { return rows_.size(); }
-  [[nodiscard]] bool Empty() const { return rows_.empty(); }
-  [[nodiscard]] std::span<const Tuple> Rows() const { return rows_; }
+  [[nodiscard]] std::size_t Size() const { return num_rows_; }
+  [[nodiscard]] bool Empty() const { return num_rows_ == 0; }
+
+  /// The row at `row` as a view into the arena.  Valid until the next
+  /// Insert (arena growth may move it) or Erase (swap-removal may
+  /// overwrite it).
+  [[nodiscard]] RowView Row(std::uint32_t row) const {
+    return {arena_.data() + std::size_t{row} * arity_, arity_};
+  }
+
+  /// Materialized copy of all rows (tests, Query).
+  [[nodiscard]] std::vector<Tuple> Tuples() const;
 
   /// True iff the tuple is present.
+  [[nodiscard]] bool Contains(RowView tuple) const;
   [[nodiscard]] bool Contains(const Tuple& tuple) const {
-    return index_.contains(tuple);
+    return Contains(RowView(tuple));
   }
 
   /// Inserts; returns true iff the tuple was new.  Bumps the version.
-  bool Insert(const Tuple& tuple);
+  bool Insert(RowView tuple);
+  bool Insert(const Tuple& tuple) { return Insert(RowView(tuple)); }
 
   /// Removes; returns true iff the tuple was present.  Bumps the version.
-  bool Erase(const Tuple& tuple);
+  /// The last row is swapped into the erased slot (row ids above it shift).
+  bool Erase(RowView tuple);
+  bool Erase(const Tuple& tuple) { return Erase(RowView(tuple)); }
+
+  /// Pre-sizes the arena and hash table for `rows` total rows.
+  void Reserve(std::size_t rows);
 
   /// Monotone change counter; cached indexes check it for staleness.
   [[nodiscard]] std::uint64_t Version() const { return version_; }
@@ -48,9 +71,22 @@ class Relation {
   [[nodiscard]] std::size_t MemoryBytes() const;
 
  private:
+  static constexpr std::size_t kNoSlot = ~std::size_t{0};
+
+  /// Slot whose entry matches `tuple` (with hash `hash`), or kNoSlot.
+  [[nodiscard]] std::size_t FindSlot(RowView tuple, std::uint64_t hash) const;
+
+  /// Rebuilds the slot table at `capacity` (a power of two).
+  void Rehash(std::size_t capacity);
+
   std::size_t arity_;
-  std::vector<Tuple> rows_;
-  std::unordered_map<Tuple, std::uint32_t, TupleHash> index_;  // tuple → row
+  std::size_t num_rows_ = 0;
+  std::vector<Value> arena_;            ///< num_rows_ × arity_ words
+  std::vector<std::uint64_t> hashes_;   ///< per-row full hash
+  /// Hash-tagged slots: high 32 bits = hash tag, low 32 = row id + 1;
+  /// 0 = empty.  A probe rejects mismatched entries on the tag alone —
+  /// without touching the per-row hash array or the arena.
+  std::vector<std::uint64_t> slots_;
   std::uint64_t version_ = 0;
   std::uint64_t erase_epoch_ = 0;
 };
@@ -68,8 +104,8 @@ class Relation {
 /// std::shared_mutex: the read-mostly fresh-entry path takes the shared
 /// lock, only a rebuild/extension takes the exclusive one.  A span returned
 /// by Lookup stays valid after the lock is released because an entry is
-/// only rebuilt when its relation's version moved, and a relation is never
-/// written while another phase may be reading it.
+/// only refreshed when its relation's version moved, and a relation is
+/// never written while another phase may be reading it.
 class RelationStore {
  public:
   RelationStore() = default;
@@ -114,49 +150,119 @@ class RelationStore {
   [[nodiscard]] std::size_t TotalTuples() const;
 
   /// Row indices of `predicate` whose values at `columns` equal `key`
-  /// (parallel vectors).  Backed by a hash index cached per (predicate,
-  /// column set), extended incrementally on pure appends and rebuilt after
-  /// erasures.
+  /// (parallel vectors).  Backed by an open-addressing hash index cached
+  /// per (predicate, column set), extended incrementally on pure appends
+  /// and rebuilt after erasures.
   [[nodiscard]] std::span<const std::uint32_t> Lookup(
       std::uint32_t predicate, const std::vector<std::size_t>& columns,
       const Tuple& key) const;
 
+  /// Number of distinct keys the cached index for (predicate, columns)
+  /// holds, or 0 when no up-to-date index exists.  The join planner divides
+  /// relation size by this fan-out to estimate lookup cardinality; 0 tells
+  /// it to fall back to an independence assumption rather than build an
+  /// index it might never use.
+  [[nodiscard]] std::size_t IndexDistinct(
+      std::uint32_t predicate, const std::vector<std::size_t>& columns) const;
+
   // --- Uniform join-source interface (shared with OldStateView so the
   // join machinery can be instantiated over either).
-  [[nodiscard]] const Tuple& RowAt(std::uint32_t predicate,
-                                   std::uint32_t row) const {
-    return Of(predicate).Rows()[row];
+  [[nodiscard]] RowView RowAt(std::uint32_t predicate,
+                              std::uint32_t row) const {
+    return Of(predicate).Row(row);
   }
   [[nodiscard]] bool ContainsTuple(std::uint32_t predicate,
-                                   const Tuple& tuple) const {
+                                   RowView tuple) const {
     return Of(predicate).Contains(tuple);
+  }
+  [[nodiscard]] std::size_t RelationSize(std::uint32_t predicate) const {
+    return Of(predicate).Size();
   }
 
   [[nodiscard]] std::size_t MemoryBytes() const;
 
  private:
+  /// One cached column index: open-addressing table of key groups.  A group
+  /// stores no key tuple — its key IS the indexed columns of its first row,
+  /// read straight from the relation's arena — so neither building nor
+  /// probing ever materializes or re-hashes a heap key.
   struct CachedIndex {
+    struct Group {
+      std::uint64_t hash = 0;
+      /// Representative row (== rows.front()), denormalized so a probe's
+      /// key comparison reads the arena directly instead of chasing the
+      /// rows vector's heap buffer first.
+      std::uint32_t rep = 0;
+      std::vector<std::uint32_t> rows;
+    };
     std::uint64_t version = ~std::uint64_t{0};
     std::uint64_t erase_epoch = ~std::uint64_t{0};
-    /// How many rows of the relation are reflected in `map`; while the
+    /// How many rows of the relation are reflected in the groups; while the
     /// erase epoch is unchanged, rows beyond this are appended
     /// incrementally (the semi-naive hot path inserts in small deltas).
     std::size_t rows_indexed = 0;
-    std::unordered_map<Tuple, std::vector<std::uint32_t>, TupleHash> map;
+    /// Hash-tagged slots: high 32 bits = tag, low 32 = group id + 1;
+    /// 0 = empty (same scheme as Relation's membership table).
+    std::vector<std::uint64_t> slots;
+    std::vector<Group> groups;
   };
 
   /// One cache shard per predicate.  Key: column-bitmask (arity <= 32).
-  /// unordered_map nodes are pointer-stable, so spans into one entry's
-  /// vectors survive insertions of other entries.
+  /// Entries are heap-boxed so a PreparedIndex pointer survives other
+  /// column sets being added to the same shard (map growth moves nodes'
+  /// mapped values only if they live inline).
   struct CacheShard {
     mutable std::shared_mutex mutex;
-    std::unordered_map<std::uint64_t, CachedIndex> entries;
+    std::unordered_map<std::uint64_t, std::unique_ptr<CachedIndex>> entries;
   };
+
+ public:
+  /// A resolved (predicate, column set) index, probe-able without locks.
+  /// Obtain per rule application via Prepare(); valid while the underlying
+  /// relation is unchanged — the same contract as a Lookup() span, which is
+  /// what join levels already rely on.  `columns` must outlive the handle
+  /// (the join plan owns it).
+  struct PreparedIndex {
+    const CachedIndex* cached = nullptr;
+    const Relation* relation = nullptr;
+    const std::vector<std::size_t>* columns = nullptr;
+  };
+
+  /// Brings the (predicate, columns) index up to date — taking the shard
+  /// lock once — and hands back a lock-free probe handle.  The per-probe
+  /// hot path then costs one hash and one open-addressing scan, with no
+  /// shard lock and no cache-map find.
+  [[nodiscard]] PreparedIndex Prepare(
+      std::uint32_t predicate, const std::vector<std::size_t>& columns) const;
+
+  /// Rows matching `key` in a prepared index.
+  [[nodiscard]] static std::span<const std::uint32_t> LookupPrepared(
+      const PreparedIndex& prepared, const Tuple& key) {
+    const CachedIndex::Group* group =
+        FindGroup(*prepared.cached, *prepared.relation, *prepared.columns,
+                  key, HashValues(key));
+    return group == nullptr ? std::span<const std::uint32_t>()
+                            : std::span<const std::uint32_t>(group->rows);
+  }
+
+  /// The row behind an id produced by LookupPrepared on the same handle.
+  [[nodiscard]] static RowView RowIn(const PreparedIndex& prepared,
+                                     std::uint32_t row) {
+    return prepared.relation->Row(row);
+  }
+
+ private:
 
   /// Brings an entry up to date with its relation; caller holds the
   /// shard's exclusive lock.
   static void RefreshIndex(CachedIndex& cached, const Relation& relation,
                            const std::vector<std::size_t>& columns);
+
+  /// Group whose key equals `key` (hash `hash`), or nullptr.
+  static const CachedIndex::Group* FindGroup(
+      const CachedIndex& cached, const Relation& relation,
+      const std::vector<std::size_t>& columns, RowView key,
+      std::uint64_t hash);
 
   /// Recreates one empty shard per relation (shards are not copyable).
   void ResetCacheShards();

@@ -6,7 +6,9 @@
 // large-join Datalog programs.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
+#include <span>
 #include <string>
 #include <string_view>
 #include <unordered_map>
@@ -78,19 +80,52 @@ class Value {
   std::uint64_t bits_;
 };
 
-/// A ground tuple (one relation row).
+/// A ground tuple (one relation row), owning storage.
 using Tuple = std::vector<Value>;
 
-/// FNV-style tuple hash.
+/// Non-owning view of one row: `arity` tagged words, usually pointing
+/// straight into a Relation's arena.  A Tuple converts implicitly.
+using RowView = std::span<const Value>;
+
+/// Folds a 128-bit product into 64 bits — the wyhash/umash device.  Unlike
+/// shift-xor mixers, every input bit diffuses through the multiply into
+/// every output bit, so low-entropy tagged values (small ints shifted left
+/// by the tag bit, dense symbol ids) do not cluster.
+inline std::uint64_t MixHash(std::uint64_t a, std::uint64_t b) {
+  const unsigned __int128 m =
+      static_cast<unsigned __int128>(a) * static_cast<unsigned __int128>(b);
+  return static_cast<std::uint64_t>(m) ^ static_cast<std::uint64_t>(m >> 64);
+}
+
+/// Hash of a row of tagged words (wyhash-style word mixer).  The length is
+/// folded into the seed so prefixes do not collide.
+inline std::uint64_t HashValues(RowView row) {
+  std::uint64_t h =
+      0x9e3779b97f4a7c15ULL ^ (row.size() * 0x2d358dccaa6c78a5ULL);
+  for (const Value v : row) {
+    h = MixHash(h ^ v.Bits(), 0x8bb84b93962eacc9ULL);
+  }
+  return h;
+}
+
+/// Tuple/row hash.  Transparent: hashes owning Tuples and arena RowViews
+/// identically, so sets keyed by Tuple can be probed with a RowView without
+/// materializing.
 struct TupleHash {
+  using is_transparent = void;
+  std::size_t operator()(RowView row) const {
+    return static_cast<std::size_t>(HashValues(row));
+  }
   std::size_t operator()(const Tuple& t) const {
-    std::uint64_t h = 0xcbf29ce484222325ULL;
-    for (const Value v : t) {
-      h ^= v.Bits();
-      h *= 0x100000001b3ULL;
-      h ^= h >> 29;
-    }
-    return static_cast<std::size_t>(h);
+    return static_cast<std::size_t>(HashValues(RowView(t)));
+  }
+};
+
+/// Transparent Tuple/RowView equality, companion to TupleHash.
+struct TupleEq {
+  using is_transparent = void;
+  bool operator()(RowView a, RowView b) const {
+    return std::equal(a.begin(), a.end(), b.begin(), b.end());
   }
 };
 

@@ -265,10 +265,8 @@ TEST(AggregateEvalTest, NaiveMatchesSemiNaiveWithAggregates) {
   EvaluateProgram(program, strat, semi);
   EvaluateProgramNaive(program, strat, naive);
   for (std::uint32_t pred = 0; pred < program.NumPredicates(); ++pred) {
-    std::vector<Tuple> a(semi.Of(pred).Rows().begin(),
-                         semi.Of(pred).Rows().end());
-    std::vector<Tuple> b(naive.Of(pred).Rows().begin(),
-                         naive.Of(pred).Rows().end());
+    std::vector<Tuple> a = semi.Of(pred).Tuples();
+    std::vector<Tuple> b = naive.Of(pred).Tuples();
     std::sort(a.begin(), a.end());
     std::sort(b.begin(), b.end());
     EXPECT_EQ(a, b) << program.predicate_names[pred];

@@ -26,8 +26,7 @@ std::vector<std::vector<Tuple>> Snapshot(const Program& p,
                                          const RelationStore& store) {
   std::vector<std::vector<Tuple>> out;
   for (std::uint32_t pred = 0; pred < p.NumPredicates(); ++pred) {
-    out.push_back(Sorted({store.Of(pred).Rows().begin(),
-                          store.Of(pred).Rows().end()}));
+    out.push_back(Sorted(store.Of(pred).Tuples()));
   }
   return out;
 }

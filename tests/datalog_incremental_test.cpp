@@ -23,10 +23,9 @@
 namespace dsched::datalog {
 namespace {
 
-std::vector<Tuple> Sorted(std::span<const Tuple> rows) {
-  std::vector<Tuple> out(rows.begin(), rows.end());
-  std::sort(out.begin(), out.end());
-  return out;
+std::vector<Tuple> Sorted(std::vector<Tuple> rows) {
+  std::sort(rows.begin(), rows.end());
+  return rows;
 }
 
 /// Checks that `incremental` equals a from-scratch evaluation where the
@@ -41,8 +40,8 @@ void ExpectEqualsFromScratch(
   }
   EvaluateProgram(program, strat, fresh);
   for (std::uint32_t pred = 0; pred < program.NumPredicates(); ++pred) {
-    EXPECT_EQ(Sorted(incremental.Of(pred).Rows()),
-              Sorted(fresh.Of(pred).Rows()))
+    EXPECT_EQ(Sorted(incremental.Of(pred).Tuples()),
+              Sorted(fresh.Of(pred).Tuples()))
         << "predicate " << program.predicate_names[pred];
   }
 }

@@ -20,16 +20,15 @@
 namespace dsched::datalog {
 namespace {
 
-std::vector<Tuple> Sorted(std::span<const Tuple> rows) {
-  std::vector<Tuple> out(rows.begin(), rows.end());
-  std::sort(out.begin(), out.end());
-  return out;
+std::vector<Tuple> Sorted(std::vector<Tuple> rows) {
+  std::sort(rows.begin(), rows.end());
+  return rows;
 }
 
 void ExpectStoresEqual(const Program& program, const RelationStore& a,
                        const RelationStore& b, const char* what) {
   for (std::uint32_t pred = 0; pred < program.NumPredicates(); ++pred) {
-    EXPECT_EQ(Sorted(a.Of(pred).Rows()), Sorted(b.Of(pred).Rows()))
+    EXPECT_EQ(Sorted(a.Of(pred).Tuples()), Sorted(b.Of(pred).Tuples()))
         << what << ": predicate " << program.predicate_names[pred];
   }
 }
@@ -147,13 +146,13 @@ TEST(ParallelUpdateTest, MatchesFromScratchAcrossWorkerCounts) {
 
     std::set<std::pair<int, int>> edges;
     const auto e = parallel.program.PredicateId("e");
-    for (const Tuple& t : parallel.store.Of(e).Rows()) {
+    for (const Tuple& t : parallel.store.Of(e).Tuples()) {
       edges.emplace(static_cast<int>(t[0].AsInt()),
                     static_cast<int>(t[1].AsInt()));
     }
     std::set<int> marks;
     const auto mark = parallel.program.PredicateId("mark");
-    for (const Tuple& t : parallel.store.Of(mark).Rows()) {
+    for (const Tuple& t : parallel.store.Of(mark).Tuples()) {
       marks.insert(static_cast<int>(t[0].AsInt()));
     }
 

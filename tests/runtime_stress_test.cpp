@@ -152,7 +152,7 @@ constexpr const char* kStressProgram = R"(
   summary(X, Y) :- hotpair(X, Y), revtc(Y, X).
 )";
 
-std::vector<datalog::Tuple> Sorted(std::span<const datalog::Tuple> rows) {
+std::vector<datalog::Tuple> Sorted(std::vector<datalog::Tuple> rows) {
   std::vector<datalog::Tuple> out(rows.begin(), rows.end());
   std::sort(out.begin(), out.end());
   return out;
@@ -228,8 +228,8 @@ TEST(RuntimeStressTest, ParallelStoreEqualsSerialAcrossSweep) {
                                      request, options);
         for (std::uint32_t pred = 0; pred < seq_program.NumPredicates();
              ++pred) {
-          EXPECT_EQ(Sorted(seq_store.Of(pred).Rows()),
-                    Sorted(par_store.Of(pred).Rows()))
+          EXPECT_EQ(Sorted(seq_store.Of(pred).Tuples()),
+                    Sorted(par_store.Of(pred).Tuples()))
               << spec << " workers=" << workers << " batch=" << batch
               << " predicate " << seq_program.predicate_names[pred];
         }
