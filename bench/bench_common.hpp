@@ -1,9 +1,15 @@
-// Shared helpers for the table/figure reproduction harnesses.
+// Shared helpers for the table/figure reproduction harnesses: running
+// factory-spec schedulers, the canonical wall-time formatting every bench
+// and example prints (util::FormatSeconds — do not hand-roll units), and
+// the observability hooks (--trace capture, the `METRICS {...}` line).
 #pragma once
 
 #include <cstdio>
+#include <memory>
 #include <string>
 
+#include "obs/metrics.hpp"
+#include "obs/obs.hpp"
 #include "sched/factory.hpp"
 #include "sim/engine.hpp"
 #include "trace/job_trace.hpp"
@@ -32,6 +38,64 @@ inline std::string Seconds(double value) {
 inline std::string MakespanOverhead(const sim::SimResult& r) {
   return "(" + util::FormatSeconds(r.TotalSeconds()) + ", " +
          util::FormatSeconds(r.sched_wall_seconds) + ")";
+}
+
+/// The observability category a factory spec's top-level PopReady records
+/// under.  Summing only this category charges nested children (the
+/// hybrid's two parents, LBL's LevelBased fallback) to their parent
+/// exactly once.
+inline obs::Category SchedPopCategory(const std::string& spec) {
+  const std::string head = spec.substr(0, spec.find(':'));
+  if (head == "logicblox" || head == "lx") {
+    return obs::Category::kSchedPopLogicBlox;
+  }
+  if (head == "lbl" || head == "lookahead") {
+    return obs::Category::kSchedPopLookahead;
+  }
+  if (head == "signal" || head == "signalpropagation") {
+    return obs::Category::kSchedPopSignal;
+  }
+  if (head == "oracle") {
+    return obs::Category::kSchedPopOracle;
+  }
+  if (head == "hybrid") {
+    return obs::Category::kSchedPopHybrid;
+  }
+  return obs::Category::kSchedPopLevelBased;
+}
+
+/// Starts (and installs) a trace session when `path` is non-empty; the
+/// standard implementation of a bench's `--trace out.json` flag.
+inline std::unique_ptr<obs::TraceSession> MaybeStartTrace(
+    const std::string& path) {
+  if (path.empty()) {
+    return nullptr;
+  }
+  auto session = std::make_unique<obs::TraceSession>();
+  session->Install();
+  return session;
+}
+
+/// Uninstalls `session`, writes the Chrome trace_event JSON to `path` and
+/// prints the per-category summary.  No-op when `session` is null.
+inline void FinishTrace(obs::TraceSession* session, const std::string& path) {
+  if (session == nullptr) {
+    return;
+  }
+  session->Uninstall();
+  if (!session->WriteChromeJson(path)) {
+    std::fprintf(stderr, "failed to write trace to %s\n", path.c_str());
+    return;
+  }
+  std::printf("\ntrace written to %s (load in chrome://tracing or "
+              "https://ui.perfetto.dev)\n%s",
+              path.c_str(), session->SummaryText().c_str());
+}
+
+/// The machine-readable metrics block: a single `METRICS {...}` stdout
+/// line, sorted keys, greppable and JSON-parseable.
+inline void PrintMetrics(const obs::MetricsRegistry& registry) {
+  std::printf("METRICS %s\n", registry.ToJson().c_str());
 }
 
 }  // namespace dsched::bench

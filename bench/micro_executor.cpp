@@ -9,6 +9,7 @@
 // trajectory.
 //
 // Usage: micro_executor [--out=BENCH_executor.json] [--scale=1.0]
+//                       [--trace=out.json]
 #include <algorithm>
 #include <condition_variable>
 #include <cstdio>
@@ -19,6 +20,7 @@
 #include <thread>
 #include <vector>
 
+#include "bench_common.hpp"
 #include "graph/digraph_builder.hpp"
 #include "runtime/executor.hpp"
 #include "sched/factory.hpp"
@@ -350,11 +352,14 @@ void AppendRowJson(std::string& out, const Row& row, bool last) {
 int main(int argc, char** argv) {
   using namespace dsched;
   std::string out_path = "BENCH_executor.json";
+  std::string trace_path;
   double scale = 1.0;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg.rfind("--out=", 0) == 0) {
       out_path = arg.substr(6);
+    } else if (arg.rfind("--trace=", 0) == 0) {
+      trace_path = arg.substr(8);
     } else if (arg.rfind("--scale=", 0) == 0) {
       try {
         scale = std::stod(arg.substr(8));
@@ -371,6 +376,7 @@ int main(int argc, char** argv) {
   const auto scaled = [scale](std::size_t n) {
     return static_cast<std::size_t>(static_cast<double>(n) * scale);
   };
+  const auto session = bench::MaybeStartTrace(trace_path);
 
   // The three DAG shapes of the dispatch hot path: wide (one giant level —
   // maximal batch opportunity), deep (one task per level — minimal batch
@@ -490,5 +496,20 @@ int main(int argc, char** argv) {
   std::fwrite(json.data(), 1, json.size(), f);
   std::fclose(f);
   std::printf("wrote %s (%zu rows)\n", out_path.c_str(), rows.size());
+
+  obs::MetricsRegistry metrics;
+  for (const bench::Row& r : rows) {
+    if (r.workload == "wide" && r.workers == 8 && r.body == "null") {
+      const std::string key =
+          "micro_executor.wide.p8." + r.engine + "." + r.scheduler + ".";
+      metrics.Set(key + "tasks_per_sec",
+                  static_cast<std::uint64_t>(r.tasks_per_sec));
+      metrics.Set(key + "sched_overhead_ns",
+                  static_cast<std::uint64_t>(r.sched_wall_seconds * 1e9));
+      metrics.Set(key + "steals", r.steals);
+    }
+  }
+  bench::PrintMetrics(metrics);
+  bench::FinishTrace(session.get(), trace_path);
   return 0;
 }

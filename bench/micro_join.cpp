@@ -16,6 +16,7 @@
 //                 small delta slice per round, the semi-naive hot path.
 //
 // Usage: micro_join [--out=BENCH_datalog.json] [--scale=1.0]
+//                   [--trace=out.json]
 #include <array>
 #include <cstdio>
 #include <cstdint>
@@ -24,6 +25,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "bench_common.hpp"
 #include "datalog/eval.hpp"
 #include "datalog/parser.hpp"
 #include "datalog/relation.hpp"
@@ -199,10 +201,11 @@ struct Row {
 };
 
 void Report(const Row& r) {
-  std::printf("%-12s %10llu rows  legacy %8.4fs  kernel %8.4fs  %5.2fx\n",
+  std::printf("%-12s %10llu rows  legacy %10s  kernel %10s  %5.2fx\n",
               r.workload.c_str(),
               static_cast<unsigned long long>(r.rows_emitted),
-              r.legacy_seconds, r.kernel_seconds, r.Speedup());
+              util::FormatSeconds(r.legacy_seconds).c_str(),
+              util::FormatSeconds(r.kernel_seconds).c_str(), r.Speedup());
 }
 
 /// Times `reps` runs of the planned kernel over `rule_text`'s single rule.
@@ -238,11 +241,14 @@ int main(int argc, char** argv) {
   using namespace dsched;
   using namespace dsched::bench;
   std::string out_path = "BENCH_datalog.json";
+  std::string trace_path;
   double scale = 1.0;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg.rfind("--out=", 0) == 0) {
       out_path = arg.substr(6);
+    } else if (arg.rfind("--trace=", 0) == 0) {
+      trace_path = arg.substr(8);
     } else if (arg.rfind("--scale=", 0) == 0) {
       try {
         scale = std::stod(arg.substr(8));
@@ -259,6 +265,7 @@ int main(int argc, char** argv) {
   const auto scaled = [scale](std::size_t n) {
     return static_cast<std::size_t>(static_cast<double>(n) * scale);
   };
+  const auto session = MaybeStartTrace(trace_path);
   std::vector<Row> rows;
 
   // --- wide_fanout: regular digraph, every node -> `fan` successors.
@@ -439,5 +446,19 @@ int main(int argc, char** argv) {
   std::fprintf(out, "  ]\n}\n");
   std::fclose(out);
   std::printf("wrote %s\n", out_path.c_str());
+
+  obs::MetricsRegistry metrics;
+  for (const Row& r : rows) {
+    const std::string key = "micro_join." + r.workload + ".";
+    metrics.Set(key + "rows_emitted", r.rows_emitted);
+    metrics.Set(key + "legacy_ns",
+                static_cast<std::uint64_t>(r.legacy_seconds * 1e9));
+    metrics.Set(key + "kernel_ns",
+                static_cast<std::uint64_t>(r.kernel_seconds * 1e9));
+    metrics.Set(key + "speedup_x100",
+                static_cast<std::uint64_t>(r.Speedup() * 100.0));
+  }
+  PrintMetrics(metrics);
+  FinishTrace(session.get(), trace_path);
   return 0;
 }

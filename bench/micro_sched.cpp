@@ -1,7 +1,21 @@
 // Micro-benchmarks: end-to-end simulation throughput per scheduler, and
 // the per-decision cost of the scheduling fast paths.
+//
+// Two modes:
+//  * default — the google-benchmark suite (all BM_* below; pass the usual
+//    --benchmark_* flags through);
+//  * trace mode — `micro_sched --trace=out.json [--tiny] [--out=BENCH_sched.json]`
+//    runs every policy once over the layered workload under a TraceSession
+//    and emits the Chrome trace JSON, the per-category summary, a METRICS
+//    line, and the BENCH_sched.json scheduler-overhead baseline.  --tiny
+//    shrinks the workload for CI smoke runs (the trace-validate job).
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
 #include "sched/factory.hpp"
 #include "sim/engine.hpp"
 #include "trace/generators.hpp"
@@ -113,4 +127,117 @@ void BM_IntervalPrecompute(benchmark::State& state) {
 }
 BENCHMARK(BM_IntervalPrecompute)->Unit(benchmark::kMillisecond);
 
+/// Trace mode: one simulated run per policy under an installed
+/// TraceSession.  Writes `trace_path` (Chrome JSON) and `out_path`
+/// (BENCH_sched.json), prints the METRICS line and category summary.
+int RunTraceMode(const std::string& trace_path, const std::string& out_path,
+                 bool tiny) {
+  using namespace dsched;
+  const JobTrace trace =
+      tiny ? MidsizeTrace(400, 12, 0.4) : MidsizeTrace(20000, 120, 0.08);
+  const std::vector<std::string> specs = {"levelbased", "lbl:10", "logicblox",
+                                          "signal", "hybrid"};
+
+  const auto session = bench::MaybeStartTrace(
+      trace_path.empty() ? std::string("micro_sched_trace.json") : trace_path);
+  obs::MetricsRegistry metrics;
+
+  struct Entry {
+    std::string spec;
+    sim::SimResult result;
+    double traced_overhead_ns = 0.0;
+  };
+  std::vector<Entry> entries;
+  for (const std::string& spec : specs) {
+    session->Marker("run " + spec);
+    const obs::AccumSnapshot before = session->Snapshot();
+    Entry entry;
+    entry.spec = spec;
+    entry.result = bench::RunSpec(trace, spec);
+    const obs::AccumSnapshot delta =
+        obs::SnapshotDelta(before, session->Snapshot());
+    entry.traced_overhead_ns = session->DurationNs(
+        obs::TotalsOf(delta, bench::SchedPopCategory(spec)).ticks);
+    entry.result.ExportMetrics(metrics, "sched." + spec + ".");
+    metrics.Set("sched." + spec + ".trace_sched_overhead_ns",
+                static_cast<std::uint64_t>(entry.traced_overhead_ns));
+    std::printf("%-12s makespan %s  overhead %s (traced %s)  pops %llu\n",
+                spec.c_str(),
+                bench::Seconds(entry.result.makespan).c_str(),
+                bench::Seconds(entry.result.sched_wall_seconds).c_str(),
+                bench::Seconds(entry.traced_overhead_ns / 1e9).c_str(),
+                static_cast<unsigned long long>(entry.result.ops.pops));
+    entries.push_back(std::move(entry));
+  }
+
+  if (!out_path.empty()) {
+    std::FILE* f = std::fopen(out_path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot open %s\n", out_path.c_str());
+      return 1;
+    }
+    std::fprintf(f, "{\n  \"bench\": \"micro_sched\",\n  \"tiny\": %s,\n",
+                 tiny ? "true" : "false");
+    std::fprintf(f, "  \"results\": [\n");
+    for (std::size_t i = 0; i < entries.size(); ++i) {
+      const Entry& e = entries[i];
+      std::fprintf(
+          f,
+          "    {\"scheduler\": \"%s\", \"makespan_us\": %.1f, "
+          "\"sched_overhead_ns\": %.0f, \"traced_overhead_ns\": %.0f, "
+          "\"pops\": %llu, \"ops_total\": %llu}%s\n",
+          e.spec.c_str(), e.result.makespan * 1e6,
+          e.result.sched_wall_seconds * 1e9, e.traced_overhead_ns,
+          static_cast<unsigned long long>(e.result.ops.pops),
+          static_cast<unsigned long long>(e.result.ops.Total()),
+          i + 1 < entries.size() ? "," : "");
+    }
+    std::fprintf(f, "  ]\n}\n");
+    std::fclose(f);
+    std::printf("wrote %s\n", out_path.c_str());
+  }
+
+  bench::PrintMetrics(metrics);
+  bench::FinishTrace(session.get(),
+                     trace_path.empty() ? "micro_sched_trace.json"
+                                        : trace_path);
+  return 0;
+}
+
 }  // namespace
+
+int main(int argc, char** argv) {
+  // Peel off the trace-mode flags; everything else passes through to
+  // google-benchmark untouched.
+  std::string trace_path;
+  std::string out_path;
+  bool tiny = false;
+  bool trace_mode = false;
+  std::vector<char*> passthrough;
+  passthrough.push_back(argv[0]);
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--trace=", 0) == 0) {
+      trace_path = arg.substr(8);
+      trace_mode = true;
+    } else if (arg.rfind("--out=", 0) == 0) {
+      out_path = arg.substr(6);
+      trace_mode = true;
+    } else if (arg == "--tiny") {
+      tiny = true;
+    } else {
+      passthrough.push_back(argv[i]);
+    }
+  }
+  if (trace_mode) {
+    return RunTraceMode(trace_path, out_path, tiny);
+  }
+  int pargc = static_cast<int>(passthrough.size());
+  benchmark::Initialize(&pargc, passthrough.data());
+  if (benchmark::ReportUnrecognizedArguments(pargc, passthrough.data())) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

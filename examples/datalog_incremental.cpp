@@ -19,6 +19,7 @@
 #include "sim/audit.hpp"
 #include "sim/engine.hpp"
 #include "trace/cascade.hpp"
+#include "util/strings.hpp"
 
 int main() {
   using namespace dsched;
@@ -123,9 +124,10 @@ int main() {
         sim::Simulate(bridge.trace, *scheduler, config);
     const bool valid = sim::AuditSchedule(bridge.trace, sim_result).valid;
     std::printf(
-        "  %-28s makespan %.6fs, overhead %.6fs, ops %6llu, audit %s\n",
-        sim_result.scheduler_name.c_str(), sim_result.makespan,
-        sim_result.sched_wall_seconds,
+        "  %-28s makespan %s, overhead %s, ops %6llu, audit %s\n",
+        sim_result.scheduler_name.c_str(),
+        util::FormatSeconds(sim_result.makespan).c_str(),
+        util::FormatSeconds(sim_result.sched_wall_seconds).c_str(),
         static_cast<unsigned long long>(sim_result.ops.Total()),
         valid ? "ok" : "FAILED");
   }

@@ -16,6 +16,7 @@
 #include "sim/meta.hpp"
 #include "trace/generators.hpp"
 #include "util/memory_meter.hpp"
+#include "util/strings.hpp"
 
 int main() {
   using namespace dsched;
@@ -35,17 +36,19 @@ int main() {
 
   const auto lx = run(scan_trap, "logicblox");
   std::printf(
-      "  LogicBlox:  makespan %.4fs + %.4fs scheduling overhead "
+      "  LogicBlox:  makespan %s + %s scheduling overhead "
       "(%llu ancestor queries)\n",
-      lx.makespan, lx.sched_wall_seconds,
+      util::FormatSeconds(lx.makespan).c_str(),
+      util::FormatSeconds(lx.sched_wall_seconds).c_str(),
       static_cast<unsigned long long>(lx.ops.ancestor_queries));
 
   // --- Act 2: same workload, hybrid.
   const auto hybrid = run(scan_trap, "hybrid");
   std::printf(
-      "Act 2 — Hybrid: makespan %.4fs + %.6fs scheduling overhead "
+      "Act 2 — Hybrid: makespan %s + %s scheduling overhead "
       "(%llu ancestor queries)\n",
-      hybrid.makespan, hybrid.sched_wall_seconds,
+      util::FormatSeconds(hybrid.makespan).c_str(),
+      util::FormatSeconds(hybrid.sched_wall_seconds).c_str(),
       static_cast<unsigned long long>(hybrid.ops.ancestor_queries));
   std::printf("  same makespan (%s), overhead cut %.0fx\n",
               lx.makespan == hybrid.makespan ? "yes" : "NO!",
@@ -75,9 +78,9 @@ int main() {
         util::FormatBytes(meta_config.memory_budget_bytes / 2).c_str());
   }
   std::printf(
-      "  meta scheduler: heuristic %s; winner %s; makespan %.4fs "
+      "  meta scheduler: heuristic %s; winner %s; makespan %s "
       "(Theorem 10: memory stays O(ζ), makespan <= 2*T_LevelBased)\n",
       meta.heuristic_aborted ? "ABORTED over budget" : "finished",
-      meta.winner.c_str(), meta.makespan);
+      meta.winner.c_str(), util::FormatSeconds(meta.makespan).c_str());
   return 0;
 }

@@ -6,9 +6,13 @@
 //   scheduler_comparison --trace_file=data/diamond.trace   # from disk
 //   scheduler_comparison --save=my.trace ...      # persist the workload
 //   scheduler_comparison --schedulers=levelbased,lbl:15,hybrid --procs=16
+//   scheduler_comparison --trace=3 --trace_out=run.json    # Chrome trace
 #include <cstdio>
+#include <memory>
 #include <string>
 
+#include "obs/metrics.hpp"
+#include "obs/trace_session.hpp"
 #include "sched/factory.hpp"
 #include "sim/audit.hpp"
 #include "sim/engine.hpp"
@@ -42,9 +46,20 @@ int main(int argc, char** argv) {
       "schedulers", "levelbased,lbl:10,logicblox,hybrid,signal",
       "comma-separated scheduler specs");
   const auto audit = flags.Bool("audit", false, "audit every schedule");
+  const auto trace_out = flags.String(
+      "trace_out", "",
+      "write a Chrome trace_event JSON of all runs to this path "
+      "(--trace already names the paper workload here)");
   if (!flags.Parse(argc, argv)) {
     return 0;
   }
+
+  std::unique_ptr<obs::TraceSession> session;
+  if (!trace_out->empty()) {
+    session = std::make_unique<obs::TraceSession>();
+    session->Install();
+  }
+  obs::MetricsRegistry metrics;
 
   trace::JobTrace jt;
   if (!trace_file->empty()) {
@@ -79,10 +94,10 @@ int main(int argc, char** argv) {
   const trace::Cascade cascade = trace::ComputeCascade(jt);
   std::printf(
       "workload '%s': %zu nodes, %zu edges, %zu dirty, %zu active, "
-      "total active work %.2fs\n\n",
+      "total active work %s\n\n",
       jt.Name().c_str(), jt.NumNodes(), jt.NumEdges(),
       jt.InitialDirty().size(), cascade.NumActive(),
-      cascade.total_active_work);
+      util::FormatSeconds(cascade.total_active_work).c_str());
 
   util::TextTable table("scheduler comparison, P = " + std::to_string(*procs));
   table.SetHeader({"scheduler", "makespan", "sched overhead", "prepare",
@@ -96,7 +111,11 @@ int main(int argc, char** argv) {
     sim::SimConfig config;
     config.processors = static_cast<std::size_t>(*procs);
     config.record_schedule = *audit;
+    if (session != nullptr) {
+      session->Marker("run " + spec);
+    }
     const sim::SimResult result = sim::Simulate(jt, *scheduler, config);
+    result.ExportMetrics(metrics, "sim." + spec + ".");
     std::string audit_cell = "-";
     if (*audit) {
       audit_cell = sim::AuditSchedule(jt, result).valid ? "ok" : "FAILED";
@@ -110,5 +129,18 @@ int main(int argc, char** argv) {
                   audit_cell});
   }
   std::printf("%s", table.ToString().c_str());
+  std::printf("METRICS %s\n", metrics.ToJson().c_str());
+  if (session != nullptr) {
+    session->Uninstall();
+    if (session->WriteChromeJson(*trace_out)) {
+      std::printf("\ntrace written to %s (load in chrome://tracing or "
+                  "https://ui.perfetto.dev)\n%s",
+                  trace_out->c_str(), session->SummaryText().c_str());
+    } else {
+      std::fprintf(stderr, "failed to write trace to %s\n",
+                   trace_out->c_str());
+      return 1;
+    }
+  }
   return 0;
 }

@@ -62,9 +62,10 @@ int main() {
     util::WallTimer timer;
     live.Materialize();
     std::printf(
-        "materialized %d users / %zu follows in %.3fs — %zu suggestions, "
+        "materialized %d users / %zu follows in %s — %zu suggestions, "
         "%zu celebrities\n",
-        kUsers, edges.size(), timer.ElapsedSeconds(),
+        kUsers, edges.size(),
+        util::FormatSeconds(timer.ElapsedSeconds()).c_str(),
         live.Query("suggest").size(), live.Query("celebrity").size());
   }
 
@@ -139,8 +140,8 @@ int main() {
       live.ApplyParallel(update, {.scheduler_spec = "hybrid", .workers = 4});
   std::printf(
       "parallel batch (4 workers, hybrid): +%zu -%zu derived tuples in "
-      "%.3fs\n",
+      "%s\n",
       result.total_inserted, result.total_deleted,
-      parallel_timer.ElapsedSeconds());
+      util::FormatSeconds(parallel_timer.ElapsedSeconds()).c_str());
   return 0;
 }

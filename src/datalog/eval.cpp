@@ -8,6 +8,7 @@
 #include <unordered_map>
 #include <unordered_set>
 
+#include "obs/obs.hpp"
 #include "util/error.hpp"
 
 namespace dsched::datalog {
@@ -18,14 +19,28 @@ void EvalStats::Merge(const EvalStats& other) {
   tuples_derived += other.tuples_derived;
   tuples_inserted += other.tuples_inserted;
   rounds += other.rounds;
+  index_probes += other.index_probes;
+  index_misses += other.index_misses;
 }
 
 std::string EvalStats::ToString() const {
   std::ostringstream oss;
   oss << "applications=" << rule_applications
       << " bindings=" << bindings_explored << " derived=" << tuples_derived
-      << " inserted=" << tuples_inserted << " rounds=" << rounds;
+      << " inserted=" << tuples_inserted << " rounds=" << rounds
+      << " probes=" << index_probes << " misses=" << index_misses;
   return oss.str();
+}
+
+void EvalStats::ExportMetrics(obs::MetricsRegistry& registry,
+                              const std::string& prefix) const {
+  registry.Set(prefix + "rule_applications", rule_applications);
+  registry.Set(prefix + "bindings_explored", bindings_explored);
+  registry.Set(prefix + "tuples_derived", tuples_derived);
+  registry.Set(prefix + "tuples_inserted", tuples_inserted);
+  registry.Set(prefix + "rounds", rounds);
+  registry.Set(prefix + "index_probes", index_probes);
+  registry.Set(prefix + "index_misses", index_misses);
 }
 
 namespace {
@@ -61,6 +76,7 @@ class RuleJoin {
         bindings_(rule.variable_names.size()),
         bound_(rule.variable_names.size(), 0),
         head_(rule.head.args.size()) {
+    OBS_SCOPE(Category::kJoinPlan);
     undo_.reserve(rule.variable_names.size());
 
     // Split the body: the restricted element (if any) joins first; then
@@ -199,7 +215,9 @@ class RuleJoin {
   /// `stop_after_first`, returns true as soon as one derivation succeeds.
   bool Run(const std::function<void(const Tuple&)>& emit,
            bool stop_after_first) {
+    OBS_SCOPE(Category::kJoinProbe);
     ++stats_.rule_applications;
+    const std::uint64_t derived_before = stats_.tuples_derived;
     emit_ = &emit;
     stop_after_first_ = stop_after_first;
     for (const std::size_t f : pre_filters_) {
@@ -207,7 +225,10 @@ class RuleJoin {
         return false;
       }
     }
-    return JoinFrom(0);
+    const bool found = JoinFrom(0);
+    OBS_COUNTER(Category::kJoinEmit,
+                stats_.tuples_derived - derived_before);
+    return found;
   }
 
   /// Pre-binds head variables against a ground head tuple (rederivation
@@ -495,6 +516,8 @@ class RuleJoin {
       // Innermost all-fresh level: every row emits; the head reads the
       // arena row directly and outer-bound positions are filled once.
       const auto rows = store_.LookupPrepared(level.prepared, level.key);
+      ++stats_.index_probes;
+      stats_.index_misses += rows.empty() ? 1 : 0;
       stats_.bindings_explored += rows.size();
       stats_.tuples_derived += rows.size();
       if (!rows.empty()) {
@@ -511,8 +534,10 @@ class RuleJoin {
       }
       return false;
     }
-    for (const std::uint32_t row_id :
-         store_.LookupPrepared(level.prepared, level.key)) {
+    const auto rows = store_.LookupPrepared(level.prepared, level.key);
+    ++stats_.index_probes;
+    stats_.index_misses += rows.empty() ? 1 : 0;
+    for (const std::uint32_t row_id : rows) {
       ++stats_.bindings_explored;
       if (MatchSlots(level, store_.RowIn(level.prepared, row_id)) &&
           RunFilters(level) && JoinFrom(k + 1)) {

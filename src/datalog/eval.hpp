@@ -17,6 +17,7 @@
 #include "datalog/ast.hpp"
 #include "datalog/relation.hpp"
 #include "datalog/stratify.hpp"
+#include "obs/metrics.hpp"
 
 namespace dsched::datalog {
 
@@ -27,9 +28,16 @@ struct EvalStats {
   std::uint64_t tuples_derived = 0;     ///< head emissions (pre-dedup)
   std::uint64_t tuples_inserted = 0;    ///< genuinely new tuples
   std::uint64_t rounds = 0;             ///< semi-naive iterations
+  std::uint64_t index_probes = 0;       ///< indexed lookups issued by joins
+  std::uint64_t index_misses = 0;       ///< probes that matched no rows
 
   void Merge(const EvalStats& other);
   [[nodiscard]] std::string ToString() const;
+
+  /// Publishes the counters into `registry` under `prefix` (e.g.
+  /// "datalog.").
+  void ExportMetrics(obs::MetricsRegistry& registry,
+                     const std::string& prefix) const;
 };
 
 /// Restriction applied to one rule application.

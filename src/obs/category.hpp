@@ -1,0 +1,62 @@
+// The event taxonomy: one category per instrumented hot path.
+//
+// Categories are a closed enum rather than interned strings so that the
+// record path indexes a flat per-thread accumulator array (no hashing, no
+// allocation) and the disabled path stays a branch.  Adding a category is
+// a two-line change here; docs/OBSERVABILITY.md documents what each one
+// measures and how it maps onto the paper's quantities.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace dsched::obs {
+
+enum class Category : std::uint8_t {
+  // Scheduler decision paths, one per policy so a trace decomposes the
+  // paper's "scheduling overhead" by who burned it.  Each scope wraps the
+  // policy's PopReady / PopReadyBatch entry point; nested policies (the
+  // hybrid's children, LBL's LevelBased fallback) record their own
+  // category inside the parent's scope, so the parent's total is the
+  // policy's whole decision cost and children attribute its parts.
+  kSchedPopLevelBased,
+  kSchedPopLookahead,
+  kSchedPopLogicBlox,
+  kSchedScanLogicBlox,  ///< the O(n^2) active-queue scan, nested in pops
+  kSchedPopSignal,
+  kSchedPopOracle,
+  kSchedPopHybrid,
+
+  // Executor coordinator path (runtime/executor.cpp).
+  kExecDispatch,  ///< PopReadyBatch + SubmitBatch loop, per batch round
+  kExecDrain,     ///< completion-buffer swap + per-completion bookkeeping
+  kExecIdle,      ///< coordinator blocked waiting for a completion
+
+  // Work-stealing pool transitions (runtime/thread_pool.cpp).
+  kPoolSteal,  ///< counter: items moved off another worker's deque
+  kPoolSleep,  ///< scope: worker asleep with no claimable work
+
+  // Datalog join kernel (datalog/eval.cpp), per rule application.
+  kJoinPlan,   ///< RuleJoin construction: ordering, slot + index planning
+  kJoinProbe,  ///< the nested-loop join itself
+  kJoinEmit,   ///< counter: head tuples emitted by the application
+
+  kCategoryCount
+};
+
+inline constexpr std::size_t kNumCategories =
+    static_cast<std::size_t>(Category::kCategoryCount);
+
+/// Stable dotted name, e.g. "sched.pop.levelbased" — these are the `name`
+/// strings in exported Chrome traces and the keys of category summaries.
+[[nodiscard]] const char* CategoryName(Category category);
+
+/// Coarse group ("sched", "exec", "pool", "join") — the Chrome `cat`
+/// field, so Perfetto can filter whole subsystems.
+[[nodiscard]] const char* CategoryGroup(Category category);
+
+/// True for categories recorded as counters (value deltas), false for
+/// duration scopes.
+[[nodiscard]] bool IsCounterCategory(Category category);
+
+}  // namespace dsched::obs

@@ -1,0 +1,76 @@
+// Timestamp source for the observability layer.
+//
+// Scope events are stamped with the TSC on x86-64 (one `rdtsc`, ~6ns,
+// no syscall, monotonic on every post-2008 part via constant_tsc) and with
+// steady_clock ticks elsewhere.  Raw ticks are meaningless across
+// machines, so a TraceSession calibrates ticks-per-nanosecond once at
+// construction against steady_clock and every export converts through
+// that ratio — recording stays branch-plus-store cheap, unit conversion
+// is paid only when a trace is drained.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+#if defined(__x86_64__) || defined(_M_X64)
+#include <x86intrin.h>
+#endif
+
+namespace dsched::obs {
+
+/// Raw timestamp in clock ticks (TSC counts on x86-64, steady_clock ticks
+/// otherwise).  Only differences against a same-session epoch are
+/// meaningful.
+inline std::uint64_t NowTicks() {
+#if defined(__x86_64__) || defined(_M_X64)
+  return __rdtsc();
+#else
+  return static_cast<std::uint64_t>(
+      std::chrono::steady_clock::now().time_since_epoch().count());
+#endif
+}
+
+/// Tick-to-nanosecond conversion, measured once per session.
+struct ClockCalibration {
+  std::uint64_t epoch_ticks = 0;  ///< session start, subtracted on export
+  double ns_per_tick = 1.0;
+
+  /// Samples steady_clock and the tick source across a short spin window
+  /// and fits the ratio.  Costs ~200us, paid once per TraceSession.
+  static ClockCalibration Measure() {
+    ClockCalibration calib;
+    const auto wall_begin = std::chrono::steady_clock::now();
+    const std::uint64_t ticks_begin = NowTicks();
+    // Spin long enough that clock-read granularity is noise.
+    for (;;) {
+      const auto wall_now = std::chrono::steady_clock::now();
+      if (wall_now - wall_begin >= std::chrono::microseconds(200)) {
+        const std::uint64_t ticks_now = NowTicks();
+        const double elapsed_ns =
+            std::chrono::duration<double, std::nano>(wall_now - wall_begin)
+                .count();
+        const auto elapsed_ticks =
+            static_cast<double>(ticks_now - ticks_begin);
+        calib.ns_per_tick =
+            elapsed_ticks > 0.0 ? elapsed_ns / elapsed_ticks : 1.0;
+        break;
+      }
+    }
+    calib.epoch_ticks = NowTicks();
+    return calib;
+  }
+
+  /// Nanoseconds since the session epoch for an absolute tick stamp.
+  [[nodiscard]] double SinceEpochNs(std::uint64_t ticks) const {
+    return ticks >= epoch_ticks
+               ? static_cast<double>(ticks - epoch_ticks) * ns_per_tick
+               : 0.0;
+  }
+
+  /// Converts a tick *duration* to nanoseconds.
+  [[nodiscard]] double DurationNs(std::uint64_t ticks) const {
+    return static_cast<double>(ticks) * ns_per_tick;
+  }
+};
+
+}  // namespace dsched::obs

@@ -1,0 +1,82 @@
+// A single-writer event ring with keep-newest overflow.
+//
+// Each instrumented thread owns one ring; only that thread pushes, so the
+// record path is an index mask, one 32-byte store, and a release bump of
+// the head — no CAS, no lock, no allocation.  When the ring fills, new
+// events overwrite the oldest: for a post-run drain the *end* of a run is
+// what the Chrome trace should show, and the exact per-category totals
+// live in the accumulators (trace_session.hpp), which never overflow.
+#pragma once
+
+#include <atomic>
+#include <bit>
+#include <cstdint>
+#include <vector>
+
+#include "obs/category.hpp"
+
+namespace dsched::obs {
+
+enum class EventKind : std::uint8_t {
+  kScope,    ///< [begin_ticks, end_ticks) duration
+  kCounter,  ///< instantaneous value delta at begin_ticks
+};
+
+struct Event {
+  std::uint64_t begin_ticks = 0;
+  std::uint64_t end_ticks = 0;  ///< == begin_ticks for counters
+  std::uint64_t value = 0;      ///< counter delta; unused for scopes
+  Category category = Category::kCategoryCount;
+  EventKind kind = EventKind::kScope;
+};
+
+class EventRing {
+ public:
+  /// Capacity is rounded up to a power of two, minimum 8.
+  explicit EventRing(std::size_t capacity)
+      : events_(std::bit_ceil(capacity < 8 ? std::size_t{8} : capacity)),
+        mask_(events_.size() - 1) {}
+
+  /// Single-writer push; overwrites the oldest event when full.
+  void Push(const Event& event) {
+    const std::uint64_t head = head_.load(std::memory_order_relaxed);
+    events_[head & mask_] = event;
+    head_.store(head + 1, std::memory_order_release);
+  }
+
+  [[nodiscard]] std::size_t Capacity() const { return events_.size(); }
+
+  /// Events pushed over the ring's lifetime (monotonic).
+  [[nodiscard]] std::uint64_t Pushed() const {
+    return head_.load(std::memory_order_acquire);
+  }
+
+  /// Events lost to overwriting so far.
+  [[nodiscard]] std::uint64_t Dropped() const {
+    const std::uint64_t pushed = Pushed();
+    return pushed > events_.size() ? pushed - events_.size() : 0;
+  }
+
+  /// Copies the retained events, oldest first.  Call only after the
+  /// writing thread has quiesced (post-run drain contract).
+  [[nodiscard]] std::vector<Event> Snapshot() const {
+    const std::uint64_t head = Pushed();
+    const std::uint64_t count =
+        head < events_.size() ? head : static_cast<std::uint64_t>(events_.size());
+    std::vector<Event> out;
+    out.reserve(count);
+    for (std::uint64_t i = head - count; i < head; ++i) {
+      out.push_back(events_[i & mask_]);
+    }
+    return out;
+  }
+
+ private:
+  std::vector<Event> events_;
+  std::uint64_t mask_;
+  /// Monotonic write position; release-published so a post-quiesce reader
+  /// sees every completed store.
+  std::atomic<std::uint64_t> head_{0};
+};
+
+}  // namespace dsched::obs

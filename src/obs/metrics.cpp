@@ -1,0 +1,87 @@
+#include "obs/metrics.hpp"
+
+#include <cinttypes>
+#include <cstdio>
+#include <mutex>
+
+namespace dsched::obs {
+
+MetricsRegistry::Counter& MetricsRegistry::Get(const std::string& name) {
+  {
+    const std::shared_lock<std::shared_mutex> lock(mutex_);
+    const auto it = counters_.find(name);
+    if (it != counters_.end()) {
+      return *it->second;
+    }
+  }
+  const std::unique_lock<std::shared_mutex> lock(mutex_);
+  auto& slot = counters_[name];
+  if (slot == nullptr) {
+    slot = std::make_unique<Counter>(0);
+  }
+  return *slot;
+}
+
+void MetricsRegistry::Max(const std::string& name, std::uint64_t value) {
+  Counter& counter = Get(name);
+  std::uint64_t current = counter.load(std::memory_order_relaxed);
+  while (current < value && !counter.compare_exchange_weak(
+                                current, value, std::memory_order_relaxed)) {
+  }
+}
+
+std::uint64_t MetricsRegistry::Value(const std::string& name) const {
+  const std::shared_lock<std::shared_mutex> lock(mutex_);
+  const auto it = counters_.find(name);
+  return it == counters_.end()
+             ? 0
+             : it->second->load(std::memory_order_relaxed);
+}
+
+std::vector<MetricsRegistry::Metric> MetricsRegistry::Snapshot() const {
+  std::vector<Metric> out;
+  const std::shared_lock<std::shared_mutex> lock(mutex_);
+  out.reserve(counters_.size());
+  for (const auto& [name, counter] : counters_) {
+    out.push_back({name, counter->load(std::memory_order_relaxed)});
+  }
+  return out;
+}
+
+std::string MetricsRegistry::ToText() const {
+  std::string out;
+  char line[192];
+  for (const Metric& metric : Snapshot()) {
+    std::snprintf(line, sizeof(line), "%-44s %16" PRIu64 "\n",
+                  metric.name.c_str(), metric.value);
+    out += line;
+  }
+  return out;
+}
+
+std::string MetricsRegistry::ToJson(int indent) const {
+  const std::vector<Metric> metrics = Snapshot();
+  const std::string pad(indent > 0 ? static_cast<std::size_t>(indent) : 0,
+                        ' ');
+  const char* sep = indent > 0 ? ",\n" : ", ";
+  std::string out = "{";
+  if (indent > 0 && !metrics.empty()) {
+    out += "\n";
+  }
+  char buf[192];
+  for (std::size_t i = 0; i < metrics.size(); ++i) {
+    std::snprintf(buf, sizeof(buf), "%s\"%s\": %" PRIu64,
+                  pad.c_str(), metrics[i].name.c_str(), metrics[i].value);
+    out += buf;
+    if (i + 1 < metrics.size()) {
+      out += sep;
+    }
+  }
+  if (indent > 0 && !metrics.empty()) {
+    out += "\n";
+  }
+  out += "}";
+  return out;
+}
+
+}  // namespace dsched::obs

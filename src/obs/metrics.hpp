@@ -1,0 +1,75 @@
+// A structured metrics registry — the machine-readable successor to the
+// ad-hoc RunStats printf blocks.
+//
+// Producers (executor, simulator, eval engine, benches) export their
+// counters under dotted names ("executor.sched_overhead_ns",
+// "datalog.index_probes"); consumers get one sorted, diffable view:
+// ToText() for humans, ToJson() for BENCH_*.json embedding and the
+// `METRICS {...}` stdout line the bench harnesses print.
+//
+// Counters are atomics behind a shared_mutex-guarded name map: lookups by
+// handle are wait-free, concurrent Add/Set/Max from worker threads are
+// data-race-free (the TSan-checked contract tests/obs_test.cpp pins), and
+// the map itself only locks exclusively on first use of a name.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <shared_mutex>
+#include <string>
+#include <vector>
+
+namespace dsched::obs {
+
+class MetricsRegistry {
+ public:
+  /// A registered counter; valid for the registry's lifetime.
+  using Counter = std::atomic<std::uint64_t>;
+
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// Returns the counter registered under `name`, creating it at zero.
+  Counter& Get(const std::string& name);
+
+  /// Atomically adds `delta` to `name`.
+  void Add(const std::string& name, std::uint64_t delta) {
+    Get(name).fetch_add(delta, std::memory_order_relaxed);
+  }
+
+  /// Overwrites `name` with `value`.
+  void Set(const std::string& name, std::uint64_t value) {
+    Get(name).store(value, std::memory_order_relaxed);
+  }
+
+  /// Raises `name` to at least `value` (high-water marks).
+  void Max(const std::string& name, std::uint64_t value);
+
+  /// Current value of `name` (0 if never touched).
+  [[nodiscard]] std::uint64_t Value(const std::string& name) const;
+
+  struct Metric {
+    std::string name;
+    std::uint64_t value = 0;
+  };
+
+  /// All metrics, sorted by name — the stable order both renderers use.
+  [[nodiscard]] std::vector<Metric> Snapshot() const;
+
+  /// One aligned "name  value" line per metric.
+  [[nodiscard]] std::string ToText() const;
+
+  /// A single JSON object, keys sorted: {"a.b": 1, "a.c": 2}.  `indent`
+  /// spaces per line when > 0, single-line otherwise.
+  [[nodiscard]] std::string ToJson(int indent = 0) const;
+
+ private:
+  mutable std::shared_mutex mutex_;
+  /// std::map: sorted iteration gives deterministic, diffable output.
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+};
+
+}  // namespace dsched::obs

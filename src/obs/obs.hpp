@@ -1,0 +1,62 @@
+// Instrumentation macros — the only header hot-path code includes.
+//
+//   OBS_SCOPE(Category::kExecDispatch);       // times the enclosing block
+//   OBS_COUNTER(Category::kJoinEmit, n);      // records a value delta
+//
+// Both compile to a relaxed load of the installed-session pointer and a
+// branch when tracing is off; the timestamped record path runs only under
+// an installed TraceSession.  Always compiled — no build flag, so traces
+// can be captured from any binary without a rebuild.
+#pragma once
+
+#include "obs/trace_session.hpp"
+
+namespace dsched::obs {
+
+/// RAII scope: stamps construction/destruction and records the interval
+/// into the installed session, if any.
+class ScopeGuard {
+ public:
+  explicit ScopeGuard(Category category)
+      : session_(TraceSession::Current()), category_(category) {
+    if (session_ != nullptr) {
+      begin_ticks_ = NowTicks();
+    }
+  }
+
+  ScopeGuard(const ScopeGuard&) = delete;
+  ScopeGuard& operator=(const ScopeGuard&) = delete;
+
+  ~ScopeGuard() {
+    if (session_ != nullptr) {
+      session_->RecordScope(category_, begin_ticks_, NowTicks());
+    }
+  }
+
+ private:
+  TraceSession* session_;
+  Category category_;
+  std::uint64_t begin_ticks_ = 0;
+};
+
+}  // namespace dsched::obs
+
+#define DSCHED_OBS_CONCAT_IMPL(a, b) a##b
+#define DSCHED_OBS_CONCAT(a, b) DSCHED_OBS_CONCAT_IMPL(a, b)
+
+/// Times the enclosing block under `category` (an obs::Category member).
+#define OBS_SCOPE(category)                          \
+  const ::dsched::obs::ScopeGuard DSCHED_OBS_CONCAT( \
+      obs_scope_, __COUNTER__)(::dsched::obs::category)
+
+/// Records a counter delta under `category`; evaluates `delta` only when a
+/// session is installed.
+#define OBS_COUNTER(category, delta)                                     \
+  do {                                                                   \
+    ::dsched::obs::TraceSession* obs_session_ =                          \
+        ::dsched::obs::TraceSession::Current();                          \
+    if (obs_session_ != nullptr) {                                       \
+      obs_session_->RecordCount(::dsched::obs::category,                 \
+                                static_cast<std::uint64_t>(delta));      \
+    }                                                                    \
+  } while (false)

@@ -1,0 +1,166 @@
+// TraceSession: the always-compiled, near-zero-cost tracing hub.
+//
+// Design (the scheduling-overhead claim, turned on itself): instrumented
+// code wraps hot paths in OBS_SCOPE(category) from obs/obs.hpp.  When no
+// session is installed that macro costs one relaxed atomic load and a
+// predicted-not-taken branch — cheap enough to leave compiled into the
+// scheduler pop paths, the executor dispatch loop and the join kernel
+// permanently.  When a session IS installed, each scope records
+//
+//   * an exact per-thread, per-category accumulator bump (count + ticks +
+//     value) — these never overflow, so category summaries are exact even
+//     for multi-minute runs, and
+//   * one Event in the thread's keep-newest ring — the material for the
+//     Chrome trace_event JSON export.
+//
+// Threads register lazily on first record (one mutex acquisition per
+// thread per session); afterwards the record path is lock-free and
+// allocation-free.  Draining (Summary / ToChromeJson) is post-run by
+// contract: call it after worker threads have quiesced — in this repo the
+// executor's pool is joined before Run() returns, and the simulator is
+// single-threaded, so "after the run call returned" is always safe.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "obs/category.hpp"
+#include "obs/clock.hpp"
+#include "obs/event_ring.hpp"
+
+namespace dsched::obs {
+
+/// Exact per-category totals; single-writer relaxed atomics so concurrent
+/// summary polling is data-race-free.
+struct CategoryAccum {
+  std::atomic<std::uint64_t> count{0};
+  std::atomic<std::uint64_t> ticks{0};
+  std::atomic<std::uint64_t> value{0};
+};
+
+/// Plain-value snapshot of one category's totals.
+struct CategoryTotals {
+  std::uint64_t count = 0;
+  std::uint64_t ticks = 0;
+  std::uint64_t value = 0;
+};
+
+/// Everything one thread records: its ring plus exact accumulators.
+struct ThreadBuffer {
+  explicit ThreadBuffer(std::uint32_t tid_arg, std::size_t ring_capacity)
+      : tid(tid_arg), ring(ring_capacity) {}
+
+  std::uint32_t tid;
+  EventRing ring;
+  std::array<CategoryAccum, kNumCategories> accum{};
+};
+
+/// Per-category totals summed across threads; index by Category.
+using AccumSnapshot = std::array<CategoryTotals, kNumCategories>;
+
+class TraceSession {
+ public:
+  struct Options {
+    /// Per-thread ring capacity (events; rounded up to a power of two).
+    std::size_t ring_capacity = std::size_t{1} << 15;
+  };
+
+  TraceSession();
+  explicit TraceSession(Options options);
+  ~TraceSession();
+
+  TraceSession(const TraceSession&) = delete;
+  TraceSession& operator=(const TraceSession&) = delete;
+
+  /// Makes this the process-wide recording target.  One session at a time;
+  /// installing over another session replaces it (the replaced session
+  /// keeps its recorded data).
+  void Install();
+
+  /// Stops recording into this session (no-op if not installed).
+  void Uninstall();
+
+  /// The installed session, or nullptr — the macro fast-path check.
+  static TraceSession* Current() {
+    return current_.load(std::memory_order_acquire);
+  }
+
+  /// Record paths, called by ScopeGuard / OBS_COUNTER via Current().
+  void RecordScope(Category category, std::uint64_t begin_ticks,
+                   std::uint64_t end_ticks);
+  void RecordCount(Category category, std::uint64_t delta);
+
+  /// Drops a labelled instant event (a run boundary, a phase name) into
+  /// the calling thread's stream.  Mutex-protected: markers are rare.
+  void Marker(const std::string& label);
+
+  /// Exact per-category totals summed over all registered threads.
+  /// Safe to call while recording (totals are monotonic); exact once the
+  /// recording threads have quiesced.  Snapshot deltas (After - Before)
+  /// isolate one run inside a longer session.
+  [[nodiscard]] AccumSnapshot Snapshot() const;
+
+  /// Tick-duration -> nanoseconds under this session's calibration.
+  [[nodiscard]] double DurationNs(std::uint64_t ticks) const {
+    return calibration_.DurationNs(ticks);
+  }
+
+  /// Events dropped to ring overflow, summed over threads.
+  [[nodiscard]] std::uint64_t DroppedEvents() const;
+
+  /// Flat human-readable per-category summary (count, total, mean, value),
+  /// one aligned line per non-empty category.  Post-quiesce.
+  [[nodiscard]] std::string SummaryText() const;
+
+  /// Chrome trace_event JSON (load in chrome://tracing or
+  /// https://ui.perfetto.dev): complete ("X") events for scopes, counter
+  /// ("C") events, instant ("i") markers, thread-name metadata.
+  /// Post-quiesce.
+  [[nodiscard]] std::string ToChromeJson() const;
+
+  /// Writes ToChromeJson() to `path`; returns false on I/O failure.
+  bool WriteChromeJson(const std::string& path) const;
+
+ private:
+  friend struct ThreadBufferResolver;
+  ThreadBuffer& BufferForThisThread();
+
+  Options options_;
+  ClockCalibration calibration_;
+  /// Unique per session object; lets threads detect that their cached
+  /// buffer belongs to a different (possibly dead) session.
+  std::uint64_t generation_;
+
+  mutable std::mutex registry_mutex_;
+  std::vector<std::unique_ptr<ThreadBuffer>> buffers_;
+
+  struct MarkerEvent {
+    std::uint64_t ticks;
+    std::uint32_t tid;
+    std::string label;
+  };
+  mutable std::mutex marker_mutex_;
+  std::vector<MarkerEvent> markers_;
+
+  static std::atomic<TraceSession*> current_;
+};
+
+/// Sums the scope durations of `snapshot` over the scheduler pop
+/// categories nested-safely: only top-level policy entry points count, so
+/// a hybrid run is not double-charged for its children.  Pass the policy's
+/// own entry category.
+[[nodiscard]] inline CategoryTotals TotalsOf(const AccumSnapshot& snapshot,
+                                             Category category) {
+  return snapshot[static_cast<std::size_t>(category)];
+}
+
+/// Element-wise `after - before`, for isolating one run's totals.
+[[nodiscard]] AccumSnapshot SnapshotDelta(const AccumSnapshot& before,
+                                          const AccumSnapshot& after);
+
+}  // namespace dsched::obs

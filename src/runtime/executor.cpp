@@ -5,6 +5,7 @@
 #include <mutex>
 #include <vector>
 
+#include "obs/obs.hpp"
 #include "util/error.hpp"
 #include "util/timer.hpp"
 
@@ -29,6 +30,7 @@ Executor::RunStats Executor::Run(const trace::JobTrace& trace,
   util::WallTimer wall;
   util::Stopwatch sched_watch;
   util::Stopwatch dispatch_watch;
+  util::Stopwatch idle_watch;
   const std::size_t window =
       options.dispatch_window > 0
           ? options.dispatch_window
@@ -89,6 +91,7 @@ Executor::RunStats Executor::Run(const trace::JobTrace& trace,
     // one batched submit per `window` tasks.  PopReadyBatch performs the
     // OnStarted transitions itself (engine contract point 6).
     {
+      OBS_SCOPE(Category::kExecDispatch);
       const util::StopwatchGuard dispatch_guard(dispatch_watch);
       for (;;) {
         batch.clear();
@@ -109,6 +112,8 @@ Executor::RunStats Executor::Run(const trace::JobTrace& trace,
             static_cast<std::size_t>(std::bit_width(popped) - 1));
         ++stats.batch_size_hist[bucket];
         inflight += popped;
+        stats.inflight_high_water =
+            std::max<std::uint64_t>(stats.inflight_high_water, inflight);
         pool.SubmitBatch(batch);
       }
     }
@@ -128,11 +133,14 @@ Executor::RunStats Executor::Run(const trace::JobTrace& trace,
     // that arrived since the last drain.
     drained.clear();
     {
+      OBS_SCOPE(Category::kExecIdle);
+      const util::StopwatchGuard idle_guard(idle_watch);
       std::unique_lock<std::mutex> lock(completion_mutex);
       completions_arrived.wait(lock, [&] { return !completions.empty(); });
       std::swap(drained, completions);
       ++stats.completion_drains;
     }
+    OBS_SCOPE(Category::kExecDrain);
     const util::StopwatchGuard drain_guard(dispatch_watch);
     for (const Completion& c : drained) {
       --inflight;
@@ -158,7 +166,35 @@ Executor::RunStats Executor::Run(const trace::JobTrace& trace,
   stats.wall_seconds = wall.ElapsedSeconds();
   stats.sched_wall_seconds = sched_watch.TotalSeconds();
   stats.dispatch_wall_seconds = dispatch_watch.TotalSeconds();
+  stats.idle_wall_seconds = idle_watch.TotalSeconds();
   return stats;
+}
+
+namespace {
+
+std::uint64_t SecondsToNs(double seconds) {
+  return seconds <= 0.0 ? 0 : static_cast<std::uint64_t>(seconds * 1e9);
+}
+
+}  // namespace
+
+void Executor::RunStats::ExportMetrics(obs::MetricsRegistry& registry,
+                                       const std::string& prefix) const {
+  registry.Set(prefix + "executed", executed);
+  registry.Set(prefix + "activations", activations);
+  registry.Set(prefix + "wall_ns", SecondsToNs(wall_seconds));
+  registry.Set(prefix + "sched_overhead_ns", SecondsToNs(sched_wall_seconds));
+  registry.Set(prefix + "dispatch_ns", SecondsToNs(dispatch_wall_seconds));
+  registry.Set(prefix + "idle_ns", SecondsToNs(idle_wall_seconds));
+  registry.Set(prefix + "dispatch_batches", dispatch_batches);
+  registry.Set(prefix + "dispatched", dispatched);
+  registry.Max(prefix + "max_dispatch_batch", max_dispatch_batch);
+  registry.Max(prefix + "inflight_high_water", inflight_high_water);
+  registry.Set(prefix + "completion_drains", completion_drains);
+  registry.Set(prefix + "completion_pushes", completion_pushes);
+  registry.Set(prefix + "pool_steals", pool_steals);
+  registry.Set(prefix + "pool_sleeps", pool_sleeps);
+  registry.Set(prefix + "pool_wakeups", pool_wakeups);
 }
 
 }  // namespace dsched::runtime

@@ -21,6 +21,7 @@
 #include <functional>
 #include <string>
 
+#include "obs/metrics.hpp"
 #include "runtime/thread_pool.hpp"
 #include "sched/scheduler.hpp"
 #include "trace/job_trace.hpp"
@@ -61,6 +62,8 @@ class Executor {
     /// scheduler-policy subcomponent; the difference is the executor's own
     /// dispatch overhead.
     double dispatch_wall_seconds = 0.0;
+    /// Coordinator time blocked waiting for a completion to arrive.
+    double idle_wall_seconds = 0.0;
 
     // --- contention observability (all counted, not asserted) ---
     std::uint64_t dispatch_batches = 0;  ///< PopReadyBatch calls that yielded work
@@ -76,6 +79,9 @@ class Executor {
     std::uint64_t pool_steals = 0;
     std::uint64_t pool_sleeps = 0;
     std::uint64_t pool_wakeups = 0;
+    /// Most tasks simultaneously handed to the pool and not yet drained —
+    /// the ready-queue depth high-water mark seen by the coordinator.
+    std::uint64_t inflight_high_water = 0;
 
     /// Mean tasks per non-empty dispatch batch.
     [[nodiscard]] double AvgDispatchBatch() const {
@@ -84,6 +90,11 @@ class Executor {
                  : static_cast<double>(dispatched) /
                        static_cast<double>(dispatch_batches);
     }
+
+    /// Publishes the stats into `registry` under `prefix` (e.g.
+    /// "exec.hybrid.").  Durations are recorded in nanoseconds.
+    void ExportMetrics(obs::MetricsRegistry& registry,
+                       const std::string& prefix) const;
   };
 
   /// Runs the cascade to completion.  The scheduler must be fresh (Prepare

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/obs.hpp"
 #include "util/error.hpp"
 
 namespace dsched::runtime {
@@ -153,6 +154,7 @@ bool ThreadPool::TrySteal(std::size_t self, util::TaskId& out) {
     }
     unclaimed_.fetch_sub(1);  // the claimed item only; moved ones stay queued
     own.steals.fetch_add(grab, std::memory_order_relaxed);
+    OBS_COUNTER(Category::kPoolSteal, grab);
     return true;
   }
   return false;
@@ -177,10 +179,13 @@ void ThreadPool::WorkerLoop(std::size_t self) {
     }
     sleepers_.fetch_add(1, std::memory_order_seq_cst);
     own.sleeps.fetch_add(1, std::memory_order_relaxed);
-    work_available_.wait(lock, [this] {
-      return shutdown_.load(std::memory_order_relaxed) ||
-             unclaimed_.load() > 0;
-    });
+    {
+      OBS_SCOPE(Category::kPoolSleep);
+      work_available_.wait(lock, [this] {
+        return shutdown_.load(std::memory_order_relaxed) ||
+               unclaimed_.load() > 0;
+      });
+    }
     sleepers_.fetch_sub(1, std::memory_order_seq_cst);
     own.wakeups.fetch_add(1, std::memory_order_relaxed);
   }

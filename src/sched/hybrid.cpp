@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/obs.hpp"
 #include "util/error.hpp"
 
 namespace dsched::sched {
@@ -38,6 +39,7 @@ void HybridScheduler::OnCompleted(TaskId t, bool output_changed) {
 }
 
 TaskId HybridScheduler::PopReady() {
+  OBS_SCOPE(Category::kSchedPopHybrid);
   // Fast path first: in the cooperative scheme this models both finders
   // feeding the shared ready queue, with the O(1) one winning the race
   // whenever it has anything — the heuristic's scan is only paid when the
@@ -77,6 +79,7 @@ TaskId HybridScheduler::PopReady() {
 
 std::size_t HybridScheduler::PopReadyBatch(std::vector<TaskId>& out,
                                            std::size_t max) {
+  OBS_SCOPE(Category::kSchedPopHybrid);
   const std::size_t before = out.size();
   // Fast path first, same rationale as PopReady.  The popping child has
   // already transitioned its copies to started; only the other child still

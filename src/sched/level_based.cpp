@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/obs.hpp"
 #include "util/error.hpp"
 
 namespace dsched::sched {
@@ -81,6 +82,7 @@ void LevelBasedScheduler::OnCompleted(TaskId t, bool /*output_changed*/) {
 }
 
 TaskId LevelBasedScheduler::PopReady() {
+  OBS_SCOPE(Category::kSchedPopLevelBased);
   if (pending_unstarted_ == 0) {
     return util::kInvalidTask;
   }
@@ -150,6 +152,7 @@ void LevelBasedScheduler::StartNow(TaskId t) {
 
 std::size_t LevelBasedScheduler::PopReadyBatch(std::vector<TaskId>& out,
                                                std::size_t max) {
+  OBS_SCOPE(Category::kSchedPopLevelBased);
   std::size_t popped = 0;
   while (popped < max && pending_unstarted_ > 0) {
     while (frontier_ < num_levels_ && incomplete_at_level_[frontier_] == 0) {

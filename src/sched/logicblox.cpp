@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/obs.hpp"
 #include "util/error.hpp"
 
 namespace dsched::sched {
@@ -43,6 +44,7 @@ void LogicBloxScheduler::OnCompleted(TaskId t, bool /*output_changed*/) {
 }
 
 TaskId LogicBloxScheduler::PopReady() {
+  OBS_SCOPE(Category::kSchedPopLogicBlox);
   for (;;) {
     while (!ready_.empty()) {
       const TaskId t = ready_.front();
@@ -62,6 +64,7 @@ TaskId LogicBloxScheduler::PopReady() {
 
 std::size_t LogicBloxScheduler::PopReadyBatch(std::vector<TaskId>& out,
                                               std::size_t max) {
+  OBS_SCOPE(Category::kSchedPopLogicBlox);
   std::size_t popped = 0;
   for (;;) {
     while (popped < max && !ready_.empty()) {
@@ -86,6 +89,7 @@ std::size_t LogicBloxScheduler::PopReadyBatch(std::vector<TaskId>& out,
 }
 
 void LogicBloxScheduler::Scan() {
+  OBS_SCOPE(Category::kSchedScanLogicBlox);
   ++counts_.queue_scans;
   dirty_ = false;
   if (needs_compaction_) {

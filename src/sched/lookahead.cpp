@@ -1,5 +1,6 @@
 #include "sched/lookahead.hpp"
 
+#include "obs/obs.hpp"
 #include "util/error.hpp"
 
 namespace dsched::sched {
@@ -18,6 +19,7 @@ void LookaheadScheduler::Prepare(const SchedulerContext& ctx) {
 }
 
 TaskId LookaheadScheduler::PopReady() {
+  OBS_SCOPE(Category::kSchedPopLookahead);
   // Previously approved lookahead work first (cheapest).
   while (!approved_.empty()) {
     const TaskId t = approved_.front();

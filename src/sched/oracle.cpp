@@ -3,6 +3,7 @@
 #include <bit>
 
 #include "graph/topo.hpp"
+#include "obs/obs.hpp"
 #include "trace/cascade.hpp"
 #include "util/error.hpp"
 
@@ -100,6 +101,7 @@ void OracleScheduler::OnCompleted(TaskId t, bool /*output_changed*/) {
 }
 
 TaskId OracleScheduler::PopReady() {
+  OBS_SCOPE(Category::kSchedPopOracle);
   while (!ready_.empty()) {
     const TaskId t = ready_.top();
     if (started_[t]) {

@@ -1,5 +1,6 @@
 #include "sched/signal_propagation.hpp"
 
+#include "obs/obs.hpp"
 #include "util/error.hpp"
 
 namespace dsched::sched {
@@ -39,6 +40,7 @@ void SignalPropagationScheduler::OnCompleted(TaskId t, bool /*changed*/) {
 }
 
 TaskId SignalPropagationScheduler::PopReady() {
+  OBS_SCOPE(Category::kSchedPopSignal);
   if (!sources_fired_) {
     // Time zero: every source settles — dirty ones become ready, clean ones
     // flood "no change" downstream.

@@ -227,4 +227,33 @@ SimResult Simulate(const trace::JobTrace& trace, sched::Scheduler& scheduler,
   return result;
 }
 
+namespace {
+
+std::uint64_t SecondsTo(double seconds, double scale) {
+  return seconds <= 0.0 ? 0 : static_cast<std::uint64_t>(seconds * scale);
+}
+
+}  // namespace
+
+void SimResult::ExportMetrics(obs::MetricsRegistry& registry,
+                              const std::string& prefix) const {
+  registry.Set(prefix + "makespan_us", SecondsTo(makespan, 1e6));
+  registry.Set(prefix + "total_us", SecondsTo(TotalSeconds(), 1e6));
+  registry.Set(prefix + "prepare_ns", SecondsTo(prepare_wall_seconds, 1e9));
+  registry.Set(prefix + "sched_overhead_ns",
+               SecondsTo(sched_wall_seconds, 1e9));
+  registry.Set(prefix + "tasks_executed", tasks_executed);
+  registry.Set(prefix + "activations", activations);
+  registry.Set(prefix + "scheduler_memory_bytes", scheduler_memory_bytes);
+  registry.Set(prefix + "ops.ancestor_queries", ops.ancestor_queries);
+  registry.Set(prefix + "ops.interval_probes", ops.interval_probes);
+  registry.Set(prefix + "ops.queue_scans", ops.queue_scans);
+  registry.Set(prefix + "ops.scanned_candidates", ops.scanned_candidates);
+  registry.Set(prefix + "ops.messages", ops.messages);
+  registry.Set(prefix + "ops.level_advances", ops.level_advances);
+  registry.Set(prefix + "ops.lookahead_visits", ops.lookahead_visits);
+  registry.Set(prefix + "ops.pops", ops.pops);
+  registry.Set(prefix + "ops.total", ops.Total());
+}
+
 }  // namespace dsched::sim

@@ -27,6 +27,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/metrics.hpp"
 #include "sched/scheduler.hpp"
 #include "trace/job_trace.hpp"
 #include "util/types.hpp"
@@ -83,6 +84,12 @@ struct SimResult {
   [[nodiscard]] double TotalSeconds() const {
     return makespan + sched_wall_seconds;
   }
+
+  /// Publishes the run into `registry` under `prefix` (e.g.
+  /// "sim.hybrid.").  Virtual times are recorded in microseconds, real
+  /// times in nanoseconds.
+  void ExportMetrics(obs::MetricsRegistry& registry,
+                     const std::string& prefix) const;
 };
 
 /// Runs `scheduler` over `trace`.  The scheduler must be freshly

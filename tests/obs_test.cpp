@@ -1,0 +1,493 @@
+// Contract tests for the observability layer (src/obs/): the event ring's
+// keep-newest overflow, the disabled-session zero-side-effect guarantee,
+// the Chrome trace_event export (round-tripped through a minimal JSON
+// parser below), the MetricsRegistry concurrency contract (run this file
+// under TSan — the CI tsan job does), and an end-to-end smoke through the
+// simulator's instrumented scheduler pop paths.
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <thread>
+#include <variant>
+#include <vector>
+
+#include "obs/event_ring.hpp"
+#include "obs/metrics.hpp"
+#include "obs/obs.hpp"
+#include "obs/trace_session.hpp"
+#include "sched/factory.hpp"
+#include "sim/engine.hpp"
+#include "trace/generators.hpp"
+#include "util/rng.hpp"
+
+namespace dsched::obs {
+namespace {
+
+// ---------------------------------------------------------------------------
+// A minimal JSON value + recursive-descent parser, just enough to round-trip
+// the Chrome trace_event export.  Deliberately in-test: the repo has no JSON
+// dependency, and the export must stay parseable by *any* conforming reader.
+
+struct JsonValue;
+using JsonArray = std::vector<JsonValue>;
+using JsonObject = std::map<std::string, JsonValue>;
+
+struct JsonValue {
+  std::variant<std::nullptr_t, bool, double, std::string,
+               std::shared_ptr<JsonArray>, std::shared_ptr<JsonObject>>
+      data = nullptr;
+
+  [[nodiscard]] bool IsObject() const {
+    return std::holds_alternative<std::shared_ptr<JsonObject>>(data);
+  }
+  [[nodiscard]] const JsonObject& AsObject() const {
+    return *std::get<std::shared_ptr<JsonObject>>(data);
+  }
+  [[nodiscard]] const JsonArray& AsArray() const {
+    return *std::get<std::shared_ptr<JsonArray>>(data);
+  }
+  [[nodiscard]] const std::string& AsString() const {
+    return std::get<std::string>(data);
+  }
+  [[nodiscard]] double AsNumber() const { return std::get<double>(data); }
+};
+
+class JsonParser {
+ public:
+  explicit JsonParser(const std::string& text) : text_(text) {}
+
+  /// Parses the whole input; sets `ok` false on any syntax error.
+  JsonValue Parse(bool& ok) {
+    ok = true;
+    const JsonValue value = ParseValue(ok);
+    SkipWs();
+    if (pos_ != text_.size()) {
+      ok = false;
+    }
+    return value;
+  }
+
+ private:
+  void SkipWs() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_])) != 0) {
+      ++pos_;
+    }
+  }
+
+  bool Consume(char c) {
+    SkipWs();
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  JsonValue ParseValue(bool& ok) {
+    SkipWs();
+    if (pos_ >= text_.size()) {
+      ok = false;
+      return {};
+    }
+    const char c = text_[pos_];
+    if (c == '{') {
+      return ParseObject(ok);
+    }
+    if (c == '[') {
+      return ParseArray(ok);
+    }
+    if (c == '"') {
+      JsonValue v;
+      v.data = ParseString(ok);
+      return v;
+    }
+    if (text_.compare(pos_, 4, "true") == 0) {
+      pos_ += 4;
+      return JsonValue{true};
+    }
+    if (text_.compare(pos_, 5, "false") == 0) {
+      pos_ += 5;
+      return JsonValue{false};
+    }
+    if (text_.compare(pos_, 4, "null") == 0) {
+      pos_ += 4;
+      return JsonValue{nullptr};
+    }
+    return ParseNumber(ok);
+  }
+
+  JsonValue ParseObject(bool& ok) {
+    auto object = std::make_shared<JsonObject>();
+    Consume('{');
+    SkipWs();
+    if (!Consume('}')) {
+      do {
+        SkipWs();
+        const std::string key = ParseString(ok);
+        if (!ok || !Consume(':')) {
+          ok = false;
+          return {};
+        }
+        (*object)[key] = ParseValue(ok);
+        if (!ok) {
+          return {};
+        }
+      } while (Consume(','));
+      if (!Consume('}')) {
+        ok = false;
+      }
+    }
+    JsonValue v;
+    v.data = object;
+    return v;
+  }
+
+  JsonValue ParseArray(bool& ok) {
+    auto array = std::make_shared<JsonArray>();
+    Consume('[');
+    SkipWs();
+    if (!Consume(']')) {
+      do {
+        array->push_back(ParseValue(ok));
+        if (!ok) {
+          return {};
+        }
+      } while (Consume(','));
+      if (!Consume(']')) {
+        ok = false;
+      }
+    }
+    JsonValue v;
+    v.data = array;
+    return v;
+  }
+
+  std::string ParseString(bool& ok) {
+    if (pos_ >= text_.size() || text_[pos_] != '"') {
+      ok = false;
+      return {};
+    }
+    ++pos_;
+    std::string out;
+    while (pos_ < text_.size() && text_[pos_] != '"') {
+      char c = text_[pos_++];
+      if (c == '\\' && pos_ < text_.size()) {
+        const char escaped = text_[pos_++];
+        switch (escaped) {
+          case 'n': c = '\n'; break;
+          case 't': c = '\t'; break;
+          case 'r': c = '\r'; break;
+          case 'u':
+            // The export only emits \u00XX for control bytes; skip the
+            // four hex digits and substitute a placeholder.
+            pos_ += 4;
+            c = '?';
+            break;
+          default: c = escaped; break;
+        }
+      }
+      out.push_back(c);
+    }
+    if (pos_ >= text_.size()) {
+      ok = false;
+      return {};
+    }
+    ++pos_;  // closing quote
+    return out;
+  }
+
+  JsonValue ParseNumber(bool& ok) {
+    const std::size_t start = pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) != 0 ||
+            text_[pos_] == '-' || text_[pos_] == '+' || text_[pos_] == '.' ||
+            text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      ++pos_;
+    }
+    if (pos_ == start) {
+      ok = false;
+      return {};
+    }
+    JsonValue v;
+    v.data = std::stod(text_.substr(start, pos_ - start));
+    return v;
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+};
+
+// ---------------------------------------------------------------------------
+
+TEST(EventRingTest, OverflowKeepsNewest) {
+  EventRing ring(8);
+  ASSERT_EQ(ring.Capacity(), 8u);
+  for (std::uint64_t i = 0; i < 20; ++i) {
+    Event e;
+    e.begin_ticks = i;
+    e.end_ticks = i + 1;
+    e.category = Category::kExecDispatch;
+    ring.Push(e);
+  }
+  EXPECT_EQ(ring.Pushed(), 20u);
+  EXPECT_EQ(ring.Dropped(), 12u);
+  const std::vector<Event> kept = ring.Snapshot();
+  ASSERT_EQ(kept.size(), 8u);
+  // Oldest-first drain of exactly the newest 8 pushes (12..19).
+  for (std::size_t i = 0; i < kept.size(); ++i) {
+    EXPECT_EQ(kept[i].begin_ticks, 12 + i);
+  }
+}
+
+TEST(EventRingTest, CapacityRoundsUpToPowerOfTwo) {
+  EXPECT_EQ(EventRing(1).Capacity(), 8u);   // minimum
+  EXPECT_EQ(EventRing(9).Capacity(), 16u);  // next power of two
+  EXPECT_EQ(EventRing(64).Capacity(), 64u);
+}
+
+TEST(TraceSessionTest, DisabledScopesAreSideEffectFree) {
+  ASSERT_EQ(TraceSession::Current(), nullptr)
+      << "another test left a session installed";
+  {
+    OBS_SCOPE(Category::kJoinProbe);
+    OBS_COUNTER(Category::kJoinEmit, 17);
+  }
+  // A session installed *afterwards* must observe nothing.
+  TraceSession session;
+  session.Install();
+  {
+    OBS_SCOPE(Category::kJoinProbe);
+  }
+  session.Uninstall();
+  {
+    // Recorded-after-uninstall must not land either.
+    OBS_SCOPE(Category::kJoinProbe);
+    OBS_COUNTER(Category::kJoinEmit, 4);
+  }
+  const AccumSnapshot snapshot = session.Snapshot();
+  EXPECT_EQ(TotalsOf(snapshot, Category::kJoinProbe).count, 1u);
+  EXPECT_EQ(TotalsOf(snapshot, Category::kJoinEmit).value, 0u);
+}
+
+TEST(TraceSessionTest, CounterDeltaIsNotEvaluatedWhenDisabled) {
+  ASSERT_EQ(TraceSession::Current(), nullptr);
+  int evaluations = 0;
+  OBS_COUNTER(Category::kJoinEmit, [&] {
+    ++evaluations;
+    return 1;
+  }());
+  EXPECT_EQ(evaluations, 0);
+}
+
+TEST(TraceSessionTest, AccumulatorsStayExactUnderRingOverflow) {
+  TraceSession::Options options;
+  options.ring_capacity = 8;
+  TraceSession session(options);
+  session.Install();
+  constexpr std::uint64_t kScopes = 1000;
+  for (std::uint64_t i = 0; i < kScopes; ++i) {
+    OBS_SCOPE(Category::kSchedPopLevelBased);
+  }
+  session.Uninstall();
+  EXPECT_GT(session.DroppedEvents(), 0u);
+  const AccumSnapshot snapshot = session.Snapshot();
+  // The ring dropped most events, but the totals never do.
+  EXPECT_EQ(TotalsOf(snapshot, Category::kSchedPopLevelBased).count, kScopes);
+}
+
+TEST(TraceSessionTest, SnapshotDeltaIsolatesARun) {
+  TraceSession session;
+  session.Install();
+  { OBS_SCOPE(Category::kExecDispatch); }
+  const AccumSnapshot before = session.Snapshot();
+  { OBS_SCOPE(Category::kExecDispatch); }
+  { OBS_SCOPE(Category::kExecDispatch); }
+  const AccumSnapshot delta = SnapshotDelta(before, session.Snapshot());
+  session.Uninstall();
+  EXPECT_EQ(TotalsOf(delta, Category::kExecDispatch).count, 2u);
+}
+
+TEST(TraceSessionTest, ChromeJsonRoundTrips) {
+  TraceSession session;
+  session.Install();
+  { OBS_SCOPE(Category::kJoinPlan); }
+  { OBS_SCOPE(Category::kJoinProbe); }
+  OBS_COUNTER(Category::kJoinEmit, 42);
+  session.Marker("unit \"test\" marker\n");  // exercise string escaping
+  session.Uninstall();
+
+  const std::string json = session.ToChromeJson();
+  bool ok = false;
+  JsonParser parser(json);
+  const JsonValue root = parser.Parse(ok);
+  ASSERT_TRUE(ok) << "export is not valid JSON:\n" << json;
+  ASSERT_TRUE(root.IsObject());
+  const JsonObject& top = root.AsObject();
+  ASSERT_TRUE(top.count("displayTimeUnit"));
+  EXPECT_EQ(top.at("displayTimeUnit").AsString(), "ms");
+  ASSERT_TRUE(top.count("traceEvents"));
+
+  bool saw_scope = false;
+  bool saw_counter = false;
+  bool saw_marker = false;
+  bool saw_thread_name = false;
+  for (const JsonValue& event : top.at("traceEvents").AsArray()) {
+    ASSERT_TRUE(event.IsObject());
+    const JsonObject& fields = event.AsObject();
+    ASSERT_TRUE(fields.count("ph"));
+    ASSERT_TRUE(fields.count("name"));
+    ASSERT_TRUE(fields.count("pid"));
+    ASSERT_TRUE(fields.count("tid"));
+    const std::string ph = fields.at("ph").AsString();
+    const std::string name = fields.at("name").AsString();
+    if (ph == "X") {
+      saw_scope = true;
+      ASSERT_TRUE(fields.count("dur"));
+      ASSERT_TRUE(fields.count("ts"));
+      EXPECT_GE(fields.at("dur").AsNumber(), 0.0);
+      EXPECT_TRUE(name == CategoryName(Category::kJoinPlan) ||
+                  name == CategoryName(Category::kJoinProbe))
+          << name;
+    } else if (ph == "C") {
+      saw_counter = true;
+      EXPECT_EQ(name, CategoryName(Category::kJoinEmit));
+    } else if (ph == "i") {
+      saw_marker = true;
+      EXPECT_EQ(name, "unit \"test\" marker\n");
+    } else if (ph == "M") {
+      saw_thread_name = true;
+      EXPECT_EQ(name, "thread_name");
+    }
+  }
+  EXPECT_TRUE(saw_scope);
+  EXPECT_TRUE(saw_counter);
+  EXPECT_TRUE(saw_marker);
+  EXPECT_TRUE(saw_thread_name);
+}
+
+TEST(TraceSessionTest, MultiThreadedRecordingIsRaceFree) {
+  TraceSession session;
+  session.Install();
+  constexpr int kThreads = 4;
+  constexpr std::uint64_t kPerThread = 2000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([] {
+      for (std::uint64_t i = 0; i < kPerThread; ++i) {
+        OBS_SCOPE(Category::kPoolSteal);
+        OBS_COUNTER(Category::kJoinEmit, 1);
+      }
+    });
+  }
+  for (std::thread& thread : threads) {
+    thread.join();
+  }
+  session.Uninstall();
+  const AccumSnapshot snapshot = session.Snapshot();
+  EXPECT_EQ(TotalsOf(snapshot, Category::kPoolSteal).count,
+            kThreads * kPerThread);
+  EXPECT_EQ(TotalsOf(snapshot, Category::kJoinEmit).value,
+            kThreads * kPerThread);
+}
+
+TEST(MetricsRegistryTest, BasicOperations) {
+  MetricsRegistry registry;
+  registry.Add("a.count", 3);
+  registry.Add("a.count", 4);
+  registry.Set("b.gauge", 10);
+  registry.Set("b.gauge", 7);
+  registry.Max("c.high_water", 5);
+  registry.Max("c.high_water", 9);
+  registry.Max("c.high_water", 2);
+  EXPECT_EQ(registry.Value("a.count"), 7u);
+  EXPECT_EQ(registry.Value("b.gauge"), 7u);
+  EXPECT_EQ(registry.Value("c.high_water"), 9u);
+  EXPECT_EQ(registry.Value("never.touched"), 0u);
+}
+
+TEST(MetricsRegistryTest, JsonIsSortedAndParseable) {
+  MetricsRegistry registry;
+  registry.Set("z.last", 1);
+  registry.Set("a.first", 2);
+  registry.Set("m.middle", 3);
+  const std::string json = registry.ToJson();
+  bool ok = false;
+  JsonParser parser(json);
+  const JsonValue root = parser.Parse(ok);
+  ASSERT_TRUE(ok) << json;
+  ASSERT_TRUE(root.IsObject());
+  EXPECT_EQ(root.AsObject().at("a.first").AsNumber(), 2.0);
+  EXPECT_EQ(root.AsObject().at("z.last").AsNumber(), 1.0);
+  // Sorted emission order.
+  EXPECT_LT(json.find("a.first"), json.find("m.middle"));
+  EXPECT_LT(json.find("m.middle"), json.find("z.last"));
+}
+
+TEST(MetricsRegistryTest, ConcurrentIncrementsAreExact) {
+  MetricsRegistry registry;
+  constexpr int kThreads = 8;
+  constexpr std::uint64_t kPerThread = 5000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&registry, t] {
+      for (std::uint64_t i = 0; i < kPerThread; ++i) {
+        registry.Add("shared.adds", 1);
+        registry.Max("shared.max",
+                     static_cast<std::uint64_t>(t) * kPerThread + i);
+        registry.Add("thread." + std::to_string(t) + ".own", 1);
+      }
+    });
+  }
+  for (std::thread& thread : threads) {
+    thread.join();
+  }
+  EXPECT_EQ(registry.Value("shared.adds"), kThreads * kPerThread);
+  EXPECT_EQ(registry.Value("shared.max"), kThreads * kPerThread - 1);
+  for (int t = 0; t < kThreads; ++t) {
+    EXPECT_EQ(registry.Value("thread." + std::to_string(t) + ".own"),
+              kPerThread);
+  }
+}
+
+/// End-to-end: a simulated run under a session populates the scheduler pop
+/// categories, and SimResult::ExportMetrics lands in the registry.
+TEST(ObsIntegrationTest, SimulatedRunRecordsSchedulerScopes) {
+  util::Rng rng(3);
+  trace::LayeredDagSpec spec;
+  spec.name = "obs-smoke";
+  spec.level_widths = trace::MakeLevelWidths(200, 8, 25, rng);
+  spec.extra_edges = 100;
+  spec.initial_dirty = 4;
+  spec.target_active = 60;
+  spec.durations.median_seconds = 1e-4;
+  spec.seed = 11;
+  const trace::JobTrace jt = trace::GenerateLayered(spec);
+
+  TraceSession session;
+  session.Install();
+  auto scheduler = sched::CreateScheduler("levelbased");
+  sim::SimConfig config;
+  config.processors = 4;
+  const sim::SimResult result = sim::Simulate(jt, *scheduler, config);
+  session.Uninstall();
+
+  const AccumSnapshot snapshot = session.Snapshot();
+  EXPECT_GT(TotalsOf(snapshot, Category::kSchedPopLevelBased).count, 0u);
+  EXPECT_EQ(TotalsOf(snapshot, Category::kSchedPopLogicBlox).count, 0u);
+
+  MetricsRegistry registry;
+  result.ExportMetrics(registry, "sim.levelbased.");
+  EXPECT_EQ(registry.Value("sim.levelbased.tasks_executed"),
+            result.tasks_executed);
+  EXPECT_GT(registry.Value("sim.levelbased.ops.pops"), 0u);
+}
+
+}  // namespace
+}  // namespace dsched::obs

@@ -1,0 +1,132 @@
+#!/usr/bin/env python3
+"""Validate a --trace export against docs/trace_event.schema.json.
+
+Pure stdlib: interprets the JSON Schema subset the checked-in schema uses
+(type, required, properties, items, enum, minItems) instead of depending
+on the `jsonschema` package.  Beyond the schema it enforces the semantic
+invariants the exporter promises: per-phase required fields (X events
+carry ts/dur, i events carry ts and scope "g", M events name a thread)
+and non-negative durations.
+
+Usage:
+    tools/validate_trace.py trace.json [more.json ...]
+
+Exits non-zero, printing every violation, if any file fails.
+"""
+
+import json
+import os
+import sys
+
+SCHEMA_PATH = os.path.join(
+    os.path.dirname(os.path.abspath(__file__)), "..", "docs",
+    "trace_event.schema.json")
+
+TYPE_CHECKS = {
+    "object": lambda v: isinstance(v, dict),
+    "array": lambda v: isinstance(v, list),
+    "string": lambda v: isinstance(v, str),
+    "number": lambda v: isinstance(v, (int, float)) and not isinstance(v, bool),
+    "integer": lambda v: isinstance(v, int) and not isinstance(v, bool),
+    "boolean": lambda v: isinstance(v, bool),
+}
+
+# Fields each phase must carry beyond the schema's common set.
+PHASE_REQUIREMENTS = {
+    "X": ("ts", "dur", "cat"),
+    "C": ("ts", "cat", "args"),
+    "i": ("ts", "s"),
+    "M": ("args",),
+}
+
+
+def check_schema(value, schema, path, errors):
+    """Recursively validate `value` against the supported schema subset."""
+    expected_type = schema.get("type")
+    if expected_type is not None:
+        check = TYPE_CHECKS.get(expected_type)
+        if check is None:
+            errors.append(f"{path}: schema uses unsupported type "
+                          f"'{expected_type}' — extend validate_trace.py")
+            return
+        if not check(value):
+            errors.append(f"{path}: expected {expected_type}, "
+                          f"got {type(value).__name__}")
+            return
+    if "enum" in schema and value not in schema["enum"]:
+        errors.append(f"{path}: {value!r} not in {schema['enum']}")
+    if isinstance(value, dict):
+        for key in schema.get("required", ()):
+            if key not in value:
+                errors.append(f"{path}: missing required field '{key}'")
+        for key, subschema in schema.get("properties", {}).items():
+            if key in value:
+                check_schema(value[key], subschema, f"{path}.{key}", errors)
+    if isinstance(value, list):
+        min_items = schema.get("minItems")
+        if min_items is not None and len(value) < min_items:
+            errors.append(f"{path}: {len(value)} items < minItems {min_items}")
+        items = schema.get("items")
+        if items is not None:
+            for i, item in enumerate(value):
+                check_schema(item, items, f"{path}[{i}]", errors)
+
+
+def check_semantics(trace, errors):
+    """Exporter invariants the schema's flat property list cannot express."""
+    for i, event in enumerate(trace.get("traceEvents", [])):
+        if not isinstance(event, dict):
+            continue
+        path = f"$.traceEvents[{i}]"
+        phase = event.get("ph")
+        for field in PHASE_REQUIREMENTS.get(phase, ()):
+            if field not in event:
+                errors.append(f"{path}: ph '{phase}' event missing '{field}'")
+        if "dur" in event and isinstance(event["dur"], (int, float)) \
+                and event["dur"] < 0:
+            errors.append(f"{path}: negative duration {event['dur']}")
+        if phase == "i" and event.get("s") != "g":
+            errors.append(f"{path}: instant marker scope is "
+                          f"{event.get('s')!r}, expected 'g' (global)")
+        if phase == "M" and event.get("name") != "thread_name":
+            errors.append(f"{path}: metadata event named "
+                          f"{event.get('name')!r}, expected 'thread_name'")
+
+
+def validate_file(path, schema):
+    try:
+        with open(path, encoding="utf-8") as f:
+            trace = json.load(f)
+    except (OSError, json.JSONDecodeError) as exc:
+        return [f"$: cannot parse: {exc}"]
+    errors = []
+    check_schema(trace, schema, "$", errors)
+    check_semantics(trace, errors)
+    return errors
+
+
+def main(argv):
+    if len(argv) < 2:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    with open(SCHEMA_PATH, encoding="utf-8") as f:
+        schema = json.load(f)
+    failed = False
+    for path in argv[1:]:
+        errors = validate_file(path, schema)
+        if errors:
+            failed = True
+            print(f"{path}: INVALID")
+            for error in errors[:50]:
+                print(f"  {error}")
+            if len(errors) > 50:
+                print(f"  ... and {len(errors) - 50} more")
+        else:
+            with open(path, encoding="utf-8") as f:
+                count = len(json.load(f)["traceEvents"])
+            print(f"{path}: OK ({count} events)")
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
