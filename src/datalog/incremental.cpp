@@ -3,6 +3,7 @@
 #include <sstream>
 #include <unordered_set>
 
+#include "datalog/delta_buffer.hpp"
 #include "util/error.hpp"
 #include "util/timer.hpp"
 
@@ -49,11 +50,10 @@ bool OldStateView::ContainsTuple(std::uint32_t predicate,
 
 RowView OldStateView::RowAt(std::uint32_t predicate,
                             std::uint32_t row) const {
-  const Relation& relation = live_.Of(predicate);
-  if (row < relation.Size()) {
-    return relation.Row(row);
+  if ((row & Relation::kExtraBit) != 0) {
+    return extras_[predicate][row & ~Relation::kExtraBit];
   }
-  return extras_[predicate][row - relation.Size()];
+  return live_.Of(predicate).Row(row);
 }
 
 OldStateView::PreparedIndex OldStateView::Prepare(
@@ -74,7 +74,6 @@ std::vector<std::uint32_t> OldStateView::LookupPrepared(
       out.push_back(id);
     }
   }
-  const auto live_size = static_cast<std::uint32_t>(live_.Of(predicate).Size());
   const auto& extras = extras_[predicate];
   for (std::size_t i = 0; i < extras.size(); ++i) {
     bool match = true;
@@ -85,7 +84,7 @@ std::vector<std::uint32_t> OldStateView::LookupPrepared(
       }
     }
     if (match) {
-      out.push_back(live_size + static_cast<std::uint32_t>(i));
+      out.push_back(Relation::kExtraBit | static_cast<std::uint32_t>(i));
     }
   }
   return out;
@@ -171,7 +170,8 @@ ComponentUpdateStats RunComponentPhase(const Program& program,
                                        std::uint32_t component,
                                        RelationStore& store,
                                        const GroupedBaseChanges& base,
-                                       std::vector<PredicateDelta>& net) {
+                                       std::vector<PredicateDelta>& net,
+                                       StoreWriteBuffer* scratch) {
   util::WallTimer comp_timer;
   ComponentUpdateStats comp_stats;
   comp_stats.component = component;
@@ -202,12 +202,11 @@ ComponentUpdateStats RunComponentPhase(const Program& program,
     }
     Relation& relation = store.Of(p);
     std::vector<Tuple> stale;
-    for (std::uint32_t r = 0; r < relation.Size(); ++r) {
-      const RowView row = relation.Row(r);
+    relation.ForEachRow([&fresh, &stale](std::uint32_t, RowView row) {
       if (!fresh.contains(row)) {
         stale.emplace_back(row.begin(), row.end());
       }
-    }
+    });
     for (const Tuple& t : stale) {
       relation.Erase(t);
       net[p].deleted.push_back(t);
@@ -390,12 +389,36 @@ ComponentUpdateStats RunComponentPhase(const Program& program,
 
   // ---------------------------------------------------------------- 4.
   // Insertions: base inserts into members + lower net insertions, then the
-  // semi-naive continuation.
+  // semi-naive continuation.  With a worker scratch buffer the inserts go
+  // through the lock-free shard-publication protocol — staged per shard,
+  // one atomic append each, outcomes harvested at Flush — instead of the
+  // direct mutator.  The overdeletion path above stays direct on purpose:
+  // its erases must be visible to the old-state view immediately, or a
+  // tuple would be found both live and as a deleted extra.
   for (const std::uint32_t p : members) {
-    for (const Tuple& t : base.insertions[p]) {
-      if (store.Of(p).Insert(t)) {
-        phase_inserted[p].insert(t);
-        member_seed[p].push_back(t);
+    if (base.insertions[p].empty()) {
+      continue;
+    }
+    if (scratch != nullptr) {
+      ShardedWriteBuffer& writes = scratch->For(store, p);
+      for (const Tuple& t : base.insertions[p]) {
+        writes.StageInsert(t);
+      }
+      writes.Flush([&phase_inserted, &member_seed, p](std::uint8_t,
+                                                      RowView row,
+                                                      bool fresh) {
+        if (fresh) {
+          Tuple t(row.begin(), row.end());
+          phase_inserted[p].insert(t);
+          member_seed[p].push_back(std::move(t));
+        }
+      });
+    } else {
+      for (const Tuple& t : base.insertions[p]) {
+        if (store.Of(p).Insert(t)) {
+          phase_inserted[p].insert(t);
+          member_seed[p].push_back(t);
+        }
       }
     }
   }

@@ -22,6 +22,8 @@
 
 namespace dsched::datalog {
 
+class StoreWriteBuffer;
+
 /// A batch of base-fact changes.
 struct UpdateRequest {
   /// (predicate, tuple) pairs to add.  Already-present tuples are no-ops.
@@ -84,9 +86,10 @@ struct GroupedBaseChanges {
 /// overdeletion can join against the old state without snapshotting the
 /// database (the deltas are small; the database is not).
 ///
-/// Row-id space per predicate: [0, live.Size()) are live rows (ids straight
-/// from the live store's indexes, so its caches are reused), and ids past
-/// that address the "deleted extras" — tuples removed from the live store
+/// Row-id space per predicate: ids without Relation::kExtraBit are live rows
+/// (ids straight from the live store's indexes, so its caches are reused —
+/// a live Relation never produces an id with bit 31 set), and ids with the
+/// bit set address the "deleted extras" — tuples removed from the live store
 /// that the old state still contains.  Member-phase deletions are appended
 /// via AddDeletedExtra as the phase erases them.
 ///
@@ -173,12 +176,19 @@ void ApplyRuleOldState(const Program& program, const OldStateView& old_state,
 /// `net`, and the returned stats; reads lower predicates' relations and
 /// `net` entries, which the caller must have finalized (the dependency
 /// DAG's precedence).
+///
+/// `scratch`, when given, is the calling worker's write buffer: the phase
+/// stages its base insertions through the lock-free shard-publication
+/// protocol instead of direct Insert calls (see delta_buffer.hpp).  The
+/// buffer must be owned by the calling thread; nullptr keeps the direct
+/// path.
 ComponentUpdateStats RunComponentPhase(const Program& program,
                                        const Stratification& strat,
                                        std::uint32_t component,
                                        RelationStore& store,
                                        const GroupedBaseChanges& base,
-                                       std::vector<PredicateDelta>& net);
+                                       std::vector<PredicateDelta>& net,
+                                       StoreWriteBuffer* scratch = nullptr);
 
 /// The core propagation loop shared by base-fact updates and rule changes:
 /// runs the phase of every component that is touched (per

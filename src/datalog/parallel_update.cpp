@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "datalog/delta_buffer.hpp"
 #include "graph/digraph_builder.hpp"
 #include "sched/factory.hpp"
 #include "util/error.hpp"
@@ -91,8 +92,15 @@ ParallelUpdateResult ApplyParallel(const Program& program,
   // share a byte the way vector<bool> bits would).
   std::vector<std::uint8_t> pred_changed(num_preds, 0);
 
-  const auto run_phase = [&](std::uint32_t c) -> bool {
-    stats[c] = RunComponentPhase(program, strat, c, store, base, net);
+  // One write buffer per executor worker: a phase stages its base inserts
+  // per shard and publishes them lock-free (see delta_buffer.hpp).  Buffers
+  // are indexed by the worker running the task, so each is single-owner.
+  std::vector<StoreWriteBuffer> scratch(std::max<std::size_t>(
+      options.workers, 1));
+
+  const auto run_phase = [&](std::uint32_t c, std::size_t worker) -> bool {
+    stats[c] =
+        RunComponentPhase(program, strat, c, store, base, net, &scratch[worker]);
     bool changed = false;
     for (const std::uint32_t p : strat.component_members[c]) {
       if (!net[p].Empty()) {
@@ -113,19 +121,21 @@ ParallelUpdateResult ApplyParallel(const Program& program,
   auto scheduler = sched::CreateScheduler(options.scheduler_spec);
   result.run = runtime::Executor::Run(
       result.trace, *scheduler,
-      [&](util::TaskId t) -> bool {
-        if (t >= num_preds) {
-          return run_phase(node_component[t]);
-        }
-        const auto p = static_cast<std::uint32_t>(t);
-        const std::uint32_t c = strat.component_of[p];
-        if (component_node[c] == util::kInvalidTask) {
-          // Rule-less base predicate: the collector runs the phase itself.
-          return run_phase(c);
-        }
-        // Derived predicate collector: forward the owner's verdict.
-        return pred_changed[p] != 0;
-      },
+      runtime::Executor::WorkerTaskBody(
+          [&](util::TaskId t, std::size_t worker) -> bool {
+            if (t >= num_preds) {
+              return run_phase(node_component[t], worker);
+            }
+            const auto p = static_cast<std::uint32_t>(t);
+            const std::uint32_t c = strat.component_of[p];
+            if (component_node[c] == util::kInvalidTask) {
+              // Rule-less base predicate: the collector runs the phase
+              // itself.
+              return run_phase(c, worker);
+            }
+            // Derived predicate collector: forward the owner's verdict.
+            return pred_changed[p] != 0;
+          }),
       {.workers = options.workers});
 
   // --- Assemble the sequential-compatible result.

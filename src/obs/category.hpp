@@ -41,6 +41,10 @@ enum class Category : std::uint8_t {
   kJoinProbe,  ///< the nested-loop join itself
   kJoinEmit,   ///< counter: head tuples emitted by the application
 
+  // Sharded relation store (datalog/relation.cpp).
+  kStorePublish,  ///< counter: staged rows published to shard delta lists
+  kStoreAbsorb,   ///< scope: draining a shard's pending chunks
+
   kCategoryCount
 };
 

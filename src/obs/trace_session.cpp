@@ -96,6 +96,10 @@ const char* CategoryName(Category category) {
       return "join.probe";
     case Category::kJoinEmit:
       return "join.emit";
+    case Category::kStorePublish:
+      return "store.publish";
+    case Category::kStoreAbsorb:
+      return "store.absorb";
     case Category::kCategoryCount:
       break;
   }
@@ -123,6 +127,9 @@ const char* CategoryGroup(Category category) {
     case Category::kJoinProbe:
     case Category::kJoinEmit:
       return "join";
+    case Category::kStorePublish:
+    case Category::kStoreAbsorb:
+      return "store";
     case Category::kCategoryCount:
       break;
   }
@@ -130,7 +137,9 @@ const char* CategoryGroup(Category category) {
 }
 
 bool IsCounterCategory(Category category) {
-  return category == Category::kPoolSteal || category == Category::kJoinEmit;
+  return category == Category::kPoolSteal ||
+         category == Category::kJoinEmit ||
+         category == Category::kStorePublish;
 }
 
 std::atomic<TraceSession*> TraceSession::current_{nullptr};

@@ -22,7 +22,7 @@ struct Completion {
 
 Executor::RunStats Executor::Run(const trace::JobTrace& trace,
                                  sched::Scheduler& scheduler,
-                                 const TaskBody& body,
+                                 const WorkerTaskBody& body,
                                  const Options& options) {
   DSCHED_CHECK_MSG(options.workers >= 1, "need at least one worker");
   const graph::Dag& dag = trace.Graph();
@@ -69,8 +69,8 @@ Executor::RunStats Executor::Run(const trace::JobTrace& trace,
   std::vector<Completion> completions;
   completions.reserve(2 * window);
 
-  ThreadPool pool(options.workers, [&](TaskId t) {
-    const bool changed = body ? body(t) : trace.Info(t).output_changes;
+  ThreadPool pool(options.workers, [&](TaskId t, std::size_t worker) {
+    const bool changed = body ? body(t, worker) : trace.Info(t).output_changes;
     bool was_empty = false;
     {
       const std::lock_guard<std::mutex> lock(completion_mutex);
@@ -168,6 +168,18 @@ Executor::RunStats Executor::Run(const trace::JobTrace& trace,
   stats.dispatch_wall_seconds = dispatch_watch.TotalSeconds();
   stats.idle_wall_seconds = idle_watch.TotalSeconds();
   return stats;
+}
+
+Executor::RunStats Executor::Run(const trace::JobTrace& trace,
+                                 sched::Scheduler& scheduler,
+                                 const TaskBody& body,
+                                 const Options& options) {
+  if (!body) {
+    return Run(trace, scheduler, WorkerTaskBody{}, options);
+  }
+  return Run(trace, scheduler,
+             WorkerTaskBody([&body](TaskId t, std::size_t) { return body(t); }),
+             options);
 }
 
 namespace {

@@ -39,6 +39,12 @@ class Executor {
   /// recorded output_changes bits and does no work.
   using TaskBody = std::function<bool(TaskId)>;
 
+  /// Worker-aware task body: like TaskBody, but also receives the index of
+  /// the pool worker running the task (in [0, Options::workers)).  This is
+  /// how per-worker state — e.g. the parallel Datalog engine's worker-local
+  /// delta buffers — reaches the body without thread-local lookups.
+  using WorkerTaskBody = std::function<bool(TaskId, std::size_t)>;
+
   struct Options {
     std::size_t workers = 4;
     /// Max tasks per PopReadyBatch call; 0 = auto (max(16, 2 * workers)).
@@ -99,6 +105,12 @@ class Executor {
 
   /// Runs the cascade to completion.  The scheduler must be fresh (Prepare
   /// is called here).  Throws util::LogicError on scheduler deadlock.
+  static RunStats Run(const trace::JobTrace& trace,
+                      sched::Scheduler& scheduler, const WorkerTaskBody& body,
+                      const Options& options);
+
+  /// Convenience overload for bodies that don't care which worker runs
+  /// them.
   static RunStats Run(const trace::JobTrace& trace,
                       sched::Scheduler& scheduler, const TaskBody& body,
                       const Options& options);

@@ -165,7 +165,7 @@ void ThreadPool::WorkerLoop(std::size_t self) {
   for (;;) {
     util::TaskId task = util::kInvalidTask;
     if (TryPopOwn(self, task) || TrySteal(self, task)) {
-      run_(task);
+      run_(task, self);
       own.executed.fetch_add(1, std::memory_order_relaxed);
       FinishOne();
       continue;

@@ -49,8 +49,11 @@ struct ThreadPoolStats {
 class ThreadPool {
  public:
   /// The per-item body, fixed for the pool's lifetime (so per-item submits
-  /// move a 4-byte id, not a closure).
-  using TaskFn = std::function<void(util::TaskId)>;
+  /// move a 4-byte id, not a closure).  The second argument is the index of
+  /// the worker running the item (in [0, NumWorkers())), so bodies can
+  /// reach worker-local state — e.g. the per-worker write buffers of the
+  /// parallel Datalog engine — without thread-local lookups.
+  using TaskFn = std::function<void(util::TaskId, std::size_t worker)>;
 
   /// Spawns `workers` threads (at least 1) running `run` over items.
   ThreadPool(std::size_t workers, TaskFn run);

@@ -121,7 +121,7 @@ TEST(RuntimeStressTest, BatchedDispatchKeepsStatsConsistent) {
   util::Rng rng(5);
   const trace::JobTrace trace = trace::MakeRandomDag(80, 0.06, 0.3, 0.7, rng);
   auto scheduler = sched::CreateScheduler("hybrid");
-  const auto stats = Executor::Run(trace, *scheduler, nullptr, {.workers = 4});
+  const auto stats = Executor::Run(trace, *scheduler, Executor::TaskBody{}, {.workers = 4});
   EXPECT_EQ(stats.dispatched, stats.executed);
   EXPECT_GE(stats.dispatch_batches, 1u);
   EXPECT_LE(stats.dispatch_batches, stats.dispatched);

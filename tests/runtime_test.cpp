@@ -18,7 +18,7 @@ namespace {
 
 TEST(ThreadPoolTest, RunsAllJobs) {
   std::atomic<int> counter{0};
-  ThreadPool pool(4, [&counter](util::TaskId) { counter.fetch_add(1); });
+  ThreadPool pool(4, [&counter](util::TaskId, std::size_t) { counter.fetch_add(1); });
   for (util::TaskId i = 0; i < 100; ++i) {
     pool.Submit(i);
   }
@@ -31,7 +31,7 @@ TEST(ThreadPoolTest, RunsAllJobs) {
 
 TEST(ThreadPoolTest, WaitBlocksUntilDrained) {
   std::atomic<int> done{0};
-  ThreadPool pool(2, [&done](util::TaskId) {
+  ThreadPool pool(2, [&done](util::TaskId, std::size_t) {
     std::this_thread::sleep_for(std::chrono::milliseconds(2));
     done.fetch_add(1);
   });
@@ -45,7 +45,7 @@ TEST(ThreadPoolTest, WaitBlocksUntilDrained) {
 TEST(ThreadPoolTest, DestructorJoinsCleanly) {
   std::atomic<int> done{0};
   {
-    ThreadPool pool(3, [&done](util::TaskId) { done.fetch_add(1); });
+    ThreadPool pool(3, [&done](util::TaskId, std::size_t) { done.fetch_add(1); });
     for (util::TaskId i = 0; i < 20; ++i) {
       pool.Submit(i);
     }
@@ -56,7 +56,7 @@ TEST(ThreadPoolTest, DestructorJoinsCleanly) {
 
 TEST(ThreadPoolTest, SubmitBatchRunsEveryItemExactlyOnce) {
   std::vector<std::atomic<int>> seen(500);
-  ThreadPool pool(4, [&seen](util::TaskId t) { seen[t].fetch_add(1); });
+  ThreadPool pool(4, [&seen](util::TaskId t, std::size_t) { seen[t].fetch_add(1); });
   std::vector<util::TaskId> batch(500);
   for (util::TaskId i = 0; i < 500; ++i) {
     batch[i] = i;
@@ -71,7 +71,7 @@ TEST(ThreadPoolTest, SubmitBatchRunsEveryItemExactlyOnce) {
 
 TEST(ThreadPoolTest, ReusableAcrossWaits) {
   std::atomic<int> done{0};
-  ThreadPool pool(2, [&done](util::TaskId) { done.fetch_add(1); });
+  ThreadPool pool(2, [&done](util::TaskId, std::size_t) { done.fetch_add(1); });
   for (int round = 0; round < 5; ++round) {
     std::vector<util::TaskId> batch = {0, 1, 2, 3};
     pool.SubmitBatch(batch);
@@ -86,7 +86,7 @@ TEST(ThreadPoolTest, StealsRebalanceSkewedBatches) {
   // workers, one deque holds ~half the items; the blocked owner forces
   // every one of them to be stolen.
   std::atomic<int> done{0};
-  ThreadPool pool(2, [&done](util::TaskId t) {
+  ThreadPool pool(2, [&done](util::TaskId t, std::size_t) {
     if (t == 0) {
       std::this_thread::sleep_for(std::chrono::milliseconds(30));
     }
@@ -123,7 +123,7 @@ TEST(ExecutorTest, RunsExactlyTheCascade) {
 TEST(ExecutorTest, NullBodyUsesTraceBits) {
   const trace::JobTrace trace = trace::MakeChain(20);
   sched::LevelBasedScheduler scheduler;
-  const auto stats = Executor::Run(trace, scheduler, nullptr, {.workers = 2});
+  const auto stats = Executor::Run(trace, scheduler, Executor::TaskBody{}, {.workers = 2});
   EXPECT_EQ(stats.executed, 20u);
   EXPECT_EQ(stats.activations, 20u);
 }
@@ -160,7 +160,7 @@ TEST(ExecutorTest, EveryFactorySchedulerDrivesTheExecutor) {
        {"levelbased", "lbl:3", "logicblox", "signal", "hybrid", "oracle"}) {
     auto scheduler = sched::CreateScheduler(spec);
     const auto stats =
-        Executor::Run(trace, *scheduler, nullptr, {.workers = 3});
+        Executor::Run(trace, *scheduler, Executor::TaskBody{}, {.workers = 3});
     EXPECT_EQ(stats.executed, cascade.NumActive()) << spec;
   }
 }
