@@ -98,4 +98,55 @@ inline void PrintMetrics(const obs::MetricsRegistry& registry) {
   std::printf("METRICS %s\n", registry.ToJson().c_str());
 }
 
+/// The standard micro-bench command line, shared by micro_executor /
+/// micro_store / micro_join: `--out=<path> --trace=<path> --scale=<f>`.
+/// Unknown flags are ignored (benches with extra flags peel theirs off
+/// first, exactly as before the dedup).
+struct MicroBenchArgs {
+  std::string out;  ///< preset the bench's default BENCH_*.json before parsing
+  std::string trace;
+  double scale = 1.0;
+};
+
+/// Parses argv into `args`.  Returns false after printing the standard
+/// diagnostic when --scale is malformed or non-positive; callers exit 2.
+inline bool ParseMicroBenchArgs(int argc, char** argv, MicroBenchArgs* args) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--out=", 0) == 0) {
+      args->out = arg.substr(6);
+    } else if (arg.rfind("--trace=", 0) == 0) {
+      args->trace = arg.substr(8);
+    } else if (arg.rfind("--scale=", 0) == 0) {
+      try {
+        args->scale = std::stod(arg.substr(8));
+      } catch (const std::exception&) {
+        args->scale = 0.0;
+      }
+      if (args->scale <= 0.0) {
+        std::fprintf(stderr,
+                     "bad --scale value: %s (want a positive number)\n",
+                     arg.c_str());
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+/// Writes a fully-rendered BENCH_*.json string to `path`; the standard
+/// emission tail.  Returns false (with the standard diagnostic) on failure;
+/// callers exit 1.
+inline bool WriteBenchFile(const std::string& path,
+                           const std::string& contents) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open %s\n", path.c_str());
+    return false;
+  }
+  std::fwrite(contents.data(), 1, contents.size(), f);
+  std::fclose(f);
+  return true;
+}
+
 }  // namespace dsched::bench

@@ -351,32 +351,17 @@ void AppendRowJson(std::string& out, const Row& row, bool last) {
 
 int main(int argc, char** argv) {
   using namespace dsched;
-  std::string out_path = "BENCH_executor.json";
-  std::string trace_path;
-  double scale = 1.0;
-  for (int i = 1; i < argc; ++i) {
-    const std::string arg = argv[i];
-    if (arg.rfind("--out=", 0) == 0) {
-      out_path = arg.substr(6);
-    } else if (arg.rfind("--trace=", 0) == 0) {
-      trace_path = arg.substr(8);
-    } else if (arg.rfind("--scale=", 0) == 0) {
-      try {
-        scale = std::stod(arg.substr(8));
-      } catch (const std::exception&) {
-        scale = 0.0;
-      }
-      if (scale <= 0.0) {
-        std::fprintf(stderr, "bad --scale value: %s (want a positive number)\n",
-                     arg.c_str());
-        return 2;
-      }
-    }
+  bench::MicroBenchArgs args;
+  args.out = "BENCH_executor.json";
+  if (!bench::ParseMicroBenchArgs(argc, argv, &args)) {
+    return 2;
   }
+  const std::string& out_path = args.out;
+  const double scale = args.scale;
   const auto scaled = [scale](std::size_t n) {
     return static_cast<std::size_t>(static_cast<double>(n) * scale);
   };
-  const auto session = bench::MaybeStartTrace(trace_path);
+  const auto session = bench::MaybeStartTrace(args.trace);
 
   // The three DAG shapes of the dispatch hot path: wide (one giant level —
   // maximal batch opportunity), deep (one task per level — minimal batch
@@ -488,13 +473,9 @@ int main(int argc, char** argv) {
   }
   json += "  ]\n}\n";
 
-  std::FILE* f = std::fopen(out_path.c_str(), "w");
-  if (f == nullptr) {
-    std::fprintf(stderr, "cannot open %s\n", out_path.c_str());
+  if (!bench::WriteBenchFile(out_path, json)) {
     return 1;
   }
-  std::fwrite(json.data(), 1, json.size(), f);
-  std::fclose(f);
   std::printf("wrote %s (%zu rows)\n", out_path.c_str(), rows.size());
 
   obs::MetricsRegistry metrics;
@@ -510,6 +491,6 @@ int main(int argc, char** argv) {
     }
   }
   bench::PrintMetrics(metrics);
-  bench::FinishTrace(session.get(), trace_path);
+  bench::FinishTrace(session.get(), args.trace);
   return 0;
 }

@@ -240,28 +240,14 @@ double TimeKernel(const Program& program, const RelationStore& store,
 int main(int argc, char** argv) {
   using namespace dsched;
   using namespace dsched::bench;
-  std::string out_path = "BENCH_datalog.json";
-  std::string trace_path;
-  double scale = 1.0;
-  for (int i = 1; i < argc; ++i) {
-    const std::string arg = argv[i];
-    if (arg.rfind("--out=", 0) == 0) {
-      out_path = arg.substr(6);
-    } else if (arg.rfind("--trace=", 0) == 0) {
-      trace_path = arg.substr(8);
-    } else if (arg.rfind("--scale=", 0) == 0) {
-      try {
-        scale = std::stod(arg.substr(8));
-      } catch (const std::exception&) {
-        scale = 0.0;
-      }
-      if (scale <= 0.0) {
-        std::fprintf(stderr, "bad --scale value: %s (want a positive number)\n",
-                     arg.c_str());
-        return 2;
-      }
-    }
+  MicroBenchArgs args;
+  args.out = "BENCH_datalog.json";
+  if (!ParseMicroBenchArgs(argc, argv, &args)) {
+    return 2;
   }
+  const std::string& out_path = args.out;
+  const std::string& trace_path = args.trace;
+  const double scale = args.scale;
   const auto scaled = [scale](std::size_t n) {
     return static_cast<std::size_t>(static_cast<double>(n) * scale);
   };

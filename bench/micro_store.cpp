@@ -93,28 +93,14 @@ void Report(const Row& r, std::size_t reps) {
 int main(int argc, char** argv) {
   using namespace dsched;
   using namespace dsched::bench;
-  std::string out_path = "BENCH_store.json";
-  std::string trace_path;
-  double scale = 1.0;
-  for (int i = 1; i < argc; ++i) {
-    const std::string arg = argv[i];
-    if (arg.rfind("--out=", 0) == 0) {
-      out_path = arg.substr(6);
-    } else if (arg.rfind("--trace=", 0) == 0) {
-      trace_path = arg.substr(8);
-    } else if (arg.rfind("--scale=", 0) == 0) {
-      try {
-        scale = std::stod(arg.substr(8));
-      } catch (const std::exception&) {
-        scale = 0.0;
-      }
-      if (scale <= 0.0) {
-        std::fprintf(stderr, "bad --scale value: %s (want a positive number)\n",
-                     arg.c_str());
-        return 2;
-      }
-    }
+  MicroBenchArgs args;
+  args.out = "BENCH_store.json";
+  if (!ParseMicroBenchArgs(argc, argv, &args)) {
+    return 2;
   }
+  const std::string& out_path = args.out;
+  const std::string& trace_path = args.trace;
+  const double scale = args.scale;
   const auto session = MaybeStartTrace(trace_path);
 
   const auto n_rows = static_cast<std::uint64_t>(200000.0 * scale);

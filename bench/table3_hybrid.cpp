@@ -14,13 +14,152 @@
 // run at --shallow_scale (default 0.1) for bounded runtimes.  Use
 // --shallow_scale=1 to reproduce at full size (minutes of wall time, all
 // of it LogicBlox scheduling overhead — which is rather the point).
+#include <algorithm>
 #include <cstdio>
+#include <memory>
+#include <string>
+#include <thread>
 #include <vector>
 
 #include "bench_common.hpp"
+#include "service/engine_host.hpp"
+#include "service/session.hpp"
 #include "trace/table_traces.hpp"
 #include "util/flags.hpp"
+#include "util/rng.hpp"
 #include "util/table.hpp"
+
+namespace {
+
+// --- multi-session service smoke (--sessions=N) --------------------------
+//
+// Exercises the full service stack — EngineHost, per-session apply threads,
+// the shared TaskRouter — under ASan/TSan in CI: N concurrent sessions each
+// submit a deterministic batch stream, then each is replayed into a fresh
+// "serial"-scheduler session and the stores must match tuple-for-tuple.
+
+constexpr const char* kSmokeProgram = R"(
+  tc(X, Y) :- e(X, Y).
+  tc(X, Z) :- tc(X, Y), e(Y, Z).
+  rev(Y, X) :- e(X, Y).
+  hasout(X) :- e(X, _).
+  deadend(X) :- n(X), !hasout(X).
+)";
+constexpr const char* kSmokePredicates[] = {"n",   "e",      "tc",
+                                            "rev", "hasout", "deadend"};
+
+void SeedSmokeSession(dsched::service::Session& session, std::uint64_t seed,
+                      int nodes) {
+  using dsched::datalog::Value;
+  dsched::util::Rng rng(seed);
+  for (int i = 0; i < nodes; ++i) {
+    session.Insert("n", {Value::Int(i)});
+  }
+  for (int i = 0; i < nodes; ++i) {
+    for (int j = 0; j < nodes; ++j) {
+      if (i != j && rng.NextBool(0.15)) {
+        session.Insert("e", {Value::Int(i), Value::Int(j)});
+      }
+    }
+  }
+  (void)session.Materialize();
+}
+
+dsched::datalog::UpdateRequest SmokeBatch(dsched::service::Session& session,
+                                          dsched::util::Rng& rng, int nodes) {
+  using dsched::datalog::Value;
+  auto update = session.MakeUpdate();
+  for (int tries = 0; tries < 6; ++tries) {
+    const int i =
+        static_cast<int>(rng.NextBelow(static_cast<std::uint64_t>(nodes)));
+    const int j =
+        static_cast<int>(rng.NextBelow(static_cast<std::uint64_t>(nodes)));
+    if (i == j) {
+      continue;
+    }
+    if (rng.NextBool(0.5)) {
+      update.Insert("e", {Value::Int(i), Value::Int(j)});
+    } else {
+      update.Delete("e", {Value::Int(i), Value::Int(j)});
+    }
+  }
+  return update.Request();
+}
+
+int RunSessionsSmoke(int n_sessions) {
+  using namespace dsched;
+  constexpr int kNodes = 10;
+  constexpr int kBatches = 8;
+  const char* specs[] = {"hybrid", "levelbased", "signal", "logicblox"};
+
+  service::EngineHost host({.workers = 4});
+  std::vector<std::unique_ptr<service::Session>> live;
+  live.reserve(static_cast<std::size_t>(n_sessions));
+  for (int s = 0; s < n_sessions; ++s) {
+    service::SessionOptions options;
+    options.name = "smoke" + std::to_string(s);
+    options.scheduler_spec = specs[static_cast<std::size_t>(s) % 4];
+    auto session = host.OpenSession(kSmokeProgram, options);
+    SeedSmokeSession(*session, 100 + static_cast<std::uint64_t>(s), kNodes);
+    live.push_back(std::move(session));
+  }
+
+  std::vector<std::thread> clients;
+  clients.reserve(live.size());
+  for (int s = 0; s < n_sessions; ++s) {
+    clients.emplace_back([&live, s] {
+      util::Rng rng(500 + static_cast<std::uint64_t>(s));
+      for (int b = 0; b < kBatches; ++b) {
+        (void)live[static_cast<std::size_t>(s)]->Submit(
+            SmokeBatch(*live[static_cast<std::size_t>(s)], rng, kNodes));
+      }
+    });
+  }
+  for (std::thread& t : clients) {
+    t.join();
+  }
+  for (auto& session : live) {
+    session->Drain();
+  }
+
+  bool pass = true;
+  for (int s = 0; s < n_sessions; ++s) {
+    service::SessionOptions options;
+    options.name = "replay" + std::to_string(s);
+    options.scheduler_spec = "serial";
+    auto replay = host.OpenSession(kSmokeProgram, options);
+    SeedSmokeSession(*replay, 100 + static_cast<std::uint64_t>(s), kNodes);
+    util::Rng rng(500 + static_cast<std::uint64_t>(s));
+    for (int b = 0; b < kBatches; ++b) {
+      (void)replay->Submit(SmokeBatch(*replay, rng, kNodes));
+    }
+    replay->Drain();
+    for (const char* predicate : kSmokePredicates) {
+      auto got = live[static_cast<std::size_t>(s)]->Query(predicate);
+      auto want = replay->Query(predicate);
+      std::sort(got.begin(), got.end());
+      std::sort(want.begin(), want.end());
+      if (got != want) {
+        pass = false;
+        std::fprintf(stderr,
+                     "session %d predicate %s: %zu tuples vs %zu in replay\n",
+                     s, predicate, got.size(), want.size());
+      }
+    }
+    replay->Close();
+  }
+  for (auto& session : live) {
+    session->Close();
+  }
+
+  host.ExportMetrics();
+  dsched::bench::PrintMetrics(host.Metrics());
+  std::printf("multi-session smoke (%d sessions x %d batches): %s\n",
+              n_sessions, kBatches, pass ? "PASS" : "FAIL");
+  return pass ? 0 : 1;
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   using namespace dsched;
@@ -32,8 +171,15 @@ int main(int argc, char** argv) {
   const auto seed = flags.Int("seed", 20200518, "generator seed");
   const auto trace_path = flags.String(
       "trace", "", "write a Chrome trace_event JSON of all runs to this path");
+  const auto sessions = flags.Int(
+      "sessions", 0,
+      "instead of Table III, run an N-session service-layer smoke "
+      "(concurrent submits vs serial replay) and exit 0 on store equality");
   if (!flags.Parse(argc, argv)) {
     return 0;
+  }
+  if (*sessions > 0) {
+    return RunSessionsSmoke(static_cast<int>(*sessions));
   }
 
   const auto session = bench::MaybeStartTrace(*trace_path);

@@ -11,21 +11,22 @@
 // promotion eligibility, and restock alerts; the update ships one delivery
 // and retires one promotion, and we watch the change cascade.
 #include <cstdio>
+#include <memory>
 
 #include "datalog/database.hpp"
 #include "datalog/schedule_bridge.hpp"
 #include "runtime/executor.hpp"
 #include "sched/factory.hpp"
+#include "service/engine_host.hpp"
+#include "service/session.hpp"
 #include "sim/audit.hpp"
 #include "sim/engine.hpp"
 #include "trace/cascade.hpp"
 #include "util/strings.hpp"
 
-int main() {
-  using namespace dsched;
-  using datalog::Value;
+namespace {
 
-  datalog::Database db(R"(
+constexpr const char* kRetailProgram = R"(
     % category hierarchy: subcat(child, parent)
     ancestorcat(C, P) :- subcat(C, P).
     ancestorcat(C, A) :- ancestorcat(C, P), subcat(P, A).
@@ -45,9 +46,13 @@ int main() {
     % promotions apply to whole categories, unless blocked
     promoted(Prod) :- promo(Cat), incat(Prod, Cat), !blocked(Prod).
     pushdeal(Prod) :- promoted(Prod), low(Prod).
-  )");
+  )";
 
-  // Base data: electronics > computers > laptops; groceries.
+/// Base data: electronics > computers > laptops; groceries.  Works on both
+/// a bare Database and a service Session — same bootstrap surface.
+template <typename Db>
+void SeedRetail(Db& db) {
+  using dsched::datalog::Value;
   db.Insert("subcat", {db.Sym("laptops"), db.Sym("computers")});
   db.Insert("subcat", {db.Sym("computers"), db.Sym("electronics")});
   db.Insert("subcat", {db.Sym("phones"), db.Sym("electronics")});
@@ -62,6 +67,16 @@ int main() {
   db.Insert("threshold", {db.Sym("pixel"), Value::Int(5)});
   db.Insert("promo", {db.Sym("electronics")});
   db.Insert("blocked", {db.Sym("thinkpad")});
+}
+
+}  // namespace
+
+int main() {
+  using namespace dsched;
+  using datalog::Value;
+
+  datalog::Database db(kRetailProgram);
+  SeedRetail(db);
 
   const auto stats = db.Materialize();
   std::printf("materialized: %llu tuples derived (%llu rule applications)\n",
@@ -141,18 +156,31 @@ int main() {
   std::printf("removed rule 'rush': %zu rush orders remain\n",
               db.Query("rush").size());
 
-  // --- And the real thing: apply the NEXT update with the per-component
-  // DRed phases executed in parallel on worker threads, ordered by the
-  // hybrid scheduler over this very DAG (datalog/parallel_update.hpp).
-  auto restock = db.MakeUpdate();
-  restock.Delete("stock", {db.Sym("pixel"), Value::Int(2)});
-  restock.Insert("stock", {db.Sym("pixel"), Value::Int(30)});
-  const datalog::UpdateResult parallel_result = db.ApplyParallel(
-      restock, {.scheduler_spec = "hybrid", .workers = 4});
+  // --- And the real thing: hand the same program to the service layer.
+  // The EngineHost owns ONE shared worker pool; a session owns the
+  // program, its store, its scheduler, and a serialized update queue, and
+  // its DRed cascades run on the host's workers (src/service/).
+  service::EngineHost host({.workers = 4});
+  service::SessionOptions session_options;
+  session_options.name = "retail";
+  session_options.scheduler_spec = "hybrid";
+  auto session = host.OpenSession(kRetailProgram, session_options);
+  SeedRetail(*session);
+  (void)session->Materialize();
+  // Catch the session's store up to the live database: replay the delivery
+  // batch serially, then submit the NEXT update through the queue.
+  (void)session->Submit(request).get();
+
+  auto restock = session->MakeUpdate();
+  restock.Delete("stock", {session->Sym("pixel"), Value::Int(2)});
+  restock.Insert("stock", {session->Sym("pixel"), Value::Int(30)});
+  const service::UpdateOutcome outcome = session->Submit(restock).get();
   std::printf(
-      "\nparallel update (4 workers, hybrid scheduler): +%zu -%zu tuples; "
-      "alerts now: %zu\n",
-      parallel_result.total_inserted, parallel_result.total_deleted,
-      db.Query("alert").size());
+      "\nservice update (epoch %llu, hybrid scheduler on %zu shared "
+      "workers): +%zu -%zu tuples, %llu cascade tasks; alerts now: %zu\n",
+      static_cast<unsigned long long>(outcome.epoch), host.NumWorkers(),
+      outcome.update.total_inserted, outcome.update.total_deleted,
+      static_cast<unsigned long long>(outcome.run.executed),
+      session->Query("alert").size());
   return 0;
 }

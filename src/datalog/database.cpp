@@ -146,13 +146,23 @@ UpdateResult Database::RemoveRule(std::string_view clause_text) {
 
 UpdateResult Database::ApplyParallel(const Update& update,
                                      const ParallelOptions& options) {
+  return ApplyRequestParallel(update.request_, options).update;
+}
+
+UpdateResult Database::ApplyRequest(const UpdateRequest& request) {
+  DSCHED_CHECK_MSG(materialized_, "Materialize() before applying updates");
+  return engine_->Apply(request);
+}
+
+ParallelUpdateResult Database::ApplyRequestParallel(
+    const UpdateRequest& request, const ParallelOptions& options) {
   DSCHED_CHECK_MSG(materialized_, "Materialize() before applying updates");
   ParallelUpdateOptions parallel_options;
   parallel_options.scheduler_spec = options.scheduler_spec;
   parallel_options.workers = options.workers;
-  return ::dsched::datalog::ApplyParallel(program_, strat_, store_,
-                                          update.request_, parallel_options)
-      .update;
+  parallel_options.router = options.router;
+  return ::dsched::datalog::ApplyParallel(program_, strat_, store_, request,
+                                          parallel_options);
 }
 
 }  // namespace dsched::datalog

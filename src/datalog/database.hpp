@@ -19,9 +19,14 @@
 
 #include "datalog/ast.hpp"
 #include "datalog/incremental.hpp"
+#include "datalog/parallel_update.hpp"
 #include "datalog/parser.hpp"
 #include "datalog/relation.hpp"
 #include "datalog/stratify.hpp"
+
+namespace dsched::runtime {
+class TaskRouter;
+}
 
 namespace dsched::datalog {
 
@@ -58,6 +63,10 @@ class Database {
     Update& Insert(std::string_view predicate, Tuple tuple);
     Update& Delete(std::string_view predicate, Tuple tuple);
 
+    /// The accumulated raw request (predicate-id form) — how the service
+    /// layer hands a built batch to a session queue.
+    [[nodiscard]] const UpdateRequest& Request() const { return request_; }
+
    private:
     friend class Database;
     explicit Update(Database& db) : db_(&db) {}
@@ -77,12 +86,22 @@ class Database {
   struct ParallelOptions {
     std::string scheduler_spec = "hybrid";
     std::size_t workers = 4;
+    /// When set, the update's cascade runs on this shared router instead of
+    /// a private pool and `workers` is ignored (see parallel_update.hpp).
+    runtime::TaskRouter* router = nullptr;
   };
   UpdateResult ApplyParallel(const Update& update,
                              const ParallelOptions& options);
   UpdateResult ApplyParallel(const Update& update) {
     return ApplyParallel(update, ParallelOptions{});
   }
+
+  /// Raw-request variants of Apply/ApplyParallel for callers (the service
+  /// session loop) that already hold predicate-id batches.  The parallel
+  /// variant also surfaces executor-level RunStats.
+  UpdateResult ApplyRequest(const UpdateRequest& request);
+  ParallelUpdateResult ApplyRequestParallel(const UpdateRequest& request,
+                                            const ParallelOptions& options);
 
   /// Incremental RULE changes (the paper's other trigger: "the rule
   /// definitions change").  Both maintain the materialization without a

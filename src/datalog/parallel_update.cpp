@@ -94,9 +94,13 @@ ParallelUpdateResult ApplyParallel(const Program& program,
 
   // One write buffer per executor worker: a phase stages its base inserts
   // per shard and publishes them lock-free (see delta_buffer.hpp).  Buffers
-  // are indexed by the worker running the task, so each is single-owner.
-  std::vector<StoreWriteBuffer> scratch(std::max<std::size_t>(
-      options.workers, 1));
+  // are indexed by the worker running the task, so each is single-owner —
+  // on a shared router that means one buffer per POOL worker, since worker
+  // indices span the router's pool.
+  const std::size_t num_workers = options.router != nullptr
+                                      ? options.router->NumWorkers()
+                                      : std::max<std::size_t>(options.workers, 1);
+  std::vector<StoreWriteBuffer> scratch(num_workers);
 
   const auto run_phase = [&](std::uint32_t c, std::size_t worker) -> bool {
     stats[c] =
@@ -119,24 +123,27 @@ ParallelUpdateResult ApplyParallel(const Program& program,
   }
 
   auto scheduler = sched::CreateScheduler(options.scheduler_spec);
-  result.run = runtime::Executor::Run(
-      result.trace, *scheduler,
-      runtime::Executor::WorkerTaskBody(
-          [&](util::TaskId t, std::size_t worker) -> bool {
-            if (t >= num_preds) {
-              return run_phase(node_component[t], worker);
-            }
-            const auto p = static_cast<std::uint32_t>(t);
-            const std::uint32_t c = strat.component_of[p];
-            if (component_node[c] == util::kInvalidTask) {
-              // Rule-less base predicate: the collector runs the phase
-              // itself.
-              return run_phase(c, worker);
-            }
-            // Derived predicate collector: forward the owner's verdict.
-            return pred_changed[p] != 0;
-          }),
-      {.workers = options.workers});
+  const runtime::Executor::WorkerTaskBody task_body(
+      [&](util::TaskId t, std::size_t worker) -> bool {
+        if (t >= num_preds) {
+          return run_phase(node_component[t], worker);
+        }
+        const auto p = static_cast<std::uint32_t>(t);
+        const std::uint32_t c = strat.component_of[p];
+        if (component_node[c] == util::kInvalidTask) {
+          // Rule-less base predicate: the collector runs the phase
+          // itself.
+          return run_phase(c, worker);
+        }
+        // Derived predicate collector: forward the owner's verdict.
+        return pred_changed[p] != 0;
+      });
+  result.run =
+      options.router != nullptr
+          ? runtime::Executor::RunOn(*options.router, result.trace, *scheduler,
+                                     task_body, {})
+          : runtime::Executor::Run(result.trace, *scheduler, task_body,
+                                   {.workers = options.workers});
 
   // --- Assemble the sequential-compatible result.
   for (const std::uint32_t c : strat.component_order) {

@@ -33,6 +33,12 @@ struct ParallelUpdateOptions {
   /// need the outcome in advance).
   std::string scheduler_spec = "hybrid";
   std::size_t workers = 4;
+  /// When set, the update runs on this host-provided shared router (one
+  /// channel per update) instead of constructing a private pool, and
+  /// `workers` is ignored in favour of router->NumWorkers().  This is how
+  /// the service layer interleaves many sessions' cascades on one pool.
+  /// The caller must keep the router alive for the duration of the call.
+  runtime::TaskRouter* router = nullptr;
 };
 
 /// Result of a parallel update.

@@ -3,6 +3,7 @@
 #include <bit>
 #include <condition_variable>
 #include <mutex>
+#include <span>
 #include <vector>
 
 #include "obs/obs.hpp"
@@ -18,30 +19,68 @@ struct Completion {
   bool changed;
 };
 
-}  // namespace
+// MPSC completion buffer: workers push under a short lock; the coordinator
+// drains everything accumulated with a single lock + swap.  notify_one
+// fires only on the empty→non-empty edge (the coordinator is the only
+// waiter and drains fully), so completions arriving while it is busy cost
+// no wakeup at all.
+class CompletionBuffer {
+ public:
+  void Push(TaskId task, bool changed) {
+    bool was_empty = false;
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      was_empty = items_.empty();
+      items_.push_back({task, changed});
+    }
+    if (was_empty) {
+      arrived_.notify_one();
+    }
+  }
 
-Executor::RunStats Executor::Run(const trace::JobTrace& trace,
-                                 sched::Scheduler& scheduler,
-                                 const WorkerTaskBody& body,
-                                 const Options& options) {
-  DSCHED_CHECK_MSG(options.workers >= 1, "need at least one worker");
+  /// Blocks until at least one completion is buffered, then swaps the whole
+  /// buffer into `out` (coordinator only).
+  void WaitAndDrain(std::vector<Completion>& out) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    arrived_.wait(lock, [this] { return !items_.empty(); });
+    std::swap(out, items_);
+  }
+
+  void Reserve(std::size_t n) { items_.reserve(n); }
+
+ private:
+  std::mutex mutex_;
+  std::condition_variable arrived_;
+  std::vector<Completion> items_;
+};
+
+/// How a cascade hands a ready batch to its workers — the only difference
+/// between the private-pool and shared-router paths.
+using SubmitFn = std::function<void(std::span<const TaskId>)>;
+
+// The coordinator loop, shared by Run (private pool) and RunOn (shared
+// router).  The scheduler and the activation bookkeeping live exclusively
+// on this (coordinator) thread — workers never touch them, so neither needs
+// a lock.  The ONLY coordinator/worker shared state is `completions`.
+Executor::RunStats RunCascade(const trace::JobTrace& trace,
+                              sched::Scheduler& scheduler,
+                              std::size_t num_workers,
+                              std::size_t dispatch_window,
+                              CompletionBuffer& completions,
+                              const SubmitFn& submit) {
   const graph::Dag& dag = trace.Graph();
-  RunStats stats;
+  Executor::RunStats stats;
   util::WallTimer wall;
   util::Stopwatch sched_watch;
   util::Stopwatch dispatch_watch;
   util::Stopwatch idle_watch;
   const std::size_t window =
-      options.dispatch_window > 0
-          ? options.dispatch_window
-          : std::max<std::size_t>(16, 2 * options.workers);
+      dispatch_window > 0 ? dispatch_window
+                          : std::max<std::size_t>(16, 2 * num_workers);
+  completions.Reserve(2 * window);
 
-  scheduler.Prepare({&trace, options.workers});
+  scheduler.Prepare({&trace, num_workers});
 
-  // The scheduler and the activation bookkeeping live exclusively on this
-  // (coordinator) thread — workers never touch them, so neither needs a
-  // lock.  The ONLY coordinator/worker shared state is the MPSC completion
-  // buffer below.
   std::vector<bool> activated(dag.NumNodes(), false);
   std::size_t activated_count = 0;
   std::size_t completed_count = 0;
@@ -58,29 +97,6 @@ Executor::RunStats Executor::Run(const trace::JobTrace& trace,
   for (const TaskId t : trace.InitialDirty()) {
     activate(t);
   }
-
-  // MPSC completion buffer: workers push under a short lock; the
-  // coordinator drains everything accumulated with a single lock + swap.
-  // notify_one fires only on the empty→non-empty edge (the coordinator is
-  // the only waiter and drains fully), so completions arriving while it is
-  // busy cost no wakeup at all.
-  std::mutex completion_mutex;
-  std::condition_variable completions_arrived;
-  std::vector<Completion> completions;
-  completions.reserve(2 * window);
-
-  ThreadPool pool(options.workers, [&](TaskId t, std::size_t worker) {
-    const bool changed = body ? body(t, worker) : trace.Info(t).output_changes;
-    bool was_empty = false;
-    {
-      const std::lock_guard<std::mutex> lock(completion_mutex);
-      was_empty = completions.empty();
-      completions.push_back({t, changed});
-    }
-    if (was_empty) {
-      completions_arrived.notify_one();
-    }
-  });
 
   std::vector<TaskId> batch;
   batch.reserve(window);
@@ -108,13 +124,13 @@ Executor::RunStats Executor::Run(const trace::JobTrace& trace,
         stats.max_dispatch_batch =
             std::max<std::uint64_t>(stats.max_dispatch_batch, popped);
         const std::size_t bucket = std::min<std::size_t>(
-            kBatchHistBuckets - 1,
+            Executor::kBatchHistBuckets - 1,
             static_cast<std::size_t>(std::bit_width(popped) - 1));
         ++stats.batch_size_hist[bucket];
         inflight += popped;
         stats.inflight_high_water =
             std::max<std::uint64_t>(stats.inflight_high_water, inflight);
-        pool.SubmitBatch(batch);
+        submit(batch);
       }
     }
 
@@ -135,9 +151,7 @@ Executor::RunStats Executor::Run(const trace::JobTrace& trace,
     {
       OBS_SCOPE(Category::kExecIdle);
       const util::StopwatchGuard idle_guard(idle_watch);
-      std::unique_lock<std::mutex> lock(completion_mutex);
-      completions_arrived.wait(lock, [&] { return !completions.empty(); });
-      std::swap(drained, completions);
+      completions.WaitAndDrain(drained);
       ++stats.completion_drains;
     }
     OBS_SCOPE(Category::kExecDrain);
@@ -155,18 +169,68 @@ Executor::RunStats Executor::Run(const trace::JobTrace& trace,
       scheduler.OnCompleted(c.task, c.changed);
     }
   }
-  pool.Wait();
 
-  const ThreadPoolStats pool_stats = pool.Stats();
-  stats.completion_pushes = pool_stats.executed;
-  stats.pool_steals = pool_stats.steals;
-  stats.pool_sleeps = pool_stats.sleeps;
-  stats.pool_wakeups = pool_stats.wakeups;
+  // One worker-side push per executed task, by construction.
+  stats.completion_pushes = stats.executed;
   stats.activations = activated_count;
   stats.wall_seconds = wall.ElapsedSeconds();
   stats.sched_wall_seconds = sched_watch.TotalSeconds();
   stats.dispatch_wall_seconds = dispatch_watch.TotalSeconds();
   stats.idle_wall_seconds = idle_watch.TotalSeconds();
+  return stats;
+}
+
+}  // namespace
+
+Executor::RunStats Executor::Run(const trace::JobTrace& trace,
+                                 sched::Scheduler& scheduler,
+                                 const WorkerTaskBody& body,
+                                 const Options& options) {
+  DSCHED_CHECK_MSG(options.workers >= 1, "need at least one worker");
+  CompletionBuffer completions;
+  ThreadPool pool(options.workers,
+                  [&](ThreadPool::WorkItem item, std::size_t worker) {
+                    const auto t = static_cast<TaskId>(item);
+                    const bool changed =
+                        body ? body(t, worker) : trace.Info(t).output_changes;
+                    completions.Push(t, changed);
+                  });
+  // Private pool: items are bare TaskIds widened into reusable scratch.
+  std::vector<ThreadPool::WorkItem> wide;
+  RunStats stats = RunCascade(
+      trace, scheduler, options.workers, options.dispatch_window, completions,
+      [&](std::span<const TaskId> tasks) {
+        wide.assign(tasks.begin(), tasks.end());
+        pool.SubmitBatch(wide);
+      });
+  pool.Wait();
+
+  const ThreadPoolStats pool_stats = pool.Stats();
+  stats.pool_steals = pool_stats.steals;
+  stats.pool_sleeps = pool_stats.sleeps;
+  stats.pool_wakeups = pool_stats.wakeups;
+  return stats;
+}
+
+Executor::RunStats Executor::RunOn(TaskRouter& router,
+                                   const trace::JobTrace& trace,
+                                   sched::Scheduler& scheduler,
+                                   const WorkerTaskBody& body,
+                                   const Options& options) {
+  CompletionBuffer completions;
+  TaskRouter::Channel channel =
+      router.OpenChannel([&](TaskId t, std::size_t worker) {
+        const bool changed =
+            body ? body(t, worker) : trace.Info(t).output_changes;
+        completions.Push(t, changed);
+      });
+  RunStats stats = RunCascade(
+      trace, scheduler, router.NumWorkers(), options.dispatch_window,
+      completions,
+      [&](std::span<const TaskId> tasks) { channel.SubmitBatch(tasks); });
+  // All completions are counted, so Close's precondition holds; it spins
+  // out any worker still unwinding from the body before returning.
+  channel.Close();
   return stats;
 }
 

@@ -22,6 +22,7 @@
 #include <string>
 
 #include "obs/metrics.hpp"
+#include "runtime/task_router.hpp"
 #include "runtime/thread_pool.hpp"
 #include "sched/scheduler.hpp"
 #include "trace/job_trace.hpp"
@@ -103,8 +104,9 @@ class Executor {
                        const std::string& prefix) const;
   };
 
-  /// Runs the cascade to completion.  The scheduler must be fresh (Prepare
-  /// is called here).  Throws util::LogicError on scheduler deadlock.
+  /// Runs the cascade to completion on a private pool of Options::workers
+  /// threads created for this run.  The scheduler must be fresh (Prepare is
+  /// called here).  Throws util::LogicError on scheduler deadlock.
   static RunStats Run(const trace::JobTrace& trace,
                       sched::Scheduler& scheduler, const WorkerTaskBody& body,
                       const Options& options);
@@ -114,6 +116,19 @@ class Executor {
   static RunStats Run(const trace::JobTrace& trace,
                       sched::Scheduler& scheduler, const TaskBody& body,
                       const Options& options);
+
+  /// Multi-tenant variant: runs the cascade on a host-provided router's
+  /// SHARED pool instead of constructing one.  Tasks are tagged with a
+  /// router channel, so concurrent RunOn calls from different coordinator
+  /// threads (one per service session) interleave their cascades on the
+  /// same workers.  Options::workers is ignored — the scheduler is
+  /// prepared with router.NumWorkers() processors, and worker indices seen
+  /// by `body` span the router's pool.  RunStats pool_* counters stay zero
+  /// here: steal/sleep behaviour belongs to the shared pool, not to any
+  /// one cascade (see TaskRouter::PoolStats / host.pool.* metrics).
+  static RunStats RunOn(TaskRouter& router, const trace::JobTrace& trace,
+                        sched::Scheduler& scheduler,
+                        const WorkerTaskBody& body, const Options& options);
 };
 
 }  // namespace dsched::runtime

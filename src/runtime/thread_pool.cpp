@@ -32,7 +32,7 @@ ThreadPool::~ThreadPool() {
   }
 }
 
-void ThreadPool::Submit(util::TaskId task) {
+void ThreadPool::Submit(WorkItem task) {
   DSCHED_CHECK_MSG(!shutdown_.load(std::memory_order_relaxed),
                    "submit on a shutting-down pool");
   const std::size_t slot =
@@ -49,7 +49,7 @@ void ThreadPool::Submit(util::TaskId task) {
   WakeWorkers(1);
 }
 
-void ThreadPool::SubmitBatch(std::span<const util::TaskId> tasks) {
+void ThreadPool::SubmitBatch(std::span<const WorkItem> tasks) {
   if (tasks.empty()) {
     return;
   }
@@ -109,7 +109,7 @@ void ThreadPool::FinishOne() {
   }
 }
 
-bool ThreadPool::TryPopOwn(std::size_t self, util::TaskId& out) {
+bool ThreadPool::TryPopOwn(std::size_t self, WorkItem& out) {
   WorkerSlot& slot = *slots_[self];
   const std::lock_guard<std::mutex> lock(slot.mutex);
   if (slot.deque.empty()) {
@@ -121,7 +121,7 @@ bool ThreadPool::TryPopOwn(std::size_t self, util::TaskId& out) {
   return true;
 }
 
-bool ThreadPool::TrySteal(std::size_t self, util::TaskId& out) {
+bool ThreadPool::TrySteal(std::size_t self, WorkItem& out) {
   const std::size_t n = slots_.size();
   WorkerSlot& own = *slots_[self];
   for (std::size_t i = 1; i < n; ++i) {
@@ -163,7 +163,7 @@ bool ThreadPool::TrySteal(std::size_t self, util::TaskId& out) {
 void ThreadPool::WorkerLoop(std::size_t self) {
   WorkerSlot& own = *slots_[self];
   for (;;) {
-    util::TaskId task = util::kInvalidTask;
+    WorkItem task = 0;
     if (TryPopOwn(self, task) || TrySteal(self, task)) {
       run_(task, self);
       own.executed.fetch_add(1, std::memory_order_relaxed);

@@ -45,15 +45,21 @@ struct ThreadPoolStats {
   std::uint64_t wakeups = 0;    ///< times a sleeping worker was woken
 };
 
-/// Fixed pool of workers running one callback over submitted TaskIds.
+/// Fixed pool of workers running one callback over submitted work items.
 class ThreadPool {
  public:
+  /// One unit of queued work: an opaque 64-bit word the submitter encodes
+  /// and the pool's TaskFn decodes.  Single-tenant engines pass a bare
+  /// TaskId in the low bits; the multi-tenant TaskRouter packs a channel
+  /// tag into the high 32 bits so many cascades can share one pool.
+  using WorkItem = std::uint64_t;
+
   /// The per-item body, fixed for the pool's lifetime (so per-item submits
-  /// move a 4-byte id, not a closure).  The second argument is the index of
-  /// the worker running the item (in [0, NumWorkers())), so bodies can
+  /// move an 8-byte word, not a closure).  The second argument is the index
+  /// of the worker running the item (in [0, NumWorkers())), so bodies can
   /// reach worker-local state — e.g. the per-worker write buffers of the
   /// parallel Datalog engine — without thread-local lookups.
-  using TaskFn = std::function<void(util::TaskId, std::size_t worker)>;
+  using TaskFn = std::function<void(WorkItem, std::size_t worker)>;
 
   /// Spawns `workers` threads (at least 1) running `run` over items.
   ThreadPool(std::size_t workers, TaskFn run);
@@ -65,11 +71,11 @@ class ThreadPool {
   ~ThreadPool();
 
   /// Enqueues one item.
-  void Submit(util::TaskId task);
+  void Submit(WorkItem task);
 
   /// Enqueues a batch, spreading contiguous chunks across worker deques
   /// under one lock acquisition per touched deque.
-  void SubmitBatch(std::span<const util::TaskId> tasks);
+  void SubmitBatch(std::span<const WorkItem> tasks);
 
   /// Blocks until every submitted item has finished executing.
   void Wait();
@@ -86,12 +92,12 @@ class ThreadPool {
   // steady-state submit/claim path and is owner-local almost always.
   struct alignas(64) WorkerSlot {
     std::mutex mutex;
-    std::deque<util::TaskId> deque;
+    std::deque<WorkItem> deque;
     /// Thief-private scratch for stolen surplus, touched only by this
     /// slot's own worker thread (never under any lock): TrySteal drains
     /// the victim into it, releases the victim's mutex, then appends to
     /// our deque — so no thread ever holds two slot mutexes at once.
-    std::vector<util::TaskId> loot;
+    std::vector<WorkItem> loot;
     std::atomic<std::uint64_t> executed{0};
     std::atomic<std::uint64_t> steals{0};
     std::atomic<std::uint64_t> sleeps{0};
@@ -99,8 +105,8 @@ class ThreadPool {
   };
 
   void WorkerLoop(std::size_t self);
-  bool TryPopOwn(std::size_t self, util::TaskId& out);
-  bool TrySteal(std::size_t self, util::TaskId& out);
+  bool TryPopOwn(std::size_t self, WorkItem& out);
+  bool TrySteal(std::size_t self, WorkItem& out);
   void WakeWorkers(std::size_t count);
   void FinishOne();
 

@@ -1,0 +1,30 @@
+#include "service/engine_host.hpp"
+
+#include "service/session.hpp"
+
+namespace dsched::service {
+
+EngineHost::EngineHost(const HostOptions& options)
+    : core_(std::make_shared<detail::HostCore>(options)) {}
+
+std::unique_ptr<Session> EngineHost::OpenSession(std::string_view program_text,
+                                                 const SessionOptions& options) {
+  return std::make_unique<Session>(core_, program_text, options);
+}
+
+void EngineHost::ExportMetrics() {
+  obs::MetricsRegistry& metrics = core_->metrics;
+  metrics.Set("host.workers", core_->router.NumWorkers());
+  metrics.Set("host.active_sessions",
+              core_->active_sessions.load(std::memory_order_relaxed));
+  metrics.Set("host.sessions_opened",
+              core_->sessions_opened.load(std::memory_order_relaxed));
+  const runtime::ThreadPoolStats pool = core_->router.PoolStats();
+  metrics.Set("host.pool.submitted", pool.submitted);
+  metrics.Set("host.pool.executed", pool.executed);
+  metrics.Set("host.pool.steals", pool.steals);
+  metrics.Set("host.pool.sleeps", pool.sleeps);
+  metrics.Set("host.pool.wakeups", pool.wakeups);
+}
+
+}  // namespace dsched::service

@@ -1,0 +1,119 @@
+// The service entry point: one long-lived host serving many concurrently
+// maintained Datalog programs on one shared runtime.
+//
+// Ownership shape (DESIGN.md §10):
+//
+//     EngineHost ──────────────► HostCore (shared)
+//                                 ├─ TaskRouter ── ThreadPool (N workers)
+//                                 ├─ MetricsRegistry (host.* / session.*)
+//                                 └─ defaults (scheduler, queue bound)
+//     Session "a" ─► program+strat / RelationStore / scheduler spec
+//                    UpdateQueue ─► apply thread ─► router channel
+//     Session "b" ─► ... (same pool, own everything else)
+//
+// Every Session owns its parsed+stratified program, its sharded store, and
+// a serialized-per-session apply loop; the ONLY shared mutable state is the
+// worker pool (via TaskRouter channels) and the metrics registry — both
+// multi-tenant by construction.  Sessions hold the HostCore via
+// shared_ptr, so a Session outliving its EngineHost stays valid (the pool
+// joins when the last holder drops).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "obs/metrics.hpp"
+#include "runtime/task_router.hpp"
+
+namespace dsched::service {
+
+class Session;
+
+/// Host-level configuration, fixed for the host's lifetime.
+struct HostOptions {
+  /// Workers in the one shared pool all sessions' cascades run on.
+  std::size_t workers = 4;
+  /// Router channel slots == max cascades in flight at once across all
+  /// sessions (each session uses at most one at a time).
+  std::size_t max_concurrent_updates = 256;
+  /// Scheduler spec for sessions that don't pick their own.
+  std::string default_scheduler = "hybrid";
+  /// Queue bound for sessions that don't pick their own.
+  std::size_t default_queue_capacity = 64;
+};
+
+/// Per-session configuration; zero/empty fields inherit host defaults.
+struct SessionOptions {
+  /// Metrics prefix ("session.<name>.*"); auto-named "s<id>" when empty.
+  std::string name;
+  /// Scheduler factory spec ("hybrid", "levelbased", "lbl:<k>",
+  /// "logicblox", "signal"), or "serial" for the single-threaded
+  /// IncrementalEngine (no pool involvement).  Empty → host default.
+  std::string scheduler_spec;
+  /// Max queued-but-unapplied batches before Submit blocks.  0 → host
+  /// default.
+  std::size_t queue_capacity = 0;
+};
+
+namespace detail {
+
+/// The state sessions share with (and may outlive) the host handle.
+struct HostCore {
+  explicit HostCore(const HostOptions& opts)
+      : options(opts),
+        router({.workers = opts.workers,
+                .max_channels = opts.max_concurrent_updates}) {}
+
+  const HostOptions options;
+  runtime::TaskRouter router;
+  obs::MetricsRegistry metrics;
+  std::atomic<std::size_t> active_sessions{0};
+  std::atomic<std::uint64_t> sessions_opened{0};
+};
+
+}  // namespace detail
+
+/// Factory/owner of the shared runtime.  Thread-safe: sessions may be
+/// opened from any thread.
+class EngineHost {
+ public:
+  explicit EngineHost(const HostOptions& options = {});
+  ~EngineHost() = default;
+
+  EngineHost(const EngineHost&) = delete;
+  EngineHost& operator=(const EngineHost&) = delete;
+
+  /// Parses, validates, and stratifies `program_text` into a new session.
+  /// Throws util::ParseError / util::InvalidArgument on bad programs or a
+  /// bad scheduler spec ("oracle" is rejected — it cannot drive live
+  /// updates).  The session is independent: drop it whenever, in any
+  /// order relative to the host.
+  [[nodiscard]] std::unique_ptr<Session> OpenSession(
+      std::string_view program_text, const SessionOptions& options = {});
+
+  [[nodiscard]] std::size_t NumWorkers() const {
+    return core_->router.NumWorkers();
+  }
+  [[nodiscard]] std::size_t ActiveSessions() const {
+    return core_->active_sessions.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] const HostOptions& Options() const { return core_->options; }
+
+  /// The host-wide registry sessions publish `session.<name>.*` into.
+  [[nodiscard]] obs::MetricsRegistry& Metrics() { return core_->metrics; }
+
+  /// Direct router access for advanced callers (benches wiring their own
+  /// cascades onto the shared pool).
+  [[nodiscard]] runtime::TaskRouter& Router() { return core_->router; }
+
+  /// Publishes `host.*` gauges (workers, active_sessions, sessions_opened,
+  /// pool.* counters) into Metrics().
+  void ExportMetrics();
+
+ private:
+  std::shared_ptr<detail::HostCore> core_;
+};
+
+}  // namespace dsched::service

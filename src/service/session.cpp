@@ -1,0 +1,159 @@
+#include "service/session.hpp"
+
+#include <utility>
+
+#include "sched/factory.hpp"
+#include "util/error.hpp"
+
+namespace dsched::service {
+
+namespace {
+
+std::string ResolveName(detail::HostCore& core, const SessionOptions& options) {
+  const std::uint64_t id =
+      core.sessions_opened.fetch_add(1, std::memory_order_relaxed) + 1;
+  if (!options.name.empty()) {
+    return options.name;
+  }
+  return "s" + std::to_string(id);
+}
+
+std::string ResolveSpec(const detail::HostCore& core,
+                        const SessionOptions& options) {
+  const std::string& spec =
+      options.scheduler_spec.empty() ? core.options.default_scheduler
+                                     : options.scheduler_spec;
+  if (spec != "serial") {
+    if (spec.find("oracle") != std::string::npos) {
+      throw util::InvalidArgument(
+          "sessions cannot use the clairvoyant oracle scheduler — it needs "
+          "each update's outcome in advance");
+    }
+    // Fail at open, not at first Submit: instantiate once to validate.
+    (void)sched::CreateScheduler(spec);
+  }
+  return spec;
+}
+
+}  // namespace
+
+Session::Session(std::shared_ptr<detail::HostCore> core,
+                 std::string_view program_text, const SessionOptions& options)
+    : core_(std::move(core)),
+      name_(ResolveName(*core_, options)),
+      spec_(ResolveSpec(*core_, options)),
+      metrics_prefix_("session." + name_ + "."),
+      db_(program_text),
+      queue_(options.queue_capacity > 0
+                 ? options.queue_capacity
+                 : core_->options.default_queue_capacity) {
+  core_->active_sessions.fetch_add(1, std::memory_order_relaxed);
+  apply_thread_ = std::thread([this] { ApplyLoop(); });
+}
+
+Session::~Session() { Close(); }
+
+std::future<UpdateOutcome> Session::Submit(datalog::UpdateRequest request) {
+  DSCHED_CHECK_MSG(db_.Materialized(), "Materialize() before Submit()");
+  std::promise<UpdateOutcome> promise;
+  std::future<UpdateOutcome> future = promise.get_future();
+  queue_.Push(std::move(request), std::move(promise));
+  core_->metrics.Add(metrics_prefix_ + "submit", 1);
+  return future;
+}
+
+bool Session::TrySubmit(datalog::UpdateRequest request,
+                        std::future<UpdateOutcome>* out) {
+  DSCHED_CHECK_MSG(db_.Materialized(), "Materialize() before Submit()");
+  std::promise<UpdateOutcome> promise;
+  std::future<UpdateOutcome> future = promise.get_future();
+  if (queue_.TryPush(std::move(request), std::move(promise)) == 0) {
+    return false;
+  }
+  core_->metrics.Add(metrics_prefix_ + "submit", 1);
+  if (out != nullptr) {
+    *out = std::move(future);
+  }
+  return true;
+}
+
+void Session::Drain() {
+  const std::uint64_t target = queue_.LastEpoch();
+  std::unique_lock<std::mutex> lock(drain_mutex_);
+  drain_cv_.wait(lock, [this, target] {
+    return applied_epoch_.load(std::memory_order_acquire) >= target;
+  });
+}
+
+void Session::Close() {
+  std::call_once(close_once_, [this] {
+    queue_.Close();  // stop accepting; already-queued batches still apply
+    if (apply_thread_.joinable()) {
+      apply_thread_.join();
+    }
+    PublishMetrics();
+    db_.Store().ExportMetrics(core_->metrics, metrics_prefix_ + "store.");
+    core_->active_sessions.fetch_sub(1, std::memory_order_relaxed);
+  });
+}
+
+std::vector<datalog::Tuple> Session::Query(std::string_view predicate) const {
+  const std::lock_guard<std::mutex> lock(db_mutex_);
+  return db_.Query(predicate);
+}
+
+bool Session::Contains(std::string_view predicate,
+                       const datalog::Tuple& tuple) const {
+  const std::lock_guard<std::mutex> lock(db_mutex_);
+  return db_.Contains(predicate, tuple);
+}
+
+void Session::ApplyLoop() {
+  UpdateQueue::Job job;
+  while (queue_.Pop(job)) {
+    ApplyOne(job);
+  }
+}
+
+void Session::ApplyOne(UpdateQueue::Job& job) {
+  UpdateOutcome outcome;
+  outcome.epoch = job.epoch;
+  try {
+    const std::lock_guard<std::mutex> lock(db_mutex_);
+    if (spec_ == "serial") {
+      outcome.update = db_.ApplyRequest(job.request);
+    } else {
+      datalog::ParallelUpdateResult result = db_.ApplyRequestParallel(
+          job.request, {.scheduler_spec = spec_,
+                        .workers = 0,  // ignored: the router decides
+                        .router = &core_->router});
+      outcome.update = std::move(result.update);
+      outcome.run = result.run;
+    }
+    inserted_total_ += outcome.update.total_inserted;
+    deleted_total_ += outcome.update.total_deleted;
+    job.promise.set_value(std::move(outcome));
+  } catch (...) {
+    // A failed batch (bad arity, engine invariant trip) fails ITS future;
+    // the session stays live for subsequent batches.
+    job.promise.set_exception(std::current_exception());
+  }
+  {
+    const std::lock_guard<std::mutex> lock(drain_mutex_);
+    applied_epoch_.store(job.epoch, std::memory_order_release);
+  }
+  drain_cv_.notify_all();
+  PublishMetrics();
+}
+
+void Session::PublishMetrics() {
+  obs::MetricsRegistry& metrics = core_->metrics;
+  metrics.Set(metrics_prefix_ + "applied",
+              applied_epoch_.load(std::memory_order_relaxed));
+  metrics.Max(metrics_prefix_ + "queue_depth", queue_.HighWater());
+  metrics.Set(metrics_prefix_ + "blocked_submits", queue_.BlockedPushes());
+  metrics.Set(metrics_prefix_ + "inserted", inserted_total_);
+  metrics.Set(metrics_prefix_ + "deleted", deleted_total_);
+}
+
+}  // namespace dsched::service

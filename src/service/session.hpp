@@ -1,0 +1,142 @@
+// One maintained Datalog program inside an EngineHost.
+//
+// A session owns everything program-scoped — the parsed+stratified program,
+// its sharded RelationStore, its scheduler choice, and a bounded queue of
+// pending update batches — and borrows only the host's shared worker pool.
+// Batches are applied strictly in submission order by ONE apply thread per
+// session (serialized-per-session), while different sessions' apply threads
+// run concurrently and interleave their cascades on the shared pool
+// (concurrent-across-sessions).
+//
+// Epoch lifecycle: Submit assigns the batch a dense 1-based epoch and
+// returns a future; the apply thread pops batches in epoch order, runs the
+// incremental maintenance, and fulfils the future with the epoch, the
+// engine result, and the executor run stats.  After the future for epoch N
+// resolves, Query() reflects every batch up to N (and possibly later ones —
+// queries see the newest applied state).
+//
+// Lifecycle: bootstrap (Insert base facts, Materialize) → live (Submit /
+// Query) → Close (stop accepting, drain the queue, join).  Close is
+// idempotent and implied by destruction.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <vector>
+
+#include "datalog/database.hpp"
+#include "service/engine_host.hpp"
+#include "service/update_queue.hpp"
+
+namespace dsched::service {
+
+/// Handle to one maintained program.  Bootstrap calls (Insert/Materialize)
+/// are single-threaded by contract; Submit/Query/Close may be called from
+/// any thread once materialized.
+class Session {
+ public:
+  /// Use EngineHost::OpenSession.
+  Session(std::shared_ptr<detail::HostCore> core, std::string_view program_text,
+          const SessionOptions& options);
+
+  Session(const Session&) = delete;
+  Session& operator=(const Session&) = delete;
+
+  /// Closes (drains + joins) if still open.
+  ~Session();
+
+  // --- bootstrap -------------------------------------------------------
+  [[nodiscard]] datalog::Value Sym(std::string_view name) {
+    return db_.Sym(name);
+  }
+  void Insert(std::string_view predicate, datalog::Tuple tuple) {
+    db_.Insert(predicate, std::move(tuple));
+  }
+  /// From-scratch evaluation to fixpoint; required before the first Submit.
+  datalog::EvalStats Materialize() { return db_.Materialize(); }
+
+  // --- live updates ----------------------------------------------------
+  /// Starts a name-based batch builder bound to this session's program.
+  [[nodiscard]] datalog::Database::Update MakeUpdate() {
+    return db_.MakeUpdate();
+  }
+
+  /// Enqueues a batch for in-order application.  BLOCKS while the session
+  /// queue is at its bound (backpressure).  Throws util::LogicError once
+  /// the session is closed or closing.
+  std::future<UpdateOutcome> Submit(datalog::UpdateRequest request);
+  std::future<UpdateOutcome> Submit(const datalog::Database::Update& update) {
+    return Submit(update.Request());
+  }
+
+  /// Non-blocking Submit: false (and no enqueue) when the queue is full.
+  bool TrySubmit(datalog::UpdateRequest request,
+                 std::future<UpdateOutcome>* out);
+
+  /// Blocks until every batch accepted so far has been applied.
+  void Drain();
+
+  /// Stops accepting new batches, applies everything already queued, joins
+  /// the apply thread, and publishes final session metrics.  Idempotent.
+  void Close();
+
+  // --- queries (any thread; serialized against applies) ---------------
+  [[nodiscard]] std::vector<datalog::Tuple> Query(
+      std::string_view predicate) const;
+  [[nodiscard]] bool Contains(std::string_view predicate,
+                              const datalog::Tuple& tuple) const;
+
+  // --- introspection ---------------------------------------------------
+  [[nodiscard]] const std::string& Name() const { return name_; }
+  [[nodiscard]] const std::string& SchedulerSpec() const { return spec_; }
+  /// Last applied epoch (0 before any batch lands).
+  [[nodiscard]] std::uint64_t AppliedEpoch() const {
+    return applied_epoch_.load(std::memory_order_acquire);
+  }
+  [[nodiscard]] std::size_t QueueDepth() const { return queue_.Depth(); }
+  [[nodiscard]] std::size_t QueueCapacity() const {
+    return queue_.Capacity();
+  }
+  /// The underlying store — shard-stable tuple access for equality checks.
+  [[nodiscard]] const datalog::RelationStore& Store() const {
+    return db_.Store();
+  }
+  [[nodiscard]] const datalog::Database& Db() const { return db_; }
+
+ private:
+  void ApplyLoop();
+  void ApplyOne(UpdateQueue::Job& job);
+  /// Publishes session.<name>.* counters into the host registry.
+  void PublishMetrics();
+
+  std::shared_ptr<detail::HostCore> core_;
+  std::string name_;
+  std::string spec_;
+  std::string metrics_prefix_;
+  datalog::Database db_;
+  UpdateQueue queue_;
+
+  /// Serializes applies against Query/Contains.  The apply thread holds it
+  /// only while mutating the store, not while blocked on the queue.
+  mutable std::mutex db_mutex_;
+
+  std::mutex drain_mutex_;
+  std::condition_variable drain_cv_;
+  std::atomic<std::uint64_t> applied_epoch_{0};
+  std::uint64_t inserted_total_ = 0;  ///< apply thread only
+  std::uint64_t deleted_total_ = 0;   ///< apply thread only
+
+  std::once_flag close_once_;
+  /// Joined by Close() (which the destructor runs) before any member is
+  /// destroyed.
+  std::thread apply_thread_;
+};
+
+}  // namespace dsched::service

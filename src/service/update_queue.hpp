@@ -1,0 +1,90 @@
+// The per-session update pipeline: a bounded MPSC queue of update batches
+// with epoch numbering and promise-based result delivery.
+//
+// Producers are client threads calling Session::Submit; the single consumer
+// is the session's apply thread.  The bound is the backpressure mechanism:
+// a full queue makes Push block (or TryPush decline) instead of letting a
+// fast producer build an unbounded backlog of unapplied batches.  Epochs
+// are assigned under the queue lock, so they are dense, start at 1, and
+// order exactly like application order — epoch N's result reflects every
+// batch up to and including N.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <future>
+#include <mutex>
+#include <deque>
+
+#include "datalog/incremental.hpp"
+#include "runtime/executor.hpp"
+
+namespace dsched::service {
+
+/// What a fulfilled Submit future carries: which epoch the batch became,
+/// the engine-level result, and (for parallel sessions) the executor run.
+struct UpdateOutcome {
+  /// 1-based position of this batch in the session's apply order.
+  std::uint64_t epoch = 0;
+  datalog::UpdateResult update;
+  /// Executor stats of the cascade; default-initialized for sessions on
+  /// the serial engine.
+  runtime::Executor::RunStats run;
+};
+
+/// Bounded single-consumer queue of pending update batches.  Thread-safe.
+class UpdateQueue {
+ public:
+  struct Job {
+    std::uint64_t epoch = 0;
+    datalog::UpdateRequest request;
+    std::promise<UpdateOutcome> promise;
+  };
+
+  explicit UpdateQueue(std::size_t capacity);
+
+  /// Enqueues a batch, BLOCKING while the queue is at capacity (this is
+  /// the backpressure bound).  Returns the assigned epoch.  Throws
+  /// util::LogicError if the queue is closed (also when closed mid-wait).
+  std::uint64_t Push(datalog::UpdateRequest request,
+                     std::promise<UpdateOutcome> promise);
+
+  /// Non-blocking variant: returns 0 when the queue is full instead of
+  /// waiting (epochs are 1-based, so 0 is unambiguous).  Throws when
+  /// closed.
+  std::uint64_t TryPush(datalog::UpdateRequest request,
+                        std::promise<UpdateOutcome> promise);
+
+  /// Consumer side: blocks until a job is available or the queue is closed
+  /// AND drained; false only in the latter case (the consumer's exit
+  /// signal).
+  bool Pop(Job& out);
+
+  /// Stops accepting pushes.  Already-queued jobs remain poppable — close
+  /// drains, it does not discard.  Idempotent.
+  void Close();
+
+  [[nodiscard]] bool Closed() const;
+  [[nodiscard]] std::size_t Capacity() const { return capacity_; }
+  [[nodiscard]] std::size_t Depth() const;
+  /// Deepest the queue has ever been.
+  [[nodiscard]] std::size_t HighWater() const;
+  /// Pushes that had to wait (or TryPushes declined) because the queue was
+  /// at capacity — the "backpressure engaged" counter.
+  [[nodiscard]] std::uint64_t BlockedPushes() const;
+  /// Epochs assigned so far (== total accepted batches).
+  [[nodiscard]] std::uint64_t LastEpoch() const;
+
+ private:
+  const std::size_t capacity_;
+  mutable std::mutex mutex_;
+  std::condition_variable not_full_;
+  std::condition_variable not_empty_;
+  std::deque<Job> jobs_;
+  std::uint64_t next_epoch_ = 1;
+  std::size_t high_water_ = 0;
+  std::uint64_t blocked_pushes_ = 0;
+  bool closed_ = false;
+};
+
+}  // namespace dsched::service

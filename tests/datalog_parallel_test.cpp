@@ -16,95 +16,17 @@
 #include "datalog/validate.hpp"
 #include "util/error.hpp"
 #include "util/rng.hpp"
+#include "wide_program_fixture.hpp"
 
 namespace dsched::datalog {
 namespace {
 
-std::vector<Tuple> Sorted(std::vector<Tuple> rows) {
-  std::sort(rows.begin(), rows.end());
-  return rows;
-}
-
-void ExpectStoresEqual(const Program& program, const RelationStore& a,
-                       const RelationStore& b, const char* what) {
-  for (std::uint32_t pred = 0; pred < program.NumPredicates(); ++pred) {
-    EXPECT_EQ(Sorted(a.Of(pred).Tuples()), Sorted(b.Of(pred).Tuples()))
-        << what << ": predicate " << program.predicate_names[pred];
-  }
-}
-
-// A program with genuinely parallel structure: several independent derived
-// chains off shared bases, recursion, negation, and a final join.
-constexpr const char* kWideProgram = R"(
-  tc(X, Y) :- e(X, Y).
-  tc(X, Z) :- tc(X, Y), e(Y, Z).
-  rev(Y, X) :- e(X, Y).
-  revtc(X, Y) :- rev(X, Y).
-  revtc(X, Z) :- revtc(X, Y), rev(Y, Z).
-  hasout(X) :- e(X, _).
-  deadend(X) :- n(X), !hasout(X).
-  hot(X) :- mark(X).
-  hotpair(X, Y) :- hot(X), tc(X, Y).
-  cold(X) :- n(X), !hot(X).
-  summary(X, Y) :- hotpair(X, Y), revtc(Y, X).
-)";
-
-struct Fixture {
-  Program program = ParseProgram(kWideProgram);
-  Stratification strat;
-  RelationStore store;
-
-  Fixture() {
-    ValidateProgram(program);
-    strat = Stratify(program);
-    store = RelationStore(program);
-  }
-
-  void Base(util::Rng& rng, int nodes, double edge_prob) {
-    const auto e = program.PredicateId("e");
-    const auto n = program.PredicateId("n");
-    const auto mark = program.PredicateId("mark");
-    for (int i = 0; i < nodes; ++i) {
-      store.Of(n).Insert({Value::Int(i)});
-      if (rng.NextBool(0.3)) {
-        store.Of(mark).Insert({Value::Int(i)});
-      }
-    }
-    for (int i = 0; i < nodes; ++i) {
-      for (int j = 0; j < nodes; ++j) {
-        if (i != j && rng.NextBool(edge_prob)) {
-          store.Of(e).Insert({Value::Int(i), Value::Int(j)});
-        }
-      }
-    }
-    EvaluateProgram(program, strat, store);
-  }
-};
-
-UpdateRequest RandomUpdate(const Program& program, util::Rng& rng, int nodes) {
-  UpdateRequest request;
-  const auto e = program.PredicateId("e");
-  const auto mark = program.PredicateId("mark");
-  for (int tries = 0; tries < 8; ++tries) {
-    const int i = static_cast<int>(rng.NextBelow(static_cast<std::uint64_t>(nodes)));
-    const int j = static_cast<int>(rng.NextBelow(static_cast<std::uint64_t>(nodes)));
-    if (i == j) {
-      continue;
-    }
-    if (rng.NextBool(0.5)) {
-      request.insertions.emplace_back(e, Tuple{Value::Int(i), Value::Int(j)});
-    } else {
-      request.deletions.emplace_back(e, Tuple{Value::Int(i), Value::Int(j)});
-    }
-  }
-  const int m = static_cast<int>(rng.NextBelow(static_cast<std::uint64_t>(nodes)));
-  if (rng.NextBool(0.5)) {
-    request.insertions.emplace_back(mark, Tuple{Value::Int(m)});
-  } else {
-    request.deletions.emplace_back(mark, Tuple{Value::Int(m)});
-  }
-  return request;
-}
+// The program, fixture, and update generator live in the shared header —
+// the stress and service tests drive the same shapes.
+using dsched::testing::ExpectStoresEqual;
+using dsched::testing::RandomUpdate;
+using dsched::testing::Sorted;
+using Fixture = dsched::testing::WideFixture;
 
 TEST(ParallelUpdateTest, MatchesSequentialAcrossSchedulers) {
   for (const char* spec : {"hybrid", "levelbased", "lbl:4", "logicblox",

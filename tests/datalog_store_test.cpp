@@ -8,6 +8,7 @@
 #include "datalog/incremental.hpp"
 #include "datalog/parser.hpp"
 #include "datalog/relation.hpp"
+#include "obs/metrics.hpp"
 #include "util/error.hpp"
 
 namespace dsched::datalog {
@@ -41,6 +42,30 @@ TEST(RelationStoreCopyTest, AssignmentResetsCache) {
   EXPECT_EQ(b.Lookup(e, {0}, {Value::Int(1)}).size(), 0u);  // warm b's cache
   b = a;
   EXPECT_EQ(b.Lookup(e, {0}, {Value::Int(1)}).size(), 1u);
+}
+
+TEST(RelationStoreTest, MetricsExportIsPrefixIsolated) {
+  // Single-tenant regression for the service layer: two stores exporting
+  // into ONE registry must not clobber each other.  The prefix parameter
+  // (default "store.") is how sessions isolate — the host exports each
+  // session's store under "session.<name>.store.".
+  const Program p = ParseProgram("e(a, b).");
+  RelationStore one(p);
+  RelationStore two(p);
+  const auto e = p.PredicateId("e");
+  one.Of(e).Insert(T2(1, 2));
+  two.Of(e).Insert(T2(1, 2));
+  two.Of(e).Insert(T2(3, 4));
+  obs::MetricsRegistry registry;
+  one.ExportMetrics(registry, "session.a.store.");
+  two.ExportMetrics(registry, "session.b.store.");
+  EXPECT_EQ(registry.Value("session.a.store.rows"), 1u);
+  EXPECT_EQ(registry.Value("session.b.store.rows"), 2u);
+  // Re-export after divergence keeps the other prefix untouched.
+  one.Of(e).Insert(T2(5, 6));
+  one.ExportMetrics(registry, "session.a.store.");
+  EXPECT_EQ(registry.Value("session.a.store.rows"), 2u);
+  EXPECT_EQ(registry.Value("session.b.store.rows"), 2u);
 }
 
 TEST(RelationStoreTest, AppendOnlyIndexExtension) {

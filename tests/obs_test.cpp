@@ -6,6 +6,7 @@
 // simulator's instrumented scheduler pop paths.
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cctype>
 #include <cstdint>
 #include <map>
@@ -394,6 +395,73 @@ TEST(TraceSessionTest, MultiThreadedRecordingIsRaceFree) {
             kThreads * kPerThread);
   EXPECT_EQ(TotalsOf(snapshot, Category::kJoinEmit).value,
             kThreads * kPerThread);
+}
+
+TEST(TraceSessionTest, PersistentWorkerThreadsCrossSessionGenerations) {
+  // Single-tenant regression: the service host's pool threads live for the
+  // whole process while trace sessions come and go.  A worker's cached
+  // thread-buffer pointer must never leak across sessions — events a
+  // long-lived thread records under a later session belong to that session
+  // alone, and the destroyed earlier session's buffer must never be
+  // touched again (the generation check in BufferForThisThread; a
+  // violation is a use-after-free under the ASan CI job).
+  ASSERT_EQ(TraceSession::Current(), nullptr);
+  constexpr int kWorkers = 2;
+  constexpr int kEventsPerRound = 5;
+  std::atomic<int> round{0};
+  std::atomic<int> acks{0};
+  std::vector<std::thread> workers;
+  workers.reserve(kWorkers);
+  for (int t = 0; t < kWorkers; ++t) {
+    workers.emplace_back([&round, &acks] {
+      int seen = 0;
+      while (true) {
+        const int r = round.load(std::memory_order_acquire);
+        if (r < 0) {
+          return;
+        }
+        if (r == seen) {
+          std::this_thread::yield();
+          continue;
+        }
+        for (int i = 0; i < kEventsPerRound; ++i) {
+          OBS_SCOPE(Category::kPoolSteal);
+        }
+        seen = r;
+        acks.fetch_add(1, std::memory_order_acq_rel);
+      }
+    });
+  }
+  const auto run_round = [&round, &acks](int r) {
+    round.store(r, std::memory_order_release);
+    while (acks.load(std::memory_order_acquire) < kWorkers * r) {
+      std::this_thread::yield();
+    }
+  };
+
+  AccumSnapshot first_totals;
+  {
+    TraceSession first;
+    first.Install();
+    run_round(1);
+    first.Uninstall();
+    first_totals = first.Snapshot();
+  }  // first's thread buffers are freed here; the workers' caches go stale
+  {
+    TraceSession second;
+    second.Install();
+    run_round(2);  // same threads — must re-register, not reuse stale buffers
+    second.Uninstall();
+    const AccumSnapshot second_totals = second.Snapshot();
+    EXPECT_EQ(TotalsOf(second_totals, Category::kPoolSteal).count,
+              static_cast<std::uint64_t>(kWorkers * kEventsPerRound));
+  }
+  EXPECT_EQ(TotalsOf(first_totals, Category::kPoolSteal).count,
+            static_cast<std::uint64_t>(kWorkers * kEventsPerRound));
+  round.store(-1, std::memory_order_release);
+  for (std::thread& worker : workers) {
+    worker.join();
+  }
 }
 
 TEST(MetricsRegistryTest, BasicOperations) {

@@ -18,8 +18,10 @@
 #include "runtime/executor.hpp"
 #include "sched/factory.hpp"
 #include "trace/cascade.hpp"
+#include "runtime/task_router.hpp"
 #include "trace/generators.hpp"
 #include "util/rng.hpp"
+#include "wide_program_fixture.hpp"
 
 namespace dsched::runtime {
 namespace {
@@ -138,36 +140,20 @@ TEST(RuntimeStressTest, BatchedDispatchKeepsStatsConsistent) {
 
 // --- ApplyParallel vs the serial engine, across specs × worker counts ---
 
-constexpr const char* kStressProgram = R"(
-  tc(X, Y) :- e(X, Y).
-  tc(X, Z) :- tc(X, Y), e(Y, Z).
-  rev(Y, X) :- e(X, Y).
-  revtc(X, Y) :- rev(X, Y).
-  revtc(X, Z) :- revtc(X, Y), rev(Y, Z).
-  hasout(X) :- e(X, _).
-  deadend(X) :- n(X), !hasout(X).
-  hot(X) :- mark(X).
-  hotpair(X, Y) :- hot(X), tc(X, Y).
-  cold(X) :- n(X), !hot(X).
-  summary(X, Y) :- hotpair(X, Y), revtc(Y, X).
-)";
-
-std::vector<datalog::Tuple> Sorted(std::vector<datalog::Tuple> rows) {
-  std::vector<datalog::Tuple> out(rows.begin(), rows.end());
-  std::sort(out.begin(), out.end());
-  return out;
-}
+// Program + helpers shared with the parallel and service tests.
+using dsched::testing::kWideProgram;
+using dsched::testing::Sorted;
 
 TEST(RuntimeStressTest, ParallelStoreEqualsSerialAcrossSweep) {
   using datalog::Tuple;
   using datalog::Value;
   for (const char* spec : kSpecs) {
     for (const std::size_t workers : {1u, 2u, 5u, 8u}) {
-      datalog::Program seq_program = datalog::ParseProgram(kStressProgram);
+      datalog::Program seq_program = datalog::ParseProgram(kWideProgram);
       datalog::ValidateProgram(seq_program);
       const datalog::Stratification seq_strat = datalog::Stratify(seq_program);
       datalog::RelationStore seq_store(seq_program);
-      datalog::Program par_program = datalog::ParseProgram(kStressProgram);
+      datalog::Program par_program = datalog::ParseProgram(kWideProgram);
       datalog::ValidateProgram(par_program);
       const datalog::Stratification par_strat = datalog::Stratify(par_program);
       datalog::RelationStore par_store(par_program);
@@ -236,6 +222,39 @@ TEST(RuntimeStressTest, ParallelStoreEqualsSerialAcrossSweep) {
       }
     }
   }
+}
+
+TEST(RuntimeStressTest, ParallelViaSharedRouterEqualsSerial) {
+  // Same store-equality guarantee as the sweep above, but every parallel
+  // update runs through ONE shared TaskRouter — the service-layer
+  // configuration — instead of a per-call private pool.
+  TaskRouter router({.workers = 4});
+  for (const char* spec : kSpecs) {
+    util::Rng rng(321);
+    dsched::testing::WideFixture serial;
+    serial.Base(rng, 9, 0.18);
+    util::Rng rng2(321);
+    dsched::testing::WideFixture routed;
+    routed.Base(rng2, 9, 0.18);
+
+    datalog::IncrementalEngine engine(serial.program, serial.strat,
+                                      serial.store);
+    util::Rng update_rng(654);
+    for (int batch = 0; batch < 3; ++batch) {
+      const datalog::UpdateRequest request =
+          dsched::testing::RandomUpdate(serial.program, update_rng, 9);
+      (void)engine.Apply(request);
+      datalog::ParallelUpdateOptions options;
+      options.scheduler_spec = spec;
+      options.router = &router;
+      const auto result = datalog::ApplyParallel(
+          routed.program, routed.strat, routed.store, request, options);
+      EXPECT_GT(result.run.executed, 0u) << spec << " batch=" << batch;
+      dsched::testing::ExpectStoresEqual(serial.program, serial.store,
+                                         routed.store, spec);
+    }
+  }
+  EXPECT_EQ(router.OpenChannels(), 0u);
 }
 
 }  // namespace

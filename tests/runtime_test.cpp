@@ -6,6 +6,7 @@
 #include <thread>
 
 #include "runtime/executor.hpp"
+#include "runtime/task_router.hpp"
 #include "runtime/thread_pool.hpp"
 #include "sched/factory.hpp"
 #include "sched/level_based.hpp"
@@ -56,9 +57,9 @@ TEST(ThreadPoolTest, DestructorJoinsCleanly) {
 
 TEST(ThreadPoolTest, SubmitBatchRunsEveryItemExactlyOnce) {
   std::vector<std::atomic<int>> seen(500);
-  ThreadPool pool(4, [&seen](util::TaskId t, std::size_t) { seen[t].fetch_add(1); });
-  std::vector<util::TaskId> batch(500);
-  for (util::TaskId i = 0; i < 500; ++i) {
+  ThreadPool pool(4, [&seen](ThreadPool::WorkItem t, std::size_t) { seen[t].fetch_add(1); });
+  std::vector<ThreadPool::WorkItem> batch(500);
+  for (ThreadPool::WorkItem i = 0; i < 500; ++i) {
     batch[i] = i;
   }
   pool.SubmitBatch(batch);
@@ -73,7 +74,7 @@ TEST(ThreadPoolTest, ReusableAcrossWaits) {
   std::atomic<int> done{0};
   ThreadPool pool(2, [&done](util::TaskId, std::size_t) { done.fetch_add(1); });
   for (int round = 0; round < 5; ++round) {
-    std::vector<util::TaskId> batch = {0, 1, 2, 3};
+    std::vector<ThreadPool::WorkItem> batch = {0, 1, 2, 3};
     pool.SubmitBatch(batch);
     pool.Wait();
     EXPECT_EQ(done.load(), (round + 1) * 4);
@@ -86,20 +87,158 @@ TEST(ThreadPoolTest, StealsRebalanceSkewedBatches) {
   // workers, one deque holds ~half the items; the blocked owner forces
   // every one of them to be stolen.
   std::atomic<int> done{0};
-  ThreadPool pool(2, [&done](util::TaskId t, std::size_t) {
+  ThreadPool pool(2, [&done](ThreadPool::WorkItem t, std::size_t) {
     if (t == 0) {
       std::this_thread::sleep_for(std::chrono::milliseconds(30));
     }
     done.fetch_add(1);
   });
-  std::vector<util::TaskId> batch(64);
-  for (util::TaskId i = 0; i < 64; ++i) {
+  std::vector<ThreadPool::WorkItem> batch(64);
+  for (ThreadPool::WorkItem i = 0; i < 64; ++i) {
     batch[i] = i;
   }
   pool.SubmitBatch(batch);
   pool.Wait();
   EXPECT_EQ(done.load(), 64);
   EXPECT_EQ(pool.Stats().executed, 64u);
+}
+
+TEST(TaskRouterTest, ChannelsRouteToTheirOwnBodies) {
+  TaskRouter router({.workers = 4, .max_channels = 8});
+  std::atomic<int> a{0};
+  std::atomic<int> b{0};
+  auto ca = router.OpenChannel(
+      [&a](util::TaskId, std::size_t) { a.fetch_add(1); });
+  auto cb = router.OpenChannel(
+      [&b](util::TaskId, std::size_t) { b.fetch_add(1); });
+  std::vector<util::TaskId> tasks(100);
+  for (util::TaskId i = 0; i < 100; ++i) {
+    tasks[i] = i;
+  }
+  ca.SubmitBatch(tasks);
+  cb.SubmitBatch(std::span<const util::TaskId>(tasks).subspan(0, 40));
+  while (a.load() < 100 || b.load() < 40) {
+    std::this_thread::yield();
+  }
+  ca.Close();
+  cb.Close();
+  EXPECT_EQ(a.load(), 100);
+  EXPECT_EQ(b.load(), 40);
+  EXPECT_EQ(router.OpenChannels(), 0u);
+}
+
+TEST(TaskRouterTest, SlotsRecycleAfterClose) {
+  TaskRouter router({.workers = 2, .max_channels = 2});
+  for (int round = 0; round < 10; ++round) {
+    std::atomic<int> ran{0};
+    auto c1 = router.OpenChannel(
+        [&ran](util::TaskId, std::size_t) { ran.fetch_add(1); });
+    auto c2 = router.OpenChannel(
+        [&ran](util::TaskId, std::size_t) { ran.fetch_add(1); });
+    EXPECT_THROW(router.OpenChannel([](util::TaskId, std::size_t) {}),
+                 util::InvalidArgument);
+    const std::vector<util::TaskId> tasks = {0, 1, 2, 3};
+    c1.SubmitBatch(tasks);
+    c2.SubmitBatch(tasks);
+    while (ran.load() < 8) {
+      std::this_thread::yield();
+    }
+    c1.Close();
+    c2.Close();
+  }
+  EXPECT_EQ(router.OpenChannels(), 0u);
+}
+
+TEST(TaskRouterTest, ConcurrentCoordinatorsInterleaveOnOnePool) {
+  // Four coordinator threads each run their own submit/close cycles against
+  // one shared 4-worker pool; every channel's count must be exact.
+  TaskRouter router({.workers = 4, .max_channels = 16});
+  std::vector<std::thread> coordinators;
+  std::array<std::atomic<int>, 4> counts{};
+  for (int s = 0; s < 4; ++s) {
+    coordinators.emplace_back([&router, &counts, s] {
+      for (int round = 0; round < 20; ++round) {
+        std::atomic<int> ran{0};
+        auto channel = router.OpenChannel(
+            [&](util::TaskId, std::size_t) { ran.fetch_add(1); });
+        std::vector<util::TaskId> tasks(50);
+        for (util::TaskId i = 0; i < 50; ++i) {
+          tasks[i] = i;
+        }
+        channel.SubmitBatch(tasks);
+        while (ran.load() < 50) {
+          std::this_thread::yield();
+        }
+        channel.Close();
+        counts[static_cast<std::size_t>(s)].fetch_add(ran.load());
+      }
+    });
+  }
+  for (std::thread& t : coordinators) {
+    t.join();
+  }
+  for (const auto& count : counts) {
+    EXPECT_EQ(count.load(), 20 * 50);
+  }
+  EXPECT_EQ(router.PoolStats().executed, 4u * 20u * 50u);
+}
+
+TEST(ExecutorTest, RunOnSharedRouterMatchesPrivatePool) {
+  util::Rng rng(99);
+  const trace::JobTrace trace = trace::MakeRandomDag(60, 0.06, 0.2, 0.7, rng);
+  const trace::Cascade cascade = trace::ComputeCascade(trace);
+  TaskRouter router({.workers = 4});
+  for (const char* spec : {"levelbased", "hybrid", "signal"}) {
+    auto scheduler = sched::CreateScheduler(spec);
+    std::atomic<int> executed{0};
+    const auto stats = Executor::RunOn(
+        router, trace, *scheduler,
+        [&](util::TaskId t, std::size_t) {
+          executed.fetch_add(1);
+          return trace.Info(t).output_changes;
+        },
+        {});
+    EXPECT_EQ(stats.executed, cascade.NumActive()) << spec;
+    EXPECT_EQ(executed.load(), static_cast<int>(cascade.NumActive())) << spec;
+  }
+  EXPECT_EQ(router.OpenChannels(), 0u);
+}
+
+TEST(ExecutorTest, ConcurrentRunOnCascadesStayIsolated) {
+  // Two cascades with different bodies run simultaneously on one router;
+  // each must execute exactly its own active set.
+  TaskRouter router({.workers = 4});
+  std::vector<std::thread> runners;
+  std::array<std::size_t, 3> executed{};
+  for (std::size_t s = 0; s < 3; ++s) {
+    runners.emplace_back([&router, &executed, s] {
+      util::Rng rng(100 + static_cast<std::uint64_t>(s));
+      const trace::JobTrace trace =
+          trace::MakeRandomDag(50, 0.07, 0.25, 0.75, rng);
+      const trace::Cascade cascade = trace::ComputeCascade(trace);
+      auto scheduler = sched::CreateScheduler("hybrid");
+      std::atomic<std::size_t> count{0};
+      const auto stats = Executor::RunOn(
+          router, trace, *scheduler,
+          [&](util::TaskId t, std::size_t) {
+            count.fetch_add(1);
+            return trace.Info(t).output_changes;
+          },
+          {});
+      EXPECT_EQ(stats.executed, cascade.NumActive());
+      EXPECT_EQ(count.load(), cascade.NumActive());
+      executed[s] = stats.executed;
+    });
+  }
+  for (std::thread& t : runners) {
+    t.join();
+  }
+  EXPECT_EQ(router.OpenChannels(), 0u);
+  std::size_t total = 0;
+  for (const std::size_t e : executed) {
+    total += e;
+  }
+  EXPECT_EQ(router.PoolStats().executed, total);
 }
 
 TEST(ExecutorTest, RunsExactlyTheCascade) {

@@ -21,6 +21,17 @@ Usage:
   check_bench.py BASELINE FRESH [--tolerance 0.15]
                  [--ignore REGEX ...] [--exact REGEX ...] [--verbose]
 
+CI gates all four checked-in baselines (see .github/workflows/ci.yml
+perf-gate for the per-bench flags):
+  BENCH_datalog.json   — micro_join: rows/checksums exact
+  BENCH_store.json     — micro_store: rows/checksums exact, w8 scaling
+                         ratios ungated (runner-core-count dependent)
+  BENCH_executor.json  — micro_executor: task counts exact; speedups and
+                         hw_concurrency ungated
+  BENCH_sched.json     — micro_sched trace mode: pops/ops_total exact
+                         (the simulated schedule is deterministic),
+                         makespan_us ungated
+
 stdlib only; runs anywhere python3 does.
 """
 
