@@ -12,7 +12,6 @@ Database::Database(std::string_view program_text)
   ValidateProgram(program_);
   strat_ = Stratify(program_);
   store_ = RelationStore(program_);
-  engine_ = std::make_unique<IncrementalEngine>(program_, strat_, store_);
 }
 
 void Database::Insert(std::string_view predicate, Tuple tuple) {
@@ -55,8 +54,7 @@ Database::Update& Database::Update::Delete(std::string_view predicate,
 }
 
 UpdateResult Database::Apply(const Update& update) {
-  DSCHED_CHECK_MSG(materialized_, "Materialize() before applying updates");
-  return engine_->Apply(update.request_);
+  return ApplyRequest(update.request_, default_strategy_);
 }
 
 UpdateResult Database::AddRules(std::string_view rules_text) {
@@ -71,6 +69,9 @@ UpdateResult Database::AddRules(std::string_view rules_text) {
   program_ = std::move(candidate);
   strat_ = std::move(new_strat);
   store_.EnsurePredicates(program_);
+  // Derivation counts are rule-set-relative; force a recount on the next
+  // counting update even if this change leaves the store untouched.
+  maint_state_.counts_ready = false;
 
   // Seed: every new rule's direct derivations against the current state,
   // injected as if they were base insertions of the head predicate.  The
@@ -139,6 +140,7 @@ UpdateResult Database::RemoveRule(std::string_view clause_text) {
                        static_cast<std::ptrdiff_t>(index));
   ValidateProgram(program_);
   strat_ = Stratify(program_);
+  maint_state_.counts_ready = false;
   std::vector<bool> force(strat_.NumComponents(), false);
   force[strat_.component_of[removed.head.predicate]] = true;
   return PropagateUpdate(program_, strat_, store_, base, &force);
@@ -150,8 +152,15 @@ UpdateResult Database::ApplyParallel(const Update& update,
 }
 
 UpdateResult Database::ApplyRequest(const UpdateRequest& request) {
+  return ApplyRequest(request, default_strategy_);
+}
+
+UpdateResult Database::ApplyRequest(const UpdateRequest& request,
+                                    MaintenanceStrategy strategy) {
   DSCHED_CHECK_MSG(materialized_, "Materialize() before applying updates");
-  return engine_->Apply(request);
+  return PropagateUpdateWithStrategy(program_, strat_, store_,
+                                     GroupedBaseChanges(program_, request),
+                                     strategy, &maint_state_);
 }
 
 ParallelUpdateResult Database::ApplyRequestParallel(
@@ -161,6 +170,8 @@ ParallelUpdateResult Database::ApplyRequestParallel(
   parallel_options.scheduler_spec = options.scheduler_spec;
   parallel_options.workers = options.workers;
   parallel_options.router = options.router;
+  parallel_options.strategy = options.strategy.value_or(default_strategy_);
+  parallel_options.maint_state = &maint_state_;
   return ::dsched::datalog::ApplyParallel(program_, strat_, store_, request,
                                           parallel_options);
 }

@@ -13,12 +13,14 @@
 #pragma once
 
 #include <memory>
+#include <optional>
 #include <string>
 #include <string_view>
 #include <vector>
 
 #include "datalog/ast.hpp"
 #include "datalog/incremental.hpp"
+#include "datalog/maintenance.hpp"
 #include "datalog/parallel_update.hpp"
 #include "datalog/parser.hpp"
 #include "datalog/relation.hpp"
@@ -89,6 +91,9 @@ class Database {
     /// When set, the update's cascade runs on this shared router instead of
     /// a private pool and `workers` is ignored (see parallel_update.hpp).
     runtime::TaskRouter* router = nullptr;
+    /// Maintenance strategy for this update; empty inherits the database
+    /// default (SetDefaultStrategy).
+    std::optional<MaintenanceStrategy> strategy;
   };
   UpdateResult ApplyParallel(const Update& update,
                              const ParallelOptions& options);
@@ -100,8 +105,23 @@ class Database {
   /// session loop) that already hold predicate-id batches.  The parallel
   /// variant also surfaces executor-level RunStats.
   UpdateResult ApplyRequest(const UpdateRequest& request);
+  UpdateResult ApplyRequest(const UpdateRequest& request,
+                            MaintenanceStrategy strategy);
   ParallelUpdateResult ApplyRequestParallel(const UpdateRequest& request,
                                             const ParallelOptions& options);
+
+  /// Default maintenance strategy for Apply/ApplyRequest and for
+  /// ApplyParallel calls that don't pick their own (maintenance.hpp).
+  void SetDefaultStrategy(MaintenanceStrategy strategy) {
+    default_strategy_ = strategy;
+  }
+  [[nodiscard]] MaintenanceStrategy DefaultStrategy() const {
+    return default_strategy_;
+  }
+  /// The database-owned cross-update counting state.  Every apply path
+  /// threads it through, so counting sessions pay count initialization
+  /// once (and again only after a non-counting update touches the store).
+  [[nodiscard]] MaintenanceState& MaintState() { return maint_state_; }
 
   /// Incremental RULE changes (the paper's other trigger: "the rule
   /// definitions change").  Both maintain the materialization without a
@@ -127,7 +147,8 @@ class Database {
   Program program_;
   Stratification strat_;
   RelationStore store_;
-  std::unique_ptr<IncrementalEngine> engine_;
+  MaintenanceStrategy default_strategy_ = MaintenanceStrategy::kDRed;
+  MaintenanceState maint_state_;
   bool materialized_ = false;
 };
 

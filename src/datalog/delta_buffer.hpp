@@ -51,6 +51,12 @@ class ShardedWriteBuffer {
   void StageInsert(const Tuple& tuple) { StageInsert(RowView(tuple)); }
   void StageErase(RowView tuple);
   void StageErase(const Tuple& tuple) { StageErase(RowView(tuple)); }
+  /// Stages a count adjustment (Relation::kOpAdjust): `delta` is added to
+  /// the tuple's derivation count; membership follows the count.
+  void StageAdjust(RowView tuple, std::int32_t delta);
+  void StageAdjust(const Tuple& tuple, std::int32_t delta) {
+    StageAdjust(RowView(tuple), delta);
+  }
 
   /// Rows staged but not yet flushed (including auto-published chunks
   /// whose results have not been harvested).
@@ -66,6 +72,14 @@ class ShardedWriteBuffer {
   /// applied, invokes `on_result` for every row (publication order per
   /// shard), and recycles the chunks.
   void Flush(const ResultFn& on_result = {});
+
+  /// Like Flush, but hands the full per-row outcome code through
+  /// (Relation::kNoChange/kChanged/kBorn/kDied) — counting-maintenance
+  /// callers need to distinguish a row being born or dying from a pure
+  /// count move, which the boolean callback cannot express.
+  using ResultCodeFn =
+      std::function<void(std::uint8_t op, RowView row, std::uint8_t code)>;
+  void FlushCodes(const ResultCodeFn& on_result);
 
  private:
   Relation::DeltaChunk* StagingFor(std::size_t shard);

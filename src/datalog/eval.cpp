@@ -231,6 +231,38 @@ class RuleJoin {
     return found;
   }
 
+  /// Runs the join like Run(), but additionally stops (unwinding cleanly)
+  /// as soon as `*stop_flag` reads true after an emission — the device
+  /// behind ForEachDerivation's conditional early exit, which plain
+  /// stop_after_first cannot express.
+  bool RunUntil(const std::function<void(const Tuple&)>& emit,
+                const bool* stop_flag) {
+    stop_flag_ = stop_flag;
+    const bool found = Run(emit, /*stop_after_first=*/false);
+    stop_flag_ = nullptr;
+    return found;
+  }
+
+  /// Materializes the ground positive body literals of the current complete
+  /// binding as (predicate, tuple) pairs, in body order.  Only meaningful
+  /// inside an emit callback.
+  void GroundPositiveBody(
+      std::vector<std::pair<std::uint32_t, Tuple>>& out) const {
+    out.clear();
+    for (const BodyElement& element : rule_.body) {
+      const auto* literal = std::get_if<Literal>(&element);
+      if (literal == nullptr || literal->negated) {
+        continue;
+      }
+      Tuple t(literal->atom.args.size());
+      for (std::size_t i = 0; i < t.size(); ++i) {
+        const Term& term = literal->atom.args[i];
+        t[i] = term.IsVar() ? bindings_[term.var] : term.constant;
+      }
+      out.emplace_back(literal->atom.predicate, std::move(t));
+    }
+  }
+
   /// Pre-binds head variables against a ground head tuple (rederivation
   /// queries).  Returns false if constants clash.
   bool BindHead(const Tuple& head_tuple) {
@@ -484,7 +516,7 @@ class RuleJoin {
     }
     ++stats_.tuples_derived;
     (*emit_)(head_);
-    return stop_after_first_;
+    return stop_after_first_ || (stop_flag_ != nullptr && *stop_flag_);
   }
 
   /// Returns true when stop_after_first_ and a derivation was found.
@@ -517,7 +549,7 @@ class RuleJoin {
       // arena row directly and outer-bound positions are filled once.
       const auto rows = store_.LookupPrepared(level.prepared, level.key);
       ++stats_.index_probes;
-      stats_.index_misses += rows.empty() ? 1 : 0;
+      stats_.index_misses += rows.empty() ? 1u : 0u;
       stats_.bindings_explored += rows.size();
       stats_.tuples_derived += rows.size();
       if (!rows.empty()) {
@@ -536,7 +568,7 @@ class RuleJoin {
     }
     const auto rows = store_.LookupPrepared(level.prepared, level.key);
     ++stats_.index_probes;
-    stats_.index_misses += rows.empty() ? 1 : 0;
+    stats_.index_misses += rows.empty() ? 1u : 0u;
     for (const std::uint32_t row_id : rows) {
       ++stats_.bindings_explored;
       if (MatchSlots(level, store_.RowIn(level.prepared, row_id)) &&
@@ -566,6 +598,7 @@ class RuleJoin {
   Tuple probe_;                           ///< reusable negation-probe buffer
   const std::function<void(const Tuple&)>* emit_ = nullptr;
   bool stop_after_first_ = false;
+  const bool* stop_flag_ = nullptr;  ///< RunUntil's conditional stop
   bool head_bound_ = false;
 };
 
@@ -684,6 +717,48 @@ bool IsDerivable(const Program& program, const RelationStore& store,
   };
   join.Run(noop, /*stop_after_first=*/true);
   return found;
+}
+
+std::uint64_t CountDerivations(const Program& program,
+                               const RelationStore& store, const Rule& rule,
+                               const Tuple& head_tuple, EvalStats& stats) {
+  DSCHED_CHECK_MSG(!rule.IsAggregate(),
+                   "aggregation rules go through EvaluateAggregateRule");
+  const DeltaRestriction none;
+  RuleJoin<RelationStore> join(program, store, rule, none, stats);
+  if (!join.BindHead(head_tuple)) {
+    return 0;
+  }
+  std::uint64_t derivations = 0;
+  const std::function<void(const Tuple&)> count =
+      [&derivations](const Tuple&) { ++derivations; };
+  join.Run(count, /*stop_after_first=*/false);
+  return derivations;
+}
+
+bool ForEachDerivation(
+    const Program& program, const RelationStore& store, const Rule& rule,
+    const Tuple& head_tuple, EvalStats& stats,
+    const std::function<bool(
+        const std::vector<std::pair<std::uint32_t, Tuple>>&)>& on_derivation) {
+  DSCHED_CHECK_MSG(!rule.IsAggregate(),
+                   "aggregation rules go through EvaluateAggregateRule");
+  const DeltaRestriction none;
+  RuleJoin<RelationStore> join(program, store, rule, none, stats);
+  if (!join.BindHead(head_tuple)) {
+    return false;
+  }
+  bool stopped = false;
+  std::vector<std::pair<std::uint32_t, Tuple>> body;
+  const std::function<void(const Tuple&)> emit = [&](const Tuple&) {
+    if (stopped) {
+      return;
+    }
+    join.GroundPositiveBody(body);
+    stopped = on_derivation(body);
+  };
+  join.RunUntil(emit, &stopped);
+  return stopped;
 }
 
 EvalStats EvaluateComponent(const Program& program, const Stratification& strat,

@@ -67,6 +67,29 @@ void ApplyRule(const Program& program, const RelationStore& store,
                                const RelationStore& store, const Rule& rule,
                                const Tuple& head_tuple, EvalStats& stats);
 
+/// Number of rule instances of `rule` deriving exactly `head_tuple` in
+/// `store` — i.e. complete body matches under the head binding.  Distinct
+/// variable assignments count separately even when they ground the body to
+/// the same atoms.  The counting-maintenance recount query.  Not defined
+/// for aggregation rules.
+[[nodiscard]] std::uint64_t CountDerivations(const Program& program,
+                                             const RelationStore& store,
+                                             const Rule& rule,
+                                             const Tuple& head_tuple,
+                                             EvalStats& stats);
+
+/// Enumerates the derivations of `head_tuple` by `rule`: for every complete
+/// body match, calls `on_derivation` with the ground positive body literals
+/// as (predicate, tuple) pairs, in body order.  The span is valid only
+/// during the call.  `on_derivation` returning true stops the enumeration
+/// (the Backward/Forward "one live derivation suffices" query); the return
+/// value says whether it stopped early.  Not defined for aggregation rules.
+bool ForEachDerivation(
+    const Program& program, const RelationStore& store, const Rule& rule,
+    const Tuple& head_tuple, EvalStats& stats,
+    const std::function<bool(
+        const std::vector<std::pair<std::uint32_t, Tuple>>&)>& on_derivation);
+
 /// Evaluates one aggregation rule against the current store: joins the
 /// body, deduplicates complete variable bindings, groups by the head's
 /// group-by terms, and folds the aggregate.  Returns the full head relation

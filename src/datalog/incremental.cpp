@@ -461,6 +461,14 @@ ComponentUpdateStats RunComponentPhase(const Program& program,
   }
   comp_stats.output_changed =
       comp_stats.tuples_inserted > 0 || comp_stats.tuples_deleted > 0;
+  // DRed's deletion-pipeline effort: one erase per overdeleted tuple, at
+  // least one derivability check each, one re-insert per rederived tuple.
+  // Rule-less components are pure base-change application — every
+  // strategy does that identical work, so it reports no maintenance ops.
+  if (!rule_ids.empty()) {
+    comp_stats.maint_ops =
+        2 * comp_stats.tuples_overdeleted + comp_stats.tuples_rederived;
+  }
   comp_stats.seconds = comp_timer.ElapsedSeconds();
   return comp_stats;
 }
@@ -487,6 +495,7 @@ UpdateResult PropagateUpdate(const Program& program,
         RunComponentPhase(program, strat, component, store, base, net);
     result.total_inserted += comp_stats.tuples_inserted;
     result.total_deleted += comp_stats.tuples_deleted;
+    result.total_maint_ops += comp_stats.maint_ops;
     result.components.push_back(std::move(comp_stats));
   }
 

@@ -49,7 +49,18 @@ struct ComponentUpdateStats {
   std::size_t tuples_rederived = 0;
   std::size_t tuples_inserted = 0;  ///< net new tuples of member predicates
   std::size_t tuples_deleted = 0;   ///< net removed tuples
-  double seconds = 0.0;             ///< wall time spent on this component
+  // Maintenance-strategy effort (see maintenance.hpp).  maint_ops is the
+  // uniform tuple-level operation count the strategies are compared on:
+  // store mutations + derivability checks + recounts + backward probes of
+  // the deletion pipeline.  Insertion-side work is excluded everywhere —
+  // DRed's semi-naive continuation, counting's create-driven recounts and
+  // births — so the metric compares what each strategy does about
+  // deletions, the axis they actually differ on.
+  std::size_t maint_ops = 0;
+  std::size_t maint_recounts = 0;  ///< counting: destroy-driven recounts
+  std::size_t maint_backward_probes = 0;  ///< B/F: aliveness probes
+  std::size_t maint_avoided = 0;  ///< deletions DRed would do, skipped here
+  double seconds = 0.0;           ///< wall time spent on this component
   EvalStats eval;
 };
 
@@ -58,6 +69,7 @@ struct UpdateResult {
   std::vector<ComponentUpdateStats> components;  ///< in evaluation order
   std::size_t total_inserted = 0;
   std::size_t total_deleted = 0;
+  std::size_t total_maint_ops = 0;  ///< summed ComponentUpdateStats::maint_ops
   double seconds = 0.0;
 
   [[nodiscard]] std::string ToString(const Program& program,

@@ -1,0 +1,750 @@
+#include "datalog/maintenance.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <unordered_map>
+
+#include "datalog/delta_buffer.hpp"
+#include "obs/obs.hpp"
+#include "util/error.hpp"
+#include "util/timer.hpp"
+
+namespace dsched::datalog {
+
+namespace {
+using TupleSet = std::unordered_set<Tuple, TupleHash, TupleEq>;
+}  // namespace
+
+const char* MaintenanceStrategyName(MaintenanceStrategy s) {
+  switch (s) {
+    case MaintenanceStrategy::kDRed:
+      return "dred";
+    case MaintenanceStrategy::kCounting:
+      return "counting";
+    case MaintenanceStrategy::kBackwardForward:
+      return "bf";
+  }
+  return "dred";
+}
+
+const std::vector<std::string>& KnownMaintenanceStrategies() {
+  static const std::vector<std::string> kNames = {"dred", "counting", "bf"};
+  return kNames;
+}
+
+MaintenanceStrategy ParseMaintenanceStrategy(const std::string& name) {
+  if (name == "dred") {
+    return MaintenanceStrategy::kDRed;
+  }
+  if (name == "counting") {
+    return MaintenanceStrategy::kCounting;
+  }
+  if (name == "bf") {
+    return MaintenanceStrategy::kBackwardForward;
+  }
+  std::ostringstream oss;
+  oss << "unknown maintenance strategy '" << name << "'; valid values:";
+  for (const std::string& known : KnownMaintenanceStrategies()) {
+    oss << " " << known;
+  }
+  throw util::ParseError(oss.str());
+}
+
+bool CountingEligible(const Program& program, const Stratification& strat,
+                      std::uint32_t component) {
+  const auto& rule_ids = strat.component_rules[component];
+  if (rule_ids.empty() || strat.component_recursive[component]) {
+    return false;
+  }
+  for (const std::size_t r : rule_ids) {
+    if (program.rules[r].IsAggregate()) {
+      return false;
+    }
+  }
+  // A nonrecursive SCC is a singleton; counting relies on that (the
+  // recount joins must not read the predicate being recounted).
+  return strat.component_members[component].size() == 1;
+}
+
+namespace {
+
+std::uint64_t StoreFingerprint(const RelationStore& store) {
+  std::uint64_t fp = 0;
+  for (std::size_t p = 0; p < store.NumRelations(); ++p) {
+    fp += store.Of(static_cast<std::uint32_t>(p)).Version();
+  }
+  return fp;
+}
+
+}  // namespace
+
+void EnsureCountingState(const Program& program, const Stratification& strat,
+                         RelationStore& store, MaintenanceState& state) {
+  const std::uint64_t fp = StoreFingerprint(store);
+  if (state.counts_ready && fp == state.counts_fingerprint) {
+    return;
+  }
+  state.base_facts.assign(program.NumPredicates(), {});
+  EvalStats discard;
+  for (std::uint32_t c = 0; c < strat.NumComponents(); ++c) {
+    if (!CountingEligible(program, strat, c)) {
+      continue;
+    }
+    const std::uint32_t p = strat.component_members[c].front();
+    Relation& relation = store.Of(p);
+    std::vector<Tuple> tuples;
+    tuples.reserve(relation.Size());
+    relation.ForEachRow([&tuples](std::uint32_t, RowView row) {
+      tuples.emplace_back(row.begin(), row.end());
+    });
+    for (const Tuple& t : tuples) {
+      std::uint64_t n = 0;
+      for (const std::size_t r : strat.component_rules[c]) {
+        n += CountDerivations(program, store, program.rules[r], t, discard);
+      }
+      if (n == 0) {
+        // Present but underivable: asserted directly at some point.  The
+        // shadow base flag keeps it alive through recounts, exactly the
+        // way plain presence keeps it alive under DRed.
+        state.base_facts[p].insert(t);
+        n = 1;
+      }
+      const auto delta = static_cast<std::int64_t>(n) -
+                         static_cast<std::int64_t>(relation.CountOf(t));
+      if (delta != 0) {
+        relation.AdjustCount(t, static_cast<std::int32_t>(delta));
+      }
+    }
+  }
+  state.counts_ready = true;
+  state.counts_fingerprint = StoreFingerprint(store);
+}
+
+void SealCountingState(const RelationStore& store, MaintenanceState& state) {
+  state.counts_fingerprint = StoreFingerprint(store);
+  state.counts_ready = true;
+}
+
+namespace {
+
+// ------------------------------------------------------------------ Counting
+
+/// The counting phase of one eligible (nonrecursive, singleton,
+/// non-aggregate) component.  Computes the affected-head set H from the
+/// lower net deltas and the base changes, recounts each head against the
+/// new store (absolute recount — immune to the double-count a
+/// per-instance increment would suffer when one rule instance contains
+/// two changed body tuples), and applies the count deltas through the
+/// store's count column.  A tuple's membership changes only when its
+/// count crosses zero, so redundant-support deletions never touch the
+/// store's membership at all.
+ComponentUpdateStats RunCountingPhase(const Program& program,
+                                      const Stratification& strat,
+                                      std::uint32_t component,
+                                      RelationStore& store,
+                                      const GroupedBaseChanges& base,
+                                      std::vector<PredicateDelta>& net,
+                                      StoreWriteBuffer* scratch,
+                                      MaintenanceState& state) {
+  util::WallTimer comp_timer;
+  ComponentUpdateStats comp_stats;
+  comp_stats.component = component;
+  comp_stats.input_changed = true;
+  const std::uint32_t p = strat.component_members[component].front();
+  const auto& rule_ids = strat.component_rules[component];
+
+  // Old-state view over the phase's read set, for the instances an update
+  // DESTROYED (deleted positive / inserted negated support).
+  std::vector<std::uint32_t> relevant{p};
+  for (const std::size_t r : rule_ids) {
+    for (const BodyElement& element : program.rules[r].body) {
+      if (const auto* literal = std::get_if<Literal>(&element)) {
+        relevant.push_back(literal->atom.predicate);
+      }
+    }
+  }
+  const OldStateView old_state(store, net, relevant);
+
+  // --- Affected heads: every tuple whose derivation count may have moved.
+  // An instance disappeared iff it existed in the OLD state and used a
+  // deleted positive (or inserted negated) lower tuple; an instance
+  // appeared iff it exists in the NEW state and uses an inserted positive
+  // (or deleted negated) one.  The restricted joins enumerate exactly
+  // those; over-approximation is harmless (recount is absolute).
+  TupleSet affected;
+  // The destroy-driven subset: heads that may have LOST support.  Only
+  // their recounts are maintenance ops — create-driven recounts are the
+  // insertion pipeline, which every strategy's maint_ops excludes (DRed's
+  // semi-naive continuation is likewise uncounted).
+  TupleSet destroy_affected;
+  std::vector<Tuple> buffer;
+  const std::function<void(const Tuple&)> collect =
+      [&buffer](const Tuple& t) { buffer.push_back(t); };
+  const auto drain_into_affected = [&affected, &destroy_affected,
+                                    &buffer](bool destroy) {
+    for (Tuple& t : buffer) {
+      if (destroy) {
+        destroy_affected.insert(t);
+      }
+      affected.insert(std::move(t));
+    }
+    buffer.clear();
+  };
+  for (const std::size_t r : rule_ids) {
+    const Rule& rule = program.rules[r];
+    for (std::size_t i = 0; i < rule.body.size(); ++i) {
+      const auto* literal = std::get_if<Literal>(&rule.body[i]);
+      if (literal == nullptr) {
+        continue;
+      }
+      const std::uint32_t lower = literal->atom.predicate;
+      const std::vector<Tuple>& destroys =
+          literal->negated ? net[lower].inserted : net[lower].deleted;
+      const std::vector<Tuple>& creates =
+          literal->negated ? net[lower].deleted : net[lower].inserted;
+      if (!destroys.empty()) {
+        DeltaRestriction restriction;
+        restriction.body_index = i;
+        restriction.rows = destroys;
+        ApplyRuleOldState(program, old_state, rule, restriction,
+                          comp_stats.eval, collect);
+        drain_into_affected(/*destroy=*/true);
+      }
+      if (!creates.empty()) {
+        DeltaRestriction restriction;
+        restriction.body_index = i;
+        restriction.rows = creates;
+        ApplyRule(program, store, rule, restriction, comp_stats.eval, collect);
+        drain_into_affected(/*destroy=*/false);
+      }
+    }
+  }
+
+  // --- Base changes.  The shadow base flag mirrors DRed's effective
+  // semantics exactly: a base insert of an ABSENT tuple asserts it (flag
+  // on); one of a present tuple is absorbed; a base delete clears the
+  // flag, so the tuple survives only on rule support; and a tuple that
+  // becomes rule-derivable sheds its flag (DRed keeps no memory of base
+  // asserts — once disturbed, only derivability rescues a tuple).
+  for (const Tuple& t : base.deletions[p]) {
+    state.base_facts[p].erase(t);
+    affected.insert(t);
+    destroy_affected.insert(t);
+  }
+  for (const Tuple& t : base.insertions[p]) {
+    if (!store.Of(p).Contains(t)) {
+      state.base_facts[p].insert(t);
+    }
+    affected.insert(t);
+  }
+
+  // --- Recount every affected head against the new store.  Deltas are
+  // collected first and applied after: the recount joins never read `p`
+  // (nonrecursive), so deferred application cannot skew them.
+  std::vector<std::pair<Tuple, std::int32_t>> adjustments;
+  for (const Tuple& t : affected) {
+    std::uint64_t rule_count = 0;
+    for (const std::size_t r : rule_ids) {
+      rule_count +=
+          CountDerivations(program, store, program.rules[r], t, comp_stats.eval);
+    }
+    if (rule_count > 0) {
+      state.base_facts[p].erase(t);
+    }
+    const std::uint64_t new_count =
+        rule_count + (state.base_facts[p].contains(t) ? 1 : 0);
+    const std::uint32_t old_count = store.Of(p).CountOf(t);
+    if (destroy_affected.contains(t)) {
+      // Create-only heads are insertion-pipeline work and stay uncounted,
+      // like DRed's semi-naive continuation.
+      ++comp_stats.maint_recounts;
+      if (old_count > 0 && new_count > 0 && new_count < old_count) {
+        // DRed would have overdeleted this tuple and rederived it;
+        // counting just moves the count.
+        ++comp_stats.maint_avoided;
+      }
+    }
+    const auto delta = static_cast<std::int64_t>(new_count) -
+                       static_cast<std::int64_t>(old_count);
+    if (delta != 0) {
+      adjustments.emplace_back(t, static_cast<std::int32_t>(delta));
+    }
+  }
+  OBS_COUNTER(Category::kMaintRecount, comp_stats.maint_recounts);
+  OBS_COUNTER(Category::kMaintOverdeleteAvoided, comp_stats.maint_avoided);
+
+  // --- Apply.  With a worker scratch buffer the adjustments ride the
+  // same lock-free DeltaChunk publication as inserts (kOpAdjust entries);
+  // otherwise the direct mutator.  Either way the store reports the
+  // membership outcome per row: kBorn / kDied are the only net changes.
+  const auto on_outcome = [&net, p](RowView row, std::uint8_t code) {
+    if (code == Relation::kBorn) {
+      net[p].inserted.emplace_back(row.begin(), row.end());
+    } else if (code == Relation::kDied) {
+      net[p].deleted.emplace_back(row.begin(), row.end());
+    }
+  };
+  if (scratch != nullptr) {
+    ShardedWriteBuffer& writes = scratch->For(store, p);
+    for (const auto& [t, delta] : adjustments) {
+      writes.StageAdjust(t, delta);
+    }
+    writes.FlushCodes([&on_outcome](std::uint8_t, RowView row,
+                                    std::uint8_t code) { on_outcome(row, code); });
+  } else {
+    for (const auto& [t, delta] : adjustments) {
+      on_outcome(t, store.Of(p).AdjustCount(t, delta));
+    }
+  }
+
+  comp_stats.tuples_inserted = net[p].inserted.size();
+  comp_stats.tuples_deleted = net[p].deleted.size();
+  comp_stats.output_changed =
+      comp_stats.tuples_inserted > 0 || comp_stats.tuples_deleted > 0;
+  // Counting's deletion-pipeline effort: one recount per head that may
+  // have lost support, one erase per count that crossed zero.  Births and
+  // create-driven recounts are the insertion side, excluded everywhere.
+  comp_stats.maint_ops =
+      comp_stats.maint_recounts + comp_stats.tuples_deleted;
+  comp_stats.seconds = comp_timer.ElapsedSeconds();
+  return comp_stats;
+}
+
+// ------------------------------------------------------------ Backward/Forward
+
+/// Aliveness verdicts during the backward phase.  Absence from the mark
+/// map means "not yet probed".
+enum class Mark : std::uint8_t { kInStack, kAlive, kDead };
+
+/// The backward-phase DFS.  A suspect tuple is alive iff some rule
+/// instance derives it whose member supports are all alive; non-suspect
+/// supports are alive by construction — the suspect set is closed under
+/// consumption before any probe runs, so a tuple outside it has no
+/// derivation touching anything that might die — and lower supports are
+/// read from the live store, which already holds the new state.  The
+/// in-stack check prunes cyclic proof attempts: a tuple with any
+/// derivation has a repeat-free one (a repeated tuple on a proof path
+/// can be spliced out), so exploring only repeat-free paths from the root
+/// is complete.
+///
+/// Memoization protocol: kAlive memos are always sound (the proof found
+/// is self-contained).  kDead is recorded only when every derivation
+/// failed CLEANLY (no in-stack ancestor involved) — an unclean failure
+/// only proves the tuple unprovable on the CURRENT path, so the mark is
+/// reverted to unknown and the tuple is re-probed as its own root, where
+/// the repeat-free argument makes the verdict final.
+struct BackwardProber {
+  const Program& program;
+  const RelationStore& store;
+  const std::vector<bool>& is_member;
+  const std::unordered_map<std::uint32_t, std::vector<std::size_t>>&
+      rules_by_head;
+  std::vector<TupleSet>& suspects;
+  std::vector<std::unordered_map<Tuple, Mark, TupleHash, TupleEq>>& marks;
+  std::vector<std::pair<std::uint32_t, Tuple>>& deaths;
+  ComponentUpdateStats& stats;
+
+  bool CheckAlive(std::uint32_t pred, const Tuple& t, bool& clean) {
+    auto& pred_marks = marks[pred];
+    const auto it = pred_marks.find(t);
+    if (it != pred_marks.end()) {
+      if (it->second == Mark::kAlive) {
+        return true;
+      }
+      if (it->second == Mark::kDead) {
+        return false;
+      }
+      clean = false;  // in-stack ancestor: this path is cyclic
+      return false;
+    }
+    pred_marks.emplace(t, Mark::kInStack);
+    ++stats.maint_backward_probes;
+    OBS_COUNTER(Category::kMaintBackwardProbe, 1);
+
+    bool alive = false;
+    bool all_clean = true;
+    const auto rules_it = rules_by_head.find(pred);
+    if (rules_it != rules_by_head.end()) {
+      for (const std::size_t r : rules_it->second) {
+        const Rule& rule = program.rules[r];
+        const bool found = ForEachDerivation(
+            program, store, rule, t, stats.eval,
+            [this, &all_clean](
+                const std::vector<std::pair<std::uint32_t, Tuple>>& body)
+                -> bool {
+              for (const auto& [bp, bt] : body) {
+                if (!is_member[bp] || !suspects[bp].contains(bt)) {
+                  continue;  // lower or untouched: alive by construction
+                }
+                bool sub_clean = true;
+                if (!CheckAlive(bp, bt, sub_clean)) {
+                  if (!sub_clean) {
+                    all_clean = false;
+                  }
+                  return false;  // this derivation fails; keep enumerating
+                }
+              }
+              return true;  // every support alive: live derivation, stop
+            });
+        if (found) {
+          alive = true;
+          break;
+        }
+      }
+    }
+    if (alive) {
+      marks[pred][t] = Mark::kAlive;
+      return true;
+    }
+    if (all_clean) {
+      marks[pred][t] = Mark::kDead;
+      deaths.emplace_back(pred, t);
+      return false;
+    }
+    marks[pred].erase(t);  // unprovable here, maybe provable as a root
+    clean = false;
+    return false;
+  }
+};
+
+/// The Backward/Forward phase of one rule-owning, non-aggregate
+/// component.  B: seed the suspect set (tuples that lost an old-state
+/// derivation), close it under live-store consumption (marking only),
+/// prove each suspect alive or dead via backward probes, and only then
+/// erase the proven-dead rows — DRed's overdelete/rederive round-trip
+/// never happens.  F: DRed's insertion pipeline verbatim
+/// (negation-driven inserts, base inserts, semi-naive continuation),
+/// which is identical across strategies.
+ComponentUpdateStats RunBackwardForwardPhase(const Program& program,
+                                             const Stratification& strat,
+                                             std::uint32_t component,
+                                             RelationStore& store,
+                                             const GroupedBaseChanges& base,
+                                             std::vector<PredicateDelta>& net,
+                                             StoreWriteBuffer* scratch) {
+  util::WallTimer comp_timer;
+  ComponentUpdateStats comp_stats;
+  comp_stats.component = component;
+  comp_stats.input_changed = true;
+  const auto& members = strat.component_members[component];
+  const auto& rule_ids = strat.component_rules[component];
+
+  std::vector<bool> is_member(program.NumPredicates(), false);
+  for (const std::uint32_t p : members) {
+    is_member[p] = true;
+  }
+  std::unordered_map<std::uint32_t, std::vector<std::size_t>> rules_by_head;
+  for (const std::size_t r : rule_ids) {
+    rules_by_head[program.rules[r].head.predicate].push_back(r);
+  }
+
+  // Old state for the seed joins.  The backward phase defers every erase,
+  // so member relations stay physically old until the suspect set is
+  // fully resolved — no extras ever accrue.
+  std::vector<std::uint32_t> relevant(members.begin(), members.end());
+  for (const std::size_t r : rule_ids) {
+    for (const BodyElement& element : program.rules[r].body) {
+      if (const auto* literal = std::get_if<Literal>(&element)) {
+        if (!is_member[literal->atom.predicate]) {
+          relevant.push_back(literal->atom.predicate);
+        }
+      }
+    }
+  }
+  const OldStateView old_state(store, net, relevant);
+
+  // --- B.1: seed the suspect set with every member tuple that lost an
+  // old-state derivation (same seeds DRed overdeletes from) plus the base
+  // deletions.
+  std::vector<TupleSet> suspects(program.NumPredicates());
+  std::vector<std::pair<std::uint32_t, Tuple>> worklist;
+  const auto add_suspect = [&](std::uint32_t pred, const Tuple& t) {
+    if (!store.Of(pred).Contains(t)) {
+      return;  // only present tuples can die
+    }
+    if (suspects[pred].insert(t).second) {
+      worklist.emplace_back(pred, t);
+    }
+  };
+  for (const std::uint32_t p : members) {
+    for (const Tuple& t : base.deletions[p]) {
+      add_suspect(p, t);
+    }
+  }
+  std::vector<Tuple> buffer;
+  const std::function<void(const Tuple&)> collect =
+      [&buffer](const Tuple& t) { buffer.push_back(t); };
+  for (const std::size_t r : rule_ids) {
+    const Rule& rule = program.rules[r];
+    for (std::size_t i = 0; i < rule.body.size(); ++i) {
+      const auto* literal = std::get_if<Literal>(&rule.body[i]);
+      if (literal == nullptr || is_member[literal->atom.predicate]) {
+        continue;  // internal support is handled by the B.2 closure
+      }
+      const std::uint32_t lower = literal->atom.predicate;
+      const std::vector<Tuple>& rows =
+          literal->negated ? net[lower].inserted : net[lower].deleted;
+      if (rows.empty()) {
+        continue;
+      }
+      DeltaRestriction restriction;
+      restriction.body_index = i;
+      restriction.rows = rows;
+      ApplyRuleOldState(program, old_state, rule, restriction, comp_stats.eval,
+                        collect);
+      for (const Tuple& t : buffer) {
+        add_suspect(rule.head.predicate, t);
+      }
+      buffer.clear();
+    }
+  }
+
+  // --- B.2: close the suspect set under consumption.  Any tuple with a
+  // live-store derivation through a suspect might lose it, so it is
+  // suspect too — transitively.  This is DRed's overdeletion closure
+  // reduced to MARKING: nothing is deleted and nothing is rederived.
+  // The closure is what makes the prober's "non-suspect support is
+  // alive" shortcut sound: cyclically-supported clusters (a recursive
+  // component's hallmark) all land in the suspect set together instead
+  // of vouching for each other from outside it.
+  std::size_t wi = 0;
+  while (wi < worklist.size()) {
+    const auto [sp, st] = worklist[wi++];  // copy: the list grows below
+    const std::span<const Tuple> suspect_row(&st, 1);
+    for (const std::size_t r : rule_ids) {
+      const Rule& rule = program.rules[r];
+      for (std::size_t i = 0; i < rule.body.size(); ++i) {
+        const auto* literal = std::get_if<Literal>(&rule.body[i]);
+        // Member literals are never negated (stratification).
+        if (literal == nullptr || literal->atom.predicate != sp ||
+            literal->negated) {
+          continue;
+        }
+        DeltaRestriction restriction;
+        restriction.body_index = i;
+        restriction.rows = suspect_row;
+        // Live store: the aliveness probes run over it, so its instance
+        // graph is the one whose consumers are at risk.  Erases are all
+        // deferred, so every at-risk instance is still visible here.
+        ApplyRule(program, store, rule, restriction, comp_stats.eval,
+                  collect);
+        for (const Tuple& h : buffer) {
+          add_suspect(rule.head.predicate, h);
+        }
+        buffer.clear();
+      }
+    }
+  }
+
+  // --- B.3: probe every suspect.  Verdicts are final: an alive proof
+  // grounds out in non-suspect (hence untouched) or lower supports, and a
+  // dead verdict means every repeat-free path failed.
+  std::vector<std::unordered_map<Tuple, Mark, TupleHash, TupleEq>> marks(
+      program.NumPredicates());
+  std::vector<std::pair<std::uint32_t, Tuple>> deaths;
+  BackwardProber prober{program,  store, is_member, rules_by_head,
+                        suspects, marks, deaths,    comp_stats};
+  for (const auto& [p, t] : worklist) {
+    if (marks[p].contains(t)) {
+      continue;  // settled while proving another suspect
+    }
+    bool clean = true;
+    if (!prober.CheckAlive(p, t, clean) && !clean) {
+      // Unclean failure AT THE ROOT is final: live tuples have
+      // repeat-free derivations, and the root's probe explored exactly
+      // the repeat-free paths.
+      marks[p][t] = Mark::kDead;
+      deaths.emplace_back(p, t);
+    }
+  }
+
+  // --- B.4: erase the proven dead.  This is the ONLY store mutation of
+  // the backward phase.
+  std::vector<TupleSet> phase_deleted(program.NumPredicates());
+  for (const auto& [p, t] : deaths) {
+    if (phase_deleted[p].insert(t).second) {
+      store.Of(p).Erase(t);
+    }
+  }
+  std::size_t alive_suspects = 0;
+  for (const std::uint32_t p : members) {
+    for (const auto& [t, mark] : marks[p]) {
+      if (mark == Mark::kAlive) {
+        ++alive_suspects;
+      }
+    }
+  }
+  comp_stats.maint_avoided = alive_suspects;  // DRed's overdelete+rederive set
+  OBS_COUNTER(Category::kMaintOverdeleteAvoided, comp_stats.maint_avoided);
+
+  // --- F: DRed's insertion pipeline, verbatim (incremental.cpp steps
+  // 3-5).  Deletions from negated lower predicates create derivations;
+  // base inserts and lower insertions seed the semi-naive continuation.
+  std::vector<TupleSet> phase_inserted(program.NumPredicates());
+  DeltaMap member_seed;
+  for (const std::size_t r : rule_ids) {
+    const Rule& rule = program.rules[r];
+    for (std::size_t i = 0; i < rule.body.size(); ++i) {
+      const auto* literal = std::get_if<Literal>(&rule.body[i]);
+      if (literal == nullptr || !literal->negated) {
+        continue;
+      }
+      const std::uint32_t lower = literal->atom.predicate;
+      if (net[lower].deleted.empty()) {
+        continue;
+      }
+      DeltaRestriction restriction;
+      restriction.body_index = i;
+      restriction.rows = net[lower].deleted;
+      ApplyRule(program, store, rule, restriction, comp_stats.eval, collect);
+      for (const Tuple& t : buffer) {
+        if (store.Of(rule.head.predicate).Insert(t)) {
+          phase_inserted[rule.head.predicate].insert(t);
+          member_seed[rule.head.predicate].push_back(t);
+        }
+      }
+      buffer.clear();
+    }
+  }
+  for (const std::uint32_t p : members) {
+    if (base.insertions[p].empty()) {
+      continue;
+    }
+    if (scratch != nullptr) {
+      ShardedWriteBuffer& writes = scratch->For(store, p);
+      for (const Tuple& t : base.insertions[p]) {
+        writes.StageInsert(t);
+      }
+      writes.Flush([&phase_inserted, &member_seed, p](std::uint8_t,
+                                                      RowView row,
+                                                      bool fresh) {
+        if (fresh) {
+          Tuple t(row.begin(), row.end());
+          phase_inserted[p].insert(t);
+          member_seed[p].push_back(std::move(t));
+        }
+      });
+    } else {
+      for (const Tuple& t : base.insertions[p]) {
+        if (store.Of(p).Insert(t)) {
+          phase_inserted[p].insert(t);
+          member_seed[p].push_back(t);
+        }
+      }
+    }
+  }
+  DeltaMap seed = member_seed;
+  for (const std::size_t r : rule_ids) {
+    for (const BodyElement& element : program.rules[r].body) {
+      if (const auto* literal = std::get_if<Literal>(&element)) {
+        const std::uint32_t lower = literal->atom.predicate;
+        if (!is_member[lower] && !literal->negated &&
+            !net[lower].inserted.empty() && !seed.contains(lower)) {
+          seed[lower] = net[lower].inserted;
+        }
+      }
+    }
+  }
+  DeltaMap derived;
+  comp_stats.eval.Merge(
+      EvaluateComponent(program, strat, component, store, &seed, &derived));
+  for (auto& [pred, rows] : derived) {
+    for (Tuple& t : rows) {
+      phase_inserted[pred].insert(std::move(t));
+    }
+  }
+
+  // --- Finalize net, with insert/delete cancellation, like DRed.
+  for (const std::uint32_t p : members) {
+    for (const Tuple& t : phase_inserted[p]) {
+      if (!phase_deleted[p].contains(t)) {
+        net[p].inserted.push_back(t);
+      }
+    }
+    for (const Tuple& t : phase_deleted[p]) {
+      if (!phase_inserted[p].contains(t)) {
+        net[p].deleted.push_back(t);
+      }
+    }
+    comp_stats.tuples_inserted += net[p].inserted.size();
+    comp_stats.tuples_deleted += net[p].deleted.size();
+  }
+  comp_stats.output_changed =
+      comp_stats.tuples_inserted > 0 || comp_stats.tuples_deleted > 0;
+  // B/F's deletion-pipeline effort: one probe per aliveness question, one
+  // erase per proven-dead tuple.
+  comp_stats.maint_ops = comp_stats.maint_backward_probes + deaths.size();
+  comp_stats.seconds = comp_timer.ElapsedSeconds();
+  return comp_stats;
+}
+
+}  // namespace
+
+ComponentUpdateStats RunMaintenancePhase(
+    MaintenanceStrategy strategy, const Program& program,
+    const Stratification& strat, std::uint32_t component, RelationStore& store,
+    const GroupedBaseChanges& base, std::vector<PredicateDelta>& net,
+    StoreWriteBuffer* scratch, MaintenanceState* state) {
+  OBS_SCOPE(Category::kMaintPhase);
+  const auto& rule_ids = strat.component_rules[component];
+  switch (strategy) {
+    case MaintenanceStrategy::kDRed:
+      break;
+    case MaintenanceStrategy::kCounting:
+      if (state != nullptr && CountingEligible(program, strat, component)) {
+        return RunCountingPhase(program, strat, component, store, base, net,
+                                scratch, *state);
+      }
+      break;  // recursive / aggregate / rule-less / stateless: DRed
+    case MaintenanceStrategy::kBackwardForward:
+      if (!rule_ids.empty() && !program.rules[rule_ids.front()].IsAggregate()) {
+        return RunBackwardForwardPhase(program, strat, component, store, base,
+                                       net, scratch);
+      }
+      break;  // aggregate / rule-less: DRed (recompute-diff / base path)
+  }
+  ComponentUpdateStats comp_stats =
+      RunComponentPhase(program, strat, component, store, base, net, scratch);
+  OBS_COUNTER(Category::kMaintOverdelete, comp_stats.tuples_overdeleted);
+  return comp_stats;
+}
+
+UpdateResult PropagateUpdateWithStrategy(
+    const Program& program, const Stratification& strat, RelationStore& store,
+    const GroupedBaseChanges& base, MaintenanceStrategy strategy,
+    MaintenanceState* state, const std::vector<bool>* force_touched) {
+  util::WallTimer total_timer;
+  UpdateResult result;
+  MaintenanceState transient;
+  MaintenanceState* st = state != nullptr ? state : &transient;
+  if (strategy == MaintenanceStrategy::kCounting) {
+    EnsureCountingState(program, strat, store, *st);
+  }
+  std::vector<PredicateDelta> net(program.NumPredicates());
+
+  for (const std::uint32_t component : strat.component_order) {
+    const bool forced =
+        force_touched != nullptr && (*force_touched)[component];
+    if (!forced &&
+        !ComponentInputTouched(program, strat, component, base, net)) {
+      ComponentUpdateStats untouched;
+      untouched.component = component;
+      result.components.push_back(untouched);
+      continue;
+    }
+    ComponentUpdateStats comp_stats = RunMaintenancePhase(
+        strategy, program, strat, component, store, base, net, nullptr, st);
+    result.total_inserted += comp_stats.tuples_inserted;
+    result.total_deleted += comp_stats.tuples_deleted;
+    result.total_maint_ops += comp_stats.maint_ops;
+    result.components.push_back(std::move(comp_stats));
+  }
+  if (strategy == MaintenanceStrategy::kCounting) {
+    SealCountingState(store, *st);
+  }
+
+  result.seconds = total_timer.ElapsedSeconds();
+  return result;
+}
+
+}  // namespace dsched::datalog

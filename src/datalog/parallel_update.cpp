@@ -102,9 +102,19 @@ ParallelUpdateResult ApplyParallel(const Program& program,
                                       : std::max<std::size_t>(options.workers, 1);
   std::vector<StoreWriteBuffer> scratch(num_workers);
 
+  // Counting needs exact pre-update derivation counts; initialize (or
+  // validate) them serially before the executor starts.
+  MaintenanceState transient_state;
+  MaintenanceState* maint_state = options.maint_state != nullptr
+                                      ? options.maint_state
+                                      : &transient_state;
+  if (options.strategy == MaintenanceStrategy::kCounting) {
+    EnsureCountingState(program, strat, store, *maint_state);
+  }
+
   const auto run_phase = [&](std::uint32_t c, std::size_t worker) -> bool {
-    stats[c] =
-        RunComponentPhase(program, strat, c, store, base, net, &scratch[worker]);
+    stats[c] = RunMaintenancePhase(options.strategy, program, strat, c, store,
+                                   base, net, &scratch[worker], maint_state);
     bool changed = false;
     for (const std::uint32_t p : strat.component_members[c]) {
       if (!net[p].Empty()) {
@@ -145,10 +155,15 @@ ParallelUpdateResult ApplyParallel(const Program& program,
           : runtime::Executor::Run(result.trace, *scheduler, task_body,
                                    {.workers = options.workers});
 
+  if (options.strategy == MaintenanceStrategy::kCounting) {
+    SealCountingState(store, *maint_state);
+  }
+
   // --- Assemble the sequential-compatible result.
   for (const std::uint32_t c : strat.component_order) {
     result.update.total_inserted += stats[c].tuples_inserted;
     result.update.total_deleted += stats[c].tuples_deleted;
+    result.update.total_maint_ops += stats[c].maint_ops;
     result.update.components.push_back(std::move(stats[c]));
   }
   result.update.seconds = total_timer.ElapsedSeconds();

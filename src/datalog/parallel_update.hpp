@@ -21,6 +21,7 @@
 #include <string>
 
 #include "datalog/incremental.hpp"
+#include "datalog/maintenance.hpp"
 #include "runtime/executor.hpp"
 #include "trace/job_trace.hpp"
 
@@ -39,6 +40,15 @@ struct ParallelUpdateOptions {
   /// the service layer interleaves many sessions' cascades on one pool.
   /// The caller must keep the router alive for the duration of the call.
   runtime::TaskRouter* router = nullptr;
+  /// How each component phase maintains deletions (maintenance.hpp).
+  /// Counting and B/F fall back to DRed per component where required.
+  MaintenanceStrategy strategy = MaintenanceStrategy::kDRed;
+  /// Cross-update counting state.  Null means a transient per-call state:
+  /// still correct, but kCounting then re-initializes the derivation
+  /// counts on every call.  Sessions should own one per database.  The
+  /// phases write disjoint per-predicate slots, so one state is safe to
+  /// share across the update's workers.
+  MaintenanceState* maint_state = nullptr;
 };
 
 /// Result of a parallel update.

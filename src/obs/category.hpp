@@ -45,6 +45,13 @@ enum class Category : std::uint8_t {
   kStorePublish,  ///< counter: staged rows published to shard delta lists
   kStoreAbsorb,   ///< scope: draining a shard's pending chunks
 
+  // Incremental maintenance strategies (datalog/maintenance.cpp).
+  kMaintPhase,            ///< scope: one component's maintenance phase body
+  kMaintOverdelete,       ///< counter: tuples overdeleted (DRed step 1)
+  kMaintOverdeleteAvoided,///< counter: deletions skipped vs DRed's closure
+  kMaintRecount,          ///< counter: affected heads recounted (counting)
+  kMaintBackwardProbe,    ///< counter: B/F "still derivable?" probes
+
   kCategoryCount
 };
 

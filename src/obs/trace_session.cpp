@@ -100,6 +100,16 @@ const char* CategoryName(Category category) {
       return "store.publish";
     case Category::kStoreAbsorb:
       return "store.absorb";
+    case Category::kMaintPhase:
+      return "maint.phase";
+    case Category::kMaintOverdelete:
+      return "maint.overdelete";
+    case Category::kMaintOverdeleteAvoided:
+      return "maint.overdelete_avoided";
+    case Category::kMaintRecount:
+      return "maint.recount";
+    case Category::kMaintBackwardProbe:
+      return "maint.backward_probe";
     case Category::kCategoryCount:
       break;
   }
@@ -130,6 +140,12 @@ const char* CategoryGroup(Category category) {
     case Category::kStorePublish:
     case Category::kStoreAbsorb:
       return "store";
+    case Category::kMaintPhase:
+    case Category::kMaintOverdelete:
+    case Category::kMaintOverdeleteAvoided:
+    case Category::kMaintRecount:
+    case Category::kMaintBackwardProbe:
+      return "maint";
     case Category::kCategoryCount:
       break;
   }
@@ -139,7 +155,11 @@ const char* CategoryGroup(Category category) {
 bool IsCounterCategory(Category category) {
   return category == Category::kPoolSteal ||
          category == Category::kJoinEmit ||
-         category == Category::kStorePublish;
+         category == Category::kStorePublish ||
+         category == Category::kMaintOverdelete ||
+         category == Category::kMaintOverdeleteAvoided ||
+         category == Category::kMaintRecount ||
+         category == Category::kMaintBackwardProbe;
 }
 
 std::atomic<TraceSession*> TraceSession::current_{nullptr};

@@ -40,6 +40,9 @@ struct HostOptions {
   std::size_t max_concurrent_updates = 256;
   /// Scheduler spec for sessions that don't pick their own.
   std::string default_scheduler = "hybrid";
+  /// Maintenance strategy ("dred", "counting", "bf") for sessions that
+  /// don't pick their own (datalog/maintenance.hpp).
+  std::string default_strategy = "dred";
   /// Queue bound for sessions that don't pick their own.
   std::size_t default_queue_capacity = 64;
 };
@@ -50,8 +53,14 @@ struct SessionOptions {
   std::string name;
   /// Scheduler factory spec ("hybrid", "levelbased", "lbl:<k>",
   /// "logicblox", "signal"), or "serial" for the single-threaded
-  /// IncrementalEngine (no pool involvement).  Empty → host default.
+  /// serial engine (no pool involvement).  Empty → host default.
+  /// Unknown specs are rejected at OpenSession with an error listing the
+  /// valid values.
   std::string scheduler_spec;
+  /// Maintenance strategy spec ("dred", "counting", "bf"); empty → host
+  /// default.  Unknown names are rejected at OpenSession with an error
+  /// listing the valid values.
+  std::string maintenance_strategy;
   /// Max queued-but-unapplied batches before Submit blocks.  0 → host
   /// default.
   std::size_t queue_capacity = 0;

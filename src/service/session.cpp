@@ -29,10 +29,29 @@ std::string ResolveSpec(const detail::HostCore& core,
           "sessions cannot use the clairvoyant oracle scheduler — it needs "
           "each update's outcome in advance");
     }
-    // Fail at open, not at first Submit: instantiate once to validate.
-    (void)sched::CreateScheduler(spec);
+    // Fail at open, not at first Submit: instantiate once to validate,
+    // and name every accepted spec in the rejection.
+    try {
+      (void)sched::CreateScheduler(spec);
+    } catch (const util::Error&) {
+      std::string message = "unknown scheduler spec '" + spec +
+                            "'; valid values: serial";
+      for (const std::string& known : sched::KnownSchedulerSpecs()) {
+        message += " " + known;
+      }
+      throw util::InvalidArgument(message);
+    }
   }
   return spec;
+}
+
+datalog::MaintenanceStrategy ResolveStrategy(const detail::HostCore& core,
+                                             const SessionOptions& options) {
+  const std::string& name = options.maintenance_strategy.empty()
+                                ? core.options.default_strategy
+                                : options.maintenance_strategy;
+  // ParseMaintenanceStrategy's error already lists the valid values.
+  return datalog::ParseMaintenanceStrategy(name);
 }
 
 }  // namespace
@@ -42,11 +61,13 @@ Session::Session(std::shared_ptr<detail::HostCore> core,
     : core_(std::move(core)),
       name_(ResolveName(*core_, options)),
       spec_(ResolveSpec(*core_, options)),
+      strategy_(ResolveStrategy(*core_, options)),
       metrics_prefix_("session." + name_ + "."),
       db_(program_text),
       queue_(options.queue_capacity > 0
                  ? options.queue_capacity
                  : core_->options.default_queue_capacity) {
+  db_.SetDefaultStrategy(strategy_);
   core_->active_sessions.fetch_add(1, std::memory_order_relaxed);
   apply_thread_ = std::thread([this] { ApplyLoop(); });
 }
@@ -121,17 +142,24 @@ void Session::ApplyOne(UpdateQueue::Job& job) {
   try {
     const std::lock_guard<std::mutex> lock(db_mutex_);
     if (spec_ == "serial") {
-      outcome.update = db_.ApplyRequest(job.request);
+      outcome.update = db_.ApplyRequest(job.request, strategy_);
     } else {
       datalog::ParallelUpdateResult result = db_.ApplyRequestParallel(
           job.request, {.scheduler_spec = spec_,
                         .workers = 0,  // ignored: the router decides
-                        .router = &core_->router});
+                        .router = &core_->router,
+                        .strategy = strategy_});
       outcome.update = std::move(result.update);
       outcome.run = result.run;
     }
     inserted_total_ += outcome.update.total_inserted;
     deleted_total_ += outcome.update.total_deleted;
+    maint_ops_total_ += outcome.update.total_maint_ops;
+    for (const datalog::ComponentUpdateStats& c : outcome.update.components) {
+      maint_recounts_total_ += c.maint_recounts;
+      maint_probes_total_ += c.maint_backward_probes;
+      maint_avoided_total_ += c.maint_avoided;
+    }
     job.promise.set_value(std::move(outcome));
   } catch (...) {
     // A failed batch (bad arity, engine invariant trip) fails ITS future;
@@ -154,6 +182,11 @@ void Session::PublishMetrics() {
   metrics.Set(metrics_prefix_ + "blocked_submits", queue_.BlockedPushes());
   metrics.Set(metrics_prefix_ + "inserted", inserted_total_);
   metrics.Set(metrics_prefix_ + "deleted", deleted_total_);
+  metrics.Set(metrics_prefix_ + "maint.ops", maint_ops_total_);
+  metrics.Set(metrics_prefix_ + "maint.recounts", maint_recounts_total_);
+  metrics.Set(metrics_prefix_ + "maint.backward_probes", maint_probes_total_);
+  metrics.Set(metrics_prefix_ + "maint.overdeletes_avoided",
+              maint_avoided_total_);
 }
 
 }  // namespace dsched::service

@@ -96,6 +96,10 @@ class Session {
   // --- introspection ---------------------------------------------------
   [[nodiscard]] const std::string& Name() const { return name_; }
   [[nodiscard]] const std::string& SchedulerSpec() const { return spec_; }
+  /// The maintenance strategy every batch of this session applies with.
+  [[nodiscard]] datalog::MaintenanceStrategy Strategy() const {
+    return strategy_;
+  }
   /// Last applied epoch (0 before any batch lands).
   [[nodiscard]] std::uint64_t AppliedEpoch() const {
     return applied_epoch_.load(std::memory_order_acquire);
@@ -119,6 +123,7 @@ class Session {
   std::shared_ptr<detail::HostCore> core_;
   std::string name_;
   std::string spec_;
+  datalog::MaintenanceStrategy strategy_;
   std::string metrics_prefix_;
   datalog::Database db_;
   UpdateQueue queue_;
@@ -132,6 +137,10 @@ class Session {
   std::atomic<std::uint64_t> applied_epoch_{0};
   std::uint64_t inserted_total_ = 0;  ///< apply thread only
   std::uint64_t deleted_total_ = 0;   ///< apply thread only
+  std::uint64_t maint_ops_total_ = 0;       ///< apply thread only
+  std::uint64_t maint_recounts_total_ = 0;  ///< apply thread only
+  std::uint64_t maint_probes_total_ = 0;    ///< apply thread only
+  std::uint64_t maint_avoided_total_ = 0;   ///< apply thread only
 
   std::once_flag close_once_;
   /// Joined by Close() (which the destructor runs) before any member is

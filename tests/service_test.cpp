@@ -305,10 +305,66 @@ TEST(ServiceTest, BadProgramsAndSpecsFailAtOpen) {
   EXPECT_THROW((void)host.OpenSession(kWideProgram,
                                       {.scheduler_spec = "oracle"}),
                util::InvalidArgument);
-  EXPECT_THROW((void)host.OpenSession(kWideProgram,
-                                      {.scheduler_spec = "nonsense"}),
-               util::Error);
+  // Unknown names are rejected at open with every valid value listed, so
+  // a typo'd deployment config fails loudly and self-documents.
+  try {
+    (void)host.OpenSession(kWideProgram, {.scheduler_spec = "nonsense"});
+    FAIL() << "unknown scheduler spec accepted";
+  } catch (const util::Error& err) {
+    const std::string message = err.what();
+    EXPECT_NE(message.find("nonsense"), std::string::npos) << message;
+    EXPECT_NE(message.find("serial"), std::string::npos) << message;
+    EXPECT_NE(message.find("hybrid"), std::string::npos) << message;
+  }
+  try {
+    (void)host.OpenSession(kWideProgram,
+                           {.maintenance_strategy = "countingg"});
+    FAIL() << "unknown maintenance strategy accepted";
+  } catch (const util::Error& err) {
+    const std::string message = err.what();
+    EXPECT_NE(message.find("countingg"), std::string::npos) << message;
+    EXPECT_NE(message.find("dred"), std::string::npos) << message;
+    EXPECT_NE(message.find("counting"), std::string::npos) << message;
+    EXPECT_NE(message.find("bf"), std::string::npos) << message;
+  }
   EXPECT_EQ(host.ActiveSessions(), 0u);
+}
+
+TEST(ServiceTest, PerSessionStrategiesConvergeToTheSameStore) {
+  EngineHost host({.workers = 2});
+  auto dred = host.OpenSession(kWideProgram,
+                               {.name = "m-dred",
+                                .maintenance_strategy = "dred"});
+  auto counting = host.OpenSession(kWideProgram,
+                                   {.name = "m-count",
+                                    .maintenance_strategy = "counting"});
+  auto bf = host.OpenSession(kWideProgram,
+                             {.name = "m-bf", .maintenance_strategy = "bf"});
+  EXPECT_EQ(counting->Strategy(), datalog::MaintenanceStrategy::kCounting);
+  EXPECT_EQ(bf->Strategy(), datalog::MaintenanceStrategy::kBackwardForward);
+  for (Session* s : {dred.get(), counting.get(), bf.get()}) {
+    util::Rng seed_rng(21);
+    SeedLikeFixture(*s, seed_rng, 10, 0.15);
+  }
+  util::Rng update_rng(22);
+  std::vector<datalog::UpdateRequest> batches;
+  for (int b = 0; b < 6; ++b) {
+    batches.push_back(RandomUpdate(dred->Db().GetProgram(), update_rng, 10));
+  }
+  for (Session* s : {dred.get(), counting.get(), bf.get()}) {
+    for (const datalog::UpdateRequest& batch : batches) {
+      (void)s->Submit(batch);
+    }
+    s->Close();
+  }
+  ExpectStoresEqual(dred->Db().GetProgram(), dred->Store(),
+                    counting->Store(), "counting vs dred sessions");
+  ExpectStoresEqual(dred->Db().GetProgram(), dred->Store(), bf->Store(),
+                    "bf vs dred sessions");
+  const obs::MetricsRegistry& metrics = host.Metrics();
+  EXPECT_GT(metrics.Value("session.m-dred.maint.ops"), 0u);
+  EXPECT_GT(metrics.Value("session.m-count.maint.recounts"), 0u);
+  EXPECT_GT(metrics.Value("session.m-bf.maint.backward_probes"), 0u);
 }
 
 TEST(ServiceTest, SessionsMayOutliveTheHost) {

@@ -21,7 +21,7 @@ Usage:
   check_bench.py BASELINE FRESH [--tolerance 0.15]
                  [--ignore REGEX ...] [--exact REGEX ...] [--verbose]
 
-CI gates all four checked-in baselines (see .github/workflows/ci.yml
+CI gates all five checked-in baselines (see .github/workflows/ci.yml
 perf-gate for the per-bench flags):
   BENCH_datalog.json   — micro_join: rows/checksums exact
   BENCH_store.json     — micro_store: rows/checksums exact, w8 scaling
@@ -31,6 +31,9 @@ perf-gate for the per-bench flags):
   BENCH_sched.json     — micro_sched trace mode: pops/ops_total exact
                          (the simulated schedule is deterministic),
                          makespan_us ungated
+  BENCH_maint.json     — micro_maint: checksums and maint-op counts exact
+                         (maintenance work is deterministic per strategy),
+                         cross-strategy ratios banded
 
 stdlib only; runs anywhere python3 does.
 """
@@ -41,19 +44,24 @@ import re
 import sys
 
 # Fields that identify a row within a "results" list, in identity order.
-ID_FIELDS = ("bench", "workload", "scheduler", "engine", "body", "workers",
-             "mode", "name")
+ID_FIELDS = ("bench", "workload", "scheduler", "engine", "body", "strategy",
+             "workers", "mode", "name")
 
 DEFAULT_IGNORE = (r"(seconds|_ns\b|_ns$|mops|per_sec|_share|sleeps|wakeups"
                   r"|steals|drains|batch)")
 DEFAULT_EXACT = r"(rows|checksum|tasks|emitted|count|\bscale\b|bench)"
 
 
-def flatten(node, prefix, out):
-    """Flattens dicts/lists into {dot.key: leaf} with stable row identities."""
+def flatten(node, prefix, out, dups):
+    """Flattens dicts/lists into {dot.key: leaf} with stable row identities.
+
+    Colliding keys are collected into `dups` rather than raised one at a
+    time, so a baseline with several under-identified rows reports every
+    offender in a single run.
+    """
     if isinstance(node, dict):
         for key, value in node.items():
-            flatten(value, f"{prefix}.{key}" if prefix else key, out)
+            flatten(value, f"{prefix}.{key}" if prefix else key, out, dups)
     elif isinstance(node, list):
         for i, item in enumerate(node):
             if isinstance(item, dict):
@@ -62,11 +70,10 @@ def flatten(node, prefix, out):
                 label = ident if ident else str(i)
             else:
                 label = str(i)
-            flatten(item, f"{prefix}[{label}]", out)
+            flatten(item, f"{prefix}[{label}]", out, dups)
     else:
         if prefix in out:
-            raise SystemExit(f"duplicate flattened key: {prefix} "
-                             "(results rows need distinguishing id fields)")
+            dups.append(prefix)
         out[prefix] = node
     return out
 
@@ -74,9 +81,17 @@ def flatten(node, prefix, out):
 def load(path):
     try:
         with open(path, encoding="utf-8") as fh:
-            return flatten(json.load(fh), "", {})
+            dups = []
+            flat = flatten(json.load(fh), "", {}, dups)
     except (OSError, ValueError) as err:
         raise SystemExit(f"cannot load {path}: {err}") from err
+    if dups:
+        listing = "\n".join(f"  duplicate flattened key: {key}"
+                            for key in dups)
+        raise SystemExit(f"{path}: {len(dups)} duplicate flattened key(s) "
+                         f"(results rows need distinguishing id fields)\n"
+                         f"{listing}")
+    return flat
 
 
 def classify(key, ignore_res, exact_res):
