@@ -9,7 +9,14 @@
 // trajectory.
 //
 // Usage: micro_executor [--out=BENCH_executor.json] [--scale=1.0]
-//                       [--trace=out.json]
+//                       [--trace=out.json] [--adaptive=0|1]
+//
+// --adaptive=0 pins the batched engine's dispatch window to the fixed
+// max(16, 2 * workers) heuristic (the pre-controller behaviour);
+// --adaptive=1 (default) runs the duty-cycle controller
+// (runtime/executor.hpp Options::adaptive_window).  Run both and diff the
+// JSONs for an A/B of the controller — the window_adjusts / final_window
+// columns show what it decided.
 #include <algorithm>
 #include <condition_variable>
 #include <cstdio>
@@ -268,11 +275,15 @@ struct Row {
   std::uint64_t steals = 0;
   std::uint64_t sleeps = 0;
   std::uint64_t wakeups = 0;
+  /// Duty-cycle controller activity (batched engine only; zero when the
+  /// window is pinned with --adaptive=0).
+  std::uint64_t window_adjusts = 0;
+  std::uint64_t final_window = 0;
 };
 
 Row Measure(const trace::JobTrace& trace, const std::string& workload,
             const std::string& spec, std::size_t workers, bool batched,
-            std::size_t spin_iters) {
+            std::size_t spin_iters, bool adaptive) {
   Row row;
   row.workload = workload;
   row.scheduler = spec;
@@ -288,8 +299,9 @@ Row Measure(const trace::JobTrace& trace, const std::string& workload,
         return trace.Info(t).output_changes;
       };
     }
-    const auto stats = runtime::Executor::Run(trace, *scheduler, body,
-                                              {.workers = workers});
+    const auto stats = runtime::Executor::Run(
+        trace, *scheduler, body,
+        {.workers = workers, .adaptive_window = adaptive});
     row.tasks = stats.executed;
     row.wall_seconds = stats.wall_seconds;
     row.sched_wall_seconds = stats.sched_wall_seconds;
@@ -301,6 +313,8 @@ Row Measure(const trace::JobTrace& trace, const std::string& workload,
     row.steals = stats.pool_steals;
     row.sleeps = stats.pool_sleeps;
     row.wakeups = stats.pool_wakeups;
+    row.window_adjusts = stats.window_adjusts;
+    row.final_window = stats.final_dispatch_window;
   } else {
     const auto stats = legacy::Run(trace, *scheduler, workers, spin_iters);
     row.tasks = stats.executed;
@@ -332,7 +346,8 @@ void AppendRowJson(std::string& out, const Row& row, bool last) {
       "\"sched_share\": %.4f, \"dispatch_wall_seconds\": %.6f, "
       "\"overhead_share\": %.4f, \"dispatch_batches\": %llu, "
       "\"avg_batch\": %.2f, \"max_batch\": %llu, \"completion_drains\": %llu, "
-      "\"steals\": %llu, \"sleeps\": %llu, \"wakeups\": %llu}%s\n",
+      "\"steals\": %llu, \"sleeps\": %llu, \"wakeups\": %llu, "
+      "\"window_adjusts\": %llu, \"final_window\": %llu}%s\n",
       row.workload.c_str(), row.scheduler.c_str(), row.workers,
       row.engine.c_str(), row.body.c_str(), row.tasks, row.wall_seconds,
       row.tasks_per_sec,
@@ -343,7 +358,9 @@ void AppendRowJson(std::string& out, const Row& row, bool last) {
       static_cast<unsigned long long>(row.completion_drains),
       static_cast<unsigned long long>(row.steals),
       static_cast<unsigned long long>(row.sleeps),
-      static_cast<unsigned long long>(row.wakeups), last ? "" : ",");
+      static_cast<unsigned long long>(row.wakeups),
+      static_cast<unsigned long long>(row.window_adjusts),
+      static_cast<unsigned long long>(row.final_window), last ? "" : ",");
   out += buf;
 }
 
@@ -355,6 +372,21 @@ int main(int argc, char** argv) {
   args.out = "BENCH_executor.json";
   if (!bench::ParseMicroBenchArgs(argc, argv, &args)) {
     return 2;
+  }
+  // A/B switch for the adaptive dispatch-window controller (defaults on,
+  // matching the engine default); ParseMicroBenchArgs skips unknown flags.
+  bool adaptive = true;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--adaptive=0") {
+      adaptive = false;
+    } else if (arg == "--adaptive=1") {
+      adaptive = true;
+    } else if (arg.rfind("--adaptive", 0) == 0) {
+      std::fprintf(stderr, "bad flag: %s (want --adaptive=0|1)\n",
+                   arg.c_str());
+      return 2;
+    }
   }
   const std::string& out_path = args.out;
   const double scale = args.scale;
@@ -394,7 +426,7 @@ int main(int argc, char** argv) {
         for (const std::size_t spin : bodies) {
           for (const bool batched : {false, true}) {
             rows.push_back(bench::Measure(workload.trace, workload.name, spec,
-                                          workers, batched, spin));
+                                          workers, batched, spin, adaptive));
             const bench::Row& r = rows.back();
             std::printf(
                 "%-8s %-10s P=%zu %-7s %-4s : %9.0f tasks/s  sched %5.1f%%  "
@@ -466,6 +498,8 @@ int main(int argc, char** argv) {
   json += "  \"hw_concurrency\": " +
           std::to_string(std::thread::hardware_concurrency()) + ",\n";
   json += "  \"scale\": " + std::to_string(scale) + ",\n";
+  json += std::string("  \"adaptive_window\": ") +
+          (adaptive ? "true" : "false") + ",\n";
   json += "  \"summary\": {\n" + summary + "  },\n";
   json += "  \"results\": [\n";
   for (std::size_t i = 0; i < rows.size(); ++i) {

@@ -11,6 +11,7 @@ Database::Database(std::string_view program_text)
     : program_(ParseProgram(program_text)) {
   ValidateProgram(program_);
   strat_ = Stratify(program_);
+  plan_ = BuildPipelinePlan(program_, strat_);
   store_ = RelationStore(program_);
 }
 
@@ -68,6 +69,7 @@ UpdateResult Database::AddRules(std::string_view rules_text) {
 
   program_ = std::move(candidate);
   strat_ = std::move(new_strat);
+  plan_ = BuildPipelinePlan(program_, strat_);
   store_.EnsurePredicates(program_);
   // Derivation counts are rule-set-relative; force a recount on the next
   // counting update even if this change leaves the store untouched.
@@ -140,6 +142,7 @@ UpdateResult Database::RemoveRule(std::string_view clause_text) {
                        static_cast<std::ptrdiff_t>(index));
   ValidateProgram(program_);
   strat_ = Stratify(program_);
+  plan_ = BuildPipelinePlan(program_, strat_);
   maint_state_.counts_ready = false;
   std::vector<bool> force(strat_.NumComponents(), false);
   force[strat_.component_of[removed.head.predicate]] = true;
@@ -172,6 +175,9 @@ ParallelUpdateResult Database::ApplyRequestParallel(
   parallel_options.router = options.router;
   parallel_options.strategy = options.strategy.value_or(default_strategy_);
   parallel_options.maint_state = &maint_state_;
+  parallel_options.frontier = options.frontier;
+  parallel_options.epoch = options.epoch;
+  parallel_options.plan = &plan_;
   return ::dsched::datalog::ApplyParallel(program_, strat_, store_, request,
                                           parallel_options);
 }

@@ -28,6 +28,7 @@
 
 namespace dsched::runtime {
 class TaskRouter;
+class StratumFrontier;
 }
 
 namespace dsched::datalog {
@@ -94,6 +95,13 @@ class Database {
     /// Maintenance strategy for this update; empty inherits the database
     /// default (SetDefaultStrategy).
     std::optional<MaintenanceStrategy> strategy;
+    /// Epoch pipelining (runtime/pipeline.hpp): when `frontier` is set the
+    /// cascade gates on epoch-1's finalized levels and publishes its own,
+    /// using this database's cached PipelinePlan.  The caller owns the
+    /// frontier (one per session) and guarantees the strategy is
+    /// pipeline-eligible when epochs overlap.
+    runtime::StratumFrontier* frontier = nullptr;
+    std::uint64_t epoch = 0;
   };
   UpdateResult ApplyParallel(const Update& update,
                              const ParallelOptions& options);
@@ -140,12 +148,16 @@ class Database {
   [[nodiscard]] const Stratification& GetStratification() const {
     return strat_;
   }
+  /// The cached pipelining plan (levels + fences), rebuilt whenever the
+  /// rule set re-stratifies (AddRules/RemoveRule).
+  [[nodiscard]] const PipelinePlan& Plan() const { return plan_; }
   [[nodiscard]] const RelationStore& Store() const { return store_; }
   [[nodiscard]] bool Materialized() const { return materialized_; }
 
  private:
   Program program_;
   Stratification strat_;
+  PipelinePlan plan_;
   RelationStore store_;
   MaintenanceStrategy default_strategy_ = MaintenanceStrategy::kDRed;
   MaintenanceState maint_state_;

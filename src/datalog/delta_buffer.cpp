@@ -88,6 +88,7 @@ void ShardedWriteBuffer::PublishShard(std::size_t shard) {
     staging_[shard] = std::move(chunk);
     return;
   }
+  chunk->epoch = epoch_;
   relation_->Publish(shard, chunk.get());
   published_.push_back({std::move(chunk), shard});
 }
@@ -137,7 +138,17 @@ ShardedWriteBuffer& StoreWriteBuffer::For(RelationStore& store,
     slot = std::make_unique<ShardedWriteBuffer>();
   }
   slot->Bind(store.Of(predicate));
+  slot->SetEpoch(epoch_);
   return *slot;
+}
+
+void StoreWriteBuffer::SetEpoch(std::uint64_t epoch) {
+  epoch_ = epoch;
+  for (const std::unique_ptr<ShardedWriteBuffer>& buffer : buffers_) {
+    if (buffer != nullptr) {
+      buffer->SetEpoch(epoch);
+    }
+  }
 }
 
 }  // namespace dsched::datalog

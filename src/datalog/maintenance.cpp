@@ -50,6 +50,10 @@ MaintenanceStrategy ParseMaintenanceStrategy(const std::string& name) {
   throw util::ParseError(oss.str());
 }
 
+bool StrategyPipelineEligible(MaintenanceStrategy s) {
+  return s != MaintenanceStrategy::kCounting;
+}
+
 bool CountingEligible(const Program& program, const Stratification& strat,
                       std::uint32_t component) {
   const auto& rule_ids = strat.component_rules[component];

@@ -63,6 +63,18 @@ enum class MaintenanceStrategy : std::uint8_t {
 [[nodiscard]] MaintenanceStrategy ParseMaintenanceStrategy(
     const std::string& name);
 
+/// Whether a strategy may run with K > 1 update epochs in flight
+/// (DESIGN.md §12) — the per-strategy analogue of StrategyEligibility's
+/// per-component verdicts.  DRed and B/F qualify: a phase touches only its
+/// member relations, its rules' body predicates, and per-worker scratch,
+/// all covered by the epoch fence.  Counting does NOT: EnsureCountingState
+/// / SealCountingState bracket the WHOLE update against the shared
+/// MaintenanceState fingerprint (and recount phases read/write the shadow
+/// base-fact sets), so overlapped epochs would race on cross-update state
+/// no per-level fence covers.  Sessions clamp an ineligible strategy's
+/// pipeline depth to 1.
+[[nodiscard]] bool StrategyPipelineEligible(MaintenanceStrategy s);
+
 /// Cross-update state a counting session carries between Apply calls.
 ///
 /// base_facts is the shadow EDB: per predicate, the tuples whose presence

@@ -101,6 +101,9 @@ ParallelUpdateResult ApplyParallel(const Program& program,
                                       ? options.router->NumWorkers()
                                       : std::max<std::size_t>(options.workers, 1);
   std::vector<StoreWriteBuffer> scratch(num_workers);
+  for (StoreWriteBuffer& buffer : scratch) {
+    buffer.SetEpoch(options.epoch);
+  }
 
   // Counting needs exact pre-update derivation counts; initialize (or
   // validate) them serially before the executor starts.
@@ -132,6 +135,39 @@ ParallelUpdateResult ApplyParallel(const Program& program,
     }
   }
 
+  // --- Epoch-pipeline gate: per-node levels and fences from the plan.
+  // Component tasks (and the collectors of rule-less components, which run
+  // the phase themselves) carry the component's fence; derived-predicate
+  // collectors only forward a flag computed by their own epoch's task, so
+  // they never wait.
+  runtime::PipelineGate gate;
+  std::vector<std::uint32_t> node_level;
+  std::vector<std::uint32_t> node_fence;
+  const bool gated = options.frontier != nullptr && options.plan != nullptr;
+  if (gated) {
+    const PipelinePlan& plan = *options.plan;
+    node_level.assign(num_nodes, 0);
+    node_fence.assign(num_nodes, 0);
+    for (std::size_t p = 0; p < num_preds; ++p) {
+      const std::uint32_t c = strat.component_of[p];
+      node_level[p] = plan.component_level[c];
+      node_fence[p] = component_node[c] == util::kInvalidTask
+                          ? plan.component_fence[c]
+                          : 0;
+    }
+    for (std::uint32_t c = 0; c < num_comps; ++c) {
+      if (component_node[c] != util::kInvalidTask) {
+        node_level[component_node[c]] = plan.component_level[c];
+        node_fence[component_node[c]] = plan.component_fence[c];
+      }
+    }
+    gate.frontier = options.frontier;
+    gate.epoch = options.epoch;
+    gate.node_level = &node_level;
+    gate.node_fence = &node_fence;
+    gate.num_levels = plan.num_levels;
+  }
+
   auto scheduler = sched::CreateScheduler(options.scheduler_spec);
   const runtime::Executor::WorkerTaskBody task_body(
       [&](util::TaskId t, std::size_t worker) -> bool {
@@ -148,12 +184,14 @@ ParallelUpdateResult ApplyParallel(const Program& program,
         // Derived predicate collector: forward the owner's verdict.
         return pred_changed[p] != 0;
       });
+  const runtime::PipelineGate* gate_ptr = gated ? &gate : nullptr;
   result.run =
       options.router != nullptr
           ? runtime::Executor::RunOn(*options.router, result.trace, *scheduler,
-                                     task_body, {})
+                                     task_body, {.gate = gate_ptr})
           : runtime::Executor::Run(result.trace, *scheduler, task_body,
-                                   {.workers = options.workers});
+                                   {.workers = options.workers,
+                                    .gate = gate_ptr});
 
   if (options.strategy == MaintenanceStrategy::kCounting) {
     SealCountingState(store, *maint_state);

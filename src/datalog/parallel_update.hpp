@@ -22,7 +22,9 @@
 
 #include "datalog/incremental.hpp"
 #include "datalog/maintenance.hpp"
+#include "datalog/pipeline_plan.hpp"
 #include "runtime/executor.hpp"
+#include "runtime/pipeline.hpp"
 #include "trace/job_trace.hpp"
 
 namespace dsched::datalog {
@@ -49,6 +51,21 @@ struct ParallelUpdateOptions {
   /// phases write disjoint per-predicate slots, so one state is safe to
   /// share across the update's workers.
   MaintenanceState* maint_state = nullptr;
+
+  // --- epoch pipelining (runtime/pipeline.hpp, DESIGN.md §12) ----------
+  /// When set, this update joins its session's epoch pipeline: the
+  /// coordinator holds back each component task until epoch-1 has
+  /// finalized every level the task's writes could race with (the fences
+  /// in `plan`), and publishes this cascade's own per-level finalization
+  /// as the levels drain.  Requires `plan` (which must outlive the call)
+  /// and a pipeline-eligible strategy (StrategyPipelineEligible — the
+  /// caller clamps depth, this layer trusts it).  Null = unpipelined.
+  runtime::StratumFrontier* frontier = nullptr;
+  /// The dense 1-based session epoch of this update; stamped on every
+  /// published DeltaChunk and used to gate on epoch-1's frontier entry.
+  std::uint64_t epoch = 0;
+  /// Levels + fences for the program (Database::Plan() caches one).
+  const PipelinePlan* plan = nullptr;
 };
 
 /// Result of a parallel update.

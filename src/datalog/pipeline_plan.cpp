@@ -1,0 +1,61 @@
+#include "datalog/pipeline_plan.hpp"
+
+#include <algorithm>
+
+namespace dsched::datalog {
+
+PipelinePlan BuildPipelinePlan(const Program& program,
+                               const Stratification& strat) {
+  PipelinePlan plan;
+  const std::size_t num_comps = strat.NumComponents();
+  const std::size_t num_preds = program.NumPredicates();
+  plan.component_level.assign(num_comps, 0);
+
+  // Longest path over the condensation, in topological order.  Negated
+  // literals are dependencies like any other — the fence must cover them.
+  for (const std::uint32_t c : strat.component_order) {
+    std::uint32_t level = 0;
+    for (const std::size_t r : strat.component_rules[c]) {
+      for (const BodyElement& element : program.rules[r].body) {
+        const auto* literal = std::get_if<Literal>(&element);
+        if (literal == nullptr) {
+          continue;
+        }
+        const std::uint32_t dep = strat.component_of[literal->atom.predicate];
+        if (dep != c) {
+          level = std::max(level, plan.component_level[dep] + 1);
+        }
+      }
+    }
+    plan.component_level[c] = level;
+    plan.num_levels = std::max(plan.num_levels, level + 1);
+  }
+
+  plan.predicate_last_reader.assign(num_preds, 0);
+  for (std::size_t p = 0; p < num_preds; ++p) {
+    plan.predicate_last_reader[p] = plan.component_level[strat.component_of[p]];
+  }
+  for (std::uint32_t c = 0; c < num_comps; ++c) {
+    for (const std::size_t r : strat.component_rules[c]) {
+      for (const BodyElement& element : program.rules[r].body) {
+        if (const auto* literal = std::get_if<Literal>(&element)) {
+          std::uint32_t& reader =
+              plan.predicate_last_reader[literal->atom.predicate];
+          reader = std::max(reader, plan.component_level[c]);
+        }
+      }
+    }
+  }
+
+  plan.component_fence.assign(num_comps, 0);
+  for (std::uint32_t c = 0; c < num_comps; ++c) {
+    std::uint32_t deepest = plan.component_level[c];
+    for (const std::uint32_t m : strat.component_members[c]) {
+      deepest = std::max(deepest, plan.predicate_last_reader[m]);
+    }
+    plan.component_fence[c] = deepest + 1;
+  }
+  return plan;
+}
+
+}  // namespace dsched::datalog

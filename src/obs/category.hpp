@@ -52,6 +52,10 @@ enum class Category : std::uint8_t {
   kMaintRecount,          ///< counter: affected heads recounted (counting)
   kMaintBackwardProbe,    ///< counter: B/F "still derivable?" probes
 
+  // Epoch pipelining (runtime/pipeline.hpp, runtime/executor.cpp).
+  kPipelineStall,     ///< scope: coordinator blocked on epoch-1's frontier
+  kPipelineFinalize,  ///< counter: frontier level-prefix publications
+
   kCategoryCount
 };
 

@@ -110,6 +110,10 @@ const char* CategoryName(Category category) {
       return "maint.recount";
     case Category::kMaintBackwardProbe:
       return "maint.backward_probe";
+    case Category::kPipelineStall:
+      return "pipeline.stall";
+    case Category::kPipelineFinalize:
+      return "pipeline.finalize";
     case Category::kCategoryCount:
       break;
   }
@@ -146,6 +150,9 @@ const char* CategoryGroup(Category category) {
     case Category::kMaintRecount:
     case Category::kMaintBackwardProbe:
       return "maint";
+    case Category::kPipelineStall:
+    case Category::kPipelineFinalize:
+      return "pipeline";
     case Category::kCategoryCount:
       break;
   }
@@ -159,7 +166,8 @@ bool IsCounterCategory(Category category) {
          category == Category::kMaintOverdelete ||
          category == Category::kMaintOverdeleteAvoided ||
          category == Category::kMaintRecount ||
-         category == Category::kMaintBackwardProbe;
+         category == Category::kMaintBackwardProbe ||
+         category == Category::kPipelineFinalize;
 }
 
 std::atomic<TraceSession*> TraceSession::current_{nullptr};

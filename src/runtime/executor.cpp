@@ -61,11 +61,13 @@ using SubmitFn = std::function<void(std::span<const TaskId>)>;
 // The coordinator loop, shared by Run (private pool) and RunOn (shared
 // router).  The scheduler and the activation bookkeeping live exclusively
 // on this (coordinator) thread — workers never touch them, so neither needs
-// a lock.  The ONLY coordinator/worker shared state is `completions`.
+// a lock.  The ONLY coordinator/worker shared state is `completions` (plus,
+// when gated, the epoch frontier shared with the neighbouring epochs'
+// coordinators).
 Executor::RunStats RunCascade(const trace::JobTrace& trace,
                               sched::Scheduler& scheduler,
                               std::size_t num_workers,
-                              std::size_t dispatch_window,
+                              const Executor::Options& options,
                               CompletionBuffer& completions,
                               const SubmitFn& submit) {
   const graph::Dag& dag = trace.Graph();
@@ -74,22 +76,59 @@ Executor::RunStats RunCascade(const trace::JobTrace& trace,
   util::Stopwatch sched_watch;
   util::Stopwatch dispatch_watch;
   util::Stopwatch idle_watch;
-  const std::size_t window =
-      dispatch_window > 0 ? dispatch_window
-                          : std::max<std::size_t>(16, 2 * num_workers);
+  std::size_t window = options.dispatch_window > 0
+                           ? options.dispatch_window
+                           : std::max<std::size_t>(16, 2 * num_workers);
+  // Adaptive window controller (only when the caller didn't pin one):
+  // every kControlPeriod completion drains, compare the coordinator's
+  // dispatch vs idle duty cycle since the last decision.  Dispatch-bound
+  // means per-batch overhead dominates — double the window to amortize it;
+  // strongly idle-bound means the workers are the bottleneck and coarse
+  // pops only make the scheduler's choices staler — halve it.
+  const bool adaptive = options.dispatch_window == 0 && options.adaptive_window;
+  constexpr std::size_t kMinWindow = 4;
+  constexpr std::size_t kMaxWindow = 4096;
+  constexpr std::uint64_t kControlPeriod = 16;
+  std::uint64_t control_drains = 0;
+  double control_dispatch = 0.0;
+  double control_idle = 0.0;
   completions.Reserve(2 * window);
 
   scheduler.Prepare({&trace, num_workers});
 
+  // Epoch pipelining state.  `outstanding[l]` counts activated-but-
+  // uncompleted tasks at dependency level l; the finalized prefix can only
+  // grow because activation never flows to a lower level (a task activates
+  // its same-level member collectors and strictly-deeper readers).
+  const PipelineGate* gate = options.gate;
+  if (gate != nullptr && gate->frontier == nullptr) {
+    gate = nullptr;
+  }
+  std::vector<std::size_t> outstanding;
+  std::uint32_t published_levels = 0;
+  std::uint32_t prev_final = StratumFrontier::kAllLevels;
+  if (gate != nullptr) {
+    DSCHED_CHECK_MSG(gate->node_level != nullptr &&
+                         gate->node_level->size() == dag.NumNodes() &&
+                         gate->node_fence != nullptr &&
+                         gate->node_fence->size() == dag.NumNodes(),
+                     "pipeline gate arrays must cover every DAG node");
+    outstanding.assign(gate->num_levels, 0);
+    prev_final = gate->frontier->FinalizedLevels(gate->epoch - 1);
+  }
+
   std::vector<bool> activated(dag.NumNodes(), false);
   std::size_t activated_count = 0;
   std::size_t completed_count = 0;
-  std::size_t inflight = 0;
+  std::size_t inflight = 0;  ///< handed to the pool, not yet completed
 
   const auto activate = [&](TaskId t) {
     if (!activated[t]) {
       activated[t] = true;
       ++activated_count;
+      if (gate != nullptr) {
+        ++outstanding[(*gate->node_level)[t]];
+      }
       const util::StopwatchGuard guard(sched_watch);
       scheduler.OnActivated(t);
     }
@@ -100,8 +139,42 @@ Executor::RunStats RunCascade(const trace::JobTrace& trace,
 
   std::vector<TaskId> batch;
   batch.reserve(window);
+  std::vector<TaskId> ready;  ///< fence-cleared slice of a popped batch
+  ready.reserve(window);
+  /// Popped (scheduler says started) but fence-blocked tasks, parked at
+  /// the coordinator.  They do NOT count as inflight: no completion will
+  /// arrive for them until released, and the starvation branch below must
+  /// see through them.
+  std::vector<TaskId> held;
   std::vector<Completion> drained;
   drained.reserve(2 * window);
+
+  const auto dispatch = [&](std::span<const TaskId> tasks) {
+    inflight += tasks.size();
+    stats.inflight_high_water =
+        std::max<std::uint64_t>(stats.inflight_high_water, inflight);
+    submit(tasks);
+  };
+  /// Re-checks held tasks against the freshly read frontier.
+  const auto release_held = [&] {
+    if (held.empty()) {
+      return;
+    }
+    ready.clear();
+    std::size_t kept = 0;
+    for (const TaskId t : held) {
+      if ((*gate->node_fence)[t] <= prev_final) {
+        ready.push_back(t);
+      } else {
+        held[kept++] = t;
+      }
+    }
+    held.resize(kept);
+    if (!ready.empty()) {
+      dispatch(ready);
+    }
+  };
+
   for (;;) {
     // Dispatch: drain the scheduler's entire ready set, one batched pop +
     // one batched submit per `window` tasks.  PopReadyBatch performs the
@@ -109,6 +182,10 @@ Executor::RunStats RunCascade(const trace::JobTrace& trace,
     {
       OBS_SCOPE(Category::kExecDispatch);
       const util::StopwatchGuard dispatch_guard(dispatch_watch);
+      if (gate != nullptr && prev_final != StratumFrontier::kAllLevels) {
+        prev_final = gate->frontier->FinalizedLevels(gate->epoch - 1);
+        release_held();
+      }
       for (;;) {
         batch.clear();
         std::size_t popped = 0;
@@ -127,14 +204,47 @@ Executor::RunStats RunCascade(const trace::JobTrace& trace,
             Executor::kBatchHistBuckets - 1,
             static_cast<std::size_t>(std::bit_width(popped) - 1));
         ++stats.batch_size_hist[bucket];
-        inflight += popped;
-        stats.inflight_high_water =
-            std::max<std::uint64_t>(stats.inflight_high_water, inflight);
-        submit(batch);
+        if (gate != nullptr && prev_final != StratumFrontier::kAllLevels) {
+          ready.clear();
+          for (const TaskId t : batch) {
+            if ((*gate->node_fence)[t] <= prev_final) {
+              ready.push_back(t);
+            } else {
+              held.push_back(t);
+            }
+          }
+          stats.held_high_water =
+              std::max<std::uint64_t>(stats.held_high_water, held.size());
+          if (!ready.empty()) {
+            dispatch(ready);
+          }
+        } else {
+          dispatch(batch);
+        }
       }
     }
 
     if (inflight == 0) {
+      if (!held.empty()) {
+        // Frontier stall: nothing running, everything left is fenced on
+        // the previous epoch.  Block HERE (coordinator), never in a pool
+        // task body — a blocked worker could deadlock the shared pool.
+        std::uint32_t min_fence = StratumFrontier::kAllLevels;
+        for (const TaskId t : held) {
+          min_fence = std::min(min_fence, (*gate->node_fence)[t]);
+        }
+        ++stats.frontier_stalls;
+        {
+          OBS_SCOPE(Category::kPipelineStall);
+          const util::StopwatchGuard stall_guard(idle_watch);
+          util::WallTimer stall_timer;
+          prev_final =
+              gate->frontier->WaitFinalizedLevels(gate->epoch - 1, min_fence);
+          stats.frontier_stall_seconds += stall_timer.ElapsedSeconds();
+        }
+        release_held();
+        continue;
+      }
       if (completed_count < activated_count) {
         throw util::LogicError(
             "executor deadlock: scheduler " + std::string(scheduler.Name()) +
@@ -154,25 +264,68 @@ Executor::RunStats RunCascade(const trace::JobTrace& trace,
       completions.WaitAndDrain(drained);
       ++stats.completion_drains;
     }
-    OBS_SCOPE(Category::kExecDrain);
-    const util::StopwatchGuard drain_guard(dispatch_watch);
-    for (const Completion& c : drained) {
-      --inflight;
-      ++completed_count;
-      ++stats.executed;
-      if (c.changed) {
-        for (const TaskId child : dag.OutNeighbors(c.task)) {
-          activate(child);
+    {
+      OBS_SCOPE(Category::kExecDrain);
+      const util::StopwatchGuard drain_guard(dispatch_watch);
+      for (const Completion& c : drained) {
+        --inflight;
+        ++completed_count;
+        ++stats.executed;
+        if (c.changed) {
+          for (const TaskId child : dag.OutNeighbors(c.task)) {
+            activate(child);
+          }
         }
+        // Self-decrement AFTER activating children: a task's same-level
+        // collectors must be counted outstanding before the level can
+        // look drained.
+        if (gate != nullptr) {
+          --outstanding[(*gate->node_level)[c.task]];
+        }
+        const util::StopwatchGuard guard(sched_watch);
+        scheduler.OnCompleted(c.task, c.changed);
       }
-      const util::StopwatchGuard guard(sched_watch);
-      scheduler.OnCompleted(c.task, c.changed);
     }
+    if (gate != nullptr) {
+      // Publish any newly drained level prefix for epoch+1.  Sound
+      // because activation only flows level-upward: once the prefix is
+      // empty it can never repopulate.
+      std::uint32_t done = published_levels;
+      while (done < gate->num_levels && outstanding[done] == 0) {
+        ++done;
+      }
+      if (done > published_levels) {
+        published_levels = done;
+        stats.levels_finalized = published_levels;
+        OBS_COUNTER(Category::kPipelineFinalize, 1);
+        gate->frontier->Advance(gate->epoch, published_levels);
+      }
+    }
+    if (adaptive && stats.completion_drains - control_drains >= kControlPeriod) {
+      control_drains = stats.completion_drains;
+      const double d = dispatch_watch.TotalSeconds() - control_dispatch;
+      const double i = idle_watch.TotalSeconds() - control_idle;
+      control_dispatch += d;
+      control_idle += i;
+      if (d > 3.0 * i && window < kMaxWindow) {
+        window *= 2;
+        ++stats.window_adjusts;
+      } else if (i > 8.0 * d && window > kMinWindow) {
+        window /= 2;
+        ++stats.window_adjusts;
+      }
+    }
+  }
+
+  if (gate != nullptr) {
+    gate->frontier->FinalizeAll(gate->epoch);
+    stats.levels_finalized = gate->num_levels;
   }
 
   // One worker-side push per executed task, by construction.
   stats.completion_pushes = stats.executed;
   stats.activations = activated_count;
+  stats.final_dispatch_window = window;
   stats.wall_seconds = wall.ElapsedSeconds();
   stats.sched_wall_seconds = sched_watch.TotalSeconds();
   stats.dispatch_wall_seconds = dispatch_watch.TotalSeconds();
@@ -198,7 +351,7 @@ Executor::RunStats Executor::Run(const trace::JobTrace& trace,
   // Private pool: items are bare TaskIds widened into reusable scratch.
   std::vector<ThreadPool::WorkItem> wide;
   RunStats stats = RunCascade(
-      trace, scheduler, options.workers, options.dispatch_window, completions,
+      trace, scheduler, options.workers, options, completions,
       [&](std::span<const TaskId> tasks) {
         wide.assign(tasks.begin(), tasks.end());
         pool.SubmitBatch(wide);
@@ -225,8 +378,7 @@ Executor::RunStats Executor::RunOn(TaskRouter& router,
         completions.Push(t, changed);
       });
   RunStats stats = RunCascade(
-      trace, scheduler, router.NumWorkers(), options.dispatch_window,
-      completions,
+      trace, scheduler, router.NumWorkers(), options, completions,
       [&](std::span<const TaskId> tasks) { channel.SubmitBatch(tasks); });
   // All completions are counted, so Close's precondition holds; it spins
   // out any worker still unwinding from the body before returning.
@@ -271,6 +423,13 @@ void Executor::RunStats::ExportMetrics(obs::MetricsRegistry& registry,
   registry.Set(prefix + "pool_steals", pool_steals);
   registry.Set(prefix + "pool_sleeps", pool_sleeps);
   registry.Set(prefix + "pool_wakeups", pool_wakeups);
+  registry.Set(prefix + "frontier_stalls", frontier_stalls);
+  registry.Set(prefix + "frontier_stall_ns",
+               SecondsToNs(frontier_stall_seconds));
+  registry.Max(prefix + "held_high_water", held_high_water);
+  registry.Set(prefix + "levels_finalized", levels_finalized);
+  registry.Set(prefix + "window_adjusts", window_adjusts);
+  registry.Set(prefix + "final_dispatch_window", final_dispatch_window);
 }
 
 }  // namespace dsched::runtime

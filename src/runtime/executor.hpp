@@ -22,6 +22,7 @@
 #include <string>
 
 #include "obs/metrics.hpp"
+#include "runtime/pipeline.hpp"
 #include "runtime/task_router.hpp"
 #include "runtime/thread_pool.hpp"
 #include "sched/scheduler.hpp"
@@ -48,10 +49,24 @@ class Executor {
 
   struct Options {
     std::size_t workers = 4;
-    /// Max tasks per PopReadyBatch call; 0 = auto (max(16, 2 * workers)).
-    /// The dispatch loop keeps calling until the scheduler runs dry, so
-    /// this bounds batch granularity, not total in-flight work.
+    /// Max tasks per PopReadyBatch call; 0 = auto.  The dispatch loop
+    /// keeps calling until the scheduler runs dry, so this bounds batch
+    /// granularity, not total in-flight work.  A nonzero value pins the
+    /// window (disables the adaptive controller).
     std::size_t dispatch_window = 0;
+    /// With dispatch_window == 0: true (default) runs the duty-cycle
+    /// controller — the window starts at max(16, 2 * workers) and is
+    /// doubled/halved from the dispatch/idle stopwatch ratio every few
+    /// completion drains; false keeps the fixed max(16, 2 * workers)
+    /// heuristic (the pre-controller behaviour, kept for A/B runs — see
+    /// bench/micro_executor --adaptive=0).
+    bool adaptive_window = true;
+    /// Epoch-pipelining context (runtime/pipeline.hpp).  When set, popped
+    /// tasks whose fence exceeds epoch-1's finalized level are HELD at the
+    /// coordinator (never blocking a pool worker) until the frontier
+    /// advances, and this cascade publishes its own per-level finalization
+    /// as tasks drain.  Null = unpipelined.
+    const PipelineGate* gate = nullptr;
   };
 
   /// log2 buckets for the dispatch batch size histogram: bucket i counts
@@ -89,6 +104,25 @@ class Executor {
     /// Most tasks simultaneously handed to the pool and not yet drained —
     /// the ready-queue depth high-water mark seen by the coordinator.
     std::uint64_t inflight_high_water = 0;
+
+    // --- epoch pipelining (all zero for ungated cascades) ---
+    /// Times the coordinator ran completely dry (no inflight work) with
+    /// only fence-held tasks left and had to block on the previous epoch's
+    /// frontier.
+    std::uint64_t frontier_stalls = 0;
+    /// Coordinator time blocked in those stalls.
+    double frontier_stall_seconds = 0.0;
+    /// Most tasks simultaneously held back by a fence.
+    std::uint64_t held_high_water = 0;
+    /// Frontier levels this cascade published (== plan levels + the final
+    /// all-done mark when gated).
+    std::uint64_t levels_finalized = 0;
+
+    // --- adaptive dispatch window ---
+    /// Controller decisions that changed the window.
+    std::uint64_t window_adjusts = 0;
+    /// The window in effect when the cascade finished.
+    std::uint64_t final_dispatch_window = 0;
 
     /// Mean tasks per non-empty dispatch batch.
     [[nodiscard]] double AvgDispatchBatch() const {

@@ -1,0 +1,84 @@
+#include "runtime/pipeline.hpp"
+
+#include <algorithm>
+
+namespace dsched::runtime {
+
+void StratumFrontier::Advance(std::uint64_t epoch, std::uint32_t levels_done) {
+  bool moved = false;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    if (epoch <= complete_through_) {
+      return;  // already fully finalized
+    }
+    std::uint32_t& level = levels_[epoch];
+    if (levels_done <= level) {
+      return;
+    }
+    level = levels_done;
+    moved = true;
+    ++finalizations_;
+    // Completed epochs advance the dense watermark and leave the map, so
+    // the map never outgrows the pipeline depth.
+    while (true) {
+      const auto it = levels_.find(complete_through_ + 1);
+      if (it == levels_.end() || it->second != kAllLevels) {
+        break;
+      }
+      levels_.erase(it);
+      ++complete_through_;
+    }
+  }
+  if (moved) {
+    cv_.notify_all();
+  }
+}
+
+std::uint32_t StratumFrontier::EffectiveLocked(std::uint64_t epoch) const {
+  if (epoch <= complete_through_) {
+    return kAllLevels;
+  }
+  // effective(e) = min over e' in (watermark, e] of self(e'): an epoch's
+  // visible frontier never exceeds its predecessors', so a fence check
+  // against epoch e-1 transitively covers EVERY older in-flight epoch.
+  // Without the min, epoch e-1 could report levels where it simply has no
+  // tasks while e-2 is still writing there (the K >= 3 transitivity hole).
+  std::uint32_t effective = kAllLevels;
+  for (std::uint64_t e = complete_through_ + 1; e <= epoch; ++e) {
+    const auto it = levels_.find(e);
+    const std::uint32_t self = it == levels_.end() ? 0 : it->second;
+    effective = std::min(effective, self);
+    if (effective == 0) {
+      break;
+    }
+  }
+  return effective;
+}
+
+std::uint32_t StratumFrontier::FinalizedLevels(std::uint64_t epoch) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return EffectiveLocked(epoch);
+}
+
+std::uint32_t StratumFrontier::WaitFinalizedLevels(std::uint64_t epoch,
+                                                   std::uint32_t levels_needed) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  std::uint32_t current = 0;
+  cv_.wait(lock, [&] {
+    current = EffectiveLocked(epoch);
+    return current >= levels_needed;
+  });
+  return current;
+}
+
+std::uint64_t StratumFrontier::CompleteThrough() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return complete_through_;
+}
+
+std::uint64_t StratumFrontier::Finalizations() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return finalizations_;
+}
+
+}  // namespace dsched::runtime

@@ -45,6 +45,10 @@ struct HostOptions {
   std::string default_strategy = "dred";
   /// Queue bound for sessions that don't pick their own.
   std::size_t default_queue_capacity = 64;
+  /// Epoch-pipeline depth K for sessions that don't pick their own: how
+  /// many update cascades one session may have in flight at once
+  /// (DESIGN.md §12).  1 = the classic serialized-per-session apply loop.
+  std::size_t default_pipeline_depth = 1;
 };
 
 /// Per-session configuration; zero/empty fields inherit host defaults.
@@ -64,6 +68,13 @@ struct SessionOptions {
   /// Max queued-but-unapplied batches before Submit blocks.  0 → host
   /// default.
   std::size_t queue_capacity = 0;
+  /// Epoch-pipeline depth K: up to K cascades of this session overlap on
+  /// the shared pool, fenced per dependency level by a StratumFrontier
+  /// (runtime/pipeline.hpp).  0 → host default.  Clamped to [1, 64];
+  /// forced to 1 for the "serial" engine and for strategies that are not
+  /// pipeline-eligible (datalog::StrategyPipelineEligible — counting).
+  /// Futures still resolve in dense epoch order regardless of depth.
+  std::size_t pipeline_depth = 0;
 };
 
 namespace detail {

@@ -1,9 +1,11 @@
 #include "service/session.hpp"
 
+#include <algorithm>
 #include <utility>
 
 #include "sched/factory.hpp"
 #include "util/error.hpp"
+#include "util/timer.hpp"
 
 namespace dsched::service {
 
@@ -54,6 +56,22 @@ datalog::MaintenanceStrategy ResolveStrategy(const detail::HostCore& core,
   return datalog::ParseMaintenanceStrategy(name);
 }
 
+std::size_t ResolveDepth(const detail::HostCore& core,
+                         const SessionOptions& options, const std::string& spec,
+                         datalog::MaintenanceStrategy strategy) {
+  std::size_t depth = options.pipeline_depth > 0
+                          ? options.pipeline_depth
+                          : core.options.default_pipeline_depth;
+  depth = std::clamp<std::size_t>(depth, 1, 64);
+  // The serial engine has no cascade to fence, and counting's state
+  // bracket (EnsureCountingState/SealCountingState) spans the whole update
+  // against shared derivation counts — neither can overlap epochs.
+  if (spec == "serial" || !datalog::StrategyPipelineEligible(strategy)) {
+    depth = 1;
+  }
+  return depth;
+}
+
 }  // namespace
 
 Session::Session(std::shared_ptr<detail::HostCore> core,
@@ -62,6 +80,7 @@ Session::Session(std::shared_ptr<detail::HostCore> core,
       name_(ResolveName(*core_, options)),
       spec_(ResolveSpec(*core_, options)),
       strategy_(ResolveStrategy(*core_, options)),
+      depth_(ResolveDepth(*core_, options, spec_, strategy_)),
       metrics_prefix_("session." + name_ + "."),
       db_(program_text),
       queue_(options.queue_capacity > 0
@@ -69,7 +88,10 @@ Session::Session(std::shared_ptr<detail::HostCore> core,
                  : core_->options.default_queue_capacity) {
   db_.SetDefaultStrategy(strategy_);
   core_->active_sessions.fetch_add(1, std::memory_order_relaxed);
-  apply_thread_ = std::thread([this] { ApplyLoop(); });
+  apply_threads_.reserve(depth_);
+  for (std::size_t i = 0; i < depth_; ++i) {
+    apply_threads_.emplace_back([this] { ApplyLoop(); });
+  }
 }
 
 Session::~Session() { Close(); }
@@ -100,17 +122,20 @@ bool Session::TrySubmit(datalog::UpdateRequest request,
 
 void Session::Drain() {
   const std::uint64_t target = queue_.LastEpoch();
-  std::unique_lock<std::mutex> lock(drain_mutex_);
-  drain_cv_.wait(lock, [this, target] {
-    return applied_epoch_.load(std::memory_order_acquire) >= target;
-  });
+  std::unique_lock<std::mutex> lock(pipe_mutex_);
+  pipe_cv_.wait(lock, [this, target] { return applied_seq_ >= target; });
 }
 
 void Session::Close() {
   std::call_once(close_once_, [this] {
-    queue_.Close();  // stop accepting; already-queued batches still apply
-    if (apply_thread_.joinable()) {
-      apply_thread_.join();
+    queue_.Close();  // stop accepting; already-queued batches still apply.
+    // Every apply thread fully finishes (and resolves the future of) any
+    // job it already popped before Pop() returns false, so joining drains
+    // every admitted epoch — no promise is ever abandoned.
+    for (std::thread& t : apply_threads_) {
+      if (t.joinable()) {
+        t.join();
+      }
     }
     PublishMetrics();
     db_.Store().ExportMetrics(core_->metrics, metrics_prefix_ + "store.");
@@ -119,28 +144,85 @@ void Session::Close() {
 }
 
 std::vector<datalog::Tuple> Session::Query(std::string_view predicate) const {
-  const std::lock_guard<std::mutex> lock(db_mutex_);
-  return db_.Query(predicate);
+  // Quiesce: hold off NEW admissions (queries_waiting_) and wait for every
+  // in-flight epoch to resolve; concurrent queries then read in parallel.
+  std::unique_lock<std::mutex> lock(pipe_mutex_);
+  ++queries_waiting_;
+  pipe_cv_.wait(lock, [this] { return admitted_epoch_ == applied_seq_; });
+  lock.unlock();
+  std::vector<datalog::Tuple> rows;
+  try {
+    rows = db_.Query(predicate);
+  } catch (...) {
+    lock.lock();
+    --queries_waiting_;
+    lock.unlock();
+    pipe_cv_.notify_all();
+    throw;
+  }
+  lock.lock();
+  --queries_waiting_;
+  lock.unlock();
+  pipe_cv_.notify_all();
+  return rows;
 }
 
 bool Session::Contains(std::string_view predicate,
                        const datalog::Tuple& tuple) const {
-  const std::lock_guard<std::mutex> lock(db_mutex_);
-  return db_.Contains(predicate, tuple);
+  std::unique_lock<std::mutex> lock(pipe_mutex_);
+  ++queries_waiting_;
+  pipe_cv_.wait(lock, [this] { return admitted_epoch_ == applied_seq_; });
+  lock.unlock();
+  bool found = false;
+  try {
+    found = db_.Contains(predicate, tuple);
+  } catch (...) {
+    lock.lock();
+    --queries_waiting_;
+    lock.unlock();
+    pipe_cv_.notify_all();
+    throw;
+  }
+  lock.lock();
+  --queries_waiting_;
+  lock.unlock();
+  pipe_cv_.notify_all();
+  return found;
 }
 
 void Session::ApplyLoop() {
   UpdateQueue::Job job;
+  // The queue is FIFO, so epochs pop in dense order even across K
+  // consumer threads; the admission gate below then makes cascades START
+  // in that order too, at most depth_ in flight.
   while (queue_.Pop(job)) {
     ApplyOne(job);
   }
 }
 
 void Session::ApplyOne(UpdateQueue::Job& job) {
+  // --- admission: dense start order, bounded overlap, reader priority.
+  {
+    std::unique_lock<std::mutex> lock(pipe_mutex_);
+    pipe_cv_.wait(lock, [this, &job] {
+      return admitted_epoch_ + 1 == job.epoch &&
+             admitted_epoch_ - applied_seq_ < depth_ && queries_waiting_ == 0;
+    });
+    if (admitted_epoch_ == applied_seq_) {
+      busy_since_ = std::chrono::steady_clock::now();
+    }
+    admitted_epoch_ = job.epoch;
+    inflight_high_water_ =
+        std::max(inflight_high_water_, admitted_epoch_ - applied_seq_);
+  }
+  pipe_cv_.notify_all();  // the thread holding epoch+1 waits on admitted.
+
+  // --- the cascade itself, outside every session lock.
   UpdateOutcome outcome;
   outcome.epoch = job.epoch;
+  std::exception_ptr error;
+  util::WallTimer cascade_timer;
   try {
-    const std::lock_guard<std::mutex> lock(db_mutex_);
     if (spec_ == "serial") {
       outcome.update = db_.ApplyRequest(job.request, strategy_);
     } else {
@@ -148,45 +230,109 @@ void Session::ApplyOne(UpdateQueue::Job& job) {
           job.request, {.scheduler_spec = spec_,
                         .workers = 0,  // ignored: the router decides
                         .router = &core_->router,
-                        .strategy = strategy_});
+                        .strategy = strategy_,
+                        .frontier = depth_ > 1 ? &frontier_ : nullptr,
+                        .epoch = job.epoch});
       outcome.update = std::move(result.update);
       outcome.run = result.run;
     }
-    inserted_total_ += outcome.update.total_inserted;
-    deleted_total_ += outcome.update.total_deleted;
-    maint_ops_total_ += outcome.update.total_maint_ops;
-    for (const datalog::ComponentUpdateStats& c : outcome.update.components) {
-      maint_recounts_total_ += c.maint_recounts;
-      maint_probes_total_ += c.maint_backward_probes;
-      maint_avoided_total_ += c.maint_avoided;
-    }
-    job.promise.set_value(std::move(outcome));
   } catch (...) {
-    // A failed batch (bad arity, engine invariant trip) fails ITS future;
-    // the session stays live for subsequent batches.
-    job.promise.set_exception(std::current_exception());
+    error = std::current_exception();
   }
+  if (depth_ > 1) {
+    // Safety net: on success RunCascade already finalized every level; on
+    // a thrown cascade this keeps successor epochs from wedging on a
+    // frontier entry that would never advance.
+    frontier_.FinalizeAll(job.epoch);
+  }
+  const double seconds = cascade_timer.ElapsedSeconds();
+
+  // --- sequencer: resolve futures in dense epoch order.
   {
-    const std::lock_guard<std::mutex> lock(drain_mutex_);
+    std::unique_lock<std::mutex> lock(pipe_mutex_);
+    pipe_cv_.wait(lock, [this, &job] { return applied_seq_ + 1 == job.epoch; });
+    if (error == nullptr) {
+      inserted_total_ += outcome.update.total_inserted;
+      deleted_total_ += outcome.update.total_deleted;
+      maint_ops_total_ += outcome.update.total_maint_ops;
+      for (const datalog::ComponentUpdateStats& c :
+           outcome.update.components) {
+        maint_recounts_total_ += c.maint_recounts;
+        maint_probes_total_ += c.maint_backward_probes;
+        maint_avoided_total_ += c.maint_avoided;
+      }
+      frontier_stalls_ += outcome.run.frontier_stalls;
+      frontier_stall_seconds_ += outcome.run.frontier_stall_seconds;
+      job.promise.set_value(std::move(outcome));
+    } else {
+      // A failed batch (bad arity, engine invariant trip) fails ITS
+      // future; the session stays live for subsequent batches.
+      job.promise.set_exception(error);
+    }
+    cascade_seconds_ += seconds;
+    applied_seq_ = job.epoch;
     applied_epoch_.store(job.epoch, std::memory_order_release);
+    if (admitted_epoch_ == applied_seq_) {
+      busy_seconds_ += std::chrono::duration<double>(
+                           std::chrono::steady_clock::now() - busy_since_)
+                           .count();
+    }
   }
-  drain_cv_.notify_all();
+  pipe_cv_.notify_all();
   PublishMetrics();
 }
 
 void Session::PublishMetrics() {
+  // Totals are written under pipe_mutex_ by K apply threads; snapshot
+  // under the same lock, publish outside it.
+  std::uint64_t applied = 0;
+  std::uint64_t inserted = 0;
+  std::uint64_t deleted = 0;
+  std::uint64_t ops = 0;
+  std::uint64_t recounts = 0;
+  std::uint64_t probes = 0;
+  std::uint64_t avoided = 0;
+  std::uint64_t inflight_hw = 0;
+  std::uint64_t stalls = 0;
+  double stall_seconds = 0.0;
+  double cascade_seconds = 0.0;
+  double busy_seconds = 0.0;
+  {
+    const std::lock_guard<std::mutex> lock(pipe_mutex_);
+    applied = applied_seq_;
+    inserted = inserted_total_;
+    deleted = deleted_total_;
+    ops = maint_ops_total_;
+    recounts = maint_recounts_total_;
+    probes = maint_probes_total_;
+    avoided = maint_avoided_total_;
+    inflight_hw = inflight_high_water_;
+    stalls = frontier_stalls_;
+    stall_seconds = frontier_stall_seconds_;
+    cascade_seconds = cascade_seconds_;
+    busy_seconds = busy_seconds_;
+  }
   obs::MetricsRegistry& metrics = core_->metrics;
-  metrics.Set(metrics_prefix_ + "applied",
-              applied_epoch_.load(std::memory_order_relaxed));
+  metrics.Set(metrics_prefix_ + "applied", applied);
   metrics.Max(metrics_prefix_ + "queue_depth", queue_.HighWater());
   metrics.Set(metrics_prefix_ + "blocked_submits", queue_.BlockedPushes());
-  metrics.Set(metrics_prefix_ + "inserted", inserted_total_);
-  metrics.Set(metrics_prefix_ + "deleted", deleted_total_);
-  metrics.Set(metrics_prefix_ + "maint.ops", maint_ops_total_);
-  metrics.Set(metrics_prefix_ + "maint.recounts", maint_recounts_total_);
-  metrics.Set(metrics_prefix_ + "maint.backward_probes", maint_probes_total_);
-  metrics.Set(metrics_prefix_ + "maint.overdeletes_avoided",
-              maint_avoided_total_);
+  metrics.Set(metrics_prefix_ + "inserted", inserted);
+  metrics.Set(metrics_prefix_ + "deleted", deleted);
+  metrics.Set(metrics_prefix_ + "maint.ops", ops);
+  metrics.Set(metrics_prefix_ + "maint.recounts", recounts);
+  metrics.Set(metrics_prefix_ + "maint.backward_probes", probes);
+  metrics.Set(metrics_prefix_ + "maint.overdeletes_avoided", avoided);
+  metrics.Set(metrics_prefix_ + "pipeline.depth", depth_);
+  metrics.Max(metrics_prefix_ + "pipeline.inflight_high_water", inflight_hw);
+  metrics.Set(metrics_prefix_ + "pipeline.stalls", stalls);
+  metrics.Set(metrics_prefix_ + "pipeline.stall_ns",
+              static_cast<std::uint64_t>(stall_seconds * 1e9));
+  metrics.Set(metrics_prefix_ + "pipeline.cascade_ns",
+              static_cast<std::uint64_t>(cascade_seconds * 1e9));
+  metrics.Set(metrics_prefix_ + "pipeline.busy_ns",
+              static_cast<std::uint64_t>(busy_seconds * 1e9));
+  metrics.Set(metrics_prefix_ + "pipeline.finalizations",
+              frontier_.Finalizations());
 }
 
 }  // namespace dsched::service

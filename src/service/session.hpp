@@ -3,24 +3,36 @@
 // A session owns everything program-scoped — the parsed+stratified program,
 // its sharded RelationStore, its scheduler choice, and a bounded queue of
 // pending update batches — and borrows only the host's shared worker pool.
-// Batches are applied strictly in submission order by ONE apply thread per
-// session (serialized-per-session), while different sessions' apply threads
-// run concurrently and interleave their cascades on the shared pool
-// (concurrent-across-sessions).
 //
-// Epoch lifecycle: Submit assigns the batch a dense 1-based epoch and
-// returns a future; the apply thread pops batches in epoch order, runs the
-// incremental maintenance, and fulfils the future with the epoch, the
-// engine result, and the executor run stats.  After the future for epoch N
-// resolves, Query() reflects every batch up to N (and possibly later ones —
-// queries see the newest applied state).
+// Epoch pipelining (DESIGN.md §12): a session runs up to K = pipeline_depth
+// update cascades in flight at once.  K apply threads pop batches from the
+// queue (pops are dense: the queue is FIFO, so epoch N is always popped
+// before N+1, just possibly by different threads).  An ADMISSION gate lets
+// epoch e start only when
+//   * epoch e-1 has been admitted (cascades START in dense order),
+//   * fewer than K epochs are between admitted and applied, and
+//   * no query is waiting (queries see a quiesced pipeline).
+// Once admitted, the cascade runs on the shared pool with the session's
+// StratumFrontier as its pipeline gate: each component phase of epoch e
+// holds until epoch e-1 has finalized every dependency level the phase
+// could race with, so overlapping epochs interleave safely along the
+// program's level structure instead of serializing whole batches.
+// A SEQUENCER then resolves futures strictly in dense epoch order — the
+// externally visible contract is unchanged from the K=1 loop: after the
+// future for epoch N resolves, Query() reflects every batch up to N.
+//
+// K=1 degenerates to the classic serialized-per-session apply loop (no
+// frontier, no overlap); the "serial" engine and non-pipeline-eligible
+// strategies (counting) are clamped to K=1 at open.
 //
 // Lifecycle: bootstrap (Insert base facts, Materialize) → live (Submit /
 // Query) → Close (stop accepting, drain the queue, join).  Close is
-// idempotent and implied by destruction.
+// idempotent and implied by destruction; every admitted epoch finishes and
+// its future resolves before Close returns.
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <future>
@@ -32,6 +44,7 @@
 #include <vector>
 
 #include "datalog/database.hpp"
+#include "runtime/pipeline.hpp"
 #include "service/engine_host.hpp"
 #include "service/update_queue.hpp"
 
@@ -83,11 +96,12 @@ class Session {
   /// Blocks until every batch accepted so far has been applied.
   void Drain();
 
-  /// Stops accepting new batches, applies everything already queued, joins
-  /// the apply thread, and publishes final session metrics.  Idempotent.
+  /// Stops accepting new batches, applies everything already queued (every
+  /// admitted epoch finishes and its future resolves), joins the apply
+  /// threads, and publishes final session metrics.  Idempotent.
   void Close();
 
-  // --- queries (any thread; serialized against applies) ---------------
+  // --- queries (any thread; quiesce the pipeline first) ----------------
   [[nodiscard]] std::vector<datalog::Tuple> Query(
       std::string_view predicate) const;
   [[nodiscard]] bool Contains(std::string_view predicate,
@@ -100,7 +114,10 @@ class Session {
   [[nodiscard]] datalog::MaintenanceStrategy Strategy() const {
     return strategy_;
   }
-  /// Last applied epoch (0 before any batch lands).
+  /// The resolved epoch-pipeline depth K (after eligibility clamping).
+  [[nodiscard]] std::size_t PipelineDepth() const { return depth_; }
+  /// Last applied epoch (0 before any batch lands).  Monotone; epoch N
+  /// applied implies all earlier epochs applied (dense resolution order).
   [[nodiscard]] std::uint64_t AppliedEpoch() const {
     return applied_epoch_.load(std::memory_order_acquire);
   }
@@ -124,28 +141,51 @@ class Session {
   std::string name_;
   std::string spec_;
   datalog::MaintenanceStrategy strategy_;
+  std::size_t depth_;
   std::string metrics_prefix_;
   datalog::Database db_;
   UpdateQueue queue_;
 
-  /// Serializes applies against Query/Contains.  The apply thread holds it
-  /// only while mutating the store, not while blocked on the queue.
-  mutable std::mutex db_mutex_;
+  /// The session's epoch frontier: cascades publish per-level finalization
+  /// into it and successors gate on it (runtime/pipeline.hpp).  Only
+  /// consulted when depth_ > 1.
+  runtime::StratumFrontier frontier_;
 
-  std::mutex drain_mutex_;
-  std::condition_variable drain_cv_;
+  /// One mutex guards ALL pipeline state below (admission, sequencing,
+  /// query quiescence, totals).  Apply threads hold it only around state
+  /// transitions, never while a cascade runs.
+  mutable std::mutex pipe_mutex_;
+  mutable std::condition_variable pipe_cv_;
+  /// Highest epoch whose cascade has been admitted (started).
+  std::uint64_t admitted_epoch_ = 0;
+  /// Highest epoch whose future has resolved; dense, so in-flight count is
+  /// admitted_epoch_ - applied_seq_.
+  std::uint64_t applied_seq_ = 0;
+  /// Queries blocked waiting for the pipeline to quiesce; > 0 holds off
+  /// new admissions so readers are not starved by a busy pipeline.
+  mutable std::size_t queries_waiting_ = 0;
+  std::uint64_t inflight_high_water_ = 0;
+  /// Wall time with >= 1 epoch in flight (for the overlap ratio vs the sum
+  /// of per-cascade times).
+  double busy_seconds_ = 0.0;
+  std::chrono::steady_clock::time_point busy_since_{};
+  double cascade_seconds_ = 0.0;
+  std::uint64_t frontier_stalls_ = 0;
+  double frontier_stall_seconds_ = 0.0;
+  std::uint64_t inserted_total_ = 0;
+  std::uint64_t deleted_total_ = 0;
+  std::uint64_t maint_ops_total_ = 0;
+  std::uint64_t maint_recounts_total_ = 0;
+  std::uint64_t maint_probes_total_ = 0;
+  std::uint64_t maint_avoided_total_ = 0;
+
+  /// Lock-free mirror of applied_seq_ for AppliedEpoch().
   std::atomic<std::uint64_t> applied_epoch_{0};
-  std::uint64_t inserted_total_ = 0;  ///< apply thread only
-  std::uint64_t deleted_total_ = 0;   ///< apply thread only
-  std::uint64_t maint_ops_total_ = 0;       ///< apply thread only
-  std::uint64_t maint_recounts_total_ = 0;  ///< apply thread only
-  std::uint64_t maint_probes_total_ = 0;    ///< apply thread only
-  std::uint64_t maint_avoided_total_ = 0;   ///< apply thread only
 
   std::once_flag close_once_;
-  /// Joined by Close() (which the destructor runs) before any member is
-  /// destroyed.
-  std::thread apply_thread_;
+  /// K apply threads; joined by Close() (which the destructor runs) before
+  /// any member is destroyed.
+  std::vector<std::thread> apply_threads_;
 };
 
 }  // namespace dsched::service

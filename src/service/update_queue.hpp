@@ -1,13 +1,22 @@
-// The per-session update pipeline: a bounded MPSC queue of update batches
+// The per-session update pipeline: a bounded MPMC queue of update batches
 // with epoch numbering and promise-based result delivery.
 //
-// Producers are client threads calling Session::Submit; the single consumer
-// is the session's apply thread.  The bound is the backpressure mechanism:
+// Producers are client threads calling Session::Submit; consumers are the
+// session's K apply threads (K = pipeline_depth; K = 1 recovers the
+// classic single-consumer loop).  The bound is the backpressure mechanism:
 // a full queue makes Push block (or TryPush decline) instead of letting a
 // fast producer build an unbounded backlog of unapplied batches.  Epochs
 // are assigned under the queue lock, so they are dense, start at 1, and
 // order exactly like application order — epoch N's result reflects every
 // batch up to and including N.
+//
+// Multi-consumer contract: the queue is FIFO, so epochs POP in dense order
+// even when different threads do the popping; what the queue does NOT
+// order is what happens after the pop.  The session's admission gate
+// (session.hpp) makes cascades start densely, and its sequencer resolves
+// futures densely.  After Close(), each consumer fully processes any job
+// it already holds before Pop() returns false — close drains, it never
+// abandons a promise.
 #pragma once
 
 #include <condition_variable>
@@ -32,7 +41,8 @@ struct UpdateOutcome {
   runtime::Executor::RunStats run;
 };
 
-/// Bounded single-consumer queue of pending update batches.  Thread-safe.
+/// Bounded multi-producer multi-consumer queue of pending update batches.
+/// Thread-safe.
 class UpdateQueue {
  public:
   struct Job {

@@ -21,7 +21,7 @@ Usage:
   check_bench.py BASELINE FRESH [--tolerance 0.15]
                  [--ignore REGEX ...] [--exact REGEX ...] [--verbose]
 
-CI gates all five checked-in baselines (see .github/workflows/ci.yml
+CI gates all six checked-in baselines (see .github/workflows/ci.yml
 perf-gate for the per-bench flags):
   BENCH_datalog.json   — micro_join: rows/checksums exact
   BENCH_store.json     — micro_store: rows/checksums exact, w8 scaling
@@ -34,6 +34,12 @@ perf-gate for the per-bench flags):
   BENCH_maint.json     — micro_maint: checksums and maint-op counts exact
                          (maintenance work is deterministic per strategy),
                          cross-strategy ratios banded
+  BENCH_pipeline.json  — micro_pipeline: per-cell checksums/rows exact at
+                         EVERY pipeline depth K (order independence of the
+                         epoch overlap); K-scaling ratios, stall counts and
+                         hw_concurrency ungated (runner-core-count
+                         dependent — the binary self-gates the >=1.5x bar
+                         only on >=4-core hosts)
 
 stdlib only; runs anywhere python3 does.
 """
@@ -45,10 +51,13 @@ import sys
 
 # Fields that identify a row within a "results" list, in identity order.
 ID_FIELDS = ("bench", "workload", "scheduler", "engine", "body", "strategy",
-             "workers", "mode", "name")
+             "workers", "mode", "name", "k", "batch")
 
+# `window` covers the executor's adaptive dispatch-window controller
+# columns (window_adjusts/final_window) — the controller is fed by wall
+# timers, so its decisions are machine-dependent.
 DEFAULT_IGNORE = (r"(seconds|_ns\b|_ns$|mops|per_sec|_share|sleeps|wakeups"
-                  r"|steals|drains|batch)")
+                  r"|steals|drains|batch|window)")
 DEFAULT_EXACT = r"(rows|checksum|tasks|emitted|count|\bscale\b|bench)"
 
 
