@@ -93,7 +93,7 @@ int RunSessionsSmoke(int n_sessions) {
   const char* specs[] = {"hybrid", "levelbased", "signal", "logicblox"};
 
   service::EngineHost host({.workers = 4});
-  std::vector<std::unique_ptr<service::Session>> live;
+  std::vector<std::shared_ptr<service::Session>> live;
   live.reserve(static_cast<std::size_t>(n_sessions));
   for (int s = 0; s < n_sessions; ++s) {
     service::SessionOptions options;

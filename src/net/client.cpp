@@ -1,0 +1,219 @@
+#include "net/client.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "util/error.hpp"
+
+namespace dsched::net {
+
+namespace {
+
+std::string Errno(const char* what) {
+  return std::string(what) + ": " + std::strerror(errno);
+}
+
+}  // namespace
+
+void ServiceClient::Connect(const std::string& host, std::uint16_t port) {
+  DSCHED_CHECK_MSG(fd_ < 0, "already connected");
+  fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd_ < 0) {
+    throw util::Error(Errno("socket"));
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    Close();
+    throw util::Error("bad address: " + host);
+  }
+  if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    const std::string message = Errno("connect");
+    Close();
+    throw util::Error(message);
+  }
+  int one = 1;
+  (void)::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+}
+
+void ServiceClient::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  inbuf_.clear();
+}
+
+void ServiceClient::SendRaw(std::string_view bytes) {
+  DSCHED_CHECK_MSG(fd_ >= 0, "not connected");
+  std::size_t sent = 0;
+  while (sent < bytes.size()) {
+    const ssize_t n = ::send(fd_, bytes.data() + sent, bytes.size() - sent,
+                             MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      throw util::Error(Errno("send"));
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+}
+
+void ServiceClient::SendOpenSession(const OpenSessionRequest& req) {
+  SendRaw(EncodeOpenSession(req));
+}
+void ServiceClient::SendSubmit(const SubmitRequest& req) {
+  SendRaw(EncodeSubmit(req));
+}
+void ServiceClient::SendQuery(const QueryRequest& req) {
+  SendRaw(EncodeQuery(req));
+}
+void ServiceClient::SendCloseSession(const CloseSessionRequest& req) {
+  SendRaw(EncodeCloseSession(req));
+}
+void ServiceClient::SendPing(const PingRequest& req) {
+  SendRaw(EncodePing(req));
+}
+
+std::uint64_t ServiceClient::Response::RequestId() const {
+  switch (opcode) {
+    case Opcode::kSessionOpened:
+      return session_opened.request_id;
+    case Opcode::kSubmitResult:
+      return submit_result.request_id;
+    case Opcode::kQueryResult:
+      return query_result.request_id;
+    case Opcode::kSessionClosed:
+      return session_closed.request_id;
+    case Opcode::kPong:
+      return pong.request_id;
+    case Opcode::kError:
+      return error.request_id;
+    default:
+      return 0;
+  }
+}
+
+bool ServiceClient::ReadResponse(Response* out, int timeout_ms) {
+  while (true) {
+    Frame frame;
+    const FrameStatus status = ExtractFrame(inbuf_, &frame);
+    if (status == FrameStatus::kError) {
+      throw util::Error("malformed response frame from server");
+    }
+    if (status == FrameStatus::kFrame) {
+      bool ok = false;
+      switch (frame.opcode) {
+        case Opcode::kSessionOpened:
+          ok = DecodeSessionOpened(frame.payload, &out->session_opened);
+          break;
+        case Opcode::kSubmitResult:
+          ok = DecodeSubmitResult(frame.payload, &out->submit_result);
+          break;
+        case Opcode::kQueryResult:
+          ok = DecodeQueryResult(frame.payload, &out->query_result);
+          break;
+        case Opcode::kSessionClosed:
+          ok = DecodeSessionClosed(frame.payload, &out->session_closed);
+          break;
+        case Opcode::kPong:
+          ok = DecodePong(frame.payload, &out->pong);
+          break;
+        case Opcode::kError:
+          ok = DecodeError(frame.payload, &out->error);
+          break;
+        default:
+          ok = false;
+          break;
+      }
+      if (!ok) {
+        throw util::Error(std::string("malformed ") +
+                          OpcodeName(frame.opcode) + " response payload");
+      }
+      out->opcode = frame.opcode;
+      inbuf_.erase(0, frame.frame_size);
+      return true;
+    }
+    // kNeedMore: wait for bytes.
+    if (fd_ < 0) {
+      return false;
+    }
+    pollfd pfd{fd_, POLLIN, 0};
+    const int ready = ::poll(&pfd, 1, timeout_ms);
+    if (ready == 0) {
+      return false;  // timeout
+    }
+    if (ready < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      throw util::Error(Errno("poll"));
+    }
+    char buf[65536];
+    const ssize_t n = ::read(fd_, buf, sizeof(buf));
+    if (n == 0) {
+      return false;  // server closed the connection
+    }
+    if (n < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      throw util::Error(Errno("read"));
+    }
+    inbuf_.append(buf, static_cast<std::size_t>(n));
+  }
+}
+
+ServiceClient::Response ServiceClient::AwaitResponse(std::uint64_t request_id,
+                                                     Opcode expect) {
+  Response resp;
+  if (!ReadResponse(&resp)) {
+    throw util::Error("connection closed while awaiting response");
+  }
+  if (resp.opcode == Opcode::kError) {
+    throw util::Error(std::string("server error (") +
+                      std::to_string(static_cast<int>(resp.error.code)) +
+                      "): " + resp.error.message);
+  }
+  DSCHED_CHECK_MSG(resp.opcode == expect && resp.RequestId() == request_id,
+                   "out-of-order response to a sync call — requests were "
+                   "still in flight");
+  return resp;
+}
+
+std::uint64_t ServiceClient::OpenSessionSync(const OpenSessionRequest& req) {
+  SendOpenSession(req);
+  return AwaitResponse(req.request_id, Opcode::kSessionOpened)
+      .session_opened.session_id;
+}
+
+SubmitResultResponse ServiceClient::SubmitSync(const SubmitRequest& req) {
+  SendSubmit(req);
+  return AwaitResponse(req.request_id, Opcode::kSubmitResult).submit_result;
+}
+
+QueryResultResponse ServiceClient::QuerySync(const QueryRequest& req) {
+  SendQuery(req);
+  return AwaitResponse(req.request_id, Opcode::kQueryResult).query_result;
+}
+
+void ServiceClient::CloseSessionSync(const CloseSessionRequest& req) {
+  SendCloseSession(req);
+  (void)AwaitResponse(req.request_id, Opcode::kSessionClosed);
+}
+
+void ServiceClient::PingSync(std::uint64_t request_id) {
+  SendPing(PingRequest{request_id});
+  (void)AwaitResponse(request_id, Opcode::kPong);
+}
+
+}  // namespace dsched::net

@@ -1,0 +1,729 @@
+#include "net/server.hpp"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "obs/obs.hpp"
+#include "util/error.hpp"
+
+namespace dsched::net {
+
+namespace {
+
+void SetNonBlocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags >= 0) {
+    (void)::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+  }
+}
+
+std::string Errno(const char* what) {
+  return std::string(what) + ": " + std::strerror(errno);
+}
+
+/// Per-round read cap: stay fair across connections under a flood; the
+/// kernel keeps the rest and POLLIN fires again next round.
+constexpr std::size_t kMaxReadPerRound = 256 * 1024;
+
+}  // namespace
+
+ServiceServer::ServiceServer(service::EngineHost& host, ServerOptions options)
+    : host_(host),
+      options_(std::move(options)),
+      frames_in_(host.Metrics().Get("net.frames_in")),
+      frames_out_(host.Metrics().Get("net.frames_out")),
+      bytes_in_(host.Metrics().Get("net.bytes_in")),
+      bytes_out_(host.Metrics().Get("net.bytes_out")),
+      conns_opened_(host.Metrics().Get("net.connections_opened")),
+      conns_closed_(host.Metrics().Get("net.connections_closed")),
+      backpressure_stalls_(host.Metrics().Get("net.backpressure_stalls")),
+      write_stalls_(host.Metrics().Get("net.write_stalls")),
+      protocol_errors_(host.Metrics().Get("net.protocol_errors")),
+      net_sessions_opened_(host.Metrics().Get("net.sessions_opened")),
+      net_sessions_closed_(host.Metrics().Get("net.sessions_closed")) {}
+
+ServiceServer::~ServiceServer() { Stop(); }
+
+void ServiceServer::Start() {
+  DSCHED_CHECK_MSG(!started_, "ServiceServer::Start called twice");
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    throw util::Error(Errno("socket"));
+  }
+  const auto fail = [this](const char* what) {
+    const std::string message = Errno(what);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    throw util::Error(message);
+  };
+  int one = 1;
+  (void)::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(options_.port);
+  if (::inet_pton(AF_INET, options_.bind_address.c_str(), &addr.sin_addr) !=
+      1) {
+    fail("inet_pton");
+  }
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    fail("bind");
+  }
+  if (::listen(listen_fd_, 128) != 0) {
+    fail("listen");
+  }
+  sockaddr_in bound{};
+  socklen_t bound_len = sizeof(bound);
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound),
+                    &bound_len) != 0) {
+    fail("getsockname");
+  }
+  port_ = ntohs(bound.sin_port);
+  SetNonBlocking(listen_fd_);
+  if (::pipe(wake_pipe_) != 0) {
+    fail("pipe");
+  }
+  SetNonBlocking(wake_pipe_[0]);
+  SetNonBlocking(wake_pipe_[1]);
+  started_ = true;
+  poll_thread_ = std::thread([this] { PollLoop(); });
+}
+
+void ServiceServer::Stop() {
+  if (!started_ || stopped_) {
+    return;
+  }
+  stopped_ = true;
+  stop_.store(true, std::memory_order_release);
+  Wake();
+  poll_thread_.join();
+  // Poll thread is gone: conns_ is ours now.  Connections drop without a
+  // goodbye (clients see EOF); sessions still drain below.
+  for (auto& [id, conn] : conns_) {
+    if (conn.fd >= 0) {
+      ::close(conn.fd);
+    }
+  }
+  conns_.clear();
+  // Let every pump finish its queued jobs (futures resolve because the
+  // sessions are still live), then close the sessions themselves.
+  std::vector<SessionEntry*> entries;
+  {
+    const std::lock_guard<std::mutex> lock(sessions_mutex_);
+    entries.reserve(sessions_.size());
+    for (auto& [id, entry] : sessions_) {
+      entries.push_back(entry.get());
+    }
+  }
+  for (SessionEntry* entry : entries) {
+    {
+      const std::lock_guard<std::mutex> lock(entry->jobs_mutex);
+      entry->stop = true;
+    }
+    entry->jobs_cv.notify_all();
+  }
+  for (SessionEntry* entry : entries) {
+    if (entry->pump.joinable()) {
+      entry->pump.join();
+    }
+  }
+  for (SessionEntry* entry : entries) {
+    entry->session->Close();
+  }
+  {
+    const std::lock_guard<std::mutex> lock(sessions_mutex_);
+    sessions_.clear();
+  }
+  ::close(listen_fd_);
+  listen_fd_ = -1;
+  ::close(wake_pipe_[0]);
+  ::close(wake_pipe_[1]);
+  wake_pipe_[0] = wake_pipe_[1] = -1;
+}
+
+void ServiceServer::Wake() {
+  const char byte = 1;
+  (void)!::write(wake_pipe_[1], &byte, 1);
+}
+
+void ServiceServer::PollLoop() {
+  std::vector<pollfd> fds;
+  std::vector<std::uint64_t> ids;
+  while (!stop_.load(std::memory_order_acquire)) {
+    DrainDeliveries();
+    for (auto it = conns_.begin(); it != conns_.end();) {
+      it = it->second.dead ? conns_.erase(it) : std::next(it);
+    }
+    fds.clear();
+    ids.clear();
+    fds.push_back(pollfd{wake_pipe_[0], POLLIN, 0});
+    const bool accepting = conns_.size() < options_.max_connections;
+    fds.push_back(
+        pollfd{listen_fd_, static_cast<short>(accepting ? POLLIN : 0), 0});
+    bool any_parked = false;
+    for (auto& [id, conn] : conns_) {
+      int events = 0;
+      const bool stalled = conn.outbuf.size() > options_.write_buffer_limit;
+      if (!conn.parked && !stalled && !conn.eof) {
+        events |= POLLIN;
+      }
+      if (!conn.outbuf.empty()) {
+        events |= POLLOUT;
+      }
+      any_parked = any_parked || conn.parked.has_value();
+      fds.push_back(pollfd{conn.fd, static_cast<short>(events), 0});
+      ids.push_back(id);
+    }
+    // Parked submits have no fd event to wait on — poll with a short
+    // timeout and retry them until the session queue admits them.
+    const int timeout_ms = any_parked ? 1 : -1;
+    const int ready = ::poll(fds.data(), static_cast<nfds_t>(fds.size()),
+                             timeout_ms);
+    if (ready < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      break;
+    }
+    if ((fds[0].revents & POLLIN) != 0) {
+      char sink[256];
+      while (::read(wake_pipe_[0], sink, sizeof(sink)) > 0) {
+      }
+    }
+    if ((fds[1].revents & POLLIN) != 0) {
+      AcceptReady();
+    }
+    for (std::size_t i = 2; i < fds.size(); ++i) {
+      auto it = conns_.find(ids[i - 2]);
+      if (it == conns_.end() || it->second.dead) {
+        continue;
+      }
+      Connection& conn = it->second;
+      if ((fds[i].revents & POLLOUT) != 0) {
+        WriteReady(conn);
+      }
+      if (!conn.dead && (fds[i].revents & POLLIN) != 0) {
+        ReadReady(conn);
+      } else if (!conn.dead &&
+                 (fds[i].revents & (POLLERR | POLLHUP | POLLNVAL)) != 0) {
+        CloseConnection(conn);
+      }
+    }
+    for (auto& [id, conn] : conns_) {
+      if (!conn.dead && conn.parked) {
+        RetryParked(conn);
+      }
+    }
+  }
+}
+
+void ServiceServer::AcceptReady() {
+  while (conns_.size() < options_.max_connections) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      break;  // EAGAIN (drained) or transient error; poll again next round
+    }
+    SetNonBlocking(fd);
+    int one = 1;
+    (void)::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    const std::uint64_t id = next_conn_id_++;
+    Connection& conn = conns_[id];
+    conn.fd = fd;
+    conn.id = id;
+    conns_opened_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+void ServiceServer::ReadReady(Connection& conn) {
+  OBS_SCOPE(Category::kNetRead);
+  char buf[65536];
+  std::size_t read_this_round = 0;
+  while (read_this_round < kMaxReadPerRound) {
+    const ssize_t n = ::read(conn.fd, buf, sizeof(buf));
+    if (n > 0) {
+      conn.inbuf.append(buf, static_cast<std::size_t>(n));
+      bytes_in_.fetch_add(static_cast<std::uint64_t>(n),
+                          std::memory_order_relaxed);
+      read_this_round += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n == 0) {
+      conn.eof = true;  // half-close: finish the buffered frames first
+      break;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      break;
+    }
+    if (errno == EINTR) {
+      continue;
+    }
+    conn.eof = true;  // ECONNRESET and friends
+    break;
+  }
+  ProcessInbuf(conn);
+}
+
+void ServiceServer::ProcessInbuf(Connection& conn) {
+  while (!conn.dead && !conn.parked) {
+    Frame frame;
+    const FrameStatus status =
+        ExtractFrame(conn.inbuf, &frame, options_.max_frame_length);
+    if (status == FrameStatus::kNeedMore) {
+      break;
+    }
+    if (status == FrameStatus::kError) {
+      protocol_errors_.fetch_add(1, std::memory_order_relaxed);
+      SendError(conn, 0, ErrorCode::kBadFrame,
+                "unrecoverable framing error (zero or oversized length)");
+      CloseConnection(conn);
+      return;
+    }
+    frames_in_.fetch_add(1, std::memory_order_relaxed);
+    OBS_COUNTER(Category::kNetFrameIn, 1);
+    const std::size_t consumed = frame.frame_size;
+    DispatchFrame(conn, frame);  // frame.payload aliases inbuf: use, then
+    conn.inbuf.erase(0, consumed);  // erase
+  }
+  if (conn.eof && !conn.dead && !conn.parked) {
+    CloseConnection(conn);  // any trailing partial frame dies with the peer
+  }
+}
+
+void ServiceServer::DispatchFrame(Connection& conn, const Frame& frame) {
+  switch (frame.opcode) {
+    case Opcode::kPing: {
+      // Answered inline on the poll thread: a PONG legitimately overtakes
+      // any in-flight SUBMIT_RESULT (the pipelining the protocol promises).
+      PingRequest req;
+      if (!DecodePing(frame.payload, &req)) {
+        protocol_errors_.fetch_add(1, std::memory_order_relaxed);
+        SendError(conn, 0, ErrorCode::kBadFrame, "malformed PING payload");
+        return;
+      }
+      SendFrame(conn, EncodePong(PongResponse{req.request_id}));
+      return;
+    }
+    case Opcode::kOpenSession:
+      HandleOpenSession(conn, frame.payload);
+      return;
+    case Opcode::kSubmit:
+      HandleSubmit(conn, frame.payload);
+      return;
+    case Opcode::kQuery:
+      HandleQuery(conn, frame.payload);
+      return;
+    case Opcode::kCloseSession:
+      HandleCloseSession(conn, frame.payload);
+      return;
+    default:
+      protocol_errors_.fetch_add(1, std::memory_order_relaxed);
+      SendError(conn, 0, ErrorCode::kBadOpcode,
+                "unknown opcode; closing connection");
+      CloseConnection(conn);
+      return;
+  }
+}
+
+void ServiceServer::HandleOpenSession(Connection& conn,
+                                      std::string_view payload) {
+  OpenSessionRequest req;
+  if (!DecodeOpenSession(payload, &req)) {
+    protocol_errors_.fetch_add(1, std::memory_order_relaxed);
+    SendError(conn, 0, ErrorCode::kBadFrame, "malformed OPEN_SESSION payload");
+    return;
+  }
+  service::SessionOptions opts;
+  opts.name = req.name;
+  opts.scheduler_spec = req.scheduler_spec;
+  opts.maintenance_strategy = req.strategy;
+  opts.queue_capacity = req.queue_capacity;
+  opts.pipeline_depth = req.pipeline_depth;
+  std::shared_ptr<service::Session> session;
+  try {
+    session = host_.OpenSession(req.program, opts);
+  } catch (const util::Error& e) {
+    SendError(conn, req.request_id, ErrorCode::kBadProgram, e.what());
+    return;
+  }
+  // Wire sessions start from an empty base (base facts arrive via SUBMIT);
+  // materializing the empty fixpoint arms Submit.
+  session->Materialize();
+  const std::uint64_t session_id = session->Id();
+  {
+    const std::lock_guard<std::mutex> lock(sessions_mutex_);
+    auto& slot = sessions_[session_id];
+    slot = std::make_unique<SessionEntry>();
+    slot->session = std::move(session);
+    SessionEntry* raw = slot.get();
+    raw->pump = std::thread([this, raw] { PumpLoop(*raw); });
+  }
+  net_sessions_opened_.fetch_add(1, std::memory_order_relaxed);
+  SendFrame(conn, EncodeSessionOpened(SessionOpenedResponse{
+                      req.request_id, session_id}));
+}
+
+ServiceServer::SessionEntry* ServiceServer::RouteSession(
+    std::uint64_t session_id) {
+  // FindSession is the liveness gate: a closed (or closing, or foreign)
+  // id misses and the caller answers NO_SESSION.
+  std::shared_ptr<service::Session> session = host_.FindSession(session_id);
+  if (session == nullptr) {
+    return nullptr;
+  }
+  const std::lock_guard<std::mutex> lock(sessions_mutex_);
+  auto& slot = sessions_[session_id];
+  if (slot == nullptr) {
+    // Live session the server has not routed to before (opened in-process
+    // by the embedding application): adopt it with its own pump.
+    slot = std::make_unique<SessionEntry>();
+    slot->session = std::move(session);
+    SessionEntry* raw = slot.get();
+    raw->pump = std::thread([this, raw] { PumpLoop(*raw); });
+  }
+  return slot.get();
+}
+
+datalog::UpdateRequest ServiceServer::TranslateOps(
+    SessionEntry& entry, const std::vector<WireOp>& ops) {
+  const datalog::Program& program = entry.session->Db().GetProgram();
+  datalog::UpdateRequest update;
+  for (const WireOp& op : ops) {
+    const std::uint32_t pred = program.PredicateId(op.predicate);
+    if (program.predicate_arities[pred] != op.tuple.size()) {
+      throw util::InvalidArgument(
+          "arity mismatch for '" + op.predicate + "': got " +
+          std::to_string(op.tuple.size()) + ", declared " +
+          std::to_string(program.predicate_arities[pred]));
+    }
+    datalog::Tuple tuple;
+    tuple.reserve(op.tuple.size());
+    for (const WireValue& v : op.tuple) {
+      if (v.is_symbol) {
+        const std::lock_guard<std::mutex> lock(entry.sym_mutex);
+        tuple.push_back(entry.session->Sym(v.symbol));
+      } else {
+        tuple.push_back(datalog::Value::Int(v.int_value));
+      }
+    }
+    auto& side = op.is_delete ? update.deletions : update.insertions;
+    side.emplace_back(pred, std::move(tuple));
+  }
+  return update;
+}
+
+void ServiceServer::HandleSubmit(Connection& conn, std::string_view payload) {
+  SubmitRequest req;
+  if (!DecodeSubmit(payload, &req)) {
+    protocol_errors_.fetch_add(1, std::memory_order_relaxed);
+    SendError(conn, 0, ErrorCode::kBadFrame, "malformed SUBMIT payload");
+    return;
+  }
+  SessionEntry* entry = RouteSession(req.session_id);
+  if (entry == nullptr) {
+    SendError(conn, req.request_id, ErrorCode::kNoSession,
+              "no live session " + std::to_string(req.session_id));
+    return;
+  }
+  datalog::UpdateRequest update;
+  try {
+    update = TranslateOps(*entry, req.ops);
+  } catch (const util::Error& e) {
+    SendError(conn, req.request_id, ErrorCode::kBadRequest, e.what());
+    return;
+  }
+  std::future<service::UpdateOutcome> future;
+  bool admitted = false;
+  try {
+    // TrySubmit consumes its argument either way; keep the original so a
+    // declined submit can be parked and retried.
+    datalog::UpdateRequest attempt = update;
+    admitted = entry->session->TrySubmit(std::move(attempt), &future);
+  } catch (const util::Error&) {
+    SendError(conn, req.request_id, ErrorCode::kNoSession,
+              "session is closed");
+    return;
+  }
+  if (!admitted) {
+    // UpdateQueue is at its bound: park the translated batch on this
+    // connection and stop reading it — kernel TCP backpressure reaches the
+    // client, composing the wire bound with the session bound.
+    conn.parked = ParkedSubmit{req.request_id, req.session_id,
+                               std::move(update)};
+    backpressure_stalls_.fetch_add(1, std::memory_order_relaxed);
+    OBS_COUNTER(Category::kNetBackpressure, 1);
+    return;
+  }
+  PumpJob job;
+  job.kind = PumpJob::Kind::kSubmit;
+  job.conn_id = conn.id;
+  job.request_id = req.request_id;
+  job.future = std::move(future);
+  EnqueueJob(*entry, std::move(job));
+}
+
+void ServiceServer::RetryParked(Connection& conn) {
+  ParkedSubmit& parked = *conn.parked;
+  SessionEntry* entry = RouteSession(parked.session_id);
+  if (entry == nullptr) {
+    SendError(conn, parked.request_id, ErrorCode::kNoSession,
+              "session closed while submit was parked");
+    conn.parked.reset();
+    ProcessInbuf(conn);
+    return;
+  }
+  std::future<service::UpdateOutcome> future;
+  bool admitted = false;
+  try {
+    datalog::UpdateRequest attempt = parked.request;
+    admitted = entry->session->TrySubmit(std::move(attempt), &future);
+  } catch (const util::Error&) {
+    SendError(conn, parked.request_id, ErrorCode::kNoSession,
+              "session closed while submit was parked");
+    conn.parked.reset();
+    ProcessInbuf(conn);
+    return;
+  }
+  if (!admitted) {
+    return;  // still full; next poll round retries
+  }
+  PumpJob job;
+  job.kind = PumpJob::Kind::kSubmit;
+  job.conn_id = conn.id;
+  job.request_id = parked.request_id;
+  job.future = std::move(future);
+  conn.parked.reset();
+  EnqueueJob(*entry, std::move(job));
+  ProcessInbuf(conn);  // resume the frames queued up behind the stall
+}
+
+void ServiceServer::HandleQuery(Connection& conn, std::string_view payload) {
+  QueryRequest req;
+  if (!DecodeQuery(payload, &req)) {
+    protocol_errors_.fetch_add(1, std::memory_order_relaxed);
+    SendError(conn, 0, ErrorCode::kBadFrame, "malformed QUERY payload");
+    return;
+  }
+  SessionEntry* entry = RouteSession(req.session_id);
+  if (entry == nullptr) {
+    SendError(conn, req.request_id, ErrorCode::kNoSession,
+              "no live session " + std::to_string(req.session_id));
+    return;
+  }
+  PumpJob job;
+  job.kind = PumpJob::Kind::kQuery;
+  job.conn_id = conn.id;
+  job.request_id = req.request_id;
+  job.predicate = std::move(req.predicate);
+  EnqueueJob(*entry, std::move(job));
+}
+
+void ServiceServer::HandleCloseSession(Connection& conn,
+                                       std::string_view payload) {
+  CloseSessionRequest req;
+  if (!DecodeCloseSession(payload, &req)) {
+    protocol_errors_.fetch_add(1, std::memory_order_relaxed);
+    SendError(conn, 0, ErrorCode::kBadFrame,
+              "malformed CLOSE_SESSION payload");
+    return;
+  }
+  SessionEntry* entry = RouteSession(req.session_id);
+  if (entry == nullptr) {
+    SendError(conn, req.request_id, ErrorCode::kNoSession,
+              "no live session " + std::to_string(req.session_id));
+    return;
+  }
+  PumpJob job;
+  job.kind = PumpJob::Kind::kClose;
+  job.conn_id = conn.id;
+  job.request_id = req.request_id;
+  EnqueueJob(*entry, std::move(job));
+}
+
+void ServiceServer::EnqueueJob(SessionEntry& entry, PumpJob job) {
+  {
+    const std::lock_guard<std::mutex> lock(entry.jobs_mutex);
+    entry.jobs.push_back(std::move(job));
+  }
+  entry.jobs_cv.notify_one();
+}
+
+void ServiceServer::PumpLoop(SessionEntry& entry) {
+  while (true) {
+    PumpJob job;
+    {
+      std::unique_lock<std::mutex> lock(entry.jobs_mutex);
+      entry.jobs_cv.wait(
+          lock, [&entry] { return entry.stop || !entry.jobs.empty(); });
+      if (entry.jobs.empty()) {
+        return;  // stop && drained
+      }
+      job = std::move(entry.jobs.front());
+      entry.jobs.pop_front();
+    }
+    switch (job.kind) {
+      case PumpJob::Kind::kSubmit: {
+        // FIFO get() is safe: the poll thread enqueues submits in the
+        // order it called TrySubmit, so epochs — and future resolution,
+        // which is dense per DESIGN.md §12 — arrive in exactly this order.
+        try {
+          const service::UpdateOutcome outcome = job.future.get();
+          DeliverFromPump(
+              job.conn_id,
+              EncodeSubmitResult(SubmitResultResponse{
+                  job.request_id, outcome.epoch,
+                  static_cast<std::uint64_t>(outcome.update.total_inserted),
+                  static_cast<std::uint64_t>(outcome.update.total_deleted)}));
+        } catch (const std::exception& e) {
+          DeliverFromPump(job.conn_id,
+                          EncodeError(ErrorResponse{
+                              job.request_id, ErrorCode::kUpdateFailed,
+                              e.what()}));
+        }
+        break;
+      }
+      case PumpJob::Kind::kQuery: {
+        try {
+          const std::vector<datalog::Tuple> rows =
+              entry.session->Query(job.predicate);
+          const datalog::Program& program =
+              entry.session->Db().GetProgram();
+          QueryResultResponse resp;
+          resp.request_id = job.request_id;
+          resp.arity = static_cast<std::uint16_t>(
+              program.predicate_arities[program.PredicateId(job.predicate)]);
+          resp.rows.reserve(rows.size());
+          {
+            // Symbol names render under the session's net-side symbol
+            // lock: a concurrent SUBMIT on the poll thread may intern,
+            // which can reallocate the table's storage.
+            const std::lock_guard<std::mutex> lock(entry.sym_mutex);
+            for (const datalog::Tuple& row : rows) {
+              WireTuple out;
+              out.reserve(row.size());
+              for (const datalog::Value v : row) {
+                if (v.IsSymbol()) {
+                  out.push_back(
+                      WireValue::Sym(program.symbols.NameOf(v.AsSymbol())));
+                } else {
+                  out.push_back(WireValue::Int(v.AsInt()));
+                }
+              }
+              resp.rows.push_back(std::move(out));
+            }
+          }
+          DeliverFromPump(job.conn_id, EncodeQueryResult(resp));
+        } catch (const util::Error& e) {
+          DeliverFromPump(job.conn_id,
+                          EncodeError(ErrorResponse{
+                              job.request_id, ErrorCode::kBadRequest,
+                              e.what()}));
+        }
+        break;
+      }
+      case PumpJob::Kind::kClose: {
+        entry.session->Close();  // unregisters first: routes now miss
+        net_sessions_closed_.fetch_add(1, std::memory_order_relaxed);
+        DeliverFromPump(job.conn_id, EncodeSessionClosed(SessionClosedResponse{
+                                         job.request_id}));
+        break;
+      }
+    }
+  }
+}
+
+void ServiceServer::DeliverFromPump(std::uint64_t conn_id, std::string frame) {
+  {
+    const std::lock_guard<std::mutex> lock(delivery_mutex_);
+    deliveries_.emplace_back(conn_id, std::move(frame));
+  }
+  Wake();
+}
+
+void ServiceServer::DrainDeliveries() {
+  std::vector<std::pair<std::uint64_t, std::string>> batch;
+  {
+    const std::lock_guard<std::mutex> lock(delivery_mutex_);
+    batch.swap(deliveries_);
+  }
+  for (auto& [conn_id, frame] : batch) {
+    auto it = conns_.find(conn_id);
+    if (it == conns_.end() || it->second.dead) {
+      continue;  // client vanished mid-flight; its session drained anyway
+    }
+    SendFrame(it->second, std::move(frame));
+  }
+}
+
+void ServiceServer::SendFrame(Connection& conn, std::string frame) {
+  if (conn.dead) {
+    return;
+  }
+  const bool was_stalled = conn.outbuf.size() > options_.write_buffer_limit;
+  conn.outbuf += frame;
+  frames_out_.fetch_add(1, std::memory_order_relaxed);
+  OBS_COUNTER(Category::kNetFrameOut, 1);
+  WriteReady(conn);  // eager flush; leftovers wait for POLLOUT
+  if (!conn.dead && !was_stalled &&
+      conn.outbuf.size() > options_.write_buffer_limit) {
+    write_stalls_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+void ServiceServer::SendError(Connection& conn, std::uint64_t request_id,
+                              ErrorCode code, std::string message) {
+  // protocol_errors_ is charged at the decode sites, not here — ERRORs
+  // like kNoSession/kBadRequest are well-formed protocol traffic.
+  SendFrame(conn, EncodeError(ErrorResponse{request_id, code,
+                                            std::move(message)}));
+}
+
+void ServiceServer::WriteReady(Connection& conn) {
+  OBS_SCOPE(Category::kNetWrite);
+  while (!conn.outbuf.empty()) {
+    const ssize_t n = ::send(conn.fd, conn.outbuf.data(), conn.outbuf.size(),
+                             MSG_NOSIGNAL);
+    if (n > 0) {
+      bytes_out_.fetch_add(static_cast<std::uint64_t>(n),
+                           std::memory_order_relaxed);
+      conn.outbuf.erase(0, static_cast<std::size_t>(n));
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      break;
+    }
+    if (n < 0 && errno == EINTR) {
+      continue;
+    }
+    CloseConnection(conn);
+    return;
+  }
+}
+
+void ServiceServer::CloseConnection(Connection& conn) {
+  if (conn.dead) {
+    return;
+  }
+  conn.dead = true;
+  if (!conn.outbuf.empty()) {
+    // One best-effort goodbye (the final ERROR frame, usually); anything
+    // the kernel declines is gone.
+    (void)!::send(conn.fd, conn.outbuf.data(), conn.outbuf.size(),
+                  MSG_NOSIGNAL);
+  }
+  ::close(conn.fd);
+  conn.fd = -1;
+  conn.outbuf.clear();
+  conn.inbuf.clear();
+  conns_closed_.fetch_add(1, std::memory_order_relaxed);
+}
+
+}  // namespace dsched::net

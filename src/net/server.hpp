@@ -1,0 +1,209 @@
+// The networked frontend: a poll(2)-based server multiplexing many client
+// connections onto EngineHost sessions (DESIGN.md §13, docs/WIRE_PROTOCOL.md).
+//
+// Threading shape:
+//
+//     poll thread (1)  ── owns every Connection + the fd set
+//         accept / read / decode / dispatch / write-flush
+//         OpenSession + Ping answered inline; Submit translated + TrySubmit'd
+//     pump thread (1 per session) ── resolves responses in epoch order
+//         Submit futures get() in FIFO (== epoch) order, Query quiesces,
+//         CloseSession drains; finished frames are handed back to the poll
+//         thread via DeliverFromPump + the wake pipe
+//
+// Pipelining: a client may have any number of request frames in flight on
+// one connection.  Frames are DISPATCHED in arrival order, but responses
+// come back as they complete — a PONG overtakes a heavy SUBMIT_RESULT, and
+// that is the point.  Per session, SUBMIT_RESULTs always arrive in epoch
+// order (the pump is FIFO over futures that resolve densely).
+//
+// Backpressure composes end to end:
+//   * UpdateQueue full → the submit is PARKED on its connection and the
+//     connection stops reading (kernel TCP backpressure reaches the
+//     client); retried every poll round until TrySubmit admits it.
+//   * outbuf over write_buffer_limit → the connection also stops reading
+//     until the client drains responses (net.write_stalls).
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <vector>
+
+#include "datalog/database.hpp"
+#include "net/wire.hpp"
+#include "obs/metrics.hpp"
+#include "service/engine_host.hpp"
+#include "service/session.hpp"
+#include "service/update_queue.hpp"
+
+namespace dsched::net {
+
+struct ServerOptions {
+  /// Listen address; tests and benches use the loopback default.
+  std::string bind_address = "127.0.0.1";
+  /// 0 → ephemeral: the kernel picks; read the result from Port().
+  std::uint16_t port = 0;
+  /// Accept stops (connections queue in the kernel backlog) at this many
+  /// concurrent connections.
+  std::size_t max_connections = 1024;
+  /// Per-connection outbuf bytes above which the server stops reading the
+  /// connection until the client drains responses.
+  std::size_t write_buffer_limit = 1u << 20;
+  /// Frames declaring a longer payload are a framing error (kBadFrame +
+  /// connection close).
+  std::size_t max_frame_length = kMaxFrameLength;
+};
+
+/// One server in front of one EngineHost.  Start() spawns the poll thread;
+/// Stop() (or destruction) joins it, closes every connection, drains every
+/// pump, and closes every session the server routed to.
+class ServiceServer {
+ public:
+  explicit ServiceServer(service::EngineHost& host,
+                         ServerOptions options = {});
+  ~ServiceServer();
+
+  ServiceServer(const ServiceServer&) = delete;
+  ServiceServer& operator=(const ServiceServer&) = delete;
+
+  /// Binds + listens + spawns the poll thread.  Throws util::Error when the
+  /// socket cannot be bound.  Call once.
+  void Start();
+
+  /// Idempotent.  After return: no thread is running, every fd is closed,
+  /// every session opened through this server is Close()d (drained).
+  void Stop();
+
+  /// The bound port (resolves option port 0 to the kernel's pick).  Only
+  /// valid after Start().
+  [[nodiscard]] std::uint16_t Port() const { return port_; }
+
+  [[nodiscard]] service::EngineHost& Host() { return host_; }
+
+ private:
+  /// A submit admitted by the wire but not yet by the session's queue.
+  struct ParkedSubmit {
+    std::uint64_t request_id = 0;
+    std::uint64_t session_id = 0;
+    datalog::UpdateRequest request;
+  };
+
+  struct Connection {
+    int fd = -1;
+    std::uint64_t id = 0;
+    std::string inbuf;
+    std::string outbuf;
+    std::optional<ParkedSubmit> parked;
+    /// Peer sent EOF; buffered frames (and a parked submit) still finish
+    /// before the connection is torn down — disconnect never drops work
+    /// the wire already accepted.
+    bool eof = false;
+    bool dead = false;
+  };
+
+  struct PumpJob {
+    enum class Kind { kSubmit, kQuery, kClose } kind = Kind::kSubmit;
+    std::uint64_t conn_id = 0;
+    std::uint64_t request_id = 0;
+    std::future<service::UpdateOutcome> future;  // kSubmit
+    std::string predicate;                       // kQuery
+  };
+
+  /// Per-session server state: the pump thread and the symbol-table lock.
+  /// The session's SymbolTable is not thread-safe; every net-side
+  /// Intern (poll thread translating a SUBMIT) and NameOf (pump thread
+  /// rendering a QUERY_RESULT) happens under sym_mutex.  The maintenance
+  /// cascade itself never interns after Materialize, so this lock is
+  /// net-internal.
+  struct SessionEntry {
+    std::shared_ptr<service::Session> session;
+    std::mutex sym_mutex;
+    std::mutex jobs_mutex;
+    std::condition_variable jobs_cv;
+    std::deque<PumpJob> jobs;
+    bool stop = false;
+    std::thread pump;
+  };
+
+  void PollLoop();
+  void AcceptReady();
+  void ReadReady(Connection& conn);
+  /// Extracts + dispatches every complete frame in the inbuf; stops at a
+  /// parked submit (per-connection order) and closes on drained EOF.
+  void ProcessInbuf(Connection& conn);
+  void WriteReady(Connection& conn);
+  void DispatchFrame(Connection& conn, const Frame& frame);
+  void HandleOpenSession(Connection& conn, std::string_view payload);
+  void HandleSubmit(Connection& conn, std::string_view payload);
+  void HandleQuery(Connection& conn, std::string_view payload);
+  void HandleCloseSession(Connection& conn, std::string_view payload);
+  void RetryParked(Connection& conn);
+  /// Translates wire ops into a typed UpdateRequest; throws util::Error on
+  /// unknown predicate / arity mismatch / int overflow.
+  datalog::UpdateRequest TranslateOps(SessionEntry& entry,
+                                      const std::vector<WireOp>& ops);
+  /// Finds (or adopts) the pump entry for a live session id; null when
+  /// FindSession misses (unknown / closed / closing).
+  SessionEntry* RouteSession(std::uint64_t session_id);
+  void EnqueueJob(SessionEntry& entry, PumpJob job);
+  void PumpLoop(SessionEntry& entry);
+  /// Pump threads hand completed frames back to the poll thread.
+  void DeliverFromPump(std::uint64_t conn_id, std::string frame);
+  void DrainDeliveries();
+  void SendFrame(Connection& conn, std::string frame);
+  void SendError(Connection& conn, std::uint64_t request_id, ErrorCode code,
+                 std::string message);
+  void CloseConnection(Connection& conn);
+  void Wake();
+
+  service::EngineHost& host_;
+  const ServerOptions options_;
+  std::uint16_t port_ = 0;
+
+  int listen_fd_ = -1;
+  int wake_pipe_[2] = {-1, -1};
+  std::atomic<bool> stop_{false};
+  bool started_ = false;
+  bool stopped_ = false;
+  std::thread poll_thread_;
+
+  // Poll-thread-owned state (no lock: only PollLoop and the helpers it
+  // calls touch these after Start).
+  std::uint64_t next_conn_id_ = 1;
+  std::map<std::uint64_t, Connection> conns_;
+
+  /// Session entries live until Stop (a closed session's entry stays,
+  /// inert, so late jobs drain instead of dangling).  Guarded by
+  /// sessions_mutex_ because pump threads are enumerated during Stop.
+  std::mutex sessions_mutex_;
+  std::map<std::uint64_t, std::unique_ptr<SessionEntry>> sessions_;
+
+  /// Pump → poll handoff.
+  std::mutex delivery_mutex_;
+  std::vector<std::pair<std::uint64_t, std::string>> deliveries_;
+
+  // Cached counter refs (registry guarantees lifetime).
+  obs::MetricsRegistry::Counter& frames_in_;
+  obs::MetricsRegistry::Counter& frames_out_;
+  obs::MetricsRegistry::Counter& bytes_in_;
+  obs::MetricsRegistry::Counter& bytes_out_;
+  obs::MetricsRegistry::Counter& conns_opened_;
+  obs::MetricsRegistry::Counter& conns_closed_;
+  obs::MetricsRegistry::Counter& backpressure_stalls_;
+  obs::MetricsRegistry::Counter& write_stalls_;
+  obs::MetricsRegistry::Counter& protocol_errors_;
+  obs::MetricsRegistry::Counter& net_sessions_opened_;
+  obs::MetricsRegistry::Counter& net_sessions_closed_;
+};
+
+}  // namespace dsched::net

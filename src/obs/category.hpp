@@ -56,6 +56,13 @@ enum class Category : std::uint8_t {
   kPipelineStall,     ///< scope: coordinator blocked on epoch-1's frontier
   kPipelineFinalize,  ///< counter: frontier level-prefix publications
 
+  // Networked frontend (net/server.cpp) — the poll thread's two halves.
+  kNetRead,          ///< scope: drain readable sockets + decode/dispatch
+  kNetWrite,         ///< scope: flush pending outbufs to writable sockets
+  kNetFrameIn,       ///< counter: well-formed frames decoded off the wire
+  kNetFrameOut,      ///< counter: response frames queued for send
+  kNetBackpressure,  ///< counter: submits parked on a full UpdateQueue
+
   kCategoryCount
 };
 

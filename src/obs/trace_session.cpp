@@ -114,6 +114,16 @@ const char* CategoryName(Category category) {
       return "pipeline.stall";
     case Category::kPipelineFinalize:
       return "pipeline.finalize";
+    case Category::kNetRead:
+      return "net.read";
+    case Category::kNetWrite:
+      return "net.write";
+    case Category::kNetFrameIn:
+      return "net.frame_in";
+    case Category::kNetFrameOut:
+      return "net.frame_out";
+    case Category::kNetBackpressure:
+      return "net.backpressure";
     case Category::kCategoryCount:
       break;
   }
@@ -153,6 +163,12 @@ const char* CategoryGroup(Category category) {
     case Category::kPipelineStall:
     case Category::kPipelineFinalize:
       return "pipeline";
+    case Category::kNetRead:
+    case Category::kNetWrite:
+    case Category::kNetFrameIn:
+    case Category::kNetFrameOut:
+    case Category::kNetBackpressure:
+      return "net";
     case Category::kCategoryCount:
       break;
   }
@@ -167,7 +183,10 @@ bool IsCounterCategory(Category category) {
          category == Category::kMaintOverdeleteAvoided ||
          category == Category::kMaintRecount ||
          category == Category::kMaintBackwardProbe ||
-         category == Category::kPipelineFinalize;
+         category == Category::kPipelineFinalize ||
+         category == Category::kNetFrameIn ||
+         category == Category::kNetFrameOut ||
+         category == Category::kNetBackpressure;
 }
 
 std::atomic<TraceSession*> TraceSession::current_{nullptr};

@@ -7,9 +7,34 @@ namespace dsched::service {
 EngineHost::EngineHost(const HostOptions& options)
     : core_(std::make_shared<detail::HostCore>(options)) {}
 
-std::unique_ptr<Session> EngineHost::OpenSession(std::string_view program_text,
+std::shared_ptr<Session> EngineHost::OpenSession(std::string_view program_text,
                                                  const SessionOptions& options) {
-  return std::make_unique<Session>(core_, program_text, options);
+  auto session = std::make_shared<Session>(core_, program_text, options);
+  core_->Register(session->Id(), session);
+  return session;
+}
+
+std::shared_ptr<Session> EngineHost::FindSession(std::uint64_t id) {
+  const std::lock_guard<std::mutex> lock(core_->registry_mutex);
+  auto it = core_->session_registry.find(id);
+  if (it == core_->session_registry.end()) {
+    return nullptr;
+  }
+  // lock() can still miss: the owner dropped its shared_ptr and the
+  // destructor (which runs Close -> Unregister) has not erased us yet.
+  return it->second.lock();
+}
+
+std::vector<std::uint64_t> EngineHost::ActiveSessionIds() {
+  const std::lock_guard<std::mutex> lock(core_->registry_mutex);
+  std::vector<std::uint64_t> ids;
+  ids.reserve(core_->session_registry.size());
+  for (const auto& [id, weak] : core_->session_registry) {
+    if (!weak.expired()) {
+      ids.push_back(id);
+    }
+  }
+  return ids;
 }
 
 void EngineHost::ExportMetrics() {

@@ -20,9 +20,12 @@
 #pragma once
 
 #include <cstdint>
+#include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <string_view>
+#include <vector>
 
 #include "obs/metrics.hpp"
 #include "runtime/task_router.hpp"
@@ -91,6 +94,24 @@ struct HostCore {
   obs::MetricsRegistry metrics;
   std::atomic<std::size_t> active_sessions{0};
   std::atomic<std::uint64_t> sessions_opened{0};
+
+  /// Live-session registry for FindSession: id -> weak ref.  Sessions
+  /// register at open (EngineHost::OpenSession) and unregister inside
+  /// Close(), so a hit is always a session that has not finished closing.
+  /// weak_ptr (not raw) is the TSan-clean lifetime story: a lookup that
+  /// races the owner dropping its shared_ptr either locks a still-live
+  /// control block or observes expiry — never a dangling pointer.
+  std::mutex registry_mutex;
+  std::map<std::uint64_t, std::weak_ptr<Session>> session_registry;
+
+  void Register(std::uint64_t id, const std::shared_ptr<Session>& session) {
+    const std::lock_guard<std::mutex> lock(registry_mutex);
+    session_registry[id] = session;
+  }
+  void Unregister(std::uint64_t id) {
+    const std::lock_guard<std::mutex> lock(registry_mutex);
+    session_registry.erase(id);
+  }
 };
 
 }  // namespace detail
@@ -109,9 +130,22 @@ class EngineHost {
   /// Throws util::ParseError / util::InvalidArgument on bad programs or a
   /// bad scheduler spec ("oracle" is rejected — it cannot drive live
   /// updates).  The session is independent: drop it whenever, in any
-  /// order relative to the host.
-  [[nodiscard]] std::unique_ptr<Session> OpenSession(
+  /// order relative to the host.  Shared ownership so concurrent routing
+  /// paths (FindSession) can hold the session across its owner's drop.
+  [[nodiscard]] std::shared_ptr<Session> OpenSession(
       std::string_view program_text, const SessionOptions& options = {});
+
+  /// Looks up a live session by its numeric id (Session::Id()).  Returns
+  /// null when the id was never assigned, the session was destroyed, or
+  /// Close() has completed — lookup-after-close is a miss by contract.
+  /// Thread-safe against concurrent opens, closes, and drops; the returned
+  /// shared_ptr keeps the session alive for the caller regardless of what
+  /// the opener does with its own handle.
+  [[nodiscard]] std::shared_ptr<Session> FindSession(std::uint64_t id);
+
+  /// Ids of every currently registered (open, not yet closed) session, in
+  /// ascending order.
+  [[nodiscard]] std::vector<std::uint64_t> ActiveSessionIds();
 
   [[nodiscard]] std::size_t NumWorkers() const {
     return core_->router.NumWorkers();

@@ -11,13 +11,13 @@ namespace dsched::service {
 
 namespace {
 
-std::string ResolveName(detail::HostCore& core, const SessionOptions& options) {
-  const std::uint64_t id =
-      core.sessions_opened.fetch_add(1, std::memory_order_relaxed) + 1;
+std::string ResolveName(std::uint64_t id, const SessionOptions& options) {
   if (!options.name.empty()) {
     return options.name;
   }
-  return "s" + std::to_string(id);
+  std::string name = "s";
+  name += std::to_string(id);
+  return name;
 }
 
 std::string ResolveSpec(const detail::HostCore& core,
@@ -77,7 +77,8 @@ std::size_t ResolveDepth(const detail::HostCore& core,
 Session::Session(std::shared_ptr<detail::HostCore> core,
                  std::string_view program_text, const SessionOptions& options)
     : core_(std::move(core)),
-      name_(ResolveName(*core_, options)),
+      id_(core_->sessions_opened.fetch_add(1, std::memory_order_relaxed) + 1),
+      name_(ResolveName(id_, options)),
       spec_(ResolveSpec(*core_, options)),
       strategy_(ResolveStrategy(*core_, options)),
       depth_(ResolveDepth(*core_, options, spec_, strategy_)),
@@ -128,6 +129,9 @@ void Session::Drain() {
 
 void Session::Close() {
   std::call_once(close_once_, [this] {
+    // Drop out of FindSession first: a session that has started closing is
+    // not routable (lookups return null from here on, even while draining).
+    core_->Unregister(id_);
     queue_.Close();  // stop accepting; already-queued batches still apply.
     // Every apply thread fully finishes (and resolves the future of) any
     // job it already popped before Pop() returns false, so joining drains

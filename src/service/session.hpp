@@ -108,6 +108,9 @@ class Session {
                               const datalog::Tuple& tuple) const;
 
   // --- introspection ---------------------------------------------------
+  /// Host-unique numeric id (1-based, in open order).  This is the id the
+  /// wire protocol routes by and EngineHost::FindSession looks up.
+  [[nodiscard]] std::uint64_t Id() const { return id_; }
   [[nodiscard]] const std::string& Name() const { return name_; }
   [[nodiscard]] const std::string& SchedulerSpec() const { return spec_; }
   /// The maintenance strategy every batch of this session applies with.
@@ -138,6 +141,7 @@ class Session {
   void PublishMetrics();
 
   std::shared_ptr<detail::HostCore> core_;
+  std::uint64_t id_;
   std::string name_;
   std::string spec_;
   datalog::MaintenanceStrategy strategy_;

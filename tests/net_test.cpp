@@ -1,0 +1,486 @@
+// Tests for the wire protocol and the networked frontend (src/net/).
+//
+// Codec: every message round-trips; truncated / oversized / garbage frames
+// are rejected without crashing (the decoder is total).  Server: pipelined
+// requests complete out of order (PONG overtakes a heavy SUBMIT_RESULT)
+// while SUBMIT_RESULTs stay in epoch order; a client disconnecting
+// mid-batch leaves a session that drains cleanly and stays queryable from
+// a new connection; protocol errors answer with ERROR frames, not crashes.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "net/client.hpp"
+#include "net/server.hpp"
+#include "net/wire.hpp"
+#include "service/engine_host.hpp"
+#include "service/session.hpp"
+#include "util/error.hpp"
+
+namespace dsched::net {
+namespace {
+
+constexpr const char* kChainProgram = R"(
+  tc(X, Y) :- e(X, Y).
+  tc(X, Z) :- tc(X, Y), e(Y, Z).
+  lbl(X, L) :- has(X, L).
+)";
+
+WireOp Insert(std::string pred, WireTuple tuple) {
+  return WireOp{false, std::move(pred), std::move(tuple)};
+}
+WireOp Delete(std::string pred, WireTuple tuple) {
+  return WireOp{true, std::move(pred), std::move(tuple)};
+}
+
+// --- codec ---------------------------------------------------------------
+
+TEST(WireCodecTest, OpenSessionRoundTrip) {
+  OpenSessionRequest req;
+  req.request_id = 7;
+  req.program = kChainProgram;
+  req.name = "wire";
+  req.scheduler_spec = "hybrid";
+  req.strategy = "dred";
+  req.queue_capacity = 16;
+  req.pipeline_depth = 4;
+  const std::string frame = EncodeOpenSession(req);
+  Frame parsed;
+  ASSERT_EQ(ExtractFrame(frame, &parsed), FrameStatus::kFrame);
+  EXPECT_EQ(parsed.opcode, Opcode::kOpenSession);
+  EXPECT_EQ(parsed.frame_size, frame.size());
+  OpenSessionRequest out;
+  ASSERT_TRUE(DecodeOpenSession(parsed.payload, &out));
+  EXPECT_EQ(out.request_id, 7u);
+  EXPECT_EQ(out.program, kChainProgram);
+  EXPECT_EQ(out.name, "wire");
+  EXPECT_EQ(out.scheduler_spec, "hybrid");
+  EXPECT_EQ(out.strategy, "dred");
+  EXPECT_EQ(out.queue_capacity, 16u);
+  EXPECT_EQ(out.pipeline_depth, 4u);
+}
+
+TEST(WireCodecTest, SubmitRoundTripMixedValues) {
+  SubmitRequest req;
+  req.request_id = 99;
+  req.session_id = 3;
+  req.ops.push_back(Insert("e", {WireValue::Int(1), WireValue::Int(-2)}));
+  req.ops.push_back(Delete("e", {WireValue::Int(5), WireValue::Int(6)}));
+  req.ops.push_back(
+      Insert("has", {WireValue::Int(1), WireValue::Sym("hot")}));
+  const std::string frame = EncodeSubmit(req);
+  Frame parsed;
+  ASSERT_EQ(ExtractFrame(frame, &parsed), FrameStatus::kFrame);
+  SubmitRequest out;
+  ASSERT_TRUE(DecodeSubmit(parsed.payload, &out));
+  EXPECT_EQ(out.request_id, 99u);
+  EXPECT_EQ(out.session_id, 3u);
+  ASSERT_EQ(out.ops.size(), 3u);
+  EXPECT_FALSE(out.ops[0].is_delete);
+  EXPECT_TRUE(out.ops[1].is_delete);
+  EXPECT_EQ(out.ops[0].predicate, "e");
+  EXPECT_EQ(out.ops[0].tuple,
+            (WireTuple{WireValue::Int(1), WireValue::Int(-2)}));
+  EXPECT_EQ(out.ops[2].tuple,
+            (WireTuple{WireValue::Int(1), WireValue::Sym("hot")}));
+}
+
+TEST(WireCodecTest, ResponsesRoundTrip) {
+  {
+    const std::string f =
+        EncodeSessionOpened(SessionOpenedResponse{11, 42});
+    Frame p;
+    ASSERT_EQ(ExtractFrame(f, &p), FrameStatus::kFrame);
+    SessionOpenedResponse out;
+    ASSERT_TRUE(DecodeSessionOpened(p.payload, &out));
+    EXPECT_EQ(out.request_id, 11u);
+    EXPECT_EQ(out.session_id, 42u);
+  }
+  {
+    const std::string f =
+        EncodeSubmitResult(SubmitResultResponse{12, 9, 100, 3});
+    Frame p;
+    ASSERT_EQ(ExtractFrame(f, &p), FrameStatus::kFrame);
+    SubmitResultResponse out;
+    ASSERT_TRUE(DecodeSubmitResult(p.payload, &out));
+    EXPECT_EQ(out.epoch, 9u);
+    EXPECT_EQ(out.inserted, 100u);
+    EXPECT_EQ(out.deleted, 3u);
+  }
+  {
+    QueryResultResponse resp;
+    resp.request_id = 13;
+    resp.arity = 2;
+    resp.rows.push_back({WireValue::Int(1), WireValue::Sym("a")});
+    resp.rows.push_back({WireValue::Int(2), WireValue::Sym("b")});
+    const std::string f = EncodeQueryResult(resp);
+    Frame p;
+    ASSERT_EQ(ExtractFrame(f, &p), FrameStatus::kFrame);
+    QueryResultResponse out;
+    ASSERT_TRUE(DecodeQueryResult(p.payload, &out));
+    EXPECT_EQ(out.arity, 2u);
+    ASSERT_EQ(out.rows.size(), 2u);
+    EXPECT_EQ(out.rows[1],
+              (WireTuple{WireValue::Int(2), WireValue::Sym("b")}));
+  }
+  {
+    const std::string f = EncodeError(
+        ErrorResponse{14, ErrorCode::kNoSession, "gone"});
+    Frame p;
+    ASSERT_EQ(ExtractFrame(f, &p), FrameStatus::kFrame);
+    ErrorResponse out;
+    ASSERT_TRUE(DecodeError(p.payload, &out));
+    EXPECT_EQ(out.code, ErrorCode::kNoSession);
+    EXPECT_EQ(out.message, "gone");
+  }
+}
+
+TEST(WireCodecTest, PartialFramesNeedMore) {
+  const std::string frame = EncodePing(PingRequest{1});
+  for (std::size_t len = 0; len < frame.size(); ++len) {
+    Frame parsed;
+    EXPECT_EQ(ExtractFrame(std::string_view(frame).substr(0, len), &parsed),
+              FrameStatus::kNeedMore)
+        << "prefix length " << len;
+  }
+}
+
+TEST(WireCodecTest, BrokenFramingIsAnError) {
+  // Zero length: can never carry an opcode.
+  const std::string zero(4, '\0');
+  Frame parsed;
+  EXPECT_EQ(ExtractFrame(zero, &parsed), FrameStatus::kError);
+  // Oversized declared length.
+  WireWriter w;
+  w.U32(static_cast<std::uint32_t>(kMaxFrameLength + 1));
+  w.U8(static_cast<std::uint8_t>(Opcode::kPing));
+  EXPECT_EQ(ExtractFrame(w.Bytes(), &parsed), FrameStatus::kError);
+}
+
+TEST(WireCodecTest, TruncatedPayloadsRejectedWithoutCrashing) {
+  SubmitRequest req;
+  req.request_id = 1;
+  req.session_id = 2;
+  req.ops.push_back(
+      Insert("edge", {WireValue::Int(10), WireValue::Sym("name")}));
+  const std::string frame = EncodeSubmit(req);
+  Frame parsed;
+  ASSERT_EQ(ExtractFrame(frame, &parsed), FrameStatus::kFrame);
+  // Every strict prefix of the payload must decode false.
+  for (std::size_t len = 0; len < parsed.payload.size(); ++len) {
+    SubmitRequest out;
+    EXPECT_FALSE(DecodeSubmit(parsed.payload.substr(0, len), &out))
+        << "prefix length " << len;
+  }
+  // Trailing bytes are equally rejected (no silent padding).
+  const std::string padded = std::string(parsed.payload) + "x";
+  SubmitRequest out;
+  EXPECT_FALSE(DecodeSubmit(padded, &out));
+}
+
+TEST(WireCodecTest, GarbagePayloadsRejectedWithoutCrashing) {
+  // Deterministic pseudo-garbage: hostile string lengths, op counts, tags.
+  std::string garbage;
+  std::uint32_t x = 0x9e3779b9u;
+  for (int i = 0; i < 4096; ++i) {
+    x = x * 1664525u + 1013904223u;
+    garbage.push_back(static_cast<char>(x >> 24));
+  }
+  for (std::size_t len : {std::size_t{0}, std::size_t{1}, std::size_t{9},
+                          std::size_t{64}, garbage.size()}) {
+    const std::string_view payload(garbage.data(), len);
+    OpenSessionRequest open;
+    SubmitRequest submit;
+    QueryRequest query;
+    CloseSessionRequest close;
+    QueryResultResponse rows;
+    ErrorResponse error;
+    EXPECT_FALSE(DecodeOpenSession(payload, &open));
+    EXPECT_FALSE(DecodeSubmit(payload, &submit));
+    EXPECT_FALSE(DecodeQuery(payload, &query));
+    EXPECT_FALSE(DecodeCloseSession(payload, &close));
+    EXPECT_FALSE(DecodeQueryResult(payload, &rows));
+    EXPECT_FALSE(DecodeError(payload, &error));
+  }
+}
+
+// --- server end to end ---------------------------------------------------
+
+struct ServerFixture {
+  service::EngineHost host{{.workers = 2}};
+  ServiceServer server{host, {}};
+
+  ServerFixture() { server.Start(); }
+
+  ServiceClient Connect() {
+    ServiceClient client;
+    client.Connect("127.0.0.1", server.Port());
+    return client;
+  }
+};
+
+SubmitRequest ChainBatch(std::uint64_t request_id, std::uint64_t session_id,
+                         int lo, int hi) {
+  SubmitRequest req;
+  req.request_id = request_id;
+  req.session_id = session_id;
+  for (int i = lo; i < hi; ++i) {
+    req.ops.push_back(
+        Insert("e", {WireValue::Int(i), WireValue::Int(i + 1)}));
+  }
+  return req;
+}
+
+TEST(ServiceServerTest, PingPong) {
+  ServerFixture fx;
+  ServiceClient client = fx.Connect();
+  client.PingSync(123);
+}
+
+TEST(ServiceServerTest, OpenSubmitQueryClose) {
+  ServerFixture fx;
+  ServiceClient client = fx.Connect();
+  OpenSessionRequest open;
+  open.request_id = 1;
+  open.program = kChainProgram;
+  const std::uint64_t sid = client.OpenSessionSync(open);
+  EXPECT_GT(sid, 0u);
+
+  const SubmitResultResponse r1 =
+      client.SubmitSync(ChainBatch(2, sid, 0, 4));
+  EXPECT_EQ(r1.epoch, 1u);
+  EXPECT_GT(r1.inserted, 4u);  // e rows plus the tc closure
+
+  SubmitRequest with_sym;
+  with_sym.request_id = 3;
+  with_sym.session_id = sid;
+  with_sym.ops.push_back(
+      Insert("has", {WireValue::Int(0), WireValue::Sym("hot")}));
+  const SubmitResultResponse r2 = client.SubmitSync(with_sym);
+  EXPECT_EQ(r2.epoch, 2u);
+
+  QueryRequest q;
+  q.request_id = 4;
+  q.session_id = sid;
+  q.predicate = "tc";
+  const QueryResultResponse tc = client.QuerySync(q);
+  EXPECT_EQ(tc.arity, 2u);
+  EXPECT_EQ(tc.rows.size(), 10u);  // closure of the 4-edge chain
+
+  q.request_id = 5;
+  q.predicate = "lbl";
+  const QueryResultResponse lbl = client.QuerySync(q);
+  ASSERT_EQ(lbl.rows.size(), 1u);
+  EXPECT_EQ(lbl.rows[0],
+            (WireTuple{WireValue::Int(0), WireValue::Sym("hot")}));
+
+  client.CloseSessionSync(CloseSessionRequest{6, sid});
+  // The id is gone: both the wire and FindSession agree.
+  client.SendSubmit(ChainBatch(7, sid, 10, 12));
+  ServiceClient::Response resp;
+  ASSERT_TRUE(client.ReadResponse(&resp, 5000));
+  ASSERT_EQ(resp.opcode, Opcode::kError);
+  EXPECT_EQ(resp.error.code, ErrorCode::kNoSession);
+  EXPECT_EQ(fx.host.FindSession(sid), nullptr);
+}
+
+TEST(ServiceServerTest, PipelinedPongOvertakesHeavySubmit) {
+  ServerFixture fx;
+  ServiceClient client = fx.Connect();
+  OpenSessionRequest open;
+  open.request_id = 1;
+  open.program = kChainProgram;
+  const std::uint64_t sid = client.OpenSessionSync(open);
+  // A 300-edge chain makes the tc cascade emit ~45k tuples — milliseconds
+  // of work, far longer than the inline PONG turnaround.
+  client.SendSubmit(ChainBatch(2, sid, 0, 300));
+  client.SendPing(PingRequest{3});
+  ServiceClient::Response first;
+  ASSERT_TRUE(client.ReadResponse(&first, 30000));
+  EXPECT_EQ(first.opcode, Opcode::kPong) << "PONG should overtake the "
+                                            "in-flight SUBMIT_RESULT";
+  ServiceClient::Response second;
+  ASSERT_TRUE(client.ReadResponse(&second, 30000));
+  ASSERT_EQ(second.opcode, Opcode::kSubmitResult);
+  EXPECT_EQ(second.submit_result.epoch, 1u);
+}
+
+TEST(ServiceServerTest, PipelinedSubmitsResolveInEpochOrder) {
+  ServerFixture fx;
+  ServiceClient client = fx.Connect();
+  OpenSessionRequest open;
+  open.request_id = 1;
+  open.program = kChainProgram;
+  open.queue_capacity = 4;  // small bound: forces parking under the blast
+  open.pipeline_depth = 4;
+  const std::uint64_t sid = client.OpenSessionSync(open);
+  constexpr int kBatches = 24;
+  for (int b = 0; b < kBatches; ++b) {
+    client.SendSubmit(
+        ChainBatch(static_cast<std::uint64_t>(100 + b), sid, 20 * b,
+                   20 * b + 8));
+  }
+  for (int b = 0; b < kBatches; ++b) {
+    ServiceClient::Response resp;
+    ASSERT_TRUE(client.ReadResponse(&resp, 60000)) << "batch " << b;
+    ASSERT_EQ(resp.opcode, Opcode::kSubmitResult) << "batch " << b;
+    // Request ids echo back in send order and epochs are dense: the
+    // pipelined path kept per-connection FIFO through parking + retries.
+    EXPECT_EQ(resp.submit_result.request_id,
+              static_cast<std::uint64_t>(100 + b));
+    EXPECT_EQ(resp.submit_result.epoch, static_cast<std::uint64_t>(b + 1));
+  }
+}
+
+TEST(ServiceServerTest, DisconnectMidBatchDrainsSession) {
+  ServerFixture fx;
+  std::uint64_t sid = 0;
+  {
+    ServiceClient dropper = fx.Connect();
+    OpenSessionRequest open;
+    open.request_id = 1;
+    open.program = kChainProgram;
+    sid = dropper.OpenSessionSync(open);
+    for (int b = 0; b < 5; ++b) {
+      dropper.SendSubmit(
+          ChainBatch(static_cast<std::uint64_t>(10 + b), sid, 10 * b,
+                     10 * b + 6));
+    }
+    dropper.Close();  // vanish without reading a single SUBMIT_RESULT
+  }
+  // The session is server-global: it keeps draining and stays queryable
+  // from a fresh connection.  30 edges across 5 batches.
+  ServiceClient prober = fx.Connect();
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(30);
+  std::size_t rows = 0;
+  while (std::chrono::steady_clock::now() < deadline) {
+    QueryRequest q;
+    q.request_id = 2;
+    q.session_id = sid;
+    q.predicate = "e";
+    rows = prober.QuerySync(q).rows.size();
+    if (rows == 30u) {
+      break;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  EXPECT_EQ(rows, 30u);
+  EXPECT_NE(fx.host.FindSession(sid), nullptr);
+}
+
+TEST(ServiceServerTest, BadRequestsAnswerWithErrors) {
+  ServerFixture fx;
+  ServiceClient client = fx.Connect();
+  OpenSessionRequest open;
+  open.request_id = 1;
+  open.program = kChainProgram;
+  const std::uint64_t sid = client.OpenSessionSync(open);
+
+  // Unknown session id.
+  client.SendSubmit(ChainBatch(2, sid + 1000, 0, 2));
+  ServiceClient::Response resp;
+  ASSERT_TRUE(client.ReadResponse(&resp, 5000));
+  ASSERT_EQ(resp.opcode, Opcode::kError);
+  EXPECT_EQ(resp.error.code, ErrorCode::kNoSession);
+
+  // Unknown predicate.
+  SubmitRequest bad_pred;
+  bad_pred.request_id = 3;
+  bad_pred.session_id = sid;
+  bad_pred.ops.push_back(Insert("nope", {WireValue::Int(1)}));
+  client.SendSubmit(bad_pred);
+  ASSERT_TRUE(client.ReadResponse(&resp, 5000));
+  ASSERT_EQ(resp.opcode, Opcode::kError);
+  EXPECT_EQ(resp.error.code, ErrorCode::kBadRequest);
+
+  // Arity mismatch.
+  SubmitRequest bad_arity;
+  bad_arity.request_id = 4;
+  bad_arity.session_id = sid;
+  bad_arity.ops.push_back(Insert("e", {WireValue::Int(1)}));
+  client.SendSubmit(bad_arity);
+  ASSERT_TRUE(client.ReadResponse(&resp, 5000));
+  ASSERT_EQ(resp.opcode, Opcode::kError);
+  EXPECT_EQ(resp.error.code, ErrorCode::kBadRequest);
+
+  // Bad program.
+  OpenSessionRequest bad_open;
+  bad_open.request_id = 5;
+  bad_open.program = "tc(X, :-";
+  client.SendOpenSession(bad_open);
+  ASSERT_TRUE(client.ReadResponse(&resp, 5000));
+  ASSERT_EQ(resp.opcode, Opcode::kError);
+  EXPECT_EQ(resp.error.code, ErrorCode::kBadProgram);
+
+  // The session survived all of it.
+  const SubmitResultResponse ok = client.SubmitSync(ChainBatch(6, sid, 0, 2));
+  EXPECT_EQ(ok.epoch, 1u);
+}
+
+TEST(ServiceServerTest, UnknownOpcodeClosesConnection) {
+  ServerFixture fx;
+  ServiceClient client = fx.Connect();
+  client.SendRaw(EncodeFrame(static_cast<Opcode>(0x7E), "junk"));
+  ServiceClient::Response resp;
+  ASSERT_TRUE(client.ReadResponse(&resp, 5000));
+  ASSERT_EQ(resp.opcode, Opcode::kError);
+  EXPECT_EQ(resp.error.code, ErrorCode::kBadOpcode);
+  // Server hangs up after the ERROR frame.
+  EXPECT_FALSE(client.ReadResponse(&resp, 5000));
+}
+
+TEST(ServiceServerTest, HostileLengthPrefixClosesConnection) {
+  ServerFixture fx;
+  ServiceClient client = fx.Connect();
+  WireWriter w;
+  w.U32(0xFFFFFFFFu);  // 4 GiB frame, never
+  w.U8(static_cast<std::uint8_t>(Opcode::kPing));
+  client.SendRaw(w.Bytes());
+  ServiceClient::Response resp;
+  ASSERT_TRUE(client.ReadResponse(&resp, 5000));
+  ASSERT_EQ(resp.opcode, Opcode::kError);
+  EXPECT_EQ(resp.error.code, ErrorCode::kBadFrame);
+  EXPECT_FALSE(client.ReadResponse(&resp, 5000));
+  // The server itself is fine.
+  ServiceClient again = fx.Connect();
+  again.PingSync(1);
+}
+
+TEST(ServiceServerTest, SharedSessionAcrossConnections) {
+  ServerFixture fx;
+  ServiceClient opener = fx.Connect();
+  OpenSessionRequest open;
+  open.request_id = 1;
+  open.program = kChainProgram;
+  const std::uint64_t sid = opener.OpenSessionSync(open);
+
+  std::vector<std::thread> writers;
+  for (int t = 0; t < 4; ++t) {
+    writers.emplace_back([&fx, sid, t] {
+      ServiceClient client = fx.Connect();
+      for (int b = 0; b < 6; ++b) {
+        const SubmitResultResponse r = client.SubmitSync(ChainBatch(
+            static_cast<std::uint64_t>(t * 100 + b), sid,
+            1000 * t + 10 * b, 1000 * t + 10 * b + 4));
+        EXPECT_GE(r.epoch, 1u);
+      }
+    });
+  }
+  for (std::thread& t : writers) {
+    t.join();
+  }
+  QueryRequest q;
+  q.request_id = 2;
+  q.session_id = sid;
+  q.predicate = "e";
+  EXPECT_EQ(opener.QuerySync(q).rows.size(), 4u * 6u * 4u);
+}
+
+}  // namespace
+}  // namespace dsched::net

@@ -7,6 +7,7 @@
 // host/session metric taxonomy.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <future>
@@ -131,7 +132,7 @@ TEST(ServiceTest, FourConcurrentSessionsEqualSerialPerSessionReplay) {
   constexpr int kBatches = 12;
   EngineHost host({.workers = 4});
 
-  std::vector<std::unique_ptr<Session>> sessions;
+  std::vector<std::shared_ptr<Session>> sessions;
   std::vector<std::vector<datalog::UpdateRequest>> streams(kSessions);
   for (int s = 0; s < kSessions; ++s) {
     // Rotate scheduler specs across sessions: heterogeneous tenants.
@@ -368,7 +369,7 @@ TEST(ServiceTest, PerSessionStrategiesConvergeToTheSameStore) {
 }
 
 TEST(ServiceTest, SessionsMayOutliveTheHost) {
-  std::unique_ptr<Session> survivor;
+  std::shared_ptr<Session> survivor;
   {
     EngineHost host({.workers = 2});
     survivor = host.OpenSession(kWideProgram, {.name = "orphan"});
@@ -382,6 +383,50 @@ TEST(ServiceTest, SessionsMayOutliveTheHost) {
           .get();
   EXPECT_EQ(outcome.epoch, 1u);
   survivor->Close();
+}
+
+TEST(ServiceTest, FindSessionLookupAfterCloseReturnsNull) {
+  EngineHost host({.workers = 2});
+  auto session = host.OpenSession(kWideProgram, {.name = "lookup"});
+  const std::uint64_t id = session->Id();
+  EXPECT_EQ(host.FindSession(id).get(), session.get());
+  const auto ids = host.ActiveSessionIds();
+  EXPECT_NE(std::find(ids.begin(), ids.end(), id), ids.end());
+  EXPECT_EQ(host.FindSession(id + 9999), nullptr);  // never assigned
+
+  session->Close();
+  EXPECT_EQ(host.FindSession(id), nullptr);  // closed -> miss, by contract
+
+  // Dropping the last owner without Close also unregisters (dtor path).
+  auto second = host.OpenSession(kWideProgram, {.name = "dropped"});
+  const std::uint64_t second_id = second->Id();
+  EXPECT_NE(host.FindSession(second_id), nullptr);
+  second.reset();
+  EXPECT_EQ(host.FindSession(second_id), nullptr);
+}
+
+TEST(ServiceTest, FindSessionRacesCloseCleanly) {
+  // TSan story: a reader thread resolves FindSession while the owner
+  // closes and drops the session.  The lookup must return either a live
+  // (usable) session or null — never a torn pointer.
+  EngineHost host({.workers = 2});
+  for (int round = 0; round < 8; ++round) {
+    auto session = host.OpenSession(kWideProgram, {.name = "race"});
+    const std::uint64_t id = session->Id();
+    std::thread finder([&host, id] {
+      for (int i = 0; i < 64; ++i) {
+        if (auto found = host.FindSession(id)) {
+          // Holding the shared_ptr keeps the session alive even if the
+          // owner closes concurrently; Name() must stay readable.
+          EXPECT_FALSE(found->Name().empty());
+        }
+      }
+    });
+    session->Close();
+    session.reset();
+    finder.join();
+    EXPECT_EQ(host.FindSession(id), nullptr);
+  }
 }
 
 TEST(ServiceTest, QueriesSeeAppliedEpochs) {

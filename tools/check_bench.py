@@ -21,7 +21,7 @@ Usage:
   check_bench.py BASELINE FRESH [--tolerance 0.15]
                  [--ignore REGEX ...] [--exact REGEX ...] [--verbose]
 
-CI gates all six checked-in baselines (see .github/workflows/ci.yml
+CI gates all seven checked-in baselines (see .github/workflows/ci.yml
 perf-gate for the per-bench flags):
   BENCH_datalog.json   — micro_join: rows/checksums exact
   BENCH_store.json     — micro_store: rows/checksums exact, w8 scaling
@@ -40,6 +40,11 @@ perf-gate for the per-bench flags):
                          hw_concurrency ungated (runner-core-count
                          dependent — the binary self-gates the >=1.5x bar
                          only on >=4-core hosts)
+  BENCH_service.json   — micro_service: per-cell rows/checksums exact (the
+                         wire read-back must equal the serial replay for
+                         every mode x connection-count cell); latency
+                         percentiles (p50_us/p99_us/p999_us), throughput
+                         and backpressure_stalls ungated (load-dependent)
 
 stdlib only; runs anywhere python3 does.
 """
@@ -51,7 +56,7 @@ import sys
 
 # Fields that identify a row within a "results" list, in identity order.
 ID_FIELDS = ("bench", "workload", "scheduler", "engine", "body", "strategy",
-             "workers", "mode", "name", "k", "batch")
+             "workers", "mode", "name", "k", "batch", "connections", "rate")
 
 # `window` covers the executor's adaptive dispatch-window controller
 # columns (window_adjusts/final_window) — the controller is fed by wall
