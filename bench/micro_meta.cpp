@@ -1,0 +1,563 @@
+// Memory-bounded meta-scheduler benchmark: Theorem 10 / Corollary 11 in
+// the simulator AND in the live engine (sched/meta.hpp, DESIGN.md §14).
+//
+// Simulator cells — the theorem's own construction (sim/meta.hpp):
+//   jobtrace#5 — benign layered trace; A (LogicBlox) stays within every
+//                budget, the meta makespan is min of the halves.
+//   staircase  — the Θ(m²) interval-index adversary; once ζ/2 drops below
+//                the quadratic index A is aborted and LevelBased finishes
+//                with all processors.
+//   hoard      — a fan-out of tasks each holding 64 KiB of live state
+//                (TaskInfo::resource_utility): the kill is triggered by the
+//                RUNNING tasks' accounted memory, not the scheduler index —
+//                the half of the footprint this PR's accounting plane adds.
+// Every cell HARD-GATES the theorem's bounds: makespan ≤ 2·min(T_A, T_LB)
+// (≤ 2·T_LB after an abort), the heuristic half's sampled peak ≤ ζ/2
+// whenever it survives, and the joint peak ≤ ζ whenever ζ honours the
+// Ω(V)-style precondition (here: ζ ≥ 2× the LevelBased reference peak).
+//
+// Live cells — the in-engine MetaScheduler driving real update cascades
+// through a service session, checksum-checked against a serial Database
+// replay (the same order-independence contract as micro_pipeline):
+//   meta/benign      — "meta(logicblox,64MiB)": A is never killed.
+//   meta/adversarial — "meta(logicblox,64)": ζ/2 = 32 bytes is below any
+//                      heuristic's Prepare-time index, so EVERY cascade
+//                      kills the heuristic lane (meta.kills == batches) and
+//                      the frontier migrates to LevelBased — the store must
+//                      still be checksum-identical to the serial replay.
+//   budget cells     — SessionOptions::memory_budget ceilings on hybrid and
+//                      meta sessions: the accounted peak must respect
+//                      max(budget, one oversized task) and the store must
+//                      match the serial replay.
+//
+// Timings are machine-dependent (CI ignores them); kills, checksums, rows
+// and the sim-side makespans/peaks are deterministic and gated against
+// BENCH_meta.json (tools/check_bench.py, ci.yml perf-gate).
+//
+// Usage: micro_meta [--out=BENCH_meta.json] [--scale=1.0] [--trace=out.json]
+#include <cstdint>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "datalog/database.hpp"
+#include "graph/digraph_builder.hpp"
+#include "obs/trace_session.hpp"
+#include "sched/logicblox.hpp"
+#include "service/engine_host.hpp"
+#include "service/session.hpp"
+#include "sim/meta.hpp"
+#include "trace/generators.hpp"
+#include "trace/table_traces.hpp"
+#include "util/rng.hpp"
+#include "util/timer.hpp"
+
+namespace dsched::bench {
+
+using datalog::Database;
+using datalog::RowView;
+using datalog::Tuple;
+using datalog::Value;
+
+constexpr std::size_t kProcessors = 8;
+
+// --- simulator side ---------------------------------------------------
+
+/// A fan-out whose memory pressure is live task state, not scheduler
+/// index: one dirty root feeding `width` unit tasks, each holding
+/// `utility_bytes` while running.  A half running w workers holds
+/// w·utility_bytes of accounted state the moment its admission round
+/// fills, so ζ/2 < (P/2)·utility_bytes kills A deterministically.
+trace::JobTrace MakeHoard(std::size_t width, std::uint64_t utility_bytes) {
+  graph::DigraphBuilder builder(1 + width);
+  for (std::size_t i = 0; i < width; ++i) {
+    builder.AddEdge(0, static_cast<util::TaskId>(1 + i));
+  }
+  std::vector<trace::TaskInfo> infos(1 + width);
+  infos[0].work = 0.01;
+  infos[0].span = 0.01;
+  for (std::size_t i = 0; i < width; ++i) {
+    infos[1 + i].work = 1.0;
+    infos[1 + i].span = 1.0;
+    infos[1 + i].resource_utility = utility_bytes;
+  }
+  return trace::JobTrace("hoard", std::move(builder).Build(), std::move(infos),
+                         {0});
+}
+
+struct SimCell {
+  std::string workload;
+  std::uint64_t zeta = 0;
+  bool aborted = false;
+  std::string winner;
+  double makespan = 0.0;
+  double t_heuristic = 0.0;   ///< T_A: LogicBlox on all P, no budget
+  double t_level_based = 0.0; ///< T_LB: LevelBased on all P, no budget
+  double bound_ratio = 0.0;   ///< makespan / theorem bound (gate: ≤ 1)
+  std::uint64_t peak_memory = 0;       ///< joint footprint of the halves
+  std::uint64_t heuristic_peak = 0;    ///< A's half (≤ ζ/2 unless aborted)
+  std::uint64_t level_based_peak = 0;
+};
+
+SimCell RunSimCell(const trace::JobTrace& jt, std::uint64_t zeta,
+                   const sim::SimResult& ref_a, const sim::SimResult& ref_lb,
+                   int* failures) {
+  SimCell cell;
+  cell.workload = jt.Name();
+  cell.zeta = zeta;
+  cell.t_heuristic = ref_a.makespan;
+  cell.t_level_based = ref_lb.makespan;
+
+  sim::MetaConfig config;
+  config.processors = kProcessors;
+  config.model = sim::ExecutionModel::kSequential;
+  config.memory_budget_bytes = zeta;
+  const sim::MetaResult meta = sim::RunMeta(
+      jt,
+      [] {
+        return std::unique_ptr<sched::Scheduler>(
+            std::make_unique<sched::LogicBloxScheduler>());
+      },
+      config);
+  cell.aborted = meta.heuristic_aborted;
+  cell.winner = meta.winner;
+  cell.makespan = meta.makespan;
+  cell.peak_memory = meta.peak_memory_bytes;
+  cell.heuristic_peak = meta.heuristic_half.peak_memory_bytes;
+  cell.level_based_peak = meta.level_based_half.peak_memory_bytes;
+
+  // Theorem 10: makespan ≤ 2·min(T_A, T_LB); after an abort the A term
+  // drops and the guarantee degrades to ≤ 2·T_LB.
+  const double bound = cell.aborted
+                           ? 2.0 * ref_lb.makespan
+                           : 2.0 * std::min(ref_a.makespan, ref_lb.makespan);
+  cell.bound_ratio = bound > 0.0 ? cell.makespan / bound : 0.0;
+  if (cell.bound_ratio > 1.0 + 1e-9) {
+    std::fprintf(stderr,
+                 "FAIL sim %s zeta=%llu: makespan %.4f exceeds the Theorem-10 "
+                 "bound %.4f (ratio %.3f)\n",
+                 cell.workload.c_str(), static_cast<unsigned long long>(zeta),
+                 cell.makespan, bound, cell.bound_ratio);
+    ++*failures;
+  }
+  // A surviving half never sampled a footprint above ζ/2 — that IS the
+  // kill rule; gate the plumbing end to end.
+  if (!cell.aborted && cell.heuristic_peak > zeta / 2) {
+    std::fprintf(stderr,
+                 "FAIL sim %s zeta=%llu: surviving heuristic half peaked at "
+                 "%llu bytes > zeta/2 = %llu\n",
+                 cell.workload.c_str(), static_cast<unsigned long long>(zeta),
+                 static_cast<unsigned long long>(cell.heuristic_peak),
+                 static_cast<unsigned long long>(zeta / 2));
+    ++*failures;
+  }
+  if (cell.aborted && cell.winner != ref_lb.scheduler_name) {
+    std::fprintf(stderr, "FAIL sim %s zeta=%llu: aborted but winner is %s\n",
+                 cell.workload.c_str(), static_cast<unsigned long long>(zeta),
+                 cell.winner.c_str());
+    ++*failures;
+  }
+  // Corollary 11's O(ζ) memory needs ζ = Ω(V); with ζ at least twice the
+  // LevelBased reference footprint the surviving footprint must stay under
+  // ζ.  An aborted half's recorded peak is its detection sample (the sim
+  // only sees the over-budget index after Prepare builds it in one step);
+  // the kill frees that memory, so the post-abort footprint is the
+  // LevelBased half alone.
+  if (zeta >= 2 * ref_lb.peak_memory_bytes) {
+    const std::uint64_t surviving =
+        cell.aborted ? cell.level_based_peak : cell.peak_memory;
+    if (surviving > zeta) {
+      std::fprintf(
+          stderr, "FAIL sim %s zeta=%llu: peak %llu bytes exceeds zeta\n",
+          cell.workload.c_str(), static_cast<unsigned long long>(zeta),
+          static_cast<unsigned long long>(surviving));
+      ++*failures;
+    }
+  }
+  return cell;
+}
+
+// --- live side --------------------------------------------------------
+
+constexpr const char* kFanoutProgram = R"(
+  a1(X) :- base(X).  b1(X) :- base(X).  c1(X) :- base(X).  d1(X) :- base(X).
+  a2(X) :- a1(X).    b2(X) :- b1(X).    c2(X) :- c1(X).    d2(X) :- d1(X).
+  a3(X) :- a2(X).    b3(X) :- b2(X).    c3(X) :- c2(X).    d3(X) :- d2(X).
+)";
+
+/// One pre-generated base change; keys are never reused (deletes target
+/// distinct seed keys, inserts mint fresh ones) so any batching nets out
+/// to the same final store.
+struct Op {
+  bool insert = false;
+  std::int64_t key = 0;
+};
+
+struct Workload {
+  std::vector<std::int64_t> base;
+  std::vector<Op> ops;
+};
+
+Workload MakeLiveWorkload(double scale, std::size_t total_ops) {
+  Workload w;
+  const auto n = static_cast<std::int64_t>(1500.0 * scale);
+  for (std::int64_t i = 0; i < n; ++i) {
+    w.base.push_back(i);
+  }
+  util::Rng rng(0x3e7au);
+  std::int64_t next_del = 0;
+  std::int64_t next_ins = n;
+  for (std::size_t i = 0; i < total_ops; ++i) {
+    if (rng.NextBool(0.3) && next_del < n) {
+      w.ops.push_back({.insert = false, .key = next_del++});
+    } else {
+      w.ops.push_back({.insert = true, .key = next_ins++});
+    }
+  }
+  return w;
+}
+
+std::uint64_t Checksum(const datalog::RelationStore& store) {
+  std::uint64_t sum = 0;
+  for (std::size_t p = 0; p < store.NumRelations(); ++p) {
+    const auto pred = static_cast<std::uint32_t>(p);
+    store.Of(pred).ForEachRow([&sum, pred](std::uint32_t, RowView row) {
+      std::uint64_t h = pred + 1;
+      for (const Value& v : row) {
+        h = h * 0x100000001b3ULL + v.Bits();
+      }
+      sum += h;
+    });
+  }
+  return sum;
+}
+
+std::uint64_t RowsTotal(const datalog::RelationStore& store) {
+  std::uint64_t rows = 0;
+  for (std::size_t p = 0; p < store.NumRelations(); ++p) {
+    rows += store.Of(static_cast<std::uint32_t>(p)).Size();
+  }
+  return rows;
+}
+
+datalog::UpdateRequest ChunkToRequest(const Database& db, const Workload& w,
+                                      std::size_t begin, std::size_t end) {
+  datalog::UpdateRequest request;
+  const std::uint32_t pred = db.GetProgram().PredicateId("base");
+  for (std::size_t i = begin; i < end; ++i) {
+    const Op& op = w.ops[i];
+    Tuple row = {Value::Int(op.key)};
+    if (op.insert) {
+      request.insertions.emplace_back(pred, std::move(row));
+    } else {
+      request.deletions.emplace_back(pred, std::move(row));
+    }
+  }
+  return request;
+}
+
+std::uint64_t SerialChecksum(const Workload& w, std::size_t batch_size) {
+  Database db(kFanoutProgram);
+  for (const std::int64_t key : w.base) {
+    db.Insert("base", {Value::Int(key)});
+  }
+  db.Materialize();
+  for (std::size_t begin = 0; begin < w.ops.size(); begin += batch_size) {
+    (void)db.ApplyRequest(ChunkToRequest(
+        db, w, begin, std::min(begin + batch_size, w.ops.size())));
+  }
+  return Checksum(db.Store());
+}
+
+struct LiveCell {
+  std::string name;       ///< cell label (identity in the results list)
+  std::string scheduler;  ///< session scheduler spec
+  std::uint64_t budget = 0;  ///< SessionOptions::memory_budget
+  std::size_t k = 1;
+  std::uint64_t batches = 0;
+  std::uint64_t kills = 0;  ///< meta.kill firings across all cascades
+  std::uint64_t checksum = 0;
+  std::uint64_t rows = 0;
+  std::uint64_t mem_peak = 0;
+  std::uint64_t mem_acquired = 0;
+  std::uint64_t mem_deferred = 0;
+  std::uint64_t mem_stalls = 0;
+  std::uint64_t mem_forced = 0;
+  double seconds = 0.0;
+};
+
+LiveCell RunLiveCell(const Workload& w, const std::string& label,
+                     const std::string& spec, std::uint64_t budget,
+                     std::size_t k, std::size_t batch_size,
+                     obs::TraceSession& trace_session) {
+  LiveCell cell;
+  cell.name = label;
+  cell.scheduler = spec;
+  cell.budget = budget;
+  cell.k = k;
+
+  const obs::AccumSnapshot before = trace_session.Snapshot();
+  service::EngineHost host({.workers = 4});
+  auto session = host.OpenSession(kFanoutProgram, {.name = "bench",
+                                                  .scheduler_spec = spec,
+                                                  .queue_capacity = 256,
+                                                  .pipeline_depth = k,
+                                                  .memory_budget = budget});
+  for (const std::int64_t key : w.base) {
+    session->Insert("base", {Value::Int(key)});
+  }
+  session->Materialize();
+
+  util::WallTimer timer;
+  std::vector<std::future<service::UpdateOutcome>> futures;
+  for (std::size_t begin = 0; begin < w.ops.size(); begin += batch_size) {
+    futures.push_back(session->Submit(ChunkToRequest(
+        session->Db(), w, begin, std::min(begin + batch_size, w.ops.size()))));
+    ++cell.batches;
+  }
+  for (auto& future : futures) {
+    (void)future.get();
+  }
+  cell.seconds = timer.ElapsedSeconds();
+  session->Close();
+
+  cell.checksum = Checksum(session->Store());
+  cell.rows = RowsTotal(session->Store());
+  const auto& metrics = host.Metrics();
+  cell.mem_peak = metrics.Value("session.bench.mem.peak_bytes");
+  cell.mem_acquired = metrics.Value("session.bench.mem.acquired_bytes");
+  cell.mem_deferred = metrics.Value("session.bench.mem.deferred");
+  cell.mem_stalls = metrics.Value("session.bench.mem.budget_stalls");
+  cell.mem_forced = metrics.Value("session.bench.mem.forced");
+  const obs::AccumSnapshot after = trace_session.Snapshot();
+  cell.kills =
+      obs::SnapshotDelta(before, after)[static_cast<std::size_t>(
+                                            obs::Category::kMetaKill)]
+          .value;
+  return cell;
+}
+
+}  // namespace dsched::bench
+
+int main(int argc, char** argv) {
+  using namespace dsched;
+  using namespace dsched::bench;
+  MicroBenchArgs args;
+  args.out = "BENCH_meta.json";
+  if (!ParseMicroBenchArgs(argc, argv, &args)) {
+    return 2;
+  }
+  // One session for the whole run: per-cell snapshot deltas count the
+  // meta.kill firings, and --trace gets the full Chrome export.
+  obs::TraceSession trace_session;
+  trace_session.Install();
+
+  int failures = 0;
+
+  // --- simulator cells ------------------------------------------------
+  struct SimCase {
+    trace::JobTrace jt;
+    std::vector<std::uint64_t> zetas;
+  };
+  std::vector<SimCase> sim_cases;
+  sim_cases.push_back({trace::MakeTableTrace(5, 1.0),
+                       {std::uint64_t{64} << 20, std::uint64_t{1} << 20}});
+  sim_cases.push_back({trace::MakeIntervalAdversarial(1024),
+                       {std::uint64_t{256} << 20, std::uint64_t{1} << 20}});
+  sim_cases.push_back({MakeHoard(32, std::uint64_t{64} << 10),
+                       {std::uint64_t{64} << 20, std::uint64_t{256} << 10}});
+
+  std::vector<SimCell> sim_cells;
+  for (const SimCase& c : sim_cases) {
+    const sim::SimResult ref_a = RunSpec(c.jt, "logicblox", kProcessors);
+    const sim::SimResult ref_lb = RunSpec(c.jt, "levelbased", kProcessors);
+    for (const std::uint64_t zeta : c.zetas) {
+      SimCell cell = RunSimCell(c.jt, zeta, ref_a, ref_lb, &failures);
+      std::printf(
+          "sim  %-18s zeta=%-10llu %-7s winner=%-28s makespan %8.3f  "
+          "bound-ratio %.3f  peak %llu B (A half %llu B)\n",
+          cell.workload.c_str(), static_cast<unsigned long long>(cell.zeta),
+          cell.aborted ? "ABORT" : "ok", cell.winner.c_str(), cell.makespan,
+          cell.bound_ratio, static_cast<unsigned long long>(cell.peak_memory),
+          static_cast<unsigned long long>(cell.heuristic_peak));
+      sim_cells.push_back(std::move(cell));
+    }
+  }
+  // The sweep must exercise both arms of the kill rule.
+  {
+    int aborted = 0;
+    for (const SimCell& c : sim_cells) {
+      aborted += c.aborted ? 1 : 0;
+    }
+    if (aborted == 0 || aborted == static_cast<int>(sim_cells.size())) {
+      std::fprintf(stderr,
+                   "FAIL sim sweep: %d/%zu cells aborted — need both benign "
+                   "and adversarial coverage\n",
+                   aborted, sim_cells.size());
+      ++failures;
+    }
+  }
+
+  // --- live cells -----------------------------------------------------
+  constexpr std::size_t kBatch = 64;
+  const Workload live = MakeLiveWorkload(
+      args.scale, static_cast<std::size_t>(768 * args.scale));
+  const std::uint64_t expected = SerialChecksum(live, kBatch);
+
+  struct LiveCase {
+    const char* label;
+    const char* spec;
+    std::uint64_t budget;
+    std::size_t k;
+  };
+  // "meta(logicblox,64)" is the adversarial cell: ζ/2 = 32 bytes is below
+  // any heuristic's Prepare-time index footprint, so each cascade kills
+  // its heuristic lane immediately and finishes on LevelBased alone —
+  // kills == batches, deterministically.
+  const LiveCase live_cases[] = {
+      {"meta_benign", "meta(logicblox,67108864)", 0, 1},
+      {"meta_adversarial", "meta(logicblox,64)", 0, 1},
+      {"hybrid_budget", "hybrid", 4096, 2},
+      {"meta_budget", "meta(logicblox,67108864)", 4096, 1},
+  };
+  std::vector<LiveCell> live_cells;
+  for (const LiveCase& c : live_cases) {
+    LiveCell cell = RunLiveCell(live, c.label, c.spec, c.budget, c.k, kBatch,
+                                trace_session);
+    std::printf(
+        "live %-16s %-26s budget=%-6llu k%zu  %llu batches  %llu kills  "
+        "peak %llu B  deferred %llu  %s\n",
+        cell.name.c_str(), cell.scheduler.c_str(),
+        static_cast<unsigned long long>(cell.budget), cell.k,
+        static_cast<unsigned long long>(cell.batches),
+        static_cast<unsigned long long>(cell.kills),
+        static_cast<unsigned long long>(cell.mem_peak),
+        static_cast<unsigned long long>(cell.mem_deferred),
+        util::FormatSeconds(cell.seconds).c_str());
+    if (cell.checksum != expected) {
+      std::fprintf(stderr,
+                   "FAIL live %s: checksum %llu != serial %llu — cascade "
+                   "diverged from the serial replay\n",
+                   cell.name.c_str(),
+                   static_cast<unsigned long long>(cell.checksum),
+                   static_cast<unsigned long long>(expected));
+      ++failures;
+    }
+    if (cell.name == "meta_adversarial" && cell.kills < 1) {
+      std::fprintf(stderr,
+                   "FAIL live %s: expected >= 1 meta.kill firing, saw %llu\n",
+                   cell.name.c_str(),
+                   static_cast<unsigned long long>(cell.kills));
+      ++failures;
+    }
+    if (cell.name == "meta_benign" && cell.kills != 0) {
+      std::fprintf(stderr,
+                   "FAIL live %s: benign budget killed the heuristic %llu "
+                   "time(s)\n",
+                   cell.name.c_str(),
+                   static_cast<unsigned long long>(cell.kills));
+      ++failures;
+    }
+    // The ceiling contract: accounted peak stays under the budget unless
+    // a single oversized task forced the documented escape hatch.
+    if (cell.budget != 0 && cell.mem_forced == 0 &&
+        cell.mem_peak > cell.budget) {
+      std::fprintf(stderr,
+                   "FAIL live %s: accounted peak %llu bytes exceeds the "
+                   "%llu-byte session budget without a forced dispatch\n",
+                   cell.name.c_str(),
+                   static_cast<unsigned long long>(cell.mem_peak),
+                   static_cast<unsigned long long>(cell.budget));
+      ++failures;
+    }
+    live_cells.push_back(std::move(cell));
+  }
+  if (failures > 0) {
+    return 1;
+  }
+
+  // --- emission ---------------------------------------------------------
+  std::string json = "{\n  \"bench\": \"micro_meta\",\n  \"scale\": " +
+                     std::to_string(args.scale) + ",\n  \"results\": [\n";
+  for (std::size_t i = 0; i < sim_cells.size(); ++i) {
+    const SimCell& c = sim_cells[i];
+    char line[512];
+    std::snprintf(
+        line, sizeof line,
+        "    {\"mode\": \"sim\", \"workload\": \"%s\", \"zeta\": %llu, "
+        "\"aborted\": %s, \"winner\": \"%s\", \"makespan\": %.6f, "
+        "\"t_heuristic\": %.6f, \"t_level_based\": %.6f, "
+        "\"bound_ratio\": %.4f, \"peak_memory_bytes\": %llu, "
+        "\"heuristic_peak_bytes\": %llu, \"level_based_peak_bytes\": %llu},\n",
+        c.workload.c_str(), static_cast<unsigned long long>(c.zeta),
+        c.aborted ? "true" : "false", c.winner.c_str(), c.makespan,
+        c.t_heuristic, c.t_level_based, c.bound_ratio,
+        static_cast<unsigned long long>(c.peak_memory),
+        static_cast<unsigned long long>(c.heuristic_peak),
+        static_cast<unsigned long long>(c.level_based_peak));
+    json += line;
+  }
+  for (std::size_t i = 0; i < live_cells.size(); ++i) {
+    const LiveCell& c = live_cells[i];
+    char line[512];
+    std::snprintf(
+        line, sizeof line,
+        "    {\"mode\": \"live\", \"name\": \"%s\", \"scheduler\": \"%s\", "
+        "\"budget\": %llu, \"k\": %zu, \"batches\": %llu, \"kills\": %llu, "
+        "\"checksum\": %llu, \"rows\": %llu, \"mem_peak_bytes\": %llu, "
+        "\"mem_deferred\": %llu, \"mem_budget_stalls\": %llu, "
+        "\"mem_forced\": %llu, \"seconds\": %.6f}%s\n",
+        c.name.c_str(), c.scheduler.c_str(),
+        static_cast<unsigned long long>(c.budget), c.k,
+        static_cast<unsigned long long>(c.batches),
+        static_cast<unsigned long long>(c.kills),
+        static_cast<unsigned long long>(c.checksum),
+        static_cast<unsigned long long>(c.rows),
+        static_cast<unsigned long long>(c.mem_peak),
+        static_cast<unsigned long long>(c.mem_deferred),
+        static_cast<unsigned long long>(c.mem_stalls),
+        static_cast<unsigned long long>(c.mem_forced), c.seconds,
+        i + 1 < live_cells.size() ? "," : "");
+    json += line;
+  }
+  json += "  ]\n}\n";
+  if (!WriteBenchFile(args.out, json)) {
+    return 1;
+  }
+  std::printf("wrote %s\n", args.out.c_str());
+
+  obs::MetricsRegistry metrics;
+  for (const SimCell& c : sim_cells) {
+    const std::string key =
+        "micro_meta.sim." + c.workload + ".z" + std::to_string(c.zeta) + ".";
+    metrics.Set(key + "aborted", c.aborted ? 1 : 0);
+    metrics.Set(key + "makespan_us",
+                static_cast<std::uint64_t>(c.makespan * 1e6));
+    metrics.Set(key + "bound_ratio_x1000",
+                static_cast<std::uint64_t>(c.bound_ratio * 1000.0));
+    metrics.Set(key + "peak_memory_bytes", c.peak_memory);
+  }
+  for (const LiveCell& c : live_cells) {
+    const std::string key = "micro_meta.live." + c.name + ".";
+    metrics.Set(key + "kills", c.kills);
+    metrics.Set(key + "checksum", c.checksum);
+    metrics.Set(key + "rows", c.rows);
+    metrics.Set(key + "mem_peak_bytes", c.mem_peak);
+    metrics.Set(key + "mem_deferred", c.mem_deferred);
+    metrics.Set(key + "seconds_ns", static_cast<std::uint64_t>(c.seconds * 1e9));
+  }
+  PrintMetrics(metrics);
+
+  trace_session.Uninstall();
+  if (!args.trace.empty()) {
+    if (!trace_session.WriteChromeJson(args.trace)) {
+      std::fprintf(stderr, "failed to write trace to %s\n", args.trace.c_str());
+      return 1;
+    }
+    std::printf("\ntrace written to %s\n%s", args.trace.c_str(),
+                trace_session.SummaryText().c_str());
+  }
+  return 0;
+}

@@ -178,6 +178,8 @@ ParallelUpdateResult Database::ApplyRequestParallel(
   parallel_options.frontier = options.frontier;
   parallel_options.epoch = options.epoch;
   parallel_options.plan = &plan_;
+  parallel_options.memory_budget = options.memory_budget;
+  parallel_options.account = options.account;
   return ::dsched::datalog::ApplyParallel(program_, strat_, store_, request,
                                           parallel_options);
 }

@@ -102,6 +102,11 @@ class Database {
     /// pipeline-eligible when epochs overlap.
     runtime::StratumFrontier* frontier = nullptr;
     std::uint64_t epoch = 0;
+    /// Live-resource ceiling over the cascade's accounted task utilities
+    /// (0 = account only) and the optionally shared account it meters
+    /// (see parallel_update.hpp / runtime/executor.hpp).
+    std::uint64_t memory_budget = 0;
+    runtime::ResourceAccount* account = nullptr;
   };
   UpdateResult ApplyParallel(const Update& update,
                              const ParallelOptions& options);

@@ -78,6 +78,33 @@ ParallelUpdateResult ApplyParallel(const Program& program,
                         : component_node[c]);
   }
 
+  // --- Per-task resource utility, the accounting plane's estimate: each
+  // phase-running node carries sum over its component's member predicates
+  // of arity x estimated delta cardinality x sizeof(Value).  Base-touched
+  // members use the exact batch counts; derived members estimate an
+  // eighth of their current materialisation (floor 1 row) — the executor
+  // acquires this on dispatch and releases it on completion, which is
+  // what session memory ceilings and the meta-scheduler's kill rule
+  // meter.  Derived-predicate collectors only forward a flag, so they
+  // stay at zero.
+  const auto estimated_delta = [&](std::uint32_t p) -> std::uint64_t {
+    const std::uint64_t touched = static_cast<std::uint64_t>(
+        base.insertions[p].size() + base.deletions[p].size());
+    return touched != 0 ? touched : 1 + store.Of(p).Size() / 8;
+  };
+  for (std::uint32_t c = 0; c < num_comps; ++c) {
+    std::uint64_t bytes = 0;
+    for (const std::uint32_t p : strat.component_members[c]) {
+      bytes += static_cast<std::uint64_t>(program.predicate_arities[p]) *
+               estimated_delta(p) * sizeof(Value);
+    }
+    const util::TaskId node =
+        component_node[c] != util::kInvalidTask
+            ? component_node[c]
+            : static_cast<util::TaskId>(strat.component_members[c].front());
+    infos[node].resource_utility = bytes;
+  }
+
   ParallelUpdateResult result;
   result.trace = trace::JobTrace("parallel-update", std::move(builder).Build(),
                                  std::move(infos), std::move(dirty));
@@ -188,10 +215,15 @@ ParallelUpdateResult ApplyParallel(const Program& program,
   result.run =
       options.router != nullptr
           ? runtime::Executor::RunOn(*options.router, result.trace, *scheduler,
-                                     task_body, {.gate = gate_ptr})
+                                     task_body,
+                                     {.gate = gate_ptr,
+                                      .memory_budget = options.memory_budget,
+                                      .account = options.account})
           : runtime::Executor::Run(result.trace, *scheduler, task_body,
                                    {.workers = options.workers,
-                                    .gate = gate_ptr});
+                                    .gate = gate_ptr,
+                                    .memory_budget = options.memory_budget,
+                                    .account = options.account});
 
   if (options.strategy == MaintenanceStrategy::kCounting) {
     SealCountingState(store, *maint_state);

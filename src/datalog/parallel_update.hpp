@@ -66,6 +66,15 @@ struct ParallelUpdateOptions {
   std::uint64_t epoch = 0;
   /// Levels + fences for the program (Database::Plan() caches one).
   const PipelinePlan* plan = nullptr;
+
+  // --- resource accounting (runtime/executor.hpp) ----------------------
+  /// Live-resource ceiling for this update's accounted task utilities;
+  /// 0 = account but never gate.  Exhaustion defers dispatch at the
+  /// coordinator (backpressure), never fails the update.
+  std::uint64_t memory_budget = 0;
+  /// Account shared across this session's pipelined cascades so one
+  /// ceiling covers all in-flight epochs; null = per-update account.
+  runtime::ResourceAccount* account = nullptr;
 };
 
 /// Result of a parallel update.

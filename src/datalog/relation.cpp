@@ -620,8 +620,12 @@ RelationStore::CacheEntry* RelationStore::FindEntry(
 
 bool RelationStore::IsFresh(const CachedIndex& cached,
                             const Relation& relation) {
-  if (cached.subs.size() != relation.NumShards() ||
-      cached.seen_version == nullptr) {
+  // Pairs with the release store at the end of RefreshIndex's init branch:
+  // a reader that observes the published shard count also observes the
+  // subs vector and the seen_version array it guards, so the stamp probe
+  // below never touches an entry that is still being initialized.
+  if (cached.ready_shards.load(std::memory_order_acquire) !=
+      relation.NumShards()) {
     return false;
   }
   for (std::size_t s = 0; s < relation.NumShards(); ++s) {
@@ -648,6 +652,7 @@ void RelationStore::RefreshIndex(
     cached.seen_epoch.assign(num_shards, ~std::uint64_t{0});
     cached.rows_indexed.assign(num_shards, 0);
     cached.total_groups = 0;
+    cached.ready_shards.store(num_shards, std::memory_order_release);
   }
 
   bool rebuild = false;

@@ -506,6 +506,13 @@ class RelationStore {
       std::vector<Group> groups;
     };
     std::vector<Sub> subs;  ///< size = relation shard count
+    /// Shard count the entry is initialized for; 0 until the first
+    /// RefreshIndex finishes the init branch.  The lock-free fast path
+    /// gates on this (acquire) instead of reading subs.size() / the
+    /// seen_version pointer directly — entries are pushed onto the cache
+    /// list before they are initialized, so those members may still be
+    /// under construction when a reader first walks to the entry.
+    std::atomic<std::size_t> ready_shards{0};
     /// Per relation shard: version stamp the index reflects.  Written with
     /// release after a refresh, read with acquire by the lock-free fast
     /// path; ~0 = never refreshed.

@@ -106,10 +106,18 @@ void ServiceServer::Stop() {
   stop_.store(true, std::memory_order_release);
   Wake();
   poll_thread_.join();
-  // Poll thread is gone: conns_ is ours now.  Connections drop without a
-  // goodbye (clients see EOF); sessions still drain below.
+  // Poll thread is gone: conns_ is ours now.  Say goodbye before hanging
+  // up: every live connection gets a best-effort SHUTDOWN error frame, so
+  // clients can tell an orderly stop from a dropped peer instead of a
+  // bare EOF.  In-flight requests those clients are still waiting on are
+  // covered by the same frame (request_id 0 = connection-scoped).
+  const std::string goodbye = EncodeError(
+      ErrorResponse{0, ErrorCode::kShutdown, "server stopping"});
   for (auto& [id, conn] : conns_) {
-    if (conn.fd >= 0) {
+    if (conn.fd >= 0 && !conn.dead) {
+      SendFrame(conn, goodbye);
+      CloseConnection(conn);  // flushes anything the eager send left over
+    } else if (conn.fd >= 0) {
       ::close(conn.fd);
     }
   }

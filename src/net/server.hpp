@@ -80,8 +80,11 @@ class ServiceServer {
   /// socket cannot be bound.  Call once.
   void Start();
 
-  /// Idempotent.  After return: no thread is running, every fd is closed,
-  /// every session opened through this server is Close()d (drained).
+  /// Idempotent.  Every live connection is sent a best-effort SHUTDOWN
+  /// error frame (request_id 0) before its socket closes, so clients can
+  /// tell an orderly stop from a dropped peer.  After return: no thread
+  /// is running, every fd is closed, every session opened through this
+  /// server is Close()d (drained).
   void Stop();
 
   /// The bound port (resolves option port 0 to the kernel's pick).  Only

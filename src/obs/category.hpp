@@ -26,6 +26,7 @@ enum class Category : std::uint8_t {
   kSchedPopSignal,
   kSchedPopOracle,
   kSchedPopHybrid,
+  kSchedPopMeta,
 
   // Executor coordinator path (runtime/executor.cpp).
   kExecDispatch,  ///< PopReadyBatch + SubmitBatch loop, per batch round
@@ -55,6 +56,14 @@ enum class Category : std::uint8_t {
   // Epoch pipelining (runtime/pipeline.hpp, runtime/executor.cpp).
   kPipelineStall,     ///< scope: coordinator blocked on epoch-1's frontier
   kPipelineFinalize,  ///< counter: frontier level-prefix publications
+
+  // Per-task resource accounting plane (runtime/executor.cpp).
+  kMemAcquire,   ///< counter: resource_utility bytes acquired on dispatch
+  kMemRelease,   ///< counter: resource_utility bytes released on completion
+  kMemDeferred,  ///< counter: dispatches deferred by the memory budget gate
+
+  // Memory-bounded meta-scheduler (sched/meta.cpp).
+  kMetaKill,     ///< counter: zeta/2 kill-rule firings (heuristic torn down)
 
   // Networked frontend (net/server.cpp) — the poll thread's two halves.
   kNetRead,          ///< scope: drain readable sockets + decode/dispatch

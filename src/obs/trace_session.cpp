@@ -80,6 +80,8 @@ const char* CategoryName(Category category) {
       return "sched.pop.oracle";
     case Category::kSchedPopHybrid:
       return "sched.pop.hybrid";
+    case Category::kSchedPopMeta:
+      return "sched.pop.meta";
     case Category::kExecDispatch:
       return "exec.dispatch";
     case Category::kExecDrain:
@@ -114,6 +116,14 @@ const char* CategoryName(Category category) {
       return "pipeline.stall";
     case Category::kPipelineFinalize:
       return "pipeline.finalize";
+    case Category::kMemAcquire:
+      return "mem.acquire";
+    case Category::kMemRelease:
+      return "mem.release";
+    case Category::kMemDeferred:
+      return "mem.deferred";
+    case Category::kMetaKill:
+      return "meta.kill";
     case Category::kNetRead:
       return "net.read";
     case Category::kNetWrite:
@@ -139,6 +149,7 @@ const char* CategoryGroup(Category category) {
     case Category::kSchedPopSignal:
     case Category::kSchedPopOracle:
     case Category::kSchedPopHybrid:
+    case Category::kSchedPopMeta:
       return "sched";
     case Category::kExecDispatch:
     case Category::kExecDrain:
@@ -163,6 +174,12 @@ const char* CategoryGroup(Category category) {
     case Category::kPipelineStall:
     case Category::kPipelineFinalize:
       return "pipeline";
+    case Category::kMemAcquire:
+    case Category::kMemRelease:
+    case Category::kMemDeferred:
+      return "mem";
+    case Category::kMetaKill:
+      return "meta";
     case Category::kNetRead:
     case Category::kNetWrite:
     case Category::kNetFrameIn:
@@ -184,6 +201,10 @@ bool IsCounterCategory(Category category) {
          category == Category::kMaintRecount ||
          category == Category::kMaintBackwardProbe ||
          category == Category::kPipelineFinalize ||
+         category == Category::kMemAcquire ||
+         category == Category::kMemRelease ||
+         category == Category::kMemDeferred ||
+         category == Category::kMetaKill ||
          category == Category::kNetFrameIn ||
          category == Category::kNetFrameOut ||
          category == Category::kNetBackpressure;

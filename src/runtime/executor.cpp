@@ -96,6 +96,19 @@ Executor::RunStats RunCascade(const trace::JobTrace& trace,
 
   scheduler.Prepare({&trace, num_workers});
 
+  // Resource accounting plane: acquire each task's resource_utility on
+  // dispatch, release it when the completion drains.  The account is
+  // normally private to this cascade; a session's pipelined epochs pass a
+  // shared one so their joint footprint honours one ceiling.
+  ResourceAccount local_account;
+  ResourceAccount* const account =
+      options.account != nullptr ? options.account : &local_account;
+  const std::uint64_t budget = options.memory_budget;
+  // Releases must wake sibling coordinators only when a gate exists and
+  // the account is actually shared (our own thread can never be waiting
+  // while it drains).
+  const bool notify_on_release = budget != 0 && options.account != nullptr;
+
   // Epoch pipelining state.  `outstanding[l]` counts activated-but-
   // uncompleted tasks at dependency level l; the finalized prefix can only
   // grow because activation never flows to a lower level (a task activates
@@ -146,14 +159,86 @@ Executor::RunStats RunCascade(const trace::JobTrace& trace,
   /// arrive for them until released, and the starvation branch below must
   /// see through them.
   std::vector<TaskId> held;
+  /// Popped and fence-cleared but refused by the budget gate; FIFO, and
+  /// the head blocks the rest so a large task cannot be starved.
+  std::vector<TaskId> budget_held;
+  std::vector<TaskId> admitted;  ///< budget-cleared slice, dispatch scratch
   std::vector<Completion> drained;
   drained.reserve(2 * window);
 
-  const auto dispatch = [&](std::span<const TaskId> tasks) {
+  const auto submit_batch = [&](std::span<const TaskId> tasks) {
     inflight += tasks.size();
     stats.inflight_high_water =
         std::max<std::uint64_t>(stats.inflight_high_water, inflight);
     submit(tasks);
+  };
+  const auto account_task = [&](std::uint64_t utility, std::uint64_t level) {
+    stats.mem_acquired_bytes += utility;
+    stats.mem_peak_bytes = std::max(stats.mem_peak_bytes, level);
+    OBS_COUNTER(Category::kMemAcquire, utility);
+  };
+  /// Runs `tasks` through the budget gate: admitted ones acquire their
+  /// utility and go to the pool, the rest park in budget_held.
+  const auto dispatch = [&](std::span<const TaskId> tasks) {
+    if (budget == 0) {
+      for (const TaskId t : tasks) {
+        const std::uint64_t u = trace.Info(t).resource_utility;
+        if (u != 0) {
+          account_task(u, account->Acquire(u));
+        }
+      }
+      submit_batch(tasks);
+      return;
+    }
+    admitted.clear();
+    for (const TaskId t : tasks) {
+      const std::uint64_t u = trace.Info(t).resource_utility;
+      if (u != 0) {
+        // Zero-utility tasks always pass (they cannot move the account);
+        // accounted ones queue behind any earlier deferral.
+        const std::uint64_t level =
+            budget_held.empty() ? account->TryAcquire(u, budget) : 0;
+        if (level == 0) {
+          budget_held.push_back(t);
+          ++stats.mem_deferred;
+          OBS_COUNTER(Category::kMemDeferred, 1);
+          continue;
+        }
+        account_task(u, level);
+      }
+      admitted.push_back(t);
+    }
+    if (!admitted.empty()) {
+      submit_batch(admitted);
+    }
+  };
+  /// Re-admits parked tasks in FIFO order, stopping at the first that
+  /// still does not fit.
+  const auto release_budget_held = [&] {
+    if (budget_held.empty()) {
+      return;
+    }
+    admitted.clear();
+    std::size_t taken = 0;
+    while (taken < budget_held.size()) {
+      const TaskId t = budget_held[taken];
+      const std::uint64_t u = trace.Info(t).resource_utility;
+      if (u != 0) {
+        const std::uint64_t level = account->TryAcquire(u, budget);
+        if (level == 0) {
+          break;
+        }
+        account_task(u, level);
+      }
+      admitted.push_back(t);
+      ++taken;
+    }
+    if (taken > 0) {
+      budget_held.erase(budget_held.begin(),
+                        budget_held.begin() +
+                            static_cast<std::ptrdiff_t>(taken));
+      submit_batch(admitted);
+    }
   };
   /// Re-checks held tasks against the freshly read frontier.
   const auto release_held = [&] {
@@ -186,6 +271,7 @@ Executor::RunStats RunCascade(const trace::JobTrace& trace,
         prev_final = gate->frontier->FinalizedLevels(gate->epoch - 1);
         release_held();
       }
+      release_budget_held();
       for (;;) {
         batch.clear();
         std::size_t popped = 0;
@@ -225,6 +311,39 @@ Executor::RunStats RunCascade(const trace::JobTrace& trace,
     }
 
     if (inflight == 0) {
+      if (!budget_held.empty()) {
+        // Budget stall: nothing running here, so every byte we acquired
+        // has been released — any live bytes belong to sibling cascades
+        // on a shared account, and their coordinators will release and
+        // notify.  Block HERE (coordinator), never in a pool task body.
+        const std::uint64_t head_u =
+            trace.Info(budget_held.front()).resource_utility;
+        if (head_u > budget) {
+          // A lone task larger than the whole budget: admissible only
+          // from a fully idle account, so the ceiling stretches to at
+          // most this one task's utility.
+          const std::uint64_t level = account->TryAcquireSolo(head_u);
+          if (level != 0) {
+            const TaskId solo = budget_held.front();
+            budget_held.erase(budget_held.begin());
+            ++stats.mem_forced;
+            account_task(head_u, level);
+            submit_batch(std::span<const TaskId>(&solo, 1));
+            continue;
+          }
+        }
+        ++stats.mem_budget_stalls;
+        {
+          const util::StopwatchGuard stall_guard(idle_watch);
+          std::unique_lock<std::mutex> lock(account->mutex);
+          account->released.wait(lock, [&] {
+            const std::uint64_t live =
+                account->live.load(std::memory_order_relaxed);
+            return live + head_u <= budget || live == 0;
+          });
+        }
+        continue;  // next round re-runs release_budget_held
+      }
       if (!held.empty()) {
         // Frontier stall: nothing running, everything left is fenced on
         // the previous epoch.  Block HERE (coordinator), never in a pool
@@ -271,6 +390,11 @@ Executor::RunStats RunCascade(const trace::JobTrace& trace,
         --inflight;
         ++completed_count;
         ++stats.executed;
+        const std::uint64_t utility = trace.Info(c.task).resource_utility;
+        if (utility != 0) {
+          account->Release(utility, notify_on_release);
+          OBS_COUNTER(Category::kMemRelease, utility);
+        }
         if (c.changed) {
           for (const TaskId child : dag.OutNeighbors(c.task)) {
             activate(child);
@@ -428,6 +552,11 @@ void Executor::RunStats::ExportMetrics(obs::MetricsRegistry& registry,
                SecondsToNs(frontier_stall_seconds));
   registry.Max(prefix + "held_high_water", held_high_water);
   registry.Set(prefix + "levels_finalized", levels_finalized);
+  registry.Set(prefix + "mem_acquired_bytes", mem_acquired_bytes);
+  registry.Max(prefix + "mem_peak_bytes", mem_peak_bytes);
+  registry.Set(prefix + "mem_deferred", mem_deferred);
+  registry.Set(prefix + "mem_budget_stalls", mem_budget_stalls);
+  registry.Set(prefix + "mem_forced", mem_forced);
   registry.Set(prefix + "window_adjusts", window_adjusts);
   registry.Set(prefix + "final_dispatch_window", final_dispatch_window);
 }

@@ -17,8 +17,11 @@
 #pragma once
 
 #include <array>
+#include <atomic>
+#include <condition_variable>
 #include <cstdint>
 #include <functional>
+#include <mutex>
 #include <string>
 
 #include "obs/metrics.hpp"
@@ -31,6 +34,79 @@
 namespace dsched::runtime {
 
 using util::TaskId;
+
+/// The live-resource account of the executor's per-task accounting plane:
+/// bytes acquired when a task is dispatched (its TaskInfo::resource_utility
+/// estimate) and released when its completion drains.  A cascade with no
+/// Options::account uses a private one; a service session shares ONE
+/// account across its K pipelined epoch cascades so the session ceiling
+/// covers them together.  `live`/`peak` are atomics because sibling epoch
+/// coordinators acquire and release concurrently; `released` lets a
+/// cascade that ran completely dry under the budget gate block until a
+/// sibling's drain frees bytes (the releaser taps the mutex before
+/// notifying, so no wakeup is lost).
+struct ResourceAccount {
+  std::atomic<std::uint64_t> live{0};
+  std::atomic<std::uint64_t> peak{0};
+  std::mutex mutex;
+  std::condition_variable released;
+
+  /// Acquire `bytes` and fold the new level into `peak`; returns the live
+  /// level after the acquisition.
+  std::uint64_t Acquire(std::uint64_t bytes) {
+    const std::uint64_t now =
+        live.fetch_add(bytes, std::memory_order_relaxed) + bytes;
+    FoldPeak(now);
+    return now;
+  }
+
+  /// Budget-bounded acquire: succeeds only if the account stays at or
+  /// under `budget`.  CAS-looped so concurrent sibling coordinators can
+  /// never jointly overshoot the ceiling.  Returns the live level after a
+  /// successful acquisition, 0 on refusal.
+  std::uint64_t TryAcquire(std::uint64_t bytes, std::uint64_t budget) {
+    std::uint64_t cur = live.load(std::memory_order_relaxed);
+    do {
+      if (cur + bytes > budget) {
+        return 0;
+      }
+    } while (!live.compare_exchange_weak(cur, cur + bytes,
+                                         std::memory_order_relaxed));
+    const std::uint64_t now = cur + bytes;
+    FoldPeak(now);
+    return now;
+  }
+
+  /// Solo acquire for a task larger than the whole budget: only succeeds
+  /// from a completely idle account (0 -> bytes), so the ceiling is never
+  /// exceeded by more than one lone oversized task.
+  std::uint64_t TryAcquireSolo(std::uint64_t bytes) {
+    std::uint64_t expected = 0;
+    if (!live.compare_exchange_strong(expected, bytes,
+                                      std::memory_order_relaxed)) {
+      return 0;
+    }
+    FoldPeak(bytes);
+    return bytes;
+  }
+
+  /// Release `bytes` and wake any coordinator blocked on the budget gate.
+  void Release(std::uint64_t bytes, bool notify) {
+    live.fetch_sub(bytes, std::memory_order_relaxed);
+    if (notify) {
+      { const std::lock_guard<std::mutex> lock(mutex); }
+      released.notify_all();
+    }
+  }
+
+ private:
+  void FoldPeak(std::uint64_t now) {
+    std::uint64_t seen = peak.load(std::memory_order_relaxed);
+    while (now > seen &&
+           !peak.compare_exchange_weak(seen, now, std::memory_order_relaxed)) {
+    }
+  }
+};
 
 /// Executes the activation cascade of a trace with real task bodies.
 class Executor {
@@ -67,6 +143,20 @@ class Executor {
     /// advances, and this cascade publishes its own per-level finalization
     /// as tasks drain.  Null = unpipelined.
     const PipelineGate* gate = nullptr;
+    /// Live-resource ceiling in accounted bytes (0 = account only, never
+    /// gate).  A popped task whose resource_utility would push the account
+    /// over the budget is DEFERRED at the coordinator (like fence-held
+    /// tasks, it never blocks a pool worker) until enough bytes release.
+    /// Deferral is FIFO head-blocking, so a large task cannot be starved
+    /// by a stream of small ones.  Escape hatch: when the account is
+    /// completely idle (live == 0) a task larger than the whole budget
+    /// runs alone — the accounted ceiling is therefore
+    /// max(memory_budget, largest single utility), and exhaustion
+    /// manifests as a slower cascade (backpressure), never a failure.
+    std::uint64_t memory_budget = 0;
+    /// Account shared across cascades (a session's K pipelined epochs);
+    /// null = a private per-run account.
+    ResourceAccount* account = nullptr;
   };
 
   /// log2 buckets for the dispatch batch size histogram: bucket i counts
@@ -117,6 +207,19 @@ class Executor {
     /// Frontier levels this cascade published (== plan levels + the final
     /// all-done mark when gated).
     std::uint64_t levels_finalized = 0;
+
+    // --- resource accounting plane (all zero for utility-free traces) ---
+    /// Sum of resource_utility over dispatched tasks.
+    std::uint64_t mem_acquired_bytes = 0;
+    /// Highest live-account level this cascade observed (includes bytes
+    /// held by sibling cascades on a shared account).
+    std::uint64_t mem_peak_bytes = 0;
+    /// Dispatches parked by the budget gate.
+    std::uint64_t mem_deferred = 0;
+    /// Times the coordinator ran dry and blocked on a sibling's release.
+    std::uint64_t mem_budget_stalls = 0;
+    /// Over-budget solo dispatches (single task larger than the budget).
+    std::uint64_t mem_forced = 0;
 
     // --- adaptive dispatch window ---
     /// Controller decisions that changed the window.

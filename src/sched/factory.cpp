@@ -7,6 +7,7 @@
 #include "sched/level_based.hpp"
 #include "sched/logicblox.hpp"
 #include "sched/lookahead.hpp"
+#include "sched/meta.hpp"
 #include "sched/oracle.hpp"
 #include "sched/signal_propagation.hpp"
 #include "util/error.hpp"
@@ -23,8 +24,49 @@ std::string Lower(std::string s) {
 }
 }  // namespace
 
+namespace {
+
+/// Joined spec list for error texts, kept in lockstep with
+/// KnownSchedulerSpecs so unknown-spec messages always name every valid
+/// form.
+std::string KnownSpecsText() {
+  std::string text;
+  for (const std::string& known : KnownSchedulerSpecs()) {
+    if (!text.empty()) {
+      text += ", ";
+    }
+    text += known;
+  }
+  return text;
+}
+
+}  // namespace
+
 std::unique_ptr<Scheduler> CreateScheduler(const std::string& spec) {
   const std::string lower = Lower(spec);
+  // "meta(<heuristic>,<zeta_bytes>)" carries a full nested spec, so it is
+  // parsed before the colon split ("meta(lbl:4,65536)" contains one).
+  if (lower.rfind("meta(", 0) == 0) {
+    if (lower.back() != ')') {
+      throw util::ParseError("malformed meta spec '" + spec +
+                             "' (want meta(<heuristic>,<zeta_bytes>))");
+    }
+    const std::string inner = lower.substr(5, lower.size() - 6);
+    const auto comma = inner.rfind(',');
+    if (comma == std::string::npos || comma == 0 ||
+        comma + 1 == inner.size()) {
+      throw util::ParseError("malformed meta spec '" + spec +
+                             "' (want meta(<heuristic>,<zeta_bytes>))");
+    }
+    const std::string heuristic_spec = inner.substr(0, comma);
+    if (heuristic_spec.rfind("meta", 0) == 0) {
+      throw util::ParseError("meta cannot nest another meta scheduler");
+    }
+    const std::uint64_t zeta =
+        util::ParseU64(inner.substr(comma + 1), "meta zeta bytes");
+    return std::make_unique<MetaScheduler>(CreateScheduler(heuristic_spec),
+                                           zeta);
+  }
   std::string head = lower;
   std::string arg;
   if (const auto colon = lower.find(':'); colon != std::string::npos) {
@@ -67,16 +109,20 @@ std::unique_ptr<Scheduler> CreateScheduler(const std::string& spec) {
     return std::make_unique<HybridScheduler>(
         std::make_unique<LevelBasedScheduler>(), std::move(heuristic));
   }
-  throw util::ParseError("unknown scheduler spec '" + spec +
-                         "' (known: levelbased, lbl:<k>, logicblox, signal, "
-                         "hybrid[:<heuristic>], oracle)");
+  throw util::ParseError("unknown scheduler spec '" + spec + "' (known: " +
+                         KnownSpecsText() + ")");
 }
 
 std::vector<std::string> KnownSchedulerSpecs() {
-  return {"levelbased",         "levelbased:<lifo|fifo|lpt>",
-          "lbl:<k>",            "logicblox",
-          "signal",             "hybrid",
-          "hybrid:<heuristic>", "oracle"};
+  return {"levelbased",
+          "levelbased:<lifo|fifo|lpt>",
+          "lbl:<k>",
+          "logicblox",
+          "signal",
+          "hybrid",
+          "hybrid:<heuristic>",
+          "meta(<heuristic>,<zeta_bytes>)",
+          "oracle"};
 }
 
 }  // namespace dsched::sched

@@ -8,6 +8,9 @@
 //   "signal"                  — SignalPropagationScheduler
 //   "hybrid"                  — HybridScheduler(LevelBased, LogicBlox)
 //   "hybrid:<heuristic>"      — HybridScheduler(LevelBased, <heuristic>)
+//   "meta(<heuristic>,<zeta_bytes>)" — MetaScheduler: <heuristic> on
+//                               ceil(P/2) workers, LevelBased on the rest,
+//                               zeta/2 kill rule (paper Theorem 10)
 //   "oracle"                  — OracleScheduler (clairvoyant reference)
 #pragma once
 

@@ -1,0 +1,189 @@
+#include "sched/meta.hpp"
+
+#include <algorithm>
+
+#include "obs/obs.hpp"
+#include "sched/level_based.hpp"
+#include "util/error.hpp"
+
+namespace dsched::sched {
+
+MetaScheduler::MetaScheduler(std::unique_ptr<Scheduler> heuristic,
+                             std::uint64_t zeta_bytes)
+    : heuristic_(std::move(heuristic)),
+      level_based_(std::make_unique<LevelBasedScheduler>()),
+      zeta_(zeta_bytes) {
+  DSCHED_CHECK_MSG(heuristic_ != nullptr, "meta needs a heuristic scheduler");
+  name_ = "Meta(" + std::string(heuristic_->Name()) + "+LevelBased,zeta=" +
+          std::to_string(zeta_) + ")";
+}
+
+void MetaScheduler::Prepare(const SchedulerContext& ctx) {
+  trace_ = ctx.trace;
+  processors_ = std::max<std::size_t>(1, ctx.num_processors);
+  heur_cap_ = (processors_ + 1) / 2;  // ceil(P/2)
+  lb_cap_ = processors_ - heur_cap_;
+  lane_of_.assign(ctx.trace != nullptr ? ctx.trace->NumNodes() : 0,
+                  Lane::kNone);
+  heuristic_->Prepare(ctx);
+  level_based_->Prepare(ctx);
+  CheckKill();  // precomputation alone may already blow zeta/2
+}
+
+void MetaScheduler::OnActivated(TaskId t) {
+  if (!killed_) {
+    heuristic_->OnActivated(t);
+  }
+  level_based_->OnActivated(t);
+}
+
+void MetaScheduler::OnStarted(TaskId t) {
+  // Engine echo of our own pop, or an external start by a cooperating
+  // scheduler above us; children tolerate both (contract point 5).
+  if (!killed_) {
+    heuristic_->OnStarted(t);
+  }
+  level_based_->OnStarted(t);
+}
+
+void MetaScheduler::OnCompleted(TaskId t, bool output_changed) {
+  if (!killed_) {
+    heuristic_->OnCompleted(t, output_changed);
+  }
+  level_based_->OnCompleted(t, output_changed);
+  if (t < lane_of_.size()) {
+    const Lane lane = lane_of_[t];
+    if (lane == Lane::kHeuristic) {
+      --heur_running_;
+      heur_running_bytes_ -= trace_->Info(t).resource_utility;
+    } else if (lane == Lane::kLevelBased) {
+      --lb_running_;
+    }
+  }
+}
+
+void MetaScheduler::NotePop(TaskId t, Lane lane) {
+  if (t < lane_of_.size()) {
+    lane_of_[t] = lane;
+  }
+  if (lane == Lane::kHeuristic) {
+    ++heur_running_;
+    heur_running_bytes_ += trace_->Info(t).resource_utility;
+  } else {
+    ++lb_running_;
+  }
+}
+
+void MetaScheduler::CheckKill() {
+  if (killed_) {
+    return;
+  }
+  const std::uint64_t footprint =
+      static_cast<std::uint64_t>(heuristic_->MemoryBytes()) +
+      heur_running_bytes_;
+  heur_high_water_ = std::max(heur_high_water_, footprint);
+  if (zeta_ != 0 && footprint > zeta_ / 2) {
+    Kill();
+  }
+}
+
+void MetaScheduler::Kill() {
+  heur_final_ops_ = heuristic_->OpCounts();
+  heuristic_.reset();  // actually free the lane's memory — the O(zeta) bound
+  killed_ = true;
+  ++kills_;
+  lb_cap_ = processors_;  // LevelBased inherits every worker
+  OBS_COUNTER(Category::kMetaKill, 1);
+}
+
+TaskId MetaScheduler::PopReady() {
+  OBS_SCOPE(Category::kSchedPopMeta);
+  CheckKill();
+  // LevelBased lane first (O(1) frontier probe), then the heuristic lane.
+  // The engine echoes OnStarted back to us after a successful pop, which
+  // is when the non-popping child hears about the start.
+  if (lb_running_ < lb_cap_) {
+    const TaskId t = level_based_->PopReady();
+    if (t != util::kInvalidTask) {
+      NotePop(t, Lane::kLevelBased);
+      return t;
+    }
+  }
+  if (!killed_ && heur_running_ < heur_cap_) {
+    const TaskId t = heuristic_->PopReady();
+    if (t != util::kInvalidTask) {
+      NotePop(t, Lane::kHeuristic);
+      CheckKill();
+      return t;
+    }
+  }
+  // Liveness fallback: with nothing running anywhere and neither capped
+  // lane producing (e.g. P == 1 leaves LevelBased zero workers while a
+  // lookahead-limited heuristic cannot prove readiness), let LevelBased
+  // borrow the idle capacity rather than deadlocking the engine.
+  if (heur_running_ + lb_running_ == 0) {
+    const TaskId t = level_based_->PopReady();
+    if (t != util::kInvalidTask) {
+      NotePop(t, Lane::kLevelBased);
+      return t;
+    }
+  }
+  return util::kInvalidTask;
+}
+
+std::size_t MetaScheduler::PopReadyBatch(std::vector<TaskId>& out,
+                                         std::size_t max) {
+  OBS_SCOPE(Category::kSchedPopMeta);
+  CheckKill();
+  const std::size_t before = out.size();
+  // LevelBased lane up to its free worker slots.  The popping child has
+  // already transitioned its copies to started; cross-notify the other.
+  if (lb_running_ < lb_cap_) {
+    const std::size_t want = std::min(max, lb_cap_ - lb_running_);
+    const std::size_t n = level_based_->PopReadyBatch(out, want);
+    for (std::size_t i = before; i < out.size(); ++i) {
+      NotePop(out[i], Lane::kLevelBased);
+      if (!killed_) {
+        heuristic_->OnStarted(out[i]);
+      }
+    }
+    (void)n;
+  }
+  // Heuristic lane with whatever batch room is left.
+  const std::size_t after_lb = out.size();
+  if (!killed_ && heur_running_ < heur_cap_ && out.size() - before < max) {
+    const std::size_t want =
+        std::min(max - (out.size() - before), heur_cap_ - heur_running_);
+    heuristic_->PopReadyBatch(out, want);
+    for (std::size_t i = after_lb; i < out.size(); ++i) {
+      NotePop(out[i], Lane::kHeuristic);
+      level_based_->OnStarted(out[i]);
+    }
+    CheckKill();
+  }
+  // Liveness fallback (see PopReady): only from a fully idle engine.
+  if (out.size() == before && heur_running_ + lb_running_ == 0) {
+    level_based_->PopReadyBatch(out, max);
+    for (std::size_t i = before; i < out.size(); ++i) {
+      NotePop(out[i], Lane::kLevelBased);
+      if (!killed_) {
+        heuristic_->OnStarted(out[i]);
+      }
+    }
+  }
+  return out.size() - before;
+}
+
+SchedulerOpCounts MetaScheduler::OpCounts() const {
+  SchedulerOpCounts counts = level_based_->OpCounts();
+  counts.Merge(killed_ ? heur_final_ops_ : heuristic_->OpCounts());
+  return counts;
+}
+
+std::size_t MetaScheduler::MemoryBytes() const {
+  return level_based_->MemoryBytes() +
+         (killed_ ? 0 : heuristic_->MemoryBytes()) +
+         lane_of_.capacity() * sizeof(Lane);
+}
+
+}  // namespace dsched::sched

@@ -1,0 +1,96 @@
+// The memory-bounded meta-scheduler A' (paper Theorem 10 / Corollary 11).
+//
+// An arbitrary heuristic A gets ceil(P/2) of the processors; LevelBased
+// gets the rest.  Both receive every activation/start/completion event,
+// but each popped task is *owned* by exactly one lane, and a lane may only
+// pop while it has fewer running tasks than its worker share — the live
+// realization of the paper's partitioned worker sets on one shared pool
+// (tasks have side effects and may run ONCE, so the theorem's run-both-
+// copies device stays in sim/meta.*; here the lanes split real work).
+//
+// The kill rule: the heuristic lane's resource footprint — the heuristic's
+// own structures (Scheduler::MemoryBytes) plus the resource_utility of its
+// running tasks — is monitored at every pop.  The moment it exceeds
+// zeta/2, the heuristic is torn down (its memory actually freed) and
+// LevelBased inherits all P workers.  Migration of the unfinished frontier
+// is free and precedence-safe by construction: LevelBased observed every
+// event from the start, so its pending set is exactly the unstarted work
+// and it can never re-pop a task the heuristic lane already started.
+// Corollary 11 then gives makespan <= 2*min(T_A, T_LB) with memory O(zeta).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "sched/scheduler.hpp"
+
+namespace dsched::sched {
+
+/// Runs a heuristic and LevelBased on partitioned worker shares with the
+/// zeta/2 kill rule.
+class MetaScheduler : public Scheduler {
+ public:
+  /// `heuristic` must be freshly constructed (not yet Prepared).
+  /// `zeta_bytes` is the total memory budget zeta; the heuristic lane is
+  /// killed when its footprint exceeds zeta/2.  0 = never kill (the split
+  /// still applies).
+  MetaScheduler(std::unique_ptr<Scheduler> heuristic, std::uint64_t zeta_bytes);
+
+  [[nodiscard]] std::string_view Name() const override { return name_; }
+  void Prepare(const SchedulerContext& ctx) override;
+  void OnActivated(TaskId t) override;
+  void OnStarted(TaskId t) override;
+  void OnCompleted(TaskId t, bool output_changed) override;
+  [[nodiscard]] TaskId PopReady() override;
+  /// Native batch pop: fills the LevelBased lane's free worker slots
+  /// first, then the heuristic lane's, forwarding started transitions to
+  /// the child that did not pop (hybrid-style cross-notify).
+  std::size_t PopReadyBatch(std::vector<TaskId>& out, std::size_t max) override;
+  [[nodiscard]] SchedulerOpCounts OpCounts() const override;
+  [[nodiscard]] std::size_t MemoryBytes() const override;
+
+  /// Kill-rule firings (0 or 1 — the heuristic lane dies at most once).
+  [[nodiscard]] std::uint64_t Kills() const { return kills_; }
+  [[nodiscard]] bool HeuristicKilled() const { return killed_; }
+  /// Highest heuristic-lane footprint observed (structures + running
+  /// utilities), in bytes.
+  [[nodiscard]] std::uint64_t HeuristicHighWaterBytes() const {
+    return heur_high_water_;
+  }
+  [[nodiscard]] std::uint64_t Zeta() const { return zeta_; }
+  /// Worker shares after Prepare: ceil(P/2) heuristic, the rest LevelBased
+  /// (all P to LevelBased once killed).
+  [[nodiscard]] std::size_t HeuristicLaneCap() const { return heur_cap_; }
+  [[nodiscard]] std::size_t LevelBasedLaneCap() const { return lb_cap_; }
+
+ private:
+  /// Which lane owns a popped task (completion bookkeeping).
+  enum class Lane : std::uint8_t { kNone = 0, kHeuristic = 1, kLevelBased = 2 };
+
+  void NotePop(TaskId t, Lane lane);
+  /// Recomputes the heuristic lane footprint, folds the high-water mark,
+  /// and fires the kill rule if it crossed zeta/2.
+  void CheckKill();
+  void Kill();
+
+  std::unique_ptr<Scheduler> heuristic_;
+  std::unique_ptr<Scheduler> level_based_;
+  std::string name_;
+  const trace::JobTrace* trace_ = nullptr;
+  std::uint64_t zeta_ = 0;
+  std::size_t processors_ = 1;
+  std::size_t heur_cap_ = 1;
+  std::size_t lb_cap_ = 0;
+  std::vector<Lane> lane_of_;
+  std::size_t heur_running_ = 0;
+  std::size_t lb_running_ = 0;
+  std::uint64_t heur_running_bytes_ = 0;
+  std::uint64_t heur_high_water_ = 0;
+  bool killed_ = false;
+  std::uint64_t kills_ = 0;
+  /// OpCounts snapshot taken when the heuristic is torn down.
+  SchedulerOpCounts heur_final_ops_{};
+};
+
+}  // namespace dsched::sched

@@ -78,6 +78,15 @@ struct SessionOptions {
   /// pipeline-eligible (datalog::StrategyPipelineEligible — counting).
   /// Futures still resolve in dense epoch order regardless of depth.
   std::size_t pipeline_depth = 0;
+  /// Hard per-session memory ceiling, in accounted bytes: every cascade
+  /// of this session (all K in-flight epochs together) meters its tasks'
+  /// resource_utility against ONE shared runtime::ResourceAccount, and
+  /// the executor defers dispatch of any task that would push the live
+  /// total over this bound.  Exhaustion therefore surfaces as slower
+  /// cascades — and ultimately as Submit blocking on the bounded queue —
+  /// never as a failed update.  0 = no ceiling (accounting only).
+  /// Ignored by the "serial" engine, which runs no accounted cascade.
+  std::uint64_t memory_budget = 0;
 };
 
 namespace detail {

@@ -82,6 +82,7 @@ Session::Session(std::shared_ptr<detail::HostCore> core,
       spec_(ResolveSpec(*core_, options)),
       strategy_(ResolveStrategy(*core_, options)),
       depth_(ResolveDepth(*core_, options, spec_, strategy_)),
+      memory_budget_(options.memory_budget),
       metrics_prefix_("session." + name_ + "."),
       db_(program_text),
       queue_(options.queue_capacity > 0
@@ -236,7 +237,9 @@ void Session::ApplyOne(UpdateQueue::Job& job) {
                         .router = &core_->router,
                         .strategy = strategy_,
                         .frontier = depth_ > 1 ? &frontier_ : nullptr,
-                        .epoch = job.epoch});
+                        .epoch = job.epoch,
+                        .memory_budget = memory_budget_,
+                        .account = &account_});
       outcome.update = std::move(result.update);
       outcome.run = result.run;
     }
@@ -267,6 +270,10 @@ void Session::ApplyOne(UpdateQueue::Job& job) {
       }
       frontier_stalls_ += outcome.run.frontier_stalls;
       frontier_stall_seconds_ += outcome.run.frontier_stall_seconds;
+      mem_acquired_total_ += outcome.run.mem_acquired_bytes;
+      mem_deferred_total_ += outcome.run.mem_deferred;
+      mem_budget_stalls_total_ += outcome.run.mem_budget_stalls;
+      mem_forced_total_ += outcome.run.mem_forced;
       job.promise.set_value(std::move(outcome));
     } else {
       // A failed batch (bad arity, engine invariant trip) fails ITS
@@ -298,6 +305,10 @@ void Session::PublishMetrics() {
   std::uint64_t avoided = 0;
   std::uint64_t inflight_hw = 0;
   std::uint64_t stalls = 0;
+  std::uint64_t mem_acquired = 0;
+  std::uint64_t mem_deferred = 0;
+  std::uint64_t mem_stalls = 0;
+  std::uint64_t mem_forced = 0;
   double stall_seconds = 0.0;
   double cascade_seconds = 0.0;
   double busy_seconds = 0.0;
@@ -312,6 +323,10 @@ void Session::PublishMetrics() {
     avoided = maint_avoided_total_;
     inflight_hw = inflight_high_water_;
     stalls = frontier_stalls_;
+    mem_acquired = mem_acquired_total_;
+    mem_deferred = mem_deferred_total_;
+    mem_stalls = mem_budget_stalls_total_;
+    mem_forced = mem_forced_total_;
     stall_seconds = frontier_stall_seconds_;
     cascade_seconds = cascade_seconds_;
     busy_seconds = busy_seconds_;
@@ -337,6 +352,15 @@ void Session::PublishMetrics() {
               static_cast<std::uint64_t>(busy_seconds * 1e9));
   metrics.Set(metrics_prefix_ + "pipeline.finalizations",
               frontier_.Finalizations());
+  metrics.Set(metrics_prefix_ + "mem.budget_bytes", memory_budget_);
+  metrics.Set(metrics_prefix_ + "mem.live_bytes",
+              account_.live.load(std::memory_order_relaxed));
+  metrics.Max(metrics_prefix_ + "mem.peak_bytes",
+              account_.peak.load(std::memory_order_relaxed));
+  metrics.Set(metrics_prefix_ + "mem.acquired_bytes", mem_acquired);
+  metrics.Set(metrics_prefix_ + "mem.deferred", mem_deferred);
+  metrics.Set(metrics_prefix_ + "mem.budget_stalls", mem_stalls);
+  metrics.Set(metrics_prefix_ + "mem.forced", mem_forced);
 }
 
 }  // namespace dsched::service

@@ -119,6 +119,12 @@ class Session {
   }
   /// The resolved epoch-pipeline depth K (after eligibility clamping).
   [[nodiscard]] std::size_t PipelineDepth() const { return depth_; }
+  /// The session's accounted-memory ceiling (0 = none) and its live
+  /// account, shared by every in-flight epoch cascade.
+  [[nodiscard]] std::uint64_t MemoryBudget() const { return memory_budget_; }
+  [[nodiscard]] const runtime::ResourceAccount& Account() const {
+    return account_;
+  }
   /// Last applied epoch (0 before any batch lands).  Monotone; epoch N
   /// applied implies all earlier epochs applied (dense resolution order).
   [[nodiscard]] std::uint64_t AppliedEpoch() const {
@@ -146,9 +152,15 @@ class Session {
   std::string spec_;
   datalog::MaintenanceStrategy strategy_;
   std::size_t depth_;
+  std::uint64_t memory_budget_;
   std::string metrics_prefix_;
   datalog::Database db_;
   UpdateQueue queue_;
+
+  /// One live-resource account for the whole session: all K in-flight
+  /// epoch cascades acquire into it, so memory_budget_ bounds their joint
+  /// accounted footprint (runtime/executor.hpp).
+  runtime::ResourceAccount account_;
 
   /// The session's epoch frontier: cascades publish per-level finalization
   /// into it and successors gate on it (runtime/pipeline.hpp).  Only
@@ -176,6 +188,10 @@ class Session {
   double cascade_seconds_ = 0.0;
   std::uint64_t frontier_stalls_ = 0;
   double frontier_stall_seconds_ = 0.0;
+  std::uint64_t mem_acquired_total_ = 0;
+  std::uint64_t mem_deferred_total_ = 0;
+  std::uint64_t mem_budget_stalls_total_ = 0;
+  std::uint64_t mem_forced_total_ = 0;
   std::uint64_t inserted_total_ = 0;
   std::uint64_t deleted_total_ = 0;
   std::uint64_t maint_ops_total_ = 0;

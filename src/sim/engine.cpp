@@ -70,8 +70,10 @@ SimResult Simulate(const trace::JobTrace& trace, sched::Scheduler& scheduler,
     scheduler.Prepare({&trace, config.processors});
     result.prepare_wall_seconds = prep_timer.ElapsedSeconds();
   }
+  result.peak_memory_bytes = scheduler.MemoryBytes();
   if (config.memory_budget_bytes != 0 &&
-      scheduler.MemoryBytes() > config.memory_budget_bytes) {
+      result.peak_memory_bytes > config.memory_budget_bytes) {
+    // Precomputation alone blew the budget.
     result.aborted_on_memory = true;
     result.abort_time = 0.0;
     result.scheduler_memory_bytes = scheduler.MemoryBytes();
@@ -117,11 +119,9 @@ SimResult Simulate(const trace::JobTrace& trace, sched::Scheduler& scheduler,
     }
   };
 
-  std::size_t completion_events = 0;
   const auto complete_task = [&](TaskId t, SimTime start, SimTime end) {
     ++result.tasks_executed;
     ++completed_count;
-    ++completion_events;
     result.total_work += effective_work(t);
     if (config.record_schedule) {
       result.schedule.push_back({t, start, end});
@@ -142,6 +142,10 @@ SimResult Simulate(const trace::JobTrace& trace, sched::Scheduler& scheduler,
   }
 
   std::vector<Running> running;
+  /// Σ resource_utility of the tasks currently in `running` — the live
+  /// state the executor's accounting plane would hold for them.
+  std::uint64_t running_utility_bytes = 0;
+  std::size_t rounds = 0;
   for (;;) {
     // --- Admission: pull ready work while processor capacity remains.
     double used_cap = 0.0;
@@ -170,7 +174,23 @@ SimResult Simulate(const trace::JobTrace& trace, sched::Scheduler& scheduler,
       }
       const double cap = cap_of(t);
       running.push_back({t, work, cap, 0.0, clock});
+      running_utility_bytes += trace.Info(t).resource_utility;
       used_cap += cap;
+    }
+
+    // Poll the modelled footprint right after admission, where the running
+    // set (and so its live state) is at its round maximum.
+    if (++rounds % std::max<std::size_t>(config.memory_poll_stride, 1) == 0) {
+      const std::size_t footprint =
+          scheduler.MemoryBytes() +
+          static_cast<std::size_t>(running_utility_bytes);
+      result.peak_memory_bytes = std::max(result.peak_memory_bytes, footprint);
+      if (config.memory_budget_bytes != 0 &&
+          footprint > config.memory_budget_bytes) {
+        result.aborted_on_memory = true;
+        result.abort_time = clock;
+        break;
+      }
     }
 
     if (running.empty()) {
@@ -207,15 +227,8 @@ SimResult Simulate(const trace::JobTrace& trace, sched::Scheduler& scheduler,
     std::sort(finished.begin(), finished.end(),
               [](const Running& a, const Running& b) { return a.id < b.id; });
     for (const Running& r : finished) {
+      running_utility_bytes -= trace.Info(r.id).resource_utility;
       complete_task(r.id, r.start, clock);
-    }
-
-    if (config.memory_budget_bytes != 0 &&
-        completion_events % config.memory_poll_stride == 0 &&
-        scheduler.MemoryBytes() > config.memory_budget_bytes) {
-      result.aborted_on_memory = true;
-      result.abort_time = clock;
-      break;
     }
   }
 
@@ -223,6 +236,8 @@ SimResult Simulate(const trace::JobTrace& trace, sched::Scheduler& scheduler,
   result.sched_wall_seconds = sched_watch.TotalSeconds();
   result.ops = scheduler.OpCounts();
   result.scheduler_memory_bytes = scheduler.MemoryBytes();
+  result.peak_memory_bytes =
+      std::max(result.peak_memory_bytes, result.scheduler_memory_bytes);
   result.activations = activated_count;
   return result;
 }
@@ -245,6 +260,7 @@ void SimResult::ExportMetrics(obs::MetricsRegistry& registry,
   registry.Set(prefix + "tasks_executed", tasks_executed);
   registry.Set(prefix + "activations", activations);
   registry.Set(prefix + "scheduler_memory_bytes", scheduler_memory_bytes);
+  registry.Set(prefix + "peak_memory_bytes", peak_memory_bytes);
   registry.Set(prefix + "ops.ancestor_queries", ops.ancestor_queries);
   registry.Set(prefix + "ops.interval_probes", ops.interval_probes);
   registry.Set(prefix + "ops.queue_scans", ops.queue_scans);

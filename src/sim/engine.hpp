@@ -49,11 +49,16 @@ struct SimConfig {
   ExecutionModel model = ExecutionModel::kSequential;
   /// Keep per-task (start, end) records (needed by the auditor).
   bool record_schedule = false;
-  /// Abort the run if the scheduler's MemoryBytes() exceeds this (0 = no
-  /// budget).  Used by the Theorem-10 meta scheduler.
+  /// Abort the run once the modelled footprint — the scheduler's
+  /// MemoryBytes() plus the resource_utility of every currently running
+  /// task — exceeds this (0 = no budget).  Used by the Theorem-10 meta
+  /// scheduler, whose ζ/2 kill rule charges A for both its index and the
+  /// live state of the tasks it admitted.
   std::size_t memory_budget_bytes = 0;
-  /// How often (in completion events) the memory budget is polled.
-  std::size_t memory_poll_stride = 64;
+  /// How often (in scheduling rounds) the footprint is polled; 1 = every
+  /// round.  Raise to amortize expensive MemoryBytes() on huge runs at the
+  /// cost of coarser peak_memory_bytes and later aborts.
+  std::size_t memory_poll_stride = 1;
 };
 
 /// One executed task instance.
@@ -71,6 +76,10 @@ struct SimResult {
   double sched_wall_seconds = 0.0;     ///< real time in runtime decisions
   sched::SchedulerOpCounts ops;        ///< modelled overhead counters
   std::size_t scheduler_memory_bytes = 0;  ///< final MemoryBytes()
+  /// High-water of MemoryBytes() + Σ resource_utility over running tasks,
+  /// sampled at every memory poll (the simulated analogue of the live
+  /// executor's mem.peak_bytes).
+  std::size_t peak_memory_bytes = 0;
   std::size_t tasks_executed = 0;
   std::size_t activations = 0;
   util::Work total_work = 0.0;         ///< work of executed tasks

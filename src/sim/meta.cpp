@@ -40,6 +40,8 @@ MetaResult RunMeta(
     meta.level_based_half = Simulate(trace, level_based, sim_config);
   }
 
+  meta.peak_memory_bytes = meta.heuristic_half.peak_memory_bytes +
+                           meta.level_based_half.peak_memory_bytes;
   if (!meta.heuristic_aborted &&
       meta.heuristic_half.makespan <= meta.level_based_half.makespan) {
     meta.makespan = meta.heuristic_half.makespan;

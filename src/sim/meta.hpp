@@ -36,6 +36,11 @@ struct MetaResult {
   SimTime makespan = 0.0;      ///< the earlier of the two halves
   bool heuristic_aborted = false;  ///< A blew its ζ/2 budget
   std::string winner;          ///< name of the finishing sub-scheduler
+  /// Joint footprint bound for the construction: the sum of the halves'
+  /// peak_memory_bytes (both halves run concurrently until one finishes or
+  /// A is aborted).  The O(ζ) guarantee of Corollary 11 is about this
+  /// number.
+  std::size_t peak_memory_bytes = 0;
   SimResult heuristic_half;    ///< A on P/2 processors (may be aborted)
   SimResult level_based_half;  ///< LevelBased on its processors
 };

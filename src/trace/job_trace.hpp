@@ -35,6 +35,13 @@ struct TaskInfo {
   /// Revealed at execution: does re-running this task change its output?
   /// Drives the dynamic activation cascade (the active graph H).
   bool output_changes = true;
+  /// Estimated bytes of live state the task holds while running (paper
+  /// Section V's memory parameter; for Datalog components this is
+  /// predicate arity x estimated delta cardinality x sizeof(Value)).
+  /// The executor's accounting plane acquires this on dispatch and
+  /// releases it on completion; 0 = unaccounted (collectors, untraced
+  /// workloads).
+  std::uint64_t resource_utility = 0;
 };
 
 /// One workload: the DAG, per-node info, and the initially dirtied tasks.

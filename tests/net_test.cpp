@@ -374,6 +374,32 @@ TEST(ServiceServerTest, DisconnectMidBatchDrainsSession) {
   EXPECT_NE(fx.host.FindSession(sid), nullptr);
 }
 
+TEST(ServiceServerTest, StopBroadcastsShutdownBeforeClosing) {
+  // An orderly Stop must not look like a crashed peer: every connected
+  // client — idle or mid-conversation — receives a SHUTDOWN error frame
+  // (request_id 0, connection-scoped) and only then EOF.
+  ServerFixture fx;
+  ServiceClient idle = fx.Connect();
+  ServiceClient busy = fx.Connect();
+  OpenSessionRequest open;
+  open.request_id = 1;
+  open.program = kChainProgram;
+  const std::uint64_t sid = busy.OpenSessionSync(open);
+  (void)busy.SubmitSync(ChainBatch(2, sid, 0, 4));  // proven mid-protocol
+
+  fx.server.Stop();
+  for (ServiceClient* client : {&idle, &busy}) {
+    ServiceClient::Response resp;
+    ASSERT_TRUE(client->ReadResponse(&resp, 5000))
+        << "client saw bare EOF instead of the SHUTDOWN goodbye";
+    ASSERT_EQ(resp.opcode, Opcode::kError);
+    EXPECT_EQ(resp.error.code, ErrorCode::kShutdown);
+    EXPECT_EQ(resp.error.request_id, 0u);
+    // After the goodbye the connection is done: clean EOF, no more frames.
+    EXPECT_FALSE(client->ReadResponse(&resp, 2000));
+  }
+}
+
 TEST(ServiceServerTest, BadRequestsAnswerWithErrors) {
   ServerFixture fx;
   ServiceClient client = fx.Connect();

@@ -291,6 +291,100 @@ TEST(ExecutorTest, ParallelismActuallyOverlaps) {
   EXPECT_LT(stats.wall_seconds, 0.140);  // ~3 waves of 20ms + slack
 }
 
+/// Fork whose `leaves` children each hold `utility` accounted bytes while
+/// running (the root is free); all outputs change, so everything runs.
+trace::JobTrace MakeUtilityFork(std::size_t leaves, std::uint64_t utility) {
+  trace::JobTrace plain = trace::MakeFork(leaves);
+  std::vector<trace::TaskInfo> infos = plain.Tasks();
+  for (std::size_t leaf = 1; leaf <= leaves; ++leaf) {
+    infos[leaf].resource_utility = utility;
+  }
+  return {plain.Name(), plain.Graph(), std::move(infos),
+          plain.InitialDirty()};
+}
+
+TEST(ExecutorTest, AccountingTracksUtilityTotalsAndPeak) {
+  // No budget: the plane only counts.  Acquired bytes are exact (every
+  // dispatched task's utility, once); the peak is bracketed by the largest
+  // single task and the sum.
+  const trace::JobTrace trace = MakeUtilityFork(8, 1024);
+  sched::LevelBasedScheduler scheduler;
+  const auto stats =
+      Executor::Run(trace, scheduler, Executor::TaskBody{}, {.workers = 4});
+  EXPECT_EQ(stats.executed, 9u);
+  EXPECT_EQ(stats.mem_acquired_bytes, 8u * 1024u);
+  EXPECT_GE(stats.mem_peak_bytes, 1024u);
+  EXPECT_LE(stats.mem_peak_bytes, 8u * 1024u);
+  EXPECT_EQ(stats.mem_deferred, 0u);
+  EXPECT_EQ(stats.mem_budget_stalls, 0u);
+  EXPECT_EQ(stats.mem_forced, 0u);
+}
+
+TEST(ExecutorTest, BudgetGateNeverExceedsCeiling) {
+  // 16 ready 1 KiB tasks against a 2 KiB ceiling: at most two may hold
+  // bytes at once, everything still completes (backpressure, not
+  // failure), and at least one dispatch must have been parked.
+  const trace::JobTrace trace = MakeUtilityFork(16, 1024);
+  sched::LevelBasedScheduler scheduler;
+  const auto stats = Executor::Run(trace, scheduler, Executor::TaskBody{},
+                                   {.workers = 4, .memory_budget = 2048});
+  EXPECT_EQ(stats.executed, 17u);
+  EXPECT_LE(stats.mem_peak_bytes, 2048u);
+  EXPECT_GE(stats.mem_deferred, 1u);
+  EXPECT_EQ(stats.mem_forced, 0u);
+  EXPECT_EQ(stats.mem_acquired_bytes, 16u * 1024u);
+}
+
+TEST(ExecutorTest, OversizedTaskRunsSoloViaEscapeHatch) {
+  // Each task is eight times the whole budget.  The escape hatch runs
+  // them one at a time from an idle account — the run completes, every
+  // oversized dispatch is counted, and the ceiling becomes the largest
+  // single utility instead of a deadlock.
+  const trace::JobTrace trace = MakeUtilityFork(3, 8192);
+  sched::LevelBasedScheduler scheduler;
+  const auto stats = Executor::Run(trace, scheduler, Executor::TaskBody{},
+                                   {.workers = 4, .memory_budget = 1024});
+  EXPECT_EQ(stats.executed, 4u);
+  EXPECT_EQ(stats.mem_forced, 3u);
+  // Solo means solo: the oversized tasks never overlap, so the peak is
+  // exactly one of them.
+  EXPECT_EQ(stats.mem_peak_bytes, 8192u);
+}
+
+TEST(ExecutorTest, SharedAccountBoundsConcurrentCascadesJointly) {
+  // Two coordinator threads run utility-laden cascades against ONE
+  // account with one joint ceiling — the service-session arrangement.
+  // The account's peak must respect the ceiling even though acquisitions
+  // race across threads.
+  TaskRouter router({.workers = 4});
+  ResourceAccount account;
+  constexpr std::uint64_t kBudget = 4096;
+  std::vector<std::thread> runners;
+  std::array<Executor::RunStats, 2> stats{};
+  for (std::size_t s = 0; s < 2; ++s) {
+    runners.emplace_back([&router, &account, &stats, s] {
+      const trace::JobTrace trace = MakeUtilityFork(12, 512);
+      auto scheduler = sched::CreateScheduler("levelbased");
+      stats[s] = Executor::RunOn(router, trace, *scheduler,
+                                 Executor::WorkerTaskBody{},
+                                 {.memory_budget = kBudget,
+                                  .account = &account});
+    });
+  }
+  for (std::thread& t : runners) {
+    t.join();
+  }
+  EXPECT_LE(account.peak.load(), kBudget);
+  EXPECT_EQ(account.live.load(), 0u);  // everything released
+  for (const auto& run : stats) {
+    EXPECT_EQ(run.executed, 13u);
+    EXPECT_EQ(run.mem_acquired_bytes, 12u * 512u);
+    // Each run's observed peak includes the sibling's bytes but still
+    // respects the joint ceiling.
+    EXPECT_LE(run.mem_peak_bytes, kBudget);
+  }
+}
+
 TEST(ExecutorTest, EveryFactorySchedulerDrivesTheExecutor) {
   util::Rng rng(88);
   const trace::JobTrace trace = trace::MakeRandomDag(40, 0.08, 0.25, 0.8, rng);

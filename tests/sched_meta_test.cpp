@@ -1,0 +1,385 @@
+// Unit tests for the memory-bounded meta-scheduler A' (DESIGN.md §14):
+// the ceil(P/2) worker split, the zeta/2 kill rule on the heuristic
+// lane's footprint (structures + running-task resource_utility), single
+// dispatch across lanes, the P==1 liveness fallback, and the
+// "meta(<heuristic>,<zeta_bytes>)" factory spec with its error texts.
+#include <algorithm>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "graph/digraph_builder.hpp"
+#include "sched/factory.hpp"
+#include "sched/level_based.hpp"
+#include "sched/logicblox.hpp"
+#include "sched/meta.hpp"
+#include "sim/audit.hpp"
+#include "sim/engine.hpp"
+#include "trace/cascade.hpp"
+#include "trace/generators.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace dsched::sched {
+namespace {
+
+/// A heuristic with a dial-a-size footprint that never offers work.  Lets
+/// tests drive the kill rule and the liveness fallback deterministically,
+/// independent of any real policy's index sizes.
+class StubHeuristic : public Scheduler {
+ public:
+  explicit StubHeuristic(std::size_t bytes) : bytes_(bytes) {}
+  [[nodiscard]] std::string_view Name() const override { return "Stub"; }
+  void Prepare(const SchedulerContext& /*ctx*/) override {}
+  void OnActivated(TaskId /*t*/) override {}
+  void OnStarted(TaskId /*t*/) override {}
+  void OnCompleted(TaskId /*t*/, bool /*output_changed*/) override {}
+  [[nodiscard]] TaskId PopReady() override { return util::kInvalidTask; }
+  [[nodiscard]] SchedulerOpCounts OpCounts() const override {
+    SchedulerOpCounts counts;
+    counts.queue_scans = 7;  // distinctive marker for the merge test
+    return counts;
+  }
+  [[nodiscard]] std::size_t MemoryBytes() const override { return bytes_; }
+  void SetBytes(std::size_t bytes) { bytes_ = bytes; }
+
+ private:
+  std::size_t bytes_;
+};
+
+/// One dirty root fanning into `leaves` children, each child holding
+/// `utility` bytes of modelled live state while running.
+trace::JobTrace MakeHoard(std::size_t leaves, std::uint64_t utility) {
+  graph::DigraphBuilder b(leaves + 1);
+  std::vector<trace::TaskInfo> infos(leaves + 1);
+  for (TaskId leaf = 1; leaf <= leaves; ++leaf) {
+    b.AddEdge(0, leaf);
+    infos[leaf].resource_utility = utility;
+  }
+  return {"hoard", std::move(b).Build(), std::move(infos), {0}};
+}
+
+TEST(MetaSchedulerTest, NameAndWorkerSplit) {
+  MetaScheduler meta(std::make_unique<LogicBloxScheduler>(), 1024);
+  EXPECT_EQ(meta.Name(), "Meta(LogicBlox+LevelBased,zeta=1024)");
+  EXPECT_EQ(meta.Zeta(), 1024u);
+  const trace::JobTrace trace = trace::MakeChain(2);
+  meta.Prepare({&trace, 5});
+  EXPECT_EQ(meta.HeuristicLaneCap(), 3u);  // ceil(5/2)
+  EXPECT_EQ(meta.LevelBasedLaneCap(), 2u);
+
+  MetaScheduler even(std::make_unique<LogicBloxScheduler>(), 0);
+  even.Prepare({&trace, 4});
+  EXPECT_EQ(even.HeuristicLaneCap(), 2u);
+  EXPECT_EQ(even.LevelBasedLaneCap(), 2u);
+
+  MetaScheduler solo(std::make_unique<LogicBloxScheduler>(), 0);
+  solo.Prepare({&trace, 1});
+  EXPECT_EQ(solo.HeuristicLaneCap(), 1u);
+  EXPECT_EQ(solo.LevelBasedLaneCap(), 0u);
+}
+
+TEST(MetaSchedulerTest, LaneCapsBoundConcurrentPopsWithoutDoubleDispatch) {
+  // Fork with the root done: 16 ready leaves, P=4 (2 heuristic + 2
+  // LevelBased).  Exactly 4 pops may succeed before a completion, and no
+  // task may ever be popped twice.
+  const trace::JobTrace trace = trace::MakeFork(16);
+  MetaScheduler meta(std::make_unique<LogicBloxScheduler>(), 0);
+  meta.Prepare({&trace, 4});
+  meta.OnActivated(0);
+  ASSERT_EQ(meta.PopReady(), 0u);
+  meta.OnStarted(0);
+  for (TaskId leaf = 1; leaf <= 16; ++leaf) {
+    meta.OnActivated(leaf);
+  }
+  meta.OnCompleted(0, true);
+
+  std::set<TaskId> popped{0};
+  std::vector<TaskId> running;
+  for (int i = 0; i < 4; ++i) {
+    const TaskId t = meta.PopReady();
+    ASSERT_NE(t, util::kInvalidTask);
+    EXPECT_TRUE(popped.insert(t).second) << "task " << t << " popped twice";
+    meta.OnStarted(t);
+    running.push_back(t);
+  }
+  // Both lanes are at their worker shares now.
+  EXPECT_EQ(meta.PopReady(), util::kInvalidTask);
+  // A completion frees one slot — exactly one more pop succeeds.
+  meta.OnCompleted(running.back(), true);
+  running.pop_back();
+  const TaskId next = meta.PopReady();
+  ASSERT_NE(next, util::kInvalidTask);
+  EXPECT_TRUE(popped.insert(next).second);
+  meta.OnStarted(next);
+  running.push_back(next);
+  // Drain the rest; every leaf must be dispatched exactly once.
+  while (true) {
+    for (const TaskId t : running) {
+      meta.OnCompleted(t, true);
+    }
+    running.clear();
+    TaskId t = util::kInvalidTask;
+    while ((t = meta.PopReady()) != util::kInvalidTask) {
+      EXPECT_TRUE(popped.insert(t).second) << "task " << t << " popped twice";
+      meta.OnStarted(t);
+      running.push_back(t);
+    }
+    if (running.empty()) {
+      break;
+    }
+  }
+  EXPECT_EQ(popped.size(), 17u);
+  EXPECT_FALSE(meta.HeuristicKilled());
+  EXPECT_EQ(meta.Kills(), 0u);
+}
+
+TEST(MetaSchedulerTest, BatchPopRespectsCapsAndSingleDispatch) {
+  const trace::JobTrace trace = trace::MakeFork(16);
+  MetaScheduler meta(std::make_unique<LogicBloxScheduler>(), 0);
+  meta.Prepare({&trace, 4});
+  meta.OnActivated(0);
+  std::vector<TaskId> batch;
+  ASSERT_EQ(meta.PopReadyBatch(batch, 64), 1u);  // only the root is active
+  ASSERT_EQ(batch.front(), 0u);
+  for (TaskId leaf = 1; leaf <= 16; ++leaf) {
+    meta.OnActivated(leaf);
+  }
+  meta.OnCompleted(0, true);
+
+  std::set<TaskId> popped{0};
+  batch.clear();
+  // 16 ready leaves but only 4 worker slots: the batch must stop at the
+  // combined lane caps even with a larger max.
+  EXPECT_EQ(meta.PopReadyBatch(batch, 64), 4u);
+  while (!batch.empty()) {
+    for (const TaskId t : batch) {
+      EXPECT_TRUE(popped.insert(t).second) << "task " << t << " popped twice";
+    }
+    for (const TaskId t : batch) {
+      meta.OnCompleted(t, true);
+    }
+    batch.clear();
+    meta.PopReadyBatch(batch, 64);
+  }
+  EXPECT_EQ(popped.size(), 17u);
+}
+
+TEST(MetaSchedulerTest, RunningUtilityTriggersKill) {
+  // The footprint that crosses zeta/2 comes from the accounting plane —
+  // the resource_utility of a running heuristic-lane task — not from the
+  // heuristic's own index memory.
+  const trace::JobTrace trace = MakeHoard(4, 1u << 20);
+  LogicBloxScheduler probe;
+  probe.Prepare({&trace, 2});
+  const std::uint64_t index_bytes = probe.MemoryBytes();
+  // zeta/2 sits half a MiB above the index size: Prepare survives, the
+  // first 1 MiB heuristic-lane dispatch does not.
+  const std::uint64_t zeta = 2 * (index_bytes + (1u << 19));
+  MetaScheduler meta(std::make_unique<LogicBloxScheduler>(), zeta);
+  meta.Prepare({&trace, 2});
+  ASSERT_FALSE(meta.HeuristicKilled());
+
+  meta.OnActivated(0);
+  ASSERT_EQ(meta.PopReady(), 0u);  // LevelBased lane takes the root
+  meta.OnStarted(0);
+  for (TaskId leaf = 1; leaf <= 4; ++leaf) {
+    meta.OnActivated(leaf);
+  }
+  meta.OnCompleted(0, true);
+
+  std::set<TaskId> popped{0};
+  const TaskId lb_leaf = meta.PopReady();  // LevelBased lane, cap 1
+  ASSERT_NE(lb_leaf, util::kInvalidTask);
+  popped.insert(lb_leaf);
+  meta.OnStarted(lb_leaf);
+  ASSERT_FALSE(meta.HeuristicKilled());
+  // The heuristic lane's pop acquires 1 MiB of running utility and the
+  // kill rule fires inside the same PopReady — but the popped task is
+  // still returned and owned (no lost dispatch).
+  const TaskId heur_leaf = meta.PopReady();
+  ASSERT_NE(heur_leaf, util::kInvalidTask);
+  popped.insert(heur_leaf);
+  meta.OnStarted(heur_leaf);
+  EXPECT_TRUE(meta.HeuristicKilled());
+  EXPECT_EQ(meta.Kills(), 1u);
+  EXPECT_GT(meta.HeuristicHighWaterBytes(), zeta / 2);
+  // LevelBased inherits every worker.
+  EXPECT_EQ(meta.LevelBasedLaneCap(), 2u);
+
+  // The two remaining leaves drain through LevelBased; the task the dead
+  // heuristic lane owned completes without incident.
+  std::vector<TaskId> running{lb_leaf, heur_leaf};
+  while (true) {
+    for (const TaskId t : running) {
+      meta.OnCompleted(t, true);
+    }
+    running.clear();
+    TaskId t = util::kInvalidTask;
+    while ((t = meta.PopReady()) != util::kInvalidTask) {
+      EXPECT_TRUE(popped.insert(t).second) << "task " << t << " popped twice";
+      meta.OnStarted(t);
+      running.push_back(t);
+    }
+    if (running.empty()) {
+      break;
+    }
+  }
+  EXPECT_EQ(popped.size(), 5u);
+  // The op-count snapshot taken at the kill keeps the heuristic's pops in
+  // the merged totals: 5 successful pops happened across both lanes.
+  EXPECT_EQ(meta.OpCounts().pops, 5u);
+}
+
+TEST(MetaSchedulerTest, StructureGrowthTriggersKillAndFreesMemory) {
+  const trace::JobTrace trace = trace::MakeChain(4);
+  auto stub = std::make_unique<StubHeuristic>(100);
+  StubHeuristic* raw = stub.get();
+  MetaScheduler meta(std::move(stub), 4096);  // kill threshold 2048
+  meta.Prepare({&trace, 2});
+  ASSERT_FALSE(meta.HeuristicKilled());
+
+  meta.OnActivated(0);
+  raw->SetBytes(10'000);  // the heuristic's structures balloon past zeta/2
+  const std::size_t before = meta.MemoryBytes();
+  const TaskId t = meta.PopReady();  // CheckKill runs on entry
+  EXPECT_TRUE(meta.HeuristicKilled());
+  // raw dangles from here on — the kill destroys the heuristic, which is
+  // the point: the O(zeta) bound needs the memory actually freed.
+  EXPECT_LT(meta.MemoryBytes() + 9'000, before);
+  EXPECT_GE(meta.HeuristicHighWaterBytes(), 10'000u);
+  // The snapshot preserves the dead lane's op counts.
+  EXPECT_EQ(meta.OpCounts().queue_scans, 7u);
+  // The chain still runs to completion on the LevelBased survivor.
+  ASSERT_EQ(t, 0u);
+  meta.OnStarted(t);
+  meta.OnActivated(1);
+  meta.OnCompleted(0, true);
+  EXPECT_EQ(meta.PopReady(), 1u);
+}
+
+TEST(MetaSchedulerTest, ZetaZeroNeverKills) {
+  const trace::JobTrace trace = trace::MakeChain(2);
+  MetaScheduler meta(std::make_unique<StubHeuristic>(1u << 30), 0);
+  meta.Prepare({&trace, 2});
+  meta.OnActivated(0);
+  (void)meta.PopReady();
+  EXPECT_FALSE(meta.HeuristicKilled());
+  EXPECT_EQ(meta.Kills(), 0u);
+  EXPECT_GE(meta.HeuristicHighWaterBytes(), 1u << 30);  // still tracked
+}
+
+TEST(MetaSchedulerTest, PrepareTimeKillWhenPrecomputationBlowsZeta) {
+  // zeta so small the heuristic's Prepare-time structures already exceed
+  // zeta/2: the kill fires before the first pop and the run degenerates
+  // to plain LevelBased on all P workers.
+  const trace::JobTrace trace = trace::MakeChain(3);
+  MetaScheduler meta(std::make_unique<LogicBloxScheduler>(), 2);
+  meta.Prepare({&trace, 4});
+  EXPECT_TRUE(meta.HeuristicKilled());
+  EXPECT_EQ(meta.Kills(), 1u);
+  EXPECT_EQ(meta.LevelBasedLaneCap(), 4u);
+}
+
+TEST(MetaSchedulerTest, LivenessFallbackWhenLevelBasedHasNoWorkers) {
+  // P == 1 gives LevelBased zero workers and a never-popping heuristic the
+  // single slot.  With nothing running anywhere, LevelBased must borrow
+  // the idle capacity instead of deadlocking the engine.
+  const trace::JobTrace trace = trace::MakeChain(2);
+  MetaScheduler meta(std::make_unique<StubHeuristic>(0), 0);
+  meta.Prepare({&trace, 1});
+  ASSERT_EQ(meta.LevelBasedLaneCap(), 0u);
+  meta.OnActivated(0);
+  const TaskId t = meta.PopReady();
+  ASSERT_EQ(t, 0u);
+  meta.OnStarted(t);
+  // The fallback only applies to a fully idle engine: with 0 running,
+  // nothing else may be offered.
+  EXPECT_EQ(meta.PopReady(), util::kInvalidTask);
+  meta.OnActivated(1);
+  meta.OnCompleted(0, true);
+  EXPECT_EQ(meta.PopReady(), 1u);
+
+  // Same fallback through the batch path.
+  MetaScheduler batch_meta(std::make_unique<StubHeuristic>(0), 0);
+  batch_meta.Prepare({&trace, 1});
+  batch_meta.OnActivated(0);
+  std::vector<TaskId> out;
+  EXPECT_EQ(batch_meta.PopReadyBatch(out, 4), 1u);
+  EXPECT_EQ(out.front(), 0u);
+}
+
+TEST(MetaSchedulerTest, AuditCleanOnRandomTraces) {
+  // Full simulator runs across the kill spectrum: never-kill, kill at
+  // Prepare, and a threshold the heuristic index may or may not cross.
+  // Every schedule must be precedence-valid with each active task run
+  // exactly once.
+  util::Rng rng(61);
+  const std::uint64_t zetas[] = {0, 64, 1u << 16};
+  for (int trial = 0; trial < 6; ++trial) {
+    const trace::JobTrace trace =
+        trace::MakeRandomDag(50, 0.08, 0.2, 0.7, rng);
+    for (const std::uint64_t zeta : zetas) {
+      MetaScheduler meta(std::make_unique<LogicBloxScheduler>(), zeta);
+      sim::SimConfig config;
+      config.processors = 3;
+      config.record_schedule = true;
+      const sim::SimResult result = sim::Simulate(trace, meta, config);
+      const trace::Cascade cascade = trace::ComputeCascade(trace);
+      EXPECT_EQ(result.tasks_executed, cascade.NumActive());
+      const sim::AuditResult audit = sim::AuditSchedule(trace, result);
+      EXPECT_TRUE(audit.valid)
+          << "zeta=" << zeta << ": "
+          << (audit.violations.empty() ? "" : audit.violations.front());
+    }
+  }
+}
+
+TEST(MetaFactoryTest, ParsesMetaSpecs) {
+  EXPECT_EQ(CreateScheduler("meta(logicblox,1024)")->Name(),
+            "Meta(LogicBlox+LevelBased,zeta=1024)");
+  // The heuristic slot takes any non-meta spec, colons included.
+  EXPECT_EQ(CreateScheduler("meta(lbl:4,65536)")->Name(),
+            "Meta(LBL(k=4)+LevelBased,zeta=65536)");
+  EXPECT_EQ(CreateScheduler("meta(hybrid,2048)")->Name(),
+            "Meta(Hybrid(LevelBased+LogicBlox)+LevelBased,zeta=2048)");
+  EXPECT_EQ(CreateScheduler("META(LogicBlox,8)")->Name(),
+            "Meta(LogicBlox+LevelBased,zeta=8)");  // case-insensitive
+}
+
+TEST(MetaFactoryTest, RejectsMalformedMetaSpecs) {
+  EXPECT_THROW(CreateScheduler("meta(logicblox,1024"), util::ParseError);
+  EXPECT_THROW(CreateScheduler("meta(logicblox)"), util::ParseError);
+  EXPECT_THROW(CreateScheduler("meta(,1024)"), util::ParseError);
+  EXPECT_THROW(CreateScheduler("meta(logicblox,)"), util::ParseError);
+  EXPECT_THROW(CreateScheduler("meta(logicblox,notanumber)"),
+               util::ParseError);
+  EXPECT_THROW(CreateScheduler("meta(meta(logicblox,64),128)"),
+               util::ParseError);
+}
+
+TEST(MetaFactoryTest, UnknownSpecErrorListsEveryKnownSpec) {
+  // The error text is the discovery surface for CLI users: it must name
+  // every valid form, meta(...) included, and stay in lockstep with
+  // KnownSchedulerSpecs().
+  std::string message;
+  try {
+    (void)CreateScheduler("bogus");
+    FAIL() << "expected ParseError";
+  } catch (const util::ParseError& err) {
+    message = err.what();
+  }
+  EXPECT_NE(message.find("bogus"), std::string::npos) << message;
+  for (const std::string& spec : KnownSchedulerSpecs()) {
+    EXPECT_NE(message.find(spec), std::string::npos)
+        << "error text missing spec '" << spec << "': " << message;
+  }
+  EXPECT_NE(message.find("meta(<heuristic>,<zeta_bytes>)"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace dsched::sched

@@ -429,6 +429,85 @@ TEST(ServiceTest, FindSessionRacesCloseCleanly) {
   }
 }
 
+TEST(ServiceTest, MemoryCeilingHoldsUnderConcurrentBudgetedSessions) {
+  // Two budgeted sessions with pipelined epochs hammer one shared pool
+  // while unbudgeted twins replay the identical batches.  The contract
+  // under test (ISSUE 9): the accounted ceiling is
+  // max(memory_budget, largest single task utility) — absent a forced
+  // over-budget solo dispatch the account peak never exceeds the budget —
+  // and exhaustion surfaces as backpressure, never as a failed or
+  // divergent update.
+  constexpr std::uint64_t kBudget = 512;
+  constexpr int kSessions = 2;
+  constexpr int kBatches = 10;
+  EngineHost host({.workers = 4});
+  std::vector<std::shared_ptr<Session>> budgeted;
+  std::vector<std::vector<datalog::UpdateRequest>> batches(kSessions);
+  for (int s = 0; s < kSessions; ++s) {
+    budgeted.push_back(host.OpenSession(kWideProgram,
+                                        {.name = "mb" + std::to_string(s),
+                                         .pipeline_depth = 2,
+                                         .memory_budget = kBudget}));
+    util::Rng seed_rng(910 + static_cast<std::uint64_t>(s));
+    SeedLikeFixture(*budgeted.back(), seed_rng, 10, 0.15);
+    util::Rng update_rng(920 + static_cast<std::uint64_t>(s));
+    for (int b = 0; b < kBatches; ++b) {
+      batches[static_cast<std::size_t>(s)].push_back(
+          RandomUpdate(budgeted.back()->Db().GetProgram(), update_rng, 10));
+    }
+  }
+  std::vector<std::thread> drivers;
+  for (int s = 0; s < kSessions; ++s) {
+    drivers.emplace_back([&budgeted, &batches, s] {
+      Session& session = *budgeted[static_cast<std::size_t>(s)];
+      std::future<UpdateOutcome> last;
+      for (const datalog::UpdateRequest& batch :
+           batches[static_cast<std::size_t>(s)]) {
+        last = session.Submit(batch);
+      }
+      EXPECT_EQ(last.get().epoch, static_cast<std::uint64_t>(kBatches));
+    });
+  }
+  for (std::thread& t : drivers) {
+    t.join();
+  }
+  for (auto& session : budgeted) {
+    session->Close();
+  }
+
+  const obs::MetricsRegistry& metrics = host.Metrics();
+  for (int s = 0; s < kSessions; ++s) {
+    Session& session = *budgeted[static_cast<std::size_t>(s)];
+    const std::string prefix = "session.mb" + std::to_string(s) + ".mem.";
+    EXPECT_EQ(metrics.Value(prefix + "budget_bytes"), kBudget);
+    EXPECT_GT(metrics.Value(prefix + "acquired_bytes"), 0u);
+    EXPECT_EQ(session.Account().live.load(), 0u);  // all bytes released
+    // The hard ceiling: only a lone oversized task may ever carry the
+    // account past the budget, and then only by running solo.
+    const std::uint64_t peak = session.Account().peak.load();
+    if (metrics.Value(prefix + "forced") == 0) {
+      EXPECT_LE(peak, kBudget) << "session mb" << s;
+    }
+
+    // Backpressure must not change results: an unbudgeted serial replay
+    // of the same batches lands on the identical store.
+    auto reference = host.OpenSession(
+        kWideProgram, {.name = "ref" + std::to_string(s)});
+    util::Rng seed_rng(910 + static_cast<std::uint64_t>(s));
+    SeedLikeFixture(*reference, seed_rng, 10, 0.15);
+    for (const datalog::UpdateRequest& batch :
+         batches[static_cast<std::size_t>(s)]) {
+      (void)reference->Submit(batch);
+    }
+    reference->Close();
+    ExpectStoresEqual(reference->Db().GetProgram(), reference->Store(),
+                      session.Store(),
+                      ("budgeted session mb" + std::to_string(s) +
+                       " vs unbudgeted replay")
+                          .c_str());
+  }
+}
+
 TEST(ServiceTest, QueriesSeeAppliedEpochs) {
   EngineHost host({.workers = 2});
   auto session = host.OpenSession(kWideProgram, {.name = "q"});

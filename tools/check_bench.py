@@ -21,7 +21,7 @@ Usage:
   check_bench.py BASELINE FRESH [--tolerance 0.15]
                  [--ignore REGEX ...] [--exact REGEX ...] [--verbose]
 
-CI gates all seven checked-in baselines (see .github/workflows/ci.yml
+CI gates all eight checked-in baselines (see .github/workflows/ci.yml
 perf-gate for the per-bench flags):
   BENCH_datalog.json   — micro_join: rows/checksums exact
   BENCH_store.json     — micro_store: rows/checksums exact, w8 scaling
@@ -45,6 +45,14 @@ perf-gate for the per-bench flags):
                          every mode x connection-count cell); latency
                          percentiles (p50_us/p99_us/p999_us), throughput
                          and backpressure_stalls ungated (load-dependent)
+  BENCH_meta.json      — micro_meta: sim cells (Theorem-10 meta scheduler)
+                         are fully deterministic — makespans, bound ratios,
+                         abort flags and peak-memory figures all gated;
+                         live cells gate kills/checksums/rows exact while
+                         the accounted-memory counters (mem_peak_bytes,
+                         mem_deferred, mem_budget_stalls, mem_forced) are
+                         dispatch-timing artifacts and stay ungated (the
+                         binary itself hard-fails a budget violation)
 
 stdlib only; runs anywhere python3 does.
 """
@@ -56,7 +64,8 @@ import sys
 
 # Fields that identify a row within a "results" list, in identity order.
 ID_FIELDS = ("bench", "workload", "scheduler", "engine", "body", "strategy",
-             "workers", "mode", "name", "k", "batch", "connections", "rate")
+             "workers", "mode", "name", "k", "batch", "connections", "rate",
+             "zeta", "budget")
 
 # `window` covers the executor's adaptive dispatch-window controller
 # columns (window_adjusts/final_window) — the controller is fed by wall
