@@ -10,15 +10,24 @@
 //   Database::Update u;
 //   u.Insert("edge", {db.Sym("b"), db.Sym("c")});
 //   auto stats = db.Apply(u);         // incremental, not from scratch
+//
+// Program-derived state lives in a versioned, immutable CompiledProgram
+// snapshot (compiled_program.hpp).  EvolveAddRules/EvolveRemoveRule publish
+// a new version atomically; concurrent readers (the wire frontend's op
+// translation, query rendering) pin Snapshot() once per dispatch and never
+// observe a torn (program, strat, plan) triple.  The relation store is
+// shared across versions — evolution maintains it in place.
 #pragma once
 
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <string_view>
 #include <vector>
 
 #include "datalog/ast.hpp"
+#include "datalog/compiled_program.hpp"
 #include "datalog/incremental.hpp"
 #include "datalog/maintenance.hpp"
 #include "datalog/parallel_update.hpp"
@@ -40,9 +49,20 @@ class Database {
   /// util::ParseError / util::InvalidArgument on bad programs.
   explicit Database(std::string_view program_text);
 
-  /// Interns a symbol constant.
+  /// Interns a symbol constant.  Thread-safe against concurrent Sym calls
+  /// and against rule evolution (the table is append-only; ids are stable
+  /// across program versions).
   [[nodiscard]] Value Sym(std::string_view name) {
-    return Value::Symbol(program_.symbols.Intern(name));
+    const std::lock_guard<std::mutex> lock(sym_mutex_);
+    return Value::Symbol(compiled_->program.symbols.Intern(name));
+  }
+
+  /// Renders a symbol id under the same lock Sym interns under.  The table
+  /// queried is the CURRENT one — at least as new as any id obtained from
+  /// this database, so every id renders.
+  [[nodiscard]] std::string SymName(const Value& value) const {
+    const std::lock_guard<std::mutex> lock(sym_mutex_);
+    return compiled_->program.symbols.NameOf(value.AsSymbol());
   }
 
   /// Adds a base fact before materialization (or as part of ordinary
@@ -116,7 +136,9 @@ class Database {
 
   /// Raw-request variants of Apply/ApplyParallel for callers (the service
   /// session loop) that already hold predicate-id batches.  The parallel
-  /// variant also surfaces executor-level RunStats.
+  /// variant also surfaces executor-level RunStats.  Each dispatch pins the
+  /// compiled-program snapshot exactly once and reads program/strat/plan
+  /// off that pin.
   UpdateResult ApplyRequest(const UpdateRequest& request);
   UpdateResult ApplyRequest(const UpdateRequest& request,
                             MaintenanceStrategy strategy);
@@ -136,33 +158,82 @@ class Database {
   /// once (and again only after a non-counting update touches the store).
   [[nodiscard]] MaintenanceState& MaintState() { return maint_state_; }
 
+  /// What one rule-set evolution did: the maintenance cascade's result,
+  /// the program version it published, and the cone/reuse accounting.
+  struct EvolveResult {
+    UpdateResult update;
+    std::uint64_t program_version = 0;
+    EvolveStats stats;
+  };
+
   /// Incremental RULE changes (the paper's other trigger: "the rule
   /// definitions change").  Both maintain the materialization without a
   /// from-scratch re-evaluation:
-  ///  * AddRules parses additional clauses (they may introduce new
-  ///    predicates), re-stratifies, and propagates the new rules'
-  ///    derivations as insertions;
-  ///  * RemoveRule identifies an existing rule by its textual clause,
-  ///    removes it, and DRed-propagates the loss of its derivations
-  ///    (rederiving anything the remaining rules still support).
-  /// Validation or stratification failures leave the database unchanged.
-  UpdateResult AddRules(std::string_view rules_text);
-  UpdateResult RemoveRule(std::string_view clause_text);
+  ///  * EvolveAddRules parses additional clauses (they may introduce new
+  ///    predicates), re-stratifies only the affected cone, and propagates
+  ///    the new rules' derivations as insertions;
+  ///  * EvolveRemoveRule identifies an existing rule by its textual
+  ///    clause, removes it, and propagates the loss of its derivations
+  ///    under the current default strategy (rederiving anything the
+  ///    remaining rules still support).
+  /// Maintenance runs only on the cone's components; the counting plane is
+  /// invalidated for exactly the cone (MarkCountingStale) instead of
+  /// globally.  Validation or stratification failures leave the database
+  /// unchanged (the new snapshot is built before anything is published).
+  EvolveResult EvolveAddRules(std::string_view rules_text);
+  EvolveResult EvolveRemoveRule(std::string_view clause_text);
 
-  [[nodiscard]] const Program& GetProgram() const { return program_; }
+  /// Back-compat shims returning just the cascade result.
+  UpdateResult AddRules(std::string_view rules_text) {
+    return EvolveAddRules(rules_text).update;
+  }
+  UpdateResult RemoveRule(std::string_view clause_text) {
+    return EvolveRemoveRule(clause_text).update;
+  }
+
+  /// Pins the current compiled snapshot.  The one acquire a concurrent
+  /// reader needs: everything program-derived hangs off the returned
+  /// pointer, immutable for its lifetime (symbol table aside — see
+  /// CompiledProgram).
+  [[nodiscard]] std::shared_ptr<const CompiledProgram> Snapshot() const {
+    const std::lock_guard<std::mutex> lock(snapshot_mutex_);
+    return compiled_;
+  }
+  /// The current program version (1-based; bumped by every evolution).
+  [[nodiscard]] std::uint64_t ProgramVersion() const {
+    return Snapshot()->version;
+  }
+
+  /// Direct references into the CURRENT snapshot.  Valid only while the
+  /// caller is serialized with rule evolution (single-threaded use, or the
+  /// session's epoch serialization); concurrent readers pin Snapshot().
+  [[nodiscard]] const Program& GetProgram() const {
+    return compiled_->program;
+  }
   [[nodiscard]] const Stratification& GetStratification() const {
-    return strat_;
+    return compiled_->strat;
   }
   /// The cached pipelining plan (levels + fences), rebuilt whenever the
-  /// rule set re-stratifies (AddRules/RemoveRule).
-  [[nodiscard]] const PipelinePlan& Plan() const { return plan_; }
+  /// rule set re-stratifies (EvolveAddRules/EvolveRemoveRule).
+  [[nodiscard]] const PipelinePlan& Plan() const { return compiled_->plan; }
   [[nodiscard]] const RelationStore& Store() const { return store_; }
   [[nodiscard]] bool Materialized() const { return materialized_; }
 
  private:
-  Program program_;
-  Stratification strat_;
-  PipelinePlan plan_;
+  /// Seeds, scopes, and runs the maintenance cascade for one published
+  /// evolution (shared tail of EvolveAddRules/EvolveRemoveRule).
+  UpdateResult PropagateEvolution(const CompiledProgram& next,
+                                  const std::vector<bool>& affected,
+                                  GroupedBaseChanges& base,
+                                  std::vector<bool>& force);
+
+  /// The current snapshot; swapped under BOTH mutexes by evolution.
+  std::shared_ptr<CompiledProgram> compiled_;
+  /// Guards the compiled_ pointer itself (Snapshot vs swap).
+  mutable std::mutex snapshot_mutex_;
+  /// Guards the symbol table: Sym/SymName interning and rendering vs the
+  /// evolution's program deep-copy (which reads the whole table).
+  mutable std::mutex sym_mutex_;
   RelationStore store_;
   MaintenanceStrategy default_strategy_ = MaintenanceStrategy::kDRed;
   MaintenanceState maint_state_;

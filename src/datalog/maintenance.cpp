@@ -82,19 +82,54 @@ std::uint64_t StoreFingerprint(const RelationStore& store) {
 
 }  // namespace
 
+void MarkCountingStale(MaintenanceState& state,
+                       const std::vector<bool>& affected) {
+  if (state.stale_counts.size() < affected.size()) {
+    state.stale_counts.resize(affected.size(), 0);
+  }
+  for (std::size_t p = 0; p < affected.size(); ++p) {
+    if (affected[p]) {
+      state.stale_counts[p] = 1;
+      state.any_stale = true;
+    }
+  }
+}
+
 void EnsureCountingState(const Program& program, const Stratification& strat,
                          RelationStore& store, MaintenanceState& state) {
   const std::uint64_t fp = StoreFingerprint(store);
-  if (state.counts_ready && fp == state.counts_fingerprint) {
+  // Scoped pass: the fingerprint still matches (no store mutation since the
+  // last seal) but a rule evolution marked the affected cone's counts as
+  // rule-set-stale — recount just those predicates.  Everything outside the
+  // cone kept both its store contents and its rule set, so its counts are
+  // still exact.
+  const bool scoped =
+      state.counts_ready && fp == state.counts_fingerprint && state.any_stale;
+  if (state.counts_ready && fp == state.counts_fingerprint && !state.any_stale) {
     return;
   }
-  state.base_facts.assign(program.NumPredicates(), {});
+  if (scoped) {
+    if (state.base_facts.size() < program.NumPredicates()) {
+      state.base_facts.resize(program.NumPredicates());
+    }
+  } else {
+    state.base_facts.assign(program.NumPredicates(), {});
+  }
   EvalStats discard;
   for (std::uint32_t c = 0; c < strat.NumComponents(); ++c) {
     if (!CountingEligible(program, strat, c)) {
       continue;
     }
     const std::uint32_t p = strat.component_members[c].front();
+    if (scoped &&
+        (p >= state.stale_counts.size() || state.stale_counts[p] == 0)) {
+      continue;
+    }
+    if (scoped) {
+      // Replay the full-init semantics for this one predicate: flags are
+      // re-inferred below, so drop any left from the pre-evolution rules.
+      state.base_facts[p].clear();
+    }
     Relation& relation = store.Of(p);
     std::vector<Tuple> tuples;
     tuples.reserve(relation.Size());
@@ -120,6 +155,8 @@ void EnsureCountingState(const Program& program, const Stratification& strat,
       }
     }
   }
+  state.stale_counts.clear();
+  state.any_stale = false;
   state.counts_ready = true;
   state.counts_fingerprint = StoreFingerprint(store);
 }
@@ -127,6 +164,12 @@ void EnsureCountingState(const Program& program, const Stratification& strat,
 void SealCountingState(const RelationStore& store, MaintenanceState& state) {
   state.counts_fingerprint = StoreFingerprint(store);
   state.counts_ready = true;
+}
+
+bool CountingStateFresh(const RelationStore& store,
+                        const MaintenanceState& state) {
+  return state.counts_ready &&
+         state.counts_fingerprint == StoreFingerprint(store);
 }
 
 namespace {
@@ -716,7 +759,8 @@ ComponentUpdateStats RunMaintenancePhase(
 UpdateResult PropagateUpdateWithStrategy(
     const Program& program, const Stratification& strat, RelationStore& store,
     const GroupedBaseChanges& base, MaintenanceStrategy strategy,
-    MaintenanceState* state, const std::vector<bool>* force_touched) {
+    MaintenanceState* state, const std::vector<bool>* force_touched,
+    const std::vector<bool>* only_components) {
   util::WallTimer total_timer;
   UpdateResult result;
   MaintenanceState transient;
@@ -727,10 +771,12 @@ UpdateResult PropagateUpdateWithStrategy(
   std::vector<PredicateDelta> net(program.NumPredicates());
 
   for (const std::uint32_t component : strat.component_order) {
+    const bool allowed =
+        only_components == nullptr || (*only_components)[component];
     const bool forced =
         force_touched != nullptr && (*force_touched)[component];
-    if (!forced &&
-        !ComponentInputTouched(program, strat, component, base, net)) {
+    if (!allowed || (!forced &&
+        !ComponentInputTouched(program, strat, component, base, net))) {
       ComponentUpdateStats untouched;
       untouched.component = component;
       result.components.push_back(untouched);

@@ -96,7 +96,22 @@ struct MaintenanceState {
   std::vector<TupleSet> base_facts;  ///< indexed by predicate id
   std::uint64_t counts_fingerprint = 0;
   bool counts_ready = false;
+  /// Predicates whose counts are rule-set-stale even though the fingerprint
+  /// matches: a rule evolution rewrote the derivations of exactly the
+  /// affected cone and resealed the fingerprint, so the next counting
+  /// update recounts only these instead of the whole store (indexed by
+  /// predicate id; may be shorter than NumPredicates — missing means
+  /// fresh).
+  std::vector<std::uint8_t> stale_counts;
+  bool any_stale = false;
 };
+
+/// Marks every predicate with `affected[p]` true as count-stale, so the
+/// next EnsureCountingState recounts just those (when the fingerprint still
+/// matches).  Called by rule evolution with the cone bitmap; a no-op-sized
+/// update for everything outside it.
+void MarkCountingStale(MaintenanceState& state,
+                       const std::vector<bool>& affected);
 
 /// True iff `component` runs the pure counting phase under kCounting
 /// (rule-owning, non-aggregate, nonrecursive).  Others fall back to DRed.
@@ -116,6 +131,13 @@ void EnsureCountingState(const Program& program, const Stratification& strat,
 /// update, so the next EnsureCountingState call is a no-op.
 void SealCountingState(const RelationStore& store, MaintenanceState& state);
 
+/// True when `state` is sealed against the store's CURRENT fingerprint (no
+/// untracked mutation since the last seal).  Rule evolution checks this
+/// before scoping invalidation: only then can a cone-local MarkCountingStale
+/// + post-cascade reseal legitimately preserve the out-of-cone counts.
+[[nodiscard]] bool CountingStateFresh(const RelationStore& store,
+                                      const MaintenanceState& state);
+
 /// Runs one component's maintenance phase under `strategy`.  Drop-in for
 /// RunComponentPhase (same contract, same thread-compatibility: writes
 /// only member relations, member net entries, member base_facts slots of
@@ -134,10 +156,16 @@ ComponentUpdateStats RunMaintenancePhase(
 /// EnsureCountingState / SealCountingState when counting.  `state` null
 /// means a transient per-call state — correct, but counting then pays a
 /// full count initialization every call; sessions should own one.
+/// `only_components` (when non-null) restricts the cascade to the listed
+/// components — the rest are recorded untouched without even probing their
+/// inputs.  Rule evolution passes the affected cone here: deltas cannot
+/// escape it (the cone is downstream-closed), so skipping the input probe
+/// outside is sound and is what makes maintenance affected-predicate-only.
 UpdateResult PropagateUpdateWithStrategy(
     const Program& program, const Stratification& strat, RelationStore& store,
     const GroupedBaseChanges& base, MaintenanceStrategy strategy,
     MaintenanceState* state = nullptr,
-    const std::vector<bool>* force_touched = nullptr);
+    const std::vector<bool>* force_touched = nullptr,
+    const std::vector<bool>* only_components = nullptr);
 
 }  // namespace dsched::datalog

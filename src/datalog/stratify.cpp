@@ -101,14 +101,10 @@ class Tarjan {
   std::uint32_t component_count_ = 0;
 };
 
-}  // namespace
-
-Stratification Stratify(const Program& program) {
-  const std::size_t n = program.NumPredicates();
-
-  // Collect dependency edges from the rules.
-  std::vector<DepEdge> edges;
-  std::vector<std::vector<std::uint32_t>> adj(n);
+/// Dependency edges + forward adjacency of `program`.
+void CollectDependencies(const Program& program, std::vector<DepEdge>& edges,
+                         std::vector<std::vector<std::uint32_t>>& adj) {
+  adj.assign(program.NumPredicates(), {});
   for (const Rule& rule : program.rules) {
     for (const BodyElement& element : rule.body) {
       if (const auto* literal = std::get_if<Literal>(&element)) {
@@ -121,17 +117,17 @@ Stratification Stratify(const Program& program) {
       }
     }
   }
+}
 
-  Tarjan tarjan(n, adj);
-  tarjan.Run();
-  const std::uint32_t num_components = std::max<std::uint32_t>(tarjan.Count(), 0);
-
-  Stratification strat;
-  strat.component_of = tarjan.Components();
-  strat.component_members.assign(num_components, {});
-  for (std::uint32_t p = 0; p < n; ++p) {
-    strat.component_members[strat.component_of[p]].push_back(p);
-  }
+/// The stratification tail shared by full and incremental builds: given
+/// `component_of`/`component_members`, validates stratifiability and fills
+/// the condensation order, recursion flags, strata, and per-component rule
+/// lists (all linear in |edges| + |components|).
+void FinishStratification(const Program& program,
+                          const std::vector<DepEdge>& edges,
+                          Stratification& strat) {
+  const std::uint32_t num_components =
+      static_cast<std::uint32_t>(strat.NumComponents());
 
   // Reject negation inside a component (negation through recursion).
   for (const DepEdge& edge : edges) {
@@ -149,7 +145,6 @@ Stratification Stratify(const Program& program) {
   // Condensation adjacency + recursion flags.
   std::vector<std::vector<std::uint32_t>> comp_adj(num_components);
   strat.component_recursive.assign(num_components, false);
-  std::vector<std::vector<std::uint32_t>> comp_neg_in(num_components);
   for (const DepEdge& edge : edges) {
     const std::uint32_t cf = strat.component_of[edge.from];
     const std::uint32_t ct = strat.component_of[edge.to];
@@ -157,13 +152,8 @@ Stratification Stratify(const Program& program) {
       strat.component_recursive[ct] = true;
     } else {
       comp_adj[cf].push_back(ct);
-      if (edge.negative) {
-        comp_neg_in[ct].push_back(cf);
-      }
     }
   }
-  // A component is also "recursive" if several predicates share it (mutual
-  // recursion always induces an internal edge, so this is already covered).
 
   // Kahn order over the condensation.
   std::vector<std::size_t> indegree(num_components, 0);
@@ -219,6 +209,133 @@ Stratification Stratify(const Program& program) {
     const std::uint32_t c =
         strat.component_of[program.rules[r].head.predicate];
     strat.component_rules[c].push_back(r);
+  }
+}
+
+}  // namespace
+
+Stratification Stratify(const Program& program) {
+  const std::size_t n = program.NumPredicates();
+
+  // Collect dependency edges from the rules.
+  std::vector<DepEdge> edges;
+  std::vector<std::vector<std::uint32_t>> adj;
+  CollectDependencies(program, edges, adj);
+
+  Tarjan tarjan(n, adj);
+  tarjan.Run();
+  const std::uint32_t num_components = std::max<std::uint32_t>(tarjan.Count(), 0);
+
+  Stratification strat;
+  strat.component_of = tarjan.Components();
+  strat.component_members.assign(num_components, {});
+  for (std::uint32_t p = 0; p < n; ++p) {
+    strat.component_members[strat.component_of[p]].push_back(p);
+  }
+
+  FinishStratification(program, edges, strat);
+  return strat;
+}
+
+Stratification RestratifyAffected(const Program& program,
+                                  const Stratification& old,
+                                  std::size_t old_num_predicates,
+                                  const std::vector<std::uint32_t>& changed_heads,
+                                  std::vector<bool>* affected_out,
+                                  RestratifyStats* stats) {
+  const std::size_t n = program.NumPredicates();
+  DSCHED_CHECK_MSG(old_num_predicates <= n,
+                   "rule edits never remove predicates");
+
+  std::vector<DepEdge> edges;
+  std::vector<std::vector<std::uint32_t>> adj;
+  CollectDependencies(program, edges, adj);
+
+  // Affected cone: downstream closure (over the NEW graph) of every changed
+  // rule head plus every predicate the edit introduced.
+  std::vector<bool> affected(n, false);
+  std::vector<std::uint32_t> frontier;
+  const auto seed = [&](std::uint32_t p) {
+    if (!affected[p]) {
+      affected[p] = true;
+      frontier.push_back(p);
+    }
+  };
+  for (const std::uint32_t h : changed_heads) {
+    seed(h);
+  }
+  for (std::uint32_t p = static_cast<std::uint32_t>(old_num_predicates);
+       p < n; ++p) {
+    seed(p);
+  }
+  for (std::size_t i = 0; i < frontier.size(); ++i) {
+    for (const std::uint32_t w : adj[frontier[i]]) {
+      seed(w);
+    }
+  }
+
+  Stratification strat;
+  strat.component_of.assign(n, 0);
+  std::uint32_t next_component = 0;
+
+  // Reuse every old component fully outside the cone, in old-id order.
+  // Membership is all-or-none: an old cycle reaching a cone member stays
+  // inside the cone (it is downstream-closed through unchanged in-edges),
+  // so a partially-affected old component would mean the closure above is
+  // broken — check it.
+  std::size_t reused = 0;
+  for (std::uint32_t oc = 0; oc < old.NumComponents(); ++oc) {
+    const std::vector<std::uint32_t>& members = old.component_members[oc];
+    std::size_t hit = 0;
+    for (const std::uint32_t m : members) {
+      hit += affected[m] ? 1u : 0u;
+    }
+    if (hit != 0) {
+      DSCHED_CHECK_MSG(hit == members.size(),
+                       "affected cone split an old SCC — closure bug");
+      continue;
+    }
+    for (const std::uint32_t m : members) {
+      strat.component_of[m] = next_component;
+    }
+    strat.component_members.push_back(members);
+    ++next_component;
+    ++reused;
+  }
+
+  // Tarjan over the cone-induced subgraph only.
+  std::vector<std::uint32_t> cone;  // local vertex id -> predicate id
+  std::vector<std::uint32_t> local(n, 0xffffffffU);
+  for (std::uint32_t p = 0; p < n; ++p) {
+    if (affected[p]) {
+      local[p] = static_cast<std::uint32_t>(cone.size());
+      cone.push_back(p);
+    }
+  }
+  std::vector<std::vector<std::uint32_t>> cone_adj(cone.size());
+  for (const DepEdge& edge : edges) {
+    if (affected[edge.from] && affected[edge.to]) {
+      cone_adj[local[edge.from]].push_back(local[edge.to]);
+    }
+  }
+  Tarjan tarjan(cone.size(), cone_adj);
+  tarjan.Run();
+  strat.component_members.resize(next_component + tarjan.Count());
+  for (std::uint32_t i = 0; i < cone.size(); ++i) {
+    const std::uint32_t c = next_component + tarjan.Components()[i];
+    strat.component_of[cone[i]] = c;
+    strat.component_members[c].push_back(cone[i]);
+  }
+
+  FinishStratification(program, edges, strat);
+
+  if (affected_out != nullptr) {
+    *affected_out = std::move(affected);
+  }
+  if (stats != nullptr) {
+    stats->cone_predicates = cone.size();
+    stats->cone_components = tarjan.Count();
+    stats->reused_components = reused;
   }
   return strat;
 }

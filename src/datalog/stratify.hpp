@@ -40,4 +40,34 @@ struct Stratification {
 /// program uses negation through recursion (unstratifiable).
 [[nodiscard]] Stratification Stratify(const Program& program);
 
+/// Work accounting for one incremental re-stratification.
+struct RestratifyStats {
+  /// Predicates whose derivations can change (the affected cone).
+  std::size_t cone_predicates = 0;
+  /// Components produced by running Tarjan over the cone subgraph.
+  std::size_t cone_components = 0;
+  /// Old components carried over verbatim (membership untouched).
+  std::size_t reused_components = 0;
+};
+
+/// Re-stratifies after a rule-set edit without re-running SCC detection on
+/// the whole dependency graph.  `changed_heads` lists the head predicates of
+/// every added/removed rule; predicates with id >= `old_num_predicates` are
+/// the ones the edit introduced.  The affected cone is the downstream
+/// closure of those seeds in the NEW dependency graph; Tarjan runs only on
+/// the cone-induced subgraph while every component fully outside the cone is
+/// reused from `old` (a rule edit can only create or break cycles through a
+/// changed head, and the cone is downstream-closed, so no surviving SCC can
+/// straddle the boundary).  The condensation order, strata, and per-
+/// component rule lists are rebuilt globally (linear passes).  On return
+/// `*affected_out` (when non-null) holds the cone membership bitmap and
+/// `*stats` (when non-null) the reuse accounting.  Throws
+/// util::InvalidArgument when the edited program is unstratifiable.
+[[nodiscard]] Stratification RestratifyAffected(
+    const Program& program, const Stratification& old,
+    std::size_t old_num_predicates,
+    const std::vector<std::uint32_t>& changed_heads,
+    std::vector<bool>* affected_out = nullptr,
+    RestratifyStats* stats = nullptr);
+
 }  // namespace dsched::datalog

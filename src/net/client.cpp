@@ -83,6 +83,12 @@ void ServiceClient::SendCloseSession(const CloseSessionRequest& req) {
 void ServiceClient::SendPing(const PingRequest& req) {
   SendRaw(EncodePing(req));
 }
+void ServiceClient::SendAddRules(const AddRulesRequest& req) {
+  SendRaw(EncodeAddRules(req));
+}
+void ServiceClient::SendRemoveRule(const RemoveRuleRequest& req) {
+  SendRaw(EncodeRemoveRule(req));
+}
 
 std::uint64_t ServiceClient::Response::RequestId() const {
   switch (opcode) {
@@ -96,6 +102,8 @@ std::uint64_t ServiceClient::Response::RequestId() const {
       return session_closed.request_id;
     case Opcode::kPong:
       return pong.request_id;
+    case Opcode::kRulesChanged:
+      return rules_changed.request_id;
     case Opcode::kError:
       return error.request_id;
     default:
@@ -127,6 +135,9 @@ bool ServiceClient::ReadResponse(Response* out, int timeout_ms) {
           break;
         case Opcode::kPong:
           ok = DecodePong(frame.payload, &out->pong);
+          break;
+        case Opcode::kRulesChanged:
+          ok = DecodeRulesChanged(frame.payload, &out->rules_changed);
           break;
         case Opcode::kError:
           ok = DecodeError(frame.payload, &out->error);
@@ -214,6 +225,17 @@ void ServiceClient::CloseSessionSync(const CloseSessionRequest& req) {
 void ServiceClient::PingSync(std::uint64_t request_id) {
   SendPing(PingRequest{request_id});
   (void)AwaitResponse(request_id, Opcode::kPong);
+}
+
+RulesChangedResponse ServiceClient::AddRulesSync(const AddRulesRequest& req) {
+  SendAddRules(req);
+  return AwaitResponse(req.request_id, Opcode::kRulesChanged).rules_changed;
+}
+
+RulesChangedResponse ServiceClient::RemoveRuleSync(
+    const RemoveRuleRequest& req) {
+  SendRemoveRule(req);
+  return AwaitResponse(req.request_id, Opcode::kRulesChanged).rules_changed;
 }
 
 }  // namespace dsched::net

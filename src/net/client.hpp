@@ -49,6 +49,8 @@ class ServiceClient {
   void SendQuery(const QueryRequest& req);
   void SendCloseSession(const CloseSessionRequest& req);
   void SendPing(const PingRequest& req);
+  void SendAddRules(const AddRulesRequest& req);
+  void SendRemoveRule(const RemoveRuleRequest& req);
   /// Raw bytes on the wire — tests use this to inject garbage frames.
   void SendRaw(std::string_view bytes);
 
@@ -60,6 +62,7 @@ class ServiceClient {
     QueryResultResponse query_result;
     SessionClosedResponse session_closed;
     PongResponse pong;
+    RulesChangedResponse rules_changed;
     ErrorResponse error;
 
     /// The echoed request id, whichever member carries it.
@@ -84,6 +87,10 @@ class ServiceClient {
   void CloseSessionSync(const CloseSessionRequest& req);
   /// Ping round trip (liveness probe); throws on ERROR or disconnect.
   void PingSync(std::uint64_t request_id);
+  /// AddRules round trip; throws on ERROR (kBadRules: program unchanged).
+  RulesChangedResponse AddRulesSync(const AddRulesRequest& req);
+  /// RemoveRule round trip; throws on ERROR.
+  RulesChangedResponse RemoveRuleSync(const RemoveRuleRequest& req);
 
  private:
   Response AwaitResponse(std::uint64_t request_id, Opcode expect);

@@ -8,6 +8,7 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <cstring>
 #include <utility>
@@ -49,7 +50,8 @@ ServiceServer::ServiceServer(service::EngineHost& host, ServerOptions options)
       write_stalls_(host.Metrics().Get("net.write_stalls")),
       protocol_errors_(host.Metrics().Get("net.protocol_errors")),
       net_sessions_opened_(host.Metrics().Get("net.sessions_opened")),
-      net_sessions_closed_(host.Metrics().Get("net.sessions_closed")) {}
+      net_sessions_closed_(host.Metrics().Get("net.sessions_closed")),
+      idle_reaped_(host.Metrics().Get("net.idle_reaped")) {}
 
 ServiceServer::~ServiceServer() { Stop(); }
 
@@ -191,9 +193,27 @@ void ServiceServer::PollLoop() {
       fds.push_back(pollfd{conn.fd, static_cast<short>(events), 0});
       ids.push_back(id);
     }
-    // Parked submits have no fd event to wait on — poll with a short
-    // timeout and retry them until the session queue admits them.
-    const int timeout_ms = any_parked ? 1 : -1;
+    // Parked requests have no fd event to wait on — poll with a short
+    // timeout and retry them until the session queue admits them.  Idle
+    // reaping (when enabled) bounds the timeout too, so a silent fd set
+    // still wakes the sweep by the earliest deadline.
+    int timeout_ms = -1;
+    if (any_parked) {
+      timeout_ms = 1;
+    } else if (options_.idle_timeout_ms > 0 && !conns_.empty()) {
+      const auto now = std::chrono::steady_clock::now();
+      std::int64_t next_ms = static_cast<std::int64_t>(
+          options_.idle_timeout_ms);
+      for (const auto& [id, conn] : conns_) {
+        const std::int64_t remaining =
+            static_cast<std::int64_t>(options_.idle_timeout_ms) -
+            std::chrono::duration_cast<std::chrono::milliseconds>(
+                now - conn.last_activity)
+                .count();
+        next_ms = std::min(next_ms, remaining);
+      }
+      timeout_ms = static_cast<int>(std::max<std::int64_t>(next_ms, 1));
+    }
     const int ready = ::poll(fds.data(), static_cast<nfds_t>(fds.size()),
                              timeout_ms);
     if (ready < 0) {
@@ -231,6 +251,30 @@ void ServiceServer::PollLoop() {
         RetryParked(conn);
       }
     }
+    if (options_.idle_timeout_ms > 0) {
+      ReapIdle(std::chrono::steady_clock::now());
+    }
+  }
+}
+
+void ServiceServer::ReapIdle(std::chrono::steady_clock::time_point now) {
+  const auto deadline = std::chrono::milliseconds(options_.idle_timeout_ms);
+  for (auto& [id, conn] : conns_) {
+    // Idle means NOTHING is happening on the connection: no byte traffic
+    // since the deadline, no parked request waiting for queue space, no
+    // dispatched response still in flight, nothing left to flush.  A slow
+    // cascade the client is legitimately waiting on keeps inflight > 0,
+    // so it never trips this.
+    if (conn.dead || conn.parked || conn.inflight > 0 ||
+        !conn.outbuf.empty() || now - conn.last_activity < deadline) {
+      continue;
+    }
+    idle_reaped_.fetch_add(1, std::memory_order_relaxed);
+    OBS_COUNTER(Category::kNetIdleReap, 1);
+    SendError(conn, 0, ErrorCode::kIdleTimeout,
+              "connection idle past " +
+                  std::to_string(options_.idle_timeout_ms) + "ms");
+    CloseConnection(conn);
   }
 }
 
@@ -247,6 +291,7 @@ void ServiceServer::AcceptReady() {
     Connection& conn = conns_[id];
     conn.fd = fd;
     conn.id = id;
+    conn.last_activity = std::chrono::steady_clock::now();
     conns_opened_.fetch_add(1, std::memory_order_relaxed);
   }
 }
@@ -259,6 +304,7 @@ void ServiceServer::ReadReady(Connection& conn) {
     const ssize_t n = ::read(conn.fd, buf, sizeof(buf));
     if (n > 0) {
       conn.inbuf.append(buf, static_cast<std::size_t>(n));
+      conn.last_activity = std::chrono::steady_clock::now();
       bytes_in_.fetch_add(static_cast<std::uint64_t>(n),
                           std::memory_order_relaxed);
       read_this_round += static_cast<std::size_t>(n);
@@ -332,6 +378,14 @@ void ServiceServer::DispatchFrame(Connection& conn, const Frame& frame) {
     case Opcode::kCloseSession:
       HandleCloseSession(conn, frame.payload);
       return;
+    case Opcode::kAddRules:
+      HandleEvolve(conn, frame.payload,
+                   service::UpdateQueue::Kind::kAddRules);
+      return;
+    case Opcode::kRemoveRule:
+      HandleEvolve(conn, frame.payload,
+                   service::UpdateQueue::Kind::kRemoveRule);
+      return;
     default:
       protocol_errors_.fetch_add(1, std::memory_order_relaxed);
       SendError(conn, 0, ErrorCode::kBadOpcode,
@@ -402,7 +456,14 @@ ServiceServer::SessionEntry* ServiceServer::RouteSession(
 
 datalog::UpdateRequest ServiceServer::TranslateOps(
     SessionEntry& entry, const std::vector<WireOp>& ops) {
-  const datalog::Program& program = entry.session->Db().GetProgram();
+  // ONE snapshot acquire per dispatch: a concurrent ADD_RULES can swap the
+  // compiled program between any two statements here, so every read below
+  // goes through this pin (predicate and symbol ids are stable across
+  // versions, so a batch translated against version V applies unchanged
+  // under V+1).
+  const std::shared_ptr<const datalog::CompiledProgram> snap =
+      entry.session->Db().Snapshot();
+  const datalog::Program& program = snap->program;
   datalog::UpdateRequest update;
   for (const WireOp& op : ops) {
     const std::uint32_t pred = program.PredicateId(op.predicate);
@@ -464,8 +525,12 @@ void ServiceServer::HandleSubmit(Connection& conn, std::string_view payload) {
     // UpdateQueue is at its bound: park the translated batch on this
     // connection and stop reading it — kernel TCP backpressure reaches the
     // client, composing the wire bound with the session bound.
-    conn.parked = ParkedSubmit{req.request_id, req.session_id,
-                               std::move(update)};
+    ParkedRequest parked;
+    parked.kind = service::UpdateQueue::Kind::kUpdate;
+    parked.request_id = req.request_id;
+    parked.session_id = req.session_id;
+    parked.request = std::move(update);
+    conn.parked = std::move(parked);
     backpressure_stalls_.fetch_add(1, std::memory_order_relaxed);
     OBS_COUNTER(Category::kNetBackpressure, 1);
     return;
@@ -475,15 +540,80 @@ void ServiceServer::HandleSubmit(Connection& conn, std::string_view payload) {
   job.conn_id = conn.id;
   job.request_id = req.request_id;
   job.future = std::move(future);
-  EnqueueJob(*entry, std::move(job));
+  EnqueueJob(conn, *entry, std::move(job));
+}
+
+void ServiceServer::HandleEvolve(Connection& conn, std::string_view payload,
+                                 service::UpdateQueue::Kind kind) {
+  const bool add = kind == service::UpdateQueue::Kind::kAddRules;
+  std::uint64_t request_id = 0;
+  std::uint64_t session_id = 0;
+  std::string text;
+  if (add) {
+    AddRulesRequest req;
+    if (!DecodeAddRules(payload, &req)) {
+      protocol_errors_.fetch_add(1, std::memory_order_relaxed);
+      SendError(conn, 0, ErrorCode::kBadFrame, "malformed ADD_RULES payload");
+      return;
+    }
+    request_id = req.request_id;
+    session_id = req.session_id;
+    text = std::move(req.text);
+  } else {
+    RemoveRuleRequest req;
+    if (!DecodeRemoveRule(payload, &req)) {
+      protocol_errors_.fetch_add(1, std::memory_order_relaxed);
+      SendError(conn, 0, ErrorCode::kBadFrame,
+                "malformed REMOVE_RULE payload");
+      return;
+    }
+    request_id = req.request_id;
+    session_id = req.session_id;
+    text = std::move(req.text);
+  }
+  SessionEntry* entry = RouteSession(session_id);
+  if (entry == nullptr) {
+    SendError(conn, request_id, ErrorCode::kNoSession,
+              "no live session " + std::to_string(session_id));
+    return;
+  }
+  std::future<service::UpdateOutcome> future;
+  bool admitted = false;
+  try {
+    admitted = add ? entry->session->TryEvolveAddRules(text, &future)
+                   : entry->session->TryEvolveRemoveRule(text, &future);
+  } catch (const util::Error&) {
+    SendError(conn, request_id, ErrorCode::kNoSession, "session is closed");
+    return;
+  }
+  if (!admitted) {
+    // Same backpressure as SUBMIT: park the evolve and stop reading until
+    // the session queue admits it.
+    ParkedRequest parked;
+    parked.kind = kind;
+    parked.request_id = request_id;
+    parked.session_id = session_id;
+    parked.text = std::move(text);
+    conn.parked = std::move(parked);
+    backpressure_stalls_.fetch_add(1, std::memory_order_relaxed);
+    OBS_COUNTER(Category::kNetBackpressure, 1);
+    return;
+  }
+  PumpJob job;
+  job.kind = PumpJob::Kind::kEvolve;
+  job.conn_id = conn.id;
+  job.request_id = request_id;
+  job.future = std::move(future);
+  EnqueueJob(conn, *entry, std::move(job));
 }
 
 void ServiceServer::RetryParked(Connection& conn) {
-  ParkedSubmit& parked = *conn.parked;
+  ParkedRequest& parked = *conn.parked;
+  const bool is_update = parked.kind == service::UpdateQueue::Kind::kUpdate;
   SessionEntry* entry = RouteSession(parked.session_id);
   if (entry == nullptr) {
     SendError(conn, parked.request_id, ErrorCode::kNoSession,
-              "session closed while submit was parked");
+              "session closed while request was parked");
     conn.parked.reset();
     ProcessInbuf(conn);
     return;
@@ -491,11 +621,17 @@ void ServiceServer::RetryParked(Connection& conn) {
   std::future<service::UpdateOutcome> future;
   bool admitted = false;
   try {
-    datalog::UpdateRequest attempt = parked.request;
-    admitted = entry->session->TrySubmit(std::move(attempt), &future);
+    if (is_update) {
+      datalog::UpdateRequest attempt = parked.request;
+      admitted = entry->session->TrySubmit(std::move(attempt), &future);
+    } else if (parked.kind == service::UpdateQueue::Kind::kAddRules) {
+      admitted = entry->session->TryEvolveAddRules(parked.text, &future);
+    } else {
+      admitted = entry->session->TryEvolveRemoveRule(parked.text, &future);
+    }
   } catch (const util::Error&) {
     SendError(conn, parked.request_id, ErrorCode::kNoSession,
-              "session closed while submit was parked");
+              "session closed while request was parked");
     conn.parked.reset();
     ProcessInbuf(conn);
     return;
@@ -504,12 +640,12 @@ void ServiceServer::RetryParked(Connection& conn) {
     return;  // still full; next poll round retries
   }
   PumpJob job;
-  job.kind = PumpJob::Kind::kSubmit;
+  job.kind = is_update ? PumpJob::Kind::kSubmit : PumpJob::Kind::kEvolve;
   job.conn_id = conn.id;
   job.request_id = parked.request_id;
   job.future = std::move(future);
   conn.parked.reset();
-  EnqueueJob(*entry, std::move(job));
+  EnqueueJob(conn, *entry, std::move(job));
   ProcessInbuf(conn);  // resume the frames queued up behind the stall
 }
 
@@ -531,7 +667,7 @@ void ServiceServer::HandleQuery(Connection& conn, std::string_view payload) {
   job.conn_id = conn.id;
   job.request_id = req.request_id;
   job.predicate = std::move(req.predicate);
-  EnqueueJob(*entry, std::move(job));
+  EnqueueJob(conn, *entry, std::move(job));
 }
 
 void ServiceServer::HandleCloseSession(Connection& conn,
@@ -553,10 +689,15 @@ void ServiceServer::HandleCloseSession(Connection& conn,
   job.kind = PumpJob::Kind::kClose;
   job.conn_id = conn.id;
   job.request_id = req.request_id;
-  EnqueueJob(*entry, std::move(job));
+  EnqueueJob(conn, *entry, std::move(job));
 }
 
-void ServiceServer::EnqueueJob(SessionEntry& entry, PumpJob job) {
+void ServiceServer::EnqueueJob(Connection& conn, SessionEntry& entry,
+                               PumpJob job) {
+  // Every pump job produces exactly one delivery frame; the inflight count
+  // (decremented in DrainDeliveries) keeps the idle reaper off connections
+  // that are merely waiting on a slow cascade.
+  ++conn.inflight;
   {
     const std::lock_guard<std::mutex> lock(entry.jobs_mutex);
     entry.jobs.push_back(std::move(job));
@@ -602,8 +743,12 @@ void ServiceServer::PumpLoop(SessionEntry& entry) {
         try {
           const std::vector<datalog::Tuple> rows =
               entry.session->Query(job.predicate);
-          const datalog::Program& program =
-              entry.session->Db().GetProgram();
+          // Pin the program once for the whole render: an evolve swap on a
+          // session apply thread would otherwise free the compiled program
+          // out from under these reads.
+          const std::shared_ptr<const datalog::CompiledProgram> snap =
+              entry.session->Db().Snapshot();
+          const datalog::Program& program = snap->program;
           QueryResultResponse resp;
           resp.request_id = job.request_id;
           resp.arity = static_cast<std::uint16_t>(
@@ -637,6 +782,27 @@ void ServiceServer::PumpLoop(SessionEntry& entry) {
         }
         break;
       }
+      case PumpJob::Kind::kEvolve: {
+        // Same dense-resolution argument as kSubmit: evolve epochs ride
+        // the session's FIFO, so get() here never reorders responses.
+        try {
+          const service::UpdateOutcome outcome = job.future.get();
+          DeliverFromPump(
+              job.conn_id,
+              EncodeRulesChanged(RulesChangedResponse{
+                  job.request_id, outcome.epoch, outcome.program_version,
+                  static_cast<std::uint64_t>(outcome.update.total_inserted),
+                  static_cast<std::uint64_t>(outcome.update.total_deleted)}));
+        } catch (const std::exception& e) {
+          // A rejected change left the program untouched — tell the client
+          // which rule text the engine refused.
+          DeliverFromPump(job.conn_id,
+                          EncodeError(ErrorResponse{
+                              job.request_id, ErrorCode::kBadRules,
+                              e.what()}));
+        }
+        break;
+      }
       case PumpJob::Kind::kClose: {
         entry.session->Close();  // unregisters first: routes now miss
         net_sessions_closed_.fetch_add(1, std::memory_order_relaxed);
@@ -664,8 +830,14 @@ void ServiceServer::DrainDeliveries() {
   }
   for (auto& [conn_id, frame] : batch) {
     auto it = conns_.find(conn_id);
-    if (it == conns_.end() || it->second.dead) {
+    if (it == conns_.end()) {
       continue;  // client vanished mid-flight; its session drained anyway
+    }
+    if (it->second.inflight > 0) {
+      --it->second.inflight;
+    }
+    if (it->second.dead) {
+      continue;
     }
     SendFrame(it->second, std::move(frame));
   }
@@ -677,6 +849,7 @@ void ServiceServer::SendFrame(Connection& conn, std::string frame) {
   }
   const bool was_stalled = conn.outbuf.size() > options_.write_buffer_limit;
   conn.outbuf += frame;
+  conn.last_activity = std::chrono::steady_clock::now();
   frames_out_.fetch_add(1, std::memory_order_relaxed);
   OBS_COUNTER(Category::kNetFrameOut, 1);
   WriteReady(conn);  // eager flush; leftovers wait for POLLOUT

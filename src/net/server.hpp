@@ -26,6 +26,7 @@
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
@@ -62,6 +63,11 @@ struct ServerOptions {
   /// Frames declaring a longer payload are a framing error (kBadFrame +
   /// connection close).
   std::size_t max_frame_length = kMaxFrameLength;
+  /// Connections with no byte traffic, no parked request, and no response
+  /// in flight for this long are reaped: sent an IDLE_TIMEOUT error frame
+  /// and closed (net.idle_reaped).  0 disables reaping (the default —
+  /// long-lived quiet clients are legitimate).
+  std::uint64_t idle_timeout_ms = 0;
 };
 
 /// One server in front of one EngineHost.  Start() spawns the poll thread;
@@ -94,11 +100,15 @@ class ServiceServer {
   [[nodiscard]] service::EngineHost& Host() { return host_; }
 
  private:
-  /// A submit admitted by the wire but not yet by the session's queue.
-  struct ParkedSubmit {
+  /// A request admitted by the wire but not yet by the session's queue —
+  /// a SUBMIT batch or an ADD_RULES / REMOVE_RULE evolve, distinguished by
+  /// `kind` (kUpdate carries `request`; the evolve kinds carry `text`).
+  struct ParkedRequest {
+    service::UpdateQueue::Kind kind = service::UpdateQueue::Kind::kUpdate;
     std::uint64_t request_id = 0;
     std::uint64_t session_id = 0;
     datalog::UpdateRequest request;
+    std::string text;
   };
 
   struct Connection {
@@ -106,8 +116,15 @@ class ServiceServer {
     std::uint64_t id = 0;
     std::string inbuf;
     std::string outbuf;
-    std::optional<ParkedSubmit> parked;
-    /// Peer sent EOF; buffered frames (and a parked submit) still finish
+    std::optional<ParkedRequest> parked;
+    /// Pump jobs dispatched for this connection whose response frame has
+    /// not come back yet; a connection with responses in flight is never
+    /// idle-reaped.
+    std::size_t inflight = 0;
+    /// Last time bytes moved on this connection (either direction) — the
+    /// idle-reaping clock.
+    std::chrono::steady_clock::time_point last_activity;
+    /// Peer sent EOF; buffered frames (and a parked request) still finish
     /// before the connection is torn down — disconnect never drops work
     /// the wire already accepted.
     bool eof = false;
@@ -115,10 +132,10 @@ class ServiceServer {
   };
 
   struct PumpJob {
-    enum class Kind { kSubmit, kQuery, kClose } kind = Kind::kSubmit;
+    enum class Kind { kSubmit, kQuery, kClose, kEvolve } kind = Kind::kSubmit;
     std::uint64_t conn_id = 0;
     std::uint64_t request_id = 0;
-    std::future<service::UpdateOutcome> future;  // kSubmit
+    std::future<service::UpdateOutcome> future;  // kSubmit / kEvolve
     std::string predicate;                       // kQuery
   };
 
@@ -150,7 +167,15 @@ class ServiceServer {
   void HandleSubmit(Connection& conn, std::string_view payload);
   void HandleQuery(Connection& conn, std::string_view payload);
   void HandleCloseSession(Connection& conn, std::string_view payload);
+  /// Shared ADD_RULES / REMOVE_RULE path (they differ only in decode and
+  /// queue kind).
+  void HandleEvolve(Connection& conn, std::string_view payload,
+                    service::UpdateQueue::Kind kind);
   void RetryParked(Connection& conn);
+  /// Closes every connection idle past options_.idle_timeout_ms (no byte
+  /// traffic, nothing parked, no response in flight) with an IDLE_TIMEOUT
+  /// error frame.
+  void ReapIdle(std::chrono::steady_clock::time_point now);
   /// Translates wire ops into a typed UpdateRequest; throws util::Error on
   /// unknown predicate / arity mismatch / int overflow.
   datalog::UpdateRequest TranslateOps(SessionEntry& entry,
@@ -158,7 +183,7 @@ class ServiceServer {
   /// Finds (or adopts) the pump entry for a live session id; null when
   /// FindSession misses (unknown / closed / closing).
   SessionEntry* RouteSession(std::uint64_t session_id);
-  void EnqueueJob(SessionEntry& entry, PumpJob job);
+  void EnqueueJob(Connection& conn, SessionEntry& entry, PumpJob job);
   void PumpLoop(SessionEntry& entry);
   /// Pump threads hand completed frames back to the poll thread.
   void DeliverFromPump(std::uint64_t conn_id, std::string frame);
@@ -207,6 +232,7 @@ class ServiceServer {
   obs::MetricsRegistry::Counter& protocol_errors_;
   obs::MetricsRegistry::Counter& net_sessions_opened_;
   obs::MetricsRegistry::Counter& net_sessions_closed_;
+  obs::MetricsRegistry::Counter& idle_reaped_;
 };
 
 }  // namespace dsched::net

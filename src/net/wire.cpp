@@ -222,6 +222,22 @@ std::string EncodePing(const PingRequest& m) {
   return EncodeFrame(Opcode::kPing, w.Bytes());
 }
 
+std::string EncodeAddRules(const AddRulesRequest& m) {
+  WireWriter w;
+  w.U64(m.request_id);
+  w.U64(m.session_id);
+  w.Str(m.text);
+  return EncodeFrame(Opcode::kAddRules, w.Bytes());
+}
+
+std::string EncodeRemoveRule(const RemoveRuleRequest& m) {
+  WireWriter w;
+  w.U64(m.request_id);
+  w.U64(m.session_id);
+  w.Str(m.text);
+  return EncodeFrame(Opcode::kRemoveRule, w.Bytes());
+}
+
 std::string EncodeSessionOpened(const SessionOpenedResponse& m) {
   WireWriter w;
   w.U64(m.request_id);
@@ -261,6 +277,16 @@ std::string EncodePong(const PongResponse& m) {
   WireWriter w;
   w.U64(m.request_id);
   return EncodeFrame(Opcode::kPong, w.Bytes());
+}
+
+std::string EncodeRulesChanged(const RulesChangedResponse& m) {
+  WireWriter w;
+  w.U64(m.request_id);
+  w.U64(m.epoch);
+  w.U64(m.program_version);
+  w.U64(m.inserted);
+  w.U64(m.deleted);
+  return EncodeFrame(Opcode::kRulesChanged, w.Bytes());
 }
 
 std::string EncodeError(const ErrorResponse& m) {
@@ -332,6 +358,22 @@ bool DecodePing(std::string_view payload, PingRequest* out) {
   return r.Complete();
 }
 
+bool DecodeAddRules(std::string_view payload, AddRulesRequest* out) {
+  WireReader r(payload);
+  out->request_id = r.U64();
+  out->session_id = r.U64();
+  out->text = r.Str();
+  return r.Complete();
+}
+
+bool DecodeRemoveRule(std::string_view payload, RemoveRuleRequest* out) {
+  WireReader r(payload);
+  out->request_id = r.U64();
+  out->session_id = r.U64();
+  out->text = r.Str();
+  return r.Complete();
+}
+
 bool DecodeSessionOpened(std::string_view payload,
                          SessionOpenedResponse* out) {
   WireReader r(payload);
@@ -384,11 +426,21 @@ bool DecodePong(std::string_view payload, PongResponse* out) {
   return r.Complete();
 }
 
+bool DecodeRulesChanged(std::string_view payload, RulesChangedResponse* out) {
+  WireReader r(payload);
+  out->request_id = r.U64();
+  out->epoch = r.U64();
+  out->program_version = r.U64();
+  out->inserted = r.U64();
+  out->deleted = r.U64();
+  return r.Complete();
+}
+
 bool DecodeError(std::string_view payload, ErrorResponse* out) {
   WireReader r(payload);
   out->request_id = r.U64();
   const std::uint16_t code = r.U16();
-  if (code < 1 || code > 7) {
+  if (code < 1 || code > 9) {
     return false;
   }
   out->code = static_cast<ErrorCode>(code);
@@ -408,6 +460,10 @@ const char* OpcodeName(Opcode opcode) {
       return "CLOSE_SESSION";
     case Opcode::kPing:
       return "PING";
+    case Opcode::kAddRules:
+      return "ADD_RULES";
+    case Opcode::kRemoveRule:
+      return "REMOVE_RULE";
     case Opcode::kSessionOpened:
       return "SESSION_OPENED";
     case Opcode::kSubmitResult:
@@ -418,6 +474,8 @@ const char* OpcodeName(Opcode opcode) {
       return "SESSION_CLOSED";
     case Opcode::kPong:
       return "PONG";
+    case Opcode::kRulesChanged:
+      return "RULES_CHANGED";
     case Opcode::kError:
       return "ERROR";
   }

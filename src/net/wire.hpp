@@ -35,12 +35,15 @@ enum class Opcode : std::uint8_t {
   kQuery = 0x03,
   kCloseSession = 0x04,
   kPing = 0x05,
+  kAddRules = 0x06,
+  kRemoveRule = 0x07,
   // server -> client
   kSessionOpened = 0x81,
   kSubmitResult = 0x82,
   kQueryResult = 0x83,
   kSessionClosed = 0x84,
   kPong = 0x85,
+  kRulesChanged = 0x86,
   kError = 0xFF,
 };
 
@@ -53,6 +56,8 @@ enum class ErrorCode : std::uint16_t {
   kBadRequest = 5,   ///< unknown predicate, arity mismatch, value overflow
   kShutdown = 6,     ///< server is stopping
   kUpdateFailed = 7, ///< the cascade threw; the session itself stays live
+  kBadRules = 8,     ///< AddRules/RemoveRule rejected; program unchanged
+  kIdleTimeout = 9,  ///< connection reaped after the idle deadline
 };
 
 /// Hard ceiling on `length`; a frame declaring more is a protocol error
@@ -118,6 +123,21 @@ struct PingRequest {
   std::uint64_t request_id = 0;
 };
 
+/// ADD_RULES: `text` is Datalog source appended to the live program.
+struct AddRulesRequest {
+  std::uint64_t request_id = 0;
+  std::uint64_t session_id = 0;
+  std::string text;
+};
+
+/// REMOVE_RULE: `text` is one clause matched (up to variable renaming)
+/// against the live program's rules.
+struct RemoveRuleRequest {
+  std::uint64_t request_id = 0;
+  std::uint64_t session_id = 0;
+  std::string text;
+};
+
 // --- response messages (server -> client) --------------------------------
 
 struct SessionOpenedResponse {
@@ -144,6 +164,16 @@ struct SessionClosedResponse {
 
 struct PongResponse {
   std::uint64_t request_id = 0;
+};
+
+/// Success response to ADD_RULES / REMOVE_RULE: which epoch the change
+/// became, the program version now live, and the cascade's delta totals.
+struct RulesChangedResponse {
+  std::uint64_t request_id = 0;
+  std::uint64_t epoch = 0;
+  std::uint64_t program_version = 0;
+  std::uint64_t inserted = 0;
+  std::uint64_t deleted = 0;
 };
 
 struct ErrorResponse {
@@ -239,11 +269,14 @@ enum class FrameStatus {
 [[nodiscard]] std::string EncodeQuery(const QueryRequest& m);
 [[nodiscard]] std::string EncodeCloseSession(const CloseSessionRequest& m);
 [[nodiscard]] std::string EncodePing(const PingRequest& m);
+[[nodiscard]] std::string EncodeAddRules(const AddRulesRequest& m);
+[[nodiscard]] std::string EncodeRemoveRule(const RemoveRuleRequest& m);
 [[nodiscard]] std::string EncodeSessionOpened(const SessionOpenedResponse& m);
 [[nodiscard]] std::string EncodeSubmitResult(const SubmitResultResponse& m);
 [[nodiscard]] std::string EncodeQueryResult(const QueryResultResponse& m);
 [[nodiscard]] std::string EncodeSessionClosed(const SessionClosedResponse& m);
 [[nodiscard]] std::string EncodePong(const PongResponse& m);
+[[nodiscard]] std::string EncodeRulesChanged(const RulesChangedResponse& m);
 [[nodiscard]] std::string EncodeError(const ErrorResponse& m);
 
 [[nodiscard]] bool DecodeOpenSession(std::string_view payload,
@@ -253,6 +286,10 @@ enum class FrameStatus {
 [[nodiscard]] bool DecodeCloseSession(std::string_view payload,
                                       CloseSessionRequest* out);
 [[nodiscard]] bool DecodePing(std::string_view payload, PingRequest* out);
+[[nodiscard]] bool DecodeAddRules(std::string_view payload,
+                                  AddRulesRequest* out);
+[[nodiscard]] bool DecodeRemoveRule(std::string_view payload,
+                                    RemoveRuleRequest* out);
 [[nodiscard]] bool DecodeSessionOpened(std::string_view payload,
                                        SessionOpenedResponse* out);
 [[nodiscard]] bool DecodeSubmitResult(std::string_view payload,
@@ -262,6 +299,8 @@ enum class FrameStatus {
 [[nodiscard]] bool DecodeSessionClosed(std::string_view payload,
                                        SessionClosedResponse* out);
 [[nodiscard]] bool DecodePong(std::string_view payload, PongResponse* out);
+[[nodiscard]] bool DecodeRulesChanged(std::string_view payload,
+                                      RulesChangedResponse* out);
 [[nodiscard]] bool DecodeError(std::string_view payload, ErrorResponse* out);
 
 /// Human-readable opcode name for diagnostics ("OPEN_SESSION", ...).

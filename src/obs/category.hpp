@@ -71,6 +71,13 @@ enum class Category : std::uint8_t {
   kNetFrameIn,       ///< counter: well-formed frames decoded off the wire
   kNetFrameOut,      ///< counter: response frames queued for send
   kNetBackpressure,  ///< counter: submits parked on a full UpdateQueue
+  kNetIdleReap,      ///< counter: connections reaped past the idle deadline
+
+  // Live rule-set evolution (datalog/database.cpp).
+  kEvolveRecompile,       ///< scope: copy + parse + cone re-stratify + swap
+  kEvolveMaintain,        ///< scope: the affected-cone maintenance cascade
+  kEvolveConePred,        ///< counter: predicates in the affected cone
+  kEvolveReusedComponent, ///< counter: SCCs reused verbatim across versions
 
   kCategoryCount
 };

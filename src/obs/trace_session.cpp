@@ -134,6 +134,16 @@ const char* CategoryName(Category category) {
       return "net.frame_out";
     case Category::kNetBackpressure:
       return "net.backpressure";
+    case Category::kNetIdleReap:
+      return "net.idle_reap";
+    case Category::kEvolveRecompile:
+      return "evolve.recompile";
+    case Category::kEvolveMaintain:
+      return "evolve.maintain";
+    case Category::kEvolveConePred:
+      return "evolve.cone_preds";
+    case Category::kEvolveReusedComponent:
+      return "evolve.reused_components";
     case Category::kCategoryCount:
       break;
   }
@@ -185,7 +195,13 @@ const char* CategoryGroup(Category category) {
     case Category::kNetFrameIn:
     case Category::kNetFrameOut:
     case Category::kNetBackpressure:
+    case Category::kNetIdleReap:
       return "net";
+    case Category::kEvolveRecompile:
+    case Category::kEvolveMaintain:
+    case Category::kEvolveConePred:
+    case Category::kEvolveReusedComponent:
+      return "evolve";
     case Category::kCategoryCount:
       break;
   }
@@ -207,7 +223,10 @@ bool IsCounterCategory(Category category) {
          category == Category::kMetaKill ||
          category == Category::kNetFrameIn ||
          category == Category::kNetFrameOut ||
-         category == Category::kNetBackpressure;
+         category == Category::kNetBackpressure ||
+         category == Category::kNetIdleReap ||
+         category == Category::kEvolveConePred ||
+         category == Category::kEvolveReusedComponent;
 }
 
 std::atomic<TraceSession*> TraceSession::current_{nullptr};

@@ -122,6 +122,50 @@ bool Session::TrySubmit(datalog::UpdateRequest request,
   return true;
 }
 
+std::future<UpdateOutcome> Session::SubmitEvolve(UpdateQueue::Kind kind,
+                                                std::string_view text) {
+  DSCHED_CHECK_MSG(db_.Materialized(), "Materialize() before changing rules");
+  std::promise<UpdateOutcome> promise;
+  std::future<UpdateOutcome> future = promise.get_future();
+  queue_.PushEvolve(kind, std::string(text), std::move(promise));
+  core_->metrics.Add(metrics_prefix_ + "evolve.submit", 1);
+  return future;
+}
+
+bool Session::TrySubmitEvolve(UpdateQueue::Kind kind, std::string_view text,
+                              std::future<UpdateOutcome>* out) {
+  DSCHED_CHECK_MSG(db_.Materialized(), "Materialize() before changing rules");
+  std::promise<UpdateOutcome> promise;
+  std::future<UpdateOutcome> future = promise.get_future();
+  if (queue_.TryPushEvolve(kind, std::string(text), std::move(promise)) == 0) {
+    return false;
+  }
+  core_->metrics.Add(metrics_prefix_ + "evolve.submit", 1);
+  if (out != nullptr) {
+    *out = std::move(future);
+  }
+  return true;
+}
+
+std::future<UpdateOutcome> Session::EvolveAddRules(std::string_view rules_text) {
+  return SubmitEvolve(UpdateQueue::Kind::kAddRules, rules_text);
+}
+
+std::future<UpdateOutcome> Session::EvolveRemoveRule(
+    std::string_view clause_text) {
+  return SubmitEvolve(UpdateQueue::Kind::kRemoveRule, clause_text);
+}
+
+bool Session::TryEvolveAddRules(std::string_view rules_text,
+                                std::future<UpdateOutcome>* out) {
+  return TrySubmitEvolve(UpdateQueue::Kind::kAddRules, rules_text, out);
+}
+
+bool Session::TryEvolveRemoveRule(std::string_view clause_text,
+                                  std::future<UpdateOutcome>* out) {
+  return TrySubmitEvolve(UpdateQueue::Kind::kRemoveRule, clause_text, out);
+}
+
 void Session::Drain() {
   const std::uint64_t target = queue_.LastEpoch();
   std::unique_lock<std::mutex> lock(pipe_mutex_);
@@ -201,7 +245,11 @@ void Session::ApplyLoop() {
   // consumer threads; the admission gate below then makes cascades START
   // in that order too, at most depth_ in flight.
   while (queue_.Pop(job)) {
-    ApplyOne(job);
+    if (job.kind == UpdateQueue::Kind::kUpdate) {
+      ApplyOne(job);
+    } else {
+      ApplyEvolve(job);
+    }
   }
 }
 
@@ -210,7 +258,7 @@ void Session::ApplyOne(UpdateQueue::Job& job) {
   {
     std::unique_lock<std::mutex> lock(pipe_mutex_);
     pipe_cv_.wait(lock, [this, &job] {
-      return admitted_epoch_ + 1 == job.epoch &&
+      return admitted_epoch_ + 1 == job.epoch && !evolving_ &&
              admitted_epoch_ - applied_seq_ < depth_ && queries_waiting_ == 0;
     });
     if (admitted_epoch_ == applied_seq_) {
@@ -293,6 +341,84 @@ void Session::ApplyOne(UpdateQueue::Job& job) {
   PublishMetrics();
 }
 
+void Session::ApplyEvolve(UpdateQueue::Job& job) {
+  // --- admission: exclusive.  An evolve epoch starts only with the
+  // pipeline fully drained (admitted == applied — every in-flight cascade
+  // has resolved against the OLD program), and evolving_ keeps successor
+  // epochs out until the swap + cone cascade land.  This is the evolution
+  // fence that lets rule changes compose with pipeline_depth K > 1.
+  {
+    std::unique_lock<std::mutex> lock(pipe_mutex_);
+    pipe_cv_.wait(lock, [this, &job] {
+      return admitted_epoch_ + 1 == job.epoch &&
+             admitted_epoch_ == applied_seq_ && queries_waiting_ == 0;
+    });
+    busy_since_ = std::chrono::steady_clock::now();
+    admitted_epoch_ = job.epoch;
+    evolving_ = true;
+    inflight_high_water_ = std::max<std::uint64_t>(inflight_high_water_, 1);
+  }
+  pipe_cv_.notify_all();
+
+  // --- recompile + swap + affected-cone cascade, outside session locks.
+  UpdateOutcome outcome;
+  outcome.epoch = job.epoch;
+  std::exception_ptr error;
+  util::WallTimer cascade_timer;
+  try {
+    const datalog::Database::EvolveResult result =
+        job.kind == UpdateQueue::Kind::kAddRules
+            ? db_.EvolveAddRules(job.rules_text)
+            : db_.EvolveRemoveRule(job.rules_text);
+    outcome.update = result.update;
+    outcome.rules_changed = true;
+    outcome.program_version = result.program_version;
+    outcome.evolve = result.stats;
+  } catch (...) {
+    // A rejected change throws before the snapshot swap, so the program
+    // (and store) are untouched; fail this future, stay live.
+    error = std::current_exception();
+  }
+  if (depth_ > 1) {
+    // Successor epochs' cascades gate on this epoch's frontier entry; the
+    // evolve cascade ran serially, so publish it finalized wholesale.
+    frontier_.FinalizeAll(job.epoch);
+  }
+  const double seconds = cascade_timer.ElapsedSeconds();
+
+  // --- sequencer: trivially dense (this is the only in-flight epoch).
+  {
+    std::unique_lock<std::mutex> lock(pipe_mutex_);
+    if (error == nullptr) {
+      inserted_total_ += outcome.update.total_inserted;
+      deleted_total_ += outcome.update.total_deleted;
+      maint_ops_total_ += outcome.update.total_maint_ops;
+      for (const datalog::ComponentUpdateStats& c :
+           outcome.update.components) {
+        maint_recounts_total_ += c.maint_recounts;
+        maint_probes_total_ += c.maint_backward_probes;
+        maint_avoided_total_ += c.maint_avoided;
+      }
+      ++evolve_count_;
+      evolve_cone_preds_total_ += outcome.evolve.cone_predicates;
+      evolve_reused_comps_total_ += outcome.evolve.reused_components;
+      program_version_seen_ = outcome.program_version;
+      job.promise.set_value(std::move(outcome));
+    } else {
+      job.promise.set_exception(error);
+    }
+    cascade_seconds_ += seconds;
+    applied_seq_ = job.epoch;
+    applied_epoch_.store(job.epoch, std::memory_order_release);
+    evolving_ = false;
+    busy_seconds_ += std::chrono::duration<double>(
+                         std::chrono::steady_clock::now() - busy_since_)
+                         .count();
+  }
+  pipe_cv_.notify_all();
+  PublishMetrics();
+}
+
 void Session::PublishMetrics() {
   // Totals are written under pipe_mutex_ by K apply threads; snapshot
   // under the same lock, publish outside it.
@@ -309,12 +435,20 @@ void Session::PublishMetrics() {
   std::uint64_t mem_deferred = 0;
   std::uint64_t mem_stalls = 0;
   std::uint64_t mem_forced = 0;
+  std::uint64_t evolves = 0;
+  std::uint64_t evolve_cone = 0;
+  std::uint64_t evolve_reused = 0;
+  std::uint64_t program_version = 1;
   double stall_seconds = 0.0;
   double cascade_seconds = 0.0;
   double busy_seconds = 0.0;
   {
     const std::lock_guard<std::mutex> lock(pipe_mutex_);
     applied = applied_seq_;
+    evolves = evolve_count_;
+    evolve_cone = evolve_cone_preds_total_;
+    evolve_reused = evolve_reused_comps_total_;
+    program_version = program_version_seen_;
     inserted = inserted_total_;
     deleted = deleted_total_;
     ops = maint_ops_total_;
@@ -361,6 +495,10 @@ void Session::PublishMetrics() {
   metrics.Set(metrics_prefix_ + "mem.deferred", mem_deferred);
   metrics.Set(metrics_prefix_ + "mem.budget_stalls", mem_stalls);
   metrics.Set(metrics_prefix_ + "mem.forced", mem_forced);
+  metrics.Set(metrics_prefix_ + "evolve.count", evolves);
+  metrics.Set(metrics_prefix_ + "evolve.cone_predicates", evolve_cone);
+  metrics.Set(metrics_prefix_ + "evolve.reused_components", evolve_reused);
+  metrics.Set(metrics_prefix_ + "evolve.version", program_version);
 }
 
 }  // namespace dsched::service

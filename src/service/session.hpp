@@ -93,6 +93,28 @@ class Session {
   bool TrySubmit(datalog::UpdateRequest request,
                  std::future<UpdateOutcome>* out);
 
+  // --- live rule evolution ---------------------------------------------
+  /// Enqueues a rule-set change as an epoch of its own: the job rides the
+  /// same FIFO as Submit batches, so "epoch N resolved" still means every
+  /// batch AND rule change up to N is visible.  An evolve epoch is
+  /// EXCLUSIVE — admission waits until every in-flight epoch has resolved
+  /// (the pipeline drains past the evolution fence) and blocks successor
+  /// admissions until its own cascade lands, so it composes with
+  /// pipeline_depth K > 1 without fencing individual levels.  The future
+  /// carries rules_changed/program_version/evolve stats on top of the
+  /// usual update result.  A rejected change (parse error, unstratifiable
+  /// program, unknown rule) fails ITS future; the program is untouched and
+  /// the session stays live.  Blocking/backpressure contract matches
+  /// Submit.
+  std::future<UpdateOutcome> EvolveAddRules(std::string_view rules_text);
+  std::future<UpdateOutcome> EvolveRemoveRule(std::string_view clause_text);
+
+  /// Non-blocking variants: false (and no enqueue) when the queue is full.
+  bool TryEvolveAddRules(std::string_view rules_text,
+                         std::future<UpdateOutcome>* out);
+  bool TryEvolveRemoveRule(std::string_view clause_text,
+                           std::future<UpdateOutcome>* out);
+
   /// Blocks until every batch accepted so far has been applied.
   void Drain();
 
@@ -130,6 +152,10 @@ class Session {
   [[nodiscard]] std::uint64_t AppliedEpoch() const {
     return applied_epoch_.load(std::memory_order_acquire);
   }
+  /// Current program version (1 at open, +1 per applied rule change).
+  [[nodiscard]] std::uint64_t ProgramVersion() const {
+    return db_.ProgramVersion();
+  }
   [[nodiscard]] std::size_t QueueDepth() const { return queue_.Depth(); }
   [[nodiscard]] std::size_t QueueCapacity() const {
     return queue_.Capacity();
@@ -143,6 +169,11 @@ class Session {
  private:
   void ApplyLoop();
   void ApplyOne(UpdateQueue::Job& job);
+  void ApplyEvolve(UpdateQueue::Job& job);
+  std::future<UpdateOutcome> SubmitEvolve(UpdateQueue::Kind kind,
+                                          std::string_view text);
+  bool TrySubmitEvolve(UpdateQueue::Kind kind, std::string_view text,
+                       std::future<UpdateOutcome>* out);
   /// Publishes session.<name>.* counters into the host registry.
   void PublishMetrics();
 
@@ -180,6 +211,11 @@ class Session {
   /// Queries blocked waiting for the pipeline to quiesce; > 0 holds off
   /// new admissions so readers are not starved by a busy pipeline.
   mutable std::size_t queries_waiting_ = 0;
+  /// True while an evolve epoch's cascade is between admission and
+  /// resolution.  Evolve admission drains the pipeline (admitted ==
+  /// applied) and this flag keeps successors out until the swap + cone
+  /// cascade have landed — the evolution fence.
+  bool evolving_ = false;
   std::uint64_t inflight_high_water_ = 0;
   /// Wall time with >= 1 epoch in flight (for the overlap ratio vs the sum
   /// of per-cascade times).
@@ -198,6 +234,10 @@ class Session {
   std::uint64_t maint_recounts_total_ = 0;
   std::uint64_t maint_probes_total_ = 0;
   std::uint64_t maint_avoided_total_ = 0;
+  std::uint64_t evolve_count_ = 0;
+  std::uint64_t evolve_cone_preds_total_ = 0;
+  std::uint64_t evolve_reused_comps_total_ = 0;
+  std::uint64_t program_version_seen_ = 1;
 
   /// Lock-free mirror of applied_seq_ for AppliedEpoch().
   std::atomic<std::uint64_t> applied_epoch_{0};

@@ -24,7 +24,9 @@
 #include <future>
 #include <mutex>
 #include <deque>
+#include <string>
 
+#include "datalog/compiled_program.hpp"
 #include "datalog/incremental.hpp"
 #include "runtime/executor.hpp"
 
@@ -39,15 +41,31 @@ struct UpdateOutcome {
   /// Executor stats of the cascade; default-initialized for sessions on
   /// the serial engine.
   runtime::Executor::RunStats run;
+  /// Rule-evolution outcomes (EvolveAddRules / EvolveRemoveRule epochs
+  /// only; plain Submit batches leave all three at their defaults).
+  bool rules_changed = false;
+  std::uint64_t program_version = 0;
+  datalog::EvolveStats evolve;
 };
 
 /// Bounded multi-producer multi-consumer queue of pending update batches.
 /// Thread-safe.
 class UpdateQueue {
  public:
+  /// What a popped job asks the apply thread to do.  Evolve jobs ride the
+  /// same epoch sequence as update batches, so "epoch N resolved" keeps
+  /// meaning "every batch AND every rule change up to N is visible".
+  enum class Kind : std::uint8_t {
+    kUpdate = 0,
+    kAddRules = 1,
+    kRemoveRule = 2,
+  };
+
   struct Job {
     std::uint64_t epoch = 0;
-    datalog::UpdateRequest request;
+    Kind kind = Kind::kUpdate;
+    datalog::UpdateRequest request;  ///< kUpdate only
+    std::string rules_text;          ///< kAddRules / kRemoveRule only
     std::promise<UpdateOutcome> promise;
   };
 
@@ -64,6 +82,15 @@ class UpdateQueue {
   /// closed.
   std::uint64_t TryPush(datalog::UpdateRequest request,
                         std::promise<UpdateOutcome> promise);
+
+  /// Enqueues a rule-evolution job (kAddRules / kRemoveRule) with Push's
+  /// blocking backpressure contract.
+  std::uint64_t PushEvolve(Kind kind, std::string rules_text,
+                           std::promise<UpdateOutcome> promise);
+
+  /// Non-blocking evolve enqueue; 0 when full, throws when closed.
+  std::uint64_t TryPushEvolve(Kind kind, std::string rules_text,
+                              std::promise<UpdateOutcome> promise);
 
   /// Consumer side: blocks until a job is available or the queue is closed
   /// AND drained; false only in the latter case (the consumer's exit
@@ -86,6 +113,8 @@ class UpdateQueue {
   [[nodiscard]] std::uint64_t LastEpoch() const;
 
  private:
+  std::uint64_t PushJob(Job job, bool blocking);
+
   const std::size_t capacity_;
   mutable std::mutex mutex_;
   std::condition_variable not_full_;

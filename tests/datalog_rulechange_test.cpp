@@ -217,5 +217,151 @@ TEST(RuleChangeTest, BaseUpdatesKeepWorkingAfterRuleChanges) {
   EXPECT_TRUE(db.Contains("r", {Value::Int(2)}));
 }
 
+TEST(RuleChangeTest, ProgramVersionAdvancesPerChange) {
+  Database db(R"(
+    tc(X, Y) :- e(X, Y).
+    tc(X, Z) :- tc(X, Y), e(Y, Z).
+  )");
+  db.Insert("e", {Value::Int(1), Value::Int(2)});
+  db.Materialize();
+  EXPECT_EQ(db.ProgramVersion(), 1u);
+  const Database::EvolveResult added = db.EvolveAddRules("out(X) :- e(X, _).");
+  EXPECT_EQ(added.program_version, 2u);
+  EXPECT_EQ(db.ProgramVersion(), 2u);
+  const Database::EvolveResult removed = db.EvolveRemoveRule(
+      "tc(X, Z) :- tc(X, Y), e(Y, Z).");
+  EXPECT_EQ(removed.program_version, 3u);
+  EXPECT_EQ(db.ProgramVersion(), 3u);
+  // A REJECTED change must not burn a version.
+  EXPECT_THROW(db.EvolveAddRules("p(Y) :- e(X, _)."), util::InvalidArgument);
+  EXPECT_EQ(db.ProgramVersion(), 3u);
+}
+
+TEST(RuleChangeTest, SmallConeReusesComponentsOutsideIt) {
+  // Two independent towers: the tc tower and the side chain.  Changing the
+  // side chain must not re-stratify (or maintain) the tc tower.
+  Database db(R"(
+    tc(X, Y) :- e(X, Y).
+    tc(X, Z) :- tc(X, Y), e(Y, Z).
+    tcc(X; count()) :- tc(X, _).
+    side(X) :- tag(X).
+    side2(X) :- side(X).
+  )");
+  for (int i = 0; i + 1 < 8; ++i) {
+    db.Insert("e", {Value::Int(i), Value::Int(i + 1)});
+  }
+  db.Insert("tag", {Value::Int(7)});
+  db.Materialize();
+
+  const Database::EvolveResult result =
+      db.EvolveAddRules("side3(X) :- tag(X), side(X).");
+  // Cone = {side3} only: side/side2 have no edge FROM side3, and the tc
+  // tower is untouched entirely.
+  EXPECT_EQ(result.stats.cone_predicates, 1u);
+  EXPECT_EQ(result.stats.cone_components, 1u);
+  EXPECT_GE(result.stats.reused_components, 6u);  // e, tc, tcc, tag, side, side2
+  EXPECT_TRUE(db.Contains("side3", {Value::Int(7)}));
+  EXPECT_EQ(db.Query("tc").size(), 28u);
+}
+
+TEST(RuleChangeTest, RestratifyMatchesFullStratify) {
+  // The incremental re-stratification must induce the same component
+  // partition, per-predicate strata, and recursion flags as a from-scratch
+  // Stratify of the final program — component NUMBERING may differ.
+  const char* old_text = R"(
+    tc(X, Y) :- e(X, Y).
+    tc(X, Z) :- tc(X, Y), e(Y, Z).
+    hasout(X) :- e(X, _).
+    deadend(X) :- n(X), !hasout(X).
+    side(X) :- tag(X).
+  )";
+  Program old_program = ParseProgram(old_text);
+  ValidateProgram(old_program);
+  const Stratification old_strat = Stratify(old_program);
+
+  Program next = old_program;
+  ExtendProgram(next, R"(
+    reach(X) :- side(X).
+    reach(Y) :- reach(X), e(X, Y).
+    side(X) :- reach(X), deadend(X).
+  )");
+  ValidateProgram(next);
+  std::vector<std::uint32_t> changed_heads;
+  for (std::size_t r = old_program.rules.size(); r < next.rules.size(); ++r) {
+    changed_heads.push_back(next.rules[r].head.predicate);
+  }
+  std::vector<bool> affected;
+  RestratifyStats stats;
+  const Stratification incremental = RestratifyAffected(
+      next, old_strat, old_program.NumPredicates(), changed_heads, &affected,
+      &stats);
+  const Stratification scratch = Stratify(next);
+
+  ASSERT_EQ(incremental.component_of.size(), scratch.component_of.size());
+  // Same partition: predicates share an incremental component iff they
+  // share a scratch component.
+  const std::size_t n = next.NumPredicates();
+  for (std::size_t a = 0; a < n; ++a) {
+    for (std::size_t b = a + 1; b < n; ++b) {
+      EXPECT_EQ(incremental.component_of[a] == incremental.component_of[b],
+                scratch.component_of[a] == scratch.component_of[b])
+          << "predicates " << a << " and " << b;
+    }
+  }
+  for (std::size_t p = 0; p < n; ++p) {
+    EXPECT_EQ(incremental.component_stratum[incremental.component_of[p]],
+              scratch.component_stratum[scratch.component_of[p]])
+        << "stratum of predicate " << p;
+    EXPECT_EQ(incremental.component_recursive[incremental.component_of[p]],
+              scratch.component_recursive[scratch.component_of[p]])
+        << "recursion flag of predicate " << p;
+  }
+  // The new side -> reach -> side cycle merges them into one recursive
+  // component; side was an OLD predicate whose derivations change, so the
+  // cone must have swallowed the whole new SCC.
+  const std::uint32_t side = next.PredicateId("side");
+  const std::uint32_t reach = next.PredicateId("reach");
+  EXPECT_EQ(incremental.component_of[side], incremental.component_of[reach]);
+  EXPECT_TRUE(affected[side]);
+  EXPECT_TRUE(affected[reach]);
+  EXPECT_GT(stats.reused_components, 0u);
+}
+
+TEST(RuleChangeTest, EvolveKeepsCountingStrategyExact) {
+  // counting keeps per-derivation counts keyed to the RULE SET; an evolve
+  // must invalidate exactly the cone so later counting updates stay exact.
+  Database db(R"(
+    p(X) :- a(X).
+    p(X) :- b(X).
+    q(X) :- p(X).
+    side(X) :- tag(X).
+  )");
+  db.SetDefaultStrategy(MaintenanceStrategy::kCounting);
+  db.Insert("a", {Value::Int(1)});
+  db.Insert("b", {Value::Int(1)});
+  db.Insert("b", {Value::Int(2)});
+  db.Insert("tag", {Value::Int(9)});
+  db.Materialize();
+  {
+    auto update = db.MakeUpdate();
+    update.Insert("a", {Value::Int(3)});
+    db.Apply(update);  // seals the counting plane
+  }
+  db.EvolveAddRules("p(X) :- tag(X).");
+  // Deleting b(1) is a pure decrement on p(1) (still held by the a-rule);
+  // deleting tag(9) must kill p(9) exactly once despite the rule being
+  // newer than the seal.
+  {
+    auto update = db.MakeUpdate();
+    update.Delete("b", {Value::Int(1)});
+    update.Delete("tag", {Value::Int(9)});
+    db.Apply(update);
+  }
+  EXPECT_TRUE(db.Contains("p", {Value::Int(1)}));
+  EXPECT_FALSE(db.Contains("p", {Value::Int(9)}));
+  EXPECT_FALSE(db.Contains("q", {Value::Int(9)}));
+  EXPECT_EQ(db.Query("p").size(), 3u);  // 1, 2, 3
+}
+
 }  // namespace
 }  // namespace dsched::datalog

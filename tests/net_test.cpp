@@ -140,6 +140,62 @@ TEST(WireCodecTest, ResponsesRoundTrip) {
   }
 }
 
+TEST(WireCodecTest, EvolveMessagesRoundTrip) {
+  {
+    AddRulesRequest req;
+    req.request_id = 21;
+    req.session_id = 8;
+    req.text = "side(X) :- tag(X).\nside2(X) :- side(X).";
+    const std::string f = EncodeAddRules(req);
+    Frame p;
+    ASSERT_EQ(ExtractFrame(f, &p), FrameStatus::kFrame);
+    EXPECT_EQ(p.opcode, Opcode::kAddRules);
+    AddRulesRequest out;
+    ASSERT_TRUE(DecodeAddRules(p.payload, &out));
+    EXPECT_EQ(out.request_id, 21u);
+    EXPECT_EQ(out.session_id, 8u);
+    EXPECT_EQ(out.text, req.text);
+  }
+  {
+    RemoveRuleRequest req;
+    req.request_id = 22;
+    req.session_id = 8;
+    req.text = "tc(X, Z) :- tc(X, Y), e(Y, Z).";
+    const std::string f = EncodeRemoveRule(req);
+    Frame p;
+    ASSERT_EQ(ExtractFrame(f, &p), FrameStatus::kFrame);
+    EXPECT_EQ(p.opcode, Opcode::kRemoveRule);
+    RemoveRuleRequest out;
+    ASSERT_TRUE(DecodeRemoveRule(p.payload, &out));
+    EXPECT_EQ(out.request_id, 22u);
+    EXPECT_EQ(out.session_id, 8u);
+    EXPECT_EQ(out.text, req.text);
+  }
+  {
+    const std::string f =
+        EncodeRulesChanged(RulesChangedResponse{23, 5, 3, 40, 7});
+    Frame p;
+    ASSERT_EQ(ExtractFrame(f, &p), FrameStatus::kFrame);
+    EXPECT_EQ(p.opcode, Opcode::kRulesChanged);
+    RulesChangedResponse out;
+    ASSERT_TRUE(DecodeRulesChanged(p.payload, &out));
+    EXPECT_EQ(out.request_id, 23u);
+    EXPECT_EQ(out.epoch, 5u);
+    EXPECT_EQ(out.program_version, 3u);
+    EXPECT_EQ(out.inserted, 40u);
+    EXPECT_EQ(out.deleted, 7u);
+  }
+  // The new error codes survive the decoder's range check.
+  for (const ErrorCode code : {ErrorCode::kBadRules, ErrorCode::kIdleTimeout}) {
+    const std::string f = EncodeError(ErrorResponse{24, code, "x"});
+    Frame p;
+    ASSERT_EQ(ExtractFrame(f, &p), FrameStatus::kFrame);
+    ErrorResponse out;
+    ASSERT_TRUE(DecodeError(p.payload, &out));
+    EXPECT_EQ(out.code, code);
+  }
+}
+
 TEST(WireCodecTest, PartialFramesNeedMore) {
   const std::string frame = EncodePing(PingRequest{1});
   for (std::size_t len = 0; len < frame.size(); ++len) {
@@ -183,6 +239,57 @@ TEST(WireCodecTest, TruncatedPayloadsRejectedWithoutCrashing) {
   EXPECT_FALSE(DecodeSubmit(padded, &out));
 }
 
+TEST(WireCodecTest, TruncatedEvolvePayloadsRejectedWithoutCrashing) {
+  AddRulesRequest add;
+  add.request_id = 1;
+  add.session_id = 2;
+  add.text = "out(X) :- tc(X, _).";
+  RemoveRuleRequest remove;
+  remove.request_id = 3;
+  remove.session_id = 4;
+  remove.text = "tc(X, Y) :- e(X, Y).";
+  const RulesChangedResponse changed{5, 6, 7, 8, 9};
+  for (const std::string& frame :
+       {EncodeAddRules(add), EncodeRemoveRule(remove),
+        EncodeRulesChanged(changed)}) {
+    Frame parsed;
+    ASSERT_EQ(ExtractFrame(frame, &parsed), FrameStatus::kFrame);
+    for (std::size_t len = 0; len < parsed.payload.size(); ++len) {
+      const std::string_view prefix = parsed.payload.substr(0, len);
+      AddRulesRequest a;
+      RemoveRuleRequest r;
+      RulesChangedResponse c;
+      switch (parsed.opcode) {
+        case Opcode::kAddRules:
+          EXPECT_FALSE(DecodeAddRules(prefix, &a)) << "prefix " << len;
+          break;
+        case Opcode::kRemoveRule:
+          EXPECT_FALSE(DecodeRemoveRule(prefix, &r)) << "prefix " << len;
+          break;
+        default:
+          EXPECT_FALSE(DecodeRulesChanged(prefix, &c)) << "prefix " << len;
+          break;
+      }
+    }
+    // Trailing bytes are equally rejected (no silent padding).
+    const std::string padded = std::string(parsed.payload) + "x";
+    AddRulesRequest a;
+    RemoveRuleRequest r;
+    RulesChangedResponse c;
+    switch (parsed.opcode) {
+      case Opcode::kAddRules:
+        EXPECT_FALSE(DecodeAddRules(padded, &a));
+        break;
+      case Opcode::kRemoveRule:
+        EXPECT_FALSE(DecodeRemoveRule(padded, &r));
+        break;
+      default:
+        EXPECT_FALSE(DecodeRulesChanged(padded, &c));
+        break;
+    }
+  }
+}
+
 TEST(WireCodecTest, GarbagePayloadsRejectedWithoutCrashing) {
   // Deterministic pseudo-garbage: hostile string lengths, op counts, tags.
   std::string garbage;
@@ -200,12 +307,18 @@ TEST(WireCodecTest, GarbagePayloadsRejectedWithoutCrashing) {
     CloseSessionRequest close;
     QueryResultResponse rows;
     ErrorResponse error;
+    AddRulesRequest add;
+    RemoveRuleRequest remove;
+    RulesChangedResponse changed;
     EXPECT_FALSE(DecodeOpenSession(payload, &open));
     EXPECT_FALSE(DecodeSubmit(payload, &submit));
     EXPECT_FALSE(DecodeQuery(payload, &query));
     EXPECT_FALSE(DecodeCloseSession(payload, &close));
     EXPECT_FALSE(DecodeQueryResult(payload, &rows));
     EXPECT_FALSE(DecodeError(payload, &error));
+    EXPECT_FALSE(DecodeAddRules(payload, &add));
+    EXPECT_FALSE(DecodeRemoveRule(payload, &remove));
+    EXPECT_FALSE(DecodeRulesChanged(payload, &changed));
   }
 }
 
@@ -476,6 +589,160 @@ TEST(ServiceServerTest, HostileLengthPrefixClosesConnection) {
   // The server itself is fine.
   ServiceClient again = fx.Connect();
   again.PingSync(1);
+}
+
+TEST(ServiceServerTest, EvolveRulesOverTheWire) {
+  ServerFixture fx;
+  ServiceClient client = fx.Connect();
+  OpenSessionRequest open;
+  open.request_id = 1;
+  open.program = kChainProgram;
+  const std::uint64_t sid = client.OpenSessionSync(open);
+  (void)client.SubmitSync(ChainBatch(2, sid, 0, 4));
+
+  // ADD_RULES: a new predicate derived from the closure appears.
+  AddRulesRequest add;
+  add.request_id = 3;
+  add.session_id = sid;
+  add.text = "reach(Y) :- tc(0, Y).";
+  const RulesChangedResponse added = client.AddRulesSync(add);
+  EXPECT_EQ(added.request_id, 3u);
+  EXPECT_EQ(added.program_version, 2u);
+  EXPECT_EQ(added.inserted, 4u);  // tc(0,1..4)
+  QueryRequest q;
+  q.request_id = 4;
+  q.session_id = sid;
+  q.predicate = "reach";
+  EXPECT_EQ(client.QuerySync(q).rows.size(), 4u);
+
+  // REMOVE_RULE: the recursive rule goes; tc collapses to the edges.
+  RemoveRuleRequest remove;
+  remove.request_id = 5;
+  remove.session_id = sid;
+  remove.text = "tc(X, Z) :- tc(X, Y), e(Y, Z).";
+  const RulesChangedResponse removed = client.RemoveRuleSync(remove);
+  EXPECT_EQ(removed.program_version, 3u);
+  EXPECT_GT(removed.deleted, 0u);
+  q.request_id = 6;
+  q.predicate = "tc";
+  EXPECT_EQ(client.QuerySync(q).rows.size(), 4u);
+  q.request_id = 7;
+  q.predicate = "reach";
+  EXPECT_EQ(client.QuerySync(q).rows.size(), 1u);  // just tc(0,1)
+
+  // Bad rule text answers BAD_RULES and leaves the session fully alive.
+  AddRulesRequest bad;
+  bad.request_id = 8;
+  bad.session_id = sid;
+  bad.text = "p(Y) :- e(X, _).";  // unsafe head variable
+  client.SendAddRules(bad);
+  ServiceClient::Response resp;
+  ASSERT_TRUE(client.ReadResponse(&resp, 5000));
+  ASSERT_EQ(resp.opcode, Opcode::kError);
+  EXPECT_EQ(resp.error.code, ErrorCode::kBadRules);
+  EXPECT_EQ(resp.error.request_id, 8u);
+
+  // Unknown session id answers NO_SESSION.
+  AddRulesRequest lost;
+  lost.request_id = 9;
+  lost.session_id = sid + 1000;
+  lost.text = "x(X) :- e(X, _).";
+  client.SendAddRules(lost);
+  ASSERT_TRUE(client.ReadResponse(&resp, 5000));
+  ASSERT_EQ(resp.opcode, Opcode::kError);
+  EXPECT_EQ(resp.error.code, ErrorCode::kNoSession);
+
+  // The session still takes updates under the evolved program.
+  const SubmitResultResponse after = client.SubmitSync(ChainBatch(10, sid, 10, 12));
+  EXPECT_GT(after.epoch, 0u);
+}
+
+TEST(ServiceServerTest, EvolveInterleavedWithPipelinedSubmits) {
+  ServerFixture fx;
+  ServiceClient client = fx.Connect();
+  OpenSessionRequest open;
+  open.request_id = 1;
+  open.program = kChainProgram;
+  open.pipeline_depth = 4;
+  const std::uint64_t sid = client.OpenSessionSync(open);
+  // Blast submits, an evolve mid-stream, more submits — all pipelined on
+  // one connection.  The evolve is an exclusive epoch in FIFO order, so
+  // responses keep arriving per-kind in send order.
+  for (int b = 0; b < 6; ++b) {
+    client.SendSubmit(ChainBatch(static_cast<std::uint64_t>(100 + b), sid,
+                                 10 * b, 10 * b + 6));
+  }
+  AddRulesRequest add;
+  add.request_id = 200;
+  add.session_id = sid;
+  add.text = "touched(X) :- e(X, _).";
+  client.SendAddRules(add);
+  for (int b = 6; b < 12; ++b) {
+    client.SendSubmit(ChainBatch(static_cast<std::uint64_t>(100 + b), sid,
+                                 10 * b, 10 * b + 6));
+  }
+  int submits_seen = 0;
+  bool evolve_seen = false;
+  std::uint64_t last_epoch = 0;
+  for (int i = 0; i < 13; ++i) {
+    ServiceClient::Response resp;
+    ASSERT_TRUE(client.ReadResponse(&resp, 60000)) << "response " << i;
+    if (resp.opcode == Opcode::kSubmitResult) {
+      EXPECT_GT(resp.submit_result.epoch, last_epoch);
+      last_epoch = resp.submit_result.epoch;
+      ++submits_seen;
+    } else {
+      ASSERT_EQ(resp.opcode, Opcode::kRulesChanged);
+      EXPECT_EQ(resp.rules_changed.request_id, 200u);
+      EXPECT_EQ(resp.rules_changed.program_version, 2u);
+      EXPECT_GT(resp.rules_changed.epoch, last_epoch);
+      last_epoch = resp.rules_changed.epoch;
+      evolve_seen = true;
+    }
+  }
+  EXPECT_EQ(submits_seen, 12);
+  EXPECT_TRUE(evolve_seen);
+  QueryRequest q;
+  q.request_id = 300;
+  q.session_id = sid;
+  q.predicate = "touched";
+  EXPECT_EQ(client.QuerySync(q).rows.size(), 12u * 6u);
+}
+
+TEST(ServiceServerTest, IdleConnectionsReapedActiveOnesSpared) {
+  service::EngineHost host{{.workers = 2}};
+  ServerOptions options;
+  options.idle_timeout_ms = 150;
+  ServiceServer server{host, options};
+  server.Start();
+
+  ServiceClient idle;
+  idle.Connect("127.0.0.1", server.Port());
+  ServiceClient active;
+  active.Connect("127.0.0.1", server.Port());
+
+  // Keep one connection chatty well past the other's deadline.
+  const auto start = std::chrono::steady_clock::now();
+  ServiceClient::Response reaped;
+  bool saw_reap = false;
+  std::uint64_t next_ping = 1;
+  while (std::chrono::steady_clock::now() - start <
+         std::chrono::milliseconds(1200)) {
+    active.PingSync(next_ping++);
+    if (!saw_reap && idle.ReadResponse(&reaped, 50)) {
+      saw_reap = true;
+    }
+  }
+  ASSERT_TRUE(saw_reap) << "idle connection was never reaped";
+  ASSERT_EQ(reaped.opcode, Opcode::kError);
+  EXPECT_EQ(reaped.error.code, ErrorCode::kIdleTimeout);
+  EXPECT_EQ(reaped.error.request_id, 0u);
+  // After the goodbye: EOF, nothing else.
+  EXPECT_FALSE(idle.ReadResponse(&reaped, 500));
+  EXPECT_GE(host.Metrics().Value("net.idle_reaped"), 1u);
+  // The chatty connection outlived many deadlines.
+  active.PingSync(next_ping);
+  server.Stop();
 }
 
 TEST(ServiceServerTest, SharedSessionAcrossConnections) {

@@ -21,7 +21,7 @@ Usage:
   check_bench.py BASELINE FRESH [--tolerance 0.15]
                  [--ignore REGEX ...] [--exact REGEX ...] [--verbose]
 
-CI gates all eight checked-in baselines (see .github/workflows/ci.yml
+CI gates all nine checked-in baselines (see .github/workflows/ci.yml
 perf-gate for the per-bench flags):
   BENCH_datalog.json   — micro_join: rows/checksums exact
   BENCH_store.json     — micro_store: rows/checksums exact, w8 scaling
@@ -53,6 +53,12 @@ perf-gate for the per-bench flags):
                          mem_deferred, mem_budget_stalls, mem_forced) are
                          dispatch-timing artifacts and stay ungated (the
                          binary itself hard-fails a budget violation)
+  BENCH_evolve.json    — micro_evolve: rule-set evolution is deterministic,
+                         so evolve/rebuild op counts, cone sizes, program
+                         versions and checksums are all exact; the
+                         rebuild-vs-evolve ratios are derived figures and
+                         ignored (the binary self-gates the small-cone
+                         >= 2x bar)
 
 stdlib only; runs anywhere python3 does.
 """
@@ -65,7 +71,7 @@ import sys
 # Fields that identify a row within a "results" list, in identity order.
 ID_FIELDS = ("bench", "workload", "scheduler", "engine", "body", "strategy",
              "workers", "mode", "name", "k", "batch", "connections", "rate",
-             "zeta", "budget")
+             "zeta", "budget", "kind", "cone")
 
 # `window` covers the executor's adaptive dispatch-window controller
 # columns (window_adjusts/final_window) — the controller is fed by wall
